@@ -1,0 +1,48 @@
+// Command ablation runs the design-choice ablation studies: duty-gated
+// memory issue, overlap p-norm, profiling demand margin, and COORD's
+// gamma parameter. Each study prints its table and whether the design
+// choice demonstrably matters.
+//
+//	ablation                # run every study
+//	ablation overlap gamma  # run selected studies
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/ablation"
+)
+
+func main() {
+	studies := ablation.All()
+	if len(os.Args) > 1 {
+		studies = studies[:0]
+		for _, id := range os.Args[1:] {
+			s, err := ablation.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ablation:", err)
+				os.Exit(2)
+			}
+			studies = append(studies, s)
+		}
+	}
+	failed := 0
+	for _, s := range studies {
+		out, err := s.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablation: %s: %v\n", s.ID, err)
+			failed++
+			continue
+		}
+		fmt.Print(out.Render())
+		fmt.Println()
+		if !out.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "ablation: %d stud(ies) failed\n", failed)
+		os.Exit(1)
+	}
+}

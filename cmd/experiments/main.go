@@ -1,0 +1,93 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and reports whether each checked claim holds in the
+// reproduction. With -out it also writes per-artifact text and CSV files.
+//
+// Usage:
+//
+//	experiments              # run everything, print to stdout
+//	experiments fig3 fig9    # run selected artifacts
+//	experiments -out results # also write results/<id>.txt and .csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	outDir := flag.String("out", "", "directory to write per-artifact .txt and .csv files")
+	flag.Parse()
+
+	runners := experiments.All()
+	if args := flag.Args(); len(args) > 0 {
+		runners = runners[:0]
+		for _, id := range args {
+			r, err := experiments.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := 0
+	for _, r := range runners {
+		out, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		fmt.Print(out.Render())
+		fmt.Println()
+		if !out.Passed() {
+			failed++
+		}
+		if *outDir != "" {
+			if err := writeArtifact(*outDir, &out); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d artifact(s) with failed claims\n", failed)
+		os.Exit(1)
+	}
+}
+
+func writeArtifact(dir string, out *experiments.Output) error {
+	txt := filepath.Join(dir, out.ID+".txt")
+	if err := os.WriteFile(txt, []byte(out.Render()), 0o644); err != nil {
+		return err
+	}
+	var csv string
+	for _, t := range out.Tables {
+		csv += "# " + t.Title + "\n" + t.CSV() + "\n"
+	}
+	if err := os.WriteFile(filepath.Join(dir, out.ID+".csv"), []byte(csv), 0o644); err != nil {
+		return err
+	}
+	for i := range out.Figures {
+		name := out.ID + ".svg"
+		if len(out.Figures) > 1 {
+			name = fmt.Sprintf("%s_%d.svg", out.ID, i+1)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(out.Figures[i].SVG()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Package repro reproduces "The Case for Cross-Component Power
+// Coordination on Power Bounded Systems" (Ge, Feng, Allen, Zou; ICPP
+// 2016): power-bounded computing at the compute-node level, the six-way
+// categorization of processor/memory power-allocation scenarios, the
+// critical power values that bound them, and the COORD category-based
+// heuristic that pinpoints near-optimal cross-component allocations from
+// lightweight profiling.
+//
+// The repository layout:
+//
+//	internal/units      physical quantities (power, energy, frequency, bandwidth)
+//	internal/hw         component models and the four Table 2 platforms
+//	internal/workload   analytic models of the 17 Table 3 benchmarks
+//	internal/perfmodel  roofline-with-overlap operating-point solver
+//	internal/rapl       RAPL emulation (MSRs, P/T-state actuator, DRAM throttling)
+//	internal/nvgov      Nvidia board power governor emulation
+//	internal/sim        fixed-point node simulator
+//	internal/core       the power-bounded computing problem and exhaustive solver
+//	internal/category   allocation-scenario categorization (I-VI CPU, I-III GPU)
+//	internal/profile    lightweight critical-power profiling
+//	internal/coord      COORD Algorithms 1 and 2 plus baselines
+//	internal/sweep      experiment harness (curves, splits, comparisons)
+//	internal/trace      time-stepped power/energy tracing
+//	internal/cluster    power-bounded cluster scheduling extension
+//	internal/experiments  regeneration of every paper table and figure
+//	internal/report     tables, CSV, text charts
+//	cmd/pbc             interactive toolbox CLI
+//	cmd/experiments     regenerates the full evaluation
+//	examples/           runnable scenarios (quickstart, capacity, gputune, cluster)
+//
+// The benchmarks in bench_test.go regenerate each paper artifact under
+// "go test -bench"; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-versus-measured results.
+package repro

@@ -1,0 +1,82 @@
+// Capacity planning: how much power does each workload actually need?
+//
+// A facility operator handing out node power budgets wants, per workload:
+// the maximum useful budget (beyond which watts are wasted), the minimum
+// productive budget (below which the node thrashes), and the knee of the
+// perf_max curve (the best performance-per-watt operating region). This
+// example derives all three for every CPU benchmark of Table 3 on both
+// server platforms — the paper's Section 3.1 insights turned into a
+// planning table.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/report"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	for _, platform := range []string{"ivybridge", "haswell"} {
+		node, err := hw.PlatformByName(platform)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb := report.NewTable(
+			fmt.Sprintf("Power capacity plan — %s", node.CPU.Name),
+			"workload", "min productive (W)", "knee (W)", "max useful (W)",
+			"perf at knee", "perf at max", "knee efficiency")
+
+		for _, w := range workload.CPUWorkloads() {
+			prof, err := profile.ProfileCPU(node, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			minProductive := prof.Critical.ProductiveThreshold()
+			maxUseful := prof.Critical.CPUMax + prof.Critical.MemMax
+
+			// The perf_max curve between the two ends locates the knee.
+			budgets := core.BudgetRange(minProductive, maxUseful+20, 16)
+			pts, err := core.Curve(node, w, budgets)
+			if err != nil {
+				log.Fatal(err)
+			}
+			knee, ok := core.Knee(pts, 0.25)
+			if !ok {
+				knee = maxUseful
+			}
+			kneePerf := perfAt(pts, knee)
+			tb.AddRow(
+				w.Name,
+				report.FormatFloat(minProductive.Watts()),
+				report.FormatFloat(knee.Watts()),
+				report.FormatFloat(maxUseful.Watts()),
+				report.FormatFloat(kneePerf)+" "+w.PerfUnit,
+				report.FormatFloat(pts[len(pts)-1].PerfMax)+" "+w.PerfUnit,
+				fmt.Sprintf("%.0f%%", 100*kneePerf/pts[len(pts)-1].PerfMax),
+			)
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+	}
+	fmt.Println("Reading the table: grant each job at least its 'min productive' watts")
+	fmt.Println("(below that the paper says to defer the job), aim for the knee, and")
+	fmt.Println("never grant more than 'max useful' — the surplus belongs to other jobs.")
+}
+
+func perfAt(pts []core.CurvePoint, budget units.Power) float64 {
+	best := 0.0
+	for _, pt := range pts {
+		if pt.Budget <= budget {
+			best = pt.PerfMax
+		}
+	}
+	return best
+}

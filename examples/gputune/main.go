@@ -1,0 +1,79 @@
+// GPU auto-tuning: beat the default driver policy under a power cap.
+//
+// The default Nvidia capping policy always runs the memory at its nominal
+// clock and throttles only the SMs — oblivious to both the cap and the
+// application (paper Section 6.3). This example profiles each GPU
+// benchmark on the Titan XP, lets COORD choose the memory clock per cap,
+// and reports the gain over the default policy across the settable cap
+// range, reproducing the paper's "up to 33% better" result.
+//
+//	go run ./examples/gputune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/coord"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	card, err := hw.PlatformByName("titanxp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	caps := []units.Power{130, 150, 175, 200, 225, 250, 275, 300}
+
+	tb := report.NewTable(
+		fmt.Sprintf("COORD vs default policy — %s (gain in %% at each cap)", card.GPU.Name),
+		append([]string{"workload", "kind"}, capHeaders(caps)...)...)
+
+	var worstCase, bestCase float64 = 1e18, 0
+	for _, w := range workload.GPUWorkloads() {
+		prof, err := profile.ProfileGPU(card, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "memory"
+		if prof.ComputeIntensive {
+			kind = "compute"
+		}
+		row := []string{w.Name, kind}
+		for _, cap := range caps {
+			d := coord.GPU(prof, cap, coord.DefaultGamma)
+			tuned, err := sim.RunGPUMemPower(card, &w, cap, d.Alloc.Mem)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dflt, err := sim.RunGPU(card, &w, cap, card.GPU.Mem.ClockNom)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gain := tuned.Perf/dflt.Perf - 1
+			worstCase = min(worstCase, gain)
+			bestCase = max(bestCase, gain)
+			row = append(row, fmt.Sprintf("%+.1f%%", 100*gain))
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\nacross all workloads and caps: gain ranges from %+.1f%% to %+.1f%%\n",
+		100*worstCase, 100*bestCase)
+	fmt.Println("compute-intensive kernels gain most at tight caps (memory underclocked,")
+	fmt.Println("freed power reclaimed by the SMs); memory-bound kernels gain a steady few")
+	fmt.Println("percent from raising the memory clock above the default nominal setting.")
+}
+
+func capHeaders(caps []units.Power) []string {
+	var hs []string
+	for _, c := range caps {
+		hs = append(hs, fmt.Sprintf("%.0f W", c.Watts()))
+	}
+	return hs
+}

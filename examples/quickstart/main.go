@@ -1,0 +1,80 @@
+// Quickstart: cap a compute node, watch what happens to performance, and
+// let COORD pick the split for you.
+//
+// This walks the paper's core loop in five steps: build a platform, run a
+// workload uncapped, cap it badly, profile it, and apply COORD.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. A dual-socket IvyBridge node with 256 GB DDR3 (Table 2,
+	// CPU Platform I) running the STREAM bandwidth benchmark.
+	node, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := workload.ByName("stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Uncapped: the node's full-power baseline.
+	free, err := sim.RunCPU(node, &stream, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uncapped:            %6.1f GB/s  (cpu %v, dram %v)\n",
+		free.Perf, free.ProcPower, free.MemPower)
+
+	// 3. A 208 W node budget, split badly: starve the DRAM.
+	const budget = units.Power(208)
+	bad, err := sim.RunCPU(node, &stream, 140, budget-140)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bad split (140/68):  %6.1f GB/s  — %.0fx slower, same budget\n",
+		bad.Perf, free.Perf/bad.Perf)
+
+	// 4. Profile once (a handful of capped runs) to learn the workload's
+	// critical power values.
+	prof, err := profile.ProfileCPU(node, stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profile (%d runs):   CPU demand %v, DRAM demand %v, floors %v/%v\n",
+		prof.Runs, prof.Critical.CPUMax, prof.Critical.MemMax,
+		prof.Critical.CPUFloor, prof.Critical.MemFloor)
+
+	// 5. COORD picks a near-optimal split for the same 208 W.
+	d := coord.CPU(prof, budget)
+	if d.Status == coord.StatusTooSmall {
+		log.Fatalf("COORD rejected the budget %v", budget)
+	}
+	good, err := sim.RunCPU(node, &stream, d.Alloc.Proc, d.Alloc.Mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("COORD %v: %6.1f GB/s\n", d.Alloc, good.Perf)
+
+	// Compare against the exhaustive sweep (the oracle).
+	best, err := core.NewProblem(node, stream, budget).PerfMax()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep best %v: %6.1f GB/s  (COORD at %.1f%% of best)\n",
+		best.Alloc, best.Result.Perf, 100*good.Perf/best.Result.Perf)
+}

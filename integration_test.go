@@ -1,0 +1,265 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/category"
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// TestFullPipelineCPUMatrix drives the complete workflow — profile,
+// categorize, coordinate, simulate, verify — for every CPU benchmark on
+// both server platforms across a budget range. It asserts the paper's
+// cross-cutting invariants rather than any single figure.
+func TestFullPipelineCPUMatrix(t *testing.T) {
+	for _, platformName := range []string{"ivybridge", "haswell"} {
+		p, err := hw.PlatformByName(platformName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workload.CPUWorkloads() {
+			w := w
+			t.Run(platformName+"/"+w.Name, func(t *testing.T) {
+				prof, err := profile.ProfileCPU(p, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cp := prof.Critical
+
+				// Invariant: critical powers are ordered and the scenario
+				// classifier is total over a broad allocation grid.
+				if err := cp.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				for proc := units.Power(40); proc <= 220; proc += 20 {
+					for mem := units.Power(40); mem <= 220; mem += 20 {
+						s := cp.Classify(proc, mem)
+						if s < category.ScenarioI || s > category.ScenarioVI {
+							t.Fatalf("classify(%v, %v) = %v", proc, mem, s)
+						}
+					}
+				}
+
+				demand := cp.CPUMax + cp.MemMax
+				thresh := cp.ProductiveThreshold()
+				if thresh >= demand {
+					t.Fatalf("threshold %v not below demand %v", thresh, demand)
+				}
+
+				prevPerf := -1.0
+				for _, budget := range []units.Power{
+					thresh + 5, (thresh + demand) / 2, demand + 5, demand + 60,
+				} {
+					d := coord.CPU(prof, budget)
+					if d.Status == coord.StatusTooSmall {
+						t.Fatalf("budget %v above threshold rejected", budget)
+					}
+					// Invariant: COORD never over-allocates.
+					if d.Alloc.Total() > budget+0.01 {
+						t.Fatalf("budget %v: allocation %v", budget, d.Alloc)
+					}
+					res, err := sim.RunCPU(p, &w, d.Alloc.Proc, d.Alloc.Mem)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Invariant: the bound holds.
+					if res.TotalPower > budget+1 {
+						t.Fatalf("budget %v: actual %v", budget, res.TotalPower)
+					}
+					// Invariant: COORD's performance is monotone in budget.
+					if res.Perf < prevPerf*(1-0.02) {
+						t.Fatalf("budget %v: perf %v dropped from %v", budget, res.Perf, prevPerf)
+					}
+					prevPerf = res.Perf
+					// Invariant: utilization and stall stay in range.
+					if res.StallFrac < 0 || res.StallFrac > 1 ||
+						res.ComputeUtil < 0 || res.ComputeUtil > 1 {
+						t.Fatalf("budget %v: out-of-range metrics %+v", budget, res)
+					}
+				}
+
+				// At a surplus budget, COORD reaches >=95% of the uncapped
+				// performance.
+				d := coord.CPU(prof, demand+60)
+				res, err := sim.RunCPU(p, &w, d.Alloc.Proc, d.Alloc.Mem)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Perf < 0.95*prof.UncappedPerf {
+					t.Errorf("surplus budget reaches only %.1f%% of uncapped",
+						100*res.Perf/prof.UncappedPerf)
+				}
+			})
+		}
+	}
+}
+
+// TestFullPipelineGPUMatrix mirrors the CPU matrix for both cards.
+func TestFullPipelineGPUMatrix(t *testing.T) {
+	for _, platformName := range []string{"titanxp", "titanv"} {
+		p, err := hw.PlatformByName(platformName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workload.GPUWorkloads() {
+			w := w
+			t.Run(platformName+"/"+w.Name, func(t *testing.T) {
+				prof, err := profile.ProfileGPU(p, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prevPerf := -1.0
+				for cap := p.GPU.MinCap; cap <= p.GPU.MaxCap; cap += 40 {
+					d := coord.GPU(prof, cap, coord.DefaultGamma)
+					if d.Alloc.Mem < prof.MemMin || d.Alloc.Mem > prof.MemMax {
+						t.Fatalf("cap %v: memory budget %v outside card range", cap, d.Alloc.Mem)
+					}
+					res, err := sim.RunGPUMemPower(p, &w, cap, d.Alloc.Mem)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.TotalPower.Watts() > cap.Watts()+12 {
+						t.Fatalf("cap %v: board draw %v", cap, res.TotalPower)
+					}
+					if res.Perf < prevPerf*(1-0.02) {
+						t.Fatalf("cap %v: perf %v dropped from %v", cap, res.Perf, prevPerf)
+					}
+					prevPerf = res.Perf
+				}
+			})
+		}
+	}
+}
+
+// TestOracleDominatesHeuristics cross-checks the exhaustive sweep against
+// every heuristic on a sample of problems: no heuristic may beat the
+// oracle by more than the sweep's quantization margin.
+func TestOracleDominatesHeuristics(t *testing.T) {
+	p, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"stream", "dgemm", "cg"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := profile.ProfileCPU(p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, budget := range []units.Power{190, 230} {
+			pb := core.NewProblem(p, w, budget)
+			best, err := pb.PerfMax()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range coord.CPUStrategies() {
+				d := s.Decide(prof, budget)
+				if d.Status == coord.StatusTooSmall {
+					continue
+				}
+				ev, err := pb.Evaluate(d.Alloc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ev.Result.Perf > best.Result.Perf*1.05 {
+					t.Errorf("%s/%s at %v beats oracle by %.1f%%", name, s.Name, budget,
+						100*(ev.Result.Perf/best.Result.Perf-1))
+				}
+			}
+		}
+	}
+}
+
+// TestEnergyEfficiencyPeaksNearKnee verifies the paper's Section 3.1
+// budgeting insight quantitatively: performance-per-watt peaks at a
+// moderate budget, not at the maximum.
+func TestEnergyEfficiencyPeaksNearKnee(t *testing.T) {
+	p, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByName("mg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type point struct{ budget, eff float64 }
+	var pts []point
+	for budget := units.Power(170); budget <= 290; budget += 12 {
+		pb := core.NewProblem(p, w, budget)
+		best, err := pb.PerfMax()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, point{budget.Watts(), best.PerfPerWatt()})
+	}
+	peakIdx := 0
+	for i, pt := range pts {
+		if pt.eff > pts[peakIdx].eff {
+			peakIdx = i
+		}
+	}
+	if peakIdx == len(pts)-1 {
+		t.Errorf("efficiency still rising at the largest budget: %+v", pts)
+	}
+	// Efficiency at the peak clearly exceeds the largest budget's.
+	last := pts[len(pts)-1]
+	if pts[peakIdx].eff < last.eff*1.02 {
+		t.Errorf("no efficiency knee: peak %.4f at %v vs %.4f at %v",
+			pts[peakIdx].eff, pts[peakIdx].budget, last.eff, last.budget)
+	}
+}
+
+// TestScenarioPowerSignatures checks the per-scenario actual-power
+// signatures of Section 3.2 across multiple workloads at once.
+func TestScenarioPowerSignatures(t *testing.T) {
+	p, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sra", "stream", "cg"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := profile.ProfileCPU(p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := prof.Critical.CPUMax + prof.Critical.MemMax + 10
+		pb := core.NewProblem(p, w, budget)
+		evals, err := pb.Sweep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range evals {
+			s := prof.Critical.Classify(e.Alloc.Proc, e.Alloc.Mem)
+			switch s {
+			case category.ScenarioI:
+				// Both at demand: actual within a whisker of the profile's
+				// measured maxima.
+				if math.Abs(e.Result.ProcPower.Watts()-prof.Critical.CPUMax.Watts()) > 0.1*prof.Critical.CPUMax.Watts() {
+					t.Errorf("%s scenario I: CPU %v vs demand %v", name, e.Result.ProcPower, prof.Critical.CPUMax)
+				}
+			case category.ScenarioII:
+				// CPU tracks its cap within the P-state quantum.
+				if e.Result.ProcPower > e.Alloc.Proc+0.5 {
+					t.Errorf("%s scenario II: CPU %v over its %v cap", name, e.Result.ProcPower, e.Alloc.Proc)
+				}
+			case category.ScenarioVI:
+				// Cap below the floor: the package still draws its floor.
+				if e.Result.ProcPower < p.CPU.IdlePower {
+					t.Errorf("%s scenario VI: CPU below hardware floor", name)
+				}
+			}
+		}
+	}
+}

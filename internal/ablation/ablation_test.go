@@ -1,0 +1,64 @@
+package ablation
+
+import (
+	"testing"
+)
+
+func TestAllStudiesRegistered(t *testing.T) {
+	studies := All()
+	if len(studies) != 6 {
+		t.Fatalf("study count = %d, want 6", len(studies))
+	}
+	want := []string{"duty-gating", "overlap", "margin", "gamma", "open-loop", "problem-size"}
+	for i, s := range studies {
+		if s.ID != want[i] {
+			t.Errorf("study %d = %s, want %s", i, s.ID, want[i])
+		}
+	}
+	if _, err := ByID("duty-gating"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// TestEveryAblationHolds runs each study and requires its findings to
+// pass — the design choices must demonstrably matter.
+func TestEveryAblationHolds(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			out, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Tables) == 0 {
+				t.Error("no tables produced")
+			}
+			for _, f := range out.Findings {
+				if !f.Pass {
+					t.Errorf("claim failed: %s", f)
+				}
+			}
+		})
+	}
+}
+
+func TestBracketHelpers(t *testing.T) {
+	if parseF("3.25") != 3.25 {
+		t.Error("parseF")
+	}
+	if mean(nil) != 0 {
+		t.Error("mean of empty")
+	}
+	if mean([]float64{1, 3}) != 2 {
+		t.Error("mean")
+	}
+	if maxOf([]float64{1, 5, 2}) != 5 {
+		t.Error("maxOf")
+	}
+	if minOf2(2, 1) != 1 || minOf2(1, 2) != 1 {
+		t.Error("minOf2")
+	}
+}

@@ -1,0 +1,71 @@
+package ablation
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/report"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// ProblemSize studies how the optimal cross-component allocation shifts
+// with problem size: scaling a workload's DRAM traffic (the first-order
+// effect of outgrowing the cache) moves its arithmetic intensity, and the
+// sweep optimum must follow — compute-heavy splits for cache-resident
+// sizes, memory-heavy splits for large ones. This extends the paper's
+// application-awareness finding (different *programs* need different
+// splits) to different *sizes of the same program*.
+func ProblemSize() (experiments.Output, error) {
+	out := experiments.Output{ID: "problem-size", Title: "Optimal allocation vs problem size (DGEMM traffic scaling)"}
+	p, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		return out, err
+	}
+	base, err := workload.ByName("dgemm")
+	if err != nil {
+		return out, err
+	}
+
+	const budget = units.Power(208)
+	tb := report.NewTable("DGEMM at 208 W with scaled DRAM traffic",
+		"traffic factor", "ops/byte", "best split (cpu/mem)", "best perf", "cpu share")
+	var shares []float64
+	for _, factor := range []float64{0.5, 1, 2, 4, 8, 16} {
+		w, err := workload.Scaled(base, factor)
+		if err != nil {
+			return out, err
+		}
+		best, err := core.NewProblem(p, w, budget).PerfMax()
+		if err != nil {
+			return out, err
+		}
+		share := best.Alloc.Proc.Watts() / best.Alloc.Total().Watts()
+		shares = append(shares, share)
+		tb.AddRow(
+			fmt.Sprintf("%.1fx", factor),
+			report.FormatFloat(w.ComputeIntensity()),
+			fmt.Sprintf("%.0f/%.0f W", best.Alloc.Proc.Watts(), best.Alloc.Mem.Watts()),
+			report.FormatFloat(best.Result.Perf),
+			report.FormatFloat(share),
+		)
+	}
+	out.Tables = append(out.Tables, tb)
+
+	// The CPU share must fall (weakly) as traffic grows, and the spread
+	// between the extremes must be substantial.
+	monotone := true
+	for i := 1; i < len(shares); i++ {
+		if shares[i] > shares[i-1]+0.02 {
+			monotone = false
+		}
+	}
+	out.Findings = append(out.Findings, experiments.Finding{
+		Claim:    "the optimal CPU power share falls as the problem outgrows the cache",
+		Measured: fmt.Sprintf("CPU share from %.2f (cache-resident) to %.2f (16x traffic)", shares[0], shares[len(shares)-1]),
+		Pass:     monotone && shares[0] > shares[len(shares)-1]+0.1,
+	})
+	return out, nil
+}

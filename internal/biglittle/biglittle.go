@@ -1,0 +1,245 @@
+// Package biglittle extends power-bounded computing to heterogeneous
+// big.LITTLE nodes — the extension the paper's conclusion names as future
+// work. A node carries two core clusters sharing one memory system: a
+// big cluster (wide, fast, power hungry) and a LITTLE cluster (narrow,
+// slow, efficient). The allocation tuple grows to three members,
+// (P_big, P_little, P_mem), and a new decision appears that homogeneous
+// nodes do not have: which clusters to power at all.
+//
+// This realizes the paper's "activate components judiciously" insight for
+// over-provisioned hardware: under a small budget it can be better to
+// power a cluster off entirely — its idle floor buys more performance
+// when spent elsewhere — than to run everything throttled.
+package biglittle
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/rapl"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Node is a heterogeneous compute node: two core clusters and shared
+// DRAM.
+type Node struct {
+	// Name identifies the node model.
+	Name string
+	// Big and Little are the two core clusters.
+	Big, Little *hw.CPUSpec
+	// DRAM is the shared memory system.
+	DRAM *hw.DRAMSpec
+	// OffPower is the residual draw of a power-gated cluster.
+	OffPower units.Power
+}
+
+// Validate checks the component specs.
+func (n *Node) Validate() error {
+	if n.Big == nil || n.Little == nil || n.DRAM == nil {
+		return fmt.Errorf("biglittle: node %q missing components", n.Name)
+	}
+	if err := n.Big.Validate(); err != nil {
+		return err
+	}
+	if err := n.Little.Validate(); err != nil {
+		return err
+	}
+	if err := n.DRAM.Validate(); err != nil {
+		return err
+	}
+	if n.OffPower < 0 {
+		return fmt.Errorf("biglittle: negative off power")
+	}
+	return nil
+}
+
+// Reference returns the reference big.LITTLE node used in tests and
+// examples: an 8-wide-core big cluster and an 8-efficiency-core LITTLE
+// cluster sharing 64 GB of DDR4.
+func Reference() Node {
+	return Node{
+		Name: "biglittle-ref",
+		Big: &hw.CPUSpec{
+			Name: "8-core big cluster", Sockets: 1, CoresPerSocket: 8,
+			FMin: 1.2 * units.Gigahertz, FNom: 2.5 * units.Gigahertz,
+			PStateStep: 100 * units.Megahertz,
+			VMin:       0.78, VNom: 1.05,
+			OpsPerCyclePerCore: 8,
+			IdlePower:          18, UncorePower: 6, MaxDynPower: 58,
+			TStateSteps: 8, MinDuty: 0.125,
+		},
+		Little: &hw.CPUSpec{
+			Name: "8-core LITTLE cluster", Sockets: 1, CoresPerSocket: 8,
+			FMin: 0.6 * units.Gigahertz, FNom: 1.6 * units.Gigahertz,
+			PStateStep: 100 * units.Megahertz,
+			VMin:       0.70, VNom: 0.92,
+			OpsPerCyclePerCore: 4,
+			IdlePower:          5, UncorePower: 2.5, MaxDynPower: 16,
+			TStateSteps: 8, MinDuty: 0.125,
+		},
+		DRAM: &hw.DRAMSpec{
+			Name: "64 GB DDR4-2400", TotalGB: 64, Channels: 4,
+			TransferRate: 2400 * units.Megahertz, BytesPerTransfer: 8,
+			BackgroundPower:     14,
+			EnergyPerByteStream: 0.5e-9, EnergyPerByteRandom: 4.5e-9,
+			MinThrottleHeadroom: 1,
+		},
+		OffPower: 1.5,
+	}
+}
+
+// Allocation is the three-member power tuple. A cluster cap of zero means
+// the cluster is powered off (not uncapped — the heterogeneous problem is
+// about activation).
+type Allocation struct {
+	Big, Little, Mem units.Power
+}
+
+// Total returns the tuple sum.
+func (a Allocation) Total() units.Power { return a.Big + a.Little + a.Mem }
+
+// String formats the tuple.
+func (a Allocation) String() string {
+	return fmt.Sprintf("(big %s, little %s, mem %s)", a.Big, a.Little, a.Mem)
+}
+
+// Result is the simulated outcome on a heterogeneous node.
+type Result struct {
+	// Perf is performance in the workload's unit.
+	Perf float64
+	// BigPower, LittlePower and MemPower are actual draws.
+	BigPower, LittlePower, MemPower units.Power
+	// TotalPower is their sum.
+	TotalPower units.Power
+	// BigShare is the fraction of compute capacity the big cluster
+	// contributed (0 when off).
+	BigShare float64
+}
+
+// mlpFloor mirrors the homogeneous simulator's weak frequency dependence
+// of achievable bandwidth.
+const mlpFloor = 0.7
+
+// Run simulates workload w on node n under allocation a. Work divides
+// across the active clusters in proportion to their compute capacities
+// (perfect intra-node balance); the memory system is shared.
+func Run(n Node, w *workload.Workload, a Allocation) (Result, error) {
+	if err := n.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	if w.Kind != hw.KindCPU {
+		return Result{}, fmt.Errorf("biglittle: workload %q is not a CPU workload", w.Name)
+	}
+	if a.Big < 0 || a.Little < 0 || a.Mem <= 0 {
+		return Result{}, fmt.Errorf("biglittle: invalid allocation %v", a)
+	}
+	if a.Big == 0 && a.Little == 0 {
+		return Result{}, fmt.Errorf("biglittle: both clusters powered off")
+	}
+
+	bigCtl := rapl.NewController(n.Big, n.DRAM)
+	littleCtl := rapl.NewController(n.Little, n.DRAM)
+	if a.Big > 0 {
+		if err := bigCtl.SetLimit(rapl.DomainPackage, a.Big); err != nil {
+			return Result{}, err
+		}
+	}
+	if a.Little > 0 {
+		if err := littleCtl.SetLimit(rapl.DomainPackage, a.Little); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := bigCtl.SetLimit(rapl.DomainDRAM, a.Mem); err != nil {
+		return Result{}, err
+	}
+
+	var res Result
+	totalTime := 0.0
+	for i := range w.Phases {
+		ph := &w.Phases[i]
+		pr := solvePhase(n, bigCtl, littleCtl, a, ph)
+		if pr.rate <= 0 {
+			return Result{}, fmt.Errorf("biglittle: phase %q made no progress", ph.Name)
+		}
+		t := ph.Weight / pr.rate
+		totalTime += t
+		res.BigPower += units.Power(t * pr.bigPower.Watts())
+		res.LittlePower += units.Power(t * pr.littlePower.Watts())
+		res.MemPower += units.Power(t * pr.memPower.Watts())
+		res.BigShare += t * pr.bigShare
+	}
+	if totalTime <= 0 {
+		return Result{}, fmt.Errorf("biglittle: zero total time")
+	}
+	res.Perf = w.PerfPerUnitRate / totalTime
+	res.BigPower = units.Power(res.BigPower.Watts() / totalTime)
+	res.LittlePower = units.Power(res.LittlePower.Watts() / totalTime)
+	res.MemPower = units.Power(res.MemPower.Watts() / totalTime)
+	res.BigShare /= totalTime
+	res.TotalPower = res.BigPower + res.LittlePower + res.MemPower
+	return res, nil
+}
+
+type phaseOutcome struct {
+	rate                            float64
+	bigPower, littlePower, memPower units.Power
+	bigShare                        float64
+}
+
+// solvePhase runs the coupled fixed point across both clusters and the
+// shared memory system.
+func solvePhase(n Node, bigCtl, littleCtl *rapl.Controller, a Allocation, ph *workload.Phase) phaseOutcome {
+	act := ph.Activity(0.5)
+	var out phaseOutcome
+	for i := 0; i < 60; i++ {
+		bigCap, bigIssue, bigState := clusterCapacity(n.Big, bigCtl, a.Big > 0, act, ph)
+		litCap, litIssue, litState := clusterCapacity(n.Little, littleCtl, a.Little > 0, act, ph)
+		computeCap := bigCap + litCap
+		issue := math.Max(bigIssue, litIssue)
+		patternBW := units.Bandwidth(n.DRAM.PeakBandwidth().BytesPerSecond() * ph.BandwidthEff * issue)
+		ceiling := bigCtl.DRAMBandwidthCeiling(ph.RandomFrac)
+		op := perfmodel.SolveThrottled(ph, units.Rate(computeCap), patternBW, ceiling)
+
+		next := ph.Activity(op.StallFrac)
+		converged := math.Abs(next-act) < 1e-4
+		act += 0.5 * (next - act)
+
+		out.rate = op.Rate.OpsPerSecond()
+		if computeCap > 0 {
+			out.bigShare = bigCap / computeCap
+		}
+		out.bigPower = clusterPower(n, n.Big, bigCtl, a.Big > 0, bigState, act)
+		out.littlePower = clusterPower(n, n.Little, littleCtl, a.Little > 0, litState, act)
+		out.memPower = n.DRAM.Power(op.BandwidthUsed, ph.RandomFrac)
+		if converged {
+			break
+		}
+	}
+	return out
+}
+
+// clusterCapacity returns the effective compute capacity, issue factor,
+// and actuator state for one cluster (zero capacity when powered off).
+func clusterCapacity(spec *hw.CPUSpec, ctl *rapl.Controller, on bool, act float64, ph *workload.Phase) (float64, float64, rapl.PackageState) {
+	if !on {
+		return 0, 0, rapl.PackageState{}
+	}
+	state := ctl.ActuatePackage(act)
+	cap := spec.PeakComputeRate(state.Freq, state.Duty).OpsPerSecond() * ph.ComputeEff
+	fRatio := state.Freq.Hz() / spec.FNom.Hz()
+	issue := state.Duty * (mlpFloor + (1-mlpFloor)*fRatio)
+	return cap, issue, state
+}
+
+func clusterPower(n Node, spec *hw.CPUSpec, ctl *rapl.Controller, on bool, state rapl.PackageState, act float64) units.Power {
+	if !on {
+		return n.OffPower
+	}
+	return ctl.PackagePower(state, act)
+}

@@ -1,0 +1,249 @@
+package biglittle
+
+import (
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func wl(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestReferenceNodeValid(t *testing.T) {
+	n := Reference()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// big must out-compute little at nominal clocks.
+	bigPeak := n.Big.PeakComputeRate(n.Big.FNom, 1)
+	littlePeak := n.Little.PeakComputeRate(n.Little.FNom, 1)
+	if bigPeak <= littlePeak {
+		t.Errorf("big peak %v should exceed little %v", bigPeak, littlePeak)
+	}
+	// little must be more efficient: more ops per watt at full tilt.
+	bigEff := bigPeak.OpsPerSecond() / n.Big.MaxPower(1).Watts()
+	littleEff := littlePeak.OpsPerSecond() / n.Little.MaxPower(1).Watts()
+	if littleEff <= bigEff {
+		t.Errorf("little efficiency %.2e should exceed big %.2e", littleEff, bigEff)
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	n := Reference()
+	w := wl(t, "dgemm")
+	if _, err := Run(n, &w, Allocation{Big: 0, Little: 0, Mem: 30}); err == nil {
+		t.Error("both clusters off accepted")
+	}
+	if _, err := Run(n, &w, Allocation{Big: 40, Little: 0, Mem: 0}); err == nil {
+		t.Error("zero memory accepted")
+	}
+	gw := wl(t, "sgemm")
+	if _, err := Run(n, &gw, Allocation{Big: 40, Mem: 30}); err == nil {
+		t.Error("GPU workload accepted")
+	}
+	bad := n
+	bad.Big = nil
+	if _, err := Run(bad, &w, Allocation{Big: 40, Mem: 30}); err == nil {
+		t.Error("invalid node accepted")
+	}
+}
+
+func TestBothClustersBeatEitherAloneUncapped(t *testing.T) {
+	n := Reference()
+	w := wl(t, "dgemm")
+	both, err := Run(n, &w, Allocation{Big: 200, Little: 200, Mem: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigOnly, err := Run(n, &w, Allocation{Big: 200, Mem: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	littleOnly, err := Run(n, &w, Allocation{Little: 200, Mem: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Perf <= bigOnly.Perf || both.Perf <= littleOnly.Perf {
+		t.Errorf("both %v should beat big-only %v and little-only %v",
+			both.Perf, bigOnly.Perf, littleOnly.Perf)
+	}
+	if bigOnly.Perf <= littleOnly.Perf {
+		t.Errorf("big-only %v should beat little-only %v for compute-bound DGEMM",
+			bigOnly.Perf, littleOnly.Perf)
+	}
+	// Powered-off cluster draws only the off power.
+	if bigOnly.LittlePower != n.OffPower {
+		t.Errorf("off cluster draws %v, want %v", bigOnly.LittlePower, n.OffPower)
+	}
+	// Work split tracks capacity: big dominates when both run.
+	if both.BigShare < 0.6 {
+		t.Errorf("big share %v, want > 0.6", both.BigShare)
+	}
+}
+
+func TestRunRespectsClusterCaps(t *testing.T) {
+	n := Reference()
+	w := wl(t, "dgemm")
+	res, err := Run(n, &w, Allocation{Big: 40, Little: 12, Mem: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BigPower.Watts() > 41 {
+		t.Errorf("big power %v over its 40 W cap", res.BigPower)
+	}
+	if res.LittlePower.Watts() > 13 {
+		t.Errorf("little power %v over its 12 W cap", res.LittlePower)
+	}
+}
+
+func TestLittleOnlyWinsAtTinyBudgets(t *testing.T) {
+	// Memory-bound STREAM under a tight budget: the LITTLE cluster can
+	// drive the memory system at a fraction of the big cluster's idle
+	// cost, so little-only outperforms big-only.
+	n := Reference()
+	w := wl(t, "stream")
+	budget := units.Power(45)
+	mem := units.Power(22)
+	littleOnly, err := Run(n, &w, Allocation{Little: budget - mem - n.OffPower, Mem: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigOnly, err := Run(n, &w, Allocation{Big: budget - mem - n.OffPower, Mem: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if littleOnly.Perf <= bigOnly.Perf {
+		t.Errorf("at %v: little-only %.1f should beat big-only %.1f GB/s",
+			budget, littleOnly.Perf, bigOnly.Perf)
+	}
+}
+
+func TestCoordinatePicksModeByBudget(t *testing.T) {
+	n := Reference()
+	stream := wl(t, "stream")
+	// Large budget: both clusters (or at least not rejected, with perf at
+	// the memory roof).
+	d, err := Coordinate(n, stream, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rejected {
+		t.Fatal("160 W rejected")
+	}
+	largePerf := d.PredictedPerf
+
+	// Small budget (enough for the LITTLE cluster to run unthrottled but
+	// far below the big cluster's appetite): must pick little-only for
+	// the memory-bound workload.
+	d, err = Coordinate(n, stream, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rejected {
+		t.Fatal("55 W rejected")
+	}
+	if d.Mode != ModeLittleOnly {
+		t.Errorf("55 W mode = %v, want little-only", d.Mode)
+	}
+	if d.PredictedPerf >= largePerf {
+		t.Error("tiny budget should not beat large budget")
+	}
+
+	// Compute-bound DGEMM at a mid budget: big participates.
+	dgemm := wl(t, "dgemm")
+	d, err = Coordinate(n, dgemm, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rejected {
+		t.Fatal("100 W rejected")
+	}
+	if d.Mode == ModeLittleOnly {
+		t.Errorf("DGEMM at 100 W picked %v; big cluster should participate", d.Mode)
+	}
+}
+
+func TestCoordinateRespectsBudget(t *testing.T) {
+	n := Reference()
+	for _, name := range []string{"stream", "dgemm", "mg", "sra"} {
+		w := wl(t, name)
+		for _, budget := range []units.Power{45, 70, 100, 140, 200} {
+			d, err := Coordinate(n, w, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Rejected {
+				continue
+			}
+			if d.Alloc.Total() > budget+0.01 {
+				t.Errorf("%s at %v: allocation %v exceeds budget", name, budget, d.Alloc)
+			}
+			res, err := Run(n, &w, d.Alloc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalPower > budget+2 {
+				t.Errorf("%s at %v: actual draw %v exceeds budget", name, budget, res.TotalPower)
+			}
+		}
+	}
+}
+
+func TestCoordinateBeatsNaiveBothAlways(t *testing.T) {
+	// A naive policy always powers both clusters with an even split.
+	// Mode selection must never lose to it (and should win at small
+	// budgets).
+	n := Reference()
+	wins := 0
+	for _, name := range []string{"stream", "dgemm", "mg"} {
+		w := wl(t, name)
+		for _, budget := range []units.Power{50, 70, 100} {
+			d, err := Coordinate(n, w, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Rejected {
+				continue
+			}
+			memNaive := units.Power(budget.Watts() * 0.3)
+			rest := budget - memNaive
+			naive, err := Run(n, &w, Allocation{Big: rest / 2, Little: rest / 2, Mem: memNaive})
+			if err != nil {
+				continue
+			}
+			if d.PredictedPerf < naive.Perf*0.98 {
+				t.Errorf("%s at %v: coordinate %.1f below naive-both %.1f",
+					name, budget, d.PredictedPerf, naive.Perf)
+			}
+			if d.PredictedPerf > naive.Perf*1.02 {
+				wins++
+			}
+		}
+	}
+	if wins == 0 {
+		t.Error("mode selection should clearly win somewhere")
+	}
+}
+
+func TestModeAndAllocationStrings(t *testing.T) {
+	if ModeBigOnly.String() != "big-only" || ModeLittleOnly.String() != "little-only" || ModeBoth.String() != "both" {
+		t.Error("mode names")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should format")
+	}
+	a := Allocation{Big: 40, Little: 10, Mem: 20}
+	if a.Total() != 70 {
+		t.Error("total")
+	}
+	if a.String() == "" {
+		t.Error("string")
+	}
+}

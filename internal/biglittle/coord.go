@@ -1,0 +1,167 @@
+package biglittle
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Mode is a cluster-activation choice.
+type Mode int
+
+// Activation modes.
+const (
+	ModeBigOnly Mode = iota
+	ModeLittleOnly
+	ModeBoth
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeBigOnly:
+		return "big-only"
+	case ModeLittleOnly:
+		return "little-only"
+	case ModeBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Decision is the heterogeneous coordinator's output.
+type Decision struct {
+	Mode  Mode
+	Alloc Allocation
+	// PredictedPerf is the simulated performance of the chosen
+	// allocation.
+	PredictedPerf float64
+	// Rejected reports that no mode fits the budget productively.
+	Rejected bool
+}
+
+// Coordinate extends COORD to the three-component node: it profiles each
+// activation mode with one uncapped run (maximum demands), derives a
+// candidate allocation per mode — memory warranted first, remainder split
+// across the active clusters in proportion to their dynamic power ranges —
+// and picks the mode with the best simulated performance under the
+// budget. The candidate evaluation costs three simulator runs; no
+// allocation sweep is involved.
+func Coordinate(n Node, w workload.Workload, budget units.Power) (Decision, error) {
+	if err := n.Validate(); err != nil {
+		return Decision{}, err
+	}
+	best := Decision{Rejected: true}
+	for _, mode := range []Mode{ModeBigOnly, ModeLittleOnly, ModeBoth} {
+		alloc, ok, err := candidate(n, &w, mode, budget)
+		if err != nil {
+			return Decision{}, err
+		}
+		if !ok {
+			continue
+		}
+		res, err := Run(n, &w, alloc)
+		if err != nil {
+			continue // infeasible candidate (e.g. cluster floor unmet)
+		}
+		if best.Rejected || res.Perf > best.PredictedPerf {
+			best = Decision{Mode: mode, Alloc: alloc, PredictedPerf: res.Perf}
+		}
+	}
+	return best, nil
+}
+
+// candidate derives a mode's allocation from its uncapped demands.
+func candidate(n Node, w *workload.Workload, mode Mode, budget units.Power) (Allocation, bool, error) {
+	// Uncapped demands for the mode (generous caps).
+	probe := Allocation{Mem: 500}
+	switch mode {
+	case ModeBigOnly:
+		probe.Big = 500
+	case ModeLittleOnly:
+		probe.Little = 500
+	case ModeBoth:
+		probe.Big, probe.Little = 500, 500
+	}
+	free, err := Run(n, w, probe)
+	if err != nil {
+		return Allocation{}, false, err
+	}
+
+	// Floors for the mode.
+	floor := n.DRAM.BackgroundPower + n.OffPower*2
+	var bigFloor, littleFloor units.Power
+	if mode != ModeLittleOnly {
+		bigFloor = n.Big.IdlePower
+		floor += bigFloor - n.OffPower
+	}
+	if mode != ModeBigOnly {
+		littleFloor = n.Little.IdlePower
+		floor += littleFloor - n.OffPower
+	}
+	if budget < floor+4 {
+		return Allocation{}, false, nil
+	}
+
+	// Warrant memory its demand (with margin), capped to leave the
+	// cluster floors covered.
+	mem := units.Power(free.MemPower.Watts()*1.02 + 1)
+	maxMem := budget - bigFloor - littleFloor - n.OffPower
+	if mem > maxMem {
+		mem = maxMem
+	}
+	if mem < n.DRAM.BackgroundPower {
+		return Allocation{}, false, nil
+	}
+	remaining := budget - mem
+
+	alloc := Allocation{Mem: mem}
+	bigDemand := units.Power(free.BigPower.Watts()*1.02 + 1)
+	littleDemand := units.Power(free.LittlePower.Watts()*1.02 + 1)
+	switch mode {
+	case ModeBigOnly:
+		alloc.Big = minP(remaining-n.OffPower, bigDemand)
+		if alloc.Big < bigFloor {
+			return Allocation{}, false, nil
+		}
+	case ModeLittleOnly:
+		alloc.Little = minP(remaining-n.OffPower, littleDemand)
+		if alloc.Little < littleFloor {
+			return Allocation{}, false, nil
+		}
+	case ModeBoth:
+		// Split the remainder in proportion to the clusters' dynamic
+		// ranges above their floors.
+		bigRange := (bigDemand - bigFloor).Watts()
+		littleRange := (littleDemand - littleFloor).Watts()
+		if bigRange < 0 {
+			bigRange = 0
+		}
+		if littleRange < 0 {
+			littleRange = 0
+		}
+		frac := 0.5
+		if bigRange+littleRange > 0 {
+			frac = bigRange / (bigRange + littleRange)
+		}
+		spare := remaining - bigFloor - littleFloor
+		if spare < 0 {
+			return Allocation{}, false, nil
+		}
+		alloc.Big = minP(bigFloor+units.Power(frac*spare.Watts()), bigDemand)
+		alloc.Little = minP(remaining-alloc.Big, littleDemand)
+		if alloc.Little < littleFloor {
+			alloc.Little = littleFloor
+		}
+	}
+	return alloc, true, nil
+}
+
+func minP(a, b units.Power) units.Power {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,284 @@
+// Package category implements the paper's categorization of
+// cross-component power allocation scenarios (Section 3.2): six scenarios
+// on CPU platforms, defined by where each component's cap falls relative
+// to the workload's critical power values, and three trend categories on
+// GPUs (Section 4), defined by how performance responds to shifting power
+// toward memory.
+package category
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Scenario is one of the paper's six CPU allocation scenarios.
+type Scenario int
+
+// The six scenarios of Section 3.2.
+const (
+	// ScenarioI: adequate power for both CPUs and memory; both run at
+	// their highest performance state and actual powers are constant.
+	ScenarioI Scenario = iota + 1
+	// ScenarioII: adequate memory power, lightly constrained CPU power
+	// (DVFS region); performance degrades gradually as CPU power drops.
+	ScenarioII
+	// ScenarioIII: adequate CPU power, constrained memory power
+	// (bandwidth throttling); performance tracks the memory allocation.
+	ScenarioIII
+	// ScenarioIV: adequate memory power, seriously constrained CPU power
+	// (clock throttling); performance drops sharply and memory
+	// under-consumes its allocation.
+	ScenarioIV
+	// ScenarioV: adequate CPU power, minimum memory power; the memory cap
+	// sits below the hardware floor and is not respected.
+	ScenarioV
+	// ScenarioVI: minimum CPU power; the CPU cap sits below the hardware
+	// floor, the node bound cannot be ensured, and performance is worst.
+	ScenarioVI
+)
+
+// String returns the paper's Roman-numeral name.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioI:
+		return "I"
+	case ScenarioII:
+		return "II"
+	case ScenarioIII:
+		return "III"
+	case ScenarioIV:
+		return "IV"
+	case ScenarioV:
+		return "V"
+	case ScenarioVI:
+		return "VI"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Describe returns the paper's one-line description of the scenario.
+func (s Scenario) Describe() string {
+	switch s {
+	case ScenarioI:
+		return "adequate power for both CPUs and memory"
+	case ScenarioII:
+		return "adequate memory power, lightly constrained CPU power"
+	case ScenarioIII:
+		return "adequate CPU power, constrained memory power"
+	case ScenarioIV:
+		return "adequate memory power, seriously constrained CPU power"
+	case ScenarioV:
+		return "adequate CPU power, minimum memory power"
+	case ScenarioVI:
+		return "adequate memory power, minimum CPU power"
+	default:
+		return "unknown scenario"
+	}
+}
+
+// CriticalPowers holds the paper's seven application-specific critical
+// power values for a CPU platform (Section 5.1). They mark the
+// transitions between RAPL's power-limiting mechanisms and bound the
+// allocation scenarios.
+type CriticalPowers struct {
+	// CPUMax (P_cpu_L1) is the maximum processor power demand: the draw
+	// at the highest P-state.
+	CPUMax units.Power
+	// CPULowPState (P_cpu_L2) is the draw at the lowest P-state;
+	// [CPULowPState, CPUMax] is the DVFS range.
+	CPULowPState units.Power
+	// CPULowThrottle (P_cpu_L3) is the draw at the deepest T-state.
+	CPULowThrottle units.Power
+	// CPUFloor (P_cpu_L4) is the hardware minimum package power,
+	// workload independent.
+	CPUFloor units.Power
+	// MemMax (P_mem_L1) is the maximum DRAM power demand when both
+	// components run at their highest state.
+	MemMax units.Power
+	// MemAtCPULow (P_mem_L2) is the DRAM power when the processor sits
+	// at its deepest throttle state.
+	MemAtCPULow units.Power
+	// MemFloor (P_mem_L3) is the hardware minimum DRAM power,
+	// workload independent.
+	MemFloor units.Power
+}
+
+// Validate checks the orderings the definitions imply.
+func (cp *CriticalPowers) Validate() error {
+	if !(cp.CPUFloor <= cp.CPULowThrottle && cp.CPULowThrottle <= cp.CPULowPState &&
+		cp.CPULowPState <= cp.CPUMax) {
+		return fmt.Errorf("category: CPU critical powers out of order: L4=%v L3=%v L2=%v L1=%v",
+			cp.CPUFloor, cp.CPULowThrottle, cp.CPULowPState, cp.CPUMax)
+	}
+	if !(cp.MemFloor <= cp.MemAtCPULow && cp.MemAtCPULow <= cp.MemMax) {
+		return fmt.Errorf("category: memory critical powers out of order: L3=%v L2=%v L1=%v",
+			cp.MemFloor, cp.MemAtCPULow, cp.MemMax)
+	}
+	if cp.CPUFloor <= 0 || cp.MemFloor <= 0 {
+		return fmt.Errorf("category: non-positive floors")
+	}
+	return nil
+}
+
+// ProductiveThreshold returns P_cpu_L2 + P_mem_L2, the budget below which
+// the paper says a system cannot operate in a productive manner
+// (Section 5.1's first heuristic).
+func (cp *CriticalPowers) ProductiveThreshold() units.Power {
+	return cp.CPULowPState + cp.MemAtCPULow
+}
+
+// Classify maps an allocation (procCap, memCap) to its scenario. The
+// checks follow the paper's definitions; when both components are
+// moderately constrained (possible at small budgets where scenario I
+// vanishes), the proportionally more-constrained component decides
+// between II and III.
+func (cp *CriticalPowers) Classify(procCap, memCap units.Power) Scenario {
+	switch {
+	case procCap < cp.CPUFloor:
+		return ScenarioVI
+	case memCap < cp.MemFloor:
+		return ScenarioV
+	case procCap >= cp.CPUMax && memCap >= cp.MemMax:
+		return ScenarioI
+	case procCap < cp.CPULowPState:
+		return ScenarioIV
+	case memCap >= cp.MemMax: // CPU in DVFS range, memory adequate
+		return ScenarioII
+	case procCap >= cp.CPUMax: // memory constrained, CPU adequate
+		return ScenarioIII
+	}
+	// Both moderately constrained: the more-deficient side labels it.
+	procDef := deficit(procCap, cp.CPULowPState, cp.CPUMax)
+	memDef := deficit(memCap, cp.MemFloor, cp.MemMax)
+	if memDef > procDef {
+		return ScenarioIII
+	}
+	return ScenarioII
+}
+
+// deficit returns how far v sits below hi, normalized by the [lo, hi]
+// range, clamped to [0, 1].
+func deficit(v, lo, hi units.Power) float64 {
+	if hi <= lo {
+		return 0
+	}
+	d := (hi - v).Watts() / (hi - lo).Watts()
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// Span is a contiguous run of one scenario along a fixed-budget
+// allocation sweep, reported in memory-allocation coordinates as the
+// paper's Figure 3 does.
+type Span struct {
+	Scenario       Scenario
+	MemLo, MemHi   units.Power
+	ProcLo, ProcHi units.Power
+}
+
+// Spans sweeps memory allocations from memLo to budget-procMin in step
+// increments at a fixed total budget and returns the contiguous scenario
+// runs in ascending memory order.
+func (cp *CriticalPowers) Spans(budget, memLo, procMin, step units.Power) []Span {
+	if step <= 0 {
+		step = 4
+	}
+	var spans []Span
+	for mem := memLo; mem <= budget-procMin; mem += step {
+		proc := budget - mem
+		s := cp.Classify(proc, mem)
+		if n := len(spans); n > 0 && spans[n-1].Scenario == s {
+			spans[n-1].MemHi = mem
+			spans[n-1].ProcLo = proc
+			continue
+		}
+		spans = append(spans, Span{
+			Scenario: s,
+			MemLo:    mem, MemHi: mem,
+			ProcLo: proc, ProcHi: proc,
+		})
+	}
+	return spans
+}
+
+// Component identifies which side of the node an observation concerns.
+type Component int
+
+// The components of the simplified two-component problem.
+const (
+	ComponentNone Component = iota
+	ComponentCPU
+	ComponentDRAM
+)
+
+// String returns "none", "cpu", or "dram".
+func (c Component) String() string {
+	switch c {
+	case ComponentNone:
+		return "none"
+	case ComponentCPU:
+		return "cpu"
+	case ComponentDRAM:
+		return "dram"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// OptimalLocation is one row of the paper's Table 1: for a budget regime,
+// the scenario intersection where the optimal allocation sits and the
+// critical component that must not be under-powered.
+type OptimalLocation struct {
+	// ValidScenarios lists the scenarios that appear at this budget.
+	ValidScenarios []Scenario
+	// IntersectionLo and IntersectionHi are the neighboring scenarios
+	// whose boundary hosts the optimum (equal for scenario I).
+	IntersectionLo, IntersectionHi Scenario
+	// Critical is the component that drastically degrades performance if
+	// under-powered at this budget.
+	Critical Component
+}
+
+// Locate reproduces Table 1: the optimal-allocation location for a
+// budget, derived from the workload's critical power values.
+func (cp *CriticalPowers) Locate(budget units.Power) OptimalLocation {
+	switch {
+	case budget >= cp.CPUMax+cp.MemMax:
+		return OptimalLocation{
+			ValidScenarios: []Scenario{ScenarioI, ScenarioII, ScenarioIII, ScenarioIV, ScenarioV, ScenarioVI},
+			IntersectionLo: ScenarioI, IntersectionHi: ScenarioI,
+			Critical: ComponentNone,
+		}
+	case budget >= cp.CPULowPState+cp.MemMax:
+		return OptimalLocation{
+			ValidScenarios: []Scenario{ScenarioII, ScenarioIII, ScenarioIV, ScenarioV, ScenarioVI},
+			IntersectionLo: ScenarioII, IntersectionHi: ScenarioIII,
+			Critical: ComponentDRAM,
+		}
+	case budget >= cp.CPULowPState+cp.MemAtCPULow:
+		return OptimalLocation{
+			ValidScenarios: []Scenario{ScenarioIII, ScenarioIV, ScenarioV, ScenarioVI},
+			IntersectionLo: ScenarioIII, IntersectionHi: ScenarioIV,
+			Critical: ComponentCPU,
+		}
+	case budget >= cp.CPUFloor+cp.MemFloor:
+		return OptimalLocation{
+			ValidScenarios: []Scenario{ScenarioIV, ScenarioV, ScenarioVI},
+			IntersectionLo: ScenarioIV, IntersectionHi: ScenarioVI,
+			Critical: ComponentDRAM,
+		}
+	default:
+		return OptimalLocation{
+			ValidScenarios: []Scenario{ScenarioV, ScenarioVI},
+			IntersectionLo: ScenarioV, IntersectionHi: ScenarioVI,
+			Critical: ComponentCPU,
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package category
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// sraCritical approximates the paper's RandomAccess critical powers on
+// the IvyBridge node (Section 3.2: CPU max ~112 W, floor 48 W, DVFS low
+// ~68 W; DRAM max ~116 W, floor ~66 W).
+func sraCritical() CriticalPowers {
+	return CriticalPowers{
+		CPUMax:         112,
+		CPULowPState:   70,
+		CPULowThrottle: 52,
+		CPUFloor:       48,
+		MemMax:         116,
+		MemAtCPULow:    70,
+		MemFloor:       66,
+	}
+}
+
+func TestCriticalPowersValidate(t *testing.T) {
+	cp := sraCritical()
+	if err := cp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cp
+	bad.CPULowPState = bad.CPUMax + 10
+	if err := bad.Validate(); err == nil {
+		t.Error("L2 > L1 accepted")
+	}
+	bad = cp
+	bad.MemAtCPULow = bad.MemFloor - 10
+	if err := bad.Validate(); err == nil {
+		t.Error("mem L2 < L3 accepted")
+	}
+	bad = cp
+	bad.CPUFloor = 0
+	bad.CPULowThrottle = 0
+	bad.CPULowPState = 0
+	bad.CPUMax = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero floors accepted")
+	}
+}
+
+func TestClassifyPaperScenarios(t *testing.T) {
+	// The paper's Section 3.2 example: SRA on IvyBridge at P_b = 240 W.
+	cp := sraCritical()
+	budget := units.Power(240)
+	cases := []struct {
+		mem  units.Power
+		want Scenario
+	}{
+		{126, ScenarioI},   // P_mem in [120,132]: both adequate
+		{150, ScenarioII},  // P_cpu = 90, DVFS range, mem adequate
+		{100, ScenarioIII}, // P_cpu = 140 adequate, mem constrained
+		{185, ScenarioIV},  // P_cpu = 55: T-state region
+		{50, ScenarioV},    // mem below its floor
+		{200, ScenarioVI},  // P_cpu = 40 below the 48 W floor
+	}
+	for _, c := range cases {
+		got := cp.Classify(budget-c.mem, c.mem)
+		if got != c.want {
+			t.Errorf("mem=%v (cpu=%v): scenario %v, want %v", c.mem, budget-c.mem, got, c.want)
+		}
+	}
+}
+
+func TestClassifyCoversAllAllocations(t *testing.T) {
+	cp := sraCritical()
+	f := func(procRaw, memRaw float64) bool {
+		proc := units.Power(30 + mod(procRaw, 250))
+		mem := units.Power(30 + mod(memRaw, 250))
+		s := cp.Classify(proc, mem)
+		return s >= ScenarioI && s <= ScenarioVI
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod(x, m float64) float64 {
+	v := math.Abs(math.Mod(x, m))
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+func TestClassifyBothConstrainedTieBreak(t *testing.T) {
+	cp := sraCritical()
+	// Budget too small for scenario I: both below max. Memory nearly at
+	// floor -> III; CPU nearly at L2 with memory close to max -> II.
+	if got := cp.Classify(100, 70); got != ScenarioIII {
+		t.Errorf("deep memory deficit classified %v, want III", got)
+	}
+	if got := cp.Classify(72, 112); got != ScenarioII {
+		t.Errorf("deep CPU deficit classified %v, want II", got)
+	}
+}
+
+func TestSpansOrderingAt240W(t *testing.T) {
+	cp := sraCritical()
+	spans := cp.Spans(240, 40, 40, 2)
+	if len(spans) < 5 {
+		t.Fatalf("expected at least 5 scenario spans, got %d: %+v", len(spans), spans)
+	}
+	// Ascending memory allocation passes through V, III, I, II, IV, VI in
+	// the paper's Figure 3 layout.
+	want := []Scenario{ScenarioV, ScenarioIII, ScenarioI, ScenarioII, ScenarioIV, ScenarioVI}
+	var got []Scenario
+	for _, s := range spans {
+		got = append(got, s.Scenario)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("spans = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("spans = %v, want %v", got, want)
+		}
+	}
+	// Scenario I must sit in a narrow band around the paper's [120,132]
+	// (exact edges depend on the calibrated critical values).
+	for _, s := range spans {
+		if s.Scenario == ScenarioI {
+			if s.MemLo < 110 || s.MemLo > 124 || s.MemHi < 124 || s.MemHi > 136 {
+				t.Errorf("scenario I span [%v,%v], want roughly [116..132]", s.MemLo, s.MemHi)
+			}
+		}
+	}
+}
+
+func TestSpansScenarioIVanishesAtSmallBudget(t *testing.T) {
+	cp := sraCritical()
+	// Budget below CPUMax+MemMax: scenario I cannot appear.
+	spans := cp.Spans(200, 40, 40, 2)
+	for _, s := range spans {
+		if s.Scenario == ScenarioI {
+			t.Errorf("scenario I appeared at 200 W budget: %+v", s)
+		}
+	}
+}
+
+func TestSpansDefaultStep(t *testing.T) {
+	cp := sraCritical()
+	spans := cp.Spans(240, 40, 40, 0)
+	if len(spans) == 0 {
+		t.Error("default step produced no spans")
+	}
+}
+
+func TestLocateReproducesTable1(t *testing.T) {
+	cp := sraCritical()
+	cases := []struct {
+		budget   units.Power
+		lo, hi   Scenario
+		critical Component
+		nValid   int
+	}{
+		{250, ScenarioI, ScenarioI, ComponentNone, 6},    // large
+		{200, ScenarioII, ScenarioIII, ComponentDRAM, 5}, // I gone
+		{160, ScenarioIII, ScenarioIV, ComponentCPU, 4},  // II gone
+		{125, ScenarioIV, ScenarioVI, ComponentDRAM, 3},  // III gone
+		{100, ScenarioV, ScenarioVI, ComponentCPU, 2},    // smallest
+	}
+	for _, c := range cases {
+		loc := cp.Locate(c.budget)
+		if loc.IntersectionLo != c.lo || loc.IntersectionHi != c.hi {
+			t.Errorf("budget %v: intersection %v|%v, want %v|%v",
+				c.budget, loc.IntersectionLo, loc.IntersectionHi, c.lo, c.hi)
+		}
+		if loc.Critical != c.critical {
+			t.Errorf("budget %v: critical %v, want %v", c.budget, loc.Critical, c.critical)
+		}
+		if len(loc.ValidScenarios) != c.nValid {
+			t.Errorf("budget %v: %d valid scenarios, want %d",
+				c.budget, len(loc.ValidScenarios), c.nValid)
+		}
+	}
+}
+
+func TestProductiveThreshold(t *testing.T) {
+	cp := sraCritical()
+	if got := cp.ProductiveThreshold(); got != 140 {
+		t.Errorf("threshold = %v, want 140 W (L2c+L2m)", got)
+	}
+}
+
+func TestScenarioStrings(t *testing.T) {
+	names := map[Scenario]string{
+		ScenarioI: "I", ScenarioII: "II", ScenarioIII: "III",
+		ScenarioIV: "IV", ScenarioV: "V", ScenarioVI: "VI",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+		if s.Describe() == "unknown scenario" {
+			t.Errorf("%v has no description", s)
+		}
+	}
+	if Scenario(0).String() == "" || Scenario(0).Describe() != "unknown scenario" {
+		t.Error("zero scenario formatting")
+	}
+	if ComponentCPU.String() != "cpu" || ComponentDRAM.String() != "dram" || ComponentNone.String() != "none" {
+		t.Error("component names")
+	}
+	if Component(9).String() == "" {
+		t.Error("unknown component should format")
+	}
+}
+
+func TestClassifyGPUSeries(t *testing.T) {
+	flat := []TrendPoint{{30, 100}, {50, 100.2}, {70, 100.1}}
+	if cat, _, _ := ClassifyGPUSeries(flat); cat != GPUCategoryI {
+		t.Errorf("flat series = %v, want I", cat)
+	}
+	falling := []TrendPoint{{30, 100}, {50, 90}, {70, 75}}
+	if cat, _, _ := ClassifyGPUSeries(falling); cat != GPUCategoryII {
+		t.Errorf("falling series = %v, want II", cat)
+	}
+	rising := []TrendPoint{{30, 60}, {50, 80}, {70, 100}}
+	if cat, _, _ := ClassifyGPUSeries(rising); cat != GPUCategoryIII {
+		t.Errorf("rising series = %v, want III", cat)
+	}
+	// Rise-then-fall with a bigger rise: III, but both components present.
+	mixed := []TrendPoint{{30, 60}, {50, 100}, {70, 90}}
+	cat, rise, fall := ClassifyGPUSeries(mixed)
+	if cat != GPUCategoryIII || rise <= 0 || fall <= 0 {
+		t.Errorf("mixed series = %v rise=%v fall=%v", cat, rise, fall)
+	}
+	// Degenerate inputs.
+	if cat, _, _ := ClassifyGPUSeries(nil); cat != GPUCategoryI {
+		t.Error("nil series should be I")
+	}
+	if cat, _, _ := ClassifyGPUSeries([]TrendPoint{{30, 0}, {40, 0}}); cat != GPUCategoryI {
+		t.Error("zero-perf series should be I")
+	}
+}
+
+func TestGPUCategoryString(t *testing.T) {
+	if GPUCategoryI.String() != "I" || GPUCategoryII.String() != "II" || GPUCategoryIII.String() != "III" {
+		t.Error("GPU category names")
+	}
+	if GPUCategory(0).String() == "" {
+		t.Error("unknown GPU category should format")
+	}
+}
+
+func TestPeakMemPower(t *testing.T) {
+	pts := []TrendPoint{{30, 60}, {50, 100}, {70, 90}}
+	p, ok := PeakMemPower(pts)
+	if !ok || p != 50 {
+		t.Errorf("peak = %v ok=%v", p, ok)
+	}
+	if _, ok := PeakMemPower(nil); ok {
+		t.Error("empty series should report false")
+	}
+}

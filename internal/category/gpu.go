@@ -1,0 +1,99 @@
+package category
+
+import "fmt"
+
+// GPUCategory is one of the three GPU allocation categories the paper
+// identifies in Section 4. GPU hardware excludes the caps that would
+// produce CPU scenarios IV-VI, so only three trends remain, defined by
+// how performance responds as the memory power allocation increases under
+// a fixed board cap.
+type GPUCategory int
+
+// The three GPU categories.
+const (
+	// GPUCategoryI: performance roughly constant — the cap exceeds the
+	// application's demand, so shifting power changes nothing.
+	GPUCategoryI GPUCategory = iota + 1
+	// GPUCategoryII: performance decreases as memory allocation grows —
+	// the SMs are power constrained and memory steals their budget
+	// (compute-intensive applications, small caps).
+	GPUCategoryII
+	// GPUCategoryIII: performance increases with memory allocation —
+	// the application is memory bound.
+	GPUCategoryIII
+)
+
+// String returns the Roman-numeral name.
+func (c GPUCategory) String() string {
+	switch c {
+	case GPUCategoryI:
+		return "I"
+	case GPUCategoryII:
+		return "II"
+	case GPUCategoryIII:
+		return "III"
+	default:
+		return fmt.Sprintf("GPUCategory(%d)", int(c))
+	}
+}
+
+// TrendPoint is one point of a fixed-cap GPU series: performance at an
+// (estimated) memory power allocation.
+type TrendPoint struct {
+	MemPower float64 // watts
+	Perf     float64
+}
+
+// flatTol is the relative change below which a series segment counts as
+// flat (category I).
+const flatTol = 0.01
+
+// ClassifyGPUSeries labels a fixed-cap series of performance versus
+// memory power allocation with the dominant category, using the total
+// rise and fall across the series: mostly-flat series are category I,
+// rising series category III, falling series category II. Mixed series
+// (rise then fall, the paper's "balanced" pattern at small caps) report
+// the side with the larger magnitude; Rise and Fall are returned so
+// callers can detect the mix.
+func ClassifyGPUSeries(pts []TrendPoint) (cat GPUCategory, rise, fall float64) {
+	if len(pts) < 2 {
+		return GPUCategoryI, 0, 0
+	}
+	base := pts[0].Perf
+	if base <= 0 {
+		base = 1
+	}
+	for i := 1; i < len(pts); i++ {
+		d := pts[i].Perf - pts[i-1].Perf
+		if d > 0 {
+			rise += d
+		} else {
+			fall -= d
+		}
+	}
+	riseRel, fallRel := rise/base, fall/base
+	switch {
+	case riseRel < flatTol && fallRel < flatTol:
+		return GPUCategoryI, rise, fall
+	case riseRel >= fallRel:
+		return GPUCategoryIII, rise, fall
+	default:
+		return GPUCategoryII, rise, fall
+	}
+}
+
+// PeakMemPower returns the memory power at which the series peaks — the
+// balanced allocation for in-between applications (paper Section 4,
+// pattern 3).
+func PeakMemPower(pts []TrendPoint) (float64, bool) {
+	if len(pts) == 0 {
+		return 0, false
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.Perf > best.Perf {
+			best = p
+		}
+	}
+	return best.MemPower, true
+}

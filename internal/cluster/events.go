@@ -1,0 +1,307 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/units"
+)
+
+// TimedJob is a job with a finite amount of work, for the event-driven
+// queue simulation.
+type TimedJob struct {
+	Job
+	// Units is the total work to execute, in the workload's work units
+	// (bytes for STREAM, FLOPs for DGEMM, ...).
+	Units float64
+}
+
+// SplitPolicy selects how an admitted job's budget is divided across its
+// node's components.
+type SplitPolicy int
+
+// Split policies for the queue simulation.
+const (
+	// PolicyCoord uses COORD (Algorithm 1) — the repository default.
+	PolicyCoord SplitPolicy = iota
+	// PolicyEvenSplit divides the grant equally between processor and
+	// memory, the application-oblivious baseline.
+	PolicyEvenSplit
+)
+
+// String names the policy.
+func (p SplitPolicy) String() string {
+	switch p {
+	case PolicyCoord:
+		return "coord"
+	case PolicyEvenSplit:
+		return "even-split"
+	default:
+		return fmt.Sprintf("SplitPolicy(%d)", int(p))
+	}
+}
+
+// Discipline selects the queueing order semantics.
+type Discipline int
+
+// Queue disciplines.
+const (
+	// DisciplineBackfill lets any waiting job start when a node and a
+	// productive grant are available, even if an earlier job is still
+	// blocked — power-aware backfilling.
+	DisciplineBackfill Discipline = iota
+	// DisciplineFIFO enforces strict queue order: when the head job
+	// cannot start, nothing behind it may either.
+	DisciplineFIFO
+)
+
+// String names the discipline.
+func (d Discipline) String() string {
+	switch d {
+	case DisciplineBackfill:
+		return "backfill"
+	case DisciplineFIFO:
+		return "fifo"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// Event is one entry of the queue simulation's event log.
+type Event struct {
+	// Time is the simulation time in seconds.
+	Time float64
+	// Kind is "start" or "finish".
+	Kind string
+	// JobID and NodeID identify the affected job and node.
+	JobID, NodeID string
+}
+
+// JobStat summarizes one job's execution.
+type JobStat struct {
+	Start, End float64
+	Budget     units.Power
+	Power      units.Power
+	Rate       float64 // work units per second
+}
+
+// QueueResult is the outcome of an event-driven queue run.
+type QueueResult struct {
+	// Makespan is the completion time of the last job.
+	Makespan float64
+	// Events is the chronological start/finish log.
+	Events []Event
+	// Stats maps job IDs to their execution summaries.
+	Stats map[string]JobStat
+	// Energy is the total cluster energy (sum of power x runtime).
+	Energy units.Energy
+}
+
+// AvgWait returns the mean time jobs spent queued before starting.
+func (r *QueueResult) AvgWait() float64 {
+	if len(r.Stats) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, st := range r.Stats {
+		sum += st.Start
+	}
+	return sum / float64(len(r.Stats))
+}
+
+// AvgTurnaround returns the mean completion time (queue entry at t=0).
+func (r *QueueResult) AvgTurnaround() float64 {
+	if len(r.Stats) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, st := range r.Stats {
+		sum += st.End
+	}
+	return sum / float64(len(r.Stats))
+}
+
+// MaxSlowdown returns the worst ratio of turnaround to pure runtime
+// across jobs — the fairness metric batch schedulers report.
+func (r *QueueResult) MaxSlowdown() float64 {
+	worst := 1.0
+	for _, st := range r.Stats {
+		run := st.End - st.Start
+		if run <= 0 {
+			continue
+		}
+		if s := st.End / run; s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// RunQueue simulates the cluster executing timed jobs to completion: jobs
+// start when both a node and a productive power grant are available,
+// power returns to the pool when a job finishes, and waiting jobs are
+// reconsidered at every completion. Grants are fixed for a job's lifetime
+// (RAPL caps are programmed once per job, as in the paper's dedicated
+// environment), and capped at the job's maximum demand.
+func (s *Scheduler) RunQueue(jobs []TimedJob, policy SplitPolicy) (QueueResult, error) {
+	return s.RunQueueOpts(jobs, policy, DisciplineBackfill)
+}
+
+// RunQueueOpts is RunQueue with an explicit queue discipline.
+func (s *Scheduler) RunQueueOpts(jobs []TimedJob, policy SplitPolicy, disc Discipline) (QueueResult, error) {
+	res := QueueResult{Stats: map[string]JobStat{}}
+	for _, j := range jobs {
+		if j.Units <= 0 {
+			return res, fmt.Errorf("cluster: job %q has non-positive work", j.ID)
+		}
+	}
+
+	type running struct {
+		job       TimedJob
+		node      Node
+		remaining float64
+		rate      float64
+		power     units.Power
+		budget    units.Power
+		started   float64
+	}
+
+	pool := s.Budget
+	freeNodes := append([]Node(nil), s.Nodes...)
+	waiting := append([]TimedJob(nil), jobs...)
+	var active []*running
+	now := 0.0
+
+	// admit starts every waiting job that can receive a productive grant
+	// on a free node, in queue order.
+	admit := func() error {
+		var still []TimedJob
+		blocked := false
+		for _, j := range waiting {
+			if blocked && disc == DisciplineFIFO {
+				still = append(still, j)
+				continue
+			}
+			node, rest, found := takeNode(freeNodes, j.Workload.Kind)
+			if !found {
+				still = append(still, j)
+				blocked = true
+				continue
+			}
+			threshold, maxTotal, err := s.envelope(node, j.Workload)
+			if err != nil {
+				return err
+			}
+			if pool < threshold {
+				still = append(still, j)
+				blocked = true
+				continue
+			}
+			grant := pool
+			if grant > maxTotal {
+				grant = maxTotal
+			}
+			var alloc core.Allocation
+			var surplus units.Power
+			switch policy {
+			case PolicyCoord:
+				var ok bool
+				alloc, surplus, ok, err = s.split(node, j.Workload, grant)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					still = append(still, j)
+					blocked = true
+					continue
+				}
+			case PolicyEvenSplit:
+				if node.Platform.Kind != hw.KindCPU {
+					return fmt.Errorf("cluster: even-split policy supports CPU nodes only")
+				}
+				prof, err := s.profileFor(node.Platform, j.Workload)
+				if err != nil {
+					return err
+				}
+				d := coord.EvenSplit(prof, grant)
+				if d.Status == coord.StatusTooSmall {
+					still = append(still, j)
+					blocked = true
+					continue
+				}
+				alloc = d.Alloc
+			default:
+				return fmt.Errorf("cluster: unknown split policy %v", policy)
+			}
+			if surplus > 0 {
+				grant -= surplus
+			}
+			w := j.Workload
+			simRes, err := s.simulate(node, &w, alloc)
+			if err != nil {
+				return err
+			}
+			rate := simRes.UnitRate.OpsPerSecond()
+			if rate <= 0 {
+				return fmt.Errorf("cluster: job %q makes no progress", j.ID)
+			}
+			pool -= grant
+			freeNodes = rest
+			active = append(active, &running{
+				job: j, node: node, remaining: j.Units,
+				rate: rate, power: simRes.TotalPower, budget: grant, started: now,
+			})
+			res.Events = append(res.Events, Event{Time: now, Kind: "start", JobID: j.ID, NodeID: node.ID})
+		}
+		waiting = still
+		return nil
+	}
+
+	if err := admit(); err != nil {
+		return res, err
+	}
+	if len(active) == 0 && len(waiting) > 0 {
+		return res, fmt.Errorf("cluster: no job can start (budget %v too small for every job)", s.Budget)
+	}
+
+	for len(active) > 0 {
+		// Next completion.
+		next, idx := math.Inf(1), -1
+		for i, r := range active {
+			t := r.remaining / r.rate
+			if t < next {
+				next, idx = t, i
+			}
+		}
+		now += next
+		for _, r := range active {
+			r.remaining -= next * r.rate
+		}
+		done := active[idx]
+		active = append(active[:idx], active[idx+1:]...)
+		runtime := now - done.started
+		res.Energy += units.Energy(done.power.Watts() * runtime)
+		res.Stats[done.job.ID] = JobStat{
+			Start: done.started, End: now,
+			Budget: done.budget, Power: done.power, Rate: done.rate,
+		}
+		res.Events = append(res.Events, Event{Time: now, Kind: "finish", JobID: done.job.ID, NodeID: done.node.ID})
+		pool += done.budget
+		freeNodes = append(freeNodes, done.node)
+
+		if err := admit(); err != nil {
+			return res, err
+		}
+		if len(active) == 0 && len(waiting) > 0 {
+			return res, fmt.Errorf("cluster: %d job(s) can never start under budget %v",
+				len(waiting), s.Budget)
+		}
+	}
+	res.Makespan = now
+	sort.SliceStable(res.Events, func(i, j int) bool { return res.Events[i].Time < res.Events[j].Time })
+	return res, nil
+}

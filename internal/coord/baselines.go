@@ -1,0 +1,111 @@
+package coord
+
+import (
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/units"
+)
+
+// MemoryFirst implements the memory-first strategy of the paper's
+// reference [19], the CPU baseline COORD is compared against in
+// Figure 9: conservatively warrant the memory's maximum demand first
+// (capped so the CPU keeps at least its floor) and give the CPU whatever
+// remains. It avoids the catastrophic memory-under-budget cliff but
+// over-provisions memory at small budgets.
+func MemoryFirst(prof profile.CPUProfile, budget units.Power) Decision {
+	cp := prof.Critical
+	if budget < cp.CPUFloor+cp.MemFloor {
+		return Decision{Status: StatusTooSmall}
+	}
+	mem := cp.MemMax
+	if budget-mem < cp.CPUFloor {
+		mem = budget - cp.CPUFloor
+	}
+	if mem < cp.MemFloor {
+		mem = cp.MemFloor
+	}
+	return Decision{
+		Alloc:  core.Allocation{Proc: budget - mem, Mem: mem},
+		Status: StatusOK,
+	}
+}
+
+// CPUFirst is the mirror baseline: warrant the CPU's maximum demand
+// first. The paper's Section 3.4.2 predicts this loses badly when memory
+// is the critical component.
+func CPUFirst(prof profile.CPUProfile, budget units.Power) Decision {
+	cp := prof.Critical
+	if budget < cp.CPUFloor+cp.MemFloor {
+		return Decision{Status: StatusTooSmall}
+	}
+	proc := cp.CPUMax
+	if budget-proc < cp.MemFloor {
+		proc = budget - cp.MemFloor
+	}
+	if proc < cp.CPUFloor {
+		proc = cp.CPUFloor
+	}
+	return Decision{
+		Alloc:  core.Allocation{Proc: proc, Mem: budget - proc},
+		Status: StatusOK,
+	}
+}
+
+// EvenSplit divides the budget equally between the components — the
+// naive application-oblivious policy.
+func EvenSplit(prof profile.CPUProfile, budget units.Power) Decision {
+	cp := prof.Critical
+	if budget < cp.CPUFloor+cp.MemFloor {
+		return Decision{Status: StatusTooSmall}
+	}
+	half := budget / 2
+	return Decision{
+		Alloc:  core.Allocation{Proc: half, Mem: budget - half},
+		Status: StatusOK,
+	}
+}
+
+// NvidiaDefault models the default GPU capping policy the paper measures
+// against in Section 6.3: the memory always runs at its nominal clock
+// regardless of the imposed cap or the application, and the governor
+// throttles only the SMs. COORD beats it by up to ~33% because it adapts
+// the memory clock to the application's demand.
+func NvidiaDefault(prof profile.GPUProfile, budget units.Power) Decision {
+	return Decision{
+		Alloc:  core.Allocation{Proc: budget - prof.MemNom, Mem: prof.MemNom},
+		Status: StatusOK,
+	}
+}
+
+// CPUStrategy is a named CPU allocation policy, used by the comparison
+// harness for Figure 9.
+type CPUStrategy struct {
+	Name   string
+	Decide func(profile.CPUProfile, units.Power) Decision
+}
+
+// GPUStrategy is a named GPU allocation policy.
+type GPUStrategy struct {
+	Name   string
+	Decide func(profile.GPUProfile, units.Power) Decision
+}
+
+// CPUStrategies returns the CPU policies Figure 9 compares, COORD first.
+func CPUStrategies() []CPUStrategy {
+	return []CPUStrategy{
+		{Name: "coord", Decide: CPU},
+		{Name: "memory-first", Decide: MemoryFirst},
+		{Name: "cpu-first", Decide: CPUFirst},
+		{Name: "even-split", Decide: EvenSplit},
+	}
+}
+
+// GPUStrategies returns the GPU policies Figure 9 compares, COORD first.
+func GPUStrategies() []GPUStrategy {
+	return []GPUStrategy{
+		{Name: "coord", Decide: func(p profile.GPUProfile, b units.Power) Decision {
+			return GPU(p, b, DefaultGamma)
+		}},
+		{Name: "nvidia-default", Decide: NvidiaDefault},
+	}
+}

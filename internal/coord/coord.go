@@ -1,0 +1,141 @@
+// Package coord implements the paper's category-based heuristic power
+// coordination method COORD: Algorithm 1 for CPU computing and
+// Algorithm 2 for GPU computing, plus the baselines it is evaluated
+// against in Section 6.3 (the exhaustive-sweep best lives in core; the
+// memory-first strategy of the paper's reference [19] and the default
+// Nvidia capping policy live here).
+//
+// COORD eliminates exhaustive or fine-grained profiling: from the
+// lightweight profile of package profile it pinpoints a near-optimal
+// cross-component allocation for any budget in O(1).
+package coord
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/units"
+)
+
+// Status classifies COORD's verdict on a budget.
+type Status int
+
+// COORD statuses.
+const (
+	// StatusOK: the budget was distributed normally.
+	StatusOK Status = iota
+	// StatusSurplus: the budget exceeds the application's maximum demand;
+	// the surplus should be returned to the higher-level scheduler.
+	StatusSurplus
+	// StatusTooSmall: the budget cannot run the job productively (below
+	// P_cpu_L2 + P_mem_L2); COORD rejects the allocation.
+	StatusTooSmall
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusSurplus:
+		return "surplus"
+	case StatusTooSmall:
+		return "too-small"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Decision is COORD's output: an allocation tuple plus the status hint
+// the algorithm returns to its caller.
+type Decision struct {
+	Alloc  core.Allocation
+	Status Status
+	// Surplus is the unused budget to return upstream when Status is
+	// StatusSurplus.
+	Surplus units.Power
+}
+
+// CPU implements Algorithm 1, the category-based heuristic for CPU
+// computing. It splits the budget space into four regimes:
+//
+//	(A) adequate for both components at their highest state — allocate
+//	    exactly the maximum demands and report the surplus;
+//	(B) adequate for one — warrant the memory budget first (memory
+//	    under-powering costs more performance, Section 3.4.2) and give
+//	    the CPU the remainder;
+//	(C) neither adequate — split the surplus above (L2c+L2m)
+//	    proportionally to the components' power dynamic ranges;
+//	(D) below the productive threshold — reject.
+func CPU(prof profile.CPUProfile, budget units.Power) Decision {
+	cp := prof.Critical
+	switch {
+	case budget >= cp.CPUMax+cp.MemMax:
+		return Decision{
+			Alloc:   core.Allocation{Proc: cp.CPUMax, Mem: cp.MemMax},
+			Status:  StatusSurplus,
+			Surplus: budget - (cp.CPUMax + cp.MemMax),
+		}
+	case budget >= cp.CPULowPState+cp.MemMax:
+		mem := cp.MemMax
+		return Decision{
+			Alloc:  core.Allocation{Proc: budget - mem, Mem: mem},
+			Status: StatusOK,
+		}
+	case budget >= cp.CPULowPState+cp.MemAtCPULow:
+		pdCPU := (cp.CPUMax - cp.CPULowPState).Watts()
+		pdMem := (cp.MemMax - cp.MemAtCPULow).Watts()
+		pctCPU := 0.5
+		if pdCPU+pdMem > 0 {
+			pctCPU = pdCPU / (pdCPU + pdMem)
+		}
+		prop := budget - (cp.CPULowPState + cp.MemAtCPULow)
+		proc := cp.CPULowPState + units.Power(pctCPU*prop.Watts())
+		return Decision{
+			Alloc:  core.Allocation{Proc: proc, Mem: budget - proc},
+			Status: StatusOK,
+		}
+	default:
+		return Decision{Status: StatusTooSmall}
+	}
+}
+
+// DefaultGamma is the balance parameter for Algorithm 2's in-between
+// case; the paper sets it empirically to 0.5.
+const DefaultGamma = 0.5
+
+// GPU implements Algorithm 2, the simplified heuristic for GPU computing.
+// The allocation's Mem member is the memory power budget (programmed as
+// the highest memory clock whose estimated power fits); Proc is the
+// remainder of the board cap, which the board governor enforces jointly.
+//
+// Cases: compute-intensive applications get minimum memory power (every
+// spare watt goes to the SMs); other applications get maximum memory
+// power when the budget covers the reference total P_tot_ref, and a
+// gamma-balanced split between the extremes otherwise.
+func GPU(prof profile.GPUProfile, budget units.Power, gamma float64) Decision {
+	if gamma <= 0 || gamma > 1 {
+		gamma = DefaultGamma
+	}
+	d := Decision{Status: StatusOK}
+	if budget >= prof.TotMax {
+		d.Status = StatusSurplus
+		d.Surplus = budget - prof.TotMax
+	}
+	var mem units.Power
+	switch {
+	case prof.ComputeIntensive:
+		mem = prof.MemMin
+	case budget >= prof.TotRef:
+		mem = prof.MemMax
+	default:
+		// TotMin is the board total with both domains at their minimum
+		// clocks: TotRef minus the memory's nominal-to-minimum drop.
+		totMin := prof.TotRef - (prof.MemNom - prof.MemMin)
+		mem = prof.MemMin + units.Power(gamma*(budget-totMin).Watts())
+	}
+	mem = mem.Clamp(prof.MemMin, prof.MemMax)
+	d.Alloc = core.Allocation{Proc: budget - mem, Mem: mem}
+	return d
+}

@@ -1,0 +1,370 @@
+package coord
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func cpuProfile(t *testing.T, platform, wl string) (hw.Platform, workload.Workload, profile.CPUProfile) {
+	t.Helper()
+	p, err := hw.PlatformByName(platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByName(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := profile.ProfileCPU(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, w, prof
+}
+
+func gpuProfile(t *testing.T, platform, wl string) (hw.Platform, workload.Workload, profile.GPUProfile) {
+	t.Helper()
+	p, err := hw.PlatformByName(platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByName(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := profile.ProfileGPU(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, w, prof
+}
+
+func TestCPUSurplusRegime(t *testing.T) {
+	_, _, prof := cpuProfile(t, "ivybridge", "sra")
+	cp := prof.Critical
+	budget := cp.CPUMax + cp.MemMax + 50
+	d := CPU(prof, budget)
+	if d.Status != StatusSurplus {
+		t.Fatalf("status = %v, want surplus", d.Status)
+	}
+	if math.Abs(d.Surplus.Watts()-50) > 0.01 {
+		t.Errorf("surplus = %v, want 50", d.Surplus)
+	}
+	// Allocation pins exactly the maximum demands.
+	if d.Alloc.Proc != cp.CPUMax || d.Alloc.Mem != cp.MemMax {
+		t.Errorf("allocation %v, want demands (%v, %v)", d.Alloc, cp.CPUMax, cp.MemMax)
+	}
+}
+
+func TestCPUMemoryWarrantRegime(t *testing.T) {
+	_, _, prof := cpuProfile(t, "ivybridge", "sra")
+	cp := prof.Critical
+	budget := cp.CPULowPState + cp.MemMax + 10
+	d := CPU(prof, budget)
+	if d.Status != StatusOK {
+		t.Fatalf("status = %v", d.Status)
+	}
+	if d.Alloc.Mem != cp.MemMax {
+		t.Errorf("memory not warranted its max demand: %v", d.Alloc.Mem)
+	}
+	if math.Abs((d.Alloc.Total() - budget).Watts()) > 0.01 {
+		t.Errorf("allocation %v does not exhaust budget %v", d.Alloc, budget)
+	}
+}
+
+func TestCPUProportionalRegime(t *testing.T) {
+	_, _, prof := cpuProfile(t, "ivybridge", "sra")
+	cp := prof.Critical
+	budget := cp.CPULowPState + cp.MemAtCPULow + 20
+	d := CPU(prof, budget)
+	if d.Status != StatusOK {
+		t.Fatalf("status = %v", d.Status)
+	}
+	// Both components get at least their regime base.
+	if d.Alloc.Proc < cp.CPULowPState-0.01 {
+		t.Errorf("proc %v below L2 base %v", d.Alloc.Proc, cp.CPULowPState)
+	}
+	if d.Alloc.Mem < cp.MemAtCPULow-0.01 {
+		t.Errorf("mem %v below L2m base %v", d.Alloc.Mem, cp.MemAtCPULow)
+	}
+	if math.Abs((d.Alloc.Total() - budget).Watts()) > 0.01 {
+		t.Errorf("budget not exhausted: %v vs %v", d.Alloc.Total(), budget)
+	}
+}
+
+func TestCPURejectsTinyBudget(t *testing.T) {
+	_, _, prof := cpuProfile(t, "ivybridge", "sra")
+	d := CPU(prof, prof.Critical.ProductiveThreshold()-5)
+	if d.Status != StatusTooSmall {
+		t.Errorf("status = %v, want too-small", d.Status)
+	}
+}
+
+func TestCPUBudgetNeverExceeded(t *testing.T) {
+	for _, wl := range []string{"sra", "stream", "dgemm", "mg", "bt", "cg"} {
+		_, _, prof := cpuProfile(t, "ivybridge", wl)
+		for budget := units.Power(140); budget <= 320; budget += 10 {
+			d := CPU(prof, budget)
+			if d.Status == StatusTooSmall {
+				continue
+			}
+			if d.Alloc.Total() > budget+0.01 {
+				t.Errorf("%s at %v: allocation %v exceeds budget", wl, budget, d.Alloc)
+			}
+		}
+	}
+}
+
+func TestCPUNearOptimalAccuracy(t *testing.T) {
+	// Section 6.3: COORD within ~5% of the sweep best for large caps and
+	// within ~10% on average across caps. Check a representative set.
+	workloads := []string{"sra", "stream", "dgemm", "mg", "cg"}
+	var totalGap, n float64
+	for _, wl := range workloads {
+		p, w, prof := cpuProfile(t, "ivybridge", wl)
+		for _, budget := range []units.Power{170, 200, 230, 260} {
+			d := CPU(prof, budget)
+			if d.Status == StatusTooSmall {
+				continue
+			}
+			pb := core.NewProblem(p, w, budget)
+			ev, err := pb.Evaluate(d.Alloc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			best, err := pb.PerfMax()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gap := 1 - ev.Result.Perf/best.Result.Perf
+			if gap < -0.05 {
+				// COORD may slightly beat the 4 W-stepped sweep (the paper
+				// observes the same for NPB LU); a large negative gap would
+				// mean the sweep is broken.
+				t.Errorf("%s at %v: COORD beats sweep by %.1f%%, suspicious", wl, budget, -gap*100)
+			}
+			if gap > 0.30 {
+				t.Errorf("%s at %v: COORD %.1f%% below best (perf %.1f vs %.1f)",
+					wl, budget, gap*100, ev.Result.Perf, best.Result.Perf)
+			}
+			totalGap += math.Max(gap, 0)
+			n++
+		}
+	}
+	if avg := totalGap / n; avg > 0.10 {
+		t.Errorf("average COORD gap = %.1f%%, want <= ~10%%", avg*100)
+	}
+}
+
+func TestCPULargeBudgetMatchesBest(t *testing.T) {
+	// With a budget above the max demand, COORD should be within 5% of
+	// the best while allocating less power.
+	p, w, prof := cpuProfile(t, "ivybridge", "dgemm")
+	budget := prof.Critical.CPUMax + prof.Critical.MemMax + 30
+	d := CPU(prof, budget)
+	pb := core.NewProblem(p, w, budget)
+	ev, err := pb.Evaluate(d.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := pb.PerfMax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Result.Perf < 0.95*best.Result.Perf {
+		t.Errorf("COORD at surplus budget %.1f vs best %.1f", ev.Result.Perf, best.Result.Perf)
+	}
+	if d.Alloc.Total() >= budget {
+		t.Error("surplus regime should allocate less than the budget")
+	}
+}
+
+func TestCPUBeatsMemoryFirstAtSmallBudgets(t *testing.T) {
+	// Section 6.3: COORD generally outperforms memory-first for small
+	// power budgets. Compare summed performance across small budgets for
+	// compute-leaning workloads.
+	var coordSum, memFirstSum float64
+	for _, wl := range []string{"dgemm", "bt", "ep"} {
+		p, w, prof := cpuProfile(t, "ivybridge", wl)
+		thresh := prof.Critical.ProductiveThreshold()
+		for _, budget := range []units.Power{thresh + 5, thresh + 20, thresh + 35} {
+			pb := core.NewProblem(p, w, budget)
+			if d := CPU(prof, budget); d.Status != StatusTooSmall {
+				if ev, err := pb.Evaluate(d.Alloc); err == nil {
+					coordSum += ev.Result.Perf / prof.UncappedPerf
+				}
+			}
+			if d := MemoryFirst(prof, budget); d.Status != StatusTooSmall {
+				if ev, err := pb.Evaluate(d.Alloc); err == nil {
+					memFirstSum += ev.Result.Perf / prof.UncappedPerf
+				}
+			}
+		}
+	}
+	if coordSum <= memFirstSum {
+		t.Errorf("COORD (%.3f) should beat memory-first (%.3f) at small budgets",
+			coordSum, memFirstSum)
+	}
+}
+
+func TestGPUComputeIntensiveGetsMinMemory(t *testing.T) {
+	_, _, prof := gpuProfile(t, "titanxp", "sgemm")
+	d := GPU(prof, 200, DefaultGamma)
+	if d.Alloc.Mem != prof.MemMin {
+		t.Errorf("SGEMM memory budget = %v, want card minimum %v", d.Alloc.Mem, prof.MemMin)
+	}
+}
+
+func TestGPUMemoryIntensiveGetsMaxMemory(t *testing.T) {
+	_, _, prof := gpuProfile(t, "titanxp", "gpustream")
+	d := GPU(prof, 250, DefaultGamma)
+	if d.Alloc.Mem != prof.MemMax {
+		t.Errorf("STREAM memory budget = %v, want card maximum %v", d.Alloc.Mem, prof.MemMax)
+	}
+}
+
+func TestGPUBalancedRegimeBelowRef(t *testing.T) {
+	_, _, prof := gpuProfile(t, "titanxp", "cloverleaf")
+	if prof.ComputeIntensive {
+		t.Skip("cloverleaf unexpectedly compute intensive")
+	}
+	budget := prof.TotRef - 15
+	d := GPU(prof, budget, DefaultGamma)
+	if d.Alloc.Mem <= prof.MemMin || d.Alloc.Mem >= prof.MemMax {
+		t.Errorf("balanced regime memory = %v, want strictly inside (%v, %v)",
+			d.Alloc.Mem, prof.MemMin, prof.MemMax)
+	}
+}
+
+func TestGPUSurplusHint(t *testing.T) {
+	_, _, prof := gpuProfile(t, "titanxp", "minife")
+	d := GPU(prof, 250, DefaultGamma)
+	if d.Status != StatusSurplus {
+		t.Errorf("MiniFE at 250 W: status = %v, want surplus (demand ~180)", d.Status)
+	}
+	if d.Surplus <= 0 {
+		t.Error("surplus should be positive")
+	}
+}
+
+func TestGPUGammaValidation(t *testing.T) {
+	_, _, prof := gpuProfile(t, "titanxp", "cloverleaf")
+	budget := prof.TotRef - 15
+	bad := GPU(prof, budget, -1)
+	good := GPU(prof, budget, DefaultGamma)
+	if bad.Alloc != good.Alloc {
+		t.Error("invalid gamma should fall back to the default")
+	}
+}
+
+func TestGPUCoordBeatsNvidiaDefaultForSGEMM(t *testing.T) {
+	// Section 6.3: COORD outperforms the default capping by up to ~33%
+	// because the default pins memory at the nominal clock.
+	p, w, prof := gpuProfile(t, "titanxp", "sgemm")
+	for _, budget := range []units.Power{140, 160, 180} {
+		pb := core.NewProblem(p, w, budget)
+		dc := GPU(prof, budget, DefaultGamma)
+		dn := NvidiaDefault(prof, budget)
+		evC, err := pb.Evaluate(dc.Alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evN, err := pb.Evaluate(dn.Alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if evC.Result.Perf <= evN.Result.Perf {
+			t.Errorf("budget %v: COORD %.0f should beat default %.0f",
+				budget, evC.Result.Perf, evN.Result.Perf)
+		}
+	}
+}
+
+func TestGPUNearOptimalAccuracy(t *testing.T) {
+	// Section 6.3: COORD within ~2% of best for GPU benchmarks.
+	for _, wl := range []string{"sgemm", "gpustream", "minife", "cloverleaf", "cufft", "hpcg"} {
+		p, w, prof := gpuProfile(t, "titanxp", wl)
+		for _, budget := range []units.Power{150, 200, 250} {
+			pb := core.NewProblem(p, w, budget)
+			d := GPU(prof, budget, DefaultGamma)
+			ev, err := pb.Evaluate(d.Alloc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			best, err := pb.PerfMax()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gap := 1 - ev.Result.Perf/best.Result.Perf; gap > 0.05 {
+				t.Errorf("%s at %v: COORD %.1f%% below GPU best", wl, budget, gap*100)
+			}
+		}
+	}
+}
+
+func TestStrategyListsLeadWithCoord(t *testing.T) {
+	cs := CPUStrategies()
+	if len(cs) < 3 || cs[0].Name != "coord" {
+		t.Errorf("CPU strategies = %v", cs)
+	}
+	gs := GPUStrategies()
+	if len(gs) < 2 || gs[0].Name != "coord" {
+		t.Errorf("GPU strategies = %v", gs)
+	}
+	for _, s := range cs {
+		if s.Decide == nil {
+			t.Errorf("strategy %s has nil Decide", s.Name)
+		}
+	}
+	for _, s := range gs {
+		if s.Decide == nil {
+			t.Errorf("strategy %s has nil Decide", s.Name)
+		}
+	}
+}
+
+func TestBaselineFloorHandling(t *testing.T) {
+	_, _, prof := cpuProfile(t, "ivybridge", "sra")
+	cp := prof.Critical
+	// Budgets below the floors are rejected by all baselines.
+	tiny := cp.CPUFloor + cp.MemFloor - 5
+	for _, s := range CPUStrategies() {
+		d := s.Decide(prof, tiny)
+		if s.Name == "coord" {
+			continue // already tested
+		}
+		if d.Status != StatusTooSmall {
+			t.Errorf("%s accepted a %v budget", s.Name, tiny)
+		}
+	}
+	// Memory-first with a budget that cannot cover MemMax leaves the CPU
+	// its floor.
+	budget := cp.CPUFloor + cp.MemMax - 10
+	d := MemoryFirst(prof, budget)
+	if d.Status != StatusOK {
+		t.Fatalf("memory-first status = %v", d.Status)
+	}
+	if d.Alloc.Proc < cp.CPUFloor-0.01 {
+		t.Errorf("memory-first starved the CPU below its floor: %v", d.Alloc.Proc)
+	}
+	// CPU-first mirror.
+	d = CPUFirst(prof, cp.MemFloor+cp.CPUMax-10)
+	if d.Status != StatusOK || d.Alloc.Mem < cp.MemFloor-0.01 {
+		t.Errorf("cpu-first starved memory: %+v", d)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusOK.String() != "ok" || StatusSurplus.String() != "surplus" || StatusTooSmall.String() != "too-small" {
+		t.Error("status names")
+	}
+	if Status(42).String() == "" {
+		t.Error("unknown status should format")
+	}
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func problem(t *testing.T, platform, wl string, budget units.Power) Problem {
+	t.Helper()
+	p, err := hw.PlatformByName(platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByName(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewProblem(p, w, budget)
+}
+
+func TestAllocationBasics(t *testing.T) {
+	a := Allocation{Proc: 120, Mem: 88}
+	if a.Total() != 208 {
+		t.Errorf("total = %v", a.Total())
+	}
+	if a.String() != "(proc 120.0 W, mem 88.0 W)" {
+		t.Errorf("string = %q", a.String())
+	}
+}
+
+func TestSweepCPURespectsBudget(t *testing.T) {
+	pb := problem(t, "ivybridge", "sra", 240)
+	evals, err := pb.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) < 20 {
+		t.Fatalf("sweep too coarse: %d points", len(evals))
+	}
+	for _, e := range evals {
+		if e.Alloc.Total() > 240+0.001 {
+			t.Errorf("allocation %v exceeds budget", e.Alloc)
+		}
+		// Actual power stays under budget except in the cap-not-respected
+		// floor scenarios, which the simulator flags.
+		if !e.Result.AtFloor && e.Result.TotalPower.Watts() > 240+1 {
+			t.Errorf("actual power %v exceeds budget at %v", e.Result.TotalPower, e.Alloc)
+		}
+	}
+}
+
+func TestSweepCPUInfeasibleBudget(t *testing.T) {
+	pb := problem(t, "ivybridge", "sra", 60)
+	if _, err := pb.Sweep(); err == nil {
+		t.Error("60 W budget should be infeasible for the sweep")
+	}
+}
+
+func TestSweepGPURangeChecks(t *testing.T) {
+	pb := problem(t, "titanxp", "sgemm", 90)
+	if _, err := pb.Sweep(); err == nil {
+		t.Error("budget below MinCap should error")
+	}
+	pb.Budget = 400
+	if _, err := pb.Sweep(); err == nil {
+		t.Error("budget above MaxCap should error")
+	}
+	pb.Budget = 200
+	evals, err := pb.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) < 5 {
+		t.Errorf("GPU sweep too coarse: %d", len(evals))
+	}
+}
+
+func TestPerfMaxBeatsArbitraryAllocations(t *testing.T) {
+	pb := problem(t, "ivybridge", "mg", 208)
+	best, err := pb.PerfMax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proc := range []units.Power{60, 80, 100, 140} {
+		e, err := pb.Evaluate(Allocation{Proc: proc, Mem: 208 - proc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Result.Perf > best.Result.Perf*1.0001 {
+			t.Errorf("allocation %v beats PerfMax: %v > %v", e.Alloc, e.Result.Perf, best.Result.Perf)
+		}
+	}
+}
+
+func TestCurveMonotoneNonDecreasing(t *testing.T) {
+	// The paper's central perf_max ~ P_b property: non-decreasing, then
+	// flattening. Check monotonicity for DGEMM and SRA on IvyBridge.
+	// Start above the hardware floor sum (~114 W): below it no allocation
+	// can respect the bound, and the fallback path makes the curve
+	// physically non-monotone there (as on real hardware).
+	for _, wl := range []string{"dgemm", "sra"} {
+		pb := problem(t, "ivybridge", wl, 0)
+		pts, err := Curve(pb.Platform, pb.Workload, BudgetRange(130, 300, 18))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].PerfMax < pts[i-1].PerfMax*(1-0.01) {
+				t.Errorf("%s: perf_max not monotone at %v: %v < %v",
+					wl, pts[i].Budget, pts[i].PerfMax, pts[i-1].PerfMax)
+			}
+		}
+		// Flattening: the last two points should be nearly equal (budget
+		// beyond max demand).
+		n := len(pts)
+		if pts[n-1].PerfMax > pts[n-2].PerfMax*1.01 {
+			t.Errorf("%s: curve still rising at 300 W", wl)
+		}
+	}
+}
+
+func TestCurveFlattensAtMaxDemand(t *testing.T) {
+	pb := problem(t, "ivybridge", "sra", 0)
+	demand, err := MaxDemand(pb.Platform, pb.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SRA demand anchors: ~109 W CPU, ~116 W DRAM (paper Figure 3).
+	if demand.Proc.Watts() < 100 || demand.Proc.Watts() > 118 {
+		t.Errorf("SRA CPU demand = %v", demand.Proc)
+	}
+	if demand.Mem.Watts() < 108 || demand.Mem.Watts() > 124 {
+		t.Errorf("SRA DRAM demand = %v", demand.Mem)
+	}
+	// Budgets beyond demand+margin add nothing.
+	pts, err := Curve(pb.Platform, pb.Workload,
+		[]units.Power{demand.Total() + 12, demand.Total() + 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pts[1].PerfMax-pts[0].PerfMax) > 0.01*pts[0].PerfMax {
+		t.Errorf("perf grows past max demand: %v vs %v", pts[0].PerfMax, pts[1].PerfMax)
+	}
+}
+
+func TestKneeDetection(t *testing.T) {
+	mk := func(vals ...float64) []CurvePoint {
+		pts := make([]CurvePoint, len(vals))
+		for i, v := range vals {
+			pts[i] = CurvePoint{Budget: units.Power(100 + 10*i), PerfMax: v}
+		}
+		return pts
+	}
+	// Slope halves then collapses: knee where marginal return < 20% of
+	// the initial slope.
+	b, ok := Knee(mk(0, 100, 200, 290, 295, 296), 0.2)
+	if !ok {
+		t.Fatal("knee not found")
+	}
+	if b != 130 {
+		t.Errorf("knee at %v, want 130 W", b)
+	}
+	// Never flattens: last budget returned.
+	b, ok = Knee(mk(0, 100, 200, 300, 400), 0.2)
+	if !ok || b != 140 {
+		t.Errorf("non-flattening knee = %v ok=%v", b, ok)
+	}
+	// Too short.
+	if _, ok := Knee(mk(1, 2), 0.2); ok {
+		t.Error("two points should not yield a knee")
+	}
+	// Flat from the start.
+	b, ok = Knee(mk(5, 5, 5, 5), 0.2)
+	if !ok || b != 100 {
+		t.Errorf("flat curve knee = %v ok=%v", b, ok)
+	}
+}
+
+func TestSpreadMatchesPaperMotivation(t *testing.T) {
+	// Figure 1a: ~30x spread for STREAM on the CPU at 208 W.
+	pb := problem(t, "ivybridge", "stream", 208)
+	evals, err := pb.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Spread(evals); s < 10 || s > 80 {
+		t.Errorf("CPU STREAM spread at 208 W = %.1fx, want order ~30x", s)
+	}
+	// Figure 1b: >30% best-over-worst on the GPU at 140 W.
+	pb = problem(t, "titanxp", "gpustream", 140)
+	evals, err = pb.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Spread(evals); s < 1.25 {
+		t.Errorf("GPU STREAM spread at 140 W = %.2fx, want >1.25x", s)
+	}
+}
+
+func TestBestWorstEdgeCases(t *testing.T) {
+	if _, ok := Best(nil); ok {
+		t.Error("Best of empty should report false")
+	}
+	if _, ok := Worst(nil); ok {
+		t.Error("Worst of empty should report false")
+	}
+	if s := Spread(nil); s != 1 {
+		t.Errorf("Spread of empty = %v", s)
+	}
+	evals := []Evaluation{
+		{Alloc: Allocation{Proc: 100, Mem: 100}, Result: sim.Result{Perf: 10, TotalPower: 180}},
+		{Alloc: Allocation{Proc: 120, Mem: 80}, Result: sim.Result{Perf: 10, TotalPower: 150}},
+		{Alloc: Allocation{Proc: 80, Mem: 120}, Result: sim.Result{Perf: 4, TotalPower: 160}},
+	}
+	best, _ := Best(evals)
+	// Tie on perf broken toward lower power.
+	if best.Result.TotalPower != 150 {
+		t.Errorf("tie break picked %v", best.Result.TotalPower)
+	}
+	worst, _ := Worst(evals)
+	if worst.Result.Perf != 4 {
+		t.Errorf("worst = %v", worst.Result.Perf)
+	}
+	if s := Spread(evals); math.Abs(s-2.5) > 1e-9 {
+		t.Errorf("spread = %v", s)
+	}
+	// Zero-perf worst yields infinite spread.
+	evals = append(evals, Evaluation{Result: sim.Result{Perf: 0}})
+	if !math.IsInf(Spread(evals), 1) {
+		t.Error("zero worst should give +Inf spread")
+	}
+}
+
+func TestPerfPerWatt(t *testing.T) {
+	e := Evaluation{Result: sim.Result{Perf: 100, TotalPower: 200}}
+	if got := e.PerfPerWatt(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("perf/W = %v", got)
+	}
+	e = Evaluation{Result: sim.Result{Perf: 100, TotalPower: 0}}
+	if e.PerfPerWatt() != 0 {
+		t.Error("zero power should give zero efficiency")
+	}
+}
+
+func TestBudgetRange(t *testing.T) {
+	r := BudgetRange(100, 300, 5)
+	want := []units.Power{100, 150, 200, 250, 300}
+	if len(r) != 5 {
+		t.Fatalf("len = %d", len(r))
+	}
+	for i := range want {
+		if math.Abs((r[i] - want[i]).Watts()) > 1e-9 {
+			t.Errorf("r[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+	if got := BudgetRange(100, 50, 5); len(got) != 1 || got[0] != 100 {
+		t.Errorf("degenerate range = %v", got)
+	}
+}
+
+func TestMaxDemandGPU(t *testing.T) {
+	p, _ := hw.PlatformByName("titanxp")
+	w, _ := workload.ByName("minife")
+	d, err := MaxDemand(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MiniFE board demand flattens around the paper's ~180 W.
+	if d.Total().Watts() < 160 || d.Total().Watts() > 205 {
+		t.Errorf("MiniFE Titan XP demand = %v, want ~180 W", d.Total())
+	}
+}
+
+func TestEvaluateErrorPropagation(t *testing.T) {
+	p, _ := hw.PlatformByName("ivybridge")
+	w, _ := workload.ByName("sgemm") // GPU workload on CPU platform
+	pb := NewProblem(p, w, 208)
+	if _, err := pb.Evaluate(Allocation{Proc: 100, Mem: 100}); err == nil {
+		t.Error("mismatched workload kind should error")
+	}
+}
+
+func TestEvaluateGPUAllocation(t *testing.T) {
+	pb := problem(t, "titanxp", "minife", 200)
+	ev, err := pb.Evaluate(Allocation{Proc: 150, Mem: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Result.Perf <= 0 {
+		t.Error("GPU evaluation produced no performance")
+	}
+	// Unknown platform kind errors.
+	bad := pb
+	bad.Platform.Kind = hw.Kind(9)
+	if _, err := bad.Evaluate(Allocation{Proc: 150, Mem: 50}); err == nil {
+		t.Error("unknown kind accepted by Evaluate")
+	}
+	if _, err := bad.Sweep(); err == nil {
+		t.Error("unknown kind accepted by Sweep")
+	}
+}
+
+func TestProblemNormalizeDefaults(t *testing.T) {
+	pb := problem(t, "ivybridge", "stream", 208)
+	pb.Step, pb.ProcMin, pb.MemMin = 0, 0, 0
+	evals, err := pb.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) == 0 {
+		t.Fatal("no evaluations with defaulted parameters")
+	}
+	// Default step is 4 W.
+	if len(evals) > 1 {
+		d := (evals[1].Alloc.Proc - evals[0].Alloc.Proc).Watts()
+		if math.Abs(d-DefaultStep.Watts()) > 1e-9 {
+			t.Errorf("default step = %v", d)
+		}
+	}
+}
+
+func TestPerfMaxInfeasible(t *testing.T) {
+	pb := problem(t, "ivybridge", "stream", 50)
+	if _, err := pb.PerfMax(); err == nil {
+		t.Error("infeasible PerfMax accepted")
+	}
+}
+
+func TestCurveSkipsInfeasibleBudgets(t *testing.T) {
+	pb := problem(t, "ivybridge", "stream", 0)
+	pts, err := Curve(pb.Platform, pb.Workload, []units.Power{40, 208})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Budget != 208 {
+		t.Errorf("curve points = %+v", pts)
+	}
+	// All infeasible -> error.
+	if _, err := Curve(pb.Platform, pb.Workload, []units.Power{40, 50}); err == nil {
+		t.Error("all-infeasible curve accepted")
+	}
+}
+
+func TestMaxDemandUnknownKind(t *testing.T) {
+	pb := problem(t, "ivybridge", "stream", 208)
+	bad := pb.Platform
+	bad.Kind = hw.Kind(9)
+	if _, err := MaxDemand(bad, pb.Workload); err == nil {
+		t.Error("unknown kind accepted by MaxDemand")
+	}
+}
+
+func TestBestFallsBackWhenAllViolate(t *testing.T) {
+	evals := []Evaluation{
+		{Alloc: Allocation{Proc: 40, Mem: 40}, Result: sim.Result{Perf: 5, TotalPower: 120}},
+		{Alloc: Allocation{Proc: 50, Mem: 30}, Result: sim.Result{Perf: 9, TotalPower: 130}},
+	}
+	best, ok := Best(evals)
+	if !ok || best.Result.Perf != 9 {
+		t.Errorf("fallback best = %+v", best)
+	}
+	effBest, ok := BestBy(evals, ObjectiveEfficiency)
+	if !ok || effBest.Result.Perf != 9 {
+		t.Errorf("fallback efficiency best = %+v", effBest)
+	}
+}
+
+func TestSlopeDegenerate(t *testing.T) {
+	a := CurvePoint{Budget: 100, PerfMax: 10}
+	b := CurvePoint{Budget: 100, PerfMax: 20}
+	if got := slope(a, b); got != 0 {
+		t.Errorf("zero-width slope = %v", got)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import "fmt"
+
+// Objective selects the perf metric the problem optimizes. The paper's
+// problem statement (Section 2.2) leaves the metric open: "example
+// measures include compute rate, performance-to-power ratio, and system
+// throughput".
+type Objective int
+
+// Supported objectives.
+const (
+	// ObjectivePerf maximizes raw performance — the paper's default.
+	ObjectivePerf Objective = iota
+	// ObjectiveEfficiency maximizes performance per actually-consumed
+	// watt; the optimum typically uses less than the full budget.
+	ObjectiveEfficiency
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case ObjectivePerf:
+		return "perf"
+	case ObjectiveEfficiency:
+		return "efficiency"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// score returns the evaluation's value under the objective.
+func (o Objective) score(e Evaluation) float64 {
+	switch o {
+	case ObjectiveEfficiency:
+		return e.PerfPerWatt()
+	default:
+		return e.Result.Perf
+	}
+}
+
+// BestBy returns the bound-respecting evaluation with the highest score
+// under the objective, with the same fallback semantics as Best.
+func BestBy(evals []Evaluation, obj Objective) (Evaluation, bool) {
+	if len(evals) == 0 {
+		return Evaluation{}, false
+	}
+	best, found := Evaluation{}, false
+	for _, e := range evals {
+		if violatesBound(e) {
+			continue
+		}
+		if !found || obj.score(e) > obj.score(best) ||
+			(obj.score(e) == obj.score(best) && e.Result.TotalPower < best.Result.TotalPower) {
+			best = e
+			found = true
+		}
+	}
+	if found {
+		return best, true
+	}
+	best = evals[0]
+	for _, e := range evals[1:] {
+		if obj.score(e) > obj.score(best) {
+			best = e
+		}
+	}
+	return best, true
+}
+
+// Solve runs the sweep and picks the best allocation under the given
+// objective. With ObjectiveEfficiency the returned evaluation's actual
+// power typically sits well below the budget; the difference is power the
+// caller can return upstream.
+func (pb Problem) Solve(obj Objective) (Evaluation, error) {
+	evals, err := pb.Sweep()
+	if err != nil {
+		return Evaluation{}, err
+	}
+	best, ok := BestBy(evals, obj)
+	if !ok {
+		return Evaluation{}, fmt.Errorf("core: empty allocation space for budget %v", pb.Budget)
+	}
+	return best, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestObjectiveString(t *testing.T) {
+	if ObjectivePerf.String() != "perf" || ObjectiveEfficiency.String() != "efficiency" {
+		t.Error("objective names")
+	}
+	if Objective(9).String() == "" {
+		t.Error("unknown objective should format")
+	}
+}
+
+func TestBestByObjectives(t *testing.T) {
+	evals := []Evaluation{
+		{Alloc: Allocation{Proc: 150, Mem: 100}, Result: sim.Result{Perf: 100, TotalPower: 240}},
+		{Alloc: Allocation{Proc: 100, Mem: 100}, Result: sim.Result{Perf: 90, TotalPower: 170}},
+		{Alloc: Allocation{Proc: 60, Mem: 80}, Result: sim.Result{Perf: 40, TotalPower: 130}},
+	}
+	perfBest, ok := BestBy(evals, ObjectivePerf)
+	if !ok || perfBest.Result.Perf != 100 {
+		t.Errorf("perf best = %+v", perfBest)
+	}
+	effBest, ok := BestBy(evals, ObjectiveEfficiency)
+	if !ok || effBest.Result.Perf != 90 {
+		// 90/170 = 0.53 beats 100/240 = 0.42 and 40/130 = 0.31.
+		t.Errorf("efficiency best = %+v", effBest)
+	}
+	if _, ok := BestBy(nil, ObjectivePerf); ok {
+		t.Error("empty input accepted")
+	}
+	// Bound-violating entries are skipped unless all violate.
+	bad := []Evaluation{
+		{Alloc: Allocation{Proc: 50, Mem: 50}, Result: sim.Result{Perf: 500, TotalPower: 300}},
+		{Alloc: Allocation{Proc: 100, Mem: 100}, Result: sim.Result{Perf: 10, TotalPower: 150}},
+	}
+	got, _ := BestBy(bad, ObjectivePerf)
+	if got.Result.Perf != 10 {
+		t.Errorf("violating entry selected: %+v", got)
+	}
+}
+
+func TestSolveEfficiencyUsesLessPower(t *testing.T) {
+	// The efficiency optimum of MG at a generous budget consumes less
+	// power than the perf optimum while achieving better perf-per-watt —
+	// the Section 3.1 "reclaim the excess" insight as an objective.
+	pb := problem(t, "ivybridge", "mg", 280)
+	perfBest, err := pb.Solve(ObjectivePerf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effBest, err := pb.Solve(ObjectiveEfficiency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if effBest.PerfPerWatt() < perfBest.PerfPerWatt() {
+		t.Errorf("efficiency objective %.4f below perf objective %.4f per watt",
+			effBest.PerfPerWatt(), perfBest.PerfPerWatt())
+	}
+	if effBest.Result.TotalPower >= perfBest.Result.TotalPower {
+		t.Errorf("efficiency optimum draws %v, perf optimum %v — expected less",
+			effBest.Result.TotalPower, perfBest.Result.TotalPower)
+	}
+	// And it keeps a large fraction of the achievable performance.
+	if effBest.Result.Perf < 0.5*perfBest.Result.Perf {
+		t.Errorf("efficiency optimum sacrifices too much: %.1f vs %.1f",
+			effBest.Result.Perf, perfBest.Result.Perf)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	pb := problem(t, "ivybridge", "mg", 60)
+	if _, err := pb.Solve(ObjectivePerf); err == nil {
+		t.Error("infeasible budget accepted")
+	}
+}

@@ -1,0 +1,251 @@
+// Package corun extends the power-bounded node model to two co-running
+// jobs — the multi-task setting the paper's conclusion defers to future
+// work. The node's cores are partitioned between the jobs, the memory
+// system's bandwidth is shared, and — crucially — the package power cap
+// is shared too: RAPL caps the package as a whole, so one job's activity
+// eats the other's frequency headroom.
+//
+// The interesting coordination question is the partition: how many cores
+// (and implicitly how much of the package power) each job should get. A
+// memory-bound job wastes cores it cannot feed; pairing it with a
+// compute-bound neighbour and shifting cores toward the latter raises
+// combined throughput — the co-run analogue of the paper's
+// cross-component balance.
+package corun
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/rapl"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Job is one co-running tenant: a workload restricted to a share of the
+// node's cores.
+type Job struct {
+	// Workload is the tenant's benchmark. Multi-phase workloads use
+	// their work-weighted average characteristics for co-running (phases
+	// of different tenants interleave arbitrarily, so only averages are
+	// meaningful).
+	Workload workload.Workload
+	// CoreFrac is the fraction of cores assigned, in (0, 1).
+	CoreFrac float64
+}
+
+// Result is the co-run outcome.
+type Result struct {
+	// PerfA and PerfB are each tenant's performance in its own unit.
+	PerfA, PerfB float64
+	// SlowdownA and SlowdownB are each tenant's performance relative to
+	// running alone on the whole node under the same caps.
+	SlowdownA, SlowdownB float64
+	// WeightedSpeedup is the co-scheduling figure of merit:
+	// (PerfA/aloneA + PerfB/aloneB) — above 1 means co-running beats
+	// time-slicing the node.
+	WeightedSpeedup float64
+	// ProcPower and MemPower are the shared actual draws.
+	ProcPower, MemPower units.Power
+	// Freq and Duty are the shared package state.
+	Freq units.Frequency
+	Duty float64
+}
+
+// avgPhase collapses a workload to its work-weighted average phase.
+func avgPhase(w *workload.Workload) workload.Phase {
+	var ph workload.Phase
+	ph.Name = w.Name + "-avg"
+	ph.Weight = 1
+	var overlap, bwEff, compEff, actBase, actStall float64
+	for _, p := range w.Phases {
+		ph.OpsPerUnit += p.Weight * p.OpsPerUnit
+		ph.BytesPerUnit += p.Weight * p.BytesPerUnit
+		ph.RandomFrac += p.Weight * p.RandomFrac
+		overlap += p.Weight * p.Overlap
+		bwEff += p.Weight * p.BandwidthEff
+		compEff += p.Weight * p.ComputeEff
+		actBase += p.Weight * p.ActivityBase
+		actStall += p.Weight * p.StallActivity
+	}
+	ph.Overlap = overlap
+	ph.BandwidthEff = bwEff
+	ph.ComputeEff = compEff
+	ph.ActivityBase = actBase
+	ph.StallActivity = actStall
+	return ph
+}
+
+// Run simulates jobs a and b co-running on CPU platform p under shared
+// package and DRAM caps. CoreFrac values must be positive and sum to at
+// most 1.
+func Run(p hw.Platform, a, b Job, procCap, memCap units.Power) (Result, error) {
+	if p.Kind != hw.KindCPU {
+		return Result{}, fmt.Errorf("corun: platform %q is not a CPU platform", p.Name)
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	for _, j := range []Job{a, b} {
+		if err := j.Workload.Validate(); err != nil {
+			return Result{}, err
+		}
+		if j.Workload.Kind != hw.KindCPU {
+			return Result{}, fmt.Errorf("corun: workload %q is not a CPU workload", j.Workload.Name)
+		}
+		if j.CoreFrac <= 0 {
+			return Result{}, fmt.Errorf("corun: non-positive core fraction for %q", j.Workload.Name)
+		}
+	}
+	if a.CoreFrac+b.CoreFrac > 1.0001 {
+		return Result{}, fmt.Errorf("corun: core fractions sum to %v > 1", a.CoreFrac+b.CoreFrac)
+	}
+
+	ctrl := rapl.NewController(p.CPU, p.DRAM)
+	if err := ctrl.SetLimit(rapl.DomainPackage, procCap); err != nil {
+		return Result{}, err
+	}
+	if err := ctrl.SetLimit(rapl.DomainDRAM, memCap); err != nil {
+		return Result{}, err
+	}
+
+	phA, phB := avgPhase(&a.Workload), avgPhase(&b.Workload)
+	res, err := solveCoRun(ctrl, p, a, b, &phA, &phB)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Baselines: each tenant alone on the whole node under the same caps.
+	aloneA, err := sim.RunCPU(p, &a.Workload, procCap, memCap)
+	if err != nil {
+		return Result{}, err
+	}
+	aloneB, err := sim.RunCPU(p, &b.Workload, procCap, memCap)
+	if err != nil {
+		return Result{}, err
+	}
+	if aloneA.Perf > 0 {
+		res.SlowdownA = res.PerfA / aloneA.Perf
+	}
+	if aloneB.Perf > 0 {
+		res.SlowdownB = res.PerfB / aloneB.Perf
+	}
+	res.WeightedSpeedup = res.SlowdownA + res.SlowdownB
+	return res, nil
+}
+
+// mlpFloor mirrors the homogeneous simulator.
+const mlpFloor = 0.7
+
+// solveCoRun iterates the shared fixed point: one package state serves
+// both tenants; memory bandwidth splits by demand.
+func solveCoRun(ctrl *rapl.Controller, p hw.Platform, a, b Job, phA, phB *workload.Phase) (Result, error) {
+	actA, actB := phA.Activity(0.5), phB.Activity(0.5)
+	var res Result
+	for i := 0; i < 80; i++ {
+		// Package activity is the core-weighted blend of the tenants'.
+		blended := a.CoreFrac*actA + b.CoreFrac*actB +
+			(1-a.CoreFrac-b.CoreFrac)*0 // unassigned cores idle
+		state := ctrl.ActuatePackage(blended)
+
+		fRatio := state.Freq.Hz() / p.CPU.FNom.Hz()
+		issue := state.Duty * (mlpFloor + (1-mlpFloor)*fRatio)
+		ceiling := ctrl.DRAMBandwidthCeiling(blendFrac(phA, phB, a, b))
+
+		opA, opB := solveTenants(p, a, b, phA, phB, state, issue, ceiling)
+
+		nextA, nextB := phA.Activity(opA.StallFrac), phB.Activity(opB.StallFrac)
+		doneA := math.Abs(nextA-actA) < 1e-4
+		doneB := math.Abs(nextB-actB) < 1e-4
+		actA += 0.5 * (nextA - actA)
+		actB += 0.5 * (nextB - actB)
+
+		res.PerfA = opA.Rate.OpsPerSecond() * a.Workload.PerfPerUnitRate
+		res.PerfB = opB.Rate.OpsPerSecond() * b.Workload.PerfPerUnitRate
+		res.Freq, res.Duty = state.Freq, state.Duty
+		res.ProcPower = ctrl.PackagePower(state, blended)
+		totalBW := opA.BandwidthUsed + opB.BandwidthUsed
+		res.MemPower = ctrl.DRAMPower(totalBW, blendFrac(phA, phB, a, b))
+		if doneA && doneB {
+			break
+		}
+	}
+	return res, nil
+}
+
+// solveTenants computes both tenants' operating points under a shared
+// package state. Memory bandwidth is allocated by proportional demand:
+// each tenant first solves against the full remaining capacity, and when
+// the combined demand exceeds the ceiling both are scaled back
+// proportionally (bandwidth-fair arbitration).
+func solveTenants(p hw.Platform, a, b Job, phA, phB *workload.Phase, state rapl.PackageState, issue float64, ceiling units.Bandwidth) (perfmodel.OperatingPoint, perfmodel.OperatingPoint) {
+	computeA := units.Rate(p.CPU.PeakComputeRate(state.Freq, state.Duty).OpsPerSecond() * a.CoreFrac * phA.ComputeEff)
+	computeB := units.Rate(p.CPU.PeakComputeRate(state.Freq, state.Duty).OpsPerSecond() * b.CoreFrac * phB.ComputeEff)
+	peak := p.DRAM.PeakBandwidth().BytesPerSecond() * issue
+	patternA := units.Bandwidth(peak * phA.BandwidthEff)
+	patternB := units.Bandwidth(peak * phB.BandwidthEff)
+
+	// Unconstrained demands.
+	opA := perfmodel.Solve(phA, computeA, patternA)
+	opB := perfmodel.Solve(phB, computeB, patternB)
+	demand := opA.BandwidthUsed + opB.BandwidthUsed
+	shared := units.Bandwidth(math.Min(peak, ceiling.BytesPerSecond()))
+	if demand <= shared {
+		return opA, opB
+	}
+	// Contended: scale each tenant's effective capacity by the fair
+	// share of its demand.
+	scale := shared.BytesPerSecond() / demand.BytesPerSecond()
+	capA := units.Bandwidth(opA.BandwidthUsed.BytesPerSecond() * scale)
+	capB := units.Bandwidth(opB.BandwidthUsed.BytesPerSecond() * scale)
+	opA = perfmodel.SolveThrottled(phA, computeA, patternA, capA)
+	opB = perfmodel.SolveThrottled(phB, computeB, patternB, capB)
+	return opA, opB
+}
+
+// blendFrac returns the demand-weighted random-access fraction of the
+// two tenants (approximated with byte weights).
+func blendFrac(phA, phB *workload.Phase, a, b Job) float64 {
+	wa := phA.BytesPerUnit * a.CoreFrac
+	wb := phB.BytesPerUnit * b.CoreFrac
+	if wa+wb == 0 {
+		return 0
+	}
+	return (phA.RandomFrac*wa + phB.RandomFrac*wb) / (wa + wb)
+}
+
+// Partition is a candidate core split evaluated by BestPartition.
+type Partition struct {
+	FracA           float64
+	Result          Result
+	WeightedSpeedup float64
+}
+
+// BestPartition sweeps core splits between the two workloads under the
+// given caps and returns every candidate plus the index of the best by
+// weighted speedup — the co-run coordination decision.
+func BestPartition(p hw.Platform, wa, wb workload.Workload, procCap, memCap units.Power, step float64) ([]Partition, int, error) {
+	if step <= 0 || step >= 0.5 {
+		step = 0.1
+	}
+	var parts []Partition
+	bestIdx := -1
+	for frac := step; frac < 1-step/2; frac += step {
+		res, err := Run(p, Job{Workload: wa, CoreFrac: frac},
+			Job{Workload: wb, CoreFrac: 1 - frac}, procCap, memCap)
+		if err != nil {
+			return nil, -1, err
+		}
+		parts = append(parts, Partition{FracA: frac, Result: res, WeightedSpeedup: res.WeightedSpeedup})
+		if bestIdx < 0 || res.WeightedSpeedup > parts[bestIdx].WeightedSpeedup {
+			bestIdx = len(parts) - 1
+		}
+	}
+	if bestIdx < 0 {
+		return nil, -1, fmt.Errorf("corun: empty partition sweep")
+	}
+	return parts, bestIdx, nil
+}

@@ -1,0 +1,204 @@
+package corun
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func ivy(t *testing.T) hw.Platform {
+	t.Helper()
+	p, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func wl(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunInputValidation(t *testing.T) {
+	p := ivy(t)
+	a := Job{Workload: wl(t, "dgemm"), CoreFrac: 0.5}
+	b := Job{Workload: wl(t, "stream"), CoreFrac: 0.5}
+
+	xp, _ := hw.PlatformByName("titanxp")
+	if _, err := Run(xp, a, b, 200, 110); err == nil {
+		t.Error("GPU platform accepted")
+	}
+	bad := a
+	bad.CoreFrac = 0
+	if _, err := Run(p, bad, b, 200, 110); err == nil {
+		t.Error("zero core fraction accepted")
+	}
+	bad = a
+	bad.CoreFrac = 0.8
+	if _, err := Run(p, bad, b, 200, 110); err == nil {
+		t.Error("over-committed cores accepted")
+	}
+	gw := Job{Workload: wl(t, "sgemm"), CoreFrac: 0.5}
+	if _, err := Run(p, gw, b, 200, 110); err == nil {
+		t.Error("GPU workload accepted")
+	}
+}
+
+func TestCoRunSlowdownsBounded(t *testing.T) {
+	// Each tenant on half the cores cannot beat itself on the whole node,
+	// and weighted speedup stays within [0, 2].
+	p := ivy(t)
+	a := Job{Workload: wl(t, "dgemm"), CoreFrac: 0.5}
+	b := Job{Workload: wl(t, "stream"), CoreFrac: 0.5}
+	res, err := Run(p, a, b, 200, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlowdownA > 1.001 || res.SlowdownB > 1.001 {
+		t.Errorf("co-run tenant beat its solo run: %+v", res)
+	}
+	if res.SlowdownA <= 0 || res.SlowdownB <= 0 {
+		t.Errorf("zero slowdowns: %+v", res)
+	}
+	if res.WeightedSpeedup <= 0 || res.WeightedSpeedup > 2 {
+		t.Errorf("weighted speedup %v out of range", res.WeightedSpeedup)
+	}
+}
+
+func TestComplementaryPairCoRunsWell(t *testing.T) {
+	// DGEMM (compute bound) + STREAM (memory bound) are complementary:
+	// co-running them should preserve most of each one's solo
+	// performance, giving a weighted speedup well above 1 (better than
+	// time slicing). Two STREAMs fight for the same bandwidth and land
+	// near 1.
+	p := ivy(t)
+	mix, err := Run(p,
+		Job{Workload: wl(t, "dgemm"), CoreFrac: 0.5},
+		Job{Workload: wl(t, "stream"), CoreFrac: 0.5},
+		220, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := Run(p,
+		Job{Workload: wl(t, "stream"), CoreFrac: 0.5},
+		Job{Workload: wl(t, "stream"), CoreFrac: 0.5},
+		220, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.WeightedSpeedup <= same.WeightedSpeedup {
+		t.Errorf("complementary pair %v should beat same-pair %v",
+			mix.WeightedSpeedup, same.WeightedSpeedup)
+	}
+	if mix.WeightedSpeedup < 1.1 {
+		t.Errorf("complementary co-run speedup %v, want > 1.1", mix.WeightedSpeedup)
+	}
+	// Two identical tenants split the node symmetrically.
+	if math.Abs(same.SlowdownA-same.SlowdownB) > 0.02 {
+		t.Errorf("identical tenants asymmetric: %v vs %v", same.SlowdownA, same.SlowdownB)
+	}
+}
+
+func TestSharedCapsRespected(t *testing.T) {
+	p := ivy(t)
+	for _, procCap := range []units.Power{120, 160, 200} {
+		for _, memCap := range []units.Power{90, 110} {
+			res, err := Run(p,
+				Job{Workload: wl(t, "dgemm"), CoreFrac: 0.6},
+				Job{Workload: wl(t, "mg"), CoreFrac: 0.4},
+				procCap, memCap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ProcPower > procCap+1 {
+				t.Errorf("proc=%v mem=%v: package power %v over shared cap", procCap, memCap, res.ProcPower)
+			}
+			if res.MemPower > memCap+1 {
+				t.Errorf("proc=%v mem=%v: DRAM power %v over shared cap", procCap, memCap, res.MemPower)
+			}
+		}
+	}
+}
+
+func TestMoreCoresMoreComputePerf(t *testing.T) {
+	// DGEMM's performance grows with its core share when power is ample.
+	p := ivy(t)
+	stream := wl(t, "stream")
+	dgemm := wl(t, "dgemm")
+	prev := -1.0
+	for _, frac := range []float64{0.3, 0.5, 0.7} {
+		res, err := Run(p,
+			Job{Workload: dgemm, CoreFrac: frac},
+			Job{Workload: stream, CoreFrac: 1 - frac},
+			0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PerfA < prev {
+			t.Fatalf("DGEMM perf not growing with cores at %v", frac)
+		}
+		prev = res.PerfA
+	}
+}
+
+func TestBestPartitionFavorsComputeBoundTenant(t *testing.T) {
+	// Pairing compute-bound DGEMM with memory-bound STREAM: the best
+	// partition gives DGEMM the larger core share (STREAM cannot feed
+	// more cores anyway).
+	p := ivy(t)
+	parts, best, err := BestPartition(p, wl(t, "dgemm"), wl(t, "stream"), 220, 120, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) < 5 {
+		t.Fatalf("partition sweep too coarse: %d", len(parts))
+	}
+	if parts[best].FracA < 0.5 {
+		t.Errorf("best DGEMM share = %v, want >= 0.5", parts[best].FracA)
+	}
+	// The best beats the naive even split.
+	evenIdx := -1
+	for i, pt := range parts {
+		if math.Abs(pt.FracA-0.5) < 0.01 {
+			evenIdx = i
+		}
+	}
+	if evenIdx >= 0 && parts[best].WeightedSpeedup < parts[evenIdx].WeightedSpeedup-1e-9 {
+		t.Error("best partition below the even split")
+	}
+	// Degenerate step falls back to the default.
+	if _, _, err := BestPartition(p, wl(t, "dgemm"), wl(t, "stream"), 220, 120, -1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAvgPhaseCollapsesMultiPhase(t *testing.T) {
+	w := wl(t, "bt")
+	ph := avgPhase(&w)
+	if ph.Weight != 1 {
+		t.Error("average phase weight")
+	}
+	if ph.OpsPerUnit <= 0 || ph.BytesPerUnit <= 0 {
+		t.Error("average phase lost its work")
+	}
+	if err := ph.Validate(); err != nil {
+		t.Errorf("average phase invalid: %v", err)
+	}
+	// Averages stay within the per-phase extremes.
+	lo, hi := math.Inf(1), 0.0
+	for _, p := range w.Phases {
+		lo = math.Min(lo, p.BytesPerUnit)
+		hi = math.Max(hi, p.BytesPerUnit)
+	}
+	if ph.BytesPerUnit < lo || ph.BytesPerUnit > hi {
+		t.Errorf("average bytes %v outside [%v, %v]", ph.BytesPerUnit, lo, hi)
+	}
+}

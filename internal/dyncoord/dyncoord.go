@@ -1,0 +1,238 @@
+// Package dyncoord implements dynamic, phase-aware power coordination —
+// the paper's stated future work ("online dynamic power budgeting and
+// distribution") and the remedy its Section 6.2 suggests for multi-phase
+// applications whose irregular profiles "suggest the need of adaptive
+// scheduling inside the application for best performance".
+//
+// Static COORD picks one allocation for a whole run from the workload's
+// aggregate profile. Dynamic COORD profiles each execution phase
+// separately and re-runs the coordination at every phase boundary, so a
+// memory-heavy transpose phase and a compute-heavy FFT phase each get an
+// allocation matched to their own critical power values — under the same
+// node budget throughout.
+package dyncoord
+
+import (
+	"fmt"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Step is one phase of a dynamic plan: the allocation COORD chose for it.
+type Step struct {
+	// Phase names the workload phase.
+	Phase string
+	// Weight is the phase's share of total work.
+	Weight float64
+	// Alloc is the allocation in force while the phase runs.
+	Alloc core.Allocation
+	// Status is COORD's verdict for this phase.
+	Status coord.Status
+}
+
+// Plan is a per-phase allocation schedule for one workload and budget.
+type Plan struct {
+	Workload string
+	Budget   units.Power
+	Steps    []Step
+}
+
+// phaseWorkload wraps one phase as a standalone single-phase workload so
+// the profiler and simulator can treat it independently.
+func phaseWorkload(w *workload.Workload, i int) workload.Workload {
+	ph := w.Phases[i]
+	ph.Weight = 1
+	return workload.Workload{
+		Name:            fmt.Sprintf("%s/%s", w.Name, ph.Name),
+		Suite:           w.Suite,
+		Desc:            w.Desc,
+		Kind:            w.Kind,
+		PerfUnit:        w.PerfUnit,
+		PerfPerUnitRate: w.PerfPerUnitRate,
+		Phases:          []workload.Phase{ph},
+	}
+}
+
+// PhaseProfiles extracts a critical-power profile for every phase of a
+// CPU workload. The cost is one lightweight profile per distinct phase —
+// still far below a full allocation sweep.
+func PhaseProfiles(p hw.Platform, w workload.Workload) ([]profile.CPUProfile, error) {
+	if p.Kind != hw.KindCPU {
+		return nil, fmt.Errorf("dyncoord: platform %q is not a CPU platform", p.Name)
+	}
+	profs := make([]profile.CPUProfile, len(w.Phases))
+	for i := range w.Phases {
+		pw := phaseWorkload(&w, i)
+		prof, err := profile.ProfileCPU(p, pw)
+		if err != nil {
+			return nil, fmt.Errorf("dyncoord: phase %q: %w", w.Phases[i].Name, err)
+		}
+		profs[i] = prof
+	}
+	return profs, nil
+}
+
+// PlanCPU builds a dynamic plan: COORD runs once per phase against that
+// phase's own profile, always under the same node budget. Phases whose
+// budget falls below their productive threshold inherit the static
+// allocation for the whole workload instead of stalling the run.
+func PlanCPU(p hw.Platform, w workload.Workload, budget units.Power) (Plan, error) {
+	profs, err := PhaseProfiles(p, w)
+	if err != nil {
+		return Plan{}, err
+	}
+	staticProf, err := profile.ProfileCPU(p, w)
+	if err != nil {
+		return Plan{}, err
+	}
+	staticDecision := coord.CPU(staticProf, budget)
+
+	plan := Plan{Workload: w.Name, Budget: budget}
+	for i, ph := range w.Phases {
+		d := coord.CPU(profs[i], budget)
+		if d.Status == coord.StatusTooSmall {
+			// Fall back to the whole-workload decision; if that too is
+			// rejected the plan reports it.
+			d = staticDecision
+		}
+		plan.Steps = append(plan.Steps, Step{
+			Phase:  ph.Name,
+			Weight: ph.Weight,
+			Alloc:  d.Alloc,
+			Status: d.Status,
+		})
+	}
+	return plan, nil
+}
+
+// Rejected reports whether any step has no usable allocation (the budget
+// is below both the phase and whole-workload thresholds).
+func (pl *Plan) Rejected() bool {
+	for _, s := range pl.Steps {
+		if s.Status == coord.StatusTooSmall {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxAllocated returns the largest total allocation across steps — the
+// node power bound the plan actually needs.
+func (pl *Plan) MaxAllocated() units.Power {
+	var m units.Power
+	for _, s := range pl.Steps {
+		if t := s.Alloc.Total(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Execution is the outcome of running a plan.
+type Execution struct {
+	// Perf is the aggregate performance in the workload's unit.
+	Perf float64
+	// AvgProcPower and AvgMemPower are time-weighted actual draws.
+	AvgProcPower, AvgMemPower units.Power
+	// PeakTotalPower is the highest per-phase actual draw — the value a
+	// node power bound must cover.
+	PeakTotalPower units.Power
+	// PhasePerfs records each phase's own rate (work units/s).
+	PhasePerfs []float64
+}
+
+// Execute runs each phase under its step's allocation and aggregates
+// exactly like a sequential execution: total time is the weighted sum of
+// per-phase times, powers are time-weighted.
+func (pl *Plan) Execute(p hw.Platform, w workload.Workload) (Execution, error) {
+	if len(pl.Steps) != len(w.Phases) {
+		return Execution{}, fmt.Errorf("dyncoord: plan has %d steps for %d phases",
+			len(pl.Steps), len(w.Phases))
+	}
+	var ex Execution
+	totalTime := 0.0
+	type phaseRun struct {
+		time      float64
+		proc, mem units.Power
+	}
+	var runs []phaseRun
+	for i := range w.Phases {
+		pw := phaseWorkload(&w, i)
+		res, err := sim.RunCPU(p, &pw, pl.Steps[i].Alloc.Proc, pl.Steps[i].Alloc.Mem)
+		if err != nil {
+			return Execution{}, err
+		}
+		rate := res.UnitRate.OpsPerSecond()
+		if rate <= 0 {
+			return Execution{}, fmt.Errorf("dyncoord: phase %q made no progress", w.Phases[i].Name)
+		}
+		ex.PhasePerfs = append(ex.PhasePerfs, rate)
+		t := pl.Steps[i].Weight / rate
+		totalTime += t
+		runs = append(runs, phaseRun{time: t, proc: res.ProcPower, mem: res.MemPower})
+		if tp := res.ProcPower + res.MemPower; tp > ex.PeakTotalPower {
+			ex.PeakTotalPower = tp
+		}
+	}
+	if totalTime <= 0 {
+		return Execution{}, fmt.Errorf("dyncoord: zero total time")
+	}
+	ex.Perf = w.PerfPerUnitRate / totalTime
+	for _, r := range runs {
+		share := r.time / totalTime
+		ex.AvgProcPower += units.Power(share * r.proc.Watts())
+		ex.AvgMemPower += units.Power(share * r.mem.Watts())
+	}
+	return ex, nil
+}
+
+// Comparison contrasts dynamic per-phase coordination against the static
+// whole-run COORD allocation for one workload and budget.
+type Comparison struct {
+	Workload string
+	Budget   units.Power
+	// StaticPerf and DynamicPerf are the aggregate performances; either
+	// is zero when the corresponding policy rejected the budget.
+	StaticPerf, DynamicPerf float64
+	// Gain is DynamicPerf/StaticPerf - 1.
+	Gain float64
+}
+
+// Compare evaluates both policies under the same budget.
+func Compare(p hw.Platform, w workload.Workload, budget units.Power) (Comparison, error) {
+	cmp := Comparison{Workload: w.Name, Budget: budget}
+
+	prof, err := profile.ProfileCPU(p, w)
+	if err != nil {
+		return cmp, err
+	}
+	if d := coord.CPU(prof, budget); d.Status != coord.StatusTooSmall {
+		res, err := sim.RunCPU(p, &w, d.Alloc.Proc, d.Alloc.Mem)
+		if err != nil {
+			return cmp, err
+		}
+		cmp.StaticPerf = res.Perf
+	}
+
+	plan, err := PlanCPU(p, w, budget)
+	if err != nil {
+		return cmp, err
+	}
+	if !plan.Rejected() {
+		ex, err := plan.Execute(p, w)
+		if err != nil {
+			return cmp, err
+		}
+		cmp.DynamicPerf = ex.Perf
+	}
+	if cmp.StaticPerf > 0 && cmp.DynamicPerf > 0 {
+		cmp.Gain = cmp.DynamicPerf/cmp.StaticPerf - 1
+	}
+	return cmp, nil
+}

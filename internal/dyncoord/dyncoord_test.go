@@ -1,0 +1,201 @@
+package dyncoord
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func ivy(t *testing.T) hw.Platform {
+	t.Helper()
+	p, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func wl(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPhaseProfilesPerPhase(t *testing.T) {
+	p := ivy(t)
+	w := wl(t, "ft") // fft (compute-lean) + transpose (memory-heavy)
+	profs, err := PhaseProfiles(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 2 {
+		t.Fatalf("profiles = %d, want 2", len(profs))
+	}
+	// The transpose phase demands a larger memory share than the FFT
+	// phase — that difference is what dynamic coordination exploits.
+	fftShare := profs[0].Critical.MemMax.Watts() /
+		(profs[0].Critical.MemMax + profs[0].Critical.CPUMax).Watts()
+	trShare := profs[1].Critical.MemMax.Watts() /
+		(profs[1].Critical.MemMax + profs[1].Critical.CPUMax).Watts()
+	if trShare <= fftShare {
+		t.Errorf("transpose memory share %.2f should exceed fft %.2f", trShare, fftShare)
+	}
+	// GPU platform rejected.
+	xp, _ := hw.PlatformByName("titanxp")
+	if _, err := PhaseProfiles(xp, w); err == nil {
+		t.Error("GPU platform accepted")
+	}
+}
+
+func TestPlanRespectsBudget(t *testing.T) {
+	p := ivy(t)
+	for _, name := range []string{"bt", "sp", "ft", "mg", "lu"} {
+		w := wl(t, name)
+		for _, budget := range []units.Power{180, 210, 240} {
+			plan, err := PlanCPU(p, w, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Rejected() {
+				continue
+			}
+			if got := plan.MaxAllocated(); got > budget+0.01 {
+				t.Errorf("%s at %v: plan allocates %v", name, budget, got)
+			}
+			if len(plan.Steps) != len(w.Phases) {
+				t.Errorf("%s: %d steps for %d phases", name, len(plan.Steps), len(w.Phases))
+			}
+		}
+	}
+}
+
+func TestExecuteMatchesStaticForSinglePhase(t *testing.T) {
+	// For a single-phase workload, per-phase coordination IS static
+	// coordination: identical allocation, identical performance.
+	p := ivy(t)
+	w := wl(t, "dgemm")
+	cmp, err := Compare(p, w, 230)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.StaticPerf <= 0 || cmp.DynamicPerf <= 0 {
+		t.Fatalf("both policies should run: %+v", cmp)
+	}
+	if math.Abs(cmp.Gain) > 0.001 {
+		t.Errorf("single-phase gain should be ~0, got %.3f", cmp.Gain)
+	}
+}
+
+func TestDynamicNeverLosesToStatic(t *testing.T) {
+	// Per-phase allocations are tailored to each phase; aggregate
+	// performance must not fall below the static whole-run allocation
+	// (beyond actuator-quantization noise).
+	p := ivy(t)
+	for _, name := range []string{"bt", "sp", "ft", "mg", "lu"} {
+		w := wl(t, name)
+		for _, budget := range []units.Power{200, 230, 260} {
+			cmp, err := Compare(p, w, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmp.StaticPerf == 0 || cmp.DynamicPerf == 0 {
+				continue
+			}
+			if cmp.Gain < -0.02 {
+				t.Errorf("%s at %v: dynamic loses %.1f%% to static", name, budget, -cmp.Gain*100)
+			}
+		}
+	}
+}
+
+func TestDynamicGainsOnPhaseHeterogeneousWorkloads(t *testing.T) {
+	// FT's fft and transpose phases have very different memory demand;
+	// at a budget that pinches the whole-run profile, per-phase
+	// reallocation must buy measurable performance somewhere.
+	p := ivy(t)
+	bestGain := 0.0
+	for _, name := range []string{"ft", "bt", "sp", "mg", "lu"} {
+		w := wl(t, name)
+		for _, budget := range []units.Power{185, 200, 215, 230} {
+			cmp, err := Compare(p, w, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmp.StaticPerf > 0 && cmp.DynamicPerf > 0 && cmp.Gain > bestGain {
+				bestGain = cmp.Gain
+			}
+		}
+	}
+	if bestGain < 0.02 {
+		t.Errorf("dynamic coordination should gain >2%% somewhere, best was %.2f%%", bestGain*100)
+	}
+}
+
+func TestExecutionPowersBoundedByBudget(t *testing.T) {
+	p := ivy(t)
+	w := wl(t, "ft")
+	budget := units.Power(220)
+	plan, err := PlanCPU(p, w, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rejected() {
+		t.Skip("budget rejected")
+	}
+	ex, err := plan.Execute(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.PeakTotalPower > budget+1 {
+		t.Errorf("peak power %v exceeds budget %v", ex.PeakTotalPower, budget)
+	}
+	if ex.AvgProcPower <= 0 || ex.AvgMemPower <= 0 {
+		t.Error("average powers missing")
+	}
+	if len(ex.PhasePerfs) != len(w.Phases) {
+		t.Error("per-phase rates missing")
+	}
+}
+
+func TestExecuteStepMismatch(t *testing.T) {
+	p := ivy(t)
+	w := wl(t, "ft")
+	plan := Plan{Workload: "ft", Budget: 220, Steps: []Step{{Phase: "only-one", Weight: 1}}}
+	if _, err := plan.Execute(p, w); err == nil {
+		t.Error("step/phase mismatch accepted")
+	}
+}
+
+func TestDynamicConsistentWithDirectSim(t *testing.T) {
+	// If every step uses the same allocation, Execute must agree with the
+	// one-shot simulator on aggregate performance.
+	p := ivy(t)
+	w := wl(t, "mg")
+	alloc := struct{ proc, mem units.Power }{120, 110}
+	var plan Plan
+	for _, ph := range w.Phases {
+		plan.Steps = append(plan.Steps, Step{
+			Phase: ph.Name, Weight: ph.Weight,
+			Alloc: core.Allocation{Proc: alloc.proc, Mem: alloc.mem},
+		})
+	}
+	ex, err := plan.Execute(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sim.RunCPU(p, &w, alloc.proc, alloc.mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ex.Perf-direct.Perf) > 0.01*direct.Perf {
+		t.Errorf("uniform plan perf %.2f vs direct sim %.2f", ex.Perf, direct.Perf)
+	}
+}

@@ -1,0 +1,128 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a named runner that regenerates the
+// corresponding data — the same rows and series the paper reports — and
+// checks the paper's headline claims against the simulated results,
+// recording each check as a finding.
+//
+// The experiment index in DESIGN.md maps each runner to the paper
+// artifact it reproduces; EXPERIMENTS.md records paper-vs-measured for
+// each one.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/svgplot"
+)
+
+// Finding is one checked claim: what the paper reports versus what the
+// reproduction measured.
+type Finding struct {
+	// Claim restates the paper's assertion.
+	Claim string
+	// Measured is the reproduced value or observation.
+	Measured string
+	// Pass reports whether the reproduction supports the claim.
+	Pass bool
+}
+
+// String renders "[ok|MISS] claim — measured".
+func (f Finding) String() string {
+	tag := "ok  "
+	if !f.Pass {
+		tag = "MISS"
+	}
+	return fmt.Sprintf("[%s] %s — %s", tag, f.Claim, f.Measured)
+}
+
+// Output is the result of one experiment.
+type Output struct {
+	// ID is the artifact identifier, e.g. "fig3" or "table1".
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Tables holds the regenerated data.
+	Tables []*report.Table
+	// Charts holds pre-rendered text charts.
+	Charts []string
+	// Figures holds SVG charts regenerating the paper's plots; the
+	// experiments runner writes them next to the text artifacts.
+	Figures []svgplot.Chart
+	// Findings holds the checked claims.
+	Findings []Finding
+}
+
+// Passed reports whether every finding passed.
+func (o *Output) Passed() bool {
+	for _, f := range o.Findings {
+		if !f.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Render prints the full experiment output as text.
+func (o *Output) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n\n", o.ID, o.Title)
+	for _, t := range o.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, c := range o.Charts {
+		b.WriteString(c)
+		b.WriteByte('\n')
+	}
+	if len(o.Findings) > 0 {
+		b.WriteString("Findings:\n")
+		for _, f := range o.Findings {
+			b.WriteString("  " + f.String() + "\n")
+		}
+	}
+	return b.String()
+}
+
+// Runner regenerates one paper artifact.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func() (Output, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{ID: "fig1", Title: "STREAM under power bounds: perf vs budget and vs allocation (CPU and GPU)", Run: Fig1},
+		{ID: "fig2", Title: "Upper performance bound perf_max vs total budget (DGEMM, RandomAccess; IvyBridge, Haswell)", Run: Fig2},
+		{ID: "fig3", Title: "Categorization of power allocation scenarios (SRA at 240 W on IvyBridge)", Run: Fig3},
+		{ID: "fig4", Title: "Scenario patterns across total budgets (SRA, EP-DGEMM on IvyBridge)", Run: Fig4},
+		{ID: "fig5", Title: "Balanced compute and memory access at 208 W (DGEMM, STREAM on IvyBridge)", Run: Fig5},
+		{ID: "table1", Title: "Optimal allocation and critical component vs power budget", Run: Table1},
+		{ID: "table2", Title: "CPU and GPU platforms used in experiments", Run: Table2},
+		{ID: "table3", Title: "Benchmarks used in this study", Run: Table3},
+		{ID: "fig6", Title: "GPU upper performance bound vs power cap (SGEMM, MiniFE on Titan XP and Titan V)", Run: Fig6},
+		{ID: "fig7", Title: "GPU performance trends vs memory power allocation under various caps", Run: Fig7},
+		{ID: "fig8", Title: "Performance profiles of all benchmarks on the experimental platforms", Run: Fig8},
+		{ID: "fig9", Title: "COORD vs best vs baselines (CPU and GPU)", Run: Fig9},
+		{ID: "insights", Title: "The four research questions of Section 2.1, answered per benchmark", Run: Insights},
+	}
+}
+
+// ByID returns the runner for an artifact ID.
+func ByID(id string) (Runner, error) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	var ids []string
+	for _, r := range All() {
+		ids = append(ids, r.ID)
+	}
+	sort.Strings(ids)
+	return Runner{}, fmt.Errorf("experiments: unknown id %q (valid: %v)", id, ids)
+}

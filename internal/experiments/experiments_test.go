@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllRunnersRegistered(t *testing.T) {
+	runners := All()
+	if len(runners) != 13 {
+		t.Fatalf("runner count = %d, want 13 (9 figures + 3 tables + insights)", len(runners))
+	}
+	wantOrder := []string{"fig1", "fig2", "fig3", "fig4", "fig5",
+		"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "insights"}
+	for i, r := range runners {
+		if r.ID != wantOrder[i] {
+			t.Errorf("runner %d = %s, want %s", i, r.ID, wantOrder[i])
+		}
+		if r.Run == nil || r.Title == "" {
+			t.Errorf("runner %s incomplete", r.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	r, err := ByID("fig3")
+	if err != nil || r.ID != "fig3" {
+		t.Errorf("ByID(fig3) = %v, %v", r.ID, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// TestEveryExperimentReproducesItsClaims runs the full evaluation: every
+// figure and table regenerates, and every checked claim from the paper
+// holds in the reproduction.
+func TestEveryExperimentReproducesItsClaims(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			out, err := r.Run()
+			if err != nil {
+				t.Fatalf("%s failed: %v", r.ID, err)
+			}
+			if out.ID != r.ID {
+				t.Errorf("output id %q, want %q", out.ID, r.ID)
+			}
+			if len(out.Tables) == 0 {
+				t.Errorf("%s produced no tables", r.ID)
+			}
+			if len(out.Findings) == 0 {
+				t.Errorf("%s checked no claims", r.ID)
+			}
+			for _, f := range out.Findings {
+				if !f.Pass {
+					t.Errorf("%s claim failed: %s", r.ID, f)
+				}
+			}
+			// Render must produce parseable text with the findings block.
+			text := out.Render()
+			if !strings.Contains(text, r.ID) || !strings.Contains(text, "Findings:") {
+				t.Errorf("%s render incomplete", r.ID)
+			}
+		})
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Claim: "c", Measured: "m", Pass: true}
+	if got := f.String(); !strings.Contains(got, "ok") || !strings.Contains(got, "c — m") {
+		t.Errorf("finding string = %q", got)
+	}
+	f.Pass = false
+	if got := f.String(); !strings.Contains(got, "MISS") {
+		t.Errorf("failed finding string = %q", got)
+	}
+}
+
+func TestOutputPassed(t *testing.T) {
+	o := Output{Findings: []Finding{{Pass: true}, {Pass: true}}}
+	if !o.Passed() {
+		t.Error("all-pass output reported failure")
+	}
+	o.Findings = append(o.Findings, Finding{Pass: false})
+	if o.Passed() {
+		t.Error("failing output reported success")
+	}
+}
+
+func TestFigureArtifactsCarrySVGs(t *testing.T) {
+	// The figure artifacts that plot curves must also emit SVG figures.
+	for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig6", "fig9"} {
+		r, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Figures) == 0 {
+			t.Errorf("%s has no SVG figures", id)
+		}
+		for i, f := range out.Figures {
+			svg := f.SVG()
+			if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "polyline") {
+				t.Errorf("%s figure %d renders no lines", id, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/report"
+	"repro/internal/svgplot"
+	"repro/internal/sweep"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Fig1 reproduces Figure 1: STREAM under power bounds on the IvyBridge
+// CPU node and the Titan XP GPU. Left panels: performance versus total
+// budget; right panels: performance versus cross-component allocation at
+// a fixed budget (208 W CPU, 140 W GPU).
+func Fig1() (Output, error) {
+	out := Output{ID: "fig1", Title: "STREAM: performance under power bounds (CPU and GPU)"}
+
+	ivy, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		return out, err
+	}
+	xp, err := hw.PlatformByName("titanxp")
+	if err != nil {
+		return out, err
+	}
+	cpuW, err := workload.ByName("stream")
+	if err != nil {
+		return out, err
+	}
+	gpuW, err := workload.ByName("gpustream")
+	if err != nil {
+		return out, err
+	}
+
+	// (a) left: CPU perf_max vs budget (reported per core, as the paper
+	// does).
+	curve, err := sweep.BudgetCurve(ivy, cpuW, 130, 280, 16)
+	if err != nil {
+		return out, err
+	}
+	cores := float64(ivy.CPU.Cores())
+	tb := report.NewTable("Fig 1a-left: CPU STREAM perf_max vs budget (per core)",
+		"budget (W)", "GB/s per core")
+	var perCore []float64
+	for i := range curve.X {
+		perCore = append(perCore, curve.Y[i]/cores)
+		tb.AddRowf(curve.X[i], curve.Y[i]/cores)
+	}
+	out.Tables = append(out.Tables, tb)
+	out.Charts = append(out.Charts,
+		report.Chart("Fig 1a-left (shape)", curve.X, perCore, 48, 10))
+
+	// (a) right: CPU split at 208 W.
+	splits, err := sweep.CPUSplit(ivy, cpuW, 208, nil)
+	if err != nil {
+		return out, err
+	}
+	tb = report.NewTable("Fig 1a-right: CPU STREAM at 208 W vs allocation",
+		"P_cpu (W)", "P_mem (W)", "GB/s per core", "actual total (W)")
+	var best, worst float64
+	worst = 1e18
+	var totalsUnder int
+	for _, sp := range splits {
+		perf := sp.Perf / cores
+		best = maxf(best, perf)
+		worst = minf(worst, perf)
+		total := (sp.ProcActual + sp.MemActual).Watts()
+		if total <= 208+1 {
+			totalsUnder++
+		}
+		tb.AddRowf(sp.Alloc.Proc.Watts(), sp.Alloc.Mem.Watts(), perf, total)
+	}
+	out.Tables = append(out.Tables, tb)
+	spread := best / worst
+	out.Findings = append(out.Findings, Finding{
+		Claim:    "CPU STREAM at 208 W: optimal allocation up to ~30x better than the poorest",
+		Measured: fmt.Sprintf("best/worst = %.1fx", spread),
+		Pass:     spread > 10,
+	})
+	out.Findings = append(out.Findings, Finding{
+		Claim:    "power capping keeps actual total power under the 208 W budget",
+		Measured: fmt.Sprintf("%d of %d allocations under budget", totalsUnder, len(splits)),
+		Pass:     totalsUnder >= len(splits)*9/10,
+	})
+
+	// (b) left: GPU perf_max vs cap.
+	gcurve, err := sweep.BudgetCurve(xp, gpuW, xp.GPU.MinCap, xp.GPU.MaxCap, 8)
+	if err != nil {
+		return out, err
+	}
+	tb = report.NewTable("Fig 1b-left: GPU STREAM perf_max vs cap (total)",
+		"cap (W)", "GB/s")
+	for i := range gcurve.X {
+		tb.AddRowf(gcurve.X[i], gcurve.Y[i])
+	}
+	out.Tables = append(out.Tables, tb)
+	out.Charts = append(out.Charts,
+		report.Chart("Fig 1b-left (shape)", gcurve.X, gcurve.Y, 48, 10))
+
+	// (b) right: GPU split at 140 W.
+	pb := core.NewProblem(xp, gpuW, 140)
+	evals, err := pb.Sweep()
+	if err != nil {
+		return out, err
+	}
+	tb = report.NewTable("Fig 1b-right: GPU STREAM at 140 W vs allocation",
+		"P_mem est (W)", "P_SM est (W)", "GB/s", "actual total (W)")
+	gBest, gWorst := 0.0, 1e18
+	for _, e := range evals {
+		gBest = maxf(gBest, e.Result.Perf)
+		gWorst = minf(gWorst, e.Result.Perf)
+		tb.AddRowf(e.Alloc.Mem.Watts(), e.Alloc.Proc.Watts(), e.Result.Perf,
+			e.Result.TotalPower.Watts())
+	}
+	out.Tables = append(out.Tables, tb)
+
+	// SVG panels: the two perf-vs-budget curves and the two fixed-budget
+	// allocation splits.
+	curveFig := svgplot.Chart{
+		Title:  "Fig 1 left: STREAM perf_max vs budget (normalized)",
+		XLabel: "total power budget / cap (W)", YLabel: "fraction of peak", Markers: true,
+	}
+	addNormalized(&curveFig, "cpu stream (per core)", curve.X, perCore)
+	addNormalized(&curveFig, "gpu stream", gcurve.X, gcurve.Y)
+	splitFig := svgplot.Chart{
+		Title:  "Fig 1 right: STREAM perf vs allocation at a fixed budget (normalized)",
+		XLabel: "memory allocation share of the budget", YLabel: "fraction of best", Markers: true,
+	}
+	var cpuX, cpuY, gpuX, gpuY []float64
+	for _, sp := range splits {
+		cpuX = append(cpuX, sp.Alloc.Mem.Watts()/208)
+		cpuY = append(cpuY, sp.Perf/cores)
+	}
+	for _, e := range evals {
+		gpuX = append(gpuX, e.Alloc.Mem.Watts()/140)
+		gpuY = append(gpuY, e.Result.Perf)
+	}
+	addNormalized(&splitFig, "cpu stream @ 208 W", cpuX, cpuY)
+	addNormalized(&splitFig, "gpu stream @ 140 W", gpuX, gpuY)
+	out.Figures = append(out.Figures, curveFig, splitFig)
+
+	gSpread := gBest / gWorst
+	out.Findings = append(out.Findings, Finding{
+		Claim:    "GPU STREAM at 140 W: best allocation over 30% higher than the poorest",
+		Measured: fmt.Sprintf("best/worst = %.2fx", gSpread),
+		Pass:     gSpread > 1.3,
+	})
+	out.Findings = append(out.Findings, Finding{
+		Claim:    "upper performance bound flattens sooner on the GPU than on the CPU",
+		Measured: fmt.Sprintf("GPU curve flat over last half: %v", flatTail(gcurve.Y)),
+		Pass:     flatTail(gcurve.Y),
+	})
+	return out, nil
+}
+
+// addNormalized adds a series scaled to its own maximum, so panels with
+// different units share one set of axes.
+func addNormalized(fig *svgplot.Chart, name string, xs, ys []float64) {
+	peak := 0.0
+	for _, y := range ys {
+		peak = maxf(peak, y)
+	}
+	norm := make([]float64, len(ys))
+	for i, y := range ys {
+		if peak > 0 {
+			norm[i] = y / peak
+		}
+	}
+	// Errors are impossible here: xs and ys always match in length.
+	_ = fig.Add(name, xs, norm)
+}
+
+// flatTail reports whether the last quarter of a series is within 2% of
+// its final value — the curve has stopped growing by the end of the
+// studied budget range.
+func flatTail(ys []float64) bool {
+	if len(ys) < 4 {
+		return false
+	}
+	last := ys[len(ys)-1]
+	for _, y := range ys[len(ys)*3/4:] {
+		if last == 0 || absf(y-last)/last > 0.02 {
+			return false
+		}
+	}
+	return true
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func absf(a float64) float64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// budgetsBetween returns budgets from lo to hi inclusive in the given
+// step (shared helper for several figures).
+func budgetsBetween(lo, hi, step units.Power) []units.Power {
+	var out []units.Power
+	for b := lo; b <= hi; b += step {
+		out = append(out, b)
+	}
+	return out
+}

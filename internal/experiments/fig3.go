@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/category"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/report"
+	"repro/internal/svgplot"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// Fig3 reproduces Figure 3: the six-way categorization of power
+// allocation scenarios for RandomAccess at a 240 W budget on IvyBridge —
+// (a) performance and (b) actual component powers versus the allocation,
+// with each point labeled by scenario.
+func Fig3() (Output, error) {
+	out := Output{ID: "fig3", Title: "Scenario categorization: SRA at 240 W on IvyBridge"}
+
+	p, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		return out, err
+	}
+	w, err := workload.ByName("sra")
+	if err != nil {
+		return out, err
+	}
+	prof, err := profile.ProfileCPU(p, w)
+	if err != nil {
+		return out, err
+	}
+	splits, err := sweep.CPUSplit(p, w, 240, &prof)
+	if err != nil {
+		return out, err
+	}
+
+	tb := report.NewTable("Fig 3: SRA at 240 W — performance and actual power by allocation",
+		"P_mem alloc (W)", "P_cpu alloc (W)", "scenario", "GUP/s", "actual CPU (W)", "actual DRAM (W)")
+	var perfs []float64
+	for _, sp := range splits {
+		tb.AddRowf(sp.Alloc.Mem.Watts(), sp.Alloc.Proc.Watts(), sp.Scenario,
+			sp.Perf, sp.ProcActual.Watts(), sp.MemActual.Watts())
+		perfs = append(perfs, sp.Perf)
+	}
+	out.Tables = append(out.Tables, tb)
+	out.Charts = append(out.Charts, "perf by rising P_mem: "+report.Sparkline(perfs)+"\n")
+
+	// SVG figures mirroring the paper's two panels: performance and
+	// actual component powers versus the memory allocation.
+	var memX, procActY, memActY []float64
+	for _, sp := range splits {
+		memX = append(memX, sp.Alloc.Mem.Watts())
+		procActY = append(procActY, sp.ProcActual.Watts())
+		memActY = append(memActY, sp.MemActual.Watts())
+	}
+	perfFig := svgplot.Chart{
+		Title:  "Fig 3a: SRA performance vs memory allocation (240 W budget)",
+		XLabel: "P_mem allocation (W)", YLabel: "GUP/s", Markers: true,
+	}
+	if err := perfFig.Add("sra", memX, perfs); err != nil {
+		return out, err
+	}
+	powerFig := svgplot.Chart{
+		Title:  "Fig 3b: actual component power vs memory allocation (240 W budget)",
+		XLabel: "P_mem allocation (W)", YLabel: "actual power (W)", Markers: true,
+	}
+	if err := powerFig.Add("CPU actual", memX, procActY); err != nil {
+		return out, err
+	}
+	if err := powerFig.Add("DRAM actual", memX, memActY); err != nil {
+		return out, err
+	}
+	out.Figures = append(out.Figures, perfFig, powerFig)
+
+	// Span table (the scenario bands of the figure).
+	spans := prof.Critical.Spans(240, 40, 40, 4)
+	sb := report.NewTable("Fig 3: scenario spans along the memory-allocation axis",
+		"scenario", "P_mem span (W)", "P_cpu span (W)", "description")
+	for _, s := range spans {
+		sb.AddRow(s.Scenario.String(),
+			fmt.Sprintf("[%.0f, %.0f]", s.MemLo.Watts(), s.MemHi.Watts()),
+			fmt.Sprintf("[%.0f, %.0f]", s.ProcLo.Watts(), s.ProcHi.Watts()),
+			s.Scenario.Describe())
+	}
+	out.Tables = append(out.Tables, sb)
+
+	// Claim: all six scenarios appear at 240 W.
+	seen := map[category.Scenario]bool{}
+	for _, sp := range splits {
+		seen[sp.Scenario] = true
+	}
+	out.Findings = append(out.Findings, Finding{
+		Claim:    "six scenario categories appear for SRA at a 240 W budget",
+		Measured: fmt.Sprintf("%d distinct scenarios", len(seen)),
+		Pass:     len(seen) == 6,
+	})
+
+	// Claim: in scenario I both actual powers stay constant (~112 W CPU,
+	// ~116 W DRAM in the paper).
+	var iCPU, iMem []float64
+	for _, sp := range splits {
+		if sp.Scenario == category.ScenarioI {
+			iCPU = append(iCPU, sp.ProcActual.Watts())
+			iMem = append(iMem, sp.MemActual.Watts())
+		}
+	}
+	constOK := len(iCPU) > 0 && rangeOf(iCPU) < 3 && rangeOf(iMem) < 3
+	msg := "no scenario I points"
+	if len(iCPU) > 0 {
+		msg = fmt.Sprintf("scenario I actual: CPU %.0f W (±%.1f), DRAM %.0f W (±%.1f)",
+			meanOf(iCPU), rangeOf(iCPU)/2, meanOf(iMem), rangeOf(iMem)/2)
+	}
+	out.Findings = append(out.Findings, Finding{
+		Claim:    "scenario I: actual component powers are constant (~112 W CPU, ~116 W DRAM)",
+		Measured: msg,
+		Pass: constOK && len(iCPU) > 0 &&
+			meanOf(iCPU) > 100 && meanOf(iCPU) < 120 &&
+			meanOf(iMem) > 108 && meanOf(iMem) < 124,
+	})
+
+	// Claim: scenario IV — memory consumes much less than its allocation.
+	worstUse := 1.0
+	for _, sp := range splits {
+		if sp.Scenario == category.ScenarioIV && sp.Alloc.Mem > 0 {
+			worstUse = minf(worstUse, sp.MemActual.Watts()/sp.Alloc.Mem.Watts())
+		}
+	}
+	out.Findings = append(out.Findings, Finding{
+		Claim:    "scenario IV: memory consumes much less power than its allocation",
+		Measured: fmt.Sprintf("lowest DRAM usage ratio = %.2f", worstUse),
+		Pass:     worstUse < 0.75,
+	})
+
+	// Claim: scenario II degrades gradually, scenario IV sharply.
+	gradual, sharp := scenarioDrop(splits, category.ScenarioII), scenarioDrop(splits, category.ScenarioIV)
+	out.Findings = append(out.Findings, Finding{
+		Claim:    "performance declines gradually in scenario II and sharply in scenario IV",
+		Measured: fmt.Sprintf("relative perf span: II %.2f, IV %.2f", gradual, sharp),
+		Pass:     sharp > gradual,
+	})
+	return out, nil
+}
+
+// scenarioDrop returns the relative performance span within a scenario's
+// points (max-min over max).
+func scenarioDrop(splits []sweep.SplitPoint, s category.Scenario) float64 {
+	lo, hi := 1e18, 0.0
+	for _, sp := range splits {
+		if sp.Scenario == s {
+			lo = minf(lo, sp.Perf)
+			hi = maxf(hi, sp.Perf)
+		}
+	}
+	if hi <= 0 || lo > hi {
+		return 0
+	}
+	return (hi - lo) / hi
+}
+
+func rangeOf(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	lo, hi := vs[0], vs[0]
+	for _, v := range vs {
+		lo = minf(lo, v)
+		hi = maxf(hi, v)
+	}
+	return hi - lo
+}
+
+func meanOf(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/category"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/report"
+	"repro/internal/svgplot"
+	"repro/internal/sweep"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Fig4 reproduces Figure 4: the scenario patterns for (a) star
+// RandomAccess and (b) EP-DGEMM across a range of total budgets on the
+// IvyBridge system, showing how the number of categories and the span of
+// each scenario vary with the budget — in particular, scenario I
+// disappears once the budget drops below the sum of the components'
+// maximum demands.
+func Fig4() (Output, error) {
+	out := Output{ID: "fig4", Title: "Scenario patterns across budgets (SRA, EP-DGEMM on IvyBridge)"}
+
+	p, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		return out, err
+	}
+	budgets := budgetsBetween(170, 260, 30)
+
+	for _, wl := range []string{"sra", "dgemm"} {
+		w, err := workload.ByName(wl)
+		if err != nil {
+			return out, err
+		}
+		prof, err := profile.ProfileCPU(p, w)
+		if err != nil {
+			return out, err
+		}
+		demand := prof.Critical.CPUMax + prof.Critical.MemMax
+
+		tb := report.NewTable(
+			fmt.Sprintf("Fig 4: %s scenario presence by budget (demand %.0f W)", wl, demand.Watts()),
+			"budget (W)", "scenarios present", "best alloc", "best perf", "spread")
+		var sawIBelow, sawIAbove bool
+		for _, b := range budgets {
+			splits, err := sweep.CPUSplit(p, w, b, &prof)
+			if err != nil {
+				return out, err
+			}
+			present := map[category.Scenario]bool{}
+			bestPerf, worstPerf := 0.0, 1e18
+			var bestAlloc string
+			for _, sp := range splits {
+				present[sp.Scenario] = true
+				if sp.Perf > bestPerf {
+					bestPerf = sp.Perf
+					bestAlloc = fmt.Sprintf("(%.0f, %.0f)", sp.Alloc.Proc.Watts(), sp.Alloc.Mem.Watts())
+				}
+				worstPerf = minf(worstPerf, sp.Perf)
+			}
+			if present[category.ScenarioI] {
+				if b < demand {
+					sawIBelow = true
+				} else {
+					sawIAbove = true
+				}
+			}
+			tb.AddRow(
+				report.FormatFloat(b.Watts()),
+				scenarioList(present),
+				bestAlloc,
+				report.FormatFloat(bestPerf),
+				fmt.Sprintf("%.1fx", bestPerf/maxf(worstPerf, 1e-12)),
+			)
+		}
+		out.Tables = append(out.Tables, tb)
+
+		fig := svgplot.Chart{
+			Title:  fmt.Sprintf("Fig 4: %s performance vs memory allocation, one curve per budget", wl),
+			XLabel: "P_mem allocation (W)", YLabel: w.PerfUnit, Markers: true,
+		}
+		for _, b := range budgets {
+			splits, err := sweep.CPUSplit(p, w, b, &prof)
+			if err != nil {
+				return out, err
+			}
+			var xs, ys []float64
+			for _, sp := range splits {
+				xs = append(xs, sp.Alloc.Mem.Watts())
+				ys = append(ys, sp.Perf)
+			}
+			if err := fig.Add(fmt.Sprintf("P_b = %.0f W", b.Watts()), xs, ys); err != nil {
+				return out, err
+			}
+		}
+		out.Figures = append(out.Figures, fig)
+
+		out.Findings = append(out.Findings, Finding{
+			Claim:    fmt.Sprintf("%s: scenario I appears only when the budget covers both components' max demands", wl),
+			Measured: fmt.Sprintf("I below demand: %v, I above demand: %v", sawIBelow, sawIAbove),
+			Pass:     !sawIBelow && (sawIAbove || budgetsAllBelow(budgets, demand)),
+		})
+	}
+	return out, nil
+}
+
+func scenarioList(present map[category.Scenario]bool) string {
+	var s string
+	for sc := category.ScenarioI; sc <= category.ScenarioVI; sc++ {
+		if present[sc] {
+			if s != "" {
+				s += ","
+			}
+			s += sc.String()
+		}
+	}
+	return s
+}
+
+func budgetsAllBelow(budgets []units.Power, demand units.Power) bool {
+	for _, b := range budgets {
+		if b >= demand {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/report"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// Fig5 reproduces Figure 5: the allocated capacity and utilization of
+// compute and memory access for DGEMM and STREAM at a 208 W budget on
+// IvyBridge. At the optimal allocation both utilizations approach 100%;
+// away from it the under-powered component saturates while the other
+// sits idle.
+func Fig5() (Output, error) {
+	out := Output{ID: "fig5", Title: "Balanced compute and memory access at 208 W (IvyBridge)"}
+
+	p, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		return out, err
+	}
+	for _, wl := range []string{"dgemm", "stream"} {
+		w, err := workload.ByName(wl)
+		if err != nil {
+			return out, err
+		}
+		pts, err := sweep.CPUBalance(p, w, 208, 8)
+		if err != nil {
+			return out, err
+		}
+		tb := report.NewTable(
+			fmt.Sprintf("Fig 5: %s capacity and utilization at 208 W", wl),
+			"P_cpu (W)", "P_mem (W)", "compute util", "memory util", w.PerfUnit)
+		best := pts[0]
+		for _, bp := range pts {
+			tb.AddRowf(bp.Alloc.Proc.Watts(), bp.Alloc.Mem.Watts(),
+				bp.ComputeUtil, bp.MemUtil, bp.Perf)
+			if bp.Perf > best.Perf {
+				best = bp
+			}
+		}
+		out.Tables = append(out.Tables, tb)
+
+		out.Findings = append(out.Findings, Finding{
+			Claim:    fmt.Sprintf("%s: at the optimal allocation both utilizations are high (close to 100%%)", wl),
+			Measured: fmt.Sprintf("best point %v: compute %.2f, memory %.2f", best.Alloc, best.ComputeUtil, best.MemUtil),
+			Pass:     best.ComputeUtil > 0.75 && best.MemUtil > 0.75,
+		})
+
+		// Away from the optimum execution is bounded by the starved side:
+		// the sweep's extremes (memory starved on one end, processor
+		// starved on the other) must be far less balanced than the
+		// optimum, with the starved component saturated.
+		memStarved := pts[len(pts)-1] // highest P_cpu, lowest P_mem
+		procStarved := pts[0]         // lowest P_cpu, highest P_mem
+		bestBal := balance(best.ComputeUtil, best.MemUtil)
+		memBal := balance(memStarved.ComputeUtil, memStarved.MemUtil)
+		procBal := balance(procStarved.ComputeUtil, procStarved.MemUtil)
+		out.Findings = append(out.Findings, Finding{
+			Claim:    fmt.Sprintf("%s: away from the optimum, execution is bounded by the starved component", wl),
+			Measured: fmt.Sprintf("balance at optimum %.2f vs mem-starved %.2f (mem util %.2f) and proc-starved %.2f (compute util %.2f)", bestBal, memBal, memStarved.MemUtil, procBal, procStarved.ComputeUtil),
+			Pass: bestBal > memBal && bestBal > procBal &&
+				memStarved.MemUtil > 0.9 && procStarved.ComputeUtil > 0.9,
+		})
+	}
+	return out, nil
+}
+
+// balance is the min/max ratio of the two utilizations — 1 when
+// perfectly balanced, 0 when one side idles.
+func balance(a, b float64) float64 {
+	hi, lo := maxf(a, b), minf(a, b)
+	if hi == 0 {
+		return 0
+	}
+	return lo / hi
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/category"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/report"
+	"repro/internal/sweep"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Fig8 reproduces Figure 8: the performance profiles of all benchmarks on
+// the experimental platforms. Every CPU benchmark is swept at a fixed
+// budget on IvyBridge and Haswell; every GPU benchmark on the Titan XP.
+// The paper's claim: all benchmarks share the same categorical patterns
+// while differing in sensitivity, spans, magnitudes, and optimal points.
+func Fig8() (Output, error) {
+	out := Output{ID: "fig8", Title: "Profiles of all benchmarks on the experimental platforms"}
+
+	const cpuBudget = units.Power(208)
+	for _, platform := range []string{"ivybridge", "haswell"} {
+		p, err := hw.PlatformByName(platform)
+		if err != nil {
+			return out, err
+		}
+		tb := report.NewTable(
+			fmt.Sprintf("Fig 8: CPU benchmarks on %s at %v", platform, cpuBudget),
+			"benchmark", "perf trend over rising P_mem", "scenarios", "best alloc", "best perf", "spread")
+		allShareCategories := true
+		for _, w := range workload.CPUWorkloads() {
+			prof, err := profile.ProfileCPU(p, w)
+			if err != nil {
+				return out, err
+			}
+			splits, err := sweep.CPUSplit(p, w, cpuBudget, &prof)
+			if err != nil {
+				return out, err
+			}
+			present := map[category.Scenario]bool{}
+			var perfs []float64
+			best, worst := splits[0], splits[0]
+			for _, sp := range splits {
+				present[sp.Scenario] = true
+				perfs = append(perfs, sp.Perf)
+				if sp.Perf > best.Perf {
+					best = sp
+				}
+				if sp.Perf < worst.Perf {
+					worst = sp
+				}
+			}
+			// Every benchmark must show several scenario categories (the
+			// shared pattern), even though spans differ.
+			if len(present) < 3 {
+				allShareCategories = false
+			}
+			tb.AddRow(
+				w.Name,
+				report.Sparkline(perfs),
+				scenarioList(present),
+				fmt.Sprintf("(%.0f, %.0f)", best.Alloc.Proc.Watts(), best.Alloc.Mem.Watts()),
+				report.FormatFloat(best.Perf),
+				fmt.Sprintf("%.1fx", best.Perf/maxf(worst.Perf, 1e-12)),
+			)
+		}
+		out.Tables = append(out.Tables, tb)
+		out.Findings = append(out.Findings, Finding{
+			Claim:    fmt.Sprintf("all CPU benchmarks on %s share the categorical patterns", platform),
+			Measured: fmt.Sprintf("every benchmark shows >=3 scenarios at %v", cpuBudget),
+			Pass:     allShareCategories,
+		})
+	}
+
+	// GPU benchmarks on Titan XP at the default 250 W cap.
+	xp, err := hw.PlatformByName("titanxp")
+	if err != nil {
+		return out, err
+	}
+	tb := report.NewTable("Fig 8: GPU benchmarks on titanxp at 200 W",
+		"benchmark", "perf trend over rising P_mem", "category", "compute intensive")
+	for _, w := range workload.GPUWorkloads() {
+		pts, err := sweep.GPUTrend(xp, w, 200)
+		if err != nil {
+			return out, err
+		}
+		prof, err := profile.ProfileGPU(xp, w)
+		if err != nil {
+			return out, err
+		}
+		cat, _, _ := category.ClassifyGPUSeries(pts)
+		var perfs []float64
+		for _, pt := range pts {
+			perfs = append(perfs, pt.Perf)
+		}
+		tb.AddRow(w.Name, report.Sparkline(perfs), cat.String(),
+			fmt.Sprintf("%v", prof.ComputeIntensive))
+	}
+	out.Tables = append(out.Tables, tb)
+
+	// Workload-dependent variation: optimal allocations must differ
+	// between a memory-intensive and a compute-intensive benchmark.
+	ivy, _ := hw.PlatformByName("ivybridge")
+	mgProf, err := profile.ProfileCPU(ivy, mustW("mg"))
+	if err != nil {
+		return out, err
+	}
+	btProf, err := profile.ProfileCPU(ivy, mustW("bt"))
+	if err != nil {
+		return out, err
+	}
+	mgMemShare := mgProf.Critical.MemMax.Watts() / (mgProf.Critical.MemMax + mgProf.Critical.CPUMax).Watts()
+	btMemShare := btProf.Critical.MemMax.Watts() / (btProf.Critical.MemMax + btProf.Critical.CPUMax).Watts()
+	out.Findings = append(out.Findings, Finding{
+		Claim:    "memory-intensive MG demands a larger memory share than compute-intensive BT",
+		Measured: fmt.Sprintf("memory demand share: mg %.2f, bt %.2f", mgMemShare, btMemShare),
+		Pass:     mgMemShare > btMemShare,
+	})
+
+	// Multi-phase benchmarks produce less regular curves than kernels:
+	// compare curvature roughness of BT vs EP.
+	rough := func(name string) (float64, error) {
+		w := mustW(name)
+		prof, err := profile.ProfileCPU(ivy, w)
+		if err != nil {
+			return 0, err
+		}
+		splits, err := sweep.CPUSplit(ivy, w, cpuBudget, &prof)
+		if err != nil {
+			return 0, err
+		}
+		var perfs []float64
+		for _, sp := range splits {
+			perfs = append(perfs, sp.Perf)
+		}
+		return roughness(perfs), nil
+	}
+	btRough, err := rough("bt")
+	if err != nil {
+		return out, err
+	}
+	epRough, err := rough("ep")
+	if err != nil {
+		return out, err
+	}
+	out.Findings = append(out.Findings, Finding{
+		Claim:    "multi-phase pseudo-applications (BT) have less regular curves than single-phase kernels (EP)",
+		Measured: fmt.Sprintf("curve roughness: bt %.3f, ep %.3f", btRough, epRough),
+		Pass:     btRough >= epRough,
+	})
+	return out, nil
+}
+
+func mustW(name string) workload.Workload {
+	w, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// roughness measures normalized second-difference energy of a series —
+// zero for straight-line segments, higher for kinked curves.
+func roughness(ys []float64) float64 {
+	if len(ys) < 3 {
+		return 0
+	}
+	peak := 0.0
+	for _, y := range ys {
+		peak = maxf(peak, absf(y))
+	}
+	if peak == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 2; i < len(ys); i++ {
+		d2 := (ys[i] - 2*ys[i-1] + ys[i-2]) / peak
+		sum += d2 * d2
+	}
+	return sum
+}

@@ -1,0 +1,213 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func ivyCPU() *CPUSpec { p := IvyBridge(); return p.CPU }
+
+func TestCPUValidateAllPlatforms(t *testing.T) {
+	for _, p := range Platforms() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("platform %s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestCPUValidateRejectsBadSpecs(t *testing.T) {
+	base := *ivyCPU()
+	mutations := []struct {
+		name string
+		mut  func(c *CPUSpec)
+	}{
+		{"zero sockets", func(c *CPUSpec) { c.Sockets = 0 }},
+		{"zero cores", func(c *CPUSpec) { c.CoresPerSocket = 0 }},
+		{"negative fmin", func(c *CPUSpec) { c.FMin = -1 }},
+		{"fnom below fmin", func(c *CPUSpec) { c.FNom = c.FMin - 1 }},
+		{"zero pstate step", func(c *CPUSpec) { c.PStateStep = 0 }},
+		{"zero vmin", func(c *CPUSpec) { c.VMin = 0 }},
+		{"vnom below vmin", func(c *CPUSpec) { c.VNom = c.VMin / 2 }},
+		{"zero ops", func(c *CPUSpec) { c.OpsPerCyclePerCore = 0 }},
+		{"zero idle", func(c *CPUSpec) { c.IdlePower = 0 }},
+		{"zero dyn", func(c *CPUSpec) { c.MaxDynPower = 0 }},
+		{"negative uncore", func(c *CPUSpec) { c.UncorePower = -1 }},
+		{"zero tstates", func(c *CPUSpec) { c.TStateSteps = 0 }},
+		{"bad duty", func(c *CPUSpec) { c.MinDuty = 1.5 }},
+	}
+	for _, m := range mutations {
+		c := base
+		m.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate() accepted invalid spec", m.name)
+		}
+	}
+}
+
+func TestCPUCores(t *testing.T) {
+	if got := ivyCPU().Cores(); got != 20 {
+		t.Errorf("IvyBridge cores = %d, want 20", got)
+	}
+	hp := Haswell()
+	if got := hp.CPU.Cores(); got != 24 {
+		t.Errorf("Haswell cores = %d, want 24", got)
+	}
+}
+
+func TestCPUPStatesCoverRange(t *testing.T) {
+	c := ivyCPU()
+	ps := c.PStates()
+	if len(ps) < 2 {
+		t.Fatalf("too few P-states: %d", len(ps))
+	}
+	if ps[0] != c.FMin {
+		t.Errorf("first P-state %v, want %v", ps[0], c.FMin)
+	}
+	if ps[len(ps)-1] != c.FNom {
+		t.Errorf("last P-state %v, want %v", ps[len(ps)-1], c.FNom)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] <= ps[i-1] {
+			t.Errorf("P-states not strictly ascending at %d: %v, %v", i, ps[i-1], ps[i])
+		}
+	}
+	// 1.2..2.5 GHz in 100 MHz steps = 14 states.
+	if len(ps) != 14 {
+		t.Errorf("IvyBridge P-state count = %d, want 14", len(ps))
+	}
+}
+
+func TestCPUDuties(t *testing.T) {
+	c := ivyCPU()
+	ds := c.Duties()
+	if ds[0] != 1.0 {
+		t.Errorf("first duty %v, want 1.0", ds[0])
+	}
+	last := ds[len(ds)-1]
+	if math.Abs(last-c.MinDuty) > 1e-9 {
+		t.Errorf("last duty %v, want %v", last, c.MinDuty)
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i] >= ds[i-1] {
+			t.Errorf("duties not strictly descending at %d", i)
+		}
+	}
+	if len(ds) != 9 { // 100% plus 8 throttle steps
+		t.Errorf("duty count = %d, want 9", len(ds))
+	}
+}
+
+func TestCPUVoltageMonotone(t *testing.T) {
+	c := ivyCPU()
+	prev := -1.0
+	for _, f := range c.PStates() {
+		v := c.Voltage(f)
+		if v <= prev {
+			t.Errorf("voltage not increasing at %v", f)
+		}
+		prev = v
+	}
+	if got := c.Voltage(c.FMin); got != c.VMin {
+		t.Errorf("V(FMin) = %v, want %v", got, c.VMin)
+	}
+	if got := c.Voltage(c.FNom); got != c.VNom {
+		t.Errorf("V(FNom) = %v, want %v", got, c.VNom)
+	}
+}
+
+func TestCPUPowerMonotoneInEachArg(t *testing.T) {
+	c := ivyCPU()
+	// Monotone in frequency.
+	prev := units.Power(0)
+	for _, f := range c.PStates() {
+		p := c.Power(f, 1, 0.8)
+		if p <= prev {
+			t.Errorf("power not increasing in frequency at %v", f)
+		}
+		prev = p
+	}
+	// Monotone in duty.
+	pLow := c.Power(c.FNom, 0.5, 0.8)
+	pHigh := c.Power(c.FNom, 1.0, 0.8)
+	if pLow >= pHigh {
+		t.Errorf("power not increasing in duty: %v vs %v", pLow, pHigh)
+	}
+	// Monotone in activity.
+	aLow := c.Power(c.FNom, 1, 0.2)
+	aHigh := c.Power(c.FNom, 1, 0.9)
+	if aLow >= aHigh {
+		t.Errorf("power not increasing in activity: %v vs %v", aLow, aHigh)
+	}
+}
+
+func TestCPUPowerFloorAndBounds(t *testing.T) {
+	c := ivyCPU()
+	f := func(fGHz, duty, act float64) bool {
+		freq := units.Frequency(math.Abs(math.Mod(fGHz, 3)) * 1e9)
+		d := math.Abs(math.Mod(duty, 1))
+		a := math.Abs(math.Mod(act, 1))
+		p := c.Power(freq, d, a)
+		return p >= c.IdlePower && p <= c.MaxPower(1)+0.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPUCalibrationIvyBridge(t *testing.T) {
+	c := ivyCPU()
+	// Hardware floor is the paper's P_cpu_L4 = 48 W.
+	if c.IdlePower != 48 {
+		t.Errorf("IdlePower = %v, want 48 W (paper P_cpu_L4)", c.IdlePower)
+	}
+	// RandomAccess-like activity (~0.43) should land near the paper's
+	// ~108-112 W maximum CPU demand.
+	p := c.MaxPower(0.43).Watts()
+	if p < 105 || p > 118 {
+		t.Errorf("SRA-like max CPU power = %.1f W, want 105-118 W", p)
+	}
+	// DGEMM-like activity (~0.9) should exceed 150 W.
+	if p := c.MaxPower(0.9).Watts(); p < 150 {
+		t.Errorf("DGEMM-like max CPU power = %.1f W, want >150 W", p)
+	}
+	// Absolute package max should stay under a plausible 2-socket TDP.
+	if p := c.MaxPower(1).Watts(); p > 230 {
+		t.Errorf("absolute max %.1f W implausibly high", p)
+	}
+}
+
+func TestCPUPeakComputeRate(t *testing.T) {
+	c := ivyCPU()
+	got := c.PeakComputeRate(c.FNom, 1).GOPSValue()
+	want := 20 * 8 * 2.5 // cores * ops/cycle * GHz = 400 GFLOPS
+	if math.Abs(got-want) > 0.5 {
+		t.Errorf("IvyBridge peak = %.1f GFLOPS, want %.1f", got, want)
+	}
+	// Duty scales linearly.
+	half := c.PeakComputeRate(c.FNom, 0.5).GOPSValue()
+	if math.Abs(half-want/2) > 0.5 {
+		t.Errorf("half duty peak = %.1f, want %.1f", half, want/2)
+	}
+}
+
+func TestCPUMinActivePowerBelowMaxPower(t *testing.T) {
+	for _, p := range Platforms() {
+		if p.Kind != KindCPU {
+			continue
+		}
+		c := p.CPU
+		for _, act := range []float64{0.1, 0.5, 1.0} {
+			lo := c.MinActivePower(act)
+			hi := c.MaxPower(act)
+			if lo >= hi {
+				t.Errorf("%s act=%.1f: MinActivePower %v >= MaxPower %v", p.Name, act, lo, hi)
+			}
+			if lo < c.IdlePower {
+				t.Errorf("%s: MinActivePower below hardware floor", p.Name)
+			}
+		}
+	}
+}

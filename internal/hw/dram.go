@@ -1,0 +1,113 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// DRAMSpec models the aggregate main-memory component of a compute node
+// (all DIMMs combined, matching the paper's simplification that the memory
+// power budget is evenly distributed across modules).
+//
+// Power decomposes into a background term (refresh, I/O termination,
+// standby — present whenever the system is on; the paper's P_mem_L3 floor)
+// and an access term proportional to the achieved bandwidth, with a much
+// higher per-byte energy for random access (row activations dominate) than
+// for streaming.
+type DRAMSpec struct {
+	// Name identifies the memory configuration, e.g. "256 GB DDR3-1600".
+	Name string
+	// TotalGB is the installed capacity.
+	TotalGB int
+	// Channels is the total number of memory channels across sockets.
+	Channels int
+	// TransferRate is the per-channel transfer rate (MT/s expressed as a
+	// frequency).
+	TransferRate units.Frequency
+	// BytesPerTransfer is the channel width in bytes (8 for DDR).
+	BytesPerTransfer float64
+	// BackgroundPower is the hardware minimum memory power for a running
+	// system (the paper's P_mem_L3): refresh and standby for the full
+	// capacity. RAPL budgets below this are disregarded by the hardware.
+	BackgroundPower units.Power
+	// EnergyPerByteStream and EnergyPerByteRandom are the incremental
+	// energies per byte moved for sequential and random access patterns,
+	// in joules per byte.
+	EnergyPerByteStream float64
+	EnergyPerByteRandom float64
+	// MinThrottleHeadroom is the smallest dynamic (above-background) power
+	// that bandwidth throttling can force; throttling cannot block memory
+	// traffic entirely (the OS must keep running), so the corresponding
+	// trickle of bandwidth — MinThrottleHeadroom divided by the pattern's
+	// per-byte energy — always flows.
+	MinThrottleHeadroom units.Power
+}
+
+// Validate reports a descriptive error if the spec is internally
+// inconsistent.
+func (d *DRAMSpec) Validate() error {
+	switch {
+	case d.TotalGB <= 0 || d.Channels <= 0:
+		return fmt.Errorf("dram %q: non-positive capacity or channels", d.Name)
+	case d.TransferRate <= 0 || d.BytesPerTransfer <= 0:
+		return fmt.Errorf("dram %q: invalid transfer parameters", d.Name)
+	case d.BackgroundPower <= 0:
+		return fmt.Errorf("dram %q: non-positive background power", d.Name)
+	case d.EnergyPerByteStream <= 0 || d.EnergyPerByteRandom < d.EnergyPerByteStream:
+		return fmt.Errorf("dram %q: invalid per-byte energies", d.Name)
+	case d.MinThrottleHeadroom <= 0:
+		return fmt.Errorf("dram %q: non-positive min throttle headroom", d.Name)
+	}
+	return nil
+}
+
+// PeakBandwidth returns the theoretical peak bandwidth across all
+// channels.
+func (d *DRAMSpec) PeakBandwidth() units.Bandwidth {
+	return units.Bandwidth(float64(d.Channels) * d.TransferRate.Hz() * d.BytesPerTransfer)
+}
+
+// EnergyPerByte returns the blended incremental energy per byte for a
+// workload whose fraction randomFrac of traffic is random access.
+func (d *DRAMSpec) EnergyPerByte(randomFrac float64) float64 {
+	randomFrac = clamp01(randomFrac)
+	return units.Lerp(d.EnergyPerByteStream, d.EnergyPerByteRandom, randomFrac)
+}
+
+// Power returns the memory power when moving data at bandwidth bw with the
+// given random-access fraction. It never drops below the background floor.
+func (d *DRAMSpec) Power(bw units.Bandwidth, randomFrac float64) units.Power {
+	if bw < 0 {
+		bw = 0
+	}
+	return d.BackgroundPower + units.Power(bw.BytesPerSecond()*d.EnergyPerByte(randomFrac))
+}
+
+// BandwidthForPower inverts Power: the highest bandwidth the memory system
+// can sustain under power cap while serving traffic with the given
+// random-access fraction. The result is clamped to the throttling floor
+// (throttling cannot stop traffic entirely) and to the physical peak.
+// Caps at or below the background floor yield the throttling floor.
+func (d *DRAMSpec) BandwidthForPower(cap units.Power, randomFrac float64) units.Bandwidth {
+	peak := d.PeakBandwidth()
+	floor := units.Bandwidth(d.MinThrottleHeadroom.Watts() / d.EnergyPerByte(randomFrac))
+	headroom := cap - d.BackgroundPower
+	if headroom <= 0 {
+		return floor
+	}
+	bw := units.Bandwidth(headroom.Watts() / d.EnergyPerByte(randomFrac))
+	if bw < floor {
+		return floor
+	}
+	if bw > peak {
+		return peak
+	}
+	return bw
+}
+
+// MaxPower returns the memory power at peak bandwidth for the given
+// random-access fraction — the most the component can draw.
+func (d *DRAMSpec) MaxPower(randomFrac float64) units.Power {
+	return d.Power(d.PeakBandwidth(), randomFrac)
+}

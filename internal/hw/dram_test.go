@@ -1,0 +1,160 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func ivyDRAM() *DRAMSpec { p := IvyBridge(); return p.DRAM }
+
+func TestDRAMValidateRejectsBadSpecs(t *testing.T) {
+	base := *ivyDRAM()
+	mutations := []struct {
+		name string
+		mut  func(d *DRAMSpec)
+	}{
+		{"zero capacity", func(d *DRAMSpec) { d.TotalGB = 0 }},
+		{"zero channels", func(d *DRAMSpec) { d.Channels = 0 }},
+		{"zero rate", func(d *DRAMSpec) { d.TransferRate = 0 }},
+		{"zero width", func(d *DRAMSpec) { d.BytesPerTransfer = 0 }},
+		{"zero background", func(d *DRAMSpec) { d.BackgroundPower = 0 }},
+		{"zero stream energy", func(d *DRAMSpec) { d.EnergyPerByteStream = 0 }},
+		{"random below stream", func(d *DRAMSpec) { d.EnergyPerByteRandom = d.EnergyPerByteStream / 2 }},
+		{"zero throttle headroom", func(d *DRAMSpec) { d.MinThrottleHeadroom = 0 }},
+	}
+	for _, m := range mutations {
+		d := base
+		m.mut(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate() accepted invalid spec", m.name)
+		}
+	}
+}
+
+func TestDRAMPeakBandwidth(t *testing.T) {
+	d := ivyDRAM()
+	got := d.PeakBandwidth().GBPerSecond()
+	want := 8 * 1.6 * 8.0 // channels * GT/s * bytes = 102.4 GB/s
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("DDR3 peak = %.1f GB/s, want %.1f", got, want)
+	}
+	h := Haswell()
+	got = h.DRAM.PeakBandwidth().GBPerSecond()
+	want = 8 * 2.133 * 8.0
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("DDR4 peak = %.1f GB/s, want %.1f", got, want)
+	}
+}
+
+func TestDRAMEnergyPerByteBlending(t *testing.T) {
+	d := ivyDRAM()
+	if got := d.EnergyPerByte(0); got != d.EnergyPerByteStream {
+		t.Errorf("stream energy = %v", got)
+	}
+	if got := d.EnergyPerByte(1); got != d.EnergyPerByteRandom {
+		t.Errorf("random energy = %v", got)
+	}
+	mid := d.EnergyPerByte(0.5)
+	if mid <= d.EnergyPerByteStream || mid >= d.EnergyPerByteRandom {
+		t.Errorf("blend %v outside (%v, %v)", mid, d.EnergyPerByteStream, d.EnergyPerByteRandom)
+	}
+	// Out-of-range fractions are clamped.
+	if d.EnergyPerByte(-2) != d.EnergyPerByteStream || d.EnergyPerByte(5) != d.EnergyPerByteRandom {
+		t.Error("random fraction not clamped")
+	}
+}
+
+func TestDRAMPowerFloorsAtBackground(t *testing.T) {
+	d := ivyDRAM()
+	if got := d.Power(0, 0); got != d.BackgroundPower {
+		t.Errorf("idle memory power = %v, want background %v", got, d.BackgroundPower)
+	}
+	if got := d.Power(-5*units.GBps, 0); got != d.BackgroundPower {
+		t.Errorf("negative bandwidth not clamped: %v", got)
+	}
+}
+
+func TestDRAMPowerBandwidthRoundTrip(t *testing.T) {
+	d := ivyDRAM()
+	f := func(capW, randRaw float64) bool {
+		cap := units.Power(math.Abs(math.Mod(capW, 200)))
+		rf := math.Abs(math.Mod(randRaw, 1))
+		bw := d.BandwidthForPower(cap, rf)
+		peak := d.PeakBandwidth()
+		floor := units.Bandwidth(d.MinThrottleHeadroom.Watts() / d.EnergyPerByte(rf))
+		if bw < floor-1 || bw > peak+1 {
+			return false
+		}
+		// If the cap is achievable above the floor and below peak, power at
+		// that bandwidth matches the cap.
+		if bw > floor && bw < peak {
+			p := d.Power(bw, rf)
+			return units.AlmostEqual(p.Watts(), cap.Watts(), 1e-6)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDRAMCalibrationIvyBridge(t *testing.T) {
+	d := ivyDRAM()
+	// Streaming at full bandwidth should land near the paper's ~116 W
+	// maximum DRAM demand.
+	p := d.Power(d.PeakBandwidth(), 0).Watts()
+	if p < 110 || p > 135 {
+		t.Errorf("max stream DRAM power = %.1f W, want 110-135 W", p)
+	}
+	// Random access at a GUPS-like ~8 GB/s effective rate also lands near
+	// the same maximum (activations dominate).
+	p = d.Power(8.3*units.GBps, 1).Watts()
+	if p < 105 || p > 125 {
+		t.Errorf("random 5 GB/s DRAM power = %.1f W, want 105-125 W", p)
+	}
+	// Background floor is the paper's scenario-V/VI boundary (~66-68 W for
+	// the DDR3 node).
+	if d.BackgroundPower < 60 || d.BackgroundPower > 70 {
+		t.Errorf("DDR3 background = %v, want 60-70 W", d.BackgroundPower)
+	}
+	h := Haswell()
+	if h.DRAM.BackgroundPower >= d.BackgroundPower {
+		t.Error("DDR4 background should be below DDR3 (paper: DDR4 consumes less)")
+	}
+}
+
+func TestDRAMBandwidthForPowerMonotone(t *testing.T) {
+	d := ivyDRAM()
+	prev := units.Bandwidth(-1)
+	for cap := units.Power(0); cap <= 160; cap += 4 {
+		bw := d.BandwidthForPower(cap, 0)
+		if bw < prev {
+			t.Errorf("bandwidth not monotone at cap %v", cap)
+		}
+		prev = bw
+	}
+	// Far above max power -> peak bandwidth.
+	if got := d.BandwidthForPower(1000, 0); got != d.PeakBandwidth() {
+		t.Errorf("uncapped bandwidth = %v, want peak", got)
+	}
+	// At or below background -> throttle floor, never zero.
+	got := d.BandwidthForPower(d.BackgroundPower, 0)
+	if got <= 0 {
+		t.Error("throttle floor must be positive")
+	}
+}
+
+func TestDRAMMaxPowerOrdering(t *testing.T) {
+	d := ivyDRAM()
+	if d.MaxPower(0) <= d.BackgroundPower {
+		t.Error("max stream power must exceed background")
+	}
+	// Random max at peak bandwidth is (much) higher per byte, but random
+	// workloads never reach peak bandwidth; this is just the model bound.
+	if d.MaxPower(1) <= d.MaxPower(0) {
+		t.Error("random per-byte energy should exceed streaming")
+	}
+}

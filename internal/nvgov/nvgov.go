@@ -1,0 +1,143 @@
+// Package nvgov emulates the Nvidia driver's power-management surface as
+// the paper uses it: a board power cap programmed through nvidia-smi
+// (clamped to the card's settable range) and SM/memory clock offsets
+// programmed through nvidia-settings.
+//
+// The governor implements the behaviour the paper observes in Section 4:
+// the board cap is enforced by DVFS-throttling the SM clock, so a power
+// budget left unused by the memory (e.g. when the memory clock is lowered)
+// is automatically reclaimed by the SMs — unlike host RAPL, where each
+// domain's unused budget is simply wasted. The default driver policy runs
+// the memory at its nominal clock regardless of cap or application, which
+// is exactly the obliviousness COORD exploits (paper Section 6.3).
+package nvgov
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/units"
+)
+
+// Settings mirrors the user-visible controls: the nvidia-smi power cap
+// and the nvidia-settings clock offsets.
+type Settings struct {
+	// PowerCap is the board power limit.
+	PowerCap units.Power
+	// SMOffset shifts the maximum SM boost clock relative to nominal
+	// (negative slows the card down).
+	SMOffset units.Frequency
+	// MemOffset shifts the memory clock relative to nominal.
+	MemOffset units.Frequency
+}
+
+// State is the operating state the governor selected.
+type State struct {
+	// SMClock and MemClock are the running clocks.
+	SMClock, MemClock units.Frequency
+	// PowerLimited reports whether the SM clock was lowered below its
+	// offset-adjusted maximum to honor the board cap.
+	PowerLimited bool
+	// AtFloor reports whether even the lowest SM clock exceeds the cap
+	// (the hardware disallows caps low enough for this to persist, but
+	// the flag is reported for completeness).
+	AtFloor bool
+}
+
+// Governor emulates the board power-management firmware for one card.
+type Governor struct {
+	gpu      *hw.GPUSpec
+	settings Settings
+}
+
+// New returns a governor for the card with default settings: TDP cap,
+// zero offsets (memory at nominal clock — the default driver policy).
+func New(gpu *hw.GPUSpec) *Governor {
+	return &Governor{gpu: gpu, settings: Settings{PowerCap: gpu.TDP}}
+}
+
+// GPU returns the card spec the governor manages.
+func (g *Governor) GPU() *hw.GPUSpec { return g.gpu }
+
+// Settings returns the current control settings.
+func (g *Governor) Settings() Settings { return g.settings }
+
+// SetPowerCap programs the board power limit. Like nvidia-smi, values
+// outside the card's settable range are rejected.
+func (g *Governor) SetPowerCap(cap units.Power) error {
+	if cap < g.gpu.MinCap || cap > g.gpu.MaxCap {
+		return fmt.Errorf("nvgov: power cap %v outside settable range [%v, %v]",
+			cap, g.gpu.MinCap, g.gpu.MaxCap)
+	}
+	g.settings.PowerCap = cap
+	return nil
+}
+
+// SetMemOffset programs the memory clock offset. The resulting clock is
+// clamped to the card's settable range, as the driver does.
+func (g *Governor) SetMemOffset(off units.Frequency) {
+	g.settings.MemOffset = off
+}
+
+// SetSMOffset programs the SM boost clock offset.
+func (g *Governor) SetSMOffset(off units.Frequency) {
+	g.settings.SMOffset = off
+}
+
+// SetMemClock programs the offset so the memory runs at the requested
+// clock (clamped to the settable range) — a convenience wrapper COORD
+// uses to target a memory power budget.
+func (g *Governor) SetMemClock(f units.Frequency) {
+	f = f.Clamp(g.gpu.Mem.ClockMin, g.gpu.Mem.ClockMax)
+	g.settings.MemOffset = f - g.gpu.Mem.ClockNom
+}
+
+// MemClock returns the memory clock the current offset selects.
+func (g *Governor) MemClock() units.Frequency {
+	return (g.gpu.Mem.ClockNom + g.settings.MemOffset).
+		Clamp(g.gpu.Mem.ClockMin, g.gpu.Mem.ClockMax)
+}
+
+// smMaxClock returns the highest SM clock the offset allows.
+func (g *Governor) smMaxClock() units.Frequency {
+	return (g.gpu.SMClockNom + g.settings.SMOffset).
+		Clamp(g.gpu.SMClockMin, g.gpu.SMClockNom)
+}
+
+// Actuate selects the running clocks for the current settings and the
+// workload's SM activity factor: the memory runs at its offset-selected
+// clock; the SMs run at the highest DVFS bin, at or below the
+// offset-adjusted maximum, whose board power fits under the cap. Because
+// the cap constrains the board total, lowering the memory clock frees
+// power that the SMs reclaim — the automatic cross-component shifting the
+// paper highlights as unique to GPUs.
+func (g *Governor) Actuate(act float64) State {
+	mem := g.MemClock()
+	maxSM := g.smMaxClock()
+	cap := g.settings.PowerCap
+
+	clocks := g.gpu.SMClocks()
+	for i := len(clocks) - 1; i >= 0; i-- {
+		f := clocks[i]
+		if f > maxSM {
+			continue
+		}
+		if g.gpu.BoardPower(f, mem, act) <= cap {
+			limited := f < maxSM
+			return State{SMClock: f, MemClock: mem, PowerLimited: limited}
+		}
+	}
+	return State{SMClock: g.gpu.SMClockMin, MemClock: mem, PowerLimited: true, AtFloor: true}
+}
+
+// BoardPower returns the board power in state s at SM activity act.
+func (g *Governor) BoardPower(s State, act float64) units.Power {
+	return g.gpu.BoardPower(s.SMClock, s.MemClock, act)
+}
+
+// EstimatedMemPower returns the empirical-model memory power for the
+// currently selected memory clock — the estimate the paper's Figure 7
+// x-axis uses.
+func (g *Governor) EstimatedMemPower() units.Power {
+	return g.gpu.Mem.Power(g.MemClock())
+}

@@ -1,0 +1,218 @@
+package nvgov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/units"
+)
+
+func newXP() *Governor {
+	p := hw.TitanXP()
+	return New(p.GPU)
+}
+
+func newTV() *Governor {
+	p := hw.TitanV()
+	return New(p.GPU)
+}
+
+func TestDefaultsMatchDriver(t *testing.T) {
+	g := newXP()
+	s := g.Settings()
+	if s.PowerCap != g.GPU().TDP {
+		t.Errorf("default cap = %v, want TDP %v", s.PowerCap, g.GPU().TDP)
+	}
+	if s.SMOffset != 0 || s.MemOffset != 0 {
+		t.Error("default offsets should be zero")
+	}
+	// Default policy: memory at nominal clock.
+	if g.MemClock() != g.GPU().Mem.ClockNom {
+		t.Errorf("default mem clock = %v", g.MemClock())
+	}
+}
+
+func TestSetPowerCapRange(t *testing.T) {
+	g := newXP()
+	if err := g.SetPowerCap(300); err != nil {
+		t.Errorf("300 W should be settable: %v", err)
+	}
+	if err := g.SetPowerCap(125); err != nil {
+		t.Errorf("125 W should be settable: %v", err)
+	}
+	if err := g.SetPowerCap(100); err == nil {
+		t.Error("below MinCap should be rejected (hardware excludes low caps)")
+	}
+	if err := g.SetPowerCap(350); err == nil {
+		t.Error("above MaxCap should be rejected")
+	}
+}
+
+func TestMemClockOffsets(t *testing.T) {
+	g := newXP()
+	mem := &g.GPU().Mem
+	g.SetMemOffset(-1000 * units.Megahertz)
+	want := mem.ClockNom - 1000*units.Megahertz
+	if got := g.MemClock(); got != want {
+		t.Errorf("mem clock = %v, want %v", got, want)
+	}
+	// Clamped at the range ends.
+	g.SetMemOffset(-100 * units.Gigahertz)
+	if got := g.MemClock(); got != mem.ClockMin {
+		t.Errorf("clamped low = %v, want %v", got, mem.ClockMin)
+	}
+	g.SetMemOffset(100 * units.Gigahertz)
+	if got := g.MemClock(); got != mem.ClockMax {
+		t.Errorf("clamped high = %v, want %v", got, mem.ClockMax)
+	}
+	// SetMemClock round-trips.
+	g.SetMemClock(4500 * units.Megahertz)
+	if got := g.MemClock(); got != 4500*units.Megahertz {
+		t.Errorf("SetMemClock = %v", got)
+	}
+}
+
+func TestActuateRespectsCap(t *testing.T) {
+	g := newXP()
+	f := func(capRaw, actRaw, memRaw float64) bool {
+		gpu := g.GPU()
+		cap := units.Power(units.Lerp(gpu.MinCap.Watts(), gpu.MaxCap.Watts(),
+			math.Abs(math.Mod(capRaw, 1))))
+		act := 0.2 + 0.8*math.Abs(math.Mod(actRaw, 1))
+		memClk := units.Frequency(units.Lerp(gpu.Mem.ClockMin.Hz(), gpu.Mem.ClockMax.Hz(),
+			math.Abs(math.Mod(memRaw, 1))))
+		if err := g.SetPowerCap(cap); err != nil {
+			return false
+		}
+		g.SetMemClock(memClk)
+		s := g.Actuate(act)
+		if s.AtFloor {
+			return true // cap not enforceable; flagged
+		}
+		return g.BoardPower(s, act) <= cap+0.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActuateReclaimsMemoryHeadroom(t *testing.T) {
+	// With a tight cap, lowering the memory clock must raise the SM clock:
+	// the governor automatically shifts the freed power to the SMs.
+	g := newXP()
+	if err := g.SetPowerCap(160); err != nil {
+		t.Fatal(err)
+	}
+	act := 1.0
+	g.SetMemClock(g.GPU().Mem.ClockNom)
+	nomState := g.Actuate(act)
+	g.SetMemClock(g.GPU().Mem.ClockMin)
+	lowState := g.Actuate(act)
+	if lowState.SMClock <= nomState.SMClock {
+		t.Errorf("SM clock did not rise when memory power freed: %v -> %v",
+			nomState.SMClock, lowState.SMClock)
+	}
+}
+
+func TestActuateUnlimitedAtHighCap(t *testing.T) {
+	// MiniFE-like low activity at a 300 W cap: the card runs at full
+	// clocks, unconstrained.
+	g := newXP()
+	if err := g.SetPowerCap(300); err != nil {
+		t.Fatal(err)
+	}
+	s := g.Actuate(0.36)
+	if s.PowerLimited {
+		t.Errorf("low-activity app should be unconstrained at 300 W: %+v", s)
+	}
+	if s.SMClock != g.GPU().SMClockNom {
+		t.Errorf("SM clock = %v, want nominal", s.SMClock)
+	}
+}
+
+func TestActuatePowerLimitedAtTightCap(t *testing.T) {
+	// SGEMM-like full activity demands >300 W, so even the max cap
+	// throttles the SM clock.
+	g := newXP()
+	if err := g.SetPowerCap(300); err != nil {
+		t.Fatal(err)
+	}
+	s := g.Actuate(1.0)
+	if !s.PowerLimited {
+		t.Error("full-activity app should be power limited even at 300 W")
+	}
+	if s.SMClock >= g.GPU().SMClockNom {
+		t.Error("SM clock should be below nominal")
+	}
+}
+
+func TestActuateMonotoneInCap(t *testing.T) {
+	g := newXP()
+	prev := units.Frequency(0)
+	for cap := g.GPU().MinCap; cap <= g.GPU().MaxCap; cap += 5 {
+		if err := g.SetPowerCap(cap); err != nil {
+			t.Fatal(err)
+		}
+		s := g.Actuate(1.0)
+		if s.SMClock < prev {
+			t.Fatalf("SM clock not monotone in cap at %v", cap)
+		}
+		prev = s.SMClock
+	}
+}
+
+func TestSMOffsetLimitsClock(t *testing.T) {
+	g := newXP()
+	if err := g.SetPowerCap(300); err != nil {
+		t.Fatal(err)
+	}
+	g.SetSMOffset(-400 * units.Megahertz)
+	s := g.Actuate(0.3)
+	want := g.GPU().SMClockNom - 400*units.Megahertz
+	if s.SMClock > want {
+		t.Errorf("SM clock %v exceeds offset-adjusted max %v", s.SMClock, want)
+	}
+}
+
+func TestEstimatedMemPowerTracksClock(t *testing.T) {
+	g := newXP()
+	mem := &g.GPU().Mem
+	g.SetMemClock(mem.ClockMin)
+	if got := g.EstimatedMemPower(); got != mem.PowerMin {
+		t.Errorf("min clock power = %v, want %v", got, mem.PowerMin)
+	}
+	g.SetMemClock(mem.ClockMax)
+	if got := g.EstimatedMemPower(); got != mem.PowerMax {
+		t.Errorf("max clock power = %v, want %v", got, mem.PowerMax)
+	}
+}
+
+func TestTitanVSmallerMemRange(t *testing.T) {
+	xp, tv := newXP(), newTV()
+	xpRange := xp.GPU().Mem.PowerMax - xp.GPU().Mem.PowerMin
+	tvRange := tv.GPU().Mem.PowerMax - tv.GPU().Mem.PowerMin
+	if tvRange >= xpRange {
+		t.Errorf("Titan V HBM2 power range %v should be below Titan XP %v", tvRange, xpRange)
+	}
+}
+
+func TestTitanVLowDemandUnconstrained(t *testing.T) {
+	// MiniFE on Titan V: demand sits below even small caps, so the
+	// performance bound does not change across the studied cap range.
+	tv := newTV()
+	var clocks []units.Frequency
+	for _, cap := range []units.Power{120, 150, 200, 250} {
+		if err := tv.SetPowerCap(cap); err != nil {
+			t.Fatal(err)
+		}
+		s := tv.Actuate(0.3)
+		clocks = append(clocks, s.SMClock)
+	}
+	for i := 1; i < len(clocks); i++ {
+		if clocks[i] != clocks[0] {
+			t.Errorf("Titan V low-activity SM clock varies with cap: %v", clocks)
+		}
+	}
+}

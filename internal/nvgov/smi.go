@@ -1,0 +1,81 @@
+package nvgov
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// DeviceQuery mirrors the fields `nvidia-smi -q` reports for one card —
+// the monitoring surface operators script against. It is produced from a
+// governor plus the current workload activity, so tools built on it see
+// the same numbers the simulator uses internally.
+type DeviceQuery struct {
+	// Name is the card model.
+	Name string
+	// PowerDraw is the current board power.
+	PowerDraw units.Power
+	// PowerLimit is the programmed board cap; Min/Max/DefaultPowerLimit
+	// are the card constants.
+	PowerLimit, MinPowerLimit, MaxPowerLimit, DefaultPowerLimit units.Power
+	// SMClock and MemClock are the running clocks.
+	SMClock, MemClock units.Frequency
+	// MaxSMClock and MaxMemClock are the nominal (unconstrained) clocks.
+	MaxSMClock, MaxMemClock units.Frequency
+	// PerfState approximates the P-state nvidia-smi reports: P0 at full
+	// clocks down to P8 near the bottom of the DVFS range.
+	PerfState string
+	// Throttled reports whether the power cap is limiting the SM clock
+	// ("SW Power Cap" active).
+	Throttled bool
+}
+
+// Query snapshots the device state at the given SM activity factor.
+func (g *Governor) Query(act float64) DeviceQuery {
+	state := g.Actuate(act)
+	gpu := g.gpu
+	q := DeviceQuery{
+		Name:              gpu.Name,
+		PowerDraw:         g.BoardPower(state, act),
+		PowerLimit:        g.settings.PowerCap,
+		MinPowerLimit:     gpu.MinCap,
+		MaxPowerLimit:     gpu.MaxCap,
+		DefaultPowerLimit: gpu.TDP,
+		SMClock:           state.SMClock,
+		MemClock:          state.MemClock,
+		MaxSMClock:        gpu.SMClockNom,
+		MaxMemClock:       gpu.Mem.ClockMax,
+		Throttled:         state.PowerLimited,
+	}
+	// P-state estimate: P0 at >=95% of nominal, stepping to P8 at the
+	// bottom of the range.
+	frac := (state.SMClock.Hz() - gpu.SMClockMin.Hz()) /
+		(gpu.SMClockNom.Hz() - gpu.SMClockMin.Hz())
+	switch {
+	case frac >= 0.95:
+		q.PerfState = "P0"
+	case frac >= 0.7:
+		q.PerfState = "P2"
+	case frac >= 0.4:
+		q.PerfState = "P5"
+	default:
+		q.PerfState = "P8"
+	}
+	return q
+}
+
+// String renders the query in an nvidia-smi-like block.
+func (q DeviceQuery) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Product Name          : %s\n", q.Name)
+	fmt.Fprintf(&b, "Performance State     : %s\n", q.PerfState)
+	fmt.Fprintf(&b, "Power Draw            : %s\n", q.PowerDraw)
+	fmt.Fprintf(&b, "Power Limit           : %s\n", q.PowerLimit)
+	fmt.Fprintf(&b, "Default Power Limit   : %s\n", q.DefaultPowerLimit)
+	fmt.Fprintf(&b, "Min/Max Power Limit   : %s / %s\n", q.MinPowerLimit, q.MaxPowerLimit)
+	fmt.Fprintf(&b, "SM Clock              : %s (max %s)\n", q.SMClock, q.MaxSMClock)
+	fmt.Fprintf(&b, "Memory Clock          : %s (max %s)\n", q.MemClock, q.MaxMemClock)
+	fmt.Fprintf(&b, "SW Power Cap Active   : %v\n", q.Throttled)
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package nvgov
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueryReflectsGovernorState(t *testing.T) {
+	g := newXP()
+	gpu := g.GPU()
+	// Unconstrained, low activity: P0, no throttle, draw below cap.
+	q := g.Query(0.3)
+	if q.Name != gpu.Name {
+		t.Errorf("name = %q", q.Name)
+	}
+	if q.PerfState != "P0" || q.Throttled {
+		t.Errorf("unconstrained query = %+v", q)
+	}
+	if q.PowerDraw > q.PowerLimit {
+		t.Errorf("draw %v over limit %v", q.PowerDraw, q.PowerLimit)
+	}
+	if q.PowerLimit != gpu.TDP || q.DefaultPowerLimit != gpu.TDP {
+		t.Errorf("limits = %+v", q)
+	}
+	// Tight cap at full activity: throttled, lower P-state, draw ~ cap.
+	if err := g.SetPowerCap(gpu.MinCap); err != nil {
+		t.Fatal(err)
+	}
+	q = g.Query(1.0)
+	if !q.Throttled {
+		t.Error("tight cap should throttle")
+	}
+	if q.PerfState == "P0" {
+		t.Errorf("tight cap perf state = %s", q.PerfState)
+	}
+	if q.SMClock >= gpu.SMClockNom {
+		t.Error("SM clock should be below nominal")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	g := newTV()
+	out := g.Query(0.5).String()
+	for _, want := range []string{
+		"Product Name", "Titan V", "Performance State", "Power Draw",
+		"SM Clock", "Memory Clock", "SW Power Cap",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("query output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQueryPerfStateLadder(t *testing.T) {
+	// Sweep activity at a tight cap: performance states descend as the
+	// governor pushes the clock down.
+	g := newXP()
+	if err := g.SetPowerCap(g.GPU().MinCap); err != nil {
+		t.Fatal(err)
+	}
+	rank := map[string]int{"P0": 0, "P2": 1, "P5": 2, "P8": 3}
+	prev := -1
+	for _, act := range []float64{0.2, 0.5, 0.8, 1.0} {
+		q := g.Query(act)
+		r, ok := rank[q.PerfState]
+		if !ok {
+			t.Fatalf("unknown perf state %q", q.PerfState)
+		}
+		if r < prev {
+			t.Errorf("perf state went up with activity: %s at %v", q.PerfState, act)
+		}
+		prev = r
+	}
+}

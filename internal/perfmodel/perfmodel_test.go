@@ -1,0 +1,262 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func phase(ops, bytes, overlap float64) *workload.Phase {
+	return &workload.Phase{
+		Name: "test", Weight: 1,
+		OpsPerUnit: ops, BytesPerUnit: bytes,
+		BandwidthEff: 1, ComputeEff: 1, Overlap: overlap,
+		ActivityBase: 0.8, StallActivity: 0.4,
+	}
+}
+
+func TestSolveComputeBound(t *testing.T) {
+	// 10 ops and 1 byte per unit, plentiful bandwidth: compute dominates.
+	p := phase(10, 1, 8)
+	op := Solve(p, 100*units.GOPS, 1000*units.GBps)
+	wantRate := 100e9 / 10 // 10 GU/s
+	if math.Abs(op.Rate.OpsPerSecond()-wantRate) > wantRate*0.01 {
+		t.Errorf("rate = %v, want ~%v", op.Rate.OpsPerSecond(), wantRate)
+	}
+	if op.ComputeUtil < 0.99 {
+		t.Errorf("compute util = %v, want ~1", op.ComputeUtil)
+	}
+	if op.StallFrac > 0.05 {
+		t.Errorf("stall fraction = %v, want ~0", op.StallFrac)
+	}
+}
+
+func TestSolveMemoryBound(t *testing.T) {
+	// 1 op and 100 bytes per unit, modest bandwidth: memory dominates.
+	p := phase(1, 100, 8)
+	op := Solve(p, 1000*units.GOPS, 10*units.GBps)
+	wantRate := 10e9 / 100 // 0.1 GU/s
+	if math.Abs(op.Rate.OpsPerSecond()-wantRate) > wantRate*0.01 {
+		t.Errorf("rate = %v, want ~%v", op.Rate.OpsPerSecond(), wantRate)
+	}
+	if op.MemUtil < 0.99 {
+		t.Errorf("mem util = %v, want ~1", op.MemUtil)
+	}
+	if op.StallFrac < 0.9 {
+		t.Errorf("stall fraction = %v, want ~1", op.StallFrac)
+	}
+}
+
+func TestSolveSerialVsOverlapped(t *testing.T) {
+	// With equal compute and memory time, serial execution (p=1) is twice
+	// as slow as perfect overlap (p→∞).
+	serial := Solve(phase(10, 10, 1), 10*units.GOPS, 10*units.GBps)
+	overlapped := Solve(phase(10, 10, 100), 10*units.GOPS, 10*units.GBps)
+	ratio := overlapped.Rate.OpsPerSecond() / serial.Rate.OpsPerSecond()
+	if math.Abs(ratio-2) > 0.01 {
+		t.Errorf("overlap speedup = %v, want 2", ratio)
+	}
+}
+
+func TestSolveRateMonotoneInCapacities(t *testing.T) {
+	p := phase(5, 20, 2)
+	f := func(c1, c2, b1, b2 float64) bool {
+		cLo := units.Rate(1e9 + math.Abs(math.Mod(c1, 1e11)))
+		cHi := cLo + units.Rate(math.Abs(math.Mod(c2, 1e11)))
+		bLo := units.Bandwidth(1e9 + math.Abs(math.Mod(b1, 1e11)))
+		bHi := bLo + units.Bandwidth(math.Abs(math.Mod(b2, 1e11)))
+		r1 := Solve(p, cLo, bLo).Rate
+		r2 := Solve(p, cHi, bLo).Rate
+		r3 := Solve(p, cLo, bHi).Rate
+		return r2 >= r1-1e-9 && r3 >= r1-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveUtilizationsConsistent(t *testing.T) {
+	p := phase(3, 7, 2.5)
+	op := Solve(p, 50*units.GOPS, 40*units.GBps)
+	// Utilization equals demand time over total time.
+	if got, want := op.ComputeUtil, op.ComputeTime/op.UnitTime; math.Abs(got-want) > 1e-9 {
+		t.Errorf("compute util = %v, want %v", got, want)
+	}
+	if got, want := op.MemUtil, op.MemTime/op.UnitTime; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mem util = %v, want %v", got, want)
+	}
+	// Achieved throughputs match utilization times capacity.
+	wantOps := op.ComputeUtil * 50e9
+	if math.Abs(op.OpsRate.OpsPerSecond()-wantOps) > wantOps*1e-9 {
+		t.Errorf("ops rate = %v, want %v", op.OpsRate.OpsPerSecond(), wantOps)
+	}
+	wantBW := op.MemUtil * 40e9
+	if math.Abs(op.BandwidthUsed.BytesPerSecond()-wantBW) > wantBW*1e-9 {
+		t.Errorf("bandwidth = %v, want %v", op.BandwidthUsed.BytesPerSecond(), wantBW)
+	}
+}
+
+func TestSolveStallFracComplementsComputeUtil(t *testing.T) {
+	f := func(opsRaw, bytesRaw, pRaw float64) bool {
+		ops := 0.1 + math.Abs(math.Mod(opsRaw, 100))
+		bytes := 0.1 + math.Abs(math.Mod(bytesRaw, 100))
+		pexp := 1 + math.Abs(math.Mod(pRaw, 8))
+		op := Solve(phase(ops, bytes, pexp), 10*units.GOPS, 10*units.GBps)
+		return math.Abs(op.StallFrac-(1-op.ComputeUtil)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveDegenerateCapacities(t *testing.T) {
+	p := phase(10, 10, 2)
+	op := Solve(p, 0, 0)
+	if op.Rate <= 0 || math.IsInf(float64(op.Rate), 0) {
+		t.Errorf("zero capacities should yield tiny positive rate, got %v", op.Rate)
+	}
+	if op.Rate > 1 {
+		t.Errorf("halted rate should be near zero, got %v", op.Rate)
+	}
+}
+
+func TestSolvePureComputePhase(t *testing.T) {
+	p := phase(10, 0, 2)
+	op := Solve(p, 10*units.GOPS, 10*units.GBps)
+	if op.StallFrac != 0 {
+		t.Errorf("pure compute phase stalls: %v", op.StallFrac)
+	}
+	if op.MemUtil != 0 {
+		t.Errorf("pure compute phase uses memory: %v", op.MemUtil)
+	}
+	if op.ComputeUtil < 0.999 {
+		t.Errorf("pure compute util = %v", op.ComputeUtil)
+	}
+}
+
+func TestSolvePureMemoryPhase(t *testing.T) {
+	p := phase(0, 10, 2)
+	op := Solve(p, 10*units.GOPS, 10*units.GBps)
+	if op.StallFrac < 0.999 {
+		t.Errorf("pure memory phase stall = %v", op.StallFrac)
+	}
+	if op.ComputeUtil != 0 {
+		t.Errorf("pure memory phase computes: %v", op.ComputeUtil)
+	}
+}
+
+func TestSolveNoWorkPhase(t *testing.T) {
+	p := phase(0, 0, 2)
+	op := Solve(p, 10*units.GOPS, 10*units.GBps)
+	if !math.IsInf(float64(op.Rate), 1) {
+		t.Errorf("no-work phase rate = %v, want +Inf", op.Rate)
+	}
+}
+
+func TestPNormProperties(t *testing.T) {
+	f := func(aRaw, bRaw, pRaw float64) bool {
+		a := math.Abs(math.Mod(aRaw, 1e3))
+		b := math.Abs(math.Mod(bRaw, 1e3))
+		p := 1 + math.Abs(math.Mod(pRaw, 100))
+		n := pNorm(a, b, p)
+		// p-norm lies between max and sum.
+		mx := math.Max(a, b)
+		return n >= mx-1e-9 && n <= a+b+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Tiny magnitudes must not underflow.
+	n := pNorm(1e-13, 2e-13, 3)
+	if n < 2e-13 || n > 3e-13 {
+		t.Errorf("tiny p-norm = %v", n)
+	}
+	// Huge p behaves as max.
+	if got := pNorm(3, 4, 1e9); got != 4 {
+		t.Errorf("pNorm with huge p = %v, want 4", got)
+	}
+}
+
+func TestBalance(t *testing.T) {
+	if got := Balance(OperatingPoint{ComputeUtil: 0.5, MemUtil: 0.5}); got != 1 {
+		t.Errorf("balanced point = %v, want 1", got)
+	}
+	if got := Balance(OperatingPoint{ComputeUtil: 1, MemUtil: 0}); got != 0 {
+		t.Errorf("one-sided point = %v, want 0", got)
+	}
+	if got := Balance(OperatingPoint{}); got != 0 {
+		t.Errorf("empty point = %v, want 0", got)
+	}
+	b := Balance(OperatingPoint{ComputeUtil: 0.8, MemUtil: 0.4})
+	if math.Abs(b-0.5) > 1e-9 {
+		t.Errorf("balance = %v, want 0.5", b)
+	}
+}
+
+func TestSolveThrottledCeilingBinds(t *testing.T) {
+	// 1 op, 10 bytes per unit; plentiful pattern bandwidth but a tight
+	// throttle ceiling: throughput is exactly ceiling/bytes.
+	p := phase(1, 10, 4)
+	op := SolveThrottled(p, 100*units.GOPS, 100*units.GBps, 5*units.GBps)
+	wantRate := 5e9 / 10
+	if math.Abs(op.Rate.OpsPerSecond()-wantRate) > wantRate*1e-9 {
+		t.Errorf("throttled rate = %v, want %v", op.Rate.OpsPerSecond(), wantRate)
+	}
+	if op.BandwidthUsed != 5*units.GBps {
+		t.Errorf("bandwidth = %v, want the ceiling", op.BandwidthUsed)
+	}
+	if op.MemUtil != 1 {
+		t.Errorf("throttled mem util = %v, want 1", op.MemUtil)
+	}
+	if op.StallFrac <= 0.9 {
+		t.Errorf("stall = %v, want ~1 (memory is the binding resource)", op.StallFrac)
+	}
+}
+
+func TestSolveThrottledCeilingSlackIsLossless(t *testing.T) {
+	// A ceiling above the demanded traffic must not change the solution —
+	// the property that makes capping DRAM at demand harmless.
+	p := phase(10, 1, 3)
+	free := Solve(p, 10*units.GOPS, 50*units.GBps)
+	capped := SolveThrottled(p, 10*units.GOPS, 50*units.GBps, free.BandwidthUsed+1*units.GBps)
+	if capped.Rate != free.Rate {
+		t.Errorf("slack ceiling changed the rate: %v vs %v", capped.Rate, free.Rate)
+	}
+	// Zero/negative ceilings mean "no throttle".
+	un := SolveThrottled(p, 10*units.GOPS, 50*units.GBps, 0)
+	if un.Rate != free.Rate {
+		t.Error("zero ceiling should disable throttling")
+	}
+}
+
+func TestSolveThrottledPureComputeUnaffected(t *testing.T) {
+	p := phase(10, 0, 2)
+	op := SolveThrottled(p, 10*units.GOPS, 10*units.GBps, 1) // 1 B/s ceiling
+	if op.StallFrac != 0 || op.ComputeUtil < 0.999 {
+		t.Errorf("pure compute phase affected by memory throttle: %+v", op)
+	}
+}
+
+func TestSolveThrottledMonotoneInCeiling(t *testing.T) {
+	p := phase(1, 10, 2)
+	prev := units.Rate(-1)
+	for c := 1; c <= 100; c += 3 {
+		op := SolveThrottled(p, 100*units.GOPS, 100*units.GBps, units.Bandwidth(c)*units.GBps)
+		if op.Rate < prev {
+			t.Fatalf("rate not monotone in ceiling at %d GB/s", c)
+		}
+		prev = op.Rate
+	}
+}
+
+func TestClamp01NaN(t *testing.T) {
+	if clamp01(math.NaN()) != 0 {
+		t.Error("NaN should clamp to 0")
+	}
+	if clamp01(-0.5) != 0 || clamp01(1.5) != 1 || clamp01(0.25) != 0.25 {
+		t.Error("clamp01 bounds")
+	}
+}

@@ -1,0 +1,95 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Store is a persistent collection of profiles keyed by platform and
+// workload — the artifact an offline profiling campaign produces and a
+// batch scheduler (the paper suggests Slurm integration) consumes at job
+// submission time, so no profiling runs happen on the critical path.
+type Store struct {
+	// CPU and GPU map "platform/workload" keys to profiles.
+	CPU map[string]CPUProfile `json:"cpu"`
+	GPU map[string]GPUProfile `json:"gpu"`
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{CPU: map[string]CPUProfile{}, GPU: map[string]GPUProfile{}}
+}
+
+// Key builds the canonical map key.
+func Key(platform, workload string) string { return platform + "/" + workload }
+
+// PutCPU records a CPU profile.
+func (s *Store) PutCPU(p CPUProfile) {
+	s.CPU[Key(p.Platform, p.Workload)] = p
+}
+
+// PutGPU records a GPU profile.
+func (s *Store) PutGPU(p GPUProfile) {
+	s.GPU[Key(p.Platform, p.Workload)] = p
+}
+
+// GetCPU looks up a CPU profile.
+func (s *Store) GetCPU(platform, workload string) (CPUProfile, bool) {
+	p, ok := s.CPU[Key(platform, workload)]
+	return p, ok
+}
+
+// GetGPU looks up a GPU profile.
+func (s *Store) GetGPU(platform, workload string) (GPUProfile, bool) {
+	p, ok := s.GPU[Key(platform, workload)]
+	return p, ok
+}
+
+// Keys returns all stored keys in sorted order.
+func (s *Store) Keys() []string {
+	var ks []string
+	for k := range s.CPU {
+		ks = append(ks, k)
+	}
+	for k := range s.GPU {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Save writes the store as indented JSON, creating parent directories.
+func (s *Store) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("profile: encode store: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("profile: %w", err)
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a store written by Save and validates every CPU profile's
+// critical-power orderings.
+func Load(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	s := NewStore()
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, fmt.Errorf("profile: decode store %s: %w", path, err)
+	}
+	for k, p := range s.CPU {
+		if err := p.Critical.Validate(); err != nil {
+			return nil, fmt.Errorf("profile: store entry %q: %w", k, err)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,91 @@
+package profile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	ivy, _ := hw.PlatformByName("ivybridge")
+	xp, _ := hw.PlatformByName("titanxp")
+	stream, _ := workload.ByName("stream")
+	sgemm, _ := workload.ByName("sgemm")
+
+	cpuProf, err := ProfileCPU(ivy, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuProf, err := ProfileGPU(xp, sgemm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewStore()
+	s.PutCPU(cpuProf)
+	s.PutGPU(gpuProf)
+
+	path := filepath.Join(t.TempDir(), "nested", "profiles.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := loaded.GetCPU("ivybridge", "stream")
+	if !ok {
+		t.Fatal("CPU profile missing after round trip")
+	}
+	if got.Critical != cpuProf.Critical || got.UncappedPerf != cpuProf.UncappedPerf {
+		t.Errorf("CPU profile changed: %+v vs %+v", got, cpuProf)
+	}
+	gGot, ok := loaded.GetGPU("titanxp", "sgemm")
+	if !ok {
+		t.Fatal("GPU profile missing after round trip")
+	}
+	if gGot.TotMax != gpuProf.TotMax || gGot.ComputeIntensive != gpuProf.ComputeIntensive {
+		t.Errorf("GPU profile changed: %+v vs %+v", gGot, gpuProf)
+	}
+	keys := loaded.Keys()
+	if len(keys) != 2 || keys[0] != "ivybridge/stream" || keys[1] != "titanxp/sgemm" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestStoreMissingLookups(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.GetCPU("x", "y"); ok {
+		t.Error("missing CPU profile found")
+	}
+	if _, ok := s.GetGPU("x", "y"); ok {
+		t.Error("missing GPU profile found")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// A store with inverted critical powers must be rejected.
+	corrupt := filepath.Join(t.TempDir(), "corrupt.json")
+	content := `{"cpu":{"p/w":{"Platform":"p","Workload":"w","Critical":{
+		"CPUMax":50,"CPULowPState":90,"CPULowThrottle":60,"CPUFloor":48,
+		"MemMax":100,"MemAtCPULow":80,"MemFloor":66}}},"gpu":{}}`
+	if err := os.WriteFile(corrupt, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(corrupt); err == nil {
+		t.Error("inverted critical powers accepted")
+	}
+}

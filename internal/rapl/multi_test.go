@@ -1,0 +1,147 @@
+package rapl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/units"
+)
+
+func TestSplitCPUSpecConserves(t *testing.T) {
+	p := hw.IvyBridge()
+	parts := SplitCPUSpec(p.CPU)
+	if len(parts) != 2 {
+		t.Fatalf("split into %d, want 2", len(parts))
+	}
+	var cores int
+	var idle, dyn units.Power
+	for _, s := range parts {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		cores += s.Cores()
+		idle += s.IdlePower
+		dyn += s.MaxDynPower
+	}
+	if cores != p.CPU.Cores() {
+		t.Errorf("cores %d, want %d", cores, p.CPU.Cores())
+	}
+	if math.Abs((idle - p.CPU.IdlePower).Watts()) > 1e-9 {
+		t.Errorf("idle power not conserved: %v vs %v", idle, p.CPU.IdlePower)
+	}
+	if math.Abs((dyn - p.CPU.MaxDynPower).Watts()) > 1e-9 {
+		t.Errorf("dynamic power not conserved")
+	}
+	// Frequency range shared.
+	if parts[0].FMin != p.CPU.FMin || parts[0].FNom != p.CPU.FNom {
+		t.Error("frequency range changed")
+	}
+}
+
+func TestSplitDRAMSpecConserves(t *testing.T) {
+	p := hw.IvyBridge()
+	parts := SplitDRAMSpec(p.DRAM, 2)
+	var bw units.Bandwidth
+	var bg units.Power
+	for _, s := range parts {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		bw += s.PeakBandwidth()
+		bg += s.BackgroundPower
+	}
+	if math.Abs((bw - p.DRAM.PeakBandwidth()).BytesPerSecond()) > 1 {
+		t.Errorf("bandwidth not conserved: %v vs %v", bw, p.DRAM.PeakBandwidth())
+	}
+	if math.Abs((bg - p.DRAM.BackgroundPower).Watts()) > 1e-9 {
+		t.Errorf("background not conserved")
+	}
+}
+
+// TestAggregateEquivalence validates the paper's simplification: an even
+// node-budget split over per-socket RAPL domains behaves exactly like the
+// single aggregate component the rest of the repository models, for
+// balanced workloads.
+func TestAggregateEquivalence(t *testing.T) {
+	p := hw.IvyBridge()
+	agg := NewController(p.CPU, p.DRAM)
+	multi, err := NewMultiController(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(capRaw, actRaw float64) bool {
+		cap := units.Power(50 + math.Abs(math.Mod(capRaw, 180)))
+		act := 0.2 + 0.75*math.Abs(math.Mod(actRaw, 1))
+		if err := agg.SetLimit(DomainPackage, cap); err != nil {
+			return false
+		}
+		if err := multi.SetNodeLimits(cap, 0); err != nil {
+			return false
+		}
+		aggState := agg.ActuatePackage(act)
+		aggPower := agg.PackagePower(aggState, act)
+		states, multiPower := multi.ActuateNode(act)
+		// Same P-state and duty on both sockets, equal to the aggregate.
+		for _, s := range states {
+			if s.Freq != aggState.Freq || s.Duty != aggState.Duty {
+				return false
+			}
+		}
+		return units.AlmostEqual(aggPower.Watts(), multiPower.Watts(), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateEquivalenceDRAM(t *testing.T) {
+	p := hw.IvyBridge()
+	agg := NewController(p.CPU, p.DRAM)
+	multi, err := NewMultiController(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cap := units.Power(70); cap <= 130; cap += 6 {
+		if err := agg.SetLimit(DomainDRAM, cap); err != nil {
+			t.Fatal(err)
+		}
+		if err := multi.SetNodeLimits(0, cap); err != nil {
+			t.Fatal(err)
+		}
+		for _, rf := range []float64{0, 0.5, 1} {
+			a := agg.DRAMBandwidthCeiling(rf)
+			m := multi.NodeDRAMBandwidthCeiling(rf)
+			if !units.AlmostEqual(a.BytesPerSecond(), m.BytesPerSecond(), 1e-6) {
+				t.Errorf("cap %v rf %v: aggregate %v vs multi %v", cap, rf, a, m)
+			}
+		}
+	}
+}
+
+func TestMultiControllerBasics(t *testing.T) {
+	p := hw.IvyBridge()
+	multi, err := NewMultiController(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Sockets() != 2 {
+		t.Errorf("sockets = %d", multi.Sockets())
+	}
+	if multi.Socket(0) == nil || multi.Socket(1) == nil {
+		t.Error("socket controllers missing")
+	}
+	// Disabled caps propagate.
+	if err := multi.SetNodeLimits(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, enabled := multi.Socket(0).Limit(DomainPackage); enabled {
+		t.Error("zero cap should disable per-socket limiting")
+	}
+	// GPU platforms rejected.
+	xp := hw.TitanXP()
+	if _, err := NewMultiController(xp); err == nil {
+		t.Error("GPU platform accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package rapl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/units"
+)
+
+// PowercapFS emulates the Linux powercap sysfs interface
+// (/sys/class/powercap/intel-rapl:*) on top of the controller, so tools
+// written against the kernel ABI — reading microjoule energy counters and
+// writing microwatt limits — work unchanged against the simulator.
+//
+// Exposed zones mirror the kernel's layout: "intel-rapl:0" is the package
+// domain and "intel-rapl:0:0" its DRAM subzone. Each zone has the files
+// name, enabled, energy_uj, max_energy_range_uj,
+// constraint_0_power_limit_uw, and constraint_0_time_window_us.
+type PowercapFS struct {
+	ctrl *Controller
+}
+
+// NewPowercapFS wraps a controller in the sysfs facade.
+func NewPowercapFS(ctrl *Controller) *PowercapFS {
+	return &PowercapFS{ctrl: ctrl}
+}
+
+// zoneDomain maps a zone path component to its RAPL domain.
+func zoneDomain(zone string) (Domain, error) {
+	switch zone {
+	case "intel-rapl:0":
+		return DomainPackage, nil
+	case "intel-rapl:0:0":
+		return DomainDRAM, nil
+	default:
+		return 0, fmt.Errorf("powercap: no such zone %q", zone)
+	}
+}
+
+// zoneName returns the kernel's name-file content for a zone.
+func zoneName(d Domain) string {
+	if d == DomainDRAM {
+		return "dram"
+	}
+	return "package-0"
+}
+
+// List returns every file path the facade serves, sorted.
+func (p *PowercapFS) List() []string {
+	var out []string
+	for _, zone := range []string{"intel-rapl:0", "intel-rapl:0:0"} {
+		for _, f := range []string{
+			"name", "enabled", "energy_uj", "max_energy_range_uj",
+			"constraint_0_power_limit_uw", "constraint_0_time_window_us",
+		} {
+			out = append(out, zone+"/"+f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Read returns the content of a powercap file (without trailing newline).
+func (p *PowercapFS) Read(path string) (string, error) {
+	zone, file, err := splitZonePath(path)
+	if err != nil {
+		return "", err
+	}
+	d, err := zoneDomain(zone)
+	if err != nil {
+		return "", err
+	}
+	switch file {
+	case "name":
+		return zoneName(d), nil
+	case "enabled":
+		if _, enabled := p.ctrl.Limit(d); enabled {
+			return "1", nil
+		}
+		return "0", nil
+	case "energy_uj":
+		uj := p.ctrl.Energy(d).Joules() * 1e6
+		return strconv.FormatUint(uint64(uj), 10), nil
+	case "max_energy_range_uj":
+		// The 32-bit counter wraps at 2^32 energy units.
+		return strconv.FormatUint(uint64(float64(1<<32)*EnergyUnit*1e6), 10), nil
+	case "constraint_0_power_limit_uw":
+		limit, enabled := p.ctrl.Limit(d)
+		if !enabled {
+			return "0", nil
+		}
+		return strconv.FormatUint(uint64(limit.Watts()*1e6), 10), nil
+	case "constraint_0_time_window_us":
+		addr := MSRPkgPowerLimit
+		if d == DomainDRAM {
+			addr = MSRDramPowerLimit
+		}
+		reg, err := p.ctrl.MSRs().Read(addr)
+		if err != nil {
+			return "", err
+		}
+		_, window, enabled := DecodeLimit(reg)
+		if !enabled {
+			return "0", nil
+		}
+		return strconv.FormatUint(uint64(window*1e6), 10), nil
+	default:
+		return "", fmt.Errorf("powercap: no such file %q in zone %q", file, zone)
+	}
+}
+
+// Write stores a value into a writable powercap file. Only the power
+// limit and time window are writable, as in the kernel.
+func (p *PowercapFS) Write(path, value string) error {
+	zone, file, err := splitZonePath(path)
+	if err != nil {
+		return err
+	}
+	d, err := zoneDomain(zone)
+	if err != nil {
+		return err
+	}
+	value = strings.TrimSpace(value)
+	switch file {
+	case "constraint_0_power_limit_uw":
+		uw, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("powercap: bad microwatt value %q", value)
+		}
+		return p.ctrl.SetLimit(d, units.Power(float64(uw)/1e6))
+	case "constraint_0_time_window_us":
+		us, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("powercap: bad microsecond value %q", value)
+		}
+		limit, enabled := p.ctrl.Limit(d)
+		if !enabled {
+			return fmt.Errorf("powercap: set a power limit before its window")
+		}
+		return p.ctrl.SetLimitWindow(d, limit, time.Duration(us)*time.Microsecond)
+	case "name", "enabled", "energy_uj", "max_energy_range_uj":
+		return fmt.Errorf("powercap: %q is read-only", file)
+	default:
+		return fmt.Errorf("powercap: no such file %q in zone %q", file, zone)
+	}
+}
+
+func splitZonePath(path string) (zone, file string, err error) {
+	path = strings.TrimPrefix(path, "/sys/class/powercap/")
+	parts := strings.Split(path, "/")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return "", "", fmt.Errorf("powercap: malformed path %q (want zone/file)", path)
+	}
+	return parts[0], parts[1], nil
+}

@@ -1,0 +1,157 @@
+package rapl
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+)
+
+func newFS() (*PowercapFS, *Controller) {
+	p := hw.IvyBridge()
+	ctrl := NewController(p.CPU, p.DRAM)
+	return NewPowercapFS(ctrl), ctrl
+}
+
+func TestPowercapListsKernelLayout(t *testing.T) {
+	fs, _ := newFS()
+	paths := fs.List()
+	if len(paths) != 12 {
+		t.Fatalf("file count = %d, want 12", len(paths))
+	}
+	want := map[string]bool{
+		"intel-rapl:0/name":                          true,
+		"intel-rapl:0/constraint_0_power_limit_uw":   true,
+		"intel-rapl:0:0/energy_uj":                   true,
+		"intel-rapl:0:0/constraint_0_time_window_us": true,
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		seen[p] = true
+	}
+	for p := range want {
+		if !seen[p] {
+			t.Errorf("missing path %q", p)
+		}
+	}
+}
+
+func TestPowercapNamesAndEnabled(t *testing.T) {
+	fs, ctrl := newFS()
+	if got, _ := fs.Read("intel-rapl:0/name"); got != "package-0" {
+		t.Errorf("package name = %q", got)
+	}
+	if got, _ := fs.Read("intel-rapl:0:0/name"); got != "dram" {
+		t.Errorf("dram name = %q", got)
+	}
+	if got, _ := fs.Read("intel-rapl:0/enabled"); got != "0" {
+		t.Errorf("initial enabled = %q", got)
+	}
+	if err := ctrl.SetLimit(DomainPackage, 120); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.Read("intel-rapl:0/enabled"); got != "1" {
+		t.Errorf("enabled after limit = %q", got)
+	}
+}
+
+func TestPowercapLimitRoundTrip(t *testing.T) {
+	fs, ctrl := newFS()
+	// Write 120 W as microwatts through the ABI.
+	if err := fs.Write("intel-rapl:0/constraint_0_power_limit_uw", "120000000"); err != nil {
+		t.Fatal(err)
+	}
+	limit, enabled := ctrl.Limit(DomainPackage)
+	if !enabled || math.Abs(limit.Watts()-120) > PowerUnit {
+		t.Errorf("limit = %v enabled=%v", limit, enabled)
+	}
+	// Read it back through the ABI.
+	got, err := fs.Read("intel-rapl:0/constraint_0_power_limit_uw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uw, _ := strconv.ParseUint(got, 10, 64)
+	if math.Abs(float64(uw)/1e6-120) > PowerUnit {
+		t.Errorf("read back %s uW", got)
+	}
+	// The sysfs prefix is accepted too.
+	if err := fs.Write("/sys/class/powercap/intel-rapl:0:0/constraint_0_power_limit_uw", "90000000"); err != nil {
+		t.Fatal(err)
+	}
+	if limit, _ := ctrl.Limit(DomainDRAM); math.Abs(limit.Watts()-90) > PowerUnit {
+		t.Errorf("dram limit = %v", limit)
+	}
+}
+
+func TestPowercapTimeWindow(t *testing.T) {
+	fs, _ := newFS()
+	// Window before limit is an error, matching the facade's contract.
+	if err := fs.Write("intel-rapl:0/constraint_0_time_window_us", "1000000"); err == nil {
+		t.Error("window write before limit accepted")
+	}
+	if err := fs.Write("intel-rapl:0/constraint_0_power_limit_uw", "100000000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("intel-rapl:0/constraint_0_time_window_us", "1000000"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("intel-rapl:0/constraint_0_time_window_us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, _ := strconv.ParseUint(got, 10, 64)
+	if math.Abs(float64(us)-1e6) > 1e5 {
+		t.Errorf("window = %s us, want ~1000000", got)
+	}
+}
+
+func TestPowercapEnergyCounter(t *testing.T) {
+	fs, ctrl := newFS()
+	ctrl.AccumulateEnergy(100, 50, 2*time.Second)
+	got, err := fs.Read("intel-rapl:0/energy_uj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uj, _ := strconv.ParseUint(got, 10, 64)
+	if math.Abs(float64(uj)-200e6) > 1e4 {
+		t.Errorf("package energy = %s uJ, want ~200000000", got)
+	}
+	got, _ = fs.Read("intel-rapl:0:0/energy_uj")
+	uj, _ = strconv.ParseUint(got, 10, 64)
+	if math.Abs(float64(uj)-100e6) > 1e4 {
+		t.Errorf("dram energy = %s uJ", got)
+	}
+	// The wrap range matches the 32-bit counter.
+	got, _ = fs.Read("intel-rapl:0/max_energy_range_uj")
+	uj, _ = strconv.ParseUint(got, 10, 64)
+	if math.Abs(float64(uj)-float64(1<<32)*EnergyUnit*1e6) > 1e6 {
+		t.Errorf("max energy range = %s", got)
+	}
+}
+
+func TestPowercapErrors(t *testing.T) {
+	fs, _ := newFS()
+	if _, err := fs.Read("intel-rapl:7/name"); err == nil {
+		t.Error("unknown zone read accepted")
+	}
+	if _, err := fs.Read("intel-rapl:0/nope"); err == nil {
+		t.Error("unknown file read accepted")
+	}
+	if _, err := fs.Read("plainpath"); err == nil {
+		t.Error("malformed path accepted")
+	}
+	if err := fs.Write("intel-rapl:0/energy_uj", "5"); err == nil {
+		t.Error("read-only file write accepted")
+	}
+	if err := fs.Write("intel-rapl:0/constraint_0_power_limit_uw", "watts"); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+	if err := fs.Write("intel-rapl:0/bogus", "1"); err == nil {
+		t.Error("unknown file write accepted")
+	}
+	if err := fs.Write("intel-rapl:9/constraint_0_power_limit_uw", "1"); err == nil {
+		t.Error("unknown zone write accepted")
+	}
+}

@@ -1,0 +1,333 @@
+package rapl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/units"
+)
+
+func newIvyController() *Controller {
+	p := hw.IvyBridge()
+	return NewController(p.CPU, p.DRAM)
+}
+
+func TestRegisterFileUnits(t *testing.T) {
+	rf := NewRegisterFile()
+	v, err := rf.Read(MSRRaplPowerUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v&0xF != powerUnitBits {
+		t.Errorf("power unit bits = %d", v&0xF)
+	}
+	if (v>>8)&0x1F != energyUnitBits {
+		t.Errorf("energy unit bits = %d", (v>>8)&0x1F)
+	}
+	if (v>>16)&0xF != timeUnitBits {
+		t.Errorf("time unit bits = %d", (v>>16)&0xF)
+	}
+}
+
+func TestRegisterFileAccessControl(t *testing.T) {
+	rf := NewRegisterFile()
+	if err := rf.Write(MSRRaplPowerUnit, 1); err == nil {
+		t.Error("unit register should be read-only")
+	}
+	if err := rf.Write(MSRPkgEnergyStatus, 1); err == nil {
+		t.Error("energy status should be read-only")
+	}
+	if _, err := rf.Read(0x1234); err == nil {
+		t.Error("unimplemented MSR read should error")
+	}
+	if err := rf.Write(0x1234, 1); err == nil {
+		t.Error("unimplemented MSR write should error")
+	}
+	if err := rf.Write(MSRPkgPowerLimit, EncodeLimit(100, 1)); err != nil {
+		t.Errorf("limit write failed: %v", err)
+	}
+}
+
+func TestLimitEncodingRoundTrip(t *testing.T) {
+	f := func(wRaw float64) bool {
+		w := math.Abs(math.Mod(wRaw, 4000))
+		reg := EncodeLimit(w, 1.0)
+		got, window, enabled := DecodeLimit(reg)
+		if !enabled {
+			return false
+		}
+		// Power quantizes to 1/8 W.
+		if math.Abs(got-w) > PowerUnit {
+			return false
+		}
+		// 1 s window encodes exactly (1024 ticks).
+		return math.Abs(window-1.0) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLimitEncodingEdges(t *testing.T) {
+	if reg := EncodeLimit(-5, 1); reg&powerMask != 0 {
+		t.Error("negative watts should clamp to zero")
+	}
+	// Very long windows saturate the exponent field.
+	_, win, _ := DecodeLimit(EncodeLimit(100, 1e9))
+	if win <= 0 {
+		t.Error("saturated window should stay positive")
+	}
+	// Sub-tick windows round to one tick.
+	_, win, _ = DecodeLimit(EncodeLimit(100, 1e-6))
+	if math.Abs(win-TimeUnit) > 1e-9 {
+		t.Errorf("tiny window = %v, want one tick %v", win, TimeUnit)
+	}
+}
+
+func TestControllerSetAndReadLimit(t *testing.T) {
+	c := newIvyController()
+	if err := c.SetLimit(DomainPackage, 120); err != nil {
+		t.Fatal(err)
+	}
+	got, enabled := c.Limit(DomainPackage)
+	if !enabled || math.Abs(got.Watts()-120) > PowerUnit {
+		t.Errorf("package limit = %v enabled=%v", got, enabled)
+	}
+	// DRAM independent.
+	if _, enabled := c.Limit(DomainDRAM); enabled {
+		t.Error("DRAM limit should start disabled")
+	}
+	if err := c.SetLimit(DomainDRAM, 90); err != nil {
+		t.Fatal(err)
+	}
+	got, enabled = c.Limit(DomainDRAM)
+	if !enabled || math.Abs(got.Watts()-90) > PowerUnit {
+		t.Errorf("dram limit = %v enabled=%v", got, enabled)
+	}
+	// Zero cap disables.
+	if err := c.SetLimit(DomainPackage, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, enabled := c.Limit(DomainPackage); enabled {
+		t.Error("zero cap should disable limiting")
+	}
+}
+
+func TestActuateUncappedRunsNominal(t *testing.T) {
+	c := newIvyController()
+	s := c.ActuatePackage(0.8)
+	p := hw.IvyBridge()
+	if s.Freq != p.CPU.FNom || s.Duty != 1 || s.Throttled {
+		t.Errorf("uncapped state = %+v", s)
+	}
+}
+
+func TestActuatePStateRegion(t *testing.T) {
+	c := newIvyController()
+	p := hw.IvyBridge()
+	act := 0.8
+	// Cap between lowest and highest P-state powers: actuator must pick a
+	// P-state with duty 1 whose power fits, and the next P-state up must
+	// not fit (highest-fitting property).
+	lo := p.CPU.Power(p.CPU.FMin, 1, act)
+	hi := p.CPU.MaxPower(act)
+	for cap := lo + 2; cap < hi; cap += 5 {
+		if err := c.SetLimit(DomainPackage, cap); err != nil {
+			t.Fatal(err)
+		}
+		s := c.ActuatePackage(act)
+		if s.Throttled || s.Duty != 1 {
+			t.Fatalf("cap %v: unexpectedly throttled: %+v", cap, s)
+		}
+		if got := c.PackagePower(s, act); got > cap+0.01 {
+			t.Fatalf("cap %v: power %v exceeds cap", cap, got)
+		}
+		next := s.Freq + p.CPU.PStateStep
+		if next <= p.CPU.FNom {
+			if p.CPU.Power(next, 1, act) <= cap-PowerUnit {
+				t.Fatalf("cap %v: %v fits but actuator chose %v", cap, next, s.Freq)
+			}
+		}
+	}
+}
+
+func TestActuateTStateRegion(t *testing.T) {
+	c := newIvyController()
+	p := hw.IvyBridge()
+	act := 0.8
+	// Cap below lowest P-state power but above the deepest-throttle power:
+	// actuator must engage T-states at FMin.
+	tLow := p.CPU.Power(p.CPU.FMin, p.CPU.MinDuty, act)
+	pLow := p.CPU.Power(p.CPU.FMin, 1, act)
+	for cap := tLow + 1; cap < pLow-1; cap += 2 {
+		if err := c.SetLimit(DomainPackage, cap); err != nil {
+			t.Fatal(err)
+		}
+		s := c.ActuatePackage(act)
+		if !s.Throttled || s.Freq != p.CPU.FMin {
+			t.Fatalf("cap %v: expected throttling at FMin, got %+v", cap, s)
+		}
+		if s.AtFloor {
+			t.Fatalf("cap %v: unexpectedly at floor", cap)
+		}
+		if got := c.PackagePower(s, act); got > cap+0.01 {
+			t.Fatalf("cap %v: power %v exceeds cap", cap, got)
+		}
+	}
+}
+
+func TestActuateFloorDisregardsCap(t *testing.T) {
+	c := newIvyController()
+	p := hw.IvyBridge()
+	act := 0.8
+	floor := p.CPU.Power(p.CPU.FMin, p.CPU.MinDuty, act)
+	if err := c.SetLimit(DomainPackage, floor-10); err != nil {
+		t.Fatal(err)
+	}
+	s := c.ActuatePackage(act)
+	if !s.AtFloor {
+		t.Fatalf("expected floor state, got %+v", s)
+	}
+	// Power exceeds the cap — scenario VI of the paper.
+	if got := c.PackagePower(s, act); got <= floor-10 {
+		t.Errorf("floor power %v should exceed the impossible cap", got)
+	}
+}
+
+func TestActuateMonotoneInCap(t *testing.T) {
+	c := newIvyController()
+	act := 0.6
+	prevPerf := -1.0
+	for cap := units.Power(40); cap <= 200; cap += 2 {
+		if err := c.SetLimit(DomainPackage, cap); err != nil {
+			t.Fatal(err)
+		}
+		s := c.ActuatePackage(act)
+		perf := s.Freq.Hz() * s.Duty
+		if perf < prevPerf-1 {
+			t.Fatalf("performance state not monotone at cap %v", cap)
+		}
+		prevPerf = perf
+	}
+}
+
+func TestDRAMBandwidthCeiling(t *testing.T) {
+	c := newIvyController()
+	p := hw.IvyBridge()
+	// Uncapped: physical peak.
+	if got := c.DRAMBandwidthCeiling(0); got != p.DRAM.PeakBandwidth() {
+		t.Errorf("uncapped ceiling = %v", got)
+	}
+	// Capped to background+10W with streaming traffic.
+	if err := c.SetLimit(DomainDRAM, p.DRAM.BackgroundPower+10); err != nil {
+		t.Fatal(err)
+	}
+	got := c.DRAMBandwidthCeiling(0)
+	want := 10.0 / p.DRAM.EnergyPerByteStream
+	if math.Abs(got.BytesPerSecond()-want) > want*0.05 {
+		t.Errorf("ceiling = %v, want ~%v B/s", got, want)
+	}
+	// Random traffic gets a much lower ceiling for the same cap.
+	rnd := c.DRAMBandwidthCeiling(1)
+	if rnd >= got {
+		t.Error("random ceiling should be below streaming ceiling")
+	}
+}
+
+func TestEnergyCountersAccumulateAndWrap(t *testing.T) {
+	c := newIvyController()
+	c.AccumulateEnergy(100, 50, 2*time.Second)
+	pkg := c.Energy(DomainPackage).Joules()
+	if math.Abs(pkg-200) > 0.01 {
+		t.Errorf("package energy = %v, want 200 J", pkg)
+	}
+	dram := c.Energy(DomainDRAM).Joules()
+	if math.Abs(dram-100) > 0.01 {
+		t.Errorf("dram energy = %v, want 100 J", dram)
+	}
+	// The 32-bit counter wraps at 2^32 energy units (~65536 J).
+	wrapJoules := float64(1<<32) * EnergyUnit
+	c.AccumulateEnergy(units.Power(wrapJoules), 0, time.Second)
+	after := c.Energy(DomainPackage).Joules()
+	if after >= wrapJoules {
+		t.Errorf("counter did not wrap: %v", after)
+	}
+	if math.Abs(after-200) > 0.5 {
+		t.Errorf("wrapped counter = %v, want ~200", after)
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	if DomainPackage.String() != "package" || DomainDRAM.String() != "dram" {
+		t.Error("domain names")
+	}
+	if Domain(9).String() == "" {
+		t.Error("unknown domain should format")
+	}
+}
+
+func TestWindowAverage(t *testing.T) {
+	w := NewWindow(time.Second)
+	w.Add(100, 500*time.Millisecond)
+	w.Add(200, 500*time.Millisecond)
+	if got := w.Average().Watts(); math.Abs(got-150) > 0.01 {
+		t.Errorf("average = %v, want 150", got)
+	}
+	// Slide: another 1 s at 200 W pushes the early samples out.
+	w.Add(200, time.Second)
+	if got := w.Average().Watts(); math.Abs(got-200) > 0.01 {
+		t.Errorf("post-slide average = %v, want 200", got)
+	}
+}
+
+func TestWindowPartialTrim(t *testing.T) {
+	w := NewWindow(time.Second)
+	w.Add(100, 2*time.Second) // only the last second counts
+	w.Add(300, 500*time.Millisecond)
+	// Window now covers 500 ms of 100 W and 500 ms of 300 W.
+	if got := w.Average().Watts(); math.Abs(got-200) > 0.5 {
+		t.Errorf("trimmed average = %v, want ~200", got)
+	}
+}
+
+func TestWindowEdgeCases(t *testing.T) {
+	w := NewWindow(0) // defaults to 1 s
+	if w.Span() != time.Second {
+		t.Errorf("default span = %v", w.Span())
+	}
+	if got := w.Average(); got != 0 {
+		t.Errorf("empty average = %v", got)
+	}
+	w.Add(50, 0) // ignored
+	if got := w.Average(); got != 0 {
+		t.Errorf("zero-duration sample counted: %v", got)
+	}
+	w.Add(75, 100*time.Millisecond)
+	if got := w.Average().Watts(); math.Abs(got-75) > 0.01 {
+		t.Errorf("partial-window average = %v, want 75", got)
+	}
+	w.Reset()
+	if got := w.Average(); got != 0 {
+		t.Errorf("post-reset average = %v", got)
+	}
+}
+
+func TestWindowNeverNegative(t *testing.T) {
+	w := NewWindow(250 * time.Millisecond)
+	f := func(vals []float64) bool {
+		for _, v := range vals {
+			watts := math.Abs(math.Mod(v, 500))
+			w.Add(units.Power(watts), 50*time.Millisecond)
+			if w.Average() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

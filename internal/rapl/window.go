@@ -1,0 +1,95 @@
+package rapl
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// Window tracks a running average of power samples over a fixed time
+// window — the "running average" in Running Average Power Limit. The
+// steady-state simulator does not need it (steady power equals its own
+// average), but the time-stepped trace simulator uses it to check that
+// transient excursions stay within the programmed limit semantics.
+type Window struct {
+	span    time.Duration
+	samples []sample
+	sum     float64 // watt-seconds currently inside the window
+}
+
+type sample struct {
+	at    time.Duration // end time of the sample
+	dt    time.Duration
+	watts float64
+}
+
+// NewWindow returns a running-average tracker over the given span. Spans
+// of zero or less default to one second, RAPL's customary window.
+func NewWindow(span time.Duration) *Window {
+	if span <= 0 {
+		span = time.Second
+	}
+	return &Window{span: span}
+}
+
+// Span returns the configured window length.
+func (w *Window) Span() time.Duration { return w.span }
+
+// Add appends a sample of the given power lasting dt and expires samples
+// that have slid out of the window.
+func (w *Window) Add(p units.Power, dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	var end time.Duration
+	if n := len(w.samples); n > 0 {
+		end = w.samples[n-1].at
+	}
+	end += dt
+	w.samples = append(w.samples, sample{at: end, dt: dt, watts: p.Watts()})
+	w.sum += p.Watts() * dt.Seconds()
+	// Expire samples wholly outside [end-span, end]. Partially covered
+	// samples are trimmed proportionally.
+	cutoff := end - w.span
+	for len(w.samples) > 0 {
+		s := w.samples[0]
+		start := s.at - s.dt
+		if s.at <= cutoff {
+			w.sum -= s.watts * s.dt.Seconds()
+			w.samples = w.samples[1:]
+			continue
+		}
+		if start < cutoff {
+			trim := cutoff - start
+			w.sum -= s.watts * trim.Seconds()
+			w.samples[0].dt -= trim
+		}
+		break
+	}
+	if w.sum < 0 {
+		w.sum = 0
+	}
+}
+
+// Average returns the mean power over the most recent window. Before a
+// full window of samples has accumulated, the average is over the samples
+// seen so far.
+func (w *Window) Average() units.Power {
+	var covered time.Duration
+	for _, s := range w.samples {
+		covered += s.dt
+	}
+	if covered <= 0 {
+		return 0
+	}
+	if covered > w.span {
+		covered = w.span
+	}
+	return units.Power(w.sum / covered.Seconds())
+}
+
+// Reset discards all samples.
+func (w *Window) Reset() {
+	w.samples = w.samples[:0]
+	w.sum = 0
+}

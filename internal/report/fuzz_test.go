@@ -1,0 +1,43 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzTableRendering(f *testing.F) {
+	f.Add("title", "a,b", `cell "quoted"`, "plain")
+	f.Add("", "", "", "")
+	f.Add("t", "h1|h2", "x\ny", "z")
+	f.Fuzz(func(t *testing.T, title, header, c1, c2 string) {
+		tb := NewTable(title, header)
+		tb.AddRow(c1, c2)
+		tb.AddRow(c2)
+		// Rendering must not panic and must contain the cells it was
+		// given (String pads, CSV escapes).
+		out := tb.String()
+		if title != "" && !strings.Contains(out, title) {
+			t.Fatalf("title lost: %q", out)
+		}
+		csv := tb.CSV()
+		// CSV must have one line per row plus the header.
+		lines := strings.Count(csv, "\n")
+		wantLines := 3 + strings.Count(header, "\n") + strings.Count(c1, "\n") +
+			2*strings.Count(c2, "\n")
+		if lines != wantLines {
+			t.Fatalf("CSV line count %d, want %d: %q", lines, wantLines, csv)
+		}
+	})
+}
+
+func FuzzSparkline(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0)
+	f.Add(0.0, 0.0, 0.0)
+	f.Add(-1e300, 1e300, 0.0)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		s := Sparkline([]float64{a, b, c})
+		if n := len([]rune(s)); n != 3 {
+			t.Fatalf("sparkline length %d, want 3", n)
+		}
+	})
+}

@@ -1,0 +1,247 @@
+// Package report renders experiment output for terminals and files:
+// aligned ASCII tables, CSV, unicode sparklines, and simple scatter/line
+// charts. The experiment harness uses it to print the same rows and
+// series the paper's tables and figures report.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; missing cells render empty, extra cells are
+// kept (the widest row defines the column count).
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends one row built from format/value pairs: each argument is
+// rendered with %v unless it is a float64, which renders with 4
+// significant digits.
+func (t *Table) AddRowf(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = FormatFloat(x)
+		case fmt.Stringer:
+			row[i] = x.String()
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// columns returns the column count across headers and rows.
+func (t *Table) columns() int {
+	n := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	return n
+}
+
+// String renders the table with aligned columns and a rule under the
+// header.
+func (t *Table) String() string {
+	n := t.columns()
+	if n == 0 {
+		return t.Title + "\n"
+	}
+	widths := make([]int, n)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < n; i++ {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat("-", widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-style CSV (quoting cells that contain
+// commas, quotes, or newlines).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FormatFloat renders a float with four significant digits, dropping
+// scientific notation for the magnitudes experiments produce.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 0):
+		return "Inf"
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// sparkRunes are the eight block heights of a unicode sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line unicode bar series, scaled to
+// the data range. Empty input yields an empty string; a constant series
+// renders mid-height.
+func Sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		lo = math.Min(lo, y)
+		hi = math.Max(hi, y)
+	}
+	var b strings.Builder
+	for _, y := range ys {
+		idx := len(sparkRunes) / 2
+		if hi > lo {
+			idx = int((y - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Chart renders an (x, y) series as a fixed-size ASCII scatter chart with
+// axis annotations — enough to eyeball the shape of a figure in a
+// terminal or a log file.
+func Chart(title string, xs, ys []float64, width, height int) string {
+	if len(xs) == 0 || len(xs) != len(ys) || width < 8 || height < 3 {
+		return title + " (no data)\n"
+	}
+	xlo, xhi := minMax(xs)
+	ylo, yhi := minMax(ys)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		cx, cy := 0, 0
+		if xhi > xlo {
+			cx = int((xs[i] - xlo) / (xhi - xlo) * float64(width-1))
+		}
+		if yhi > ylo {
+			cy = int((ys[i] - ylo) / (yhi - ylo) * float64(height-1))
+		}
+		row := height - 1 - cy
+		grid[row][cx] = '*'
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "%s (y: %s .. %s)\n", strings.Repeat("-", width), FormatFloat(ylo), FormatFloat(yhi))
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%s (x: %s .. %s)\n", strings.Repeat("-", width), FormatFloat(xlo), FormatFloat(xhi))
+	return b.String()
+}
+
+func minMax(vs []float64) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}

@@ -1,0 +1,152 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("Demo", "name", "watts")
+	tb.AddRow("cpu", "112.0")
+	tb.AddRow("dram", "116.0")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns align: "name" padded to "dram" width.
+	if !strings.HasPrefix(lines[1], "name ") {
+		t.Errorf("header row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("rule row = %q", lines[2])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3")
+	out := tb.String()
+	if !strings.Contains(out, "3") {
+		t.Error("extra cell dropped")
+	}
+	// Must not panic and must keep alignment for all three columns.
+	for _, line := range strings.Split(out, "\n") {
+		_ = line
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	tb := &Table{Title: "empty"}
+	if got := tb.String(); got != "empty\n" {
+		t.Errorf("empty table = %q", got)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRowf(3.14159, 42, "str")
+	row := tb.Rows[0]
+	if row[0] != "3.142" {
+		t.Errorf("float cell = %q", row[0])
+	}
+	if row[1] != "42" || row[2] != "str" {
+		t.Errorf("cells = %v", row)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`say "hi"`, "x,y")
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"say ""hi"""`) {
+		t.Errorf("quote escaping: %q", csv)
+	}
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Errorf("comma escaping: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("header: %q", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{12345, "12345"},
+		{82.3, "82.3"},
+		{3.14159, "3.142"},
+		{0.000123, "0.000123"},
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "Inf"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.v); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	runes := []rune(s)
+	if len(runes) != 8 {
+		t.Fatalf("length = %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("scaling: %q", s)
+	}
+	// Monotone data renders monotone glyphs.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("not monotone: %q", s)
+		}
+	}
+	// Constant series stays mid-height and does not panic.
+	c := []rune(Sparkline([]float64{5, 5, 5}))
+	if len(c) != 3 || c[0] != c[1] || c[1] != c[2] {
+		t.Errorf("constant sparkline = %q", string(c))
+	}
+}
+
+func TestChart(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0, 1, 4, 9, 16}
+	out := Chart("parabola", xs, ys, 20, 6)
+	if !strings.Contains(out, "parabola") {
+		t.Error("missing title")
+	}
+	if strings.Count(out, "*") == 0 {
+		t.Error("no points plotted")
+	}
+	if !strings.Contains(out, "x: 0 .. 4") {
+		t.Errorf("x annotation missing:\n%s", out)
+	}
+	// Degenerate inputs.
+	if got := Chart("t", nil, nil, 20, 6); !strings.Contains(got, "no data") {
+		t.Errorf("empty chart = %q", got)
+	}
+	if got := Chart("t", xs, ys[:3], 20, 6); !strings.Contains(got, "no data") {
+		t.Error("mismatched lengths accepted")
+	}
+	if got := Chart("t", xs, ys, 2, 2); !strings.Contains(got, "no data") {
+		t.Error("tiny dimensions accepted")
+	}
+	// Constant y must not panic.
+	out = Chart("flat", xs, []float64{2, 2, 2, 2, 2}, 20, 4)
+	if strings.Count(out, "*") == 0 {
+		t.Error("flat chart lost its points")
+	}
+}

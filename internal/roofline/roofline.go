@@ -1,0 +1,209 @@
+// Package roofline casts the power-bounded problem in the familiar
+// roofline framework: a platform has a compute ceiling (ops/s) and a
+// bandwidth ceiling (bytes/s), and a workload's arithmetic intensity
+// decides which one binds. Power capping moves both ceilings — the CPU
+// cap lowers the compute roof through DVFS, the DRAM cap lowers the
+// bandwidth roof through throttling — so a cross-component allocation is
+// exactly a choice of roofline shape, and the optimal allocation places
+// the ridge point at the workload's intensity.
+package roofline
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/rapl"
+	"repro/internal/svgplot"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Model is a power-capped roofline for one CPU platform.
+type Model struct {
+	// ComputeRoof is the attainable operation throughput under the
+	// processor cap.
+	ComputeRoof units.Rate
+	// BandwidthRoof is the attainable traffic rate under the memory cap.
+	BandwidthRoof units.Bandwidth
+	// Ridge is the arithmetic intensity (ops/byte) at which the two
+	// ceilings meet; workloads below it are memory bound under this
+	// allocation, above it compute bound.
+	Ridge float64
+	// ProcCap and MemCap record the allocation the model was built for.
+	ProcCap, MemCap units.Power
+	// Freq and Duty are the processor state the processor cap affords at
+	// full activity.
+	Freq units.Frequency
+	Duty float64
+}
+
+// ForCPU builds the power-capped roofline for an allocation on a CPU
+// platform, using a generic (fully efficient, streaming) workload — the
+// hardware ceilings. Zero caps mean uncapped.
+func ForCPU(p hw.Platform, procCap, memCap units.Power) (Model, error) {
+	if p.Kind != hw.KindCPU {
+		return Model{}, fmt.Errorf("roofline: platform %q is not a CPU platform", p.Name)
+	}
+	if err := p.Validate(); err != nil {
+		return Model{}, err
+	}
+	ctrl := rapl.NewController(p.CPU, p.DRAM)
+	if err := ctrl.SetLimit(rapl.DomainPackage, procCap); err != nil {
+		return Model{}, err
+	}
+	if err := ctrl.SetLimit(rapl.DomainDRAM, memCap); err != nil {
+		return Model{}, err
+	}
+	// The compute roof uses full activity (a compute-bound kernel keeps
+	// the cores busy); the actuator picks the state the cap affords.
+	state := ctrl.ActuatePackage(1.0)
+	compute := p.CPU.PeakComputeRate(state.Freq, state.Duty)
+	bw := ctrl.DRAMBandwidthCeiling(0)
+	if peak := p.DRAM.PeakBandwidth(); bw > peak {
+		bw = peak
+	}
+	m := Model{
+		ComputeRoof:   compute,
+		BandwidthRoof: bw,
+		ProcCap:       procCap,
+		MemCap:        memCap,
+		Freq:          state.Freq,
+		Duty:          state.Duty,
+	}
+	if bw > 0 {
+		m.Ridge = compute.OpsPerSecond() / bw.BytesPerSecond()
+	}
+	return m, nil
+}
+
+// Attainable returns the roofline bound (ops/s) at arithmetic intensity
+// ai: min(ComputeRoof, ai * BandwidthRoof).
+func (m Model) Attainable(ai float64) units.Rate {
+	if ai <= 0 {
+		return 0
+	}
+	bwBound := units.Rate(ai * m.BandwidthRoof.BytesPerSecond())
+	if bwBound < m.ComputeRoof {
+		return bwBound
+	}
+	return m.ComputeRoof
+}
+
+// Bound classifies a workload under this roofline.
+func (m Model) Bound(w *workload.Workload) string {
+	ai := w.ComputeIntensity()
+	if ai < m.Ridge {
+		return "memory-bound"
+	}
+	return "compute-bound"
+}
+
+// mlpFloor mirrors the simulator's weak frequency dependence of
+// achievable bandwidth (see internal/sim).
+const mlpFloor = 0.7
+
+// Effective returns the workload-effective roofs under this model: the
+// compute roof scaled by the workload's compute efficiency, and the
+// bandwidth roof scaled by its pattern efficiency and the processor's
+// request-issue capability (duty-gated, weakly frequency dependent).
+func (m Model) Effective(p hw.Platform, w *workload.Workload) (units.Rate, units.Bandwidth) {
+	var compEff, bwEff float64
+	for _, ph := range w.Phases {
+		compEff += ph.Weight * ph.ComputeEff
+		bwEff += ph.Weight * ph.BandwidthEff
+	}
+	effCompute := units.Rate(m.ComputeRoof.OpsPerSecond() * compEff)
+	fRatio := m.Freq.Hz() / p.CPU.FNom.Hz()
+	issue := m.Duty * (mlpFloor + (1-mlpFloor)*fRatio)
+	pattern := p.DRAM.PeakBandwidth().BytesPerSecond() * bwEff * issue
+	effBW := units.Bandwidth(pattern)
+	if m.BandwidthRoof < effBW {
+		effBW = m.BandwidthRoof
+	}
+	return effCompute, effBW
+}
+
+// PredictedPerf returns the roofline-predicted operation throughput for
+// the workload under this model: min(effective compute roof, intensity
+// times effective bandwidth roof).
+func (m Model) PredictedPerf(p hw.Platform, w *workload.Workload) units.Rate {
+	effCompute, effBW := m.Effective(p, w)
+	ai := w.ComputeIntensity()
+	bwBound := units.Rate(ai * effBW.BytesPerSecond())
+	if bwBound < effCompute {
+		return bwBound
+	}
+	return effCompute
+}
+
+// BalancedAllocation searches the budget's allocation space for the split
+// that maximizes the roofline-predicted performance at the workload's
+// arithmetic intensity — the roofline restatement of the paper's balance
+// principle, and an O(budget/step) closed-form allocator that needs no
+// simulation runs. It returns the allocation and the resulting model.
+func BalancedAllocation(p hw.Platform, w *workload.Workload, budget units.Power, step units.Power) (units.Power, units.Power, Model, error) {
+	if step <= 0 {
+		step = 4
+	}
+	best := -1.0
+	var bestProc, bestMem units.Power
+	var bestModel Model
+	lo := p.CPU.IdlePower + 2
+	hiMem := p.DRAM.BackgroundPower + 2
+	for proc := lo; proc <= budget-hiMem; proc += step {
+		mem := budget - proc
+		m, err := ForCPU(p, proc, mem)
+		if err != nil {
+			return 0, 0, Model{}, err
+		}
+		predicted := m.PredictedPerf(p, w).OpsPerSecond()
+		if predicted > best {
+			best, bestProc, bestMem, bestModel = predicted, proc, mem, m
+		}
+	}
+	if best < 0 {
+		return 0, 0, Model{}, fmt.Errorf("roofline: budget %v leaves no allocation space", budget)
+	}
+	return bestProc, bestMem, bestModel, nil
+}
+
+// Chart renders rooflines for several allocations of one budget with the
+// workload's intensity marked, as an SVG.
+func Chart(p hw.Platform, w *workload.Workload, budget units.Power, procCaps []units.Power) (svgplot.Chart, error) {
+	fig := svgplot.Chart{
+		Title:  fmt.Sprintf("Power-capped rooflines: %s at %s on %s", w.Name, budget, p.Name),
+		XLabel: "arithmetic intensity (ops/byte, sample points)",
+		YLabel: "attainable GOP/s",
+	}
+	ais := []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100}
+	for _, proc := range procCaps {
+		if proc >= budget {
+			continue
+		}
+		m, err := ForCPU(p, proc, budget-proc)
+		if err != nil {
+			return svgplot.Chart{}, err
+		}
+		var ys []float64
+		for _, ai := range ais {
+			ys = append(ys, m.Attainable(ai).OpsPerSecond()/1e9)
+		}
+		if err := fig.Add(fmt.Sprintf("cpu %.0f W / mem %.0f W", proc.Watts(), (budget-proc).Watts()), ais, ys); err != nil {
+			return svgplot.Chart{}, err
+		}
+	}
+	// The workload's intensity as a vertical marker series.
+	ai := w.ComputeIntensity()
+	maxRoof := 0.0
+	for _, s := range fig.Series {
+		for _, y := range s.Y {
+			if y > maxRoof {
+				maxRoof = y
+			}
+		}
+	}
+	if err := fig.Add(w.Name+" intensity", []float64{ai, ai}, []float64{0, maxRoof}); err != nil {
+		return svgplot.Chart{}, err
+	}
+	return fig, nil
+}

@@ -1,0 +1,172 @@
+package roofline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func ivy(t *testing.T) hw.Platform {
+	t.Helper()
+	p, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func wl(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestUncappedRoofsMatchHardware(t *testing.T) {
+	p := ivy(t)
+	m, err := ForCPU(p, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.ComputeRoof.GOPSValue()-400) > 1 {
+		t.Errorf("compute roof = %v, want ~400 GOP/s", m.ComputeRoof)
+	}
+	if math.Abs(m.BandwidthRoof.GBPerSecond()-102.4) > 0.5 {
+		t.Errorf("bandwidth roof = %v, want ~102.4 GB/s", m.BandwidthRoof)
+	}
+	// Ridge = 400/102.4 ~ 3.9 ops/byte.
+	if m.Ridge < 3.5 || m.Ridge > 4.3 {
+		t.Errorf("ridge = %v", m.Ridge)
+	}
+	if _, err := ForCPU(hw.TitanXP(), 0, 0); err == nil {
+		t.Error("GPU platform accepted")
+	}
+}
+
+func TestCapsMoveTheRoofs(t *testing.T) {
+	p := ivy(t)
+	free, err := ForCPU(p, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuCapped, err := ForCPU(p, 90, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpuCapped.ComputeRoof >= free.ComputeRoof {
+		t.Error("CPU cap should lower the compute roof")
+	}
+	if cpuCapped.BandwidthRoof != free.BandwidthRoof {
+		t.Error("CPU cap should not move the bandwidth roof")
+	}
+	if cpuCapped.Ridge >= free.Ridge {
+		t.Error("CPU cap should move the ridge left")
+	}
+	memCapped, err := ForCPU(p, 0, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memCapped.BandwidthRoof >= free.BandwidthRoof {
+		t.Error("memory cap should lower the bandwidth roof")
+	}
+	if memCapped.Ridge <= free.Ridge {
+		t.Error("memory cap should move the ridge right")
+	}
+}
+
+func TestAttainablePiecewise(t *testing.T) {
+	m := Model{ComputeRoof: 100e9, BandwidthRoof: 50e9, Ridge: 2}
+	if got := m.Attainable(1); got != 50e9 {
+		t.Errorf("below ridge = %v", got)
+	}
+	if got := m.Attainable(10); got != 100e9 {
+		t.Errorf("above ridge = %v", got)
+	}
+	if got := m.Attainable(2); math.Abs(float64(got)-100e9) > 1 {
+		t.Errorf("at ridge = %v", got)
+	}
+	if m.Attainable(0) != 0 {
+		t.Error("zero intensity")
+	}
+}
+
+func TestBoundClassification(t *testing.T) {
+	p := ivy(t)
+	m, err := ForCPU(p, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := wl(t, "stream")
+	dgemm := wl(t, "dgemm")
+	if m.Bound(&stream) != "memory-bound" {
+		t.Error("STREAM should be memory bound on the uncapped roofline")
+	}
+	if m.Bound(&dgemm) != "compute-bound" {
+		t.Error("DGEMM should be compute bound on the uncapped roofline")
+	}
+}
+
+func TestBalancedAllocationTracksSweepOptimum(t *testing.T) {
+	// The ridge-matching allocation should land near the exhaustive
+	// optimum — the roofline restatement of the paper's balance claim.
+	p := ivy(t)
+	for _, name := range []string{"stream", "mg"} {
+		w := wl(t, name)
+		budget := units.Power(200)
+		proc, mem, m, err := BalancedAllocation(p, &w, budget, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if proc+mem > budget+0.01 {
+			t.Fatalf("%s: balanced allocation exceeds budget", name)
+		}
+		if m.Ridge <= 0 {
+			t.Fatalf("%s: degenerate ridge", name)
+		}
+		best, err := core.NewProblem(p, w, budget).PerfMax()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := core.NewProblem(p, w, budget).Evaluate(core.Allocation{Proc: proc, Mem: mem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Result.Perf < 0.7*best.Result.Perf {
+			t.Errorf("%s: ridge-matched allocation reaches only %.0f%% of best",
+				name, 100*ev.Result.Perf/best.Result.Perf)
+		}
+	}
+	// Infeasible budget errors.
+	w := wl(t, "stream")
+	if _, _, _, err := BalancedAllocation(p, &w, 60, 4); err == nil {
+		t.Error("infeasible budget accepted")
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	p := ivy(t)
+	w := wl(t, "mg")
+	fig, err := Chart(p, &w, 208, []units.Power{80, 120, 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := fig.SVG()
+	if !strings.Contains(svg, "rooflines") || !strings.Contains(svg, "mg intensity") {
+		t.Error("chart missing series")
+	}
+	// Caps at or above the budget are skipped, not errored.
+	fig, err = Chart(p, &w, 208, []units.Power{80, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 { // one roofline + the intensity marker
+		t.Errorf("series = %d, want 2", len(fig.Series))
+	}
+}

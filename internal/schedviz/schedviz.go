@@ -1,0 +1,126 @@
+// Package schedviz renders cluster schedules as SVG Gantt charts: one row
+// per node, one bar per job execution span, with suspensions visible as
+// gaps. It consumes the event logs the cluster simulations produce.
+package schedviz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+// span is one contiguous execution of a job on a node.
+type span struct {
+	job, node  string
+	start, end float64
+}
+
+// Gantt renders the queue result as an SVG Gantt chart. Suspensions
+// split a job into multiple bars on its node's row.
+func Gantt(title string, res *cluster.QueueResult) string {
+	spans, nodes := spansFromEvents(res.Events, res.Makespan)
+	const (
+		rowH     = 28
+		leftPad  = 90
+		rightPad = 20
+		topPad   = 40
+		width    = 760
+	)
+	height := topPad + rowH*len(nodes) + 40
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		leftPad, escape(title))
+	if len(spans) == 0 || res.Makespan <= 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">(no schedule)</text>`+"\n",
+			leftPad, height/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+
+	plotW := float64(width - leftPad - rightPad)
+	px := func(t float64) float64 { return float64(leftPad) + t/res.Makespan*plotW }
+	rowOf := map[string]int{}
+	for i, n := range nodes {
+		rowOf[n] = i
+		y := topPad + i*rowH
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			leftPad-8, y+rowH/2, escape(n))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			leftPad, y+rowH, width-rightPad, y+rowH)
+	}
+
+	colors := []string{"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9", "#8172b2", "#937860"}
+	colorOf := map[string]string{}
+	nextColor := 0
+	for _, sp := range spans {
+		c, ok := colorOf[sp.job]
+		if !ok {
+			c = colors[nextColor%len(colors)]
+			colorOf[sp.job] = c
+			nextColor++
+		}
+		y := topPad + rowOf[sp.node]*rowH + 4
+		x0, x1 := px(sp.start), px(sp.end)
+		if x1-x0 < 1 {
+			x1 = x0 + 1
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" opacity="0.85"><title>%s: %.1fs-%.1fs</title></rect>`+"\n",
+			x0, y, x1-x0, rowH-8, c, escape(sp.job), sp.start, sp.end)
+		if x1-x0 > 40 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" fill="white" dominant-baseline="middle">%s</text>`+"\n",
+				x0+4, y+(rowH-8)/2, escape(sp.job))
+		}
+	}
+	// Time axis.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">0 s</text>`+"\n",
+		leftPad, height-12)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="end">%.1f s</text>`+"\n",
+		width-rightPad, height-12, res.Makespan)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// spansFromEvents reconstructs execution spans from start/suspend/finish
+// events and returns them plus the sorted node list.
+func spansFromEvents(events []cluster.Event, makespan float64) ([]span, []string) {
+	type open struct {
+		node  string
+		start float64
+	}
+	running := map[string]open{}
+	var spans []span
+	nodeSet := map[string]bool{}
+	for _, e := range events {
+		nodeSet[e.NodeID] = true
+		switch e.Kind {
+		case "start":
+			running[e.JobID] = open{node: e.NodeID, start: e.Time}
+		case "suspend", "finish":
+			if o, ok := running[e.JobID]; ok {
+				spans = append(spans, span{job: e.JobID, node: o.node, start: o.start, end: e.Time})
+				delete(running, e.JobID)
+			}
+		}
+	}
+	// Any still-open span runs to the makespan.
+	for job, o := range running {
+		spans = append(spans, span{job: job, node: o.node, start: o.start, end: makespan})
+	}
+	var nodes []string
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	return spans, nodes
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

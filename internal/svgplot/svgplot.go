@@ -1,0 +1,188 @@
+// Package svgplot renders simple line/scatter charts as standalone SVG
+// documents using only the standard library — enough to regenerate the
+// paper's figures as images next to the textual tables. It deliberately
+// supports only what the experiments need: multiple named series, axes
+// with ticks and labels, a legend, and log-free linear scales.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a renderable figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height are the SVG dimensions in pixels; zero values get
+	// defaults (720x440).
+	Width, Height int
+	// Markers draws point markers in addition to lines.
+	Markers bool
+}
+
+// Default chart geometry.
+const (
+	defaultWidth  = 720
+	defaultHeight = 440
+	marginLeft    = 70
+	marginRight   = 160
+	marginTop     = 46
+	marginBottom  = 58
+)
+
+// palette holds the series stroke colors (colorblind-safe).
+var palette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9", "#000000",
+}
+
+// Add appends a series built from parallel slices.
+func (c *Chart) Add(name string, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("svgplot: series %q: %d x values vs %d y values", name, len(xs), len(ys))
+	}
+	c.Series = append(c.Series, Series{Name: name, X: append([]float64(nil), xs...), Y: append([]float64(nil), ys...)})
+	return nil
+}
+
+// SVG renders the chart. Charts with no finite data render a placeholder
+// document rather than failing.
+func (c *Chart) SVG() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = defaultWidth
+	}
+	if h <= 0 {
+		h = defaultHeight
+	}
+	xlo, xhi, ylo, yhi, ok := c.bounds()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escape(c.Title))
+	if !ok {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13">(no data)</text>`+"\n",
+			marginLeft, h/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+
+	plotW := w - marginLeft - marginRight
+	plotH := h - marginTop - marginBottom
+	px := func(x float64) float64 {
+		if xhi == xlo {
+			return float64(marginLeft) + float64(plotW)/2
+		}
+		return float64(marginLeft) + (x-xlo)/(xhi-xlo)*float64(plotW)
+	}
+	py := func(y float64) float64 {
+		if yhi == ylo {
+			return float64(marginTop) + float64(plotH)/2
+		}
+		return float64(marginTop+plotH) - (y-ylo)/(yhi-ylo)*float64(plotH)
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#444"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+	// Ticks: 5 on each axis.
+	for i := 0; i <= 4; i++ {
+		tx := xlo + (xhi-xlo)*float64(i)/4
+		ty := ylo + (yhi-ylo)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#444"/>`+"\n",
+			px(tx), marginTop+plotH, px(tx), marginTop+plotH+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px(tx), marginTop+plotH+20, tick(tx))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#444"/>`+"\n",
+			marginLeft-5, py(ty), marginLeft, py(ty))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			marginLeft-8, py(ty), tick(ty))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, h-14, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="18" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		if c.Markers || len(pts) == 1 {
+			for _, p := range pts {
+				xy := strings.SplitN(p, ",", 2)
+				fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n", xy[0], xy[1], color)
+			}
+		}
+		// Legend entry.
+		ly := marginTop + 8 + si*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			w-marginRight+10, ly, w-marginRight+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" dominant-baseline="middle">%s</text>`+"\n",
+			w-marginRight+40, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// bounds returns the finite data extent across all series.
+func (c *Chart) bounds() (xlo, xhi, ylo, yhi float64, ok bool) {
+	xlo, ylo = math.Inf(1), math.Inf(1)
+	xhi, yhi = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			xlo, xhi = math.Min(xlo, s.X[i]), math.Max(xhi, s.X[i])
+			ylo, yhi = math.Min(ylo, s.Y[i]), math.Max(yhi, s.Y[i])
+			ok = true
+		}
+	}
+	return
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// tick formats an axis tick value compactly.
+func tick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,134 @@
+package svgplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasicRendering(t *testing.T) {
+	var c Chart
+	c.Title = "perf_max vs P_b"
+	c.XLabel = "budget (W)"
+	c.YLabel = "GFLOP/s"
+	if err := c.Add("dgemm", []float64{100, 200, 300}, []float64{50, 250, 350}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("sra", []float64{100, 200, 300}, []float64{10, 40, 45}); err != nil {
+		t.Fatal(err)
+	}
+	svg := c.SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "perf_max vs P_b", "budget (W)", "GFLOP/s",
+		"dgemm", "sra", "polyline",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two polylines, one per series.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polyline count = %d, want 2", got)
+	}
+}
+
+func TestChartMismatchedSeries(t *testing.T) {
+	var c Chart
+	if err := c.Add("bad", []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	var c Chart
+	c.Title = "empty"
+	svg := c.SVG()
+	if !strings.Contains(svg, "no data") {
+		t.Error("empty chart should render a placeholder")
+	}
+	// All-NaN data is also "no data".
+	c2 := Chart{Title: "nan"}
+	if err := c2.Add("s", []float64{math.NaN()}, []float64{math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c2.SVG(), "no data") {
+		t.Error("NaN-only chart should render a placeholder")
+	}
+	// A single point renders a marker, not a polyline.
+	c3 := Chart{}
+	if err := c3.Add("pt", []float64{5}, []float64{7}); err != nil {
+		t.Fatal(err)
+	}
+	svg = c3.SVG()
+	if strings.Contains(svg, "<polyline") {
+		t.Error("single point should not draw a line")
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Error("single point should draw a marker")
+	}
+	// Constant x/y must not divide by zero.
+	c4 := Chart{}
+	if err := c4.Add("flat", []float64{1, 1}, []float64{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c4.SVG(), "</svg>") {
+		t.Error("flat chart failed to render")
+	}
+}
+
+func TestChartMarkers(t *testing.T) {
+	c := Chart{Markers: true}
+	if err := c.Add("s", []float64{1, 2, 3}, []float64{1, 4, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(c.SVG(), "<circle"); got != 3 {
+		t.Errorf("marker count = %d, want 3", got)
+	}
+}
+
+func TestChartEscaping(t *testing.T) {
+	c := Chart{Title: `a<b & "c"`}
+	if err := c.Add("s<1>", []float64{1, 2}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	svg := c.SVG()
+	if strings.Contains(svg, "a<b") || strings.Contains(svg, "s<1>") {
+		t.Error("XML not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Errorf("escaped title missing: %q", svg[:200])
+	}
+}
+
+func TestChartSkipsNonFinitePoints(t *testing.T) {
+	c := Chart{}
+	if err := c.Add("s", []float64{1, 2, math.Inf(1), 4}, []float64{1, math.NaN(), 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	svg := c.SVG()
+	// The polyline holds only the two finite points.
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("no polyline")
+	}
+	line := svg[strings.Index(svg, "<polyline"):]
+	line = line[:strings.Index(line, "/>")]
+	if got := strings.Count(line, ","); got != 2 {
+		t.Errorf("polyline point count = %d, want 2 (finite only): %s", got, line)
+	}
+}
+
+func TestTickFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		2.5:     "2.5",
+		150:     "150",
+		15000:   "15k",
+		2.5e6:   "2.5M",
+		0.00123: "0.00123",
+	}
+	for v, want := range cases {
+		if got := tick(v); got != want {
+			t.Errorf("tick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package sweep provides the experiment harness: reusable sweeps that
+// produce the series behind the paper's figures — perf_max versus budget
+// curves (Figures 1, 2, 6), fixed-budget allocation splits with actual
+// powers and scenario labels (Figures 3, 4, 8), GPU memory-power trends
+// (Figure 7), capacity/utilization balance (Figure 5), and the strategy
+// comparison of Figure 9.
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/category"
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Series is a named sequence of (x, y) points ready for plotting or CSV
+// emission.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X, Y   []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// BudgetCurve returns the perf_max ~ P_b series for a workload: the upper
+// performance bound at each budget in [lo, hi] with n points.
+func BudgetCurve(p hw.Platform, w workload.Workload, lo, hi units.Power, n int) (Series, error) {
+	pts, err := core.Curve(p, w, core.BudgetRange(lo, hi, n))
+	if err != nil {
+		return Series{}, err
+	}
+	s := Series{
+		Name:   fmt.Sprintf("%s/%s perf_max", p.Name, w.Name),
+		XLabel: "total power budget (W)",
+		YLabel: w.PerfUnit,
+	}
+	for _, pt := range pts {
+		s.Append(pt.Budget.Watts(), pt.PerfMax)
+	}
+	return s, nil
+}
+
+// SplitPoint is one allocation of a fixed-budget split sweep, carrying
+// both the performance and the actual component powers (the paper plots
+// both, Figure 3a/3b) and the scenario label when critical powers are
+// supplied.
+type SplitPoint struct {
+	Alloc      core.Allocation
+	Perf       float64
+	ProcActual units.Power
+	MemActual  units.Power
+	Scenario   category.Scenario
+}
+
+// CPUSplit sweeps allocations of a fixed budget on a CPU platform and
+// labels each point with its scenario from the workload's profile. The
+// sweep uses core's default bounds (reaching below both hardware floors,
+// as the paper's plots do).
+func CPUSplit(p hw.Platform, w workload.Workload, budget units.Power, prof *profile.CPUProfile) ([]SplitPoint, error) {
+	pb := core.NewProblem(p, w, budget)
+	evals, err := pb.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	var out []SplitPoint
+	for _, e := range evals {
+		sp := SplitPoint{
+			Alloc:      e.Alloc,
+			Perf:       e.Result.Perf,
+			ProcActual: e.Result.ProcPower,
+			MemActual:  e.Result.MemPower,
+		}
+		if prof != nil {
+			sp.Scenario = prof.Critical.Classify(e.Alloc.Proc, e.Alloc.Mem)
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+// GPUTrend returns the Figure 7 series for one card, workload, and board
+// cap: performance versus the estimated memory power at each settable
+// memory clock.
+func GPUTrend(p hw.Platform, w workload.Workload, cap units.Power) ([]category.TrendPoint, error) {
+	if p.Kind != hw.KindGPU {
+		return nil, fmt.Errorf("sweep: platform %q is not a GPU platform", p.Name)
+	}
+	var pts []category.TrendPoint
+	for _, clock := range p.GPU.Mem.Clocks() {
+		res, err := sim.RunGPU(p, &w, cap, clock)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, category.TrendPoint{
+			MemPower: p.GPU.Mem.Power(clock).Watts(),
+			Perf:     res.Perf,
+		})
+	}
+	return pts, nil
+}
+
+// BalancePoint is one point of the Figure 5 capacity/utilization study:
+// for an allocation, each component's capacity — the workload's rate when
+// that component is capped and the other is excessively powered, the
+// paper's R_max approximation — and the utilization (actual rate over
+// capacity) the jointly capped run achieves. At the optimal allocation
+// both utilizations approach 1; away from it the under-powered side
+// saturates while the other idles.
+type BalancePoint struct {
+	Alloc           core.Allocation
+	ComputeCapacity units.Rate
+	MemCapacity     units.Rate
+	ComputeUtil     float64
+	MemUtil         float64
+	Perf            float64
+}
+
+// CPUBalance computes Figure 5's capacity-and-utilization data for a
+// fixed budget on a CPU platform.
+func CPUBalance(p hw.Platform, w workload.Workload, budget, step units.Power) ([]BalancePoint, error) {
+	if p.Kind != hw.KindCPU {
+		return nil, fmt.Errorf("sweep: platform %q is not a CPU platform", p.Name)
+	}
+	if step <= 0 {
+		step = core.DefaultStep
+	}
+	var out []BalancePoint
+	for proc := core.DefaultProcMin; proc <= budget-core.DefaultMemMin; proc += step {
+		mem := budget - proc
+		procOnly, err := sim.RunCPU(p, &w, proc, 0) // compute capacity: memory uncapped
+		if err != nil {
+			return nil, err
+		}
+		memOnly, err := sim.RunCPU(p, &w, 0, mem) // memory capacity: CPU uncapped
+		if err != nil {
+			return nil, err
+		}
+		joint, err := sim.RunCPU(p, &w, proc, mem)
+		if err != nil {
+			return nil, err
+		}
+		bp := BalancePoint{
+			Alloc:           core.Allocation{Proc: proc, Mem: mem},
+			ComputeCapacity: procOnly.UnitRate,
+			MemCapacity:     memOnly.UnitRate,
+			Perf:            joint.Perf,
+		}
+		if procOnly.UnitRate > 0 {
+			bp.ComputeUtil = clamp01(joint.UnitRate.OpsPerSecond() / procOnly.UnitRate.OpsPerSecond())
+		}
+		if memOnly.UnitRate > 0 {
+			bp.MemUtil = clamp01(joint.UnitRate.OpsPerSecond() / memOnly.UnitRate.OpsPerSecond())
+		}
+		out = append(out, bp)
+	}
+	return out, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// ComparisonRow is one cell of the Figure 9 comparison: a strategy's
+// performance at one budget, normalized to the exhaustive best.
+type ComparisonRow struct {
+	Workload string
+	Budget   units.Power
+	Strategy string
+	Perf     float64
+	// RelToBest is Perf divided by the sweep best's performance (1.0
+	// means matching the oracle; 0 means rejected or failed).
+	RelToBest float64
+	Rejected  bool
+}
+
+// CompareCPU evaluates every CPU strategy against the exhaustive best for
+// each budget, reproducing one panel of Figure 9.
+func CompareCPU(p hw.Platform, w workload.Workload, budgets []units.Power) ([]ComparisonRow, error) {
+	prof, err := profile.ProfileCPU(p, w)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ComparisonRow
+	for _, b := range budgets {
+		pb := core.NewProblem(p, w, b)
+		best, err := pb.PerfMax()
+		if err != nil {
+			continue
+		}
+		rows = append(rows, ComparisonRow{
+			Workload: w.Name, Budget: b, Strategy: "best",
+			Perf: best.Result.Perf, RelToBest: 1,
+		})
+		for _, s := range coord.CPUStrategies() {
+			d := s.Decide(prof, b)
+			row := ComparisonRow{Workload: w.Name, Budget: b, Strategy: s.Name}
+			if d.Status == coord.StatusTooSmall {
+				row.Rejected = true
+			} else {
+				ev, err := pb.Evaluate(d.Alloc)
+				if err != nil {
+					return nil, err
+				}
+				row.Perf = ev.Result.Perf
+				if best.Result.Perf > 0 {
+					row.RelToBest = ev.Result.Perf / best.Result.Perf
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// CompareGPU evaluates every GPU strategy against the exhaustive best for
+// each board cap, reproducing the GPU panels of Figure 9.
+func CompareGPU(p hw.Platform, w workload.Workload, caps []units.Power) ([]ComparisonRow, error) {
+	prof, err := profile.ProfileGPU(p, w)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ComparisonRow
+	for _, b := range caps {
+		pb := core.NewProblem(p, w, b)
+		best, err := pb.PerfMax()
+		if err != nil {
+			continue
+		}
+		rows = append(rows, ComparisonRow{
+			Workload: w.Name, Budget: b, Strategy: "best",
+			Perf: best.Result.Perf, RelToBest: 1,
+		})
+		for _, s := range coord.GPUStrategies() {
+			d := s.Decide(prof, b)
+			row := ComparisonRow{Workload: w.Name, Budget: b, Strategy: s.Name}
+			ev, err := pb.Evaluate(d.Alloc)
+			if err != nil {
+				return nil, err
+			}
+			row.Perf = ev.Result.Perf
+			if best.Result.Perf > 0 {
+				row.RelToBest = ev.Result.Perf / best.Result.Perf
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,324 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/category"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func mustPlatform(t *testing.T, name string) hw.Platform {
+	t.Helper()
+	p, err := hw.PlatformByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustWorkload(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBudgetCurveShape(t *testing.T) {
+	p := mustPlatform(t, "ivybridge")
+	w := mustWorkload(t, "dgemm")
+	s, err := BudgetCurve(p, w, 130, 300, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 18 {
+		t.Fatalf("series length = %d", s.Len())
+	}
+	// Rising then flattening.
+	if s.Y[0] >= s.Y[s.Len()-1] {
+		t.Error("curve should rise overall")
+	}
+	lastDelta := s.Y[s.Len()-1] - s.Y[s.Len()-2]
+	firstDelta := s.Y[2] - s.Y[1]
+	if lastDelta > firstDelta {
+		t.Errorf("curve should flatten: first slope %v, last slope %v", firstDelta, lastDelta)
+	}
+	if s.XLabel == "" || s.YLabel == "" || s.Name == "" {
+		t.Error("series labels missing")
+	}
+}
+
+func TestSeriesAppend(t *testing.T) {
+	var s Series
+	s.Append(1, 2)
+	s.Append(3, 4)
+	if s.Len() != 2 || s.X[1] != 3 || s.Y[1] != 4 {
+		t.Errorf("series = %+v", s)
+	}
+}
+
+func TestCPUSplitScenarioLabels(t *testing.T) {
+	p := mustPlatform(t, "ivybridge")
+	w := mustWorkload(t, "sra")
+	prof, err := profile.ProfileCPU(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := CPUSplit(p, w, 240, &prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 20 {
+		t.Fatalf("split sweep too coarse: %d", len(pts))
+	}
+	// All six scenarios appear at 240 W for SRA (paper Figure 3).
+	seen := map[category.Scenario]bool{}
+	for _, pt := range pts {
+		if pt.Scenario == 0 {
+			t.Fatal("scenario label missing")
+		}
+		seen[pt.Scenario] = true
+	}
+	for s := category.ScenarioI; s <= category.ScenarioVI; s++ {
+		if !seen[s] {
+			t.Errorf("scenario %v missing from the 240 W SRA sweep", s)
+		}
+	}
+	// Without a profile, labels stay zero.
+	pts, err = CPUSplit(p, w, 240, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Scenario != 0 {
+		t.Error("unexpected scenario label without profile")
+	}
+}
+
+func TestCPUSplitActualPowersPattern(t *testing.T) {
+	// Scenario structure in actual powers (paper Figure 3b): in scenario
+	// I the actual powers are flat; in scenario IV memory draws far less
+	// than its allocation.
+	p := mustPlatform(t, "ivybridge")
+	w := mustWorkload(t, "sra")
+	prof, err := profile.ProfileCPU(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := CPUSplit(p, w, 240, &prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s1Proc []float64
+	for _, pt := range pts {
+		switch pt.Scenario {
+		case category.ScenarioI:
+			s1Proc = append(s1Proc, pt.ProcActual.Watts())
+		case category.ScenarioIV:
+			if pt.MemActual.Watts() > 0.75*pt.Alloc.Mem.Watts() {
+				t.Errorf("scenario IV at %v: memory drew %v of its %v allocation",
+					pt.Alloc, pt.MemActual, pt.Alloc.Mem)
+			}
+		}
+	}
+	if len(s1Proc) == 0 {
+		t.Fatal("no scenario I points")
+	}
+	for _, v := range s1Proc[1:] {
+		if math.Abs(v-s1Proc[0]) > 2 {
+			t.Errorf("scenario I actual CPU power varies: %v vs %v", v, s1Proc[0])
+		}
+	}
+}
+
+func TestGPUTrendDirections(t *testing.T) {
+	xp := mustPlatform(t, "titanxp")
+	// SGEMM at a tight cap: falling trend (category II).
+	pts, err := GPUTrend(xp, mustWorkload(t, "sgemm"), 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, _, _ := category.ClassifyGPUSeries(pts)
+	if cat != category.GPUCategoryII {
+		t.Errorf("SGEMM at 160 W trend = %v, want II", cat)
+	}
+	// STREAM at a large cap: rising trend (category III).
+	pts, err = GPUTrend(xp, mustWorkload(t, "gpustream"), 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, _, _ = category.ClassifyGPUSeries(pts)
+	if cat != category.GPUCategoryIII {
+		t.Errorf("STREAM at 250 W trend = %v, want III", cat)
+	}
+	// CPU platform rejected.
+	if _, err := GPUTrend(mustPlatform(t, "ivybridge"), mustWorkload(t, "sgemm"), 200); err == nil {
+		t.Error("CPU platform accepted by GPUTrend")
+	}
+}
+
+func TestCPUBalanceOptimumIsBalanced(t *testing.T) {
+	p := mustPlatform(t, "ivybridge")
+	w := mustWorkload(t, "stream")
+	pts, err := CPUBalance(p, w, 208, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 5 {
+		t.Fatalf("too few balance points: %d", len(pts))
+	}
+	// At the best-performing point, both utilizations are high (paper:
+	// close to 100%).
+	best := pts[0]
+	for _, pt := range pts[1:] {
+		if pt.Perf > best.Perf {
+			best = pt
+		}
+	}
+	if best.ComputeUtil < 0.8 || best.MemUtil < 0.8 {
+		t.Errorf("optimal point utilizations = (%.2f, %.2f), want both high",
+			best.ComputeUtil, best.MemUtil)
+	}
+	// At a memory-starved point, compute utilization far exceeds memory's
+	// counterpart... i.e. memory side saturates (util -> 1) while compute
+	// idles.
+	for _, pt := range pts {
+		if pt.Alloc.Mem.Watts() < 70 && pt.Alloc.Proc.Watts() > 120 {
+			if pt.MemUtil < 0.9 {
+				t.Errorf("memory-starved point should saturate memory: %+v", pt)
+			}
+			if pt.ComputeUtil > 0.7 {
+				t.Errorf("memory-starved point should idle compute: %+v", pt)
+			}
+		}
+	}
+	// CPU platform check.
+	if _, err := CPUBalance(mustPlatform(t, "titanxp"), w, 208, 8); err == nil {
+		t.Error("GPU platform accepted by CPUBalance")
+	}
+}
+
+func TestCompareCPUCoordNearBest(t *testing.T) {
+	p := mustPlatform(t, "ivybridge")
+	w := mustWorkload(t, "stream")
+	rows, err := CompareCPU(p, w, []units.Power{180, 210, 240})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no comparison rows")
+	}
+	strategies := map[string]bool{}
+	for _, r := range rows {
+		strategies[r.Strategy] = true
+		if r.Strategy == "best" && r.RelToBest != 1 {
+			t.Errorf("best should be its own reference: %+v", r)
+		}
+		if !r.Rejected && r.RelToBest > 1.06 {
+			t.Errorf("%s at %v: rel-to-best %v implausibly above 1", r.Strategy, r.Budget, r.RelToBest)
+		}
+		if r.Strategy == "coord" && !r.Rejected && r.RelToBest < 0.7 {
+			t.Errorf("coord at %v: rel-to-best %v too low", r.Budget, r.RelToBest)
+		}
+	}
+	for _, want := range []string{"best", "coord", "memory-first", "cpu-first", "even-split"} {
+		if !strategies[want] {
+			t.Errorf("strategy %q missing from comparison", want)
+		}
+	}
+}
+
+func TestCompareGPUCoordBeatsDefault(t *testing.T) {
+	p := mustPlatform(t, "titanxp")
+	w := mustWorkload(t, "sgemm")
+	rows, err := CompareGPU(p, w, []units.Power{140, 180, 220})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf := map[string]map[float64]float64{}
+	for _, r := range rows {
+		if perf[r.Strategy] == nil {
+			perf[r.Strategy] = map[float64]float64{}
+		}
+		perf[r.Strategy][r.Budget.Watts()] = r.Perf
+	}
+	for _, b := range []float64{140, 180, 220} {
+		if perf["coord"][b] <= perf["nvidia-default"][b] {
+			t.Errorf("cap %v: coord %.0f should beat nvidia-default %.0f",
+				b, perf["coord"][b], perf["nvidia-default"][b])
+		}
+	}
+}
+
+func TestBudgetCurveInfeasibleRange(t *testing.T) {
+	p := mustPlatform(t, "ivybridge")
+	w := mustWorkload(t, "stream")
+	if _, err := BudgetCurve(p, w, 30, 60, 4); err == nil {
+		t.Error("all-infeasible range accepted")
+	}
+}
+
+func TestCompareCPURejectedBudgets(t *testing.T) {
+	// Budgets below every strategy's threshold still produce rows for the
+	// sweep best, with the heuristics marked rejected.
+	p := mustPlatform(t, "ivybridge")
+	w := mustWorkload(t, "mg")
+	rows, err := CompareCPU(p, w, []units.Power{150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRejected := false
+	for _, r := range rows {
+		if r.Strategy == "coord" && r.Rejected {
+			sawRejected = true
+			if r.Perf != 0 || r.RelToBest != 0 {
+				t.Errorf("rejected row carries values: %+v", r)
+			}
+		}
+	}
+	if !sawRejected {
+		t.Error("COORD should reject a 150 W budget for MG")
+	}
+}
+
+func TestCompareSkipsInfeasibleBudgets(t *testing.T) {
+	p := mustPlatform(t, "ivybridge")
+	w := mustWorkload(t, "stream")
+	rows, err := CompareCPU(p, w, []units.Power{60, 208})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Budget.Watts() == 60 {
+			t.Error("infeasible budget produced rows")
+		}
+	}
+	// GPU comparison skips caps outside the card range the same way.
+	xp := mustPlatform(t, "titanxp")
+	gw := mustWorkload(t, "minife")
+	gRows, err := CompareGPU(xp, gw, []units.Power{50, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range gRows {
+		if r.Budget.Watts() == 50 {
+			t.Error("out-of-range GPU cap produced rows")
+		}
+	}
+}
+
+func TestCPUBalanceDefaultStep(t *testing.T) {
+	p := mustPlatform(t, "ivybridge")
+	w := mustWorkload(t, "dgemm")
+	pts, err := CPUBalance(p, w, 200, 0) // default step
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 10 {
+		t.Errorf("default-step balance too coarse: %d", len(pts))
+	}
+}

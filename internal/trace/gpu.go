@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/rapl"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// RunGPU traces the execution of totalUnits work units of a GPU workload
+// under a board cap and memory clock, sampling every dt. The board
+// governor settles in microseconds, so within a phase the steady state
+// holds; the trace exposes the phase-to-phase power swing a node-level
+// monitor would log.
+func RunGPU(p hw.Platform, w *workload.Workload, cap units.Power, memClock units.Frequency, totalUnits float64, dt time.Duration) (Trace, error) {
+	if totalUnits <= 0 {
+		return Trace{}, fmt.Errorf("trace: non-positive work amount %v", totalUnits)
+	}
+	if dt <= 0 {
+		return Trace{}, fmt.Errorf("trace: non-positive time step %v", dt)
+	}
+	steady, err := sim.RunGPU(p, w, cap, memClock)
+	if err != nil {
+		return Trace{}, err
+	}
+	window := rapl.NewWindow(time.Second)
+
+	var tr Trace
+	elapsed := time.Duration(0)
+	var procJ, memJ float64
+	for _, ph := range steady.Phases {
+		unitsLeft := ph.Weight * totalUnits
+		rate := ph.Rate.OpsPerSecond()
+		if rate <= 0 {
+			return Trace{}, fmt.Errorf("trace: phase %q made no progress", ph.Phase)
+		}
+		for unitsLeft > 1e-12 {
+			stepUnits := rate * dt.Seconds()
+			stepDt := dt
+			if stepUnits > unitsLeft {
+				stepDt = time.Duration(float64(time.Second) * unitsLeft / rate)
+				stepUnits = unitsLeft
+				if stepDt <= 0 {
+					stepDt = time.Nanosecond
+				}
+			}
+			unitsLeft -= stepUnits
+			tr.WorkDone += stepUnits
+			elapsed += stepDt
+			total := ph.ProcPower + ph.MemPower
+			window.Add(total, stepDt)
+			procJ += ph.ProcPower.Watts() * stepDt.Seconds()
+			memJ += ph.MemPower.Watts() * stepDt.Seconds()
+			avg := window.Average()
+			if avg > tr.PeakWindowAvg {
+				tr.PeakWindowAvg = avg
+			}
+			tr.Samples = append(tr.Samples, Sample{
+				Time:      elapsed,
+				Phase:     ph.Phase,
+				ProcPower: ph.ProcPower,
+				MemPower:  ph.MemPower,
+				Rate:      ph.Rate,
+				WindowAvg: avg,
+			})
+		}
+	}
+	tr.Elapsed = elapsed
+	tr.ProcEnergy = units.Energy(procJ)
+	tr.MemEnergy = units.Energy(memJ)
+	if elapsed > 0 {
+		tr.AvgTotalPower = units.Power((procJ + memJ) / elapsed.Seconds())
+	}
+	return tr, nil
+}

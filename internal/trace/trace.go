@@ -1,0 +1,140 @@
+// Package trace runs a workload through time rather than in steady state:
+// it walks the workload's phases in order, samples component power on a
+// fixed time step, accumulates energy through the RAPL-style wrapping
+// counters, and verifies that the running-average power (the quantity
+// RAPL actually limits) stays within the programmed caps.
+//
+// The steady-state simulator (package sim) answers "how fast and at what
+// power"; this package answers "what does the power meter see over the
+// course of a run" — the view a cluster-level power monitor has.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/rapl"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Sample is one time step of a traced run.
+type Sample struct {
+	// Time is the elapsed time at the end of the step.
+	Time time.Duration
+	// Phase names the workload phase executing during the step.
+	Phase string
+	// ProcPower and MemPower are the component draws during the step.
+	ProcPower, MemPower units.Power
+	// Rate is the instantaneous work-unit rate.
+	Rate units.Rate
+	// WindowAvg is the running-average total power over the RAPL window.
+	WindowAvg units.Power
+}
+
+// Trace is the result of a timed run.
+type Trace struct {
+	// Samples is the time series.
+	Samples []Sample
+	// Elapsed is the total wall time.
+	Elapsed time.Duration
+	// ProcEnergy and MemEnergy are the accumulated energies as read back
+	// from the emulated RAPL counters.
+	ProcEnergy, MemEnergy units.Energy
+	// AvgTotalPower is total energy over elapsed time.
+	AvgTotalPower units.Power
+	// PeakWindowAvg is the highest running-average total power observed —
+	// the number a RAPL-style limiter would compare against the cap.
+	PeakWindowAvg units.Power
+	// WorkDone is the number of work units completed.
+	WorkDone float64
+}
+
+// RunCPU traces the execution of totalUnits work units of workload w on a
+// CPU platform under the given caps, sampling every dt. Phases execute
+// sequentially, splitting the work by their weights; within a phase the
+// steady-state operating point holds (RAPL settles in milliseconds,
+// orders of magnitude faster than phases).
+func RunCPU(p hw.Platform, w *workload.Workload, procCap, memCap units.Power, totalUnits float64, dt time.Duration) (Trace, error) {
+	if totalUnits <= 0 {
+		return Trace{}, fmt.Errorf("trace: non-positive work amount %v", totalUnits)
+	}
+	if dt <= 0 {
+		return Trace{}, fmt.Errorf("trace: non-positive time step %v", dt)
+	}
+	steady, err := sim.RunCPU(p, w, procCap, memCap)
+	if err != nil {
+		return Trace{}, err
+	}
+	ctrl := rapl.NewController(p.CPU, p.DRAM)
+	window := rapl.NewWindow(time.Second)
+
+	var tr Trace
+	elapsed := time.Duration(0)
+	for _, ph := range steady.Phases {
+		unitsLeft := ph.Weight * totalUnits
+		rate := ph.Rate.OpsPerSecond()
+		if rate <= 0 {
+			return Trace{}, fmt.Errorf("trace: phase %q made no progress", ph.Phase)
+		}
+		for unitsLeft > 1e-12 {
+			stepUnits := rate * dt.Seconds()
+			stepDt := dt
+			if stepUnits > unitsLeft {
+				// Final partial step of the phase.
+				stepDt = time.Duration(float64(time.Second) * unitsLeft / rate)
+				stepUnits = unitsLeft
+				if stepDt <= 0 {
+					stepDt = time.Nanosecond
+				}
+			}
+			unitsLeft -= stepUnits
+			tr.WorkDone += stepUnits
+			elapsed += stepDt
+			total := ph.ProcPower + ph.MemPower
+			window.Add(total, stepDt)
+			ctrl.AccumulateEnergy(ph.ProcPower, ph.MemPower, stepDt)
+			avg := window.Average()
+			if avg > tr.PeakWindowAvg {
+				tr.PeakWindowAvg = avg
+			}
+			tr.Samples = append(tr.Samples, Sample{
+				Time:      elapsed,
+				Phase:     ph.Phase,
+				ProcPower: ph.ProcPower,
+				MemPower:  ph.MemPower,
+				Rate:      ph.Rate,
+				WindowAvg: avg,
+			})
+		}
+	}
+	tr.Elapsed = elapsed
+	tr.ProcEnergy = ctrl.Energy(rapl.DomainPackage)
+	tr.MemEnergy = ctrl.Energy(rapl.DomainDRAM)
+	if elapsed > 0 {
+		tr.AvgTotalPower = units.Power((tr.ProcEnergy + tr.MemEnergy).Joules() / elapsed.Seconds())
+	}
+	return tr, nil
+}
+
+// CapRespected reports whether the peak running-average total power
+// stayed within the given node bound (with slack for actuator
+// quantization).
+func (t *Trace) CapRespected(bound units.Power) bool {
+	return t.PeakWindowAvg <= bound+1
+}
+
+// PhaseBreakdown returns per-phase wall time shares, for inspecting how
+// capping shifts the balance between compute-heavy and memory-heavy
+// phases.
+func (t *Trace) PhaseBreakdown() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	var prev time.Duration
+	for _, s := range t.Samples {
+		out[s.Phase] += s.Time - prev
+		prev = s.Time
+	}
+	return out
+}

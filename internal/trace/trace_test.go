@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestTraceInputValidation(t *testing.T) {
+	p, _ := hw.PlatformByName("ivybridge")
+	w, _ := workload.ByName("stream")
+	if _, err := RunCPU(p, &w, 0, 0, -1, time.Millisecond); err == nil {
+		t.Error("negative work accepted")
+	}
+	if _, err := RunCPU(p, &w, 0, 0, 1e9, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+	gw, _ := workload.ByName("sgemm")
+	if _, err := RunCPU(p, &gw, 0, 0, 1e9, time.Millisecond); err == nil {
+		t.Error("GPU workload accepted")
+	}
+}
+
+func TestTraceCompletesAllWork(t *testing.T) {
+	p, _ := hw.PlatformByName("ivybridge")
+	w, _ := workload.ByName("stream")
+	totalUnits := 50e9 // 50 GB of triad traffic
+	tr, err := RunCPU(p, &w, 130, 120, totalUnits, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.WorkDone-totalUnits) > totalUnits*1e-6 {
+		t.Errorf("work done = %v, want %v", tr.WorkDone, totalUnits)
+	}
+	if tr.Elapsed <= 0 || len(tr.Samples) == 0 {
+		t.Error("no time advanced")
+	}
+	// Elapsed should match steady-state rate.
+	steady, err := sim.RunCPU(p, &w, 130, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := totalUnits / steady.UnitRate.OpsPerSecond()
+	if math.Abs(tr.Elapsed.Seconds()-want) > want*0.01 {
+		t.Errorf("elapsed = %v s, want %v s", tr.Elapsed.Seconds(), want)
+	}
+}
+
+func TestTraceEnergyConsistency(t *testing.T) {
+	p, _ := hw.PlatformByName("ivybridge")
+	w, _ := workload.ByName("dgemm")
+	tr, err := RunCPU(p, &w, 150, 100, 500e9, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy from the RAPL counters matches power x time within counter
+	// quantization.
+	var expect float64
+	var prev time.Duration
+	for _, s := range tr.Samples {
+		dt := (s.Time - prev).Seconds()
+		expect += (s.ProcPower + s.MemPower).Watts() * dt
+		prev = s.Time
+	}
+	got := (tr.ProcEnergy + tr.MemEnergy).Joules()
+	if math.Abs(got-expect) > expect*0.01+1 {
+		t.Errorf("counter energy = %v J, integral = %v J", got, expect)
+	}
+	if tr.AvgTotalPower <= 0 {
+		t.Error("average power missing")
+	}
+}
+
+func TestTraceCapRespected(t *testing.T) {
+	p, _ := hw.PlatformByName("ivybridge")
+	w, _ := workload.ByName("sra")
+	tr, err := RunCPU(p, &w, 100, 110, 5e9, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.CapRespected(210) {
+		t.Errorf("peak window average %v exceeds the 210 W bound", tr.PeakWindowAvg)
+	}
+	if tr.CapRespected(tr.PeakWindowAvg - 5) {
+		t.Error("CapRespected should fail below the observed peak")
+	}
+}
+
+func TestTraceMultiPhaseBreakdown(t *testing.T) {
+	p, _ := hw.PlatformByName("ivybridge")
+	w, _ := workload.ByName("bt") // four phases
+	tr, err := RunCPU(p, &w, 140, 110, 500e9, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := tr.PhaseBreakdown()
+	if len(bd) != 4 {
+		t.Fatalf("phase breakdown has %d phases, want 4: %v", len(bd), bd)
+	}
+	var sum time.Duration
+	for _, d := range bd {
+		if d <= 0 {
+			t.Errorf("non-positive phase duration: %v", bd)
+		}
+		sum += d
+	}
+	if math.Abs((sum - tr.Elapsed).Seconds()) > 0.001 {
+		t.Errorf("breakdown sums to %v, elapsed %v", sum, tr.Elapsed)
+	}
+	// Phase transitions appear in sample order: rhs before z-solve.
+	firstZ := -1
+	lastRhs := -1
+	for i, s := range tr.Samples {
+		if s.Phase == "z-solve" && firstZ == -1 {
+			firstZ = i
+		}
+		if s.Phase == "rhs" {
+			lastRhs = i
+		}
+	}
+	if firstZ != -1 && lastRhs > firstZ {
+		t.Error("phases interleaved; expected sequential execution")
+	}
+}
+
+func TestTraceWindowAverageSmoothing(t *testing.T) {
+	p, _ := hw.PlatformByName("ivybridge")
+	w, _ := workload.ByName("ft") // two phases with different powers
+	tr, err := RunCPU(p, &w, 150, 110, 200e9, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The running average never exceeds the maximum instantaneous power.
+	var maxInstant float64
+	for _, s := range tr.Samples {
+		maxInstant = math.Max(maxInstant, (s.ProcPower + s.MemPower).Watts())
+	}
+	if tr.PeakWindowAvg.Watts() > maxInstant+0.5 {
+		t.Errorf("window peak %v exceeds instantaneous max %v", tr.PeakWindowAvg, maxInstant)
+	}
+}
+
+func TestGPUTraceBasics(t *testing.T) {
+	p, _ := hw.PlatformByName("titanxp")
+	w, _ := workload.ByName("sgemm")
+	totalUnits := 1e13 // 10 TFLOPs
+	tr, err := RunGPU(p, &w, 200, p.GPU.Mem.ClockNom, totalUnits, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.WorkDone-totalUnits) > totalUnits*1e-6 {
+		t.Errorf("work done = %v", tr.WorkDone)
+	}
+	if tr.Elapsed <= 0 || len(tr.Samples) == 0 {
+		t.Error("no time advanced")
+	}
+	// Board power respects the cap (reclaim keeps it near the cap for
+	// power-hungry SGEMM).
+	if tr.PeakWindowAvg.Watts() > 212 {
+		t.Errorf("peak window average %v over the 200 W cap", tr.PeakWindowAvg)
+	}
+	if tr.AvgTotalPower.Watts() < 150 {
+		t.Errorf("average power %v implausibly low for SGEMM at 200 W", tr.AvgTotalPower)
+	}
+	// Energy splits into SM-side and memory-side components.
+	if tr.ProcEnergy <= 0 || tr.MemEnergy <= 0 {
+		t.Error("energy components missing")
+	}
+}
+
+func TestGPUTraceValidation(t *testing.T) {
+	p, _ := hw.PlatformByName("titanxp")
+	w, _ := workload.ByName("sgemm")
+	if _, err := RunGPU(p, &w, 200, p.GPU.Mem.ClockNom, 0, time.Millisecond); err == nil {
+		t.Error("zero work accepted")
+	}
+	if _, err := RunGPU(p, &w, 200, p.GPU.Mem.ClockNom, 1e12, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+	cw, _ := workload.ByName("stream")
+	if _, err := RunGPU(p, &cw, 200, p.GPU.Mem.ClockNom, 1e12, time.Millisecond); err == nil {
+		t.Error("CPU workload accepted")
+	}
+}

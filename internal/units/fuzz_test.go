@@ -1,0 +1,65 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func FuzzParsePower(f *testing.F) {
+	for _, seed := range []string{"208W", "208 W", "1.5kW", "2 MW", "-10W", "", "abc", "1e3", "++5W", "5 kw extra"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePower(s)
+		if err != nil {
+			return
+		}
+		// Successful parses must produce a finite value whose formatting
+		// does not panic.
+		if math.IsNaN(p.Watts()) {
+			t.Fatalf("ParsePower(%q) = NaN without error", s)
+		}
+		_ = p.String()
+	})
+}
+
+func FuzzParseFrequency(f *testing.F) {
+	for _, seed := range []string{"2.5GHz", "1600 MHz", "850mhz", "100", "1e9", "fast", "-3kHz"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseFrequency(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(v.Hz()) {
+			t.Fatalf("ParseFrequency(%q) = NaN without error", s)
+		}
+		_ = v.String()
+	})
+}
+
+func FuzzPowerRoundTrip(f *testing.F) {
+	f.Add(208.0)
+	f.Add(0.0)
+	f.Add(48.5)
+	f.Fuzz(func(t *testing.T, w float64) {
+		if math.IsNaN(w) || math.IsInf(w, 0) || math.Abs(w) > 1e12 {
+			return
+		}
+		p := Power(w)
+		s := p.String()
+		if !strings.HasSuffix(s, "W") {
+			t.Fatalf("Power(%v).String() = %q lacks unit", w, s)
+		}
+		// A formatted power must parse back to a nearby value.
+		back, err := ParsePower(s)
+		if err != nil {
+			t.Fatalf("cannot re-parse %q: %v", s, err)
+		}
+		if !AlmostEqual(back.Watts(), w, 0.06) {
+			t.Fatalf("round trip %v -> %q -> %v", w, s, back.Watts())
+		}
+	})
+}

@@ -1,0 +1,281 @@
+// Package units defines the physical quantities used throughout the
+// power-bounded computing simulator: power, energy, frequency, bandwidth,
+// and compute rate. All quantities are thin float64 wrappers in SI base
+// units so arithmetic stays explicit and unit confusion (watts vs
+// milliwatts, GB/s vs bytes/s) is caught by the type system.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Power is electrical power in watts.
+type Power float64
+
+// Common power constants.
+const (
+	Watt     Power = 1
+	Kilowatt Power = 1000
+	Megawatt Power = 1e6
+)
+
+// Watts returns p as a plain float64 number of watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// String formats the power with a unit suffix, e.g. "208.0 W".
+func (p Power) String() string {
+	switch {
+	case math.Abs(float64(p)) >= 1e6:
+		return fmt.Sprintf("%.2f MW", float64(p)/1e6)
+	case math.Abs(float64(p)) >= 1e3:
+		return fmt.Sprintf("%.2f kW", float64(p)/1e3)
+	default:
+		return fmt.Sprintf("%.1f W", float64(p))
+	}
+}
+
+// Clamp limits p to the inclusive range [lo, hi].
+func (p Power) Clamp(lo, hi Power) Power {
+	if p < lo {
+		return lo
+	}
+	if p > hi {
+		return hi
+	}
+	return p
+}
+
+// Energy is electrical energy in joules.
+type Energy float64
+
+// Common energy constants.
+const (
+	Joule        Energy = 1
+	Kilojoule    Energy = 1000
+	WattHour     Energy = 3600
+	KilowattHour Energy = 3.6e6
+)
+
+// Joules returns e as a plain float64 number of joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// String formats the energy with a unit suffix.
+func (e Energy) String() string {
+	switch {
+	case math.Abs(float64(e)) >= 1e6:
+		return fmt.Sprintf("%.2f MJ", float64(e)/1e6)
+	case math.Abs(float64(e)) >= 1e3:
+		return fmt.Sprintf("%.2f kJ", float64(e)/1e3)
+	default:
+		return fmt.Sprintf("%.2f J", float64(e))
+	}
+}
+
+// Frequency is a clock frequency in hertz.
+type Frequency float64
+
+// Common frequency constants.
+const (
+	Hertz     Frequency = 1
+	Kilohertz Frequency = 1e3
+	Megahertz Frequency = 1e6
+	Gigahertz Frequency = 1e9
+)
+
+// Hz returns f as a plain float64 number of hertz.
+func (f Frequency) Hz() float64 { return float64(f) }
+
+// GHz returns f in gigahertz.
+func (f Frequency) GHz() float64 { return float64(f) / 1e9 }
+
+// MHz returns f in megahertz.
+func (f Frequency) MHz() float64 { return float64(f) / 1e6 }
+
+// String formats the frequency with a unit suffix, e.g. "2.50 GHz".
+func (f Frequency) String() string {
+	switch {
+	case math.Abs(float64(f)) >= 1e9:
+		return fmt.Sprintf("%.2f GHz", float64(f)/1e9)
+	case math.Abs(float64(f)) >= 1e6:
+		return fmt.Sprintf("%.0f MHz", float64(f)/1e6)
+	default:
+		return fmt.Sprintf("%.0f Hz", float64(f))
+	}
+}
+
+// Clamp limits f to the inclusive range [lo, hi].
+func (f Frequency) Clamp(lo, hi Frequency) Frequency {
+	if f < lo {
+		return lo
+	}
+	if f > hi {
+		return hi
+	}
+	return f
+}
+
+// Bandwidth is a data-movement rate in bytes per second.
+type Bandwidth float64
+
+// Common bandwidth constants.
+const (
+	BytePerSecond Bandwidth = 1
+	KBps          Bandwidth = 1e3
+	MBps          Bandwidth = 1e6
+	GBps          Bandwidth = 1e9
+)
+
+// BytesPerSecond returns b as a plain float64.
+func (b Bandwidth) BytesPerSecond() float64 { return float64(b) }
+
+// GBPerSecond returns b in gigabytes per second.
+func (b Bandwidth) GBPerSecond() float64 { return float64(b) / 1e9 }
+
+// String formats the bandwidth with a unit suffix, e.g. "82.3 GB/s".
+func (b Bandwidth) String() string {
+	switch {
+	case math.Abs(float64(b)) >= 1e9:
+		return fmt.Sprintf("%.1f GB/s", float64(b)/1e9)
+	case math.Abs(float64(b)) >= 1e6:
+		return fmt.Sprintf("%.1f MB/s", float64(b)/1e6)
+	default:
+		return fmt.Sprintf("%.0f B/s", float64(b))
+	}
+}
+
+// Rate is a computational throughput in operations per second. For
+// floating-point workloads one op is one FLOP; for integer workloads
+// (e.g. RandomAccess updates) one op is one update.
+type Rate float64
+
+// Common rate constants.
+const (
+	OpPerSecond Rate = 1
+	MOPS        Rate = 1e6
+	GOPS        Rate = 1e9
+	TOPS        Rate = 1e12
+)
+
+// OpsPerSecond returns r as a plain float64.
+func (r Rate) OpsPerSecond() float64 { return float64(r) }
+
+// GOPSValue returns r in giga-operations per second.
+func (r Rate) GOPSValue() float64 { return float64(r) / 1e9 }
+
+// String formats the rate with a unit suffix, e.g. "360.0 GOP/s".
+func (r Rate) String() string {
+	switch {
+	case math.Abs(float64(r)) >= 1e12:
+		return fmt.Sprintf("%.2f TOP/s", float64(r)/1e12)
+	case math.Abs(float64(r)) >= 1e9:
+		return fmt.Sprintf("%.1f GOP/s", float64(r)/1e9)
+	case math.Abs(float64(r)) >= 1e6:
+		return fmt.Sprintf("%.1f MOP/s", float64(r)/1e6)
+	default:
+		return fmt.Sprintf("%.0f op/s", float64(r))
+	}
+}
+
+// ParsePower parses strings like "208W", "208 W", "1.5kW", "2 MW".
+// A bare number is interpreted as watts.
+func ParsePower(s string) (Power, error) {
+	v, unit, err := splitValueUnit(s)
+	if err != nil {
+		return 0, fmt.Errorf("parse power %q: %w", s, err)
+	}
+	switch strings.ToLower(unit) {
+	case "", "w":
+		return Power(v), nil
+	case "kw":
+		return Power(v * 1e3), nil
+	case "mw":
+		return Power(v * 1e6), nil
+	default:
+		return 0, fmt.Errorf("parse power %q: unknown unit %q", s, unit)
+	}
+}
+
+// ParseFrequency parses strings like "2.5GHz", "1600 MHz", "850mhz".
+// A bare number is interpreted as hertz.
+func ParseFrequency(s string) (Frequency, error) {
+	v, unit, err := splitValueUnit(s)
+	if err != nil {
+		return 0, fmt.Errorf("parse frequency %q: %w", s, err)
+	}
+	switch strings.ToLower(unit) {
+	case "", "hz":
+		return Frequency(v), nil
+	case "khz":
+		return Frequency(v * 1e3), nil
+	case "mhz":
+		return Frequency(v * 1e6), nil
+	case "ghz":
+		return Frequency(v * 1e9), nil
+	default:
+		return 0, fmt.Errorf("parse frequency %q: unknown unit %q", s, unit)
+	}
+}
+
+// splitValueUnit splits "2.5GHz" into (2.5, "GHz"). Whitespace between the
+// number and unit is permitted.
+func splitValueUnit(s string) (float64, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, "", fmt.Errorf("empty string")
+	}
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			// Bare 'e'/'E' may begin a unit ("E" is not one we use, so the
+			// exponent heuristic only consumes e/E followed by a digit or sign.
+			if c == 'e' || c == 'E' {
+				if i+1 >= len(s) || !(s[i+1] >= '0' && s[i+1] <= '9') && s[i+1] != '-' && s[i+1] != '+' {
+					break
+				}
+			}
+			i++
+			continue
+		}
+		break
+	}
+	numPart := s[:i]
+	unitPart := strings.TrimSpace(s[i:])
+	v, err := strconv.ParseFloat(numPart, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad number %q", numPart)
+	}
+	return v, unitPart, nil
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// InvLerp returns the t in [0,1] such that Lerp(a,b,t)==v, clamped.
+func InvLerp(a, b, v float64) float64 {
+	if a == b {
+		return 0
+	}
+	t := (v - a) / (b - a)
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// AlmostEqual reports whether a and b agree to within tol (absolute) or a
+// relative tolerance of tol when the magnitudes are large.
+func AlmostEqual(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*m
+}

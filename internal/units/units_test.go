@@ -1,0 +1,267 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerString(t *testing.T) {
+	cases := []struct {
+		p    Power
+		want string
+	}{
+		{208, "208.0 W"},
+		{48.5, "48.5 W"},
+		{1500, "1.50 kW"},
+		{2.8e3, "2.80 kW"},
+		{20e6, "20.00 MW"},
+		{0, "0.0 W"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("Power(%v).String() = %q, want %q", float64(c.p), got, c.want)
+		}
+	}
+}
+
+func TestEnergyString(t *testing.T) {
+	cases := []struct {
+		e    Energy
+		want string
+	}{
+		{1, "1.00 J"},
+		{2500, "2.50 kJ"},
+		{KilowattHour, "3.60 MJ"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("Energy(%v).String() = %q, want %q", float64(c.e), got, c.want)
+		}
+	}
+}
+
+func TestFrequencyString(t *testing.T) {
+	cases := []struct {
+		f    Frequency
+		want string
+	}{
+		{2.5 * Gigahertz, "2.50 GHz"},
+		{1600 * Megahertz, "1.60 GHz"},
+		{850 * Megahertz, "850 MHz"},
+		{60, "60 Hz"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("Frequency.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	if got := (82.3 * GBps).String(); got != "82.3 GB/s" {
+		t.Errorf("got %q", got)
+	}
+	if got := (5 * MBps).String(); got != "5.0 MB/s" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if got := (360 * GOPS).String(); got != "360.0 GOP/s" {
+		t.Errorf("got %q", got)
+	}
+	if got := (1.5 * TOPS).String(); got != "1.50 TOP/s" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestParsePower(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Power
+		wantErr bool
+	}{
+		{"208W", 208, false},
+		{"208 W", 208, false},
+		{"208", 208, false},
+		{"1.5kW", 1500, false},
+		{"2 MW", 2e6, false},
+		{"-10W", -10, false},
+		{"", 0, true},
+		{"abc", 0, true},
+		{"10 volts", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParsePower(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParsePower(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParsePower(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseFrequency(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Frequency
+		wantErr bool
+	}{
+		{"2.5GHz", 2.5e9, false},
+		{"1600 MHz", 1.6e9, false},
+		{"850mhz", 850e6, false},
+		{"100", 100, false},
+		{"1e9", 1e9, false},
+		{"fast", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseFrequency(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseFrequency(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && math.Abs(float64(got-c.want)) > 1e-6 {
+			t.Errorf("ParseFrequency(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPowerClamp(t *testing.T) {
+	if got := Power(300).Clamp(48, 250); got != 250 {
+		t.Errorf("clamp high: got %v", got)
+	}
+	if got := Power(10).Clamp(48, 250); got != 48 {
+		t.Errorf("clamp low: got %v", got)
+	}
+	if got := Power(100).Clamp(48, 250); got != 100 {
+		t.Errorf("clamp mid: got %v", got)
+	}
+}
+
+func TestFrequencyClamp(t *testing.T) {
+	lo, hi := 1.2*Gigahertz, 2.5*Gigahertz
+	if got := Frequency(3e9).Clamp(lo, hi); got != hi {
+		t.Errorf("clamp high: got %v", got)
+	}
+	if got := Frequency(1e9).Clamp(lo, hi); got != lo {
+		t.Errorf("clamp low: got %v", got)
+	}
+}
+
+func TestLerpInvLerpRoundTrip(t *testing.T) {
+	f := func(a, b, tRaw float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if math.Abs(a) > 1e12 || math.Abs(b) > 1e12 || math.Abs(a-b) < 1e-9 {
+			return true
+		}
+		tt := math.Mod(math.Abs(tRaw), 1.0)
+		v := Lerp(a, b, tt)
+		got := InvLerp(a, b, v)
+		return AlmostEqual(got, tt, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvLerpClampsAndDegenerate(t *testing.T) {
+	if got := InvLerp(0, 10, -5); got != 0 {
+		t.Errorf("below range: got %v", got)
+	}
+	if got := InvLerp(0, 10, 25); got != 1 {
+		t.Errorf("above range: got %v", got)
+	}
+	if got := InvLerp(5, 5, 7); got != 0 {
+		t.Errorf("degenerate: got %v", got)
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("tiny diff should be equal")
+	}
+	if AlmostEqual(1.0, 2.0, 1e-9) {
+		t.Error("1 vs 2 should differ")
+	}
+	if !AlmostEqual(1e12, 1e12*(1+1e-10), 1e-9) {
+		t.Error("relative tolerance should apply at large magnitude")
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(p, lo, hi float64) bool {
+		if math.IsNaN(p) || math.IsNaN(lo) || math.IsNaN(hi) {
+			return true
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := Power(p).Clamp(Power(lo), Power(hi))
+		return float64(got) >= lo && float64(got) <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if (2.5 * Gigahertz).GHz() != 2.5 {
+		t.Error("GHz conversion")
+	}
+	if (1600 * Megahertz).MHz() != 1600 {
+		t.Error("MHz conversion")
+	}
+	if (82 * GBps).GBPerSecond() != 82 {
+		t.Error("GB/s conversion")
+	}
+	if (360 * GOPS).GOPSValue() != 360 {
+		t.Error("GOPS conversion")
+	}
+	if Power(208).Watts() != 208 {
+		t.Error("Watts conversion")
+	}
+	if Energy(42).Joules() != 42 {
+		t.Error("Joules conversion")
+	}
+}
+
+func TestRemainingConversionsAndClamps(t *testing.T) {
+	if (2 * GBps).BytesPerSecond() != 2e9 {
+		t.Error("Bandwidth.BytesPerSecond")
+	}
+	if (3 * GOPS).OpsPerSecond() != 3e9 {
+		t.Error("Rate.OpsPerSecond")
+	}
+	if got := Power(100).Clamp(48, 250); got != 100 {
+		t.Errorf("in-range clamp = %v", got)
+	}
+	if Lerp(10, 20, 0.5) != 15 {
+		t.Error("Lerp midpoint")
+	}
+	// Bandwidth and Rate formatting at every magnitude.
+	if got := Bandwidth(500).String(); got != "500 B/s" {
+		t.Errorf("bytes string = %q", got)
+	}
+	if got := Rate(500).String(); got != "500 op/s" {
+		t.Errorf("ops string = %q", got)
+	}
+	if got := (2 * MOPS).String(); got != "2.0 MOP/s" {
+		t.Errorf("mops string = %q", got)
+	}
+}
+
+func TestParseFrequencyExponentEdge(t *testing.T) {
+	// 'e' followed by a unit letter must not be eaten as an exponent.
+	if _, err := ParseFrequency("2eGHz"); err == nil {
+		t.Error("malformed exponent accepted")
+	}
+	v, err := ParseFrequency("1e+3")
+	if err != nil || v != 1000 {
+		t.Errorf("1e+3 = %v, %v", v, err)
+	}
+}

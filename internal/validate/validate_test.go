@@ -1,0 +1,93 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+func TestBuiltInPlatformsClean(t *testing.T) {
+	for _, p := range hw.Platforms() {
+		if issues := Platform(p); len(issues) != 0 {
+			t.Errorf("%s: %v", p.Name, issues)
+		}
+	}
+}
+
+func TestCatalogClean(t *testing.T) {
+	if issues := Catalog(); len(issues) != 0 {
+		for _, i := range issues {
+			t.Errorf("%s", i)
+		}
+	}
+}
+
+func TestPairDetectsKindMismatch(t *testing.T) {
+	p, _ := hw.PlatformByName("ivybridge")
+	w, _ := workload.ByName("sgemm")
+	issues := Pair(p, w)
+	if len(issues) != 1 || issues[0].Check != "kind" {
+		t.Errorf("issues = %v", issues)
+	}
+}
+
+func TestPairDetectsBrokenSpecs(t *testing.T) {
+	p, _ := hw.PlatformByName("ivybridge")
+	bad := p
+	badCPU := *p.CPU
+	badCPU.Sockets = 0
+	bad.CPU = &badCPU
+	w, _ := workload.ByName("stream")
+	issues := Pair(bad, w)
+	if len(issues) == 0 || issues[0].Check != "platform-spec" {
+		t.Errorf("broken platform not flagged: %v", issues)
+	}
+	badW := w
+	badW.Phases = nil
+	issues = Pair(p, badW)
+	if len(issues) == 0 || issues[0].Check != "workload-spec" {
+		t.Errorf("broken workload not flagged: %v", issues)
+	}
+}
+
+func TestPlatformDetectsMiscalibration(t *testing.T) {
+	// A DRAM spec whose background power exceeds its maximum access power
+	// makes memory capping meaningless; the battery must notice that the
+	// workload cannot respond to memory caps (monotone check trivially
+	// passes) but must flag the spec if it breaks validation outright.
+	p := hw.IvyBridge()
+	badDRAM := *p.DRAM
+	badDRAM.EnergyPerByteStream = -1
+	p.DRAM = &badDRAM
+	issues := Platform(p)
+	if len(issues) == 0 {
+		t.Error("invalid DRAM energy accepted")
+	}
+}
+
+func TestSyntheticWorkloadPassesBattery(t *testing.T) {
+	// A user-defined synthetic workload should be battery-clean out of
+	// the box — the advertised workflow for custom models.
+	spec := workload.SyntheticSpec{
+		Name: "custom", Kind: hw.KindCPU,
+		OpsPerByte: 0.5, Randomness: 0.2, Vectorized: 0.7,
+		OverlapQuality: 0.6, PhaseImbalance: 0.3,
+	}
+	w, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := hw.PlatformByName("haswell")
+	if issues := Pair(p, w); len(issues) != 0 {
+		t.Errorf("synthetic workload flagged: %v", issues)
+	}
+}
+
+func TestIssueString(t *testing.T) {
+	i := Issue{Check: "cpu-cap", Detail: "cap 100.0 W drew 120.0 W"}
+	if !strings.Contains(i.String(), "cpu-cap:") {
+		t.Errorf("issue string = %q", i.String())
+	}
+}

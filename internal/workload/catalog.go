@@ -1,0 +1,228 @@
+package workload
+
+import "repro/internal/hw"
+
+// Catalog returns all seventeen benchmarks of Table 3 in paper order:
+// eleven CPU benchmarks followed by six GPU benchmarks. Parameters are
+// calibrated against the paper's qualitative descriptions (workload
+// pattern column of Table 3) and the power/performance anchors its
+// figures report; see the calibration tests and DESIGN.md.
+func Catalog() []Workload {
+	return []Workload{
+		// ----- CPU benchmarks -----
+		{
+			Name: "sra", Suite: "HPCC",
+			Desc: "Embarrassingly parallel, random memory access (star RandomAccess)",
+			Kind: hw.KindCPU, PerfUnit: "GUP/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{{
+				Name: "update", Weight: 1,
+				OpsPerUnit: 6, BytesPerUnit: 128,
+				RandomFrac: 1.0, BandwidthEff: 0.08, ComputeEff: 0.5,
+				Overlap: 1.3, ActivityBase: 0.60, StallActivity: 0.40,
+			}},
+		},
+		{
+			Name: "stream", Suite: "UVA",
+			Desc: "Synthetic, measuring memory bandwidth",
+			Kind: hw.KindCPU, PerfUnit: "GB/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{{
+				Name: "triad", Weight: 1,
+				OpsPerUnit: 0.085, BytesPerUnit: 1,
+				RandomFrac: 0, BandwidthEff: 0.80, ComputeEff: 0.70,
+				Overlap: 3, ActivityBase: 0.60, StallActivity: 0.30,
+			}},
+		},
+		{
+			Name: "dgemm", Suite: "HPCC",
+			Desc: "Matrix multiplication, compute intensive",
+			Kind: hw.KindCPU, PerfUnit: "GFLOP/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{{
+				Name: "gemm", Weight: 1,
+				OpsPerUnit: 1, BytesPerUnit: 0.06,
+				RandomFrac: 0.04, BandwidthEff: 0.70, ComputeEff: 0.90,
+				Overlap: 3, ActivityBase: 0.89, StallActivity: 0.40,
+			}},
+		},
+		{
+			Name: "bt", Suite: "NPB",
+			Desc: "Block Tri-diagonal solver, compute intensive",
+			Kind: hw.KindCPU, PerfUnit: "GFLOP/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{
+				{Name: "rhs", Weight: 0.25, OpsPerUnit: 1, BytesPerUnit: 0.30,
+					RandomFrac: 0.02, BandwidthEff: 0.65, ComputeEff: 0.50,
+					Overlap: 2, ActivityBase: 0.78, StallActivity: 0.40},
+				{Name: "x-solve", Weight: 0.25, OpsPerUnit: 1, BytesPerUnit: 0.12,
+					RandomFrac: 0.03, BandwidthEff: 0.60, ComputeEff: 0.52,
+					Overlap: 2, ActivityBase: 0.84, StallActivity: 0.42},
+				{Name: "y-solve", Weight: 0.25, OpsPerUnit: 1, BytesPerUnit: 0.15,
+					RandomFrac: 0.03, BandwidthEff: 0.60, ComputeEff: 0.52,
+					Overlap: 2, ActivityBase: 0.84, StallActivity: 0.42},
+				{Name: "z-solve", Weight: 0.25, OpsPerUnit: 1, BytesPerUnit: 0.20,
+					RandomFrac: 0.04, BandwidthEff: 0.55, ComputeEff: 0.50,
+					Overlap: 2, ActivityBase: 0.82, StallActivity: 0.42},
+			},
+		},
+		{
+			Name: "sp", Suite: "NPB",
+			Desc: "Scalar Penta-diagonal solver, compute/memory",
+			Kind: hw.KindCPU, PerfUnit: "GFLOP/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{
+				{Name: "rhs", Weight: 0.30, OpsPerUnit: 1, BytesPerUnit: 0.55,
+					RandomFrac: 0.02, BandwidthEff: 0.72, ComputeEff: 0.45,
+					Overlap: 2.2, ActivityBase: 0.70, StallActivity: 0.38},
+				{Name: "x-solve", Weight: 0.23, OpsPerUnit: 1, BytesPerUnit: 0.35,
+					RandomFrac: 0.02, BandwidthEff: 0.68, ComputeEff: 0.48,
+					Overlap: 2.2, ActivityBase: 0.74, StallActivity: 0.38},
+				{Name: "y-solve", Weight: 0.23, OpsPerUnit: 1, BytesPerUnit: 0.40,
+					RandomFrac: 0.02, BandwidthEff: 0.68, ComputeEff: 0.48,
+					Overlap: 2.2, ActivityBase: 0.74, StallActivity: 0.38},
+				{Name: "z-solve", Weight: 0.24, OpsPerUnit: 1, BytesPerUnit: 0.45,
+					RandomFrac: 0.03, BandwidthEff: 0.62, ComputeEff: 0.46,
+					Overlap: 2.2, ActivityBase: 0.72, StallActivity: 0.38},
+			},
+		},
+		{
+			Name: "lu", Suite: "NPB",
+			Desc: "Lower-Upper Gauss-Seidel solver, compute/memory",
+			Kind: hw.KindCPU, PerfUnit: "GFLOP/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{
+				{Name: "lower", Weight: 0.5, OpsPerUnit: 1, BytesPerUnit: 0.30,
+					RandomFrac: 0.05, BandwidthEff: 0.55, ComputeEff: 0.50,
+					Overlap: 1.8, ActivityBase: 0.76, StallActivity: 0.40},
+				{Name: "upper", Weight: 0.5, OpsPerUnit: 1, BytesPerUnit: 0.35,
+					RandomFrac: 0.07, BandwidthEff: 0.52, ComputeEff: 0.48,
+					Overlap: 1.8, ActivityBase: 0.76, StallActivity: 0.40},
+			},
+		},
+		{
+			Name: "ep", Suite: "NPB",
+			Desc: "Embarrassingly Parallel, compute intensive",
+			Kind: hw.KindCPU, PerfUnit: "GFLOP/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{{
+				Name: "gauss", Weight: 1,
+				OpsPerUnit: 1, BytesPerUnit: 0.015,
+				RandomFrac: 0, BandwidthEff: 0.60, ComputeEff: 0.30,
+				Overlap: 3, ActivityBase: 0.88, StallActivity: 0.45,
+			}},
+		},
+		{
+			Name: "is", Suite: "NPB",
+			Desc: "Integer Sort, random memory access",
+			Kind: hw.KindCPU, PerfUnit: "Mkey/s", PerfPerUnitRate: 1e-6,
+			Phases: []Phase{{
+				Name: "rank", Weight: 1,
+				OpsPerUnit: 10, BytesPerUnit: 40,
+				RandomFrac: 0.60, BandwidthEff: 0.12, ComputeEff: 0.40,
+				Overlap: 1.5, ActivityBase: 0.55, StallActivity: 0.36,
+			}},
+		},
+		{
+			Name: "cg", Suite: "NPB",
+			Desc: "Conjugate Gradient, irregular memory access",
+			Kind: hw.KindCPU, PerfUnit: "GFLOP/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{{
+				Name: "spmv", Weight: 1,
+				OpsPerUnit: 1, BytesPerUnit: 4.5,
+				RandomFrac: 0.20, BandwidthEff: 0.25, ComputeEff: 0.35,
+				Overlap: 1.8, ActivityBase: 0.60, StallActivity: 0.38,
+			}},
+		},
+		{
+			Name: "ft", Suite: "NPB",
+			Desc: "Discrete 3D fast Fourier Transform, compute/memory",
+			Kind: hw.KindCPU, PerfUnit: "GFLOP/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{
+				{Name: "fft", Weight: 0.6, OpsPerUnit: 1, BytesPerUnit: 0.25,
+					RandomFrac: 0.02, BandwidthEff: 0.68, ComputeEff: 0.58,
+					Overlap: 2.5, ActivityBase: 0.80, StallActivity: 0.40},
+				{Name: "transpose", Weight: 0.4, OpsPerUnit: 1, BytesPerUnit: 0.90,
+					RandomFrac: 0.06, BandwidthEff: 0.55, ComputeEff: 0.45,
+					Overlap: 2.0, ActivityBase: 0.62, StallActivity: 0.36},
+			},
+		},
+		{
+			Name: "mg", Suite: "NPB",
+			Desc: "Multi-Grid operation, compute/memory",
+			Kind: hw.KindCPU, PerfUnit: "GFLOP/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{
+				{Name: "residual", Weight: 0.4, OpsPerUnit: 1, BytesPerUnit: 2.8,
+					RandomFrac: 0.02, BandwidthEff: 0.72, ComputeEff: 0.42,
+					Overlap: 2.4, ActivityBase: 0.62, StallActivity: 0.34},
+				{Name: "restrict", Weight: 0.3, OpsPerUnit: 1, BytesPerUnit: 2.2,
+					RandomFrac: 0.03, BandwidthEff: 0.68, ComputeEff: 0.44,
+					Overlap: 2.4, ActivityBase: 0.64, StallActivity: 0.34},
+				{Name: "prolongate", Weight: 0.3, OpsPerUnit: 1, BytesPerUnit: 2.0,
+					RandomFrac: 0.04, BandwidthEff: 0.66, ComputeEff: 0.44,
+					Overlap: 2.4, ActivityBase: 0.64, StallActivity: 0.34},
+			},
+		},
+
+		// ----- GPU benchmarks -----
+		{
+			Name: "sgemm", Suite: "CUDA",
+			Desc: "Compute intensive, CUBLAS implementation",
+			Kind: hw.KindGPU, PerfUnit: "GFLOP/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{{
+				Name: "gemm", Weight: 1,
+				OpsPerUnit: 1, BytesPerUnit: 0.015,
+				RandomFrac: 0, BandwidthEff: 0.75, ComputeEff: 0.92,
+				Overlap: 4, ActivityBase: 1.0, StallActivity: 0.50,
+			}},
+		},
+		{
+			Name: "gpustream", Suite: "CUDA",
+			Desc: "Memory intensive, CUDA version of STREAM",
+			Kind: hw.KindGPU, PerfUnit: "GB/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{{
+				Name: "triad", Weight: 1,
+				OpsPerUnit: 0.02, BytesPerUnit: 1,
+				RandomFrac: 0, BandwidthEff: 0.82, ComputeEff: 0.50,
+				Overlap: 4, ActivityBase: 0.34, StallActivity: 0.22,
+			}},
+		},
+		{
+			Name: "cufft", Suite: "CUDA",
+			Desc: "Memory intensive, CUDA example",
+			Kind: hw.KindGPU, PerfUnit: "GFLOP/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{{
+				Name: "fft", Weight: 1,
+				OpsPerUnit: 1, BytesPerUnit: 1.0,
+				RandomFrac: 0.1, BandwidthEff: 0.72, ComputeEff: 0.60,
+				Overlap: 3, ActivityBase: 0.52, StallActivity: 0.30,
+			}},
+		},
+		{
+			Name: "minife", Suite: "ECP",
+			Desc: "Memory intensive, ECP proxy",
+			Kind: hw.KindGPU, PerfUnit: "GFLOP/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{{
+				Name: "cg-spmv", Weight: 1,
+				OpsPerUnit: 1, BytesPerUnit: 4.0,
+				RandomFrac: 0.25, BandwidthEff: 0.68, ComputeEff: 0.40,
+				Overlap: 3, ActivityBase: 0.50, StallActivity: 0.30,
+			}},
+		},
+		{
+			Name: "cloverleaf", Suite: "ECP",
+			Desc: "Compute/memory, ECP proxy",
+			Kind: hw.KindGPU, PerfUnit: "GFLOP/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{{
+				Name: "hydro", Weight: 1,
+				OpsPerUnit: 1, BytesPerUnit: 1.3,
+				RandomFrac: 0.05, BandwidthEff: 0.70, ComputeEff: 0.50,
+				Overlap: 2.5, ActivityBase: 0.65, StallActivity: 0.35,
+			}},
+		},
+		{
+			Name: "hpcg", Suite: "HPL",
+			Desc: "Memory intensive, HPL benchmark",
+			Kind: hw.KindGPU, PerfUnit: "GFLOP/s", PerfPerUnitRate: 1e-9,
+			Phases: []Phase{{
+				Name: "mg-spmv", Weight: 1,
+				OpsPerUnit: 1, BytesPerUnit: 4.3,
+				RandomFrac: 0.3, BandwidthEff: 0.55, ComputeEff: 0.35,
+				Overlap: 2.8, ActivityBase: 0.46, StallActivity: 0.28,
+			}},
+		},
+	}
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+)
+
+func TestSyntheticValidation(t *testing.T) {
+	good := SyntheticSpec{Name: "x", Kind: hw.KindCPU, OpsPerByte: 1,
+		Randomness: 0.1, Vectorized: 0.5, OverlapQuality: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(s *SyntheticSpec)
+	}{
+		{"empty name", func(s *SyntheticSpec) { s.Name = "" }},
+		{"zero intensity", func(s *SyntheticSpec) { s.OpsPerByte = 0 }},
+		{"randomness", func(s *SyntheticSpec) { s.Randomness = 1.5 }},
+		{"vectorized", func(s *SyntheticSpec) { s.Vectorized = -0.1 }},
+		{"overlap", func(s *SyntheticSpec) { s.OverlapQuality = 2 }},
+		{"imbalance", func(s *SyntheticSpec) { s.PhaseImbalance = 1.5 }},
+	}
+	for _, m := range mutations {
+		s := good
+		m.mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s accepted", m.name)
+		}
+		if _, err := s.Build(); err == nil {
+			t.Errorf("%s built", m.name)
+		}
+	}
+}
+
+func TestSyntheticBuildAlwaysValid(t *testing.T) {
+	// Property: any in-range spec builds a workload that passes the full
+	// catalog validation.
+	f := func(intensity, rnd, vec, ovl, imb float64) bool {
+		spec := SyntheticSpec{
+			Name:           "prop",
+			Kind:           hw.KindCPU,
+			OpsPerByte:     0.01 + math.Abs(math.Mod(intensity, 100)),
+			Randomness:     math.Abs(math.Mod(rnd, 1)),
+			Vectorized:     math.Abs(math.Mod(vec, 1)),
+			OverlapQuality: math.Abs(math.Mod(ovl, 1)),
+			PhaseImbalance: math.Abs(math.Mod(imb, 0.95)),
+		}
+		w, err := spec.Build()
+		if err != nil {
+			return false
+		}
+		return w.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyntheticIntensityPreserved(t *testing.T) {
+	for _, intensity := range []float64{0.1, 1, 10} {
+		spec := SyntheticSpec{Name: "i", Kind: hw.KindCPU, OpsPerByte: intensity,
+			Vectorized: 0.5, OverlapQuality: 0.5, PhaseImbalance: 0.4}
+		w, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := w.ComputeIntensity(); math.Abs(got-intensity) > intensity*0.01 {
+			t.Errorf("intensity %v built as %v", intensity, got)
+		}
+	}
+}
+
+func TestSyntheticKnobsMoveTheRightWay(t *testing.T) {
+	base := SyntheticSpec{Name: "b", Kind: hw.KindCPU, OpsPerByte: 1,
+		Vectorized: 0.5, OverlapQuality: 0.5}
+	bw, err := base.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More randomness -> lower reachable bandwidth.
+	r := base
+	r.Randomness = 0.8
+	rw, err := r.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Phases[0].BandwidthEff >= bw.Phases[0].BandwidthEff {
+		t.Error("randomness should cut bandwidth efficiency")
+	}
+	// More vectorization -> higher compute efficiency and activity.
+	v := base
+	v.Vectorized = 1
+	vw, err := v.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vw.Phases[0].ComputeEff <= bw.Phases[0].ComputeEff {
+		t.Error("vectorization should raise compute efficiency")
+	}
+	if vw.Phases[0].ActivityBase <= bw.Phases[0].ActivityBase {
+		t.Error("vectorization should raise activity")
+	}
+	// Imbalance -> two phases.
+	p := base
+	p.PhaseImbalance = 0.5
+	pw, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw.Phases) != 2 {
+		t.Fatalf("imbalanced spec has %d phases", len(pw.Phases))
+	}
+	if pw.Phases[1].BytesPerUnit <= pw.Phases[0].BytesPerUnit {
+		t.Error("heavy phase should carry more traffic")
+	}
+}
+
+func TestScaledMovesIntensity(t *testing.T) {
+	w, err := ByName("dgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Scaled(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := big.ComputeIntensity(), w.ComputeIntensity()/4; math.Abs(got-want) > want*1e-9 {
+		t.Errorf("scaled intensity = %v, want %v", got, want)
+	}
+	if big.Name == w.Name {
+		t.Error("scaled workload should carry a distinct name")
+	}
+	// The original is untouched.
+	if w.Phases[0].BytesPerUnit == big.Phases[0].BytesPerUnit {
+		t.Error("scaling aliased the phase slice")
+	}
+	if _, err := Scaled(w, 0); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := Scaled(w, -1); err == nil {
+		t.Error("negative factor accepted")
+	}
+}
