@@ -1,0 +1,31 @@
+# Standard developer entry points. `make check` is the full gate:
+# static analysis, a clean build, and the test suite under the race
+# detector.
+
+GO ?= go
+
+.PHONY: all build test vet race check fuzz bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet build race
+
+# Short fuzz passes over the input parsers (fault specs, power units).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParseSpec -fuzztime=10s ./internal/faults
+	$(GO) test -run=^$$ -fuzz=FuzzParsePower -fuzztime=10s ./internal/units
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

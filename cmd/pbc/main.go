@@ -12,6 +12,7 @@
 //	pbc profile -platform ivybridge -workload sra
 //	pbc coord -platform ivybridge -workload sra -budget 208 [-strategy coord]
 //	pbc trace -platform ivybridge -workload bt -proc 140 -mem 110 -units 5e11
+//	pbc faults -platform ivybridge -workload stream -budget 208 -fault-seed 7
 package main
 
 import (
@@ -80,6 +81,8 @@ func main() {
 		err = cmdCalibrate(args)
 	case "trace":
 		err = cmdTrace(args)
+	case "faults":
+		err = cmdFaults(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -113,6 +116,7 @@ commands:
   roofline power-capped roofline         (-platform -workload -budget W [-svg file])
   calibrate fit a model to measurements (-workload name -proc W -mem W [-perf X])
   trace    time-stepped run             (-platform -workload -proc W -mem W -units N [-dt ms])
+  faults   fault-injection sweep        (-platform -workload -budget W [-fault-spec s] [-fault-seed n])
 `)
 }
 

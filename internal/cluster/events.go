@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +11,11 @@ import (
 	"repro/internal/hw"
 	"repro/internal/units"
 )
+
+// ErrStarved is wrapped by queue-run errors when waiting jobs can never
+// receive a productive grant (no future completion, recovery, or budget
+// restoration can unblock them). Match with errors.Is.
+var ErrStarved = errors.New("cluster: starved")
 
 // TimedJob is a job with a finite amount of work, for the event-driven
 // queue simulation.
@@ -101,14 +107,27 @@ type QueueResult struct {
 	Energy units.Energy
 }
 
+// sortedJobIDs returns the stat keys in sorted order. Every aggregate
+// below iterates in this order rather than map order, so floating-point
+// accumulation — and therefore replay output — is byte-for-byte
+// reproducible.
+func (r *QueueResult) sortedJobIDs() []string {
+	ids := make([]string, 0, len(r.Stats))
+	for id := range r.Stats {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
 // AvgWait returns the mean time jobs spent queued before starting.
 func (r *QueueResult) AvgWait() float64 {
 	if len(r.Stats) == 0 {
 		return 0
 	}
 	var sum float64
-	for _, st := range r.Stats {
-		sum += st.Start
+	for _, id := range r.sortedJobIDs() {
+		sum += r.Stats[id].Start
 	}
 	return sum / float64(len(r.Stats))
 }
@@ -119,8 +138,8 @@ func (r *QueueResult) AvgTurnaround() float64 {
 		return 0
 	}
 	var sum float64
-	for _, st := range r.Stats {
-		sum += st.End
+	for _, id := range r.sortedJobIDs() {
+		sum += r.Stats[id].End
 	}
 	return sum / float64(len(r.Stats))
 }
@@ -129,7 +148,8 @@ func (r *QueueResult) AvgTurnaround() float64 {
 // across jobs — the fairness metric batch schedulers report.
 func (r *QueueResult) MaxSlowdown() float64 {
 	worst := 1.0
-	for _, st := range r.Stats {
+	for _, id := range r.sortedJobIDs() {
+		st := r.Stats[id]
 		run := st.End - st.Start
 		if run <= 0 {
 			continue
@@ -160,16 +180,6 @@ func (s *Scheduler) RunQueueOpts(jobs []TimedJob, policy SplitPolicy, disc Disci
 		}
 	}
 
-	type running struct {
-		job       TimedJob
-		node      Node
-		remaining float64
-		rate      float64
-		power     units.Power
-		budget    units.Power
-		started   float64
-	}
-
 	pool := s.Budget
 	freeNodes := append([]Node(nil), s.Nodes...)
 	waiting := append([]TimedJob(nil), jobs...)
@@ -179,93 +189,18 @@ func (s *Scheduler) RunQueueOpts(jobs []TimedJob, policy SplitPolicy, disc Disci
 	// admit starts every waiting job that can receive a productive grant
 	// on a free node, in queue order.
 	admit := func() error {
-		var still []TimedJob
-		blocked := false
-		for _, j := range waiting {
-			if blocked && disc == DisciplineFIFO {
-				still = append(still, j)
-				continue
-			}
-			node, rest, found := takeNode(freeNodes, j.Workload.Kind)
-			if !found {
-				still = append(still, j)
-				blocked = true
-				continue
-			}
-			threshold, maxTotal, err := s.envelope(node, j.Workload)
-			if err != nil {
-				return err
-			}
-			if pool < threshold {
-				still = append(still, j)
-				blocked = true
-				continue
-			}
-			grant := pool
-			if grant > maxTotal {
-				grant = maxTotal
-			}
-			var alloc core.Allocation
-			var surplus units.Power
-			switch policy {
-			case PolicyCoord:
-				var ok bool
-				alloc, surplus, ok, err = s.split(node, j.Workload, grant)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					still = append(still, j)
-					blocked = true
-					continue
-				}
-			case PolicyEvenSplit:
-				if node.Platform.Kind != hw.KindCPU {
-					return fmt.Errorf("cluster: even-split policy supports CPU nodes only")
-				}
-				prof, err := s.profileFor(node.Platform, j.Workload)
-				if err != nil {
-					return err
-				}
-				d := coord.EvenSplit(prof, grant)
-				if d.Status == coord.StatusTooSmall {
-					still = append(still, j)
-					blocked = true
-					continue
-				}
-				alloc = d.Alloc
-			default:
-				return fmt.Errorf("cluster: unknown split policy %v", policy)
-			}
-			if surplus > 0 {
-				grant -= surplus
-			}
-			w := j.Workload
-			simRes, err := s.simulate(node, &w, alloc)
-			if err != nil {
-				return err
-			}
-			rate := simRes.UnitRate.OpsPerSecond()
-			if rate <= 0 {
-				return fmt.Errorf("cluster: job %q makes no progress", j.ID)
-			}
-			pool -= grant
-			freeNodes = rest
-			active = append(active, &running{
-				job: j, node: node, remaining: j.Units,
-				rate: rate, power: simRes.TotalPower, budget: grant, started: now,
-			})
-			res.Events = append(res.Events, Event{Time: now, Kind: "start", JobID: j.ID, NodeID: node.ID})
-		}
-		waiting = still
-		return nil
+		var err error
+		active, waiting, freeNodes, pool, err = s.admitWaiting(
+			&res, active, waiting, freeNodes, pool, now, policy, disc)
+		return err
 	}
 
 	if err := admit(); err != nil {
 		return res, err
 	}
 	if len(active) == 0 && len(waiting) > 0 {
-		return res, fmt.Errorf("cluster: no job can start (budget %v too small for every job)", s.Budget)
+		return res, fmt.Errorf("cluster: no job can start (budget %v too small for every job): %w",
+			s.Budget, ErrStarved)
 	}
 
 	for len(active) > 0 {
@@ -286,7 +221,7 @@ func (s *Scheduler) RunQueueOpts(jobs []TimedJob, policy SplitPolicy, disc Disci
 		runtime := now - done.started
 		res.Energy += units.Energy(done.power.Watts() * runtime)
 		res.Stats[done.job.ID] = JobStat{
-			Start: done.started, End: now,
+			Start: done.firstStart, End: now,
 			Budget: done.budget, Power: done.power, Rate: done.rate,
 		}
 		res.Events = append(res.Events, Event{Time: now, Kind: "finish", JobID: done.job.ID, NodeID: done.node.ID})
@@ -297,11 +232,118 @@ func (s *Scheduler) RunQueueOpts(jobs []TimedJob, policy SplitPolicy, disc Disci
 			return res, err
 		}
 		if len(active) == 0 && len(waiting) > 0 {
-			return res, fmt.Errorf("cluster: %d job(s) can never start under budget %v",
-				len(waiting), s.Budget)
+			return res, fmt.Errorf("cluster: %d job(s) can never start under budget %v: %w",
+				len(waiting), s.Budget, ErrStarved)
 		}
 	}
 	res.Makespan = now
 	sort.SliceStable(res.Events, func(i, j int) bool { return res.Events[i].Time < res.Events[j].Time })
 	return res, nil
+}
+
+// running is one in-flight job of an event-driven queue run.
+type running struct {
+	job       TimedJob
+	node      Node
+	remaining float64
+	rate      float64
+	power     units.Power
+	budget    units.Power
+	started   float64
+	// firstStart is the job's first admission time, preserved across
+	// fault-driven re-admissions so wait-time stats stay meaningful.
+	firstStart float64
+}
+
+// admitWaiting starts every waiting job that can receive a productive
+// grant on a free node, in queue order, and returns the updated
+// scheduler state. It is shared by the fault-free and fault-injected
+// queue engines so the two cannot drift apart.
+func (s *Scheduler) admitWaiting(res *QueueResult, active []*running, waiting []TimedJob,
+	freeNodes []Node, pool units.Power, now float64,
+	policy SplitPolicy, disc Discipline) ([]*running, []TimedJob, []Node, units.Power, error) {
+
+	var still []TimedJob
+	blocked := false
+	for _, j := range waiting {
+		if blocked && disc == DisciplineFIFO {
+			still = append(still, j)
+			continue
+		}
+		node, rest, found := takeNode(freeNodes, j.Workload.Kind)
+		if !found {
+			still = append(still, j)
+			blocked = true
+			continue
+		}
+		threshold, maxTotal, err := s.envelope(node, j.Workload)
+		if err != nil {
+			return active, waiting, freeNodes, pool, err
+		}
+		if pool < threshold {
+			still = append(still, j)
+			blocked = true
+			continue
+		}
+		grant := pool
+		if grant > maxTotal {
+			grant = maxTotal
+		}
+		var alloc core.Allocation
+		var surplus units.Power
+		switch policy {
+		case PolicyCoord:
+			var ok bool
+			alloc, surplus, ok, err = s.split(node, j.Workload, grant)
+			if err != nil {
+				return active, waiting, freeNodes, pool, err
+			}
+			if !ok {
+				still = append(still, j)
+				blocked = true
+				continue
+			}
+		case PolicyEvenSplit:
+			if node.Platform.Kind != hw.KindCPU {
+				return active, waiting, freeNodes, pool,
+					fmt.Errorf("cluster: even-split policy supports CPU nodes only")
+			}
+			prof, err := s.profileFor(node.Platform, j.Workload)
+			if err != nil {
+				return active, waiting, freeNodes, pool, err
+			}
+			d := coord.EvenSplit(prof, grant)
+			if d.Status == coord.StatusTooSmall {
+				still = append(still, j)
+				blocked = true
+				continue
+			}
+			alloc = d.Alloc
+		default:
+			return active, waiting, freeNodes, pool,
+				fmt.Errorf("cluster: unknown split policy %v", policy)
+		}
+		if surplus > 0 {
+			grant -= surplus
+		}
+		w := j.Workload
+		simRes, err := s.simulate(node, &w, alloc)
+		if err != nil {
+			return active, waiting, freeNodes, pool, err
+		}
+		rate := simRes.UnitRate.OpsPerSecond()
+		if rate <= 0 {
+			return active, waiting, freeNodes, pool,
+				fmt.Errorf("cluster: job %q makes no progress", j.ID)
+		}
+		pool -= grant
+		freeNodes = rest
+		active = append(active, &running{
+			job: j, node: node, remaining: j.Units,
+			rate: rate, power: simRes.TotalPower, budget: grant,
+			started: now, firstStart: now,
+		})
+		res.Events = append(res.Events, Event{Time: now, Kind: "start", JobID: j.ID, NodeID: node.ID})
+	}
+	return active, still, freeNodes, pool, nil
 }

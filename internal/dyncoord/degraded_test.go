@@ -1,0 +1,150 @@
+package dyncoord
+
+import (
+	"testing"
+
+	"repro/internal/coord"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/units"
+)
+
+func TestPlanCPUDegradedAllGoodMatchesPlanCPU(t *testing.T) {
+	p := ivy(t)
+	w := wl(t, "bt")
+	budget := units.Power(208)
+	profs, err := PhaseProfiles(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := make([]PhaseProfile, len(profs))
+	for i, pr := range profs {
+		phases[i] = PhaseProfile{Prof: pr, Health: ProfileGood}
+	}
+	static, err := profile.ProfileCPU(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanCPUDegraded(p, w, budget, phases, &static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Fallbacks() != 0 {
+		t.Fatalf("%d fallbacks with all-good profiles", plan.Fallbacks())
+	}
+	ref, err := PlanCPU(p, w, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plan.Steps {
+		if plan.Steps[i].Alloc != ref.Steps[i].Alloc {
+			t.Fatalf("step %d alloc %v != PlanCPU's %v", i, plan.Steps[i].Alloc, ref.Steps[i].Alloc)
+		}
+	}
+}
+
+func TestPlanCPUDegradedFallsBackPerPhase(t *testing.T) {
+	p := ivy(t)
+	w := wl(t, "bt")
+	budget := units.Power(208)
+	profs, err := PhaseProfiles(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := profile.ProfileCPU(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, health := range []ProfileHealth{ProfileUnreliable, ProfileMissing} {
+		phases := make([]PhaseProfile, len(profs))
+		for i, pr := range profs {
+			phases[i] = PhaseProfile{Prof: pr, Health: ProfileGood}
+		}
+		// Damage phase 1 only.
+		phases[1].Health = health
+		plan, err := PlanCPUDegraded(p, w, budget, phases, &static)
+		if err != nil {
+			t.Fatalf("health %v: %v", health, err)
+		}
+		if plan.Fallbacks() != 1 {
+			t.Fatalf("health %v: %d fallbacks, want 1", health, plan.Fallbacks())
+		}
+		if !plan.Steps[1].FellBack {
+			t.Fatalf("health %v: damaged phase did not fall back", health)
+		}
+		if plan.Steps[0].FellBack || plan.Steps[2].FellBack {
+			t.Fatalf("health %v: healthy phases fell back", health)
+		}
+		// The fallback is the memory-first baseline over the static
+		// profile: memory gets its full demand first.
+		want := coord.MemoryFirst(static, budget)
+		if plan.Steps[1].Alloc != want.Alloc {
+			t.Fatalf("health %v: fallback alloc %v, want memory-first %v", health, plan.Steps[1].Alloc, want.Alloc)
+		}
+		// A degraded plan still executes.
+		if _, err := plan.Execute(p, w); err != nil {
+			t.Fatalf("health %v: degraded plan does not execute: %v", health, err)
+		}
+	}
+}
+
+func TestPlanCPUDegradedNoProfilesAtAll(t *testing.T) {
+	// Every phase missing and no static profile: the hardware-derived
+	// conservative profile must still produce a runnable plan instead of
+	// an error.
+	p := ivy(t)
+	w := wl(t, "stream")
+	phases := make([]PhaseProfile, len(w.Phases))
+	for i := range phases {
+		phases[i] = PhaseProfile{Health: ProfileMissing}
+	}
+	plan, err := PlanCPUDegraded(p, w, units.Power(208), phases, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Fallbacks() != len(w.Phases) {
+		t.Fatalf("%d fallbacks for %d phases", plan.Fallbacks(), len(w.Phases))
+	}
+	for _, s := range plan.Steps {
+		if s.Alloc.Total() <= 0 {
+			t.Fatalf("fallback step %q has empty allocation", s.Phase)
+		}
+		if s.Alloc.Total() > units.Power(208) {
+			t.Fatalf("fallback step %q allocation %v exceeds budget", s.Phase, s.Alloc.Total())
+		}
+	}
+	if _, err := plan.Execute(p, w); err != nil {
+		t.Fatalf("conservative plan does not execute: %v", err)
+	}
+}
+
+func TestPlanCPUDegradedValidatesInput(t *testing.T) {
+	p := ivy(t)
+	w := wl(t, "bt")
+	if _, err := PlanCPUDegraded(p, w, units.Power(208), nil, nil); err == nil {
+		t.Error("mismatched phase count accepted")
+	}
+	gpu, _ := hw.PlatformByName("titanxp")
+	phases := make([]PhaseProfile, len(w.Phases))
+	if _, err := PlanCPUDegraded(gpu, w, units.Power(208), phases, nil); err == nil {
+		t.Error("GPU platform accepted")
+	}
+}
+
+func TestPlanCPUOrDegradeNeverErrorsOnHealthyInput(t *testing.T) {
+	p := ivy(t)
+	for _, name := range []string{"stream", "dgemm", "bt"} {
+		w := wl(t, name)
+		plan, err := PlanCPUOrDegrade(p, w, units.Power(208))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(plan.Steps) != len(w.Phases) {
+			t.Fatalf("%s: %d steps for %d phases", name, len(plan.Steps), len(w.Phases))
+		}
+		// With a working profiler every phase should plan phase-aware.
+		if plan.Fallbacks() != 0 {
+			t.Fatalf("%s: %d unexpected fallbacks", name, plan.Fallbacks())
+		}
+	}
+}

@@ -34,6 +34,10 @@ type Step struct {
 	Alloc core.Allocation
 	// Status is COORD's verdict for this phase.
 	Status coord.Status
+	// FellBack reports that the phase's own profile was missing or
+	// unreliable and a degraded policy produced the allocation instead
+	// of phase-aware COORD.
+	FellBack bool
 }
 
 // Plan is a per-phase allocation schedule for one workload and budget.
@@ -109,6 +113,135 @@ func PlanCPU(p hw.Platform, w workload.Workload, budget units.Power) (Plan, erro
 		})
 	}
 	return plan, nil
+}
+
+// ProfileHealth marks whether a phase profile can be trusted by the
+// planner.
+type ProfileHealth int
+
+// Profile health states.
+const (
+	// ProfileGood: the profile is present and trusted.
+	ProfileGood ProfileHealth = iota
+	// ProfileUnreliable: the profile exists but its measurements are
+	// suspect (taken through a faulty sensor, stale after migration, ...).
+	ProfileUnreliable
+	// ProfileMissing: no profile could be taken at all.
+	ProfileMissing
+)
+
+// String names the health state.
+func (h ProfileHealth) String() string {
+	switch h {
+	case ProfileGood:
+		return "good"
+	case ProfileUnreliable:
+		return "unreliable"
+	case ProfileMissing:
+		return "missing"
+	default:
+		return fmt.Sprintf("ProfileHealth(%d)", int(h))
+	}
+}
+
+// PhaseProfile is a per-phase profile together with its health.
+type PhaseProfile struct {
+	Prof   profile.CPUProfile
+	Health ProfileHealth
+}
+
+// conservativeProfile builds a critical-power profile from hardware
+// constants alone — no measurement, nothing to trust. Maximum demands
+// are the component physical maxima (stream-pattern peak for DRAM), so a
+// memory-first split over it warrants memory generously and can never
+// under-provision: the safe direction, per Section 3.4.2.
+func conservativeProfile(p hw.Platform) profile.CPUProfile {
+	cpu, dram := p.CPU, p.DRAM
+	prof := profile.CPUProfile{Platform: p.Name, Workload: "(hardware-conservative)"}
+	prof.Critical.CPUFloor = cpu.IdlePower
+	prof.Critical.CPULowThrottle = cpu.MinActivePower(1)
+	prof.Critical.CPULowPState = cpu.Power(cpu.FMin, 1, 1)
+	prof.Critical.CPUMax = cpu.MaxPower(1)
+	prof.Critical.MemFloor = dram.BackgroundPower
+	prof.Critical.MemAtCPULow = dram.BackgroundPower + dram.MinThrottleHeadroom
+	prof.Critical.MemMax = dram.MaxPower(0)
+	return prof
+}
+
+// PlanCPUDegraded builds a dynamic plan when some (or all) phase
+// profiles are missing or unreliable, instead of erroring: phases with a
+// good profile get phase-aware COORD as usual; damaged phases fall back
+// to the memory-first baseline — the conservative policy of the paper's
+// reference [19], which over-provisions memory but avoids the
+// catastrophic memory-under-budget cliff — computed over the
+// whole-workload profile when it is trusted, or over a hardware-derived
+// conservative profile when it is not. static may be nil when no
+// whole-workload profile is available.
+func PlanCPUDegraded(p hw.Platform, w workload.Workload, budget units.Power, phases []PhaseProfile, static *profile.CPUProfile) (Plan, error) {
+	if p.Kind != hw.KindCPU {
+		return Plan{}, fmt.Errorf("dyncoord: platform %q is not a CPU platform", p.Name)
+	}
+	if len(phases) != len(w.Phases) {
+		return Plan{}, fmt.Errorf("dyncoord: %d phase profiles for %d phases", len(phases), len(w.Phases))
+	}
+	fallbackProf := conservativeProfile(p)
+	if static != nil {
+		fallbackProf = *static
+	}
+	fallback := coord.MemoryFirst(fallbackProf, budget)
+
+	plan := Plan{Workload: w.Name, Budget: budget}
+	for i, ph := range w.Phases {
+		step := Step{Phase: ph.Name, Weight: ph.Weight}
+		if phases[i].Health == ProfileGood {
+			d := coord.CPU(phases[i].Prof, budget)
+			if d.Status != coord.StatusTooSmall {
+				step.Alloc, step.Status = d.Alloc, d.Status
+				plan.Steps = append(plan.Steps, step)
+				continue
+			}
+		}
+		step.FellBack = true
+		step.Alloc, step.Status = fallback.Alloc, fallback.Status
+		plan.Steps = append(plan.Steps, step)
+	}
+	return plan, nil
+}
+
+// PlanCPUOrDegrade is the resilient entry point: it profiles each phase
+// individually, marks phases whose profiling failed as missing rather
+// than aborting the plan, and degrades those to the memory-first
+// fallback. Only platform-level misuse still errors.
+func PlanCPUOrDegrade(p hw.Platform, w workload.Workload, budget units.Power) (Plan, error) {
+	if p.Kind != hw.KindCPU {
+		return Plan{}, fmt.Errorf("dyncoord: platform %q is not a CPU platform", p.Name)
+	}
+	phases := make([]PhaseProfile, len(w.Phases))
+	for i := range w.Phases {
+		pw := phaseWorkload(&w, i)
+		prof, err := profile.ProfileCPU(p, pw)
+		if err != nil {
+			phases[i] = PhaseProfile{Health: ProfileMissing}
+			continue
+		}
+		phases[i] = PhaseProfile{Prof: prof, Health: ProfileGood}
+	}
+	var static *profile.CPUProfile
+	if prof, err := profile.ProfileCPU(p, w); err == nil {
+		static = &prof
+	}
+	return PlanCPUDegraded(p, w, budget, phases, static)
+}
+
+// Fallbacks counts the steps that could not use phase-aware COORD.
+func (pl *Plan) Fallbacks() int {
+	n := 0
+	for _, s := range pl.Steps {
+		if s.FellBack {
+			n++
+		}
+	}
+	return n
 }
 
 // Rejected reports whether any step has no usable allocation (the budget

@@ -1,0 +1,203 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rapl"
+	"repro/internal/units"
+)
+
+// ErrInjected is the sentinel wrapped by every error the injector
+// fabricates, so callers can distinguish injected faults from real ones
+// with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// Injector draws faults from a Spec deterministically. Each fault class
+// consumes its own forked RNG stream, so e.g. enabling sensor noise
+// cannot shift which cap writes fail.
+type Injector struct {
+	spec Spec
+	seed uint64
+
+	sensorDrop  *RNG
+	sensorNoise *RNG
+	cap         *RNG
+	root        *RNG
+}
+
+// NewInjector returns an injector for the given spec and seed.
+func NewInjector(spec Spec, seed uint64) *Injector {
+	root := NewRNG(seed)
+	return &Injector{
+		spec:        spec,
+		seed:        seed,
+		root:        root,
+		sensorDrop:  root.Fork("sensor.drop"),
+		sensorNoise: root.Fork("sensor.noise"),
+		cap:         root.Fork("cap"),
+	}
+}
+
+// Spec returns the injector's fault spec.
+func (in *Injector) Spec() Spec { return in.spec }
+
+// Seed returns the injector's seed.
+func (in *Injector) Seed() uint64 { return in.seed }
+
+// SensorRead passes a true power reading through the sensor fault model.
+// ok is false when the sample is dropped; otherwise the returned value
+// carries multiplicative Gaussian noise (never negative).
+func (in *Injector) SensorRead(truth units.Power) (units.Power, bool) {
+	if in == nil {
+		return truth, true
+	}
+	if in.spec.SensorDrop > 0 && in.sensorDrop.Float64() < in.spec.SensorDrop {
+		return 0, false
+	}
+	if in.spec.SensorNoise > 0 {
+		factor := 1 + in.spec.SensorNoise*in.sensorNoise.Norm()
+		if factor < 0 {
+			factor = 0
+		}
+		truth = units.Power(truth.Watts() * factor)
+	}
+	return truth, true
+}
+
+// CapFate is the injector's verdict on one cap-write attempt.
+type CapFate int
+
+// Cap-write fates.
+const (
+	// CapOK: the write goes through to the real actuator.
+	CapOK CapFate = iota
+	// CapError: the write fails with an (injected) error.
+	CapError
+	// CapStuckFate: the write reports success but is silently dropped.
+	CapStuckFate
+)
+
+// CapAttempt draws the fate of one cap-write attempt.
+func (in *Injector) CapAttempt() CapFate {
+	if in == nil {
+		return CapOK
+	}
+	u := in.cap.Float64()
+	switch {
+	case u < in.spec.CapFail:
+		return CapError
+	case u < in.spec.CapFail+in.spec.CapStuck:
+		return CapStuckFate
+	default:
+		return CapOK
+	}
+}
+
+// Outage is one failure interval of a node: it fails at At and returns
+// to service at At+Duration.
+type Outage struct {
+	At, Duration float64
+}
+
+// NodeOutages returns the deterministic outage schedule for a node over
+// [0, horizon) seconds. The schedule depends only on (spec, seed,
+// nodeID): replaying with the same inputs reproduces it exactly, and
+// adding nodes does not perturb the schedules of existing ones.
+func (in *Injector) NodeOutages(nodeID string, horizon float64) []Outage {
+	if in == nil || in.spec.NodeMTBF <= 0 || horizon <= 0 {
+		return nil
+	}
+	rng := in.root.Fork("node/" + nodeID)
+	var out []Outage
+	t := 0.0
+	for {
+		t += rng.Exp(in.spec.NodeMTBF)
+		if t >= horizon || math.IsInf(t, 1) {
+			return out
+		}
+		down := rng.Exp(in.spec.NodeMTTR)
+		if in.spec.NodeMTTR <= 0 {
+			down = math.Inf(1) // never repaired
+		}
+		out = append(out, Outage{At: t, Duration: down})
+		if math.IsInf(down, 1) {
+			return out
+		}
+		t += down
+	}
+}
+
+// Shock is one facility budget shock: for Duration seconds starting at
+// At, the cluster budget is reduced by Frac of its nominal value.
+type Shock struct {
+	At, Duration, Frac float64
+}
+
+// BudgetShocks returns the deterministic facility-shock schedule over
+// [0, horizon) seconds. Shocks never overlap.
+func (in *Injector) BudgetShocks(horizon float64) []Shock {
+	if in == nil || in.spec.ShockMTBS <= 0 || in.spec.ShockFrac <= 0 || horizon <= 0 {
+		return nil
+	}
+	rng := in.root.Fork("budget.shock")
+	var out []Shock
+	t := 0.0
+	for {
+		t += rng.Exp(in.spec.ShockMTBS)
+		if t >= horizon || math.IsInf(t, 1) {
+			return out
+		}
+		d := rng.Exp(in.spec.ShockLen)
+		if in.spec.ShockLen <= 0 {
+			d = 0
+		}
+		if d <= 0 {
+			continue
+		}
+		out = append(out, Shock{At: t, Duration: d, Frac: in.spec.ShockFrac})
+		t += d
+	}
+}
+
+// FaultyController interposes the injector's actuator faults between a
+// caller and a real rapl limit setter. It satisfies rapl.LimitSetter, so
+// it can sit under rapl.NewResilient — the intended stacking:
+//
+//	resilient -> faulty -> real controller
+//
+// Reads (Limit) are never faulted: readback is how the resilient layer
+// detects stuck writes.
+type FaultyController struct {
+	target rapl.LimitSetter
+	inj    *Injector
+
+	// Writes, Failed, and Stuck count write attempts by fate.
+	Writes, Failed, Stuck int
+}
+
+// NewFaultyController wraps target with the injector's actuator faults.
+func NewFaultyController(target rapl.LimitSetter, inj *Injector) *FaultyController {
+	return &FaultyController{target: target, inj: inj}
+}
+
+// SetLimit forwards the write unless the injector fails or sticks it.
+func (f *FaultyController) SetLimit(d rapl.Domain, cap units.Power) error {
+	f.Writes++
+	switch f.inj.CapAttempt() {
+	case CapError:
+		f.Failed++
+		return fmt.Errorf("faults: cap write %v=%v failed: %w", d, cap, ErrInjected)
+	case CapStuckFate:
+		f.Stuck++
+		return nil // reported success, silently dropped
+	default:
+		return f.target.SetLimit(d, cap)
+	}
+}
+
+// Limit reads back the true programmed limit.
+func (f *FaultyController) Limit(d rapl.Domain) (units.Power, bool) {
+	return f.target.Limit(d)
+}

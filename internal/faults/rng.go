@@ -1,0 +1,76 @@
+package faults
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random generator. The generator is written
+// out here rather than borrowed from math/rand so that fault replays are
+// byte-for-byte reproducible across Go releases: the paper's budget
+// invariant is only testable under faults if the faults themselves never
+// move between runs.
+type RNG struct {
+	seed  uint64 // the construction seed, immutable; Fork derives from it
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{seed: seed, state: seed}
+}
+
+// Uint64 advances the splitmix64 state and returns the next value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high bits give the full float64 mantissa resolution.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponential variate with the given mean. Non-positive
+// means return +Inf (the event never happens).
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return math.Inf(1)
+	}
+	u := r.Float64()
+	// 1-u is in (0, 1], so the log is finite.
+	return -mean * math.Log(1-u)
+}
+
+// Norm returns a standard normal variate (Box-Muller, one half used, the
+// other discarded to keep the draw count predictable).
+func (r *RNG) Norm() float64 {
+	u1 := r.Float64()
+	u2 := r.Float64()
+	// Guard u1 = 0.
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// fnv1a hashes a label to a 64-bit value, for deriving stream seeds.
+func fnv1a(s string) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001B3
+	}
+	return h
+}
+
+// Fork derives an independent generator keyed by label. Streams forked
+// from the same seed with the same label are identical regardless of how
+// many draws the parent has made; streams with different labels are
+// decorrelated. Forking keys every fault class (and every node) to its
+// own stream, so the order in which the simulation happens to consume
+// draws cannot shift faults between components.
+func (r *RNG) Fork(label string) *RNG {
+	return NewRNG(r.seed ^ fnv1a(label) ^ 0xD6E8FEB86659FD93)
+}

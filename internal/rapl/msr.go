@@ -11,9 +11,19 @@
 package rapl
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
+)
+
+// Sentinel errors for MSR access faults, matchable with errors.Is.
+var (
+	// ErrUnimplementedMSR is returned when reading or writing an address
+	// the emulation does not back (a real rdmsr/wrmsr would #GP).
+	ErrUnimplementedMSR = errors.New("unimplemented MSR")
+	// ErrReadOnlyMSR is returned when writing a read-only register.
+	ErrReadOnlyMSR = errors.New("register is read-only")
 )
 
 // MSR addresses for the registers the emulation exposes, matching the
@@ -80,7 +90,7 @@ func (rf *RegisterFile) Read(addr uint32) (uint64, error) {
 	defer rf.mu.Unlock()
 	v, ok := rf.regs[addr]
 	if !ok {
-		return 0, fmt.Errorf("rapl: rdmsr 0x%x: unimplemented MSR", addr)
+		return 0, fmt.Errorf("rapl: rdmsr 0x%x: %w", addr, ErrUnimplementedMSR)
 	}
 	return v, nil
 }
@@ -95,9 +105,9 @@ func (rf *RegisterFile) Write(addr uint32, value uint64) error {
 		rf.regs[addr] = value
 		return nil
 	case MSRRaplPowerUnit, MSRPkgEnergyStatus, MSRDramEnergyStatus:
-		return fmt.Errorf("rapl: wrmsr 0x%x: register is read-only", addr)
+		return fmt.Errorf("rapl: wrmsr 0x%x: %w", addr, ErrReadOnlyMSR)
 	default:
-		return fmt.Errorf("rapl: wrmsr 0x%x: unimplemented MSR", addr)
+		return fmt.Errorf("rapl: wrmsr 0x%x: %w", addr, ErrUnimplementedMSR)
 	}
 }
 

@@ -128,13 +128,13 @@ func (p *PowercapFS) Write(path, value string) error {
 	case "constraint_0_power_limit_uw":
 		uw, err := strconv.ParseUint(value, 10, 64)
 		if err != nil {
-			return fmt.Errorf("powercap: bad microwatt value %q", value)
+			return fmt.Errorf("powercap: bad microwatt value %q: %w", value, err)
 		}
 		return p.ctrl.SetLimit(d, units.Power(float64(uw)/1e6))
 	case "constraint_0_time_window_us":
 		us, err := strconv.ParseUint(value, 10, 64)
 		if err != nil {
-			return fmt.Errorf("powercap: bad microsecond value %q", value)
+			return fmt.Errorf("powercap: bad microsecond value %q: %w", value, err)
 		}
 		limit, enabled := p.ctrl.Limit(d)
 		if !enabled {

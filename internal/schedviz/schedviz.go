@@ -107,8 +107,15 @@ func spansFromEvents(events []cluster.Event, makespan float64) ([]span, []string
 			}
 		}
 	}
-	// Any still-open span runs to the makespan.
-	for job, o := range running {
+	// Any still-open span runs to the makespan. Iterate in sorted job
+	// order so the rendered SVG is byte-for-byte reproducible.
+	var openJobs []string
+	for job := range running {
+		openJobs = append(openJobs, job)
+	}
+	sort.Strings(openJobs)
+	for _, job := range openJobs {
+		o := running[job]
 		spans = append(spans, span{job: job, node: o.node, start: o.start, end: makespan})
 	}
 	var nodes []string
@@ -116,7 +123,12 @@ func spansFromEvents(events []cluster.Event, makespan float64) ([]span, []string
 		nodes = append(nodes, n)
 	}
 	sort.Strings(nodes)
-	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		return spans[i].job < spans[j].job
+	})
 	return spans, nodes
 }
 

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TransitionEvent is one recorded state transition of the coordination
+// stack: a node failing or recovering, a job being re-admitted, a budget
+// shock arriving, a watchdog engaging. Where Sample answers "what does
+// the power meter see", TransitionEvent answers "what did the control
+// plane do and why".
+type TransitionEvent struct {
+	// Time is the simulation time of the transition in seconds.
+	Time float64
+	// Kind classifies the transition, e.g. "node-fail", "node-recover",
+	// "job-readmit", "budget-reclaim", "budget-shock", "budget-restore",
+	// "watchdog-engage", "watchdog-release".
+	Kind string
+	// Subject names the affected entity (node ID, job ID, ...).
+	Subject string
+	// Detail is free-form context, e.g. the power amount reclaimed.
+	Detail string
+}
+
+// EventLog is an append-only log of transitions. Every method is
+// nil-safe so producers can unconditionally record into an optional log.
+// Events are kept in insertion order; producers emit them in
+// simulation-time order, so the log is a deterministic replay record.
+type EventLog struct {
+	events []TransitionEvent
+}
+
+// Record appends a transition. A nil log ignores the call.
+func (l *EventLog) Record(t float64, kind, subject, detail string) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, TransitionEvent{Time: t, Kind: kind, Subject: subject, Detail: detail})
+}
+
+// Recordf appends a transition with a formatted detail string.
+func (l *EventLog) Recordf(t float64, kind, subject, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Record(t, kind, subject, fmt.Sprintf(format, args...))
+}
+
+// Events returns the recorded transitions in insertion order.
+func (l *EventLog) Events() []TransitionEvent {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Len returns the number of recorded transitions.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Count returns the number of transitions of the given kind.
+func (l *EventLog) Count(kind string) int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the log one transition per line with stable formatting,
+// so two identical replays produce byte-identical logs.
+func (l *EventLog) String() string {
+	if l == nil || len(l.events) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range l.events {
+		fmt.Fprintf(&b, "%10.3fs  %-16s %-10s %s\n", e.Time, e.Kind, e.Subject, e.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventLogNilSafety(t *testing.T) {
+	var l *EventLog
+	l.Record(1, "node-fail", "n0", "gone")
+	l.Recordf(2, "node-recover", "n0", "back after %ds", 30)
+	if l.Len() != 0 || l.Count("node-fail") != 0 {
+		t.Fatal("nil log counted events")
+	}
+	if l.Events() != nil {
+		t.Fatal("nil log returned events")
+	}
+	if l.String() != "" {
+		t.Fatal("nil log rendered output")
+	}
+}
+
+func TestEventLogRecordAndCount(t *testing.T) {
+	l := &EventLog{}
+	l.Record(0.5, "node-fail", "a-node", "node lost")
+	l.Recordf(1.25, "budget-reclaim", "j1", "%d W returned", 180)
+	l.Record(2, "node-fail", "b-node", "node lost")
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if l.Count("node-fail") != 2 || l.Count("budget-reclaim") != 1 || l.Count("missing") != 0 {
+		t.Fatal("Count miscounted")
+	}
+	ev := l.Events()
+	if ev[1].Detail != "180 W returned" {
+		t.Fatalf("Recordf detail = %q", ev[1].Detail)
+	}
+	if ev[0].Time != 0.5 || ev[0].Kind != "node-fail" || ev[0].Subject != "a-node" {
+		t.Fatalf("event 0 = %+v", ev[0])
+	}
+}
+
+func TestEventLogStringStable(t *testing.T) {
+	mk := func() *EventLog {
+		l := &EventLog{}
+		l.Record(0.123456, "watchdog-engage", "node", "clamped")
+		l.Record(10, "watchdog-release", "node", "released")
+		return l
+	}
+	a, b := mk().String(), mk().String()
+	if a != b {
+		t.Fatal("identical logs render differently")
+	}
+	lines := strings.Split(strings.TrimRight(a, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], "0.123s") || !strings.Contains(lines[0], "watchdog-engage") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	// Fixed-width columns: both lines align their kind field.
+	if strings.Index(lines[0], "watchdog-engage") != strings.Index(lines[1], "watchdog-release") {
+		t.Fatal("columns not aligned")
+	}
+}
