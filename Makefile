@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check fuzz bench
+.PHONY: all build test vet race check fuzz bench benchsmoke
 
 all: check
 
@@ -20,7 +20,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: vet build race
+# One iteration of the engine comparison bench under the race detector:
+# catches data races in the parallel evaluation path that unit tests
+# with small inputs might miss.
+benchsmoke:
+	$(GO) test -race -run=^$$ -bench=BenchmarkSweepSerialVsParallel -benchtime=1x .
+
+check: vet build race benchsmoke
 
 # Short fuzz passes over the input parsers (fault specs, power units).
 fuzz:
@@ -29,3 +35,4 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/benchsweep

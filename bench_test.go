@@ -10,6 +10,7 @@ import (
 	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/dyncoord"
+	"repro/internal/evalpool"
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/profile"
@@ -153,6 +154,63 @@ func BenchmarkExhaustiveSweep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSweepSerialVsParallel compares the three evaluation-engine
+// configurations on the same work: full budget sweeps for three CPU
+// workloads (the BenchmarkFig1/Fig2 evaluation pattern). The cached
+// variant reflects steady-state experiment runs, where repeated passes
+// over overlapping allocation grids are served from the memo cache.
+func BenchmarkSweepSerialVsParallel(b *testing.B) {
+	p, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wls []workload.Workload
+	for _, name := range []string{"stream", "dgemm", "mg"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wls = append(wls, w)
+	}
+	sweepAll := func(b *testing.B, e *evalpool.Engine) {
+		b.Helper()
+		for _, w := range wls {
+			pb := core.NewProblem(p, w, 208)
+			pb.Engine = e
+			evals, err := pb.Sweep()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(evals) == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		e := evalpool.Serial()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sweepAll(b, e)
+		}
+	})
+	b.Run("parallel-nocache", func(b *testing.B) {
+		e := evalpool.New(evalpool.Options{CacheSize: -1})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sweepAll(b, e)
+		}
+	})
+	b.Run("parallel-cached", func(b *testing.B) {
+		e := evalpool.New(evalpool.Options{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sweepAll(b, e)
+		}
+		s := e.Stats()
+		b.ReportMetric(100*s.HitRate(), "hit%")
+	})
 }
 
 func BenchmarkBudgetCurve(b *testing.B) {

@@ -1,0 +1,164 @@
+// Command benchsweep measures the evaluation engine on a fixed,
+// figure-class workload — budget curves over the Figure 2 grid for
+// three CPU workloads, repeated the way a full experiment run revisits
+// overlapping allocation grids — and writes the comparison to
+// BENCH_sweep.json: ns per pass, evaluations per second, cache hit
+// rate, and the cached engine's speedup over the serial reference.
+//
+// Usage:
+//
+//	benchsweep                  # write BENCH_sweep.json in the cwd
+//	benchsweep -o out.json      # write elsewhere ("-" for stdout)
+//	benchsweep -reps 10         # more repeated passes per engine
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/evalpool"
+	"repro/internal/hw"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// The measured workload: the Figure 2 budget grid for three CPU
+// workloads on IvyBridge. Each pass regenerates all three curves.
+const (
+	platformName  = "ivybridge"
+	budgetLo      = units.Power(130)
+	budgetHi      = units.Power(300)
+	budgetPoints  = 18
+	checksumLabel = "sum of perf_max over all curve points"
+)
+
+var workloadNames = []string{"stream", "dgemm", "mg"}
+
+// EngineRun is one engine configuration's measurement.
+type EngineRun struct {
+	Engine       string  `json:"engine"`
+	Workers      int     `json:"workers"`
+	CacheSize    int     `json:"cache_size"`
+	Passes       int     `json:"passes"`
+	NsPerPass    int64   `json:"ns_per_pass"`
+	Evals        uint64  `json:"evals"`
+	EvalsPerSec  float64 `json:"evals_per_sec"`
+	SimRuns      uint64  `json:"sim_runs"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Checksum     float64 `json:"checksum"`
+}
+
+// Report is the BENCH_sweep.json schema.
+type Report struct {
+	Workload      string      `json:"workload"`
+	ChecksumLabel string      `json:"checksum_label"`
+	Runs          []EngineRun `json:"runs"`
+	// Speedup is cached-engine ns_per_pass over the serial reference.
+	Speedup float64 `json:"speedup_cached_vs_serial"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sweep.json", "output path (- for stdout)")
+	reps := flag.Int("reps", 10, "repeated passes per engine configuration")
+	flag.Parse()
+
+	p, err := hw.PlatformByName(platformName)
+	if err != nil {
+		fatal(err)
+	}
+	var wls []workload.Workload
+	for _, name := range workloadNames {
+		w, err := workload.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		wls = append(wls, w)
+	}
+	budgets := core.BudgetRange(budgetLo, budgetHi, budgetPoints)
+
+	// One pass regenerates every curve; the checksum keeps the work from
+	// being optimized away and pins cross-engine agreement.
+	pass := func(e *evalpool.Engine) float64 {
+		sum := 0.0
+		for _, w := range wls {
+			pts, err := core.CurveOn(e, p, w, budgets)
+			if err != nil {
+				fatal(err)
+			}
+			for _, pt := range pts {
+				sum += pt.PerfMax
+			}
+		}
+		return sum
+	}
+
+	measure := func(name string, opts evalpool.Options) EngineRun {
+		e := evalpool.New(opts)
+		var checksum float64
+		start := time.Now()
+		for i := 0; i < *reps; i++ {
+			checksum = pass(e)
+		}
+		elapsed := time.Since(start)
+		s := e.Stats()
+		run := EngineRun{
+			Engine:    name,
+			Workers:   s.Workers,
+			CacheSize: s.Capacity,
+			Passes:    *reps,
+			NsPerPass: elapsed.Nanoseconds() / int64(*reps),
+			Evals:     s.Requests,
+			SimRuns:   s.SimRuns,
+			Checksum:  checksum,
+		}
+		if sec := elapsed.Seconds(); sec > 0 {
+			run.EvalsPerSec = float64(s.Requests) / sec
+		}
+		run.CacheHitRate = s.HitRate()
+		return run
+	}
+
+	serial := measure("serial", evalpool.Options{Workers: 1, CacheSize: -1})
+	parallel := measure("parallel-nocache", evalpool.Options{CacheSize: -1})
+	cached := measure("parallel-cached", evalpool.Options{})
+
+	if cached.Checksum != serial.Checksum || parallel.Checksum != serial.Checksum {
+		fatal(fmt.Errorf("engines disagree: serial %v, parallel %v, cached %v",
+			serial.Checksum, parallel.Checksum, cached.Checksum))
+	}
+
+	rep := Report{
+		Workload: fmt.Sprintf("%s budget curves %v–%v (%d points) × %v, %d passes",
+			platformName, budgetLo, budgetHi, budgetPoints, workloadNames, *reps),
+		ChecksumLabel: checksumLabel,
+		Runs:          []EngineRun{serial, parallel, cached},
+	}
+	if cached.NsPerPass > 0 {
+		rep.Speedup = float64(serial.NsPerPass) / float64(cached.NsPerPass)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchsweep: serial %.2fms/pass, cached %.2fms/pass → %.1fx speedup, %.1f%% hit rate (%s)\n",
+		float64(serial.NsPerPass)/1e6, float64(cached.NsPerPass)/1e6,
+		rep.Speedup, 100*cached.CacheHitRate, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsweep:", err)
+	os.Exit(1)
+}

@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	experiments              # run everything, print to stdout
-//	experiments fig3 fig9    # run selected artifacts
-//	experiments -out results # also write results/<id>.txt and .csv
+//	experiments                 # run everything, print to stdout
+//	experiments fig3 fig9       # run selected artifacts
+//	experiments -out results    # also write results/<id>.txt and .csv
+//	experiments -parallel 1     # serial artifact regeneration
+//	experiments -engine-stats   # report evaluation-engine counters
 package main
 
 import (
@@ -15,12 +17,19 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/evalpool"
 	"repro/internal/experiments"
 )
 
 func main() {
 	outDir := flag.String("out", "", "directory to write per-artifact .txt and .csv files")
+	parallel := flag.Int("parallel", 0, "artifact regenerations to run concurrently (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "evaluation workers per engine (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", 0, "memo cache bound in entries (0 = default, negative disables)")
+	engineStats := flag.Bool("engine-stats", false, "print evaluation-engine statistics to stderr when done")
 	flag.Parse()
+
+	evalpool.Configure(evalpool.Options{Workers: *workers, CacheSize: *cacheSize})
 
 	runners := experiments.All()
 	if args := flag.Args(); len(args) > 0 {
@@ -43,13 +52,13 @@ func main() {
 	}
 
 	failed := 0
-	for _, r := range runners {
-		out, err := r.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, err)
+	for _, rr := range experiments.RunAll(runners, *parallel) {
+		if rr.Err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", rr.Runner.ID, rr.Err)
 			failed++
 			continue
 		}
+		out := rr.Output
 		fmt.Print(out.Render())
 		fmt.Println()
 		if !out.Passed() {
@@ -61,6 +70,9 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if *engineStats {
+		fmt.Fprintf(os.Stderr, "engine: %s\n", evalpool.Default().Stats())
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d artifact(s) with failed claims\n", failed)

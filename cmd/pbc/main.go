@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corun"
 	"repro/internal/dyncoord"
+	"repro/internal/evalpool"
 	"repro/internal/hw"
 	"repro/internal/nvgov"
 	"repro/internal/profile"
@@ -117,7 +118,32 @@ commands:
   calibrate fit a model to measurements (-workload name -proc W -mem W [-perf X])
   trace    time-stepped run             (-platform -workload -proc W -mem W -units N [-dt ms])
   faults   fault-injection sweep        (-platform -workload -budget W [-fault-spec s] [-fault-seed n])
+
+sweep, curve, and coord accept evaluation-engine knobs:
+  -workers N      parallel evaluation workers (0 = GOMAXPROCS)
+  -cache-size N   memo cache bound in entries (0 = default, negative disables)
+  -stats          print engine statistics (workers, cache hits/misses) after the run
 `)
+}
+
+// engineFlags registers the evaluation-engine knobs on a flag set and
+// returns a function to call after parsing: it configures the shared
+// engine and reports whether stats printing was requested. Stats are off
+// by default so command output stays byte-stable for golden comparisons.
+func engineFlags(fs *flag.FlagSet) func() bool {
+	workers := fs.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache-size", 0, "memo cache bound in entries (0 = default 65536, negative disables)")
+	stats := fs.Bool("stats", false, "print evaluation-engine statistics after the run")
+	return func() bool {
+		evalpool.Configure(evalpool.Options{Workers: *workers, CacheSize: *cacheSize})
+		return *stats
+	}
+}
+
+// printEngineStats reports the shared engine's counters (workers, cache
+// hits/misses, evictions) so sweep cost is observable.
+func printEngineStats() {
+	fmt.Printf("\nengine: %s\n", evalpool.Default().Stats())
 }
 
 func platformAndWorkload(fs *flag.FlagSet) (*string, *string) {
@@ -232,9 +258,11 @@ func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	platform, wl := platformAndWorkload(fs)
 	budget := fs.Float64("budget", 208, "total power budget in watts")
+	engine := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stats := engine()
 	p, w, err := resolve(*platform, *wl)
 	if err != nil {
 		return err
@@ -257,6 +285,9 @@ func cmdSweep(args []string) error {
 	fmt.Printf("\nbest %v -> %s %s; worst -> %s; spread %.1fx\n",
 		best.Alloc, report.FormatFloat(best.Result.Perf), w.PerfUnit,
 		report.FormatFloat(worst.Result.Perf), core.Spread(evals))
+	if stats {
+		printEngineStats()
+	}
 	return nil
 }
 
@@ -266,9 +297,11 @@ func cmdCurve(args []string) error {
 	lo := fs.Float64("lo", 130, "lowest budget in watts")
 	hi := fs.Float64("hi", 300, "highest budget in watts")
 	n := fs.Int("n", 18, "number of points")
+	engine := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stats := engine()
 	p, w, err := resolve(*platform, *wl)
 	if err != nil {
 		return err
@@ -283,6 +316,9 @@ func cmdCurve(args []string) error {
 	}
 	fmt.Print(tb.String())
 	fmt.Print(report.Chart("shape", s.X, s.Y, 56, 12))
+	if stats {
+		printEngineStats()
+	}
 	return nil
 }
 
@@ -340,9 +376,11 @@ func cmdCoord(args []string) error {
 	platform, wl := platformAndWorkload(fs)
 	budget := fs.Float64("budget", 208, "total power budget in watts")
 	strategy := fs.String("strategy", "coord", "coord, memory-first, cpu-first, even-split, nvidia-default")
+	engine := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stats := engine()
 	p, w, err := resolve(*platform, *wl)
 	if err != nil {
 		return err
@@ -402,6 +440,9 @@ func cmdCoord(args []string) error {
 		report.FormatFloat(ev.Result.Perf), w.PerfUnit,
 		report.FormatFloat(best.Result.Perf), best.Alloc,
 		ev.Result.Perf/best.Result.Perf)
+	if stats {
+		printEngineStats()
+	}
 	return nil
 }
 
@@ -709,7 +750,8 @@ func cmdSynth(args []string) error {
 	if err != nil {
 		return err
 	}
-	best, err := core.NewProblem(p, w, b).PerfMax()
+	bestPb := core.NewProblem(p, w, b)
+	best, err := bestPb.PerfMax()
 	if err != nil {
 		return err
 	}
@@ -787,7 +829,8 @@ func cmdRoofline(args []string) error {
 	if err != nil {
 		return err
 	}
-	best, err := core.NewProblem(p, w, b).PerfMax()
+	bestPb := core.NewProblem(p, w, b)
+	best, err := bestPb.PerfMax()
 	if err != nil {
 		return err
 	}

@@ -4,18 +4,23 @@
 // This walks the paper's core loop in five steps: build a platform, run a
 // workload uncapped, cap it badly, profile it, and apply COORD.
 //
+// Every simulated run goes through the shared evaluation engine; set
+// PBC_ENGINE_STATS=1 to see what the walk cost (workers, cache
+// hits/misses). The default output is unchanged by the stats knob.
+//
 //	go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/evalpool"
 	"repro/internal/hw"
 	"repro/internal/profile"
-	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -33,19 +38,22 @@ func main() {
 	}
 
 	// 2. Uncapped: the node's full-power baseline.
-	free, err := sim.RunCPU(node, &stream, 0, 0)
+	const budget = units.Power(208)
+	pb := core.NewProblem(node, stream, budget)
+	freeEv, err := pb.Evaluate(core.Allocation{}) // zero caps = uncapped
 	if err != nil {
 		log.Fatal(err)
 	}
+	free := freeEv.Result
 	fmt.Printf("uncapped:            %6.1f GB/s  (cpu %v, dram %v)\n",
 		free.Perf, free.ProcPower, free.MemPower)
 
-	// 3. A 208 W node budget, split badly: starve the DRAM.
-	const budget = units.Power(208)
-	bad, err := sim.RunCPU(node, &stream, 140, budget-140)
+	// 3. The 208 W node budget, split badly: starve the DRAM.
+	badEv, err := pb.Evaluate(core.Allocation{Proc: 140, Mem: budget - 140})
 	if err != nil {
 		log.Fatal(err)
 	}
+	bad := badEv.Result
 	fmt.Printf("bad split (140/68):  %6.1f GB/s  — %.0fx slower, same budget\n",
 		bad.Perf, free.Perf/bad.Perf)
 
@@ -64,17 +72,23 @@ func main() {
 	if d.Status == coord.StatusTooSmall {
 		log.Fatalf("COORD rejected the budget %v", budget)
 	}
-	good, err := sim.RunCPU(node, &stream, d.Alloc.Proc, d.Alloc.Mem)
+	goodEv, err := pb.Evaluate(d.Alloc)
 	if err != nil {
 		log.Fatal(err)
 	}
+	good := goodEv.Result
 	fmt.Printf("COORD %v: %6.1f GB/s\n", d.Alloc, good.Perf)
 
 	// Compare against the exhaustive sweep (the oracle).
-	best, err := core.NewProblem(node, stream, budget).PerfMax()
+	best, err := pb.PerfMax()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("sweep best %v: %6.1f GB/s  (COORD at %.1f%% of best)\n",
 		best.Alloc, best.Result.Perf, 100*good.Perf/best.Result.Perf)
+
+	// Optional: what did all of that cost the evaluation engine?
+	if os.Getenv("PBC_ENGINE_STATS") != "" {
+		fmt.Printf("engine: %s\n", evalpool.Default().Stats())
+	}
 }

@@ -38,7 +38,8 @@ func ProblemSize() (experiments.Output, error) {
 		if err != nil {
 			return out, err
 		}
-		best, err := core.NewProblem(p, w, budget).PerfMax()
+		pb := core.NewProblem(p, w, budget)
+		best, err := pb.PerfMax()
 		if err != nil {
 			return out, err
 		}

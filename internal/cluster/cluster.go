@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/evalpool"
 	"repro/internal/hw"
 	"repro/internal/profile"
 	"repro/internal/sim"
@@ -201,13 +202,20 @@ func (s *Scheduler) split(node Node, w workload.Workload, grant units.Power) (al
 	}
 }
 
-// simulate runs the job under its allocation on the node.
+// simulate runs the job under its allocation on the node. Planning goes
+// through the shared evaluation engine: re-planning rounds and repeated
+// job mixes re-simulate nothing the cache already holds. (Fault-mode
+// execution — RunQueueFaulty — bypasses this path by design: injected
+// faults make the simulator impure, so those runs must not be memoized.)
 func (s *Scheduler) simulate(node Node, w *workload.Workload, alloc core.Allocation) (sim.Result, error) {
+	pr := evalpool.Problem{Platform: node.Platform, Workload: *w}
 	switch node.Platform.Kind {
 	case hw.KindCPU:
-		return sim.RunCPU(node.Platform, w, alloc.Proc, alloc.Mem)
+		return evalpool.Default().Evaluate(pr, evalpool.Request{
+			Op: evalpool.OpCPU, Proc: alloc.Proc, Mem: alloc.Mem})
 	case hw.KindGPU:
-		return sim.RunGPUMemPower(node.Platform, w, alloc.Total(), alloc.Mem)
+		return evalpool.Default().Evaluate(pr, evalpool.Request{
+			Op: evalpool.OpGPUMemPower, Proc: alloc.Total(), Mem: alloc.Mem})
 	default:
 		return sim.Result{}, fmt.Errorf("cluster: node %q: unknown kind", node.ID)
 	}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func eval(proc, mem units.Power, perf float64, actual units.Power) Evaluation {
+	return Evaluation{
+		Alloc:  Allocation{Proc: proc, Mem: mem},
+		Result: sim.Result{Perf: perf, TotalPower: actual},
+	}
+}
+
+// TestBestTieBreak pins the selection rule: among bound-respecting
+// evaluations with equal performance, the one with lower actual power
+// wins, regardless of input order.
+func TestBestTieBreak(t *testing.T) {
+	hungry := eval(120, 88, 50, 200)
+	frugal := eval(100, 108, 50, 180)
+	worse := eval(140, 68, 40, 150)
+
+	for name, evals := range map[string][]Evaluation{
+		"frugal-first": {frugal, hungry, worse},
+		"frugal-last":  {worse, hungry, frugal},
+		"frugal-mid":   {hungry, frugal, worse},
+	} {
+		got, ok := Best(evals)
+		if !ok {
+			t.Fatalf("%s: Best found nothing", name)
+		}
+		if got.Result.TotalPower != frugal.Result.TotalPower {
+			t.Errorf("%s: tie broke to actual power %v, want %v (lower wins)",
+				name, got.Result.TotalPower, frugal.Result.TotalPower)
+		}
+	}
+
+	// BestBy under the default objective applies the same rule.
+	got, ok := BestBy([]Evaluation{hungry, frugal}, ObjectivePerf)
+	if !ok || got.Result.TotalPower != frugal.Result.TotalPower {
+		t.Errorf("BestBy tie broke to %v, want %v", got.Result.TotalPower, frugal.Result.TotalPower)
+	}
+}
+
+// TestBestSkipsBoundViolations: an allocation whose actual draw exceeds
+// its total (beyond the slack tolerance) cannot win even with the
+// highest performance — the paper's scenario V/VI allocations are not
+// respected by the hardware and are not valid optima.
+func TestBestSkipsBoundViolations(t *testing.T) {
+	violator := eval(60, 40, 90, 120) // draws 120 W against a 100 W allocation
+	honest := eval(120, 88, 70, 190)
+	got, ok := Best([]Evaluation{violator, honest})
+	if !ok {
+		t.Fatal("Best found nothing")
+	}
+	if got.Result.Perf != honest.Result.Perf {
+		t.Errorf("bound violator won with perf %v; want honest point (perf %v)",
+			got.Result.Perf, honest.Result.Perf)
+	}
+}
+
+// TestBestAllViolatingFallback: when every point overdraws, Best still
+// returns the highest-performing one rather than nothing.
+func TestBestAllViolatingFallback(t *testing.T) {
+	a := eval(60, 40, 55, 130)
+	b := eval(50, 50, 65, 140)
+	got, ok := Best([]Evaluation{a, b})
+	if !ok {
+		t.Fatal("Best returned nothing on an all-violating set")
+	}
+	if got.Result.Perf != b.Result.Perf {
+		t.Errorf("fallback picked perf %v, want %v (highest perf)", got.Result.Perf, b.Result.Perf)
+	}
+}
+
+// TestViolatesBoundSlack pins the quantization tolerance: exactly
+// boundSlack over the allocation is still respected; beyond it is not.
+func TestViolatesBoundSlack(t *testing.T) {
+	at := eval(100, 100, 10, 200+boundSlack)
+	if violatesBound(at) {
+		t.Error("draw exactly at total+slack flagged as violation")
+	}
+	over := eval(100, 100, 10, 200+boundSlack+0.5)
+	if !violatesBound(over) {
+		t.Error("draw beyond total+slack not flagged")
+	}
+}
+
+func TestBestEmpty(t *testing.T) {
+	if _, ok := Best(nil); ok {
+		t.Error("Best reported success on an empty set")
+	}
+	if _, ok := BestBy(nil, ObjectivePerf); ok {
+		t.Error("BestBy reported success on an empty set")
+	}
+}

@@ -12,9 +12,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/evalpool"
 	"repro/internal/hw"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -71,6 +73,10 @@ type Problem struct {
 	// slightly below the hardware floors so the sweep exposes the
 	// cap-not-respected scenarios V and VI, as the paper's Figure 3 does.
 	ProcMin, MemMin units.Power
+	// Engine evaluates the problem's simulator calls. Nil selects the
+	// process-wide shared engine (evalpool.Default), whose memo cache
+	// lets independent sweeps reuse each other's points.
+	Engine *evalpool.Engine
 }
 
 // Default sweep bounds for CPU platforms, chosen to match the span of the
@@ -102,21 +108,37 @@ func (pb *Problem) normalize() {
 	}
 }
 
+// engine returns the problem's engine, defaulting to the shared one.
+func (pb *Problem) engine() *evalpool.Engine {
+	if pb.Engine != nil {
+		return pb.Engine
+	}
+	return evalpool.Default()
+}
+
+// request translates an allocation into the simulator call for the
+// problem's platform kind.
+func (pb *Problem) request(a Allocation) (evalpool.Request, error) {
+	switch pb.Platform.Kind {
+	case hw.KindCPU:
+		return evalpool.Request{Op: evalpool.OpCPU, Proc: a.Proc, Mem: a.Mem}, nil
+	case hw.KindGPU:
+		return evalpool.Request{Op: evalpool.OpGPUMemPower, Proc: a.Total(), Mem: a.Mem}, nil
+	default:
+		return evalpool.Request{}, fmt.Errorf("core: unknown platform kind %v", pb.Platform.Kind)
+	}
+}
+
 // Evaluate runs a single allocation and returns its outcome. On CPU
 // platforms the allocation members program the two RAPL domains; on GPU
 // platforms Mem selects the memory clock and the total allocation is the
 // board cap.
-func (pb Problem) Evaluate(a Allocation) (Evaluation, error) {
-	var res sim.Result
-	var err error
-	switch pb.Platform.Kind {
-	case hw.KindCPU:
-		res, err = sim.RunCPU(pb.Platform, &pb.Workload, a.Proc, a.Mem)
-	case hw.KindGPU:
-		res, err = sim.RunGPUMemPower(pb.Platform, &pb.Workload, a.Total(), a.Mem)
-	default:
-		err = fmt.Errorf("core: unknown platform kind %v", pb.Platform.Kind)
+func (pb *Problem) Evaluate(a Allocation) (Evaluation, error) {
+	req, err := pb.request(a)
+	if err != nil {
+		return Evaluation{}, err
 	}
+	res, err := pb.engine().Evaluate(evalpool.Problem{Platform: pb.Platform, Workload: pb.Workload}, req)
 	if err != nil {
 		return Evaluation{}, err
 	}
@@ -126,8 +148,10 @@ func (pb Problem) Evaluate(a Allocation) (Evaluation, error) {
 // Sweep enumerates the allocation space A for the problem's budget and
 // evaluates every point. CPU platforms step P_proc in Step-watt
 // increments, giving memory the remainder; GPU platforms enumerate the
-// settable memory clocks under the board cap.
-func (pb Problem) Sweep() ([]Evaluation, error) {
+// settable memory clocks under the board cap. Points are evaluated
+// through the problem's engine — in parallel when it has more than one
+// worker — with results always in enumeration order.
+func (pb *Problem) Sweep() ([]Evaluation, error) {
 	pb.normalize()
 	switch pb.Platform.Kind {
 	case hw.KindCPU:
@@ -139,38 +163,64 @@ func (pb Problem) Sweep() ([]Evaluation, error) {
 	}
 }
 
-func (pb Problem) sweepCPU() ([]Evaluation, error) {
-	if pb.Budget < pb.ProcMin+pb.MemMin {
-		return nil, fmt.Errorf("core: budget %v below sweep floor %v",
-			pb.Budget, pb.ProcMin+pb.MemMin)
-	}
-	var evals []Evaluation
-	for proc := pb.ProcMin; proc <= pb.Budget-pb.MemMin; proc += pb.Step {
-		a := Allocation{Proc: proc, Mem: pb.Budget - proc}
-		e, err := pb.Evaluate(a)
+// evaluateAll batches the allocations through the engine and pairs each
+// with its result, preserving order.
+func (pb *Problem) evaluateAll(allocs []Allocation) ([]Evaluation, error) {
+	reqs := make([]evalpool.Request, len(allocs))
+	for i, a := range allocs {
+		req, err := pb.request(a)
 		if err != nil {
 			return nil, err
 		}
-		evals = append(evals, e)
+		reqs[i] = req
+	}
+	results, err := pb.engine().EvaluateAll(context.Background(),
+		evalpool.Problem{Platform: pb.Platform, Workload: pb.Workload}, reqs)
+	if err != nil {
+		return nil, err
+	}
+	evals := make([]Evaluation, len(allocs))
+	for i := range allocs {
+		evals[i] = Evaluation{Alloc: allocs[i], Result: results[i]}
 	}
 	return evals, nil
 }
 
-func (pb Problem) sweepGPU() ([]Evaluation, error) {
+func (pb *Problem) sweepCPU() ([]Evaluation, error) {
+	if pb.Budget < pb.ProcMin+pb.MemMin {
+		return nil, fmt.Errorf("core: budget %v below sweep floor %v",
+			pb.Budget, pb.ProcMin+pb.MemMin)
+	}
+	allocs := make([]Allocation, 0, int((pb.Budget-pb.MemMin-pb.ProcMin)/pb.Step)+1)
+	for proc := pb.ProcMin; proc <= pb.Budget-pb.MemMin; proc += pb.Step {
+		allocs = append(allocs, Allocation{Proc: proc, Mem: pb.Budget - proc})
+	}
+	return pb.evaluateAll(allocs)
+}
+
+func (pb *Problem) sweepGPU() ([]Evaluation, error) {
 	gpu := pb.Platform.GPU
 	if pb.Budget < gpu.MinCap || pb.Budget > gpu.MaxCap {
 		return nil, fmt.Errorf("core: budget %v outside GPU cap range [%v, %v]",
 			pb.Budget, gpu.MinCap, gpu.MaxCap)
 	}
-	var evals []Evaluation
-	for _, clock := range gpu.Mem.Clocks() {
+	clocks := gpu.Mem.Clocks()
+	reqs := make([]evalpool.Request, len(clocks))
+	for i, clock := range clocks {
+		reqs[i] = evalpool.Request{Op: evalpool.OpGPUClock, Proc: pb.Budget, Clock: clock}
+	}
+	results, err := pb.engine().EvaluateAll(context.Background(),
+		evalpool.Problem{Platform: pb.Platform, Workload: pb.Workload}, reqs)
+	if err != nil {
+		return nil, err
+	}
+	evals := make([]Evaluation, len(clocks))
+	for i, clock := range clocks {
 		memPower := gpu.Mem.Power(clock)
-		res, err := sim.RunGPU(pb.Platform, &pb.Workload, pb.Budget, clock)
-		if err != nil {
-			return nil, err
+		evals[i] = Evaluation{
+			Alloc:  Allocation{Proc: pb.Budget - memPower, Mem: memPower},
+			Result: results[i],
 		}
-		a := Allocation{Proc: pb.Budget - memPower, Mem: memPower}
-		evals = append(evals, Evaluation{Alloc: a, Result: res})
 	}
 	return evals, nil
 }
@@ -234,7 +284,7 @@ func Worst(evals []Evaluation) (Evaluation, bool) {
 
 // PerfMax solves the problem exhaustively: the upper performance bound
 // for the budget and the allocation that attains it.
-func (pb Problem) PerfMax() (Evaluation, error) {
+func (pb *Problem) PerfMax() (Evaluation, error) {
 	evals, err := pb.Sweep()
 	if err != nil {
 		return Evaluation{}, err
@@ -260,9 +310,18 @@ type CurvePoint struct {
 // parameters. Budgets that are infeasible (below the sweep floor or
 // outside the GPU cap range) are skipped.
 func Curve(p hw.Platform, w workload.Workload, budgets []units.Power) ([]CurvePoint, error) {
+	return CurveOn(nil, p, w, budgets)
+}
+
+// CurveOn is Curve with an explicit evaluation engine (nil selects the
+// shared default). One engine across every budget means the per-budget
+// sweeps share a memo cache — and across figures, curves over the same
+// (platform, workload) re-simulate nothing.
+func CurveOn(e *evalpool.Engine, p hw.Platform, w workload.Workload, budgets []units.Power) ([]CurvePoint, error) {
 	var pts []CurvePoint
 	for _, b := range budgets {
 		pb := NewProblem(p, w, b)
+		pb.Engine = e
 		best, err := pb.PerfMax()
 		if err != nil {
 			continue
@@ -322,24 +381,25 @@ func slope(a, b CurvePoint) float64 {
 
 // MaxDemand returns the actual component powers when the workload runs
 // with no caps — the workload's maximum power demand, above which extra
-// budget is pure waste (the paper's scenario I discussion).
+// budget is pure waste (the paper's scenario I discussion). The uncapped
+// run goes through the shared engine: profiling and several figures need
+// the same point, so it is usually already memoized.
 func MaxDemand(p hw.Platform, w workload.Workload) (Allocation, error) {
+	pr := evalpool.Problem{Platform: p, Workload: w}
+	var req evalpool.Request
 	switch p.Kind {
 	case hw.KindCPU:
-		res, err := sim.RunCPU(p, &w, 0, 0)
-		if err != nil {
-			return Allocation{}, err
-		}
-		return Allocation{Proc: res.ProcPower, Mem: res.MemPower}, nil
+		req = evalpool.Request{Op: evalpool.OpCPU}
 	case hw.KindGPU:
-		res, err := sim.RunGPU(p, &w, p.GPU.MaxCap, p.GPU.Mem.ClockNom)
-		if err != nil {
-			return Allocation{}, err
-		}
-		return Allocation{Proc: res.ProcPower, Mem: res.MemPower}, nil
+		req = evalpool.Request{Op: evalpool.OpGPUClock, Proc: p.GPU.MaxCap, Clock: p.GPU.Mem.ClockNom}
 	default:
 		return Allocation{}, fmt.Errorf("core: unknown platform kind %v", p.Kind)
 	}
+	res, err := evalpool.Default().Evaluate(pr, req)
+	if err != nil {
+		return Allocation{}, err
+	}
+	return Allocation{Proc: res.ProcPower, Mem: res.MemPower}, nil
 }
 
 // Spread returns best-over-worst performance across evaluations — the

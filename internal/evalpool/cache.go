@@ -1,0 +1,135 @@
+package evalpool
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// key addresses one memoized simulator call. The fingerprint pins the
+// (platform, workload) content, the op pins the simulator entry point,
+// and a/b/c carry the op's numeric knobs in canonical units — so two
+// different call kinds with coincidentally equal numbers (a 140 W board
+// cap with a 40 W memory budget versus a 140 W cap with a 40 Hz clock)
+// can never alias. Keys are plain comparable structs used directly as
+// map keys: equal keys are identical calls by construction, and there
+// is no hash-collision failure mode beyond the content fingerprint.
+type key struct {
+	fp      uint64
+	op      Op
+	a, b, c float64
+}
+
+// key canonicalizes the request's knobs for its op.
+func (r Request) key(fp uint64) key {
+	k := key{fp: fp, op: r.Op}
+	switch r.Op {
+	case OpCPU:
+		k.a, k.b = r.Proc.Watts(), r.Mem.Watts()
+	case OpGPUClock:
+		k.a, k.b = r.Proc.Watts(), r.Clock.Hz()
+	case OpGPUMemPower:
+		k.a, k.b = r.Proc.Watts(), r.Mem.Watts()
+	case OpGPUOffsets:
+		k.a, k.b, k.c = r.Proc.Watts(), r.SMOffset.Hz(), r.MemOffset.Hz()
+	}
+	return k
+}
+
+// shardCount is a power of two so shard selection is a mask.
+const shardCount = 16
+
+// fnvPrime is the FNV-1a 64-bit multiplier, reused to mix the knob bits
+// into the shard index (the fingerprint alone is constant across a
+// sweep and would pile every point into one shard).
+const fnvPrime = 1099511628211
+
+func (k key) shard() int {
+	h := k.fp
+	h = (h ^ uint64(k.op)) * fnvPrime
+	h = (h ^ math.Float64bits(k.a)) * fnvPrime
+	h = (h ^ math.Float64bits(k.b)) * fnvPrime
+	h = (h ^ math.Float64bits(k.c)) * fnvPrime
+	return int(h & (shardCount - 1))
+}
+
+// cache is the sharded memo store. Each shard has its own lock, so
+// workers hammering different points rarely contend; the size bound is
+// enforced per shard with arbitrary-victim eviction (which entry goes
+// is irrelevant for correctness — only future hit rates differ).
+type cache struct {
+	perShard int
+	shards   [shardCount]shard
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[key]sim.Result
+}
+
+func newCache(total int) *cache {
+	per := total / shardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[key]sim.Result)
+	}
+	return c
+}
+
+func (c *cache) get(k key) (sim.Result, bool) {
+	s := &c.shards[k.shard()]
+	s.mu.Lock()
+	res, ok := s.m[k]
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return sim.Result{}, false
+	}
+	c.hits.Add(1)
+	return cloneResult(res), true
+}
+
+func (c *cache) put(k key, res sim.Result) {
+	// Store a private copy so later mutation of the caller's result (or
+	// of a result handed out on a hit) can never corrupt the cache.
+	res = cloneResult(res)
+	s := &c.shards[k.shard()]
+	s.mu.Lock()
+	if _, exists := s.m[k]; !exists && len(s.m) >= c.perShard {
+		for victim := range s.m {
+			delete(s.m, victim)
+			c.evictions.Add(1)
+			break
+		}
+	}
+	s.m[k] = res
+	s.mu.Unlock()
+}
+
+func (c *cache) len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+func (c *cache) capacity() int { return c.perShard * shardCount }
+
+// cloneResult deep-copies a result; phase entries are plain values, so
+// copying the slice copies everything.
+func cloneResult(r sim.Result) sim.Result {
+	if r.Phases != nil {
+		r.Phases = append([]sim.PhaseResult(nil), r.Phases...)
+	}
+	return r
+}

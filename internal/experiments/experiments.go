@@ -11,8 +11,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/report"
 	"repro/internal/svgplot"
@@ -110,6 +113,51 @@ func All() []Runner {
 		{ID: "fig9", Title: "COORD vs best vs baselines (CPU and GPU)", Run: Fig9},
 		{ID: "insights", Title: "The four research questions of Section 2.1, answered per benchmark", Run: Insights},
 	}
+}
+
+// RunResult pairs a runner with its outcome.
+type RunResult struct {
+	Runner Runner
+	Output Output
+	Err    error
+}
+
+// RunAll regenerates the given artifacts concurrently on up to workers
+// goroutines (0 or negative means GOMAXPROCS) and returns results in
+// runner order regardless of completion order. The artifacts are
+// independent of each other, and they share the process-wide evaluation
+// engine, so points one figure simulates are memo hits for the next —
+// running them together is strictly cheaper than running them apart.
+func RunAll(runners []Runner, workers int) []RunResult {
+	out := make([]RunResult, len(runners))
+	if len(runners) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runners) {
+		workers = len(runners)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(runners) {
+					return
+				}
+				r := runners[i]
+				o, err := r.Run()
+				out[i] = RunResult{Runner: r, Output: o, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // ByID returns the runner for an artifact ID.

@@ -45,11 +45,13 @@ func Insights() (Output, error) {
 		}
 
 		knee := (thresh + demand) / 2
-		kneeBest, err := core.NewProblem(p, w, knee).PerfMax()
+		kneePb := core.NewProblem(p, w, knee)
+		kneeBest, err := kneePb.PerfMax()
 		if err != nil {
 			return out, err
 		}
-		demandBest, err := core.NewProblem(p, w, demand+4).PerfMax()
+		demandPb := core.NewProblem(p, w, demand+4)
+		demandBest, err := demandPb.PerfMax()
 		if err != nil {
 			return out, err
 		}
@@ -134,7 +136,8 @@ func Insights() (Output, error) {
 			return 0, err
 		}
 		budget := (prof.Critical.ProductiveThreshold() + prof.Critical.CPUMax + prof.Critical.MemMax) / 2
-		best, err := core.NewProblem(p, w, budget).PerfMax()
+		pb := core.NewProblem(p, w, budget)
+		best, err := pb.PerfMax()
 		if err != nil {
 			return 0, err
 		}

@@ -130,11 +130,12 @@ func TestBalancedAllocationTracksSweepOptimum(t *testing.T) {
 		if m.Ridge <= 0 {
 			t.Fatalf("%s: degenerate ridge", name)
 		}
-		best, err := core.NewProblem(p, w, budget).PerfMax()
+		pb := core.NewProblem(p, w, budget)
+		best, err := pb.PerfMax()
 		if err != nil {
 			t.Fatal(err)
 		}
-		ev, err := core.NewProblem(p, w, budget).Evaluate(core.Allocation{Proc: proc, Mem: mem})
+		ev, err := pb.Evaluate(core.Allocation{Proc: proc, Mem: mem})
 		if err != nil {
 			t.Fatal(err)
 		}

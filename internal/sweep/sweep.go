@@ -7,14 +7,15 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/category"
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/evalpool"
 	"repro/internal/hw"
 	"repro/internal/profile"
-	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -95,21 +96,27 @@ func CPUSplit(p hw.Platform, w workload.Workload, budget units.Power, prof *prof
 
 // GPUTrend returns the Figure 7 series for one card, workload, and board
 // cap: performance versus the estimated memory power at each settable
-// memory clock.
+// memory clock. The clock points are evaluated as one engine batch.
 func GPUTrend(p hw.Platform, w workload.Workload, cap units.Power) ([]category.TrendPoint, error) {
 	if p.Kind != hw.KindGPU {
 		return nil, fmt.Errorf("sweep: platform %q is not a GPU platform", p.Name)
 	}
-	var pts []category.TrendPoint
-	for _, clock := range p.GPU.Mem.Clocks() {
-		res, err := sim.RunGPU(p, &w, cap, clock)
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, category.TrendPoint{
+	clocks := p.GPU.Mem.Clocks()
+	reqs := make([]evalpool.Request, len(clocks))
+	for i, clock := range clocks {
+		reqs[i] = evalpool.Request{Op: evalpool.OpGPUClock, Proc: cap, Clock: clock}
+	}
+	results, err := evalpool.Default().EvaluateAll(context.Background(),
+		evalpool.Problem{Platform: p, Workload: w}, reqs)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]category.TrendPoint, len(clocks))
+	for i, clock := range clocks {
+		pts[i] = category.TrendPoint{
 			MemPower: p.GPU.Mem.Power(clock).Watts(),
-			Perf:     res.Perf,
-		})
+			Perf:     results[i].Perf,
+		}
 	}
 	return pts, nil
 }
@@ -131,7 +138,9 @@ type BalancePoint struct {
 }
 
 // CPUBalance computes Figure 5's capacity-and-utilization data for a
-// fixed budget on a CPU platform.
+// fixed budget on a CPU platform. The three runs per allocation (each
+// component capped alone, then jointly) are batched through the engine,
+// so the whole figure is one parallel evaluation.
 func CPUBalance(p hw.Platform, w workload.Workload, budget, step units.Power) ([]BalancePoint, error) {
 	if p.Kind != hw.KindCPU {
 		return nil, fmt.Errorf("sweep: platform %q is not a CPU platform", p.Name)
@@ -139,23 +148,28 @@ func CPUBalance(p hw.Platform, w workload.Workload, budget, step units.Power) ([
 	if step <= 0 {
 		step = core.DefaultStep
 	}
-	var out []BalancePoint
+	var allocs []core.Allocation
 	for proc := core.DefaultProcMin; proc <= budget-core.DefaultMemMin; proc += step {
-		mem := budget - proc
-		procOnly, err := sim.RunCPU(p, &w, proc, 0) // compute capacity: memory uncapped
-		if err != nil {
-			return nil, err
-		}
-		memOnly, err := sim.RunCPU(p, &w, 0, mem) // memory capacity: CPU uncapped
-		if err != nil {
-			return nil, err
-		}
-		joint, err := sim.RunCPU(p, &w, proc, mem)
-		if err != nil {
-			return nil, err
-		}
+		allocs = append(allocs, core.Allocation{Proc: proc, Mem: budget - proc})
+	}
+	reqs := make([]evalpool.Request, 0, 3*len(allocs))
+	for _, a := range allocs {
+		reqs = append(reqs,
+			evalpool.Request{Op: evalpool.OpCPU, Proc: a.Proc}, // compute capacity: memory uncapped
+			evalpool.Request{Op: evalpool.OpCPU, Mem: a.Mem},   // memory capacity: CPU uncapped
+			evalpool.Request{Op: evalpool.OpCPU, Proc: a.Proc, Mem: a.Mem},
+		)
+	}
+	results, err := evalpool.Default().EvaluateAll(context.Background(),
+		evalpool.Problem{Platform: p, Workload: w}, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BalancePoint, len(allocs))
+	for i, a := range allocs {
+		procOnly, memOnly, joint := results[3*i], results[3*i+1], results[3*i+2]
 		bp := BalancePoint{
-			Alloc:           core.Allocation{Proc: proc, Mem: mem},
+			Alloc:           a,
 			ComputeCapacity: procOnly.UnitRate,
 			MemCapacity:     memOnly.UnitRate,
 			Perf:            joint.Perf,
@@ -166,7 +180,7 @@ func CPUBalance(p hw.Platform, w workload.Workload, budget, step units.Power) ([
 		if memOnly.UnitRate > 0 {
 			bp.MemUtil = clamp01(joint.UnitRate.OpsPerSecond() / memOnly.UnitRate.OpsPerSecond())
 		}
-		out = append(out, bp)
+		out[i] = bp
 	}
 	return out, nil
 }
