@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check fuzz bench benchsmoke
+.PHONY: all build test vet race check fuzz bench benchsmoke verify-invariants
 
 all: check
 
@@ -26,7 +26,13 @@ race:
 benchsmoke:
 	$(GO) test -race -run=^$$ -bench=BenchmarkSweepSerialVsParallel -benchtime=1x .
 
-check: vet build race benchsmoke
+# Cross-implementation invariant harness: the full catalog sweep under
+# the race detector, then the pbc verify CLI gate.
+verify-invariants:
+	$(GO) test -race -run TestInvariant ./internal/invariant
+	$(GO) run ./cmd/pbc verify
+
+check: vet build race benchsmoke verify-invariants
 
 # Short fuzz passes over the input parsers (fault specs, power units).
 fuzz:

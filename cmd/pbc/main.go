@@ -76,6 +76,8 @@ func main() {
 		err = cmdSynth(args)
 	case "validate":
 		err = cmdValidate(args)
+	case "verify":
+		err = cmdVerify(args)
 	case "roofline":
 		err = cmdRoofline(args)
 	case "calibrate":
@@ -114,6 +116,7 @@ commands:
   powercap Linux powercap-sysfs facade  (-platform ivybridge [zone/file [value]])
   synth    model your own workload      (-intensity F -random F -vector F [-budget W])
   validate invariant battery            ([-platform name] [-workload name])
+  verify   coordination-stack invariants ([-platform name] [-workload name] [-budgets N])
   roofline power-capped roofline         (-platform -workload -budget W [-svg file])
   calibrate fit a model to measurements (-workload name -proc W -mem W [-perf X])
   trace    time-stepped run             (-platform -workload -proc W -mem W -units N [-dt ms])

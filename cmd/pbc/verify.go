@@ -1,0 +1,74 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/invariant"
+	"repro/internal/report"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// cmdVerify runs the cross-implementation invariant harness (package
+// invariant) over the catalog — or a filtered slice of it — and renders
+// the per-invariant tallies. Any violation makes the command fail, so
+// `pbc verify` doubles as a CI gate next to `pbc validate`: validate
+// checks the simulator physics, verify checks the coordination stack
+// built on top.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	platform := fs.String("platform", "", "restrict to one platform (empty = all)")
+	wl := fs.String("workload", "", "restrict to one workload (empty = all)")
+	budgets := fs.Int("budgets", 0, "budget-grid points per pair (0 = default 16)")
+	eps := fs.Float64("eps", 0, "boundary probe distance in watts (0 = default 1e-9)")
+	skipEngine := fs.Bool("skip-engine", false, "skip the serial-vs-parallel engine identity checks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := invariant.Config{
+		BudgetPoints: *budgets,
+		Eps:          units.Power(*eps),
+		SkipEngine:   *skipEngine,
+	}
+	if *platform != "" {
+		p, err := hw.PlatformByName(*platform)
+		if err != nil {
+			return err
+		}
+		cfg.Platforms = []hw.Platform{p}
+	}
+	if *wl != "" {
+		w, err := workload.ByName(*wl)
+		if err != nil {
+			return err
+		}
+		cfg.Workloads = []workload.Workload{w}
+	}
+
+	rep, err := invariant.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	tb := report.NewTable(
+		fmt.Sprintf("invariant sweep: %d pairs, %d assertions", rep.Pairs, rep.Checks),
+		"invariant", "checks", "violations")
+	for _, name := range rep.Invariants() {
+		t := rep.PerInvariant[name]
+		tb.AddRow(name, fmt.Sprintf("%d", t.Checks), fmt.Sprintf("%d", t.Violations))
+	}
+	fmt.Print(tb.String())
+
+	if rep.Ok() {
+		fmt.Println("\nok: all invariants hold")
+		return nil
+	}
+	fmt.Println()
+	for _, v := range rep.Violations {
+		fmt.Println(v)
+	}
+	return fmt.Errorf("%d invariant violation(s)", len(rep.Violations))
+}

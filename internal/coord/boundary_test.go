@@ -1,0 +1,135 @@
+package coord
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestCPURegimeBoundaries probes Algorithm 1 within ±1e-9 W of each
+// regime-boundary budget (the paper's critical-power sums) and checks
+// that the case selection flips exactly at the boundary, never
+// off-by-epsilon, and that every decision keeps the allocation
+// invariants: total ≤ budget, memory never above its maximum demand,
+// the processor never below its lowest P-state power while status is
+// OK, and surplus accounting balancing the budget.
+func TestCPURegimeBoundaries(t *testing.T) {
+	const eps = units.Power(1e-9)
+	for _, wl := range []string{"sra", "stream", "dgemm", "bt"} {
+		_, _, prof := cpuProfile(t, "ivybridge", wl)
+		cp := prof.Critical
+
+		boundaries := []struct {
+			name   string
+			budget units.Power
+			// below/atOrAbove are the statuses expected strictly under
+			// and at-or-over the boundary.
+			below, atOrAbove Status
+		}{
+			{"A: CPUMax+MemMax", cp.CPUMax + cp.MemMax, StatusOK, StatusSurplus},
+			{"B: CPULowPState+MemMax", cp.CPULowPState + cp.MemMax, StatusOK, StatusOK},
+			{"C: CPULowPState+MemAtCPULow", cp.ProductiveThreshold(), StatusTooSmall, StatusOK},
+		}
+		for _, b := range boundaries {
+			for _, probe := range []struct {
+				off  units.Power
+				want Status
+			}{
+				{-eps, b.below}, {0, b.atOrAbove}, {+eps, b.atOrAbove},
+			} {
+				budget := b.budget + probe.off
+				d := CPU(prof, budget)
+				if d.Status != probe.want {
+					t.Errorf("%s, %s%+g: status = %v, want %v",
+						wl, b.name, probe.off.Watts(), d.Status, probe.want)
+				}
+				if d.Status == StatusTooSmall {
+					continue
+				}
+				if d.Alloc.Total() > budget+eps {
+					t.Errorf("%s, %s%+g: allocation %v exceeds budget %v",
+						wl, b.name, probe.off.Watts(), d.Alloc, budget)
+				}
+				if d.Alloc.Mem > cp.MemMax+eps {
+					t.Errorf("%s, %s%+g: mem %v above max demand %v",
+						wl, b.name, probe.off.Watts(), d.Alloc.Mem, cp.MemMax)
+				}
+				if d.Alloc.Proc < cp.CPULowPState-eps {
+					t.Errorf("%s, %s%+g: proc %v below lowest P-state power %v",
+						wl, b.name, probe.off.Watts(), d.Alloc.Proc, cp.CPULowPState)
+				}
+				if d.Status == StatusSurplus {
+					if bal := d.Alloc.Total() + d.Surplus; math.Abs((bal - budget).Watts()) > 1e-6 {
+						t.Errorf("%s, %s%+g: alloc+surplus = %v, want %v",
+							wl, b.name, probe.off.Watts(), bal, budget)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCPUExactThresholdAllocatesRegimeBase pins the exact lower edge of
+// case (C): at precisely P_cpu_L2 + P_mem_L2 the proportional surplus
+// is zero, so both components must receive exactly their regime base.
+func TestCPUExactThresholdAllocatesRegimeBase(t *testing.T) {
+	_, _, prof := cpuProfile(t, "ivybridge", "sra")
+	cp := prof.Critical
+	d := CPU(prof, cp.ProductiveThreshold())
+	if d.Status != StatusOK {
+		t.Fatalf("status = %v at the productive threshold, want ok", d.Status)
+	}
+	if math.Abs((d.Alloc.Proc - cp.CPULowPState).Watts()) > 1e-9 {
+		t.Errorf("proc = %v, want L2 base %v", d.Alloc.Proc, cp.CPULowPState)
+	}
+	if math.Abs((d.Alloc.Mem - cp.MemAtCPULow).Watts()) > 1e-9 {
+		t.Errorf("mem = %v, want L2m base %v", d.Alloc.Mem, cp.MemAtCPULow)
+	}
+}
+
+// TestCPUNonFiniteBudget documents Algorithm 1's behavior on degenerate
+// budgets: NaN compares false everywhere and falls through to the
+// reject case rather than fabricating an allocation.
+func TestCPUNonFiniteBudget(t *testing.T) {
+	_, _, prof := cpuProfile(t, "ivybridge", "stream")
+	if d := CPU(prof, units.Power(math.NaN())); d.Status != StatusTooSmall {
+		t.Errorf("NaN budget: status = %v, want too-small", d.Status)
+	}
+	if d := CPU(prof, units.Power(math.Inf(-1))); d.Status != StatusTooSmall {
+		t.Errorf("-Inf budget: status = %v, want too-small", d.Status)
+	}
+}
+
+// TestCPUAllocationContinuityWithinRegimes steps each regime's interior
+// finely and checks the allocation moves continuously with the budget
+// (no jumps larger than the step itself): a discontinuity inside a
+// regime would betray a boundary misclassification.
+func TestCPUAllocationContinuityWithinRegimes(t *testing.T) {
+	_, _, prof := cpuProfile(t, "ivybridge", "bt")
+	cp := prof.Critical
+	regimes := []struct {
+		name   string
+		lo, hi units.Power
+	}{
+		{"C", cp.ProductiveThreshold(), cp.CPULowPState + cp.MemMax},
+		{"B", cp.CPULowPState + cp.MemMax, cp.CPUMax + cp.MemMax},
+	}
+	const step = units.Power(0.25)
+	for _, r := range regimes {
+		prev := CPU(prof, r.lo)
+		for b := r.lo + step; b < r.hi; b += step {
+			d := CPU(prof, b)
+			if d.Status != StatusOK {
+				t.Fatalf("regime %s at %v: status %v", r.name, b, d.Status)
+			}
+			dProc := math.Abs((d.Alloc.Proc - prev.Alloc.Proc).Watts())
+			dMem := math.Abs((d.Alloc.Mem - prev.Alloc.Mem).Watts())
+			if dProc > step.Watts()+1e-9 || dMem > step.Watts()+1e-9 {
+				t.Errorf("regime %s at %v: allocation jumped by (%.3g, %.3g) W for a %.3g W budget step",
+					r.name, b, dProc, dMem, step.Watts())
+			}
+			prev = d
+		}
+	}
+}

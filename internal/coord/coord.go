@@ -114,28 +114,43 @@ const DefaultGamma = 0.5
 // spare watt goes to the SMs); other applications get maximum memory
 // power when the budget covers the reference total P_tot_ref, and a
 // gamma-balanced split between the extremes otherwise.
+//
+// Budgets at or below the card's memory power floor leave nothing for
+// the SMs and are rejected, mirroring Algorithm 1's productive
+// threshold. Above the application's maximum board demand P_tot_max the
+// allocation pins the demand and the excess is reported as Surplus, so
+// Alloc.Total() + Surplus always balances the budget.
 func GPU(prof profile.GPUProfile, budget units.Power, gamma float64) Decision {
-	if gamma <= 0 || gamma > 1 {
+	// NaN compares false against every bound, so the guard must be
+	// phrased positively: anything that is not a finite value in (0, 1]
+	// — including NaN and both infinities — falls back to the paper's
+	// empirical default.
+	if !(gamma > 0 && gamma <= 1) {
 		gamma = DefaultGamma
 	}
+	if budget <= prof.MemMin {
+		return Decision{Status: StatusTooSmall}
+	}
 	d := Decision{Status: StatusOK}
+	effective := budget
 	if budget >= prof.TotMax {
 		d.Status = StatusSurplus
 		d.Surplus = budget - prof.TotMax
+		effective = prof.TotMax
 	}
 	var mem units.Power
 	switch {
 	case prof.ComputeIntensive:
 		mem = prof.MemMin
-	case budget >= prof.TotRef:
+	case effective >= prof.TotRef:
 		mem = prof.MemMax
 	default:
 		// TotMin is the board total with both domains at their minimum
 		// clocks: TotRef minus the memory's nominal-to-minimum drop.
 		totMin := prof.TotRef - (prof.MemNom - prof.MemMin)
-		mem = prof.MemMin + units.Power(gamma*(budget-totMin).Watts())
+		mem = prof.MemMin + units.Power(gamma*(effective-totMin).Watts())
 	}
 	mem = mem.Clamp(prof.MemMin, prof.MemMax)
-	d.Alloc = core.Allocation{Proc: budget - mem, Mem: mem}
+	d.Alloc = core.Allocation{Proc: effective - mem, Mem: mem}
 	return d
 }

@@ -1,0 +1,99 @@
+package coord
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestGPUGammaNonFiniteRejected pins the fix for the gamma validation
+// hole: NaN compares false against both halves of `gamma <= 0 ||
+// gamma > 1`, so a non-finite gamma used to sail through the guard and
+// poison the balanced split with NaN allocations.
+func TestGPUGammaNonFiniteRejected(t *testing.T) {
+	_, _, prof := gpuProfile(t, "titanxp", "gpustream")
+	if prof.ComputeIntensive {
+		t.Fatalf("gpustream profiled compute intensive; the balanced case is never reached")
+	}
+	// A budget strictly between the board minimum and TotRef lands in the
+	// gamma-balanced case where the bad value is actually used.
+	budget := prof.TotRef - 10
+	want := GPU(prof, budget, DefaultGamma)
+	for _, gamma := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		d := GPU(prof, budget, gamma)
+		if math.IsNaN(d.Alloc.Proc.Watts()) || math.IsNaN(d.Alloc.Mem.Watts()) {
+			t.Fatalf("gamma=%v produced NaN allocation %v", gamma, d.Alloc)
+		}
+		if d.Alloc != want.Alloc || d.Status != want.Status {
+			t.Errorf("gamma=%v: decision %+v, want default-gamma decision %+v", gamma, d, want)
+		}
+	}
+}
+
+// TestGPUSurplusAccountingBalances pins the surplus-balance invariant of
+// Algorithm 2: when the budget exceeds the application's maximum board
+// demand, the allocation must be capped at that demand so that
+// Alloc.Total() + Surplus == budget. The pre-fix code allocated the full
+// budget and reported a surplus on top, double-counting the excess.
+func TestGPUSurplusAccountingBalances(t *testing.T) {
+	for _, wl := range []string{"gpustream", "sgemm", "minife"} {
+		_, _, prof := gpuProfile(t, "titanxp", wl)
+		budget := prof.TotMax + 20
+		d := GPU(prof, budget, DefaultGamma)
+		if d.Status != StatusSurplus {
+			t.Fatalf("%s: status = %v at budget %v (TotMax %v), want surplus",
+				wl, d.Status, budget, prof.TotMax)
+		}
+		if math.Abs(d.Surplus.Watts()-20) > 1e-6 {
+			t.Errorf("%s: surplus = %v, want 20 W", wl, d.Surplus)
+		}
+		if got := d.Alloc.Total() + d.Surplus; math.Abs((got - budget).Watts()) > 1e-6 {
+			t.Errorf("%s: Alloc.Total()+Surplus = %v, want budget %v (alloc %v)",
+				wl, got, budget, d.Alloc)
+		}
+		if math.Abs((d.Alloc.Total() - prof.TotMax).Watts()) > 1e-6 {
+			t.Errorf("%s: surplus allocation %v does not pin the maximum demand %v",
+				wl, d.Alloc, prof.TotMax)
+		}
+	}
+}
+
+// TestGPUTinyBudgetRejected pins the lower boundary of Algorithm 2: a
+// budget at or below the memory power floor leaves nothing for the SMs
+// and must be rejected, mirroring Algorithm 1's productive threshold.
+// The pre-fix code returned StatusOK with a negative Proc member.
+func TestGPUTinyBudgetRejected(t *testing.T) {
+	_, _, prof := gpuProfile(t, "titanxp", "gpustream")
+	for _, budget := range []units.Power{0, prof.MemMin / 2, prof.MemMin} {
+		d := GPU(prof, budget, DefaultGamma)
+		if d.Status != StatusTooSmall {
+			t.Errorf("budget %v (mem floor %v): status = %v, alloc %v; want too-small",
+				budget, prof.MemMin, d.Status, d.Alloc)
+		}
+	}
+}
+
+// TestGPUSurplusThresholdBoundary probes Algorithm 2 within ±1e-9 W of
+// P_tot_max: the surplus verdict must flip exactly at the boundary and
+// the allocation must stay continuous (no budget jump from an
+// off-by-epsilon misclassification).
+func TestGPUSurplusThresholdBoundary(t *testing.T) {
+	_, _, prof := gpuProfile(t, "titanxp", "sgemm")
+	const eps = 1e-9
+	below := GPU(prof, prof.TotMax-eps, DefaultGamma)
+	at := GPU(prof, prof.TotMax, DefaultGamma)
+	above := GPU(prof, prof.TotMax+eps, DefaultGamma)
+	if below.Status != StatusOK {
+		t.Errorf("TotMax-eps: status %v, want ok", below.Status)
+	}
+	if at.Status != StatusSurplus || at.Surplus != 0 {
+		t.Errorf("TotMax: status %v surplus %v, want surplus 0", at.Status, at.Surplus)
+	}
+	if above.Status != StatusSurplus {
+		t.Errorf("TotMax+eps: status %v, want surplus", above.Status)
+	}
+	if d := math.Abs((above.Alloc.Total() - below.Alloc.Total()).Watts()); d > 1e-6 {
+		t.Errorf("allocation discontinuity %v W across the TotMax boundary", d)
+	}
+}

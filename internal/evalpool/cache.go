@@ -38,7 +38,8 @@ func (r Request) key(fp uint64) key {
 	return k
 }
 
-// shardCount is a power of two so shard selection is a mask.
+// shardCount is the maximum shard fan-out, a power of two so shard
+// selection is a mask.
 const shardCount = 16
 
 // fnvPrime is the FNV-1a 64-bit multiplier, reused to mix the knob bits
@@ -46,21 +47,30 @@ const shardCount = 16
 // sweep and would pile every point into one shard).
 const fnvPrime = 1099511628211
 
-func (k key) shard() int {
+// hash mixes every key field into a well-distributed 64-bit value the
+// cache masks down to its shard count.
+func (k key) hash() uint64 {
 	h := k.fp
 	h = (h ^ uint64(k.op)) * fnvPrime
 	h = (h ^ math.Float64bits(k.a)) * fnvPrime
 	h = (h ^ math.Float64bits(k.b)) * fnvPrime
 	h = (h ^ math.Float64bits(k.c)) * fnvPrime
-	return int(h & (shardCount - 1))
+	return h
 }
 
 // cache is the sharded memo store. Each shard has its own lock, so
 // workers hammering different points rarely contend; the size bound is
 // enforced per shard with arbitrary-victim eviction (which entry goes
 // is irrelevant for correctness — only future hit rates differ).
+//
+// Bounds smaller than shardCount use a reduced power-of-two fan-out so
+// the enforced capacity (perShard * nShards) never exceeds the
+// requested total: the old fixed fan-out rounded perShard up to 1 and
+// silently admitted up to 16 entries when fewer were asked for.
 type cache struct {
 	perShard int
+	nShards  int
+	mask     uint64
 	shards   [shardCount]shard
 
 	hits, misses, evictions atomic.Uint64
@@ -72,19 +82,26 @@ type shard struct {
 }
 
 func newCache(total int) *cache {
-	per := total / shardCount
-	if per < 1 {
-		per = 1
+	if total < 1 {
+		total = 1
 	}
-	c := &cache{perShard: per}
-	for i := range c.shards {
+	n := 1
+	for n*2 <= shardCount && n*2 <= total {
+		n *= 2
+	}
+	c := &cache{perShard: total / n, nShards: n, mask: uint64(n - 1)}
+	for i := 0; i < n; i++ {
 		c.shards[i].m = make(map[key]sim.Result)
 	}
 	return c
 }
 
+func (c *cache) shard(k key) *shard {
+	return &c.shards[int(k.hash()&c.mask)]
+}
+
 func (c *cache) get(k key) (sim.Result, bool) {
-	s := &c.shards[k.shard()]
+	s := c.shard(k)
 	s.mu.Lock()
 	res, ok := s.m[k]
 	s.mu.Unlock()
@@ -100,7 +117,7 @@ func (c *cache) put(k key, res sim.Result) {
 	// Store a private copy so later mutation of the caller's result (or
 	// of a result handed out on a hit) can never corrupt the cache.
 	res = cloneResult(res)
-	s := &c.shards[k.shard()]
+	s := c.shard(k)
 	s.mu.Lock()
 	if _, exists := s.m[k]; !exists && len(s.m) >= c.perShard {
 		for victim := range s.m {
@@ -115,7 +132,7 @@ func (c *cache) put(k key, res sim.Result) {
 
 func (c *cache) len() int {
 	n := 0
-	for i := range c.shards {
+	for i := 0; i < c.nShards; i++ {
 		c.shards[i].mu.Lock()
 		n += len(c.shards[i].m)
 		c.shards[i].mu.Unlock()
@@ -123,7 +140,9 @@ func (c *cache) len() int {
 	return n
 }
 
-func (c *cache) capacity() int { return c.perShard * shardCount }
+// capacity is the enforced entry bound; by construction it never
+// exceeds the total newCache was asked for.
+func (c *cache) capacity() int { return c.perShard * c.nShards }
 
 // cloneResult deep-copies a result; phase entries are plain values, so
 // copying the slice copies everything.

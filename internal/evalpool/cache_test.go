@@ -1,0 +1,67 @@
+package evalpool
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestCacheCapacityNeverExceedsRequested pins the capacity-reporting
+// fix: newCache(total) used to round the per-shard bound up to one
+// entry across all 16 shards, so a cache asked to hold 4 entries
+// reported (and admitted) 16. The enforced capacity must never exceed
+// the requested bound.
+func TestCacheCapacityNeverExceedsRequested(t *testing.T) {
+	for total := 1; total <= 64; total++ {
+		c := newCache(total)
+		if got := c.capacity(); got > total || got < 1 {
+			t.Errorf("newCache(%d).capacity() = %d, want in [1, %d]", total, got, total)
+		}
+	}
+	// Large bounds keep the full shard fan-out and the exact capacity.
+	if got := newCache(DefaultCacheSize).capacity(); got != DefaultCacheSize {
+		t.Errorf("newCache(%d).capacity() = %d", DefaultCacheSize, got)
+	}
+}
+
+// TestCacheBoundEnforcedUnderInsertion floods a small cache with
+// distinct keys and checks occupancy never exceeds the requested bound.
+func TestCacheBoundEnforcedUnderInsertion(t *testing.T) {
+	for _, total := range []int{1, 3, 8, 20} {
+		c := newCache(total)
+		for i := 0; i < 200; i++ {
+			k := key{fp: 1, op: OpCPU, a: float64(i)}
+			c.put(k, sim.Result{Perf: float64(i)})
+			if n := c.len(); n > total {
+				t.Fatalf("total=%d: %d entries after %d inserts", total, n, i+1)
+			}
+		}
+		if c.evictions.Load() == 0 {
+			t.Errorf("total=%d: no evictions recorded after overflow", total)
+		}
+	}
+}
+
+// TestCacheSmallBoundStillServesHits verifies a down-sharded cache still
+// round-trips entries (the shard mask must match the reduced shard
+// count).
+func TestCacheSmallBoundStillServesHits(t *testing.T) {
+	c := newCache(4)
+	for i := 0; i < 4; i++ {
+		k := key{fp: 7, op: OpCPU, a: float64(i)}
+		c.put(k, sim.Result{Perf: float64(i)})
+		res, ok := c.get(k)
+		if !ok || res.Perf != float64(i) {
+			t.Fatalf("entry %d: get = (%v, %v)", i, res.Perf, ok)
+		}
+	}
+}
+
+// TestEngineStatsCapacityMatchesRequest checks the user-facing
+// -cache-size bound surfaces truthfully through Stats.
+func TestEngineStatsCapacityMatchesRequest(t *testing.T) {
+	e := New(Options{Workers: 1, CacheSize: 5})
+	if got := e.Stats().Capacity; got > 5 || got < 1 {
+		t.Errorf("Stats().Capacity = %d for -cache-size 5, want in [1, 5]", got)
+	}
+}

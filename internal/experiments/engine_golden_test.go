@@ -14,7 +14,9 @@ func TestEngineGoldenOutput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("regenerates several figures; skipped with -short")
 	}
-	ids := []string{"fig1", "fig2", "fig7", "table1"}
+	// fig9 drives the COORD comparison (profile + heuristic + sweep per
+	// strategy), extending the identity gate to the coordination path.
+	ids := []string{"fig1", "fig2", "fig7", "fig9", "table1"}
 
 	prev := evalpool.SetDefault(evalpool.Serial())
 	defer evalpool.SetDefault(prev)

@@ -1,0 +1,212 @@
+package invariant
+
+import (
+	"math"
+
+	"repro/internal/category"
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// finite reports whether every member of the allocation is a finite,
+// non-negative power.
+func finite(a core.Allocation) bool {
+	p, m := a.Proc.Watts(), a.Mem.Watts()
+	return !math.IsNaN(p) && !math.IsInf(p, 0) && p >= 0 &&
+		!math.IsNaN(m) && !math.IsInf(m, 0) && m >= 0
+}
+
+// cpuBudgetGrid brackets every Algorithm 1 regime for a profile: from
+// below the productive threshold (regime D must reject) to past the
+// maximum demand (regime A must report surplus).
+func cpuBudgetGrid(cp category.CriticalPowers, n int) []units.Power {
+	lo := cp.ProductiveThreshold() - 15
+	hi := cp.CPUMax + cp.MemMax + 40
+	budgets := core.BudgetRange(lo, hi, n)
+	// Pin the three regime boundaries themselves: off-by-epsilon bugs
+	// live exactly there, not on an even grid.
+	budgets = append(budgets,
+		cp.ProductiveThreshold(),
+		cp.CPULowPState+cp.MemMax,
+		cp.CPUMax+cp.MemMax,
+	)
+	return budgets
+}
+
+func checkCPUPair(cfg Config, c *collector, p hw.Platform, w workload.Workload) error {
+	prof, err := profile.ProfileCPU(p, w)
+	if err != nil {
+		return err
+	}
+	cp := prof.Critical
+	threshold := cp.ProductiveThreshold()
+	sweepFloor := core.DefaultProcMin + core.DefaultMemMin
+
+	type perfPoint struct {
+		budget          units.Power
+		perfMax, coordP float64
+	}
+	var curve []perfPoint
+
+	for _, budget := range cpuBudgetGrid(cp, cfg.BudgetPoints) {
+		d := coord.CPU(prof, budget)
+		c.check("reject-threshold", budget,
+			(d.Status == coord.StatusTooSmall) == (budget < threshold),
+			"status %v with productive threshold %v", d.Status, threshold)
+
+		// Every baseline strategy shares the budget-bound and finiteness
+		// obligations (their rejection thresholds differ, so only COORD's
+		// is pinned above).
+		for _, s := range coord.CPUStrategies() {
+			sd := s.Decide(prof, budget)
+			if sd.Status == coord.StatusTooSmall {
+				continue
+			}
+			c.check("alloc-finite", budget, finite(sd.Alloc),
+				"%s allocated %v", s.Name, sd.Alloc)
+			c.check("budget-bound", budget, sd.Alloc.Total() <= budget+boundSlack,
+				"%s allocated %v over budget", s.Name, sd.Alloc)
+		}
+		if d.Status == coord.StatusTooSmall {
+			continue
+		}
+
+		c.check("surplus-iff", budget,
+			(d.Status == coord.StatusSurplus) == (budget >= cp.CPUMax+cp.MemMax),
+			"status %v with max demand %v", d.Status, cp.CPUMax+cp.MemMax)
+		if d.Status == coord.StatusSurplus {
+			bal := d.Alloc.Total() + d.Surplus
+			c.check("surplus-balance", budget,
+				math.Abs((bal-budget).Watts()) <= 1e-6,
+				"alloc %v + surplus %v = %v", d.Alloc, d.Surplus, bal)
+		}
+
+		// Exhaustive comparison needs a feasible sweep.
+		if budget < sweepFloor {
+			continue
+		}
+		pb := core.NewProblem(p, w, budget)
+		best, err := pb.PerfMax()
+		if err != nil {
+			return err
+		}
+		achieved, err := pb.Evaluate(d.Alloc)
+		if err != nil {
+			return err
+		}
+		tol := gapTol(cp.Locate(budget))
+		c.check("coord-gap", budget,
+			achieved.Result.Perf >= best.Result.Perf*(1-tol),
+			"coord %.4g vs best %.4g (gap %.1f%%, tolerance %.0f%%)",
+			achieved.Result.Perf, best.Result.Perf,
+			100*(1-achieved.Result.Perf/best.Result.Perf), 100*tol)
+		curve = append(curve, perfPoint{budget, best.Result.Perf, achieved.Result.Perf})
+	}
+
+	// Monotonicity along the (sorted-by-construction) feasible curve:
+	// more budget can never hurt the optimum, and COORD must not convert
+	// extra budget into a slowdown either.
+	for i := 1; i < len(curve); i++ {
+		prev, cur := curve[i-1], curve[i]
+		if cur.budget <= prev.budget {
+			continue // appended boundary budgets fall out of order
+		}
+		c.check("perfmax-monotone", cur.budget,
+			cur.perfMax >= prev.perfMax*(1-1e-9),
+			"perf_max fell from %.6g at %v to %.6g", prev.perfMax, prev.budget, cur.perfMax)
+		c.check("coord-monotone", cur.budget,
+			cur.coordP >= prev.coordP*(1-coordMonotoneTol),
+			"coord perf fell from %.6g at %v to %.6g", prev.coordP, prev.budget, cur.coordP)
+	}
+
+	checkClassifierStability(cfg, c, cp)
+	checkClassifierScale(c, cp)
+	return nil
+}
+
+// checkClassifierStability probes Classify and Locate within ±ε of every
+// critical power. The scenario definitions use half-open boundaries (the
+// boundary value belongs to the upper side), so each side of a boundary
+// must be internally constant: flapping at ±ε means a comparison is
+// phrased with the wrong strictness somewhere.
+func checkClassifierStability(cfg Config, c *collector, cp category.CriticalPowers) {
+	eps := cfg.Eps
+	adequateMem := cp.MemMax + 10
+	adequateProc := cp.CPUMax + 10
+
+	stable := func(axis string, at units.Power, classify func(units.Power) category.Scenario) {
+		lowA, lowB := classify(at-2*eps), classify(at-eps)
+		c.check("classify-stable", at, lowA == lowB,
+			"%s below boundary flaps: %v at -2ε vs %v at -ε", axis, lowA, lowB)
+		hiA, hiB, hiC := classify(at), classify(at+eps), classify(at+2*eps)
+		c.check("classify-stable", at, hiA == hiB && hiB == hiC,
+			"%s at/above boundary flaps: %v / %v / %v", axis, hiA, hiB, hiC)
+	}
+
+	for _, b := range []units.Power{cp.CPUFloor, cp.CPULowThrottle, cp.CPULowPState, cp.CPUMax} {
+		stable("proc", b, func(v units.Power) category.Scenario {
+			return cp.Classify(v, adequateMem)
+		})
+	}
+	for _, b := range []units.Power{cp.MemFloor, cp.MemAtCPULow, cp.MemMax} {
+		stable("mem", b, func(v units.Power) category.Scenario {
+			return cp.Classify(adequateProc, v)
+		})
+	}
+
+	// Table 1's budget regimes share the same half-open convention.
+	for _, b := range []units.Power{
+		cp.CPUMax + cp.MemMax,
+		cp.CPULowPState + cp.MemMax,
+		cp.ProductiveThreshold(),
+		cp.CPUFloor + cp.MemFloor,
+	} {
+		lowA, lowB := cp.Locate(b-2*eps), cp.Locate(b-eps)
+		c.check("classify-stable", b, lowA.IntersectionLo == lowB.IntersectionLo,
+			"Locate below regime boundary flaps: %v vs %v", lowA.IntersectionLo, lowB.IntersectionLo)
+		hiA, hiB := cp.Locate(b), cp.Locate(b+eps)
+		c.check("classify-stable", b, hiA.IntersectionLo == hiB.IntersectionLo,
+			"Locate at/above regime boundary flaps: %v vs %v", hiA.IntersectionLo, hiB.IntersectionLo)
+	}
+}
+
+// checkClassifierScale is the metamorphic check: scaling every critical
+// power and both caps by the same factor must not change the scenario —
+// categorization depends on where the caps sit relative to the demands,
+// not on absolute watts.
+func checkClassifierScale(c *collector, cp category.CriticalPowers) {
+	scaled := func(s float64) category.CriticalPowers {
+		k := units.Power(s)
+		return category.CriticalPowers{
+			CPUMax: cp.CPUMax * k, CPULowPState: cp.CPULowPState * k,
+			CPULowThrottle: cp.CPULowThrottle * k, CPUFloor: cp.CPUFloor * k,
+			MemMax: cp.MemMax * k, MemAtCPULow: cp.MemAtCPULow * k,
+			MemFloor: cp.MemFloor * k,
+		}
+	}
+	// Sample points covering every scenario region, expressed relative
+	// to the profile so they land in the same region at any scale.
+	points := []core.Allocation{
+		{Proc: cp.CPUMax + 5, Mem: cp.MemMax + 5},                      // I
+		{Proc: (cp.CPULowPState + cp.CPUMax) / 2, Mem: cp.MemMax + 5},  // II
+		{Proc: cp.CPUMax + 5, Mem: (cp.MemFloor + cp.MemMax) / 2},      // III
+		{Proc: (cp.CPUFloor + cp.CPULowPState) / 2, Mem: cp.MemMax},    // IV
+		{Proc: cp.CPUMax, Mem: cp.MemFloor / 2},                        // V
+		{Proc: cp.CPUFloor / 2, Mem: cp.MemMax},                        // VI
+		{Proc: (cp.CPULowPState + cp.CPUMax) / 2, Mem: cp.MemMax - 1},  // interior tie-break
+		{Proc: cp.CPULowPState + 1, Mem: (cp.MemFloor + cp.MemMax) / 2},
+	}
+	for _, s := range []float64{0.5, 3} {
+		sp := scaled(s)
+		for _, pt := range points {
+			want := cp.Classify(pt.Proc, pt.Mem)
+			got := sp.Classify(pt.Proc*units.Power(s), pt.Mem*units.Power(s))
+			c.check("classify-scale", pt.Total(), got == want,
+				"scenario changed under ×%g scaling: %v -> %v at %v", s, want, got, pt)
+		}
+	}
+}

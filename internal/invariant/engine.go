@@ -1,0 +1,116 @@
+package invariant
+
+import (
+	"fmt"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/dyncoord"
+	"repro/internal/evalpool"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// checkEngineIdentical verifies the engine-identical invariant: every
+// coordination artifact — profile, exhaustive sweep, COORD decision,
+// and (on CPU) dynamic plan — computed through a parallel, memoized
+// engine must be byte-identical to the serial, uncached reference, both
+// with a cold cache and again with a warm one. PR 2 established this
+// gate for the figure pipeline; the harness extends it to the
+// coordination paths that consume the shared engine implicitly.
+func checkEngineIdentical(c *collector, p hw.Platform, w workload.Workload) error {
+	// A mid-range budget exercises the non-trivial regime of every
+	// artifact. Derived under the serial reference so the choice itself
+	// cannot depend on engine configuration.
+	budget, err := midBudget(p, w)
+	if err != nil {
+		return err
+	}
+
+	render := func(e *evalpool.Engine) (string, error) {
+		prev := evalpool.SetDefault(e)
+		defer evalpool.SetDefault(prev)
+		switch p.Kind {
+		case hw.KindCPU:
+			return renderCPUArtifacts(p, w, budget)
+		default:
+			return renderGPUArtifacts(p, w, budget)
+		}
+	}
+
+	serial, err := render(evalpool.Serial())
+	if err != nil {
+		return err
+	}
+	par := evalpool.New(evalpool.Options{})
+	cold, err := render(par)
+	if err != nil {
+		return err
+	}
+	warm, err := render(par)
+	if err != nil {
+		return err
+	}
+	c.check("engine-identical", budget, cold == serial,
+		"cold parallel output diverges from serial reference")
+	c.check("engine-identical", budget, warm == serial,
+		"warm (memoized) output diverges from serial reference")
+	return nil
+}
+
+// midBudget picks the artifact budget: the middle of the productive
+// range on CPU platforms, the middle of the settable cap range on GPUs.
+func midBudget(p hw.Platform, w workload.Workload) (units.Power, error) {
+	if p.Kind == hw.KindGPU {
+		return (p.GPU.MinCap + p.GPU.MaxCap) / 2, nil
+	}
+	prev := evalpool.SetDefault(evalpool.Serial())
+	defer evalpool.SetDefault(prev)
+	prof, err := profile.ProfileCPU(p, w)
+	if err != nil {
+		return 0, err
+	}
+	cp := prof.Critical
+	b := (cp.ProductiveThreshold() + cp.CPUMax + cp.MemMax) / 2
+	if floor := core.DefaultProcMin + core.DefaultMemMin; b < floor {
+		b = floor
+	}
+	return b, nil
+}
+
+// renderCPUArtifacts computes the CPU coordination artifacts through
+// the current default engine and renders them to one comparable string.
+func renderCPUArtifacts(p hw.Platform, w workload.Workload, budget units.Power) (string, error) {
+	prof, err := profile.ProfileCPU(p, w)
+	if err != nil {
+		return "", err
+	}
+	pb := core.NewProblem(p, w, budget)
+	sweep, err := pb.Sweep()
+	if err != nil {
+		return "", err
+	}
+	d := coord.CPU(prof, budget)
+	plan, err := dyncoord.PlanCPU(p, w, budget)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("profile=%+v\nsweep=%+v\ncoord=%+v\nplan=%+v", prof, sweep, d, plan), nil
+}
+
+// renderGPUArtifacts is the GPU counterpart (no dynamic planner there).
+func renderGPUArtifacts(p hw.Platform, w workload.Workload, budget units.Power) (string, error) {
+	prof, err := profile.ProfileGPU(p, w)
+	if err != nil {
+		return "", err
+	}
+	pb := core.NewProblem(p, w, budget)
+	sweep, err := pb.Sweep()
+	if err != nil {
+		return "", err
+	}
+	d := coord.GPU(prof, budget, coord.DefaultGamma)
+	return fmt.Sprintf("profile=%+v\nsweep=%+v\ncoord=%+v", prof, sweep, d), nil
+}

@@ -1,0 +1,105 @@
+package invariant
+
+import (
+	"math"
+	"reflect"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func checkGPUPair(cfg Config, c *collector, p hw.Platform, w workload.Workload) error {
+	prof, err := profile.ProfileGPU(p, w)
+	if err != nil {
+		return err
+	}
+	gpu := p.GPU
+
+	// Below or at the memory power floor nothing is left for the SMs:
+	// Algorithm 2 must reject, never fabricate a negative SM budget.
+	for _, b := range []units.Power{0, prof.MemMin / 2, prof.MemMin} {
+		d := coord.GPU(prof, b, coord.DefaultGamma)
+		c.check("reject-threshold", b, d.Status == coord.StatusTooSmall,
+			"budget at or under the memory floor %v got status %v", prof.MemMin, d.Status)
+	}
+
+	type perfPoint struct {
+		budget  units.Power
+		perfMax float64
+	}
+	var curve []perfPoint
+
+	for _, budget := range core.BudgetRange(gpu.MinCap, gpu.MaxCap, cfg.BudgetPoints) {
+		d := coord.GPU(prof, budget, coord.DefaultGamma)
+		c.check("reject-threshold", budget, d.Status != coord.StatusTooSmall,
+			"settable budget rejected (memory floor %v)", prof.MemMin)
+		if d.Status == coord.StatusTooSmall {
+			continue
+		}
+
+		c.check("alloc-finite", budget, finite(d.Alloc), "allocated %v", d.Alloc)
+		c.check("budget-bound", budget, d.Alloc.Total() <= budget+boundSlack,
+			"allocated %v over budget", d.Alloc)
+		c.check("mem-range", budget,
+			d.Alloc.Mem >= prof.MemMin-boundSlack && d.Alloc.Mem <= prof.MemMax+boundSlack,
+			"memory budget %v outside card range [%v, %v]", d.Alloc.Mem, prof.MemMin, prof.MemMax)
+		c.check("surplus-iff", budget,
+			(d.Status == coord.StatusSurplus) == (budget >= prof.TotMax),
+			"status %v with P_tot_max %v", d.Status, prof.TotMax)
+		if d.Status == coord.StatusSurplus {
+			bal := d.Alloc.Total() + d.Surplus
+			c.check("surplus-balance", budget,
+				math.Abs((bal-budget).Watts()) <= 1e-6,
+				"alloc %v + surplus %v = %v", d.Alloc, d.Surplus, bal)
+		}
+
+		// Metamorphic gamma checks: a non-finite gamma must behave
+		// exactly like the default, and for compute-intensive
+		// applications (memory pinned to its minimum) gamma must not
+		// matter at all.
+		nan := coord.GPU(prof, budget, math.NaN())
+		c.check("alloc-finite", budget, reflect.DeepEqual(nan, d),
+			"NaN gamma decision %+v differs from default %+v", nan, d)
+		if prof.ComputeIntensive {
+			lo, hi := coord.GPU(prof, budget, 0.25), coord.GPU(prof, budget, 0.75)
+			c.check("alloc-finite", budget, reflect.DeepEqual(lo, hi),
+				"gamma changed a compute-intensive decision: %+v vs %+v", lo, hi)
+		}
+
+		pb := core.NewProblem(p, w, budget)
+		best, err := pb.PerfMax()
+		if err != nil {
+			return err
+		}
+		// A surplus decision pins the application's demand, which can sit
+		// below the card's minimum settable cap (titanv/gpustream). The
+		// governor would be programmed at its floor then; headroom above
+		// the demand changes nothing, so raise the cap side only.
+		evalAlloc := d.Alloc
+		if t := evalAlloc.Total(); t < gpu.MinCap {
+			evalAlloc.Proc += gpu.MinCap - t
+		}
+		achieved, err := pb.Evaluate(evalAlloc)
+		if err != nil {
+			return err
+		}
+		c.check("coord-gap", budget,
+			achieved.Result.Perf >= best.Result.Perf*(1-gpuGapTol),
+			"coord %.4g vs best %.4g (gap %.1f%%, tolerance %.0f%%)",
+			achieved.Result.Perf, best.Result.Perf,
+			100*(1-achieved.Result.Perf/best.Result.Perf), 100*gpuGapTol)
+		curve = append(curve, perfPoint{budget, best.Result.Perf})
+	}
+
+	for i := 1; i < len(curve); i++ {
+		prev, cur := curve[i-1], curve[i]
+		c.check("perfmax-monotone", cur.budget,
+			cur.perfMax >= prev.perfMax*(1-1e-9),
+			"perf_max fell from %.6g at %v to %.6g", prev.perfMax, prev.budget, cur.perfMax)
+	}
+	return nil
+}

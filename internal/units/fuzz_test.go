@@ -7,7 +7,7 @@ import (
 )
 
 func FuzzParsePower(f *testing.F) {
-	for _, seed := range []string{"208W", "208 W", "1.5kW", "2 MW", "-10W", "", "abc", "1e3", "++5W", "5 kw extra"} {
+	for _, seed := range []string{"208W", "208 W", "1.5kW", "2 MW", "-10W", "", "abc", "1e3", "++5W", "5 kw extra", "250 mW", "-0.25mW"} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, s string) {
@@ -40,12 +40,35 @@ func FuzzParseFrequency(f *testing.F) {
 	})
 }
 
+// powerStringTolerance is the precision Power.String guarantees: half a
+// unit of the last rendered digit in the displayed unit, plus a relative
+// sliver for decimal round trips of very large float64 values.
+func powerStringTolerance(w float64) float64 {
+	abs := math.Abs(w)
+	half := 0.05 // "%.1f W"
+	switch {
+	case abs >= 1e6:
+		half = 0.005 * 1e6 // "%.2f MW"
+	case abs >= 1e3:
+		half = 0.005 * 1e3 // "%.2f kW"
+	case w != 0 && abs < 0.1:
+		half = 0.005 * 1e-3 // "%.2f mW"
+	}
+	// The relative sliver absorbs binary/decimal conversion error (e.g.
+	// 9.25 rendering as "9.2" via round-half-to-even, 5e-16 past the
+	// half-digit bound, and long decimal expansions of huge values).
+	return half + 1e-9*abs
+}
+
+// FuzzPowerRoundTrip checks ParsePower(p.String()) stays within the
+// formatting precision for the whole finite range: negative,
+// sub-milliwatt, and very large values included.
 func FuzzPowerRoundTrip(f *testing.F) {
-	f.Add(208.0)
-	f.Add(0.0)
-	f.Add(48.5)
+	for _, seed := range []float64{208, 0, 48.5, -10, 4e-4, -7.5e-3, 2.5e-5, 1e9, 3.7e300, -1.2e15} {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, w float64) {
-		if math.IsNaN(w) || math.IsInf(w, 0) || math.Abs(w) > 1e12 {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
 			return
 		}
 		p := Power(w)
@@ -53,13 +76,55 @@ func FuzzPowerRoundTrip(f *testing.F) {
 		if !strings.HasSuffix(s, "W") {
 			t.Fatalf("Power(%v).String() = %q lacks unit", w, s)
 		}
-		// A formatted power must parse back to a nearby value.
 		back, err := ParsePower(s)
 		if err != nil {
 			t.Fatalf("cannot re-parse %q: %v", s, err)
 		}
-		if !AlmostEqual(back.Watts(), w, 0.06) {
-			t.Fatalf("round trip %v -> %q -> %v", w, s, back.Watts())
+		if math.Abs(back.Watts()-w) > powerStringTolerance(w) {
+			t.Fatalf("round trip %v -> %q -> %v (tolerance %v)", w, s, back.Watts(), powerStringTolerance(w))
+		}
+		if w != 0 && math.Signbit(back.Watts()) != math.Signbit(w) && back.Watts() != 0 {
+			t.Fatalf("round trip %v -> %q -> %v flipped sign", w, s, back.Watts())
+		}
+	})
+}
+
+// frequencyStringTolerance mirrors powerStringTolerance for
+// Frequency.String's three rendering bands.
+func frequencyStringTolerance(hz float64) float64 {
+	abs := math.Abs(hz)
+	half := 0.5 // "%.0f Hz"
+	switch {
+	case abs >= 1e9:
+		half = 0.005 * 1e9 // "%.2f GHz"
+	case abs >= 1e6:
+		half = 0.5 * 1e6 // "%.0f MHz"
+	}
+	return half + 1e-9*abs
+}
+
+// FuzzFrequencyRoundTrip checks ParseFrequency(f.String()) stays within
+// the formatting precision across negative, fractional, and very large
+// values.
+func FuzzFrequencyRoundTrip(f *testing.F) {
+	for _, seed := range []float64{2.5e9, 1600e6, 850e6, 60, 0, -3e3, 0.4, 1.4e6, 9.9e14, 2e300} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, hz float64) {
+		if math.IsNaN(hz) || math.IsInf(hz, 0) {
+			return
+		}
+		v := Frequency(hz)
+		s := v.String()
+		if !strings.HasSuffix(s, "Hz") {
+			t.Fatalf("Frequency(%v).String() = %q lacks unit", hz, s)
+		}
+		back, err := ParseFrequency(s)
+		if err != nil {
+			t.Fatalf("cannot re-parse %q: %v", s, err)
+		}
+		if math.Abs(back.Hz()-hz) > frequencyStringTolerance(hz) {
+			t.Fatalf("round trip %v -> %q -> %v (tolerance %v)", hz, s, back.Hz(), frequencyStringTolerance(hz))
 		}
 	})
 }

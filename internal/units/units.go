@@ -26,12 +26,17 @@ const (
 func (p Power) Watts() float64 { return float64(p) }
 
 // String formats the power with a unit suffix, e.g. "208.0 W".
+// Nonzero magnitudes below 0.1 W render in milliwatts so small values
+// survive a round trip through ParsePower instead of collapsing to
+// "0.0 W" (exact zero still renders as "0.0 W").
 func (p Power) String() string {
 	switch {
 	case math.Abs(float64(p)) >= 1e6:
 		return fmt.Sprintf("%.2f MW", float64(p)/1e6)
 	case math.Abs(float64(p)) >= 1e3:
 		return fmt.Sprintf("%.2f kW", float64(p)/1e3)
+	case p != 0 && math.Abs(float64(p)) < 0.1:
+		return fmt.Sprintf("%.2f mW", float64(p)*1e3)
 	default:
 		return fmt.Sprintf("%.1f W", float64(p))
 	}
@@ -179,12 +184,19 @@ func (r Rate) String() string {
 	}
 }
 
-// ParsePower parses strings like "208W", "208 W", "1.5kW", "2 MW".
-// A bare number is interpreted as watts.
+// ParsePower parses strings like "208W", "208 W", "1.5kW", "2 MW",
+// "250 mW". A bare number is interpreted as watts. The exact spelling
+// "mW" is milliwatts (the SI prefix is case sensitive there and
+// Power.String emits it for small values); every other casing,
+// including the legacy lowercase "mw", keeps its historical megawatt
+// meaning.
 func ParsePower(s string) (Power, error) {
 	v, unit, err := splitValueUnit(s)
 	if err != nil {
 		return 0, fmt.Errorf("parse power %q: %w", s, err)
+	}
+	if unit == "mW" {
+		return Power(v * 1e-3), nil
 	}
 	switch strings.ToLower(unit) {
 	case "", "w":

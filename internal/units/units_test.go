@@ -17,10 +17,43 @@ func TestPowerString(t *testing.T) {
 		{2.8e3, "2.80 kW"},
 		{20e6, "20.00 MW"},
 		{0, "0.0 W"},
+		// Sub-0.1 W magnitudes render in milliwatts so they survive the
+		// ParsePower round trip (regression: these collapsed to "0.0 W").
+		{0.0004, "0.40 mW"},
+		{-0.0075, "-7.50 mW"},
+		{0.0999, "99.90 mW"},
 	}
 	for _, c := range cases {
 		if got := c.p.String(); got != c.want {
 			t.Errorf("Power(%v).String() = %q, want %q", float64(c.p), got, c.want)
+		}
+	}
+}
+
+// TestParsePowerMilliwattCase pins the milli/mega disambiguation: the
+// exact spelling "mW" is milliwatts, while "MW" and the legacy
+// lowercase "mw" remain megawatts. Before the fix ParsePower lowercased
+// every unit, so "0.40 mW" read back as 400 kW — six orders of
+// magnitude off.
+func TestParsePowerMilliwattCase(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Power
+	}{
+		{"250 mW", 0.25},
+		{"-0.4mW", -0.0004},
+		{"2 MW", 2e6},
+		{"2 mw", 2e6}, // legacy lowercase keeps the megawatt meaning
+		{"2 Mw", 2e6},
+	}
+	for _, c := range cases {
+		got, err := ParsePower(c.in)
+		if err != nil {
+			t.Errorf("ParsePower(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(float64(got-c.want)) > 1e-12*math.Abs(float64(c.want)) {
+			t.Errorf("ParsePower(%q) = %v, want %v", c.in, float64(got), float64(c.want))
 		}
 	}
 }
