@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check fuzz bench benchsmoke verify-invariants
+.PHONY: all build test vet race check fuzz bench benchsmoke verify-invariants cover telemetry-alloc
 
 all: check
 
@@ -32,12 +32,32 @@ verify-invariants:
 	$(GO) test -race -run TestInvariant ./internal/invariant
 	$(GO) run ./cmd/pbc verify
 
-check: vet build race benchsmoke verify-invariants
+# The disabled-telemetry hot path must stay allocation-free: run the
+# benchmark once and fail if it reports any allocs/op.
+telemetry-alloc:
+	$(GO) test -run=^$$ -bench=BenchmarkTelemetryDisabled -benchtime=100000x -benchmem ./internal/telemetry | \
+		awk '/BenchmarkTelemetryDisabled/ { if ($$(NF-1)+0 != 0) { print "FAIL: disabled telemetry allocates:", $$0; exit 1 } found=1 } \
+		END { if (!found) { print "FAIL: BenchmarkTelemetryDisabled did not run"; exit 1 } }'
 
-# Short fuzz passes over the input parsers (fault specs, power units).
+check: vet build race benchsmoke verify-invariants telemetry-alloc
+
+# Coverage gate for the observability layer: internal/telemetry must
+# keep at least 70% statement coverage.
+COVER_FLOOR ?= 70.0
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/telemetry/...
+	$(GO) tool cover -func=cover.out | tail -1
+	@$(GO) tool cover -func=cover.out | awk -v floor=$(COVER_FLOOR) \
+		'/^total:/ { sub(/%/, "", $$3); if ($$3+0 < floor) { print "FAIL: coverage", $$3"% below floor", floor"%"; exit 1 } \
+		else { print "coverage OK:", $$3"% >= "floor"%" } }'
+
+# Short fuzz passes over the input parsers (fault specs, power units)
+# and the Prometheus exposition encoder.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseSpec -fuzztime=10s ./internal/faults
 	$(GO) test -run=^$$ -fuzz=FuzzParsePower -fuzztime=10s ./internal/units
+	$(GO) test -run=^$$ -fuzz=FuzzPromText -fuzztime=10s ./internal/telemetry
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

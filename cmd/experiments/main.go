@@ -19,6 +19,8 @@ import (
 
 	"repro/internal/evalpool"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/wire"
 )
 
 func main() {
@@ -27,9 +29,16 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation workers per engine (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", 0, "memo cache bound in entries (0 = default, negative disables)")
 	engineStats := flag.Bool("engine-stats", false, "print evaluation-engine statistics to stderr when done")
+	telem := flag.Bool("telemetry", false, "instrument the run and print a metrics snapshot to stderr when done")
 	flag.Parse()
 
 	evalpool.Configure(evalpool.Options{Workers: *workers, CacheSize: *cacheSize})
+	var reg *telemetry.Registry
+	if *telem {
+		reg = telemetry.New()
+		wire.Instrument(reg)
+		wire.InstrumentEngine(reg)
+	}
 
 	runners := experiments.All()
 	if args := flag.Args(); len(args) > 0 {
@@ -73,6 +82,10 @@ func main() {
 	}
 	if *engineStats {
 		fmt.Fprintf(os.Stderr, "engine: %s\n", evalpool.Default().Stats())
+	}
+	if reg != nil {
+		wire.Instrument(nil)
+		fmt.Fprint(os.Stderr, reg.Snapshot().Text())
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d artifact(s) with failed claims\n", failed)

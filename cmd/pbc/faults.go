@@ -30,8 +30,12 @@ func cmdFaults(args []string) error {
 	seed := fs.Uint64("fault-seed", 1, "fault injection seed; same seed = identical run")
 	nNodes := fs.Int("nodes", 3, "cluster demo node count (0 = skip the cluster demo)")
 	logLines := fs.Int("log", 6, "transition-log lines to print per section (0 = none)")
+	telem := telemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if dump := telem(); dump != nil {
+		defer dump()
 	}
 	p, w, err := resolve(*platform, *wl)
 	if err != nil {

@@ -36,6 +36,8 @@ import (
 	"repro/internal/roofline"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/wire"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/validate"
@@ -86,6 +88,8 @@ func main() {
 		err = cmdTrace(args)
 	case "faults":
 		err = cmdFaults(args)
+	case "serve":
+		err = cmdServe(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -121,6 +125,10 @@ commands:
   calibrate fit a model to measurements (-workload name -proc W -mem W [-perf X])
   trace    time-stepped run             (-platform -workload -proc W -mem W -units N [-dt ms])
   faults   fault-injection sweep        (-platform -workload -budget W [-fault-spec s] [-fault-seed n])
+  serve    telemetry HTTP endpoint      (-addr host:port [-rounds N]; /metrics + /healthz)
+
+sweep, curve, coord, dyncoord, and faults accept -telemetry to dump a
+metrics snapshot after the run.
 
 sweep, curve, and coord accept evaluation-engine knobs:
   -workers N      parallel evaluation workers (0 = GOMAXPROCS)
@@ -147,6 +155,27 @@ func engineFlags(fs *flag.FlagSet) func() bool {
 // hits/misses, evictions) so sweep cost is observable.
 func printEngineStats() {
 	fmt.Printf("\nengine: %s\n", evalpool.Default().Stats())
+}
+
+// telemetryFlags registers the -telemetry knob on a flag set and
+// returns a function to call after parsing: when the flag is set, it
+// wires a fresh registry into the whole stack and returns a dump
+// function to defer (prints the snapshot and unwires); when unset, it
+// returns nil and the run stays on the free nil-handle path.
+func telemetryFlags(fs *flag.FlagSet) func() func() {
+	enabled := fs.Bool("telemetry", false, "instrument the run and print a metrics snapshot afterwards")
+	return func() func() {
+		if !*enabled {
+			return nil
+		}
+		reg := telemetry.New()
+		wire.Instrument(reg)
+		wire.InstrumentEngine(reg)
+		return func() {
+			wire.Instrument(nil)
+			fmt.Printf("\n%s", reg.Snapshot().Text())
+		}
+	}
 }
 
 func platformAndWorkload(fs *flag.FlagSet) (*string, *string) {
@@ -262,10 +291,14 @@ func cmdSweep(args []string) error {
 	platform, wl := platformAndWorkload(fs)
 	budget := fs.Float64("budget", 208, "total power budget in watts")
 	engine := engineFlags(fs)
+	telem := telemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	stats := engine()
+	if dump := telem(); dump != nil {
+		defer dump()
+	}
 	p, w, err := resolve(*platform, *wl)
 	if err != nil {
 		return err
@@ -301,10 +334,14 @@ func cmdCurve(args []string) error {
 	hi := fs.Float64("hi", 300, "highest budget in watts")
 	n := fs.Int("n", 18, "number of points")
 	engine := engineFlags(fs)
+	telem := telemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	stats := engine()
+	if dump := telem(); dump != nil {
+		defer dump()
+	}
 	p, w, err := resolve(*platform, *wl)
 	if err != nil {
 		return err
@@ -380,10 +417,14 @@ func cmdCoord(args []string) error {
 	budget := fs.Float64("budget", 208, "total power budget in watts")
 	strategy := fs.String("strategy", "coord", "coord, memory-first, cpu-first, even-split, nvidia-default")
 	engine := engineFlags(fs)
+	telem := telemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	stats := engine()
+	if dump := telem(); dump != nil {
+		defer dump()
+	}
 	p, w, err := resolve(*platform, *wl)
 	if err != nil {
 		return err
@@ -439,10 +480,11 @@ func cmdCoord(args []string) error {
 	if err != nil {
 		return err
 	}
+	ratio := ev.Result.Perf / best.Result.Perf
+	coord.ObserveGapRatio(ratio)
 	fmt.Printf("performance: %s %s (best from sweep: %s at %v; ratio %.3f)\n",
 		report.FormatFloat(ev.Result.Perf), w.PerfUnit,
-		report.FormatFloat(best.Result.Perf), best.Alloc,
-		ev.Result.Perf/best.Result.Perf)
+		report.FormatFloat(best.Result.Perf), best.Alloc, ratio)
 	if stats {
 		printEngineStats()
 	}
@@ -507,8 +549,12 @@ func cmdDynCoord(args []string) error {
 	fs := flag.NewFlagSet("dyncoord", flag.ExitOnError)
 	platform, wl := platformAndWorkload(fs)
 	budget := fs.Float64("budget", 208, "total power budget in watts")
+	telem := telemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if dump := telem(); dump != nil {
+		defer dump()
 	}
 	p, w, err := resolve(*platform, *wl)
 	if err != nil {

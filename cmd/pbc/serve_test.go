@@ -1,0 +1,145 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/hw"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/wire"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// serveTestConfig builds a tiny one-round config against the catalog
+// defaults so tests finish quickly.
+func serveTestConfig(t *testing.T) serveConfig {
+	t.Helper()
+	p, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByName("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := faults.ParseSpec(defaultFaultSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serveConfig{
+		platform: p, work: w, bound: units.Power(208),
+		units: 2e11, dt: 250 * time.Millisecond,
+		spec: sp, seed: 1, rounds: 1, interval: 0,
+	}
+}
+
+// TestServeMetricsEndpoint runs one background round and checks the
+// /metrics endpoint serves valid Prometheus exposition format with the
+// stack's series present.
+func TestServeMetricsEndpoint(t *testing.T) {
+	reg := telemetry.New()
+	wire.Instrument(reg)
+	defer wire.Instrument(nil)
+	var health telemetry.Health
+
+	if err := serveRounds(context.Background(), serveTestConfig(t), reg, &health); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(newServeMux(reg, &health))
+	defer srv.Close()
+
+	res, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("/metrics status = %d", res.StatusCode)
+	}
+	text := string(body)
+	if err := telemetry.ValidateExposition(text); err != nil {
+		t.Fatalf("/metrics is not valid exposition format: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"serve_rounds_total 1",
+		"rapl_cap_writes_total",
+		"faults_sensor_reads_total",
+		"# TYPE rapl_backoff_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestServeHealthFlipsOnWatchdog pins the health semantics: a round
+// with watchdog engagements serves 503 from /healthz; a clean round
+// flips it back to 200.
+func TestServeHealthFlipsOnWatchdog(t *testing.T) {
+	var health telemetry.Health
+	srv := httptest.NewServer(newServeMux(nil, &health))
+	defer srv.Close()
+
+	get := func() (int, string) {
+		res, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		return res.StatusCode, string(body)
+	}
+
+	updateServeHealth(&health, faults.NodeRunResult{}, 0)
+	if code, _ := get(); code != 200 {
+		t.Fatalf("clean round: /healthz = %d, want 200", code)
+	}
+	updateServeHealth(&health, faults.NodeRunResult{WatchdogEngagements: 2}, 1)
+	code, body := get()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("watchdog round: /healthz = %d, want 503", code)
+	}
+	if !strings.Contains(body, "watchdog engaged 2 time(s) in round 1") {
+		t.Fatalf("503 body missing reason: %q", body)
+	}
+	updateServeHealth(&health, faults.NodeRunResult{}, 2)
+	if code, _ := get(); code != 200 {
+		t.Fatalf("recovered round: /healthz = %d, want 200", code)
+	}
+}
+
+// TestServeRoundsStopsOnCancel checks the background loop exits cleanly
+// when the serve context is cancelled between rounds.
+func TestServeRoundsStopsOnCancel(t *testing.T) {
+	reg := telemetry.New()
+	wire.Instrument(reg)
+	defer wire.Instrument(nil)
+	var health telemetry.Health
+
+	cfg := serveTestConfig(t)
+	cfg.rounds = 0 // would loop forever
+	cfg.interval = time.Hour
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveRounds(ctx, cfg, reg, &health) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveRounds = %v, want nil on cancel", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveRounds did not stop on context cancel")
+	}
+}

@@ -344,6 +344,9 @@ func (s *Scheduler) admitWaiting(res *QueueResult, active []*running, waiting []
 			started: now, firstStart: now,
 		})
 		res.Events = append(res.Events, Event{Time: now, Kind: "start", JobID: j.ID, NodeID: node.ID})
+		mAdmissions.Inc()
 	}
+	mQueueDepth.Set(float64(len(still)))
+	mActiveJobs.Set(float64(len(active)))
 	return active, still, freeNodes, pool, nil
 }

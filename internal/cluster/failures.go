@@ -153,6 +153,13 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 		}
 		res.Faults.BudgetReclaimed += r.budget
 		res.Faults.Readmissions++
+		if keepNode {
+			mEvictShock.Inc()
+		} else {
+			mEvictNodeFail.Inc()
+		}
+		mReadmissions.Inc()
+		mReclaimedWatts.Add(r.budget.Watts())
 		j := r.job
 		j.Units = r.remaining
 		waiting = append([]TimedJob{j}, waiting...)
@@ -230,6 +237,7 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 				}
 				freeNodes = append(freeNodes, node)
 				res.Faults.NodeRecoveries++
+				mNodeRecoveries.Inc()
 				res.Events = append(res.Events, Event{Time: now, Kind: "recover", NodeID: ev.nodeID})
 				log.Record(now, "node-recover", ev.nodeID, "node back in service")
 				if err := admit(); err != nil {
@@ -242,6 +250,7 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 			}
 			down[ev.nodeID] = true
 			res.Faults.NodeFailures++
+			mNodeFailures.Inc()
 			res.Events = append(res.Events, Event{Time: now, Kind: "fail", NodeID: ev.nodeID})
 			log.Record(now, "node-fail", ev.nodeID, "node lost")
 			// Remove from the free pool if idle, or evict its job.
@@ -274,6 +283,7 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 			pool += ev.delta
 			if ev.delta < 0 {
 				res.Faults.Shocks++
+				mShocks.Inc()
 				log.Recordf(now, "budget-shock", "facility", "pool reduced by %v", -ev.delta)
 				// Evict most recently started jobs until the committed
 				// grants fit the shrunken budget again.

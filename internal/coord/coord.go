@@ -72,18 +72,21 @@ func CPU(prof profile.CPUProfile, budget units.Power) Decision {
 	cp := prof.Critical
 	switch {
 	case budget >= cp.CPUMax+cp.MemMax:
+		mCPUSurplus.Inc()
 		return Decision{
 			Alloc:   core.Allocation{Proc: cp.CPUMax, Mem: cp.MemMax},
 			Status:  StatusSurplus,
 			Surplus: budget - (cp.CPUMax + cp.MemMax),
 		}
 	case budget >= cp.CPULowPState+cp.MemMax:
+		mCPUMemAdequate.Inc()
 		mem := cp.MemMax
 		return Decision{
 			Alloc:  core.Allocation{Proc: budget - mem, Mem: mem},
 			Status: StatusOK,
 		}
 	case budget >= cp.CPULowPState+cp.MemAtCPULow:
+		mCPUProportional.Inc()
 		pdCPU := (cp.CPUMax - cp.CPULowPState).Watts()
 		pdMem := (cp.MemMax - cp.MemAtCPULow).Watts()
 		pctCPU := 0.5
@@ -97,6 +100,7 @@ func CPU(prof profile.CPUProfile, budget units.Power) Decision {
 			Status: StatusOK,
 		}
 	default:
+		mCPURejected.Inc()
 		return Decision{Status: StatusTooSmall}
 	}
 }
@@ -129,6 +133,7 @@ func GPU(prof profile.GPUProfile, budget units.Power, gamma float64) Decision {
 		gamma = DefaultGamma
 	}
 	if budget <= prof.MemMin {
+		mGPURejected.Inc()
 		return Decision{Status: StatusTooSmall}
 	}
 	d := Decision{Status: StatusOK}
@@ -141,10 +146,13 @@ func GPU(prof profile.GPUProfile, budget units.Power, gamma float64) Decision {
 	var mem units.Power
 	switch {
 	case prof.ComputeIntensive:
+		mGPUComputeInt.Inc()
 		mem = prof.MemMin
 	case effective >= prof.TotRef:
+		mGPUMemAdequate.Inc()
 		mem = prof.MemMax
 	default:
+		mGPUBalanced.Inc()
 		// TotMin is the board total with both domains at their minimum
 		// clocks: TotRef minus the memory's nominal-to-minimum drop.
 		totMin := prof.TotRef - (prof.MemNom - prof.MemMin)

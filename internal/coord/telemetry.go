@@ -1,0 +1,42 @@
+package coord
+
+import "repro/internal/telemetry"
+
+// Per-regime decision handles. Each Algorithm 1 regime and Algorithm 2
+// case gets its own counter so regime mix is visible without sampling;
+// all are nil (free no-ops) until Instrument is called.
+var (
+	mCPUSurplus      *telemetry.Counter // regime A: both demands covered
+	mCPUMemAdequate  *telemetry.Counter // regime B: memory warranted first
+	mCPUProportional *telemetry.Counter // regime C: proportional split
+	mCPURejected     *telemetry.Counter // regime D: below threshold
+	mGPURejected     *telemetry.Counter
+	mGPUComputeInt   *telemetry.Counter
+	mGPUMemAdequate  *telemetry.Counter
+	mGPUBalanced     *telemetry.Counter
+	mGapRatio        *telemetry.Histogram
+)
+
+// Instrument registers the coordination metrics on r and activates the
+// decision counters inside CPU and GPU. Passing nil disables them.
+// Call before any concurrent use of the algorithms.
+func Instrument(r *telemetry.Registry) {
+	const name = "coord_decisions_total"
+	const help = "COORD decisions by algorithm and budget regime."
+	mCPUSurplus = r.Counter(name, help, "alg", "cpu", "regime", "surplus")
+	mCPUMemAdequate = r.Counter(name, help, "alg", "cpu", "regime", "mem-adequate")
+	mCPUProportional = r.Counter(name, help, "alg", "cpu", "regime", "proportional")
+	mCPURejected = r.Counter(name, help, "alg", "cpu", "regime", "rejected")
+	mGPURejected = r.Counter(name, help, "alg", "gpu", "regime", "rejected")
+	mGPUComputeInt = r.Counter(name, help, "alg", "gpu", "regime", "compute-intensive")
+	mGPUMemAdequate = r.Counter(name, help, "alg", "gpu", "regime", "mem-adequate")
+	mGPUBalanced = r.Counter(name, help, "alg", "gpu", "regime", "balanced")
+	mGapRatio = r.Histogram("coord_best_gap_ratio",
+		"COORD performance over the exhaustive-sweep best, per comparison.",
+		telemetry.RatioBuckets)
+}
+
+// ObserveGapRatio records one COORD-over-best performance ratio into
+// the gap histogram. Call sites are wherever both the heuristic and the
+// exhaustive best are computed (pbc coord, the invariant harness).
+func ObserveGapRatio(ratio float64) { mGapRatio.Observe(ratio) }

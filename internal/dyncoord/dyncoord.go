@@ -97,6 +97,7 @@ func PlanCPU(p hw.Platform, w workload.Workload, budget units.Power) (Plan, erro
 	}
 	staticDecision := coord.CPU(staticProf, budget)
 
+	mPlans.Inc()
 	plan := Plan{Workload: w.Name, Budget: budget}
 	for i, ph := range w.Phases {
 		d := coord.CPU(profs[i], budget)
@@ -104,7 +105,9 @@ func PlanCPU(p hw.Platform, w workload.Workload, budget units.Power) (Plan, erro
 			// Fall back to the whole-workload decision; if that too is
 			// rejected the plan reports it.
 			d = staticDecision
+			mStaticFallback.Inc()
 		}
+		mSteps.Inc()
 		plan.Steps = append(plan.Steps, Step{
 			Phase:  ph.Name,
 			Weight: ph.Weight,
@@ -190,8 +193,10 @@ func PlanCPUDegraded(p hw.Platform, w workload.Workload, budget units.Power, pha
 	}
 	fallback := coord.MemoryFirst(fallbackProf, budget)
 
+	mPlans.Inc()
 	plan := Plan{Workload: w.Name, Budget: budget}
 	for i, ph := range w.Phases {
+		mSteps.Inc()
 		step := Step{Phase: ph.Name, Weight: ph.Weight}
 		if phases[i].Health == ProfileGood {
 			d := coord.CPU(phases[i].Prof, budget)
@@ -202,6 +207,7 @@ func PlanCPUDegraded(p hw.Platform, w workload.Workload, budget units.Power, pha
 			}
 		}
 		step.FellBack = true
+		mDegradeFallback.Inc()
 		step.Alloc, step.Status = fallback.Alloc, fallback.Status
 		plan.Steps = append(plan.Steps, step)
 	}

@@ -1,0 +1,23 @@
+package dyncoord
+
+import "repro/internal/telemetry"
+
+// Planner instrument handles; nil (no-op) until Instrument is called.
+var (
+	mPlans           *telemetry.Counter
+	mSteps           *telemetry.Counter
+	mStaticFallback  *telemetry.Counter
+	mDegradeFallback *telemetry.Counter
+)
+
+// Instrument registers the dynamic-planner metrics on r. Passing nil
+// disables them. Call before planning concurrently.
+func Instrument(r *telemetry.Registry) {
+	mPlans = r.Counter("dyncoord_plans_total",
+		"Dynamic plans built (phase-aware or degraded).")
+	mSteps = r.Counter("dyncoord_steps_total",
+		"Plan steps emitted across all plans.")
+	const fbHelp = "Phases that could not use phase-aware COORD, by fallback kind."
+	mStaticFallback = r.Counter("dyncoord_fallbacks_total", fbHelp, "kind", "static")
+	mDegradeFallback = r.Counter("dyncoord_fallbacks_total", fbHelp, "kind", "degraded")
+}

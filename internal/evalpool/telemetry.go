@@ -1,0 +1,46 @@
+package evalpool
+
+import "repro/internal/telemetry"
+
+// RegisterDefaultMetrics exposes the shared engine's counters on r as
+// collector-backed series: values are read from Default().Stats() at
+// snapshot time, so the engine keeps its own lock-free atomics and the
+// hot evaluation path is untouched. A nil registry is a no-op.
+//
+// These series are NOT deterministic across worker counts: concurrent
+// requests for a not-yet-cached key may each run the simulator, so hit
+// and sim-run counts can differ run to run under workers > 1 even when
+// the evaluation results are byte-identical. Keep them out of golden
+// snapshots; the wire package registers them separately for this reason.
+func RegisterDefaultMetrics(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	stat := func(f func(Stats) float64) func() float64 {
+		return func() float64 { return f(Default().Stats()) }
+	}
+	r.CounterFunc("evalpool_requests_total",
+		"Evaluation requests against the shared engine.",
+		stat(func(s Stats) float64 { return float64(s.Requests) }))
+	r.CounterFunc("evalpool_sim_runs_total",
+		"Simulator calls actually executed (non-memoized).",
+		stat(func(s Stats) float64 { return float64(s.SimRuns) }))
+	r.CounterFunc("evalpool_cache_hits_total",
+		"Memo cache hits.",
+		stat(func(s Stats) float64 { return float64(s.Hits) }))
+	r.CounterFunc("evalpool_cache_misses_total",
+		"Memo cache misses.",
+		stat(func(s Stats) float64 { return float64(s.Misses) }))
+	r.CounterFunc("evalpool_cache_evictions_total",
+		"Memo cache LRU evictions.",
+		stat(func(s Stats) float64 { return float64(s.Evictions) }))
+	r.GaugeFunc("evalpool_cache_entries",
+		"Memo cache current occupancy.",
+		stat(func(s Stats) float64 { return float64(s.Entries) }))
+	r.GaugeFunc("evalpool_cache_capacity",
+		"Memo cache capacity (0 = caching disabled).",
+		stat(func(s Stats) float64 { return float64(s.Capacity) }))
+	r.GaugeFunc("evalpool_workers",
+		"Worker bound of the shared engine.",
+		stat(func(s Stats) float64 { return float64(s.Workers) }))
+}

@@ -204,6 +204,7 @@ func RunNode(p hw.Platform, w workload.Workload, bound units.Power, totalUnits f
 				desired = split(boundNow)
 				wd.Bound = boundNow
 				res.Shocks++
+				mNodeShocks.Inc()
 				log.Recordf(nowSec, "budget-shock", "node", "bound dropped to %v", boundNow)
 			}
 
@@ -243,6 +244,7 @@ func RunNode(p hw.Platform, w workload.Workload, bound units.Power, totalUnits f
 
 			// Sensor -> watchdog.
 			res.SensorReads++
+			mSensorReads.Inc()
 			engagedBefore := wd.Engaged()
 			if reading, ok := inj.SensorRead(avg); ok {
 				if _, err := wd.Observe(reading); err != nil {
@@ -250,6 +252,7 @@ func RunNode(p hw.Platform, w workload.Workload, bound units.Power, totalUnits f
 				}
 			} else {
 				res.SensorDrops++
+				mSensorDrops.Inc()
 			}
 			if wd.Engaged() != engagedBefore {
 				if wd.Engaged() {

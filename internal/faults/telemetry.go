@@ -1,0 +1,22 @@
+package faults
+
+import "repro/internal/telemetry"
+
+// Node-run instrument handles; nil (no-op) until Instrument is called.
+var (
+	mSensorReads *telemetry.Counter
+	mSensorDrops *telemetry.Counter
+	mNodeShocks  *telemetry.Counter
+)
+
+// Instrument registers the fault-injection metrics on r and activates
+// the node-run counters. Passing nil disables them. Call before running
+// node loops concurrently.
+func Instrument(r *telemetry.Registry) {
+	mSensorReads = r.Counter("faults_sensor_reads_total",
+		"Sensor read attempts in resilient node runs.")
+	mSensorDrops = r.Counter("faults_sensor_drops_total",
+		"Sensor readings dropped by the injector.")
+	mNodeShocks = r.Counter("faults_budget_shocks_total",
+		"Budget shocks applied to node bounds during runs.")
+}

@@ -136,11 +136,15 @@ func (r *ResilientController) verified(d Domain, cap units.Power) bool {
 // underlying write error, if any) when the retry budget is spent.
 func (r *ResilientController) SetLimit(d Domain, cap units.Power) error {
 	r.stats.Writes++
+	mCapWrites.Inc()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			r.stats.Retries++
-			r.stats.BackoffTotal += r.policy.Backoff(attempt)
+			mCapRetries.Inc()
+			backoff := r.policy.Backoff(attempt)
+			r.stats.BackoffTotal += backoff
+			mBackoffSeconds.Observe(backoff.Seconds())
 		}
 		err := r.target.SetLimit(d, cap)
 		if err == nil {
@@ -148,6 +152,7 @@ func (r *ResilientController) SetLimit(d Domain, cap units.Power) error {
 				return nil
 			}
 			r.stats.ReadbackMismatches++
+			mReadbackMismatches.Inc()
 			lastErr = fmt.Errorf("rapl: %v cap write to %v reported success but did not take effect", d, cap)
 		} else {
 			lastErr = err
@@ -157,6 +162,7 @@ func (r *ResilientController) SetLimit(d Domain, cap units.Power) error {
 		}
 	}
 	r.stats.Exhausted++
+	mCapExhausted.Inc()
 	return fmt.Errorf("rapl: set %v limit to %v after %d attempts: %w: %w",
 		d, cap, r.policy.MaxRetries+1, ErrCapWriteExhausted, lastErr)
 }
@@ -265,6 +271,7 @@ func (wd *Watchdog) Observe(windowAvg units.Power) (changed bool, err error) {
 		wd.WorstOvershoot = excess
 	}
 	if windowAvg > wd.Bound+wd.Tolerance {
+		mWatchdogOvershoot.Observe((windowAvg - wd.Bound).Watts())
 		wd.over++
 		wd.under = 0
 		if !wd.engaged && wd.over >= wd.TripAfter {
@@ -275,6 +282,8 @@ func (wd *Watchdog) Observe(windowAvg units.Power) (changed bool, err error) {
 			}
 			wd.engaged = true
 			wd.Engagements++
+			mWatchdogEngage.Inc()
+			mWatchdogEngaged.Set(1)
 			return true, nil
 		}
 		return false, nil
@@ -286,6 +295,8 @@ func (wd *Watchdog) Observe(windowAvg units.Power) (changed bool, err error) {
 			// Release only clears the clamp state; the caller re-programs
 			// the allocation it actually wants.
 			wd.engaged = false
+			mWatchdogRelease.Inc()
+			mWatchdogEngaged.Set(0)
 			return true, nil
 		}
 	}

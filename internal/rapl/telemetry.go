@@ -1,0 +1,45 @@
+package rapl
+
+import "repro/internal/telemetry"
+
+// Package-level instrument handles for the resilient control path. All
+// are nil until Instrument is called, and every update site is a
+// nil-safe no-op, so the uninstrumented hot path (one cap write per
+// control step) costs nothing and allocates nothing.
+var (
+	mCapWrites          *telemetry.Counter
+	mCapRetries         *telemetry.Counter
+	mReadbackMismatches *telemetry.Counter
+	mCapExhausted       *telemetry.Counter
+	mBackoffSeconds     *telemetry.Histogram
+	mWatchdogEngage     *telemetry.Counter
+	mWatchdogRelease    *telemetry.Counter
+	mWatchdogEngaged    *telemetry.Gauge
+	mWatchdogOvershoot  *telemetry.Histogram
+)
+
+// Instrument registers the package's metrics on r and points the
+// resilient-controller and watchdog hot paths at them. Counters
+// aggregate across every controller and watchdog in the process (one
+// node loop in practice). Passing nil disables instrumentation again.
+// Call before starting concurrent control loops.
+func Instrument(r *telemetry.Registry) {
+	mCapWrites = r.Counter("rapl_cap_writes_total",
+		"Cap writes accepted by the resilient controller.")
+	mCapRetries = r.Counter("rapl_cap_write_retries_total",
+		"Re-attempts after failed or unverified cap writes.")
+	mReadbackMismatches = r.Counter("rapl_readback_mismatches_total",
+		"Cap writes that reported success but did not take effect.")
+	mCapExhausted = r.Counter("rapl_cap_writes_exhausted_total",
+		"Cap writes that failed even after the full retry budget.")
+	mBackoffSeconds = r.Histogram("rapl_backoff_seconds",
+		"Backoff imposed before cap-write retries.", telemetry.DurationBuckets)
+	mWatchdogEngage = r.Counter("rapl_watchdog_engagements_total",
+		"Watchdog failsafe clamp activations.")
+	mWatchdogRelease = r.Counter("rapl_watchdog_releases_total",
+		"Watchdog failsafe clamp releases.")
+	mWatchdogEngaged = r.Gauge("rapl_watchdog_engaged",
+		"1 while the watchdog failsafe clamp is in force.")
+	mWatchdogOvershoot = r.Histogram("rapl_watchdog_overshoot_watts",
+		"Observed excess of windowed power over the defended bound.", telemetry.PowerBuckets)
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// MetricsHandler serves the registry's metrics in Prometheus text
+// exposition format; "?format=json" and "?format=text" select the
+// snapshot's JSON and line-text encodings instead. A nil registry
+// serves empty snapshots.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		switch req.URL.Query().Get("format") {
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(snap.JSON()))
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(snap.Text()))
+		default:
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_, _ = w.Write([]byte(snap.Prometheus()))
+		}
+	})
+}
+
+// Health is a concurrent-safe health flag for a /healthz endpoint: OK
+// until marked unhealthy, with a reason string served alongside the 503.
+type Health struct {
+	mu     sync.Mutex
+	bad    bool
+	reason string
+}
+
+// SetHealthy marks the service healthy.
+func (h *Health) SetHealthy() {
+	h.mu.Lock()
+	h.bad, h.reason = false, ""
+	h.mu.Unlock()
+}
+
+// SetUnhealthy marks the service unhealthy with a reason.
+func (h *Health) SetUnhealthy(reason string) {
+	h.mu.Lock()
+	h.bad, h.reason = true, reason
+	h.mu.Unlock()
+}
+
+// OK reports the current state.
+func (h *Health) OK() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.bad
+}
+
+// Reason returns the unhealthy reason ("" when healthy).
+func (h *Health) Reason() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.reason
+}
+
+// Handler serves 200 "ok" while healthy and 503 with the reason while
+// not.
+func (h *Health) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		h.mu.Lock()
+		bad, reason := h.bad, h.reason
+		h.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if bad {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte("unhealthy: " + reason + "\n"))
+			return
+		}
+		_, _ = w.Write([]byte("ok\n"))
+	})
+}
+
+// ServeUntil serves h on ln until ctx is cancelled, then shuts the
+// server down gracefully: new connections are refused while in-flight
+// requests (e.g. a scrape racing the shutdown) are given up to drain to
+// complete. It returns nil on a clean drain, the drain context's error
+// if requests were still running at the deadline, or the serve error if
+// the listener failed first.
+func ServeUntil(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration) error {
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		dctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		err := srv.Shutdown(dctx)
+		<-errc // Serve has returned ErrServerClosed by now
+		return err
+	}
+}

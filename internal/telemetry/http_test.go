@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsHandlerFormats(t *testing.T) {
+	r := New()
+	r.Counter("hits_total", "Hits.").Add(5)
+	h := MetricsHandler(r)
+
+	get := func(url string) (*http.Response, string) {
+		req := httptest.NewRequest("GET", url, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		res := rec.Result()
+		body, _ := io.ReadAll(res.Body)
+		return res, string(body)
+	}
+
+	res, body := get("/metrics")
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if err := ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics not valid exposition format: %v\n%s", err, body)
+	}
+	if !strings.Contains(body, "hits_total 5") {
+		t.Fatalf("missing sample:\n%s", body)
+	}
+
+	res, body = get("/metrics?format=json")
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("json content type = %q", ct)
+	}
+	assertValidJSON(t, body)
+
+	_, body = get("/metrics?format=text")
+	if !strings.HasPrefix(body, "# telemetry snapshot\n") {
+		t.Fatalf("text format missing header:\n%s", body)
+	}
+}
+
+func TestMetricsHandlerNilRegistry(t *testing.T) {
+	rec := httptest.NewRecorder()
+	MetricsHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if err := ValidateExposition(rec.Body.String()); err != nil {
+		t.Fatalf("empty exposition invalid: %v", err)
+	}
+}
+
+func TestHealthFlips(t *testing.T) {
+	var h Health
+	get := func() (int, string) {
+		rec := httptest.NewRecorder()
+		h.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		return rec.Code, rec.Body.String()
+	}
+	if code, body := get(); code != 200 || body != "ok\n" {
+		t.Fatalf("fresh health = %d %q", code, body)
+	}
+	h.SetUnhealthy("watchdog engaged")
+	if code, body := get(); code != http.StatusServiceUnavailable || !strings.Contains(body, "watchdog engaged") {
+		t.Fatalf("unhealthy = %d %q", code, body)
+	}
+	if h.OK() || h.Reason() != "watchdog engaged" {
+		t.Fatalf("state accessors wrong: %v %q", h.OK(), h.Reason())
+	}
+	h.SetHealthy()
+	if code, _ := get(); code != 200 {
+		t.Fatalf("recovered health = %d", code)
+	}
+}
+
+// TestServeUntilDrainsInFlight pins graceful shutdown: a scrape that is
+// mid-flight when the context is cancelled must complete with 200, and
+// ServeUntil must return nil (clean drain) afterwards.
+func TestServeUntilDrainsInFlight(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		close(inHandler)
+		<-release
+		_, _ = w.Write([]byte("slow ok"))
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- ServeUntil(ctx, ln, h, 5*time.Second) }()
+
+	resc := make(chan *http.Response, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+		if err != nil {
+			errc <- err
+			return
+		}
+		resc <- res
+	}()
+
+	<-inHandler // request is in flight
+	cancel()    // begin shutdown while the handler is still working
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	select {
+	case res := <-resc:
+		body, _ := io.ReadAll(res.Body)
+		if res.StatusCode != 200 || string(body) != "slow ok" {
+			t.Fatalf("in-flight request got %d %q", res.StatusCode, body)
+		}
+	case err := <-errc:
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("ServeUntil = %v, want nil (clean drain)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeUntil never returned")
+	}
+
+	// New connections must be refused after shutdown.
+	if _, err := http.Get("http://" + ln.Addr().String() + "/metrics"); err == nil {
+		t.Fatal("server still accepting after shutdown")
+	}
+}

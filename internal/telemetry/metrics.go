@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// atomicFloat is a lock-free float64 cell (bits in a uint64).
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Counter is a monotone cumulative metric. The nil *Counter is a no-op,
+// so uninstrumented hot paths cost one predicted branch and zero
+// allocations.
+type Counter struct {
+	v atomicFloat
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v. Negative and NaN deltas are dropped —
+// a counter only goes up.
+func (c *Counter) Add(v float64) {
+	if c == nil || !(v >= 0) {
+		return
+	}
+	c.v.add(v)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.load()
+}
+
+// Gauge is a metric that can go up and down. NaN and infinities are
+// legal values (a sensor fault may well produce them); the encoders
+// render them explicitly. The nil *Gauge is a no-op.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.store(v)
+}
+
+// Add adjusts the gauge by v (negative to decrease).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.add(v)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.load()
+}
+
+// Histogram is a bounded histogram over a fixed bucket layout declared
+// at registration. Fixed layouts are a determinism rule, not a
+// convenience: two runs that observe the same values always render the
+// same buckets. Observations use one atomic add per bucket; the nil
+// *Histogram is a no-op.
+type Histogram struct {
+	upper  []float64       // ascending upper bounds; +Inf implicit
+	counts []atomic.Uint64 // len(upper)+1, last is the +Inf bucket
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{
+		upper:  append([]float64(nil), upper...),
+		counts: make([]atomic.Uint64, len(upper)+1),
+	}
+}
+
+// Observe records one value. NaN observations are dropped (they would
+// poison the sum and land in no meaningful bucket).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v (le semantics)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Bucket is one cumulative histogram bucket of a snapshot.
+type Bucket struct {
+	// Upper is the bucket's inclusive upper bound; +Inf for the last.
+	Upper float64
+	// Count is the cumulative count of observations <= Upper.
+	Count uint64
+}
+
+// snapshot returns cumulative buckets, total count, and sum. Counts are
+// read bucket by bucket; under concurrent writers the view may be
+// mid-update, which monitoring tolerates — determinism tests only ever
+// snapshot quiescent histograms.
+func (h *Histogram) snapshot() (buckets []Bucket, count uint64, sum float64) {
+	if h == nil {
+		return nil, 0, 0
+	}
+	buckets = make([]Bucket, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		upper := math.Inf(1)
+		if i < len(h.upper) {
+			upper = h.upper[i]
+		}
+		buckets[i] = Bucket{Upper: upper, Count: cum}
+	}
+	return buckets, h.count.Load(), h.sum.load()
+}
+
+// Fixed bucket layouts shared by the stack's instruments. Reusing these
+// keeps snapshots comparable across packages and runs.
+var (
+	// DurationBuckets covers control-loop and backoff durations in
+	// seconds, from a microsecond to ten seconds.
+	DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+	// RatioBuckets covers achieved-over-best performance ratios; the
+	// dense region near 1.0 is where COORD's envelope lives.
+	RatioBuckets = []float64{0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.925, 0.95, 0.975, 0.99, 1.0}
+
+	// PowerBuckets covers power amounts in watts, from a single watt to
+	// a facility-scale kilowatt.
+	PowerBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+)

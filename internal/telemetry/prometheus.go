@@ -1,0 +1,317 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote, and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	// Byte-wise on purpose: label values are arbitrary byte strings, and
+	// rune iteration would rewrite invalid UTF-8 as U+FFFD instead of
+	// round-tripping it.
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are
+// legal there).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// withLabel renders a label set extended by one extra pair (used for
+// histogram "le" labels), keeping the base signature's escaping.
+func withLabel(labels []Label, key, value string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteString(`",`)
+	}
+	b.WriteString(key)
+	b.WriteString(`="`)
+	b.WriteString(escapeLabelValue(value))
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// Prometheus renders the snapshot's metrics in the Prometheus text
+// exposition format (version 0.0.4). Spans are not part of the format
+// and are omitted. Families appear in sorted name order with one
+// HELP/TYPE header each; histogram series expand into cumulative
+// _bucket/_sum/_count samples.
+func (s Snapshot) Prometheus() string {
+	var b strings.Builder
+	lastName := ""
+	for _, p := range s.Points {
+		if p.Name != lastName {
+			lastName = p.Name
+			if p.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", p.Name, escapeHelp(p.Help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", p.Name, p.Type)
+		}
+		switch p.Type {
+		case TypeHistogram:
+			for _, bk := range p.Buckets {
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", p.Name, withLabel(p.Labels, "le", formatValue(bk.Upper)), bk.Count)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", p.Name, signature(p.Labels), formatValue(p.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", p.Name, signature(p.Labels), p.Count)
+		default:
+			fmt.Fprintf(&b, "%s%s %s\n", p.Name, signature(p.Labels), formatValue(p.Value))
+		}
+	}
+	return b.String()
+}
+
+// ValidateExposition checks that text is well-formed Prometheus text
+// exposition format: every line is a HELP/TYPE comment or a sample with
+// a valid metric name, well-escaped label values, and a parseable
+// value; sample names agree with the preceding TYPE declaration
+// (histogram samples may carry the _bucket/_sum/_count suffixes); and
+// histogram bucket counts are cumulative with ascending le bounds. It
+// is the test-side oracle for the Prometheus encoder, including under
+// fuzzing.
+func ValidateExposition(text string) error {
+	types := map[string]string{}
+	type histState struct {
+		lastLe  float64
+		lastCum uint64
+		started bool
+	}
+	hists := map[string]*histState{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.SplitN(line[2:], " ", 3)
+			if len(fields) < 3 {
+				return fmt.Errorf("line %d: truncated comment %q", lineNo, line)
+			}
+			if !validName(fields[1]) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[1])
+			}
+			if fields[0] == "TYPE" {
+				switch fields[2] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[2])
+				}
+				if _, dup := types[fields[1]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[1])
+				}
+				types[fields[1]] = fields[2]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if t, ok := types[strings.TrimSuffix(name, sfx)]; ok && t == "histogram" && strings.HasSuffix(name, sfx) {
+				base, suffix = strings.TrimSuffix(name, sfx), sfx
+				break
+			}
+		}
+		typ, declared := types[base]
+		if !declared {
+			continue // untyped samples are legal
+		}
+		if typ == "histogram" && suffix == "" {
+			return fmt.Errorf("line %d: histogram %q sample without _bucket/_sum/_count suffix", lineNo, name)
+		}
+		if typ != "histogram" && suffix != "" {
+			base, suffix = name, "" // the suffix was part of the metric's own name
+		}
+		if suffix == "_bucket" {
+			leStr, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			le, err := parseFloat(leStr)
+			if err != nil {
+				return fmt.Errorf("line %d: bad le %q: %w", lineNo, leStr, err)
+			}
+			cum, err := strconv.ParseUint(strings.TrimSpace(value), 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bucket count %q not a uint: %w", lineNo, value, err)
+			}
+			st := hists[base+"|"+labelsKey(labels)]
+			if st == nil {
+				st = &histState{}
+				hists[base+"|"+labelsKey(labels)] = st
+			}
+			if st.started {
+				if !(le > st.lastLe) {
+					return fmt.Errorf("line %d: le %v not ascending after %v", lineNo, le, st.lastLe)
+				}
+				if cum < st.lastCum {
+					return fmt.Errorf("line %d: bucket count %d below previous %d", lineNo, cum, st.lastCum)
+				}
+			}
+			st.started, st.lastLe, st.lastCum = true, le, cum
+			continue
+		}
+		if _, err := parseFloat(value); err != nil {
+			return fmt.Errorf("line %d: bad value %q: %w", lineNo, value, err)
+		}
+	}
+	return nil
+}
+
+// labelsKey renders a parsed label map (minus le) into a series key.
+func labelsKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	// Insertion sort: tiny maps, no import needed beyond what we have.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// parseFloat parses an exposition-format float, accepting the explicit
+// NaN/+Inf/-Inf spellings.
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "NaN":
+		return math.NaN(), nil
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseSample splits one sample line into name, labels, and value,
+// unescaping label values (the inverse of the encoder's escaping).
+func parseSample(line string) (name string, labels map[string]string, value string, err error) {
+	labels = map[string]string{}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, "", fmt.Errorf("no value in sample %q", line)
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", nil, "", fmt.Errorf("invalid sample name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			if rest == "" {
+				return "", nil, "", fmt.Errorf("unterminated label set")
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, "", fmt.Errorf("label without '='")
+			}
+			lname := rest[:eq]
+			if !validLabelName(lname) {
+				return "", nil, "", fmt.Errorf("invalid label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, "", fmt.Errorf("label %q value not quoted", lname)
+			}
+			rest = rest[1:]
+			var v strings.Builder
+			for {
+				if rest == "" {
+					return "", nil, "", fmt.Errorf("unterminated label value")
+				}
+				c := rest[0]
+				if c == '"' {
+					rest = rest[1:]
+					break
+				}
+				if c == '\n' {
+					return "", nil, "", fmt.Errorf("raw newline in label value")
+				}
+				if c == '\\' {
+					if len(rest) < 2 {
+						return "", nil, "", fmt.Errorf("dangling escape")
+					}
+					switch rest[1] {
+					case '\\':
+						v.WriteByte('\\')
+					case '"':
+						v.WriteByte('"')
+					case 'n':
+						v.WriteByte('\n')
+					default:
+						return "", nil, "", fmt.Errorf("invalid escape \\%c", rest[1])
+					}
+					rest = rest[2:]
+					continue
+				}
+				v.WriteByte(c)
+				rest = rest[1:]
+			}
+			labels[lname] = v.String()
+			if rest != "" && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" {
+		return "", nil, "", fmt.Errorf("sample %q has no value", line)
+	}
+	// A timestamp may follow the value; we never emit one, but accept it.
+	if sp := strings.IndexByte(value, ' '); sp >= 0 {
+		if _, terr := strconv.ParseInt(value[sp+1:], 10, 64); terr != nil {
+			return "", nil, "", fmt.Errorf("trailing garbage %q", value[sp+1:])
+		}
+		value = value[:sp]
+	}
+	return name, labels, value, nil
+}

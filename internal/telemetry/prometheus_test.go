@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPrometheusEncodingValidates(t *testing.T) {
+	r := New()
+	r.Counter("jobs_total", "Jobs processed.", "queue", "batch").Add(3)
+	r.Counter("jobs_total", "Jobs processed.", "queue", "interactive").Add(1)
+	r.Gauge("depth", "Queue depth.").Set(7)
+	h := r.Histogram("latency_seconds", "Latency.", DurationBuckets, "op", "solve")
+	h.Observe(0.002)
+	h.Observe(0.2)
+	h.Observe(30) // +Inf bucket
+	text := r.Snapshot().Prometheus()
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("encoder output rejected: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# HELP jobs_total Jobs processed.",
+		"# TYPE jobs_total counter",
+		`jobs_total{queue="batch"} 3`,
+		`latency_seconds_bucket{op="solve",le="+Inf"} 3`,
+		`latency_seconds_count{op="solve"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+	// One TYPE header per family even with several series.
+	if strings.Count(text, "# TYPE jobs_total") != 1 {
+		t.Fatalf("TYPE header repeated:\n%s", text)
+	}
+}
+
+func TestPrometheusNonFiniteGauges(t *testing.T) {
+	r := New()
+	r.Gauge("a", "h").Set(math.NaN())
+	r.Gauge("b", "h").Set(math.Inf(1))
+	r.Gauge("c", "h").Set(math.Inf(-1))
+	text := r.Snapshot().Prometheus()
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("non-finite gauges rejected: %v\n%s", err, text)
+	}
+	for _, want := range []string{"a NaN", "b +Inf", "c -Inf"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	cases := []string{
+		`plain`, `with"quote`, `back\slash`, "new\nline", `mixed\"x` + "\n",
+		`trailing\`, "", "unicode ✓",
+	}
+	for _, v := range cases {
+		r := New()
+		r.Counter("m_total", "h", "k", v).Inc()
+		text := r.Snapshot().Prometheus()
+		if err := ValidateExposition(text); err != nil {
+			t.Fatalf("value %q: encoder output rejected: %v\n%s", v, err, text)
+		}
+		// Round-trip: the parser must recover the original value.
+		var sample string
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, "m_total{") {
+				sample = line
+			}
+		}
+		if sample == "" {
+			t.Fatalf("value %q: no sample line in:\n%s", v, text)
+		}
+		_, labels, _, err := parseSample(sample)
+		if err != nil {
+			t.Fatalf("value %q: parse: %v", v, err)
+		}
+		if labels["k"] != v {
+			t.Fatalf("round-trip %q -> %q", v, labels["k"])
+		}
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"no_value_here",
+		`m{k="unterminated} 1`,
+		`m{k="v} 1`,
+		`m{bad-label="v"} 1`,
+		`0leading 1`,
+		"m 1 notatimestamp",
+		"# TYPE m bogus\nm 1",
+		"# TYPE m counter\n# TYPE m counter\nm 1",
+		"# TYPE m histogram\nm 1",        // histogram sample without suffix
+		"# TYPE m histogram\nm_bucket 1", // bucket without le
+		"# TYPE m histogram\nm_bucket{le=\"2\"} 1\nm_bucket{le=\"1\"} 2", // le not ascending
+		"# TYPE m histogram\nm_bucket{le=\"1\"} 5\nm_bucket{le=\"2\"} 3", // count not cumulative
+		"# TYPE m histogram\nm_bucket{le=\"1\"} 1.5",                     // non-integer bucket count
+	}
+	for _, text := range bad {
+		if err := ValidateExposition(text); err == nil {
+			t.Fatalf("validator accepted malformed input:\n%s", text)
+		}
+	}
+	good := []string{
+		"",
+		"# free-form comment",
+		"m 1",
+		"m 1 1234567890", // trailing timestamp
+		"m{a=\"x\",b=\"y\"} -0.5",
+		"# TYPE m histogram\nm_bucket{le=\"1\"} 1\nm_bucket{le=\"+Inf\"} 2\nm_sum 1.5\nm_count 2",
+		"# TYPE m_sum counter\nm_sum 3", // _sum as a real counter name
+	}
+	for _, text := range good {
+		if err := ValidateExposition(text); err != nil {
+			t.Fatalf("validator rejected valid input: %v\n%s", err, text)
+		}
+	}
+}
+
+// FuzzPromText drives arbitrary label values and gauge values through
+// the encoder and checks the hand-rolled validator accepts the output
+// and the parser round-trips the label value.
+func FuzzPromText(f *testing.F) {
+	f.Add("plain", 1.0)
+	f.Add(`q"u\o`+"\nte", math.NaN())
+	f.Add("", math.Inf(-1))
+	f.Add("\\", 0.0)
+	f.Add("\x00control", 1e300)
+	f.Fuzz(func(t *testing.T, labelVal string, v float64) {
+		r := New()
+		r.Gauge("fuzz_metric", "Fuzzed gauge.", "k", labelVal).Set(v)
+		r.Histogram("fuzz_hist", "Fuzzed histogram.", RatioBuckets, "k", labelVal).Observe(v)
+		text := r.Snapshot().Prometheus()
+		if err := ValidateExposition(text); err != nil {
+			t.Fatalf("validator rejected encoder output for label %q value %v: %v\n%s",
+				labelVal, v, err, text)
+		}
+		var sample string
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, "fuzz_metric{") {
+				sample = line
+			}
+		}
+		if sample == "" {
+			t.Fatalf("no gauge sample for label %q:\n%s", labelVal, text)
+		}
+		_, labels, got, err := parseSample(sample)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sample, err)
+		}
+		if labels["k"] != labelVal {
+			t.Fatalf("label round-trip %q -> %q", labelVal, labels["k"])
+		}
+		parsed, err := parseFloat(got)
+		if err != nil {
+			t.Fatalf("value %q: %v", got, err)
+		}
+		if !(parsed == v || (math.IsNaN(parsed) && math.IsNaN(v))) {
+			t.Fatalf("value round-trip %v -> %v", v, parsed)
+		}
+		// The JSON encoding must stay parseable too.
+		assertValidJSON(t, r.Snapshot().JSON())
+	})
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRegistryRaceStress hammers the registry from many goroutines —
+// registration, updates, tracing, and snapshots concurrently — so the
+// race detector can prove the synchronization story. Run via `go test
+// -race` (part of `make check`).
+func TestRegistryRaceStress(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	const writers, iters = 8, 500
+
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			names := []string{"shared_total", "other_total"}
+			for i := 0; i < iters; i++ {
+				c := r.Counter(names[i%2], "h", "w", []string{"a", "b", "c"}[w%3])
+				c.Add(0.5)
+				r.Gauge("depth", "h").Set(float64(i))
+				r.Histogram("lat", "h", DurationBuckets).Observe(float64(i) * 1e-4)
+				r.Tracer().Event("tick", "race", "")
+			}
+		}()
+	}
+	// Concurrent readers: snapshots and encoders while writes are in flight.
+	for rd := 0; rd < 3; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				snap := r.Snapshot()
+				_ = snap.Text()
+				_ = snap.JSON()
+				if err := ValidateExposition(snap.Prometheus()); err != nil {
+					t.Errorf("mid-flight snapshot invalid: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := r.Snapshot()
+	var shared, other float64
+	for _, p := range snap.Points {
+		switch p.Name {
+		case "shared_total":
+			shared += p.Value
+		case "other_total":
+			other += p.Value
+		}
+	}
+	want := float64(writers*iters) * 0.5
+	if shared+other != want {
+		t.Fatalf("counter total = %v, want %v (lost updates)", shared+other, want)
+	}
+	if got := r.Tracer().Len(); got != writers*iters {
+		t.Fatalf("spans = %d, want %d", got, writers*iters)
+	}
+}

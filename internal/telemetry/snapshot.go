@@ -1,0 +1,218 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Point is one metric series in a snapshot.
+type Point struct {
+	// Name and Help identify the series' family; Type its kind.
+	Name string
+	Help string
+	Type MetricType
+	// Labels are the series labels, sorted by key.
+	Labels []Label
+	// Value is the counter or gauge value (unused for histograms).
+	Value float64
+	// Count, Sum, and Buckets describe a histogram series.
+	Count   uint64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// Snapshot is a point-in-time view of a registry: every metric series
+// sorted by (name, label signature), then every span of the registry's
+// tracer and attached tracers in attachment and sequence order. All of
+// its encoders are deterministic functions of the snapshot content.
+type Snapshot struct {
+	Points []Point
+	Spans  []Span
+}
+
+// Snapshot collects the registry's current state. A nil registry yields
+// an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	// Collect handles under the lock, read values outside it: fn-backed
+	// series may take other locks (e.g. the evaluation engine's), and
+	// holding the registry lock across them invites deadlocks.
+	type pending struct {
+		fam *family
+		e   *entry
+	}
+	r.mu.Lock()
+	var todo []pending
+	for _, name := range r.names {
+		fam := r.families[name]
+		for _, sig := range fam.order {
+			todo = append(todo, pending{fam: fam, e: fam.entries[sig]})
+		}
+	}
+	tracers := append([]*Tracer{&r.tracer}, r.extra...)
+	r.mu.Unlock()
+
+	for _, p := range todo {
+		pt := Point{Name: p.fam.name, Help: p.fam.help, Type: p.fam.typ, Labels: p.e.labels}
+		switch {
+		case p.e.fn != nil:
+			pt.Value = p.e.fn()
+		case p.e.ctr != nil:
+			pt.Value = p.e.ctr.Value()
+		case p.e.gauge != nil:
+			pt.Value = p.e.gauge.Value()
+		case p.e.hist != nil:
+			pt.Buckets, pt.Count, pt.Sum = p.e.hist.snapshot()
+		}
+		s.Points = append(s.Points, pt)
+	}
+	for _, t := range tracers {
+		s.Spans = append(s.Spans, t.Spans()...)
+	}
+	return s
+}
+
+// formatValue renders a float deterministically: shortest round-trip
+// form, with explicit NaN/+Inf/-Inf spellings shared by every encoder.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// Text renders the snapshot as a stable, line-oriented text form — the
+// format the golden byte-identity tests pin. One line per counter or
+// gauge, one per histogram (buckets inline), one per span.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	b.WriteString("# telemetry snapshot\n")
+	for _, p := range s.Points {
+		switch p.Type {
+		case TypeHistogram:
+			fmt.Fprintf(&b, "%s%s histogram count=%d sum=%s",
+				p.Name, signature(p.Labels), p.Count, formatValue(p.Sum))
+			for _, bk := range p.Buckets {
+				fmt.Fprintf(&b, " le(%s)=%d", formatValue(bk.Upper), bk.Count)
+			}
+			b.WriteByte('\n')
+		default:
+			fmt.Fprintf(&b, "%s%s %s %s\n",
+				p.Name, signature(p.Labels), p.Type, formatValue(p.Value))
+		}
+	}
+	for _, sp := range s.Spans {
+		fmt.Fprintf(&b, "span %d %s", sp.Seq, sp.Name)
+		if sp.Scope != "" {
+			fmt.Fprintf(&b, " scope=%q", sp.Scope)
+		}
+		if sp.SimTime >= 0 {
+			fmt.Fprintf(&b, " sim=%.3fs", sp.SimTime)
+		}
+		if !sp.Start.IsZero() {
+			fmt.Fprintf(&b, " at=%s", sp.Start.UTC().Format(time.RFC3339Nano))
+		}
+		if sp.Dur > 0 {
+			fmt.Fprintf(&b, " dur=%s", sp.Dur)
+		}
+		if sp.Note != "" {
+			fmt.Fprintf(&b, " note=%q", sp.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as deterministic JSON. Non-finite floats —
+// legal gauge values — are encoded as the strings "NaN", "+Inf", and
+// "-Inf", which encoding/json would otherwise reject.
+func (s Snapshot) JSON() string {
+	var b strings.Builder
+	b.WriteString("{\n  \"metrics\": [")
+	for i, p := range s.Points {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("\n    {")
+		fmt.Fprintf(&b, "\"name\": %s, \"type\": %q", jsonString(p.Name), p.Type)
+		if len(p.Labels) > 0 {
+			b.WriteString(", \"labels\": {")
+			for j, l := range p.Labels {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s: %s", jsonString(l.Key), jsonString(l.Value))
+			}
+			b.WriteByte('}')
+		}
+		if p.Type == TypeHistogram {
+			fmt.Fprintf(&b, ", \"count\": %d, \"sum\": %s, \"buckets\": [", p.Count, jsonFloat(p.Sum))
+			for j, bk := range p.Buckets {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "{\"le\": %s, \"count\": %d}", jsonFloat(bk.Upper), bk.Count)
+			}
+			b.WriteByte(']')
+		} else {
+			fmt.Fprintf(&b, ", \"value\": %s", jsonFloat(p.Value))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteString("\n  ],\n  \"spans\": [")
+	for i, sp := range s.Spans {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "\n    {\"seq\": %d, \"name\": %s", sp.Seq, jsonString(sp.Name))
+		if sp.Scope != "" {
+			fmt.Fprintf(&b, ", \"scope\": %s", jsonString(sp.Scope))
+		}
+		if sp.SimTime >= 0 {
+			fmt.Fprintf(&b, ", \"sim_seconds\": %s", jsonFloat(sp.SimTime))
+		}
+		if !sp.Start.IsZero() {
+			fmt.Fprintf(&b, ", \"start\": %q", sp.Start.UTC().Format(time.RFC3339Nano))
+		}
+		if sp.Dur > 0 {
+			fmt.Fprintf(&b, ", \"dur_seconds\": %s", jsonFloat(sp.Dur.Seconds()))
+		}
+		if sp.Note != "" {
+			fmt.Fprintf(&b, ", \"note\": %s", jsonString(sp.Note))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteString("\n  ]\n}\n")
+	return b.String()
+}
+
+// jsonFloat renders a float as a JSON value, quoting non-finite values.
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return `"` + formatValue(v) + `"`
+	}
+	return formatValue(v)
+}
+
+// jsonString renders a JSON string literal via encoding/json, which
+// (unlike strconv.Quote) escapes control characters in JSON-legal form.
+func jsonString(s string) string {
+	out, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return strconv.Quote(s)
+	}
+	return string(out)
+}

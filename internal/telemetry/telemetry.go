@@ -1,0 +1,315 @@
+// Package telemetry is the observability layer of the coordination
+// stack: a dependency-free, race-safe metrics registry (counters,
+// gauges, bounded histograms with fixed bucket layouts) plus
+// lightweight span tracing with explicit clock injection.
+//
+// Design rules, in force everywhere the package is used:
+//
+//   - Determinism first. Histograms use fixed bucket layouts declared at
+//     registration, snapshots are stable-sorted, float rendering uses
+//     shortest-round-trip formatting, and no code path reads the wall
+//     clock implicitly — tracers only see the clock they are given, so a
+//     fake clock makes whole snapshots byte-reproducible.
+//   - Disabled means free. Every instrument handle and the tracer are
+//     nil-safe no-ops: an uninstrumented package holds nil handles and
+//     its hot paths do not allocate (verified by
+//     BenchmarkTelemetryDisabled and TestDisabledTelemetryZeroAlloc).
+//   - No dependencies. Standard library only; the Prometheus exposition
+//     encoder is hand-rolled and pinned by a fuzzed validator.
+//
+// Producers obtain long-lived handles once (at Instrument time) and
+// update them on hot paths with atomic operations; consumers call
+// Registry.Snapshot for a consistent-enough view and encode it as
+// sorted text, JSON, or Prometheus exposition format.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MetricType classifies a registered metric.
+type MetricType int
+
+// Metric types, mirroring the Prometheus exposition TYPE keywords.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+// String returns the exposition-format type keyword.
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("MetricType(%d)", int(t))
+	}
+}
+
+// Label is one name/value pair attached to a metric.
+type Label struct {
+	Key, Value string
+}
+
+// Option configures a Registry.
+type Option func(*Registry)
+
+// WithClock injects the clock the registry's tracer stamps spans with.
+// Tests inject a fake clock to make span output byte-reproducible; nil
+// (the default) stamps the zero time, which is equally deterministic.
+func WithClock(fn func() time.Time) Option {
+	return func(r *Registry) { r.tracer.SetClock(fn) }
+}
+
+// Registry holds registered metrics and an attached set of tracers. The
+// nil *Registry is a valid no-op: every getter returns a nil handle
+// whose methods do nothing, so instrumentation can be compiled in
+// unconditionally and enabled by swapping one pointer.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration-independent sorted family names
+	tracer   Tracer
+	extra    []*Tracer
+}
+
+// family groups every label variant of one metric name under a single
+// help string, type, and (for histograms) bucket layout.
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	buckets []float64
+	entries map[string]*entry // keyed by rendered label signature
+	order   []string          // signatures sorted
+}
+
+// entry is one (name, labels) series. Exactly one of the handle fields
+// is set, matching the family type; fn-backed series are read at
+// snapshot time (the collector pattern for pre-existing counters).
+type entry struct {
+	labels []Label
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+	fn     func() float64
+}
+
+// New returns an empty registry.
+func New(opts ...Option) *Registry {
+	r := &Registry{families: map[string]*family{}}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Tracer returns the registry's own tracer (nil for a nil registry; the
+// nil tracer is a no-op).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return &r.tracer
+}
+
+// AttachTracer adds an externally owned tracer (e.g. a trace.EventLog's)
+// whose spans should appear in this registry's snapshots, after the
+// registry's own. A nil registry or nil tracer ignores the call.
+func (r *Registry) AttachTracer(t *Tracer) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.extra = append(r.extra, t)
+}
+
+// validName reports whether s is a legal metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s is a legal label name
+// ([a-zA-Z_][a-zA-Z0-9_]*).
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseLabels converts a flat k,v,k,v,... list into sorted labels,
+// panicking on malformed input — label sets are compile-time constants
+// at instrumentation sites, so a bad one is a programmer error.
+func parseLabels(name string, kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: metric %q: odd label list %q", name, kv))
+	}
+	labels := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		if !validLabelName(kv[i]) {
+			panic(fmt.Sprintf("telemetry: metric %q: invalid label name %q", name, kv[i]))
+		}
+		labels = append(labels, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	for i := 1; i < len(labels); i++ {
+		if labels[i].Key == labels[i-1].Key {
+			panic(fmt.Sprintf("telemetry: metric %q: duplicate label %q", name, labels[i].Key))
+		}
+	}
+	return labels
+}
+
+// signature renders sorted labels into the canonical series key, also
+// used verbatim by the encoders: `{k="v",k2="v2"}` or "" when unlabeled.
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// series resolves (or creates) the entry for (name, labels), enforcing
+// family-level consistency of type, help, and buckets.
+func (r *Registry) series(name, help string, typ MetricType, buckets []float64, kv []string) *entry {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	labels := parseLabels(name, kv)
+	sig := signature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, typ: typ,
+			buckets: append([]float64(nil), buckets...), entries: map[string]*entry{}}
+		r.families[name] = fam
+		i := sort.SearchStrings(r.names, name)
+		r.names = append(r.names, "")
+		copy(r.names[i+1:], r.names[i:])
+		r.names[i] = name
+	} else if fam.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %v (was %v)", name, typ, fam.typ))
+	}
+	e, ok := fam.entries[sig]
+	if !ok {
+		e = &entry{labels: labels}
+		switch typ {
+		case TypeCounter:
+			e.ctr = &Counter{}
+		case TypeGauge:
+			e.gauge = &Gauge{}
+		case TypeHistogram:
+			e.hist = newHistogram(fam.buckets)
+		}
+		fam.entries[sig] = e
+		i := sort.SearchStrings(fam.order, sig)
+		fam.order = append(fam.order, "")
+		copy(fam.order[i+1:], fam.order[i:])
+		fam.order[i] = sig
+	}
+	return e
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. labels is a flat k,v list. A nil registry returns a nil handle.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.series(name, help, TypeCounter, nil, labels).ctr
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.series(name, help, TypeGauge, nil, labels).gauge
+}
+
+// Histogram returns the histogram for (name, labels), creating it on
+// first use with the given fixed bucket upper bounds (ascending; an
+// implicit +Inf bucket is always appended). Buckets are fixed per
+// family: later calls for the same name reuse the first layout.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %q needs at least one bucket", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("telemetry: histogram %q buckets not ascending: %v", name, buckets))
+		}
+	}
+	return r.series(name, help, TypeHistogram, buckets, labels).hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// snapshot time — the collector pattern for pre-existing monotone
+// counters (e.g. the evaluation engine's request counts).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	e := r.series(name, help, TypeCounter, nil, labels)
+	r.mu.Lock()
+	e.fn = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge read from fn at snapshot time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	e := r.series(name, help, TypeGauge, nil, labels)
+	r.mu.Lock()
+	e.fn = fn
+	r.mu.Unlock()
+}

@@ -1,0 +1,292 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func assertValidJSON(t *testing.T, s string) {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal([]byte(s), &v); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, s)
+	}
+}
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	c.Add(-1)         // dropped: counters only go up
+	c.Add(math.NaN()) // dropped
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter after bad adds = %v, want 3.5", got)
+	}
+	if r.Counter("test_total", "help") != c {
+		t.Fatalf("re-registering returned a different handle")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := New()
+	g := r.Gauge("g", "help")
+	g.Set(10)
+	g.Dec()
+	g.Add(0.5)
+	if got := g.Value(); got != 9.5 {
+		t.Fatalf("gauge = %v, want 9.5", got)
+	}
+	g.Set(math.Inf(1))
+	if !math.IsInf(g.Value(), 1) {
+		t.Fatalf("gauge should accept +Inf")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", "help", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	buckets, count, sum := h.snapshot()
+	if count != 6 {
+		t.Fatalf("count = %d, want 6", count)
+	}
+	if sum != 0.5+1+1.5+2+3+100 {
+		t.Fatalf("sum = %v", sum)
+	}
+	// le semantics: observations equal to an upper bound land inside it.
+	want := []uint64{2, 4, 5, 6} // <=1, <=2, <=5, +Inf (cumulative)
+	for i, bk := range buckets {
+		if bk.Count != want[i] {
+			t.Fatalf("bucket %d (le %v) = %d, want %d", i, bk.Upper, bk.Count, want[i])
+		}
+	}
+	if !math.IsInf(buckets[len(buckets)-1].Upper, 1) {
+		t.Fatalf("last bucket should be +Inf")
+	}
+}
+
+func TestLabelsSortedAndDeduped(t *testing.T) {
+	r := New()
+	a := r.Counter("c", "h", "zeta", "1", "alpha", "2")
+	b := r.Counter("c", "h", "alpha", "2", "zeta", "1")
+	if a != b {
+		t.Fatalf("label order should not distinguish series")
+	}
+	mustPanic(t, func() { r.Counter("c", "h", "odd") })
+	mustPanic(t, func() { r.Counter("c", "h", "dup", "1", "dup", "2") })
+	mustPanic(t, func() { r.Counter("c", "h", "bad-name", "1") })
+	mustPanic(t, func() { r.Counter("0bad", "h") })
+	mustPanic(t, func() { r.Gauge("c", "h") }) // type conflict
+	mustPanic(t, func() { r.Histogram("hist", "h", nil) })
+	mustPanic(t, func() { r.Histogram("hist", "h", []float64{2, 1}) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestNilRegistryAndHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "h")
+	g := r.Gauge("x", "h")
+	h := r.Histogram("x", "h", []float64{1})
+	r.CounterFunc("x", "h", func() float64 { return 1 })
+	r.GaugeFunc("x", "h", func() float64 { return 1 })
+	r.AttachTracer(nil)
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatalf("nil handles should read zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Points) != 0 || len(snap.Spans) != 0 {
+		t.Fatalf("nil registry snapshot should be empty")
+	}
+	tr := r.Tracer()
+	tr.Event("e", "s", "n") // no-op, no panic
+	if tr.Len() != 0 {
+		t.Fatalf("nil tracer should be empty")
+	}
+}
+
+func TestSnapshotStableSorted(t *testing.T) {
+	r := New()
+	r.Counter("zzz_total", "z").Inc()
+	r.Gauge("aaa", "a").Set(1)
+	r.Counter("mmm_total", "m", "k", "b").Inc()
+	r.Counter("mmm_total", "m", "k", "a").Add(2)
+	snap := r.Snapshot()
+	var got []string
+	for _, p := range snap.Points {
+		got = append(got, p.Name+signature(p.Labels))
+	}
+	want := []string{"aaa", `mmm_total{k="a"}`, `mmm_total{k="b"}`, "zzz_total"}
+	if len(got) != len(want) {
+		t.Fatalf("points = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if snap.Text() != r.Snapshot().Text() {
+		t.Fatalf("quiescent snapshots should be byte-identical")
+	}
+}
+
+func TestFuncBackedSeries(t *testing.T) {
+	r := New()
+	v := 41.0
+	r.CounterFunc("fn_total", "h", func() float64 { v++; return v })
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if s1.Points[0].Value != 42 || s2.Points[0].Value != 43 {
+		t.Fatalf("fn-backed series should be read at snapshot time: %v, %v",
+			s1.Points[0].Value, s2.Points[0].Value)
+	}
+}
+
+func TestTracerFakeClockDeterminism(t *testing.T) {
+	run := func() string {
+		base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+		tick := 0
+		r := New(WithClock(func() time.Time {
+			tick++
+			return base.Add(time.Duration(tick) * time.Millisecond)
+		}))
+		tr := r.Tracer()
+		tr.Event("boot", "node", "up")
+		sp := tr.Start("solve", "engine")
+		sp.End("done")
+		tr.EventAt(1.5, "shock", "facility", "bound drop")
+		return r.Snapshot().Text()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fake-clock snapshots differ:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "span 0 boot") || !strings.Contains(a, "span 1 solve") {
+		t.Fatalf("unexpected span text:\n%s", a)
+	}
+	if !strings.Contains(a, "sim=1.500s") {
+		t.Fatalf("EventAt sim time missing:\n%s", a)
+	}
+}
+
+func TestTracerSeqGapFree(t *testing.T) {
+	var tr Tracer
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Event("e", "s", "")
+			}
+		}()
+	}
+	wg.Wait()
+	spans := tr.Spans()
+	if len(spans) != workers*per {
+		t.Fatalf("len = %d, want %d", len(spans), workers*per)
+	}
+	for i, sp := range spans {
+		if sp.Seq != uint64(i) {
+			t.Fatalf("span %d has seq %d: sequence not gap-free", i, sp.Seq)
+		}
+	}
+}
+
+func TestAttachTracer(t *testing.T) {
+	r := New()
+	var ext Tracer
+	r.AttachTracer(&ext)
+	r.Tracer().Event("own", "", "")
+	ext.Event("attached", "", "")
+	snap := r.Snapshot()
+	if len(snap.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(snap.Spans))
+	}
+	if snap.Spans[0].Name != "own" || snap.Spans[1].Name != "attached" {
+		t.Fatalf("span order wrong: %v", snap.Spans)
+	}
+}
+
+func TestJSONDeterministicAndParseable(t *testing.T) {
+	r := New()
+	r.Gauge("weird", "h", "k", "a\"b\\c\nd").Set(math.NaN())
+	r.Histogram("h", "h", []float64{1}).Observe(0.5)
+	r.Tracer().EventAt(2, "ev", "scope", "note \"quoted\"")
+	s := r.Snapshot()
+	if s.JSON() != r.Snapshot().JSON() {
+		t.Fatalf("JSON not deterministic")
+	}
+	assertValidJSON(t, s.JSON())
+}
+
+// TestDisabledTelemetryZeroAlloc pins the "disabled means free" rule:
+// nil-handle updates must not allocate.
+func TestDisabledTelemetryZeroAlloc(t *testing.T) {
+	var (
+		c  *Counter
+		g  *Gauge
+		h  *Histogram
+		tr *Tracer
+	)
+	n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(3)
+		g.Add(1)
+		h.Observe(0.5)
+		tr.Event("e", "s", "n")
+	})
+	if n != 0 {
+		t.Fatalf("disabled telemetry allocated %v allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkTelemetryDisabled is the perf gate for the nil fast path;
+// `make check` runs it and the b.ReportAllocs figure must stay at 0.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(float64(i))
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := New().Counter("bench_total", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

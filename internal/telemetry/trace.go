@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one recorded trace span: either an instant event (Dur == 0,
+// the common case for control-plane transitions) or a closed duration
+// span. Sequence numbers are assigned at record time under the tracer
+// lock, so within one tracer they are ordered and gap-free — Spans()[i]
+// always has Seq == i, even under concurrent writers.
+type Span struct {
+	// Seq is the span's position in the tracer's record order.
+	Seq uint64
+	// Name classifies the span (e.g. "node-fail", "fault-round").
+	Name string
+	// Scope names the affected entity (node ID, job ID, round, ...).
+	Scope string
+	// Note is free-form context.
+	Note string
+	// SimTime is the simulation time in seconds for events raised from
+	// simulated runs, or -1 when the span has no simulation time.
+	SimTime float64
+	// Start is the injected-clock wall time at record (End - Dur for
+	// duration spans). The zero time means no clock was injected.
+	Start time.Time
+	// Dur is the span duration; 0 for instant events.
+	Dur time.Duration
+}
+
+// Tracer records spans with an explicitly injected clock; it never
+// reads the wall clock on its own, so traced output is a pure function
+// of the recorded calls and the clock. The zero Tracer is ready to use;
+// the nil *Tracer is a no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	clock func() time.Time
+	spans []Span
+}
+
+// NewTracer returns a tracer stamping spans with the given clock (nil
+// stamps the zero time).
+func NewTracer(clock func() time.Time) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+// SetClock injects (or replaces) the tracer's clock.
+func (t *Tracer) SetClock(fn func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = fn
+	t.mu.Unlock()
+}
+
+// record appends a span under the lock, assigning the next sequence
+// number and stamping the clock on spans that do not carry their own
+// start time. Holding the lock across both steps is what makes
+// sequences gap-free and ordered.
+func (t *Tracer) record(sp Span) {
+	t.mu.Lock()
+	sp.Seq = uint64(len(t.spans))
+	if sp.Start.IsZero() && t.clock != nil {
+		sp.Start = t.clock()
+	}
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Event records an instant span with no simulation time.
+func (t *Tracer) Event(name, scope, note string) {
+	if t == nil {
+		return
+	}
+	t.record(Span{Name: name, Scope: scope, Note: note, SimTime: -1})
+}
+
+// EventAt records an instant span at the given simulation time.
+func (t *Tracer) EventAt(sim float64, name, scope, note string) {
+	if t == nil {
+		return
+	}
+	t.record(Span{Name: name, Scope: scope, Note: note, SimTime: sim})
+}
+
+// ActiveSpan is an open duration span; End closes and records it.
+type ActiveSpan struct {
+	t           *Tracer
+	name, scope string
+	start       time.Time
+}
+
+// Start opens a duration span. Nothing is recorded until End, so an
+// abandoned span leaves no gap in the sequence.
+func (t *Tracer) Start(name, scope string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var start time.Time
+	if t.clock != nil {
+		start = t.clock()
+	}
+	t.mu.Unlock()
+	return &ActiveSpan{t: t, name: name, scope: scope, start: start}
+}
+
+// End closes the span with a note and records it.
+func (s *ActiveSpan) End(note string) {
+	if s == nil {
+		return
+	}
+	var end time.Time
+	s.t.mu.Lock()
+	if s.t.clock != nil {
+		end = s.t.clock()
+	}
+	s.t.mu.Unlock()
+	var dur time.Duration
+	if !end.IsZero() && !s.start.IsZero() {
+		dur = end.Sub(s.start)
+	}
+	s.t.record(Span{Name: s.name, Scope: s.scope, Note: note, SimTime: -1, Start: s.start, Dur: dur})
+}
+
+// Spans returns a copy of the recorded spans in sequence order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Count returns the number of spans with the given name.
+func (t *Tracer) Count(name string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.spans {
+		if t.spans[i].Name == name {
+			n++
+		}
+	}
+	return n
+}

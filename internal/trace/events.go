@@ -3,6 +3,8 @@ package trace
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // TransitionEvent is one recorded state transition of the coordination
@@ -11,6 +13,10 @@ import (
 // the power meter see", TransitionEvent answers "what did the control
 // plane do and why".
 type TransitionEvent struct {
+	// Seq is the event's record-order sequence number: ordered and
+	// gap-free (Events()[i].Seq == i) even when producers record from
+	// multiple goroutines.
+	Seq uint64
 	// Time is the simulation time of the transition in seconds.
 	Time float64
 	// Kind classifies the transition, e.g. "node-fail", "node-recover",
@@ -23,12 +29,27 @@ type TransitionEvent struct {
 	Detail string
 }
 
-// EventLog is an append-only log of transitions. Every method is
-// nil-safe so producers can unconditionally record into an optional log.
-// Events are kept in insertion order; producers emit them in
-// simulation-time order, so the log is a deterministic replay record.
+// EventLog is an append-only log of transitions, backed by a telemetry
+// tracer: every record is an instant telemetry span, which is what
+// gives events atomic sequence numbers and safe concurrent recording —
+// the log used to append without a lock and without sequencing, so
+// concurrent producers could interleave or lose transitions. Every
+// method is nil-safe so producers can unconditionally record into an
+// optional log. Producers emit events in simulation-time order, so the
+// log is a deterministic replay record.
 type EventLog struct {
-	events []TransitionEvent
+	tr telemetry.Tracer
+}
+
+// Tracer exposes the log's backing tracer, so a telemetry.Registry can
+// include the log's transitions in its snapshots
+// (reg.AttachTracer(log.Tracer())) and tests can inject a fake clock.
+// Returns nil for a nil log (the nil tracer is a no-op).
+func (l *EventLog) Tracer() *telemetry.Tracer {
+	if l == nil {
+		return nil
+	}
+	return &l.tr
 }
 
 // Record appends a transition. A nil log ignores the call.
@@ -36,7 +57,7 @@ func (l *EventLog) Record(t float64, kind, subject, detail string) {
 	if l == nil {
 		return
 	}
-	l.events = append(l.events, TransitionEvent{Time: t, Kind: kind, Subject: subject, Detail: detail})
+	l.tr.EventAt(t, kind, subject, detail)
 }
 
 // Recordf appends a transition with a formatted detail string.
@@ -47,12 +68,23 @@ func (l *EventLog) Recordf(t float64, kind, subject, format string, args ...any)
 	l.Record(t, kind, subject, fmt.Sprintf(format, args...))
 }
 
-// Events returns the recorded transitions in insertion order.
+// Events returns the recorded transitions in sequence order.
 func (l *EventLog) Events() []TransitionEvent {
 	if l == nil {
 		return nil
 	}
-	return l.events
+	spans := l.tr.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]TransitionEvent, len(spans))
+	for i, sp := range spans {
+		out[i] = TransitionEvent{
+			Seq: sp.Seq, Time: sp.SimTime,
+			Kind: sp.Name, Subject: sp.Scope, Detail: sp.Note,
+		}
+	}
+	return out
 }
 
 // Len returns the number of recorded transitions.
@@ -60,7 +92,7 @@ func (l *EventLog) Len() int {
 	if l == nil {
 		return 0
 	}
-	return len(l.events)
+	return l.tr.Len()
 }
 
 // Count returns the number of transitions of the given kind.
@@ -68,23 +100,18 @@ func (l *EventLog) Count(kind string) int {
 	if l == nil {
 		return 0
 	}
-	n := 0
-	for _, e := range l.events {
-		if e.Kind == kind {
-			n++
-		}
-	}
-	return n
+	return l.tr.Count(kind)
 }
 
 // String renders the log one transition per line with stable formatting,
 // so two identical replays produce byte-identical logs.
 func (l *EventLog) String() string {
-	if l == nil || len(l.events) == 0 {
+	events := l.Events()
+	if len(events) == 0 {
 		return ""
 	}
 	var b strings.Builder
-	for _, e := range l.events {
+	for _, e := range events {
 		fmt.Fprintf(&b, "%10.3fs  %-16s %-10s %s\n", e.Time, e.Kind, e.Subject, e.Detail)
 	}
 	return b.String()

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestEventLogConcurrentSeq is the regression test for the old
+// unsynchronized EventLog: recording from many goroutines must lose
+// nothing, and the resulting sequence numbers must be ordered and
+// gap-free (Events()[i].Seq == i).
+func TestEventLogConcurrentSeq(t *testing.T) {
+	var log EventLog
+	const workers, per = 8, 250
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				log.Recordf(float64(i), "tick", fmt.Sprintf("w%d", w), "event %d", i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	events := log.Events()
+	if len(events) != workers*per {
+		t.Fatalf("recorded %d events, want %d (lost records)", len(events), workers*per)
+	}
+	if log.Len() != workers*per {
+		t.Fatalf("Len() = %d, want %d", log.Len(), workers*per)
+	}
+	perWorker := map[string]int{}
+	for i, e := range events {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d: sequence not gap-free", i, e.Seq)
+		}
+		perWorker[e.Subject]++
+	}
+	for w := 0; w < workers; w++ {
+		if n := perWorker[fmt.Sprintf("w%d", w)]; n != per {
+			t.Fatalf("worker %d has %d events, want %d", w, n, per)
+		}
+	}
+	if n := log.Count("tick"); n != workers*per {
+		t.Fatalf("Count(tick) = %d, want %d", n, workers*per)
+	}
+}
+
+// TestEventLogTracerAttachment checks the telemetry integration path: a
+// registry that attaches the log's tracer sees its transitions as spans.
+func TestEventLogTracerAttachment(t *testing.T) {
+	var log EventLog
+	log.Record(1.5, "node-fail", "node0", "node lost")
+	tr := log.Tracer()
+	if tr == nil {
+		t.Fatal("non-nil log returned nil tracer")
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Name != "node-fail" || sp.Scope != "node0" || sp.SimTime != 1.5 || sp.Note != "node lost" {
+		t.Fatalf("span fields wrong: %+v", sp)
+	}
+	var nilLog *EventLog
+	if nilLog.Tracer() != nil {
+		t.Fatal("nil log should return nil tracer")
+	}
+}
