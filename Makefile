@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check fuzz bench benchsmoke verify-invariants cover telemetry-alloc
+.PHONY: all build test vet race check fuzz bench benchsmoke loadsmoke verify-invariants cover telemetry-alloc
 
 all: check
 
@@ -26,6 +26,12 @@ race:
 benchsmoke:
 	$(GO) test -race -run=^$$ -bench=BenchmarkSweepSerialVsParallel -benchtime=1x .
 
+# Concurrency smoke for the allocation service under the race
+# detector: many clients over all three API routes against a small
+# worker pool, asserting consistent responses and balanced counters.
+loadsmoke:
+	$(GO) test -race -run TestLoadSmoke -count=1 -v ./internal/allocsvc
+
 # Cross-implementation invariant harness: the full catalog sweep under
 # the race detector, then the pbc verify CLI gate.
 verify-invariants:
@@ -39,7 +45,7 @@ telemetry-alloc:
 		awk '/BenchmarkTelemetryDisabled/ { if ($$(NF-1)+0 != 0) { print "FAIL: disabled telemetry allocates:", $$0; exit 1 } found=1 } \
 		END { if (!found) { print "FAIL: BenchmarkTelemetryDisabled did not run"; exit 1 } }'
 
-check: vet build race benchsmoke verify-invariants telemetry-alloc
+check: vet build race benchsmoke loadsmoke verify-invariants telemetry-alloc
 
 # Coverage gate for the observability layer: internal/telemetry must
 # keep at least 70% statement coverage.
@@ -62,3 +68,4 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/benchsweep
+	$(GO) run ./cmd/benchserve

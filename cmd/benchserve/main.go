@@ -1,0 +1,343 @@
+// Command benchserve measures the allocation service under load and
+// writes BENCH_serve.json: request latency percentiles (p50/p95),
+// sustained throughput, the coalesce hit rate under a duplicate-heavy
+// burst, and the backpressure knee — the burst concurrency at which a
+// deliberately small worker pool starts shedding load with 429.
+//
+// The harness drives the service through a real HTTP server (the same
+// handler pbc serve mounts), so the numbers include JSON decoding,
+// coalescing, worker-pool scheduling, and response rendering.
+//
+// Usage:
+//
+//	benchserve                  # write BENCH_serve.json in the cwd
+//	benchserve -o out.json      # write elsewhere ("-" for stdout)
+//	benchserve -requests 400    # longer latency phase
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/allocsvc"
+)
+
+// The latency-phase request mix: a realistic rotation over all three
+// routes with repeated bodies, so the memo caches and the scheduler
+// cache behave as they would under a monitoring loop that re-asks the
+// same questions.
+var mix = []struct{ route, body string }{
+	{allocsvc.RouteCoord, `{"platform":"ivybridge","workload":"stream","budget_watts":208}`},
+	{allocsvc.RouteCoord, `{"platform":"ivybridge","workload":"dgemm","budget_watts":170}`},
+	{allocsvc.RouteCoord, `{"platform":"haswell","workload":"stream","budget_watts":190}`},
+	{allocsvc.RouteCoord, `{"platform":"titanxp","workload":"gpustream","budget_watts":180}`},
+	{allocsvc.RoutePlan, `{"platform":"ivybridge","workload":"ft","budget_watts":180}`},
+	{allocsvc.RouteSchedule, `{"budget_watts":500,` +
+		`"nodes":[{"id":"n1","platform":"ivybridge"},{"id":"n2","platform":"ivybridge"}],` +
+		`"jobs":[{"id":"j1","workload":"stream"},{"id":"j2","workload":"dgemm"}]}`},
+}
+
+// LatencyPhase is the steady-load measurement.
+type LatencyPhase struct {
+	Clients      int     `json:"clients"`
+	Requests     int     `json:"requests"`
+	P50Ms        float64 `json:"latency_p50_ms"`
+	P95Ms        float64 `json:"latency_p95_ms"`
+	ThroughputRS float64 `json:"throughput_rps"`
+}
+
+// CoalescePhase is the duplicate-burst measurement.
+type CoalescePhase struct {
+	Bursts          int     `json:"bursts"`
+	BurstSize       int     `json:"burst_size"`
+	Requests        uint64  `json:"requests"`
+	CoalesceHits    uint64  `json:"coalesce_hits"`
+	CoalesceHitRate float64 `json:"coalesce_hit_rate"`
+}
+
+// KneePhase is the backpressure measurement: bursts of distinct
+// requests against a deliberately small pool until 429s appear.
+type KneePhase struct {
+	Workers        int     `json:"workers"`
+	QueueDepth     int     `json:"queue_depth"`
+	KneeBurst      int     `json:"knee_burst"`
+	Rejected       uint64  `json:"rejected_at_knee"`
+	Served         uint64  `json:"served_at_knee"`
+	ThroughputRS   float64 `json:"throughput_rps_at_knee"`
+	RetryAfterSecs int     `json:"retry_after_secs"`
+}
+
+// Report is the BENCH_serve.json schema.
+type Report struct {
+	Workers  int           `json:"workers"`
+	Latency  LatencyPhase  `json:"latency"`
+	Coalesce CoalescePhase `json:"coalesce"`
+	Knee     KneePhase     `json:"knee"`
+}
+
+func post(client *http.Client, url, route, body string) (int, string, error) {
+	resp, err := client.Post(url+route, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, resp.Header.Get("Retry-After"), nil
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted vs.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// runLatency drives the mix from several clients and measures
+// per-request latency and aggregate throughput.
+func runLatency(url string, clients, requests int) (LatencyPhase, error) {
+	perClient := requests / clients
+	latCh := make(chan []time.Duration, clients)
+	errCh := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			client := &http.Client{}
+			lats := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				r := mix[(c+i)%len(mix)]
+				t0 := time.Now()
+				code, _, err := post(client, url, r.route, r.body)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if code != http.StatusOK {
+					errCh <- fmt.Errorf("latency phase: %s returned %d", r.route, code)
+					return
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latCh <- lats
+		}(c)
+	}
+	var all []time.Duration
+	for c := 0; c < clients; c++ {
+		select {
+		case lats := <-latCh:
+			all = append(all, lats...)
+		case err := <-errCh:
+			return LatencyPhase{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return LatencyPhase{
+		Clients:      clients,
+		Requests:     len(all),
+		P50Ms:        percentile(all, 0.50).Seconds() * 1e3,
+		P95Ms:        percentile(all, 0.95).Seconds() * 1e3,
+		ThroughputRS: float64(len(all)) / elapsed.Seconds(),
+	}, nil
+}
+
+// runCoalesce fires bursts of identical requests at a cold service so
+// the duplicates land inside the leader's in-flight window. Each burst
+// uses a fresh budget (a fresh coalescing key and a fresh scheduler),
+// so every burst recomputes rather than hitting a warm response.
+func runCoalesce(bursts, burstSize int) (CoalescePhase, error) {
+	svc := allocsvc.New(allocsvc.Config{Workers: runtime.GOMAXPROCS(0)})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := &http.Client{}
+
+	for b := 0; b < bursts; b++ {
+		body := fmt.Sprintf(`{"budget_watts":%d,`+
+			`"nodes":[{"id":"n1","platform":"ivybridge"},{"id":"n2","platform":"haswell"}],`+
+			`"jobs":[{"id":"j1","workload":"stream"},{"id":"j2","workload":"dgemm"},{"id":"j3","workload":"mg"}]}`,
+			460+b)
+		release := make(chan struct{})
+		errs := make(chan error, burstSize)
+		var wg sync.WaitGroup
+		for i := 0; i < burstSize; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-release // start barrier: the whole burst fires at once
+				code, _, err := post(client, srv.URL, allocsvc.RouteSchedule, body)
+				if err == nil && code != http.StatusOK {
+					err = fmt.Errorf("coalesce phase: status %d", code)
+				}
+				if err != nil {
+					errs <- err
+				}
+			}()
+		}
+		close(release)
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return CoalescePhase{}, err
+		}
+	}
+	st := svc.Stats()
+	return CoalescePhase{
+		Bursts:          bursts,
+		BurstSize:       burstSize,
+		Requests:        st.Requests,
+		CoalesceHits:    st.Coalesced,
+		CoalesceHitRate: st.CoalesceRate(),
+	}, nil
+}
+
+// runKnee saturates a small pool with bursts of distinct requests of
+// doubling size until the service starts shedding load with 429, and
+// reports the burst size and sustained throughput at that point.
+func runKnee() (KneePhase, error) {
+	// A small pool with a fixed service time. The real decision
+	// functions are analytic and finish in microseconds — faster than
+	// requests arrive even under a burst, so admission control would
+	// never see overlapping work and the knee would depend on host
+	// scheduling noise. Stall imposes a deterministic per-request
+	// service time, making the knee a property of the admission policy
+	// (workers + queue) rather than of this machine.
+	const workers, queue = 2, 4
+	const stall = 2 * time.Millisecond
+	svc := allocsvc.New(allocsvc.Config{Workers: workers, QueueDepth: queue, Stall: stall})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := &http.Client{}
+
+	phase := KneePhase{Workers: workers, QueueDepth: queue}
+	for burst := 4; burst <= 512; burst *= 2 {
+		var rejected, served uint64
+		var retryAfter int
+		var mu sync.Mutex
+		release := make(chan struct{})
+		errs := make(chan error, burst)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-release
+				// Distinct budgets: every request is a distinct key, so
+				// coalescing cannot absorb the burst and admission
+				// control must.
+				body := fmt.Sprintf(
+					`{"platform":"ivybridge","workload":"stream","budget_watts":%g}`,
+					150+float64(i)/16)
+				code, ra, err := post(client, srv.URL, allocsvc.RouteCoord, body)
+				if err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				switch code {
+				case http.StatusOK:
+					served++
+				case http.StatusTooManyRequests:
+					rejected++
+					if s, err := fmt.Sscanf(ra, "%d", &retryAfter); s != 1 || err != nil {
+						retryAfter = 0
+					}
+				default:
+					errs <- fmt.Errorf("knee phase: status %d", code)
+				}
+			}(i)
+		}
+		close(release)
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(errs)
+		if err := <-errs; err != nil {
+			return KneePhase{}, err
+		}
+		if rejected > 0 {
+			phase.KneeBurst = burst
+			phase.Rejected = rejected
+			phase.Served = served
+			phase.ThroughputRS = float64(served) / elapsed.Seconds()
+			phase.RetryAfterSecs = retryAfter
+			return phase, nil
+		}
+	}
+	return phase, fmt.Errorf("knee phase: no 429 up to burst 512 — backpressure is not engaging")
+}
+
+func main() {
+	out := flag.String("o", "BENCH_serve.json", "output path (\"-\" for stdout)")
+	clients := flag.Int("clients", 8, "concurrent clients in the latency phase")
+	requests := flag.Int("requests", 240, "total requests in the latency phase")
+	bursts := flag.Int("bursts", 4, "duplicate bursts in the coalesce phase")
+	burstSize := flag.Int("burst-size", 16, "identical requests per coalesce burst")
+	flag.Parse()
+
+	rep := Report{Workers: runtime.GOMAXPROCS(0)}
+
+	// Latency phase runs against its own default-sized service.
+	svc := allocsvc.New(allocsvc.Config{})
+	srv := httptest.NewServer(svc.Handler())
+	var err error
+	rep.Latency, err = runLatency(srv.URL, *clients, *requests)
+	srv.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+
+	rep.Coalesce, err = runCoalesce(*bursts, *burstSize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+	if rep.Coalesce.CoalesceHits == 0 {
+		fmt.Fprintln(os.Stderr, "benchserve: coalesce phase produced zero hits — coalescing is not engaging")
+		os.Exit(1)
+	}
+
+	rep.Knee, err = runKnee()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: p50 %.2f ms, p95 %.2f ms, %.0f req/s; coalesce rate %.1f%%; 429 knee at burst %d\n",
+		*out, rep.Latency.P50Ms, rep.Latency.P95Ms, rep.Latency.ThroughputRS,
+		100*rep.Coalesce.CoalesceHitRate, rep.Knee.KneeBurst)
+}

@@ -125,7 +125,9 @@ commands:
   calibrate fit a model to measurements (-workload name -proc W -mem W [-perf X])
   trace    time-stepped run             (-platform -workload -proc W -mem W -units N [-dt ms])
   faults   fault-injection sweep        (-platform -workload -budget W [-fault-spec s] [-fault-seed n])
-  serve    telemetry HTTP endpoint      (-addr host:port [-rounds N]; /metrics + /healthz)
+  serve    HTTP endpoint                (-addr host:port [-rounds N] [-api-workers N] [-api-queue N];
+                                         /metrics + /healthz + allocation API: POST /v1/coord,
+                                         /v1/plan, /v1/schedule with coalescing and backpressure)
 
 sweep, curve, coord, dyncoord, and faults accept -telemetry to dump a
 metrics snapshot after the run.

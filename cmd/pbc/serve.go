@@ -8,9 +8,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/allocsvc"
 	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/telemetry"
@@ -47,15 +50,27 @@ func cmdServe(args []string) error {
 	rounds := fs.Int("rounds", 0, "background rounds to run (0 = until interrupted)")
 	intervalMs := fs.Int("interval", 2000, "pause between rounds in milliseconds")
 	drainMs := fs.Int("drain", 5000, "graceful-shutdown drain budget in milliseconds")
+	apiWorkers := fs.Int("api-workers", 0, "allocation API worker pool size (0 = GOMAXPROCS)")
+	apiQueue := fs.Int("api-queue", 0, "allocation API queue depth before 429 (0 = default, negative disables)")
+	apiTimeoutMs := fs.Int("api-timeout", 5000, "allocation API default per-request deadline in milliseconds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, w, err := resolve(*platform, *wl)
+	// The background load drives the CPU control stack (RAPL watchdog,
+	// fault injector), so GPU platforms cannot back it. Reject the
+	// platform name itself, before workload resolution: `-platform
+	// titanv` is wrong here no matter which workload rides along.
+	p, err := hw.PlatformByName(*platform)
 	if err != nil {
 		return err
 	}
 	if p.Kind != hw.KindCPU {
-		return fmt.Errorf("serve supports CPU platforms")
+		return fmt.Errorf("serve's background load needs a CPU platform; %q is a %s platform (supported: %s)",
+			p.Name, p.Kind, cpuPlatformNames())
+	}
+	_, w, err := resolve(*platform, *wl)
+	if err != nil {
+		return err
 	}
 	sp, err := faults.ParseSpec(*spec)
 	if err != nil {
@@ -74,6 +89,12 @@ func cmdServe(args []string) error {
 	defer wire.Instrument(nil)
 	wire.InstrumentEngine(reg)
 	var health telemetry.Health
+	svc := allocsvc.New(allocsvc.Config{
+		Workers:        *apiWorkers,
+		QueueDepth:     *apiQueue,
+		DefaultTimeout: time.Duration(*apiTimeoutMs) * time.Millisecond,
+		Registry:       reg,
+	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -82,8 +103,8 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving /metrics and /healthz on http://%s (fault seed %d, spec %s)\n",
-		ln.Addr(), cfg.seed, sp)
+	fmt.Printf("serving /metrics, /healthz, and the allocation API (%s, %s, %s) on http://%s (fault seed %d, spec %s)\n",
+		allocsvc.RouteCoord, allocsvc.RoutePlan, allocsvc.RouteSchedule, ln.Addr(), cfg.seed, sp)
 
 	loopDone := make(chan error, 1)
 	go func() {
@@ -91,20 +112,36 @@ func cmdServe(args []string) error {
 		stop() // a finite round budget shuts the server down too
 	}()
 
-	err = telemetry.ServeUntil(ctx, ln, newServeMux(reg, &health), time.Duration(*drainMs)*time.Millisecond)
+	err = telemetry.ServeUntil(ctx, ln, newServeMux(reg, &health, svc), time.Duration(*drainMs)*time.Millisecond)
 	if lerr := <-loopDone; lerr != nil && err == nil {
 		err = lerr
 	}
 	return err
 }
 
-// newServeMux routes the telemetry endpoints: Prometheus exposition on
-// /metrics (with ?format=json|text variants) and the health flag on
-// /healthz.
-func newServeMux(reg *telemetry.Registry, health *telemetry.Health) *http.ServeMux {
+// cpuPlatformNames lists the catalog's CPU platforms for error messages.
+func cpuPlatformNames() string {
+	var names []string
+	for _, p := range hw.Platforms() {
+		if p.Kind == hw.KindCPU {
+			names = append(names, p.Name)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// newServeMux routes the server's endpoints: Prometheus exposition on
+// /metrics (with ?format=json|text variants), the health flag on
+// /healthz, and — when a service is given — the allocation API
+// (/v1/coord, /v1/plan, /v1/schedule).
+func newServeMux(reg *telemetry.Registry, health *telemetry.Health, svc *allocsvc.Service) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
 	mux.Handle("/healthz", health.Handler())
+	if svc != nil {
+		svc.Register(mux)
+	}
 	return mux
 }
 

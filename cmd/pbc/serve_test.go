@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/allocsvc"
 	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/telemetry"
@@ -53,7 +54,7 @@ func TestServeMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := httptest.NewServer(newServeMux(reg, &health))
+	srv := httptest.NewServer(newServeMux(reg, &health, nil))
 	defer srv.Close()
 
 	res, err := http.Get(srv.URL + "/metrics")
@@ -86,7 +87,7 @@ func TestServeMetricsEndpoint(t *testing.T) {
 // flips it back to 200.
 func TestServeHealthFlipsOnWatchdog(t *testing.T) {
 	var health telemetry.Health
-	srv := httptest.NewServer(newServeMux(nil, &health))
+	srv := httptest.NewServer(newServeMux(nil, &health, nil))
 	defer srv.Close()
 
 	get := func() (int, string) {
@@ -114,6 +115,70 @@ func TestServeHealthFlipsOnWatchdog(t *testing.T) {
 	updateServeHealth(&health, faults.NodeRunResult{}, 2)
 	if code, _ := get(); code != 200 {
 		t.Fatalf("recovered round: /healthz = %d, want 200", code)
+	}
+}
+
+// TestServeRejectsGPUPlatformUpFront pins the CLI guard: a GPU platform
+// name fails immediately with an error that names the supported CPU
+// platforms — regardless of which workload was requested, because the
+// platform itself is wrong for serve's background load.
+func TestServeRejectsGPUPlatformUpFront(t *testing.T) {
+	for _, args := range [][]string{
+		{"-platform", "titanv", "-workload", "gpustream"},
+		// The old code resolved the pair first, so a GPU platform with
+		// the default CPU workload reported a confusing kind-mismatch
+		// instead of the real problem.
+		{"-platform", "titanv"},
+		{"-platform", "titanxp", "-workload", "stream"},
+	} {
+		err := cmdServe(args)
+		if err == nil {
+			t.Fatalf("cmdServe(%v) accepted a GPU platform", args)
+		}
+		msg := err.Error()
+		for _, want := range []string{"CPU platform", "haswell", "ivybridge"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("cmdServe(%v) error %q missing %q", args, msg, want)
+			}
+		}
+	}
+}
+
+// TestServeMuxServesAllocationAPI smoke-tests the API routes through
+// the real serve mux: a coord decision round-trips, and its requests
+// appear in the shared telemetry registry next to the control-stack
+// series.
+func TestServeMuxServesAllocationAPI(t *testing.T) {
+	reg := telemetry.New()
+	var health telemetry.Health
+	svc := allocsvc.New(allocsvc.Config{Workers: 2, Registry: reg})
+	srv := httptest.NewServer(newServeMux(reg, &health, svc))
+	defer srv.Close()
+
+	res, err := http.Post(srv.URL+"/v1/coord", "application/json",
+		strings.NewReader(`{"platform":"ivybridge","workload":"stream","budget_watts":208}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("/v1/coord status = %d, body %s", res.StatusCode, body)
+	}
+	for _, want := range []string{`"status":"ok"`, `"proc_watts"`, `"perf_unit":"GB/s"`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/v1/coord body %s missing %s", body, want)
+		}
+	}
+
+	res, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(metrics), `allocsvc_requests_total{code="200",route="/v1/coord"} 1`) {
+		t.Errorf("/metrics missing the allocation API counter:\n%s", metrics)
 	}
 }
 

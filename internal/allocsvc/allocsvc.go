@@ -1,0 +1,343 @@
+// Package allocsvc is the online allocation service: it serves the
+// repository's three coordination decisions — the single-node COORD
+// split, the dyncoord phase plan, and a cluster scheduling round — over
+// HTTP, concurrently, with the degradation behaviour a production
+// power-capped fleet needs. The paper's COORD heuristic exists to make
+// allocation cheap enough to run online; FastCap and EcoShift both
+// frame power capping as a continuously re-solved allocation problem,
+// so the decision path must be a low-latency service rather than a
+// batch job.
+//
+// The service wraps three load-shedding layers around the pure
+// decision functions:
+//
+//   - a bounded worker pool: at most Workers requests compute at once
+//     (the heavy lifting inside — profiling and simulation — already
+//     fans out through the shared evalpool engine and its memo cache);
+//   - request coalescing: identical in-flight requests, keyed on a
+//     content fingerprint of (route, platform, workload, budget, ...)
+//     — the same content-key discipline as the evalpool memo cache —
+//     share one computation and one rendered response body, so a
+//     thundering herd of identical queries costs one evaluation;
+//   - backpressure: when the queue of admitted-but-not-yet-running
+//     requests exceeds QueueDepth, new work is refused immediately with
+//     429 and a Retry-After hint instead of being buffered without
+//     bound, and every request carries a deadline (its own timeout_ms,
+//     capped by MaxTimeout) after which the caller gets 504 even if
+//     the shared computation later completes.
+//
+// Repeated /v1/schedule rounds against the same cluster reuse a cached
+// cluster.Scheduler, whose (now race-safe, singleflighted) profile
+// cache makes successive rounds cheap.
+package allocsvc
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/flight"
+	"repro/internal/telemetry"
+)
+
+// Config parameterizes a Service. The zero value gets sensible
+// defaults from New.
+type Config struct {
+	// Workers bounds concurrently computing requests; 0 or negative
+	// means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds requests admitted beyond the ones actively
+	// computing. When exceeded, new requests are refused with 429.
+	// 0 means DefaultQueueDepth; negative disables queueing entirely
+	// (every request beyond Workers is refused).
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline when the request does
+	// not carry its own timeout_ms. 0 means DefaultTimeout.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps per-request deadlines and bounds the shared
+	// computation itself. 0 means DefaultMaxTimeout.
+	MaxTimeout time.Duration
+	// RetryAfter is the Retry-After hint attached to 429 responses.
+	// 0 means DefaultRetryAfter.
+	RetryAfter time.Duration
+	// SchedulerCacheSize bounds the cached cluster.Scheduler instances
+	// for /v1/schedule (0 means DefaultSchedulerCacheSize; negative
+	// disables the cache).
+	SchedulerCacheSize int
+	// Registry receives the service's metrics (request counters by
+	// route and status, latency histograms, in-flight gauge, coalesce
+	// hits). nil leaves the service uninstrumented; the handles are
+	// nil-safe no-ops.
+	Registry *telemetry.Registry
+	// Stall artificially lengthens every computation by the given
+	// duration while it holds a worker slot. The real decision
+	// functions are analytic and complete in microseconds, so on small
+	// hosts concurrent requests rarely overlap and the backpressure
+	// path never engages; load harnesses (cmd/benchserve's knee phase)
+	// set Stall to impose a deterministic service time and locate the
+	// 429 knee reproducibly. Production configs leave it zero.
+	Stall time.Duration
+}
+
+// Defaults for the Config knobs.
+const (
+	DefaultQueueDepth         = 64
+	DefaultTimeout            = 5 * time.Second
+	DefaultMaxTimeout         = 30 * time.Second
+	DefaultRetryAfter         = 1 * time.Second
+	DefaultSchedulerCacheSize = 32
+)
+
+// Service is the allocation service. Construct with New; the zero
+// value is not usable. Safe for concurrent use.
+type Service struct {
+	cfg Config
+
+	slots    chan struct{} // worker pool: one token per computing request
+	inflight atomic.Int64  // leaders admitted (queued or computing)
+
+	flight flight.Group[string, *response]
+
+	schedMu    sync.Mutex
+	scheds     map[string]*cluster.Scheduler
+	schedOrder []string
+
+	m metrics
+
+	stats serviceStats
+
+	// slow, when non-nil, runs inside the worker slot before the
+	// computation. Tests use it to hold slots occupied so deadline and
+	// backpressure paths become deterministic.
+	slow func()
+}
+
+// serviceStats are the process-local counters Stats snapshots; they
+// exist independently of telemetry so harnesses (cmd/benchserve) can
+// read them without a registry.
+type serviceStats struct {
+	requests  atomic.Uint64
+	ok        atomic.Uint64
+	badInput  atomic.Uint64
+	rejected  atomic.Uint64
+	timeouts  atomic.Uint64
+	failures  atomic.Uint64
+	coalesced atomic.Uint64
+}
+
+// New returns a service with cfg's knobs, defaults applied.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.QueueDepth == 0:
+		cfg.QueueDepth = DefaultQueueDepth
+	case cfg.QueueDepth < 0:
+		cfg.QueueDepth = 0
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = DefaultTimeout
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	if cfg.DefaultTimeout > cfg.MaxTimeout {
+		cfg.DefaultTimeout = cfg.MaxTimeout
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	switch {
+	case cfg.SchedulerCacheSize == 0:
+		cfg.SchedulerCacheSize = DefaultSchedulerCacheSize
+	case cfg.SchedulerCacheSize < 0:
+		cfg.SchedulerCacheSize = 0
+	}
+	s := &Service{
+		cfg:    cfg,
+		slots:  make(chan struct{}, cfg.Workers),
+		scheds: map[string]*cluster.Scheduler{},
+	}
+	if cfg.Stall > 0 {
+		s.slow = func() { time.Sleep(cfg.Stall) }
+	}
+	s.m.init(cfg.Registry)
+	return s
+}
+
+// Workers returns the configured worker bound.
+func (s *Service) Workers() int { return s.cfg.Workers }
+
+// response is a fully rendered HTTP outcome, shared byte-for-byte by
+// every coalesced caller.
+type response struct {
+	code int
+	body []byte
+}
+
+// do runs one request through coalescing, backpressure, the worker
+// pool, and the caller's deadline. compute must be a pure function of
+// the key. The returned response is shared across coalesced callers,
+// so callers must not mutate it.
+func (s *Service) do(ctx context.Context, route, key string, timeout time.Duration, compute func() (any, error)) *response {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	ch, leader := s.flight.DoChan(key, func() (*response, error) {
+		return s.run(compute), nil
+	})
+	if !leader {
+		s.stats.coalesced.Add(1)
+		s.m.coalesceHits(route).Inc()
+	}
+	select {
+	case r := <-ch:
+		return r.Val
+	case <-ctx.Done():
+		// The shared computation keeps running for any other waiters;
+		// this caller alone gives up.
+		return timeoutResponse(ctx.Err())
+	}
+}
+
+// run executes compute inside the admission and worker-pool bounds.
+// It always returns a response: errors are encoded, never escape.
+func (s *Service) run(compute func() (any, error)) *response {
+	// Backpressure: refuse immediately when the service is saturated.
+	limit := int64(s.cfg.Workers + s.cfg.QueueDepth)
+	if s.inflight.Add(1) > limit {
+		s.inflight.Add(-1)
+		return busyResponse()
+	}
+	defer s.inflight.Add(-1)
+
+	// The computation itself is bounded by MaxTimeout regardless of
+	// the leader's own deadline: followers with longer deadlines must
+	// not inherit a shorter one, and an abandoned leader must not pin
+	// a worker slot forever.
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxTimeout)
+	defer cancel()
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return timeoutResponse(ctx.Err())
+	}
+	defer func() { <-s.slots }()
+	s.m.inflight.Inc()
+	defer s.m.inflight.Dec()
+
+	if s.slow != nil {
+		s.slow()
+	}
+	v, err := compute()
+	if err != nil {
+		return errorResponse(err)
+	}
+	return okResponse(v)
+}
+
+// schedulerFor returns (possibly from cache) a scheduler for the given
+// cluster fingerprint. build runs at most once per cached key; the
+// cache is bounded FIFO — old clusters fall out, their schedulers (and
+// warm profile caches) are simply rebuilt on next use.
+func (s *Service) schedulerFor(key string, build func() (*cluster.Scheduler, error)) (*cluster.Scheduler, error) {
+	if s.cfg.SchedulerCacheSize == 0 {
+		return build()
+	}
+	s.schedMu.Lock()
+	if sched, ok := s.scheds[key]; ok {
+		s.schedMu.Unlock()
+		return sched, nil
+	}
+	s.schedMu.Unlock()
+
+	sched, err := build()
+	if err != nil {
+		return nil, err
+	}
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	if cached, ok := s.scheds[key]; ok {
+		// A concurrent request built the same cluster first; share its
+		// scheduler so the profile cache stays shared too.
+		return cached, nil
+	}
+	if len(s.schedOrder) >= s.cfg.SchedulerCacheSize {
+		oldest := s.schedOrder[0]
+		s.schedOrder = s.schedOrder[1:]
+		delete(s.scheds, oldest)
+	}
+	s.scheds[key] = sched
+	s.schedOrder = append(s.schedOrder, key)
+	return sched, nil
+}
+
+// Stats is a snapshot of the service counters.
+type Stats struct {
+	// Requests counts every request that reached a handler; OK,
+	// BadInput, Rejected, Timeouts, and Failures partition the
+	// responses by outcome (2xx, 4xx input, 429, 504, 5xx).
+	Requests, OK, BadInput, Rejected, Timeouts, Failures uint64
+	// Coalesced counts requests served by joining an identical
+	// in-flight computation instead of running their own.
+	Coalesced uint64
+}
+
+// CoalesceRate returns coalesced over total requests (0 when idle).
+func (st Stats) CoalesceRate() float64 {
+	if st.Requests == 0 {
+		return 0
+	}
+	return float64(st.Coalesced) / float64(st.Requests)
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Requests:  s.stats.requests.Load(),
+		OK:        s.stats.ok.Load(),
+		BadInput:  s.stats.badInput.Load(),
+		Rejected:  s.stats.rejected.Load(),
+		Timeouts:  s.stats.timeouts.Load(),
+		Failures:  s.stats.failures.Load(),
+		Coalesced: s.stats.coalesced.Load(),
+	}
+}
+
+// timeout resolves a request's timeout_ms field against the service
+// bounds: 0 means the default, anything above MaxTimeout is clamped.
+func (s *Service) timeout(ms int) time.Duration {
+	if ms <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// count records a finished request's outcome in both the plain stats
+// and the telemetry registry.
+func (s *Service) count(route string, code int, elapsed time.Duration) {
+	s.stats.requests.Add(1)
+	switch {
+	case code >= 200 && code < 300:
+		s.stats.ok.Add(1)
+	case code == http.StatusTooManyRequests:
+		s.stats.rejected.Add(1)
+	case code == http.StatusGatewayTimeout:
+		s.stats.timeouts.Add(1)
+	case code >= 400 && code < 500:
+		s.stats.badInput.Add(1)
+	default:
+		s.stats.failures.Add(1)
+	}
+	s.m.requests(route, code).Inc()
+	s.m.latency(route).Observe(elapsed.Seconds())
+}

@@ -1,0 +1,357 @@
+package allocsvc
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// post sends body to route on the test server and returns the full
+// response.
+func post(t *testing.T, srv *httptest.Server, route, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+route, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", route, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, buf.Bytes()
+}
+
+func newTestService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, srv
+}
+
+// TestGoldenResponses pins the exact wire bytes of each route: the
+// responses are pure functions of the request, so any drift is either
+// an intended format change (update the goldens) or a regression.
+func TestGoldenResponses(t *testing.T) {
+	_, srv := newTestService(t, Config{Workers: 2})
+	cases := []struct {
+		name, route, body string
+	}{
+		{"coord_cpu", RouteCoord,
+			`{"platform":"ivybridge","workload":"stream","budget_watts":208}`},
+		{"coord_cpu_surplus", RouteCoord,
+			`{"platform":"ivybridge","workload":"stream","budget_watts":400}`},
+		{"coord_cpu_toosmall", RouteCoord,
+			`{"platform":"ivybridge","workload":"stream","budget_watts":40}`},
+		{"coord_gpu", RouteCoord,
+			`{"platform":"titanxp","workload":"gpustream","budget_watts":180}`},
+		{"coord_memfirst", RouteCoord,
+			`{"platform":"haswell","workload":"dgemm","budget_watts":220,"strategy":"memory-first"}`},
+		{"plan_ft", RoutePlan,
+			`{"platform":"ivybridge","workload":"ft","budget_watts":180}`},
+		{"schedule_mixed", RouteSchedule,
+			`{"budget_watts":500,` +
+				`"nodes":[{"id":"n1","platform":"ivybridge"},{"id":"n2","platform":"ivybridge"}],` +
+				`"jobs":[{"id":"j1","workload":"stream"},{"id":"j2","workload":"dgemm"},{"id":"j3","workload":"mg"}]}`},
+		{"err_unknown_platform", RouteCoord,
+			`{"platform":"epyc","workload":"stream","budget_watts":100}`},
+		{"err_kind_mismatch", RouteCoord,
+			`{"platform":"titanv","workload":"stream","budget_watts":100}`},
+		{"err_plan_gpu", RoutePlan,
+			`{"platform":"titanv","workload":"gpustream","budget_watts":150}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, got := post(t, srv, tc.route, tc.body)
+			if strings.HasPrefix(tc.name, "err_") {
+				if resp.StatusCode != http.StatusBadRequest {
+					t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, got)
+				}
+			} else if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d, want 200; body %s", resp.StatusCode, got)
+			}
+			path := filepath.Join("testdata", tc.name+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("response drifted from golden:\ngot:  %s\nwant: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestRepeatedRequestsByteIdentical: the same request served twice —
+// cold and warm caches — returns identical bytes.
+func TestRepeatedRequestsByteIdentical(t *testing.T) {
+	_, srv := newTestService(t, Config{Workers: 2})
+	body := `{"platform":"haswell","workload":"stream","budget_watts":190}`
+	_, first := post(t, srv, RouteCoord, body)
+	_, second := post(t, srv, RouteCoord, body)
+	if !bytes.Equal(first, second) {
+		t.Errorf("repeated request bodies differ:\n%s\n%s", first, second)
+	}
+}
+
+// TestCoalescedDuplicatesShareOneComputation holds a leader request in
+// the worker, piles identical duplicates behind it, and checks that
+// the duplicates were coalesced and every caller got byte-identical
+// bytes.
+func TestCoalescedDuplicatesShareOneComputation(t *testing.T) {
+	svc, srv := newTestService(t, Config{Workers: 1})
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	var computed int
+	var mu sync.Mutex
+	svc.slow = func() {
+		mu.Lock()
+		computed++
+		mu.Unlock()
+		entered <- struct{}{}
+		<-release
+	}
+
+	const dup = 4
+	body := `{"platform":"ivybridge","workload":"dgemm","budget_watts":170}`
+	bodies := make([][]byte, dup)
+	codes := make([]int, dup)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, b := post(t, srv, RouteCoord, body)
+		codes[0], bodies[0] = resp.StatusCode, b
+	}()
+	<-entered // leader is inside the worker slot
+
+	for i := 1; i < dup; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, b := post(t, srv, RouteCoord, body)
+			codes[i], bodies[i] = resp.StatusCode, b
+		}(i)
+	}
+	// Wait until every duplicate has joined the in-flight call.
+	for start := time.Now(); svc.Stats().Coalesced < dup-1; {
+		if time.Since(start) > 5*time.Second {
+			t.Fatalf("followers never coalesced: %+v", svc.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < dup; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d body differs from leader:\n%s\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if computed != 1 {
+		t.Errorf("computation ran %d times for %d identical requests", computed, dup)
+	}
+	if st := svc.Stats(); st.Coalesced != dup-1 {
+		t.Errorf("Coalesced = %d, want %d", st.Coalesced, dup-1)
+	}
+}
+
+// TestDeadlineExceededReturns504: a request whose deadline expires
+// while the computation is still running gets 504, not a hung
+// connection.
+func TestDeadlineExceededReturns504(t *testing.T) {
+	svc, srv := newTestService(t, Config{Workers: 1})
+	release := make(chan struct{})
+	svc.slow = func() { <-release }
+	defer close(release)
+
+	resp, body := post(t, srv, RouteCoord,
+		`{"platform":"ivybridge","workload":"stream","budget_watts":208,"timeout_ms":1}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "deadline exceeded") {
+		t.Errorf("body %s does not mention the deadline", body)
+	}
+	if st := svc.Stats(); st.Timeouts != 1 {
+		t.Errorf("Timeouts = %d, want 1", st.Timeouts)
+	}
+}
+
+// TestQueueFullReturns429 saturates a Workers=1, QueueDepth=0 service
+// and checks that the next (distinct) request is refused immediately
+// with 429 and a Retry-After hint.
+func TestQueueFullReturns429(t *testing.T) {
+	svc, srv := newTestService(t, Config{
+		Workers: 1, QueueDepth: -1, RetryAfter: 2 * time.Second,
+	})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	svc.slow = func() { entered <- struct{}{}; <-release }
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, b := post(t, srv, RouteCoord,
+			`{"platform":"ivybridge","workload":"stream","budget_watts":208}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("occupying request: status %d, body %s", resp.StatusCode, b)
+		}
+	}()
+	<-entered // the single worker slot is now held
+
+	resp, body := post(t, srv, RouteCoord,
+		`{"platform":"ivybridge","workload":"dgemm","budget_watts":170}`)
+	close(release)
+	wg.Wait()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+	if st := svc.Stats(); st.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", st.Rejected)
+	}
+}
+
+// TestBadInputs pins the client-error surface: wrong method, malformed
+// body, unknown field, non-positive budget, empty cluster.
+func TestBadInputs(t *testing.T) {
+	_, srv := newTestService(t, Config{Workers: 2})
+
+	resp, err := http.Get(srv.URL + RouteCoord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", resp.StatusCode)
+	}
+
+	cases := []struct {
+		name, route, body, wantIn string
+	}{
+		{"malformed", RouteCoord, `{"platform":`, "bad request body"},
+		{"unknown_field", RouteCoord,
+			`{"platform":"ivybridge","workload":"stream","budget":208}`, "bad request body"},
+		{"zero_budget", RouteCoord,
+			`{"platform":"ivybridge","workload":"stream","budget_watts":0}`, "budget_watts"},
+		{"nan_budget", RoutePlan,
+			`{"platform":"ivybridge","workload":"stream","budget_watts":-5}`, "budget_watts"},
+		{"no_nodes", RouteSchedule,
+			`{"budget_watts":500,"jobs":[{"id":"j","workload":"stream"}]}`, "node"},
+		{"no_jobs", RouteSchedule,
+			`{"budget_watts":500,"nodes":[{"id":"n","platform":"ivybridge"}]}`, "job"},
+		{"bad_strategy", RouteCoord,
+			`{"platform":"ivybridge","workload":"stream","budget_watts":208,"strategy":"magic"}`,
+			"unknown CPU strategy"},
+		{"dup_node", RouteSchedule,
+			`{"budget_watts":500,"nodes":[{"id":"n","platform":"ivybridge"},{"id":"n","platform":"ivybridge"}],` +
+				`"jobs":[{"id":"j","workload":"stream"}]}`, "duplicate node"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, srv, tc.route, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, body)
+			}
+			if !strings.Contains(string(body), tc.wantIn) {
+				t.Errorf("body %s does not mention %q", body, tc.wantIn)
+			}
+		})
+	}
+}
+
+// TestScheduleReusesCachedScheduler: two rounds over the same cluster
+// with different queues share one scheduler (and so one profile
+// cache); a different cluster gets its own.
+func TestScheduleReusesCachedScheduler(t *testing.T) {
+	svc, srv := newTestService(t, Config{Workers: 2})
+	round := func(jobs string) {
+		resp, body := post(t, srv, RouteSchedule,
+			`{"budget_watts":500,"nodes":[{"id":"n1","platform":"ivybridge"}],"jobs":`+jobs+`}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+		}
+	}
+	round(`[{"id":"j1","workload":"stream"}]`)
+	round(`[{"id":"j2","workload":"dgemm"}]`)
+	svc.schedMu.Lock()
+	n := len(svc.scheds)
+	svc.schedMu.Unlock()
+	if n != 1 {
+		t.Errorf("scheduler cache has %d entries after two same-cluster rounds, want 1", n)
+	}
+
+	resp, body := post(t, srv, RouteSchedule,
+		`{"budget_watts":400,"nodes":[{"id":"n1","platform":"haswell"}],"jobs":[{"id":"j1","workload":"stream"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	svc.schedMu.Lock()
+	n = len(svc.scheds)
+	svc.schedMu.Unlock()
+	if n != 2 {
+		t.Errorf("scheduler cache has %d entries after a second cluster, want 2", n)
+	}
+}
+
+// TestSchedulerCacheBounded: the FIFO bound holds.
+func TestSchedulerCacheBounded(t *testing.T) {
+	svc, srv := newTestService(t, Config{Workers: 2, SchedulerCacheSize: 2})
+	budgets := []string{"300", "400", "500"}
+	for _, b := range budgets {
+		resp, body := post(t, srv, RouteSchedule,
+			`{"budget_watts":`+b+`,"nodes":[{"id":"n1","platform":"ivybridge"}],"jobs":[{"id":"j1","workload":"stream"}]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("budget %s: status = %d, body %s", b, resp.StatusCode, body)
+		}
+	}
+	svc.schedMu.Lock()
+	defer svc.schedMu.Unlock()
+	if len(svc.scheds) != 2 || len(svc.schedOrder) != 2 {
+		t.Errorf("cache size = %d (order %d), want 2", len(svc.scheds), len(svc.schedOrder))
+	}
+}
+
+// TestTelemetryRegistered: serving requests populates the service
+// metric families on the registry.
+func TestTelemetryRegistered(t *testing.T) {
+	svc, srv := newTestService(t, Config{Workers: 2, Registry: telemetry.New()})
+	_, _ = post(t, srv, RouteCoord,
+		`{"platform":"ivybridge","workload":"stream","budget_watts":208}`)
+	if got := svc.m.requests(RouteCoord, 200).Value(); got != 1 {
+		t.Errorf("allocsvc_requests_total{/v1/coord,200} = %v, want 1", got)
+	}
+	if got := svc.m.inflight.Value(); got != 0 {
+		t.Errorf("allocsvc_inflight = %v after quiescence, want 0", got)
+	}
+}

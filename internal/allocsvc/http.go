@@ -1,0 +1,610 @@
+package allocsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/coord"
+	"repro/internal/dyncoord"
+	"repro/internal/evalpool"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Route paths served by Register.
+const (
+	RouteCoord    = "/v1/coord"
+	RoutePlan     = "/v1/plan"
+	RouteSchedule = "/v1/schedule"
+)
+
+// maxBody bounds request bodies; allocation requests are tiny, so
+// anything approaching this is abuse, not a big cluster.
+const maxBody = 1 << 20
+
+// Register mounts the service's routes on mux.
+func (s *Service) Register(mux *http.ServeMux) {
+	mux.HandleFunc(RouteCoord, s.handleCoord)
+	mux.HandleFunc(RoutePlan, s.handlePlan)
+	mux.HandleFunc(RouteSchedule, s.handleSchedule)
+}
+
+// Handler returns a mux with only the service routes, for tests and
+// embedding.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.Register(mux)
+	return mux
+}
+
+// AllocJSON is an allocation split on the wire.
+type AllocJSON struct {
+	ProcWatts float64 `json:"proc_watts"`
+	MemWatts  float64 `json:"mem_watts"`
+}
+
+// CoordRequest is the body of POST /v1/coord: one single-node
+// coordination decision.
+type CoordRequest struct {
+	Platform string  `json:"platform"`
+	Workload string  `json:"workload"`
+	Budget   float64 `json:"budget_watts"`
+	// Strategy selects the allocation policy; empty means "coord".
+	Strategy string `json:"strategy,omitempty"`
+	// TimeoutMS bounds this request; 0 means the service default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// CoordResponse is the decision for one (platform, workload, budget).
+type CoordResponse struct {
+	Platform string  `json:"platform"`
+	Workload string  `json:"workload"`
+	Kind     string  `json:"kind"`
+	Strategy string  `json:"strategy"`
+	Budget   float64 `json:"budget_watts"`
+	// Status is the COORD verdict: "ok", "surplus", or "too-small".
+	Status       string     `json:"status"`
+	Alloc        *AllocJSON `json:"alloc,omitempty"`
+	SurplusWatts float64    `json:"surplus_watts,omitempty"`
+	// ExpectedPerf/ExpectedPower are the simulated outcome under the
+	// allocation; absent when the budget was rejected.
+	ExpectedPerf  float64 `json:"expected_perf,omitempty"`
+	PerfUnit      string  `json:"perf_unit,omitempty"`
+	ExpectedPower float64 `json:"expected_power_watts,omitempty"`
+}
+
+// PlanRequest is the body of POST /v1/plan: a phase-aware dyncoord
+// plan for a CPU workload.
+type PlanRequest struct {
+	Platform  string  `json:"platform"`
+	Workload  string  `json:"workload"`
+	Budget    float64 `json:"budget_watts"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+}
+
+// PlanStepJSON is one phase of a plan.
+type PlanStepJSON struct {
+	Phase    string    `json:"phase"`
+	Weight   float64   `json:"weight"`
+	Alloc    AllocJSON `json:"alloc"`
+	Status   string    `json:"status"`
+	FellBack bool      `json:"fell_back,omitempty"`
+}
+
+// PlanResponse is a dyncoord plan on the wire.
+type PlanResponse struct {
+	Platform string         `json:"platform"`
+	Workload string         `json:"workload"`
+	Budget   float64        `json:"budget_watts"`
+	Steps    []PlanStepJSON `json:"steps"`
+	// Rejected reports that at least one step has no usable allocation.
+	Rejected bool `json:"rejected,omitempty"`
+}
+
+// NodeJSON names one cluster node for /v1/schedule.
+type NodeJSON struct {
+	ID       string `json:"id"`
+	Platform string `json:"platform"`
+}
+
+// JobJSON names one queued job for /v1/schedule.
+type JobJSON struct {
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+}
+
+// ScheduleRequest is the body of POST /v1/schedule: one scheduling
+// round over a cluster and a job queue.
+type ScheduleRequest struct {
+	Budget    float64    `json:"budget_watts"`
+	Nodes     []NodeJSON `json:"nodes"`
+	Jobs      []JobJSON  `json:"jobs"`
+	TimeoutMS int        `json:"timeout_ms,omitempty"`
+}
+
+// PlacementJSON is one admitted job of a round.
+type PlacementJSON struct {
+	Job           string    `json:"job"`
+	Node          string    `json:"node"`
+	Budget        float64   `json:"budget_watts"`
+	Alloc         AllocJSON `json:"alloc"`
+	ExpectedPerf  float64   `json:"expected_perf"`
+	ExpectedPower float64   `json:"expected_power_watts"`
+}
+
+// ScheduleResponse is a scheduling round's outcome on the wire.
+type ScheduleResponse struct {
+	Placements []PlacementJSON `json:"placements"`
+	Deferred   []string        `json:"deferred,omitempty"`
+	PoolLeft   float64         `json:"pool_left_watts"`
+	TotalPower float64         `json:"total_expected_power_watts"`
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// renderJSON marshals v with a trailing newline. Marshalling the
+// response types cannot fail (no channels, no cycles); a failure is a
+// programmer error surfaced as a 500 body.
+func renderJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(errorJSON{Error: "internal: " + err.Error()})
+	}
+	return append(b, '\n')
+}
+
+func okResponse(v any) *response {
+	return &response{code: http.StatusOK, body: renderJSON(v)}
+}
+
+func errorResponse(err error) *response {
+	code := http.StatusInternalServerError
+	var be *badRequestError
+	if asBadRequest(err, &be) {
+		code = http.StatusBadRequest
+	}
+	return &response{code: code, body: renderJSON(errorJSON{Error: err.Error()})}
+}
+
+func timeoutResponse(err error) *response {
+	msg := "deadline exceeded"
+	if err != nil {
+		msg = err.Error()
+	}
+	return &response{
+		code: http.StatusGatewayTimeout,
+		body: renderJSON(errorJSON{Error: "deadline exceeded: " + msg}),
+	}
+}
+
+func busyResponse() *response {
+	return &response{
+		code: http.StatusTooManyRequests,
+		body: renderJSON(errorJSON{Error: "service saturated; retry later"}),
+	}
+}
+
+// badRequestError marks validation failures so errorResponse maps them
+// to 400 instead of 500.
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+func asBadRequest(err error, target **badRequestError) bool {
+	for err != nil {
+		if be, ok := err.(*badRequestError); ok {
+			*target = be
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// decode reads and unmarshals a request body, strictly: unknown fields
+// are rejected so typos ("budget" for "budget_watts") fail loudly
+// instead of silently meaning zero watts.
+func decode(w http.ResponseWriter, r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return badRequestf("bad request body: %v", err)
+	}
+	return nil
+}
+
+// serve is the shared handler tail: method check, coalesced execution,
+// response write, accounting.
+func (s *Service) serve(w http.ResponseWriter, r *http.Request, route, key string, timeout time.Duration, compute func() (any, error)) {
+	start := time.Now()
+	resp := s.do(r.Context(), route, key, timeout, compute)
+	s.write(w, resp)
+	s.count(route, resp.code, time.Since(start))
+}
+
+// reject short-circuits a request that never reaches the worker pool
+// (bad method, bad body), with the same accounting as served requests.
+func (s *Service) reject(w http.ResponseWriter, route string, resp *response, start time.Time) {
+	s.write(w, resp)
+	s.count(route, resp.code, time.Since(start))
+}
+
+func (s *Service) write(w http.ResponseWriter, resp *response) {
+	w.Header().Set("Content-Type", "application/json")
+	if resp.code == http.StatusTooManyRequests {
+		secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.WriteHeader(resp.code)
+	w.Write(resp.body)
+}
+
+func methodNotAllowed(r *http.Request) *response {
+	return &response{
+		code: http.StatusMethodNotAllowed,
+		body: renderJSON(errorJSON{Error: "method " + r.Method + " not allowed; use POST"}),
+	}
+}
+
+// platformNames renders the catalog's platform names, optionally
+// filtered by kind, for actionable error messages.
+func platformNames(kind hw.Kind, any bool) string {
+	var names []string
+	for _, p := range hw.Platforms() {
+		if any || p.Kind == kind {
+			names = append(names, p.Name)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// resolvePair validates a (platform, workload) request pair: both must
+// exist and their kinds must match.
+func resolvePair(platform, wl string) (hw.Platform, workload.Workload, error) {
+	p, err := hw.PlatformByName(platform)
+	if err != nil {
+		return hw.Platform{}, workload.Workload{}, badRequestf(
+			"unknown platform %q (supported: %s)", platform, platformNames(0, true))
+	}
+	w, err := workload.ByName(wl)
+	if err != nil {
+		return hw.Platform{}, workload.Workload{}, badRequestf("unknown workload %q", wl)
+	}
+	if w.Kind != p.Kind {
+		return hw.Platform{}, workload.Workload{}, badRequestf(
+			"workload %q is a %s workload but platform %q is a %s platform",
+			wl, w.Kind, platform, p.Kind)
+	}
+	return p, w, nil
+}
+
+// budgetBits renders a float into the coalescing key exactly: two
+// budgets coalesce only when bit-identical, the same content-key
+// discipline the evalpool memo cache uses.
+func budgetBits(v float64) string {
+	return strconv.FormatUint(math.Float64bits(v), 16)
+}
+
+func checkBudget(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return badRequestf("budget_watts must be a positive finite number, got %v", v)
+	}
+	return nil
+}
+
+// handleCoord serves POST /v1/coord.
+func (s *Service) handleCoord(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		s.reject(w, RouteCoord, methodNotAllowed(r), start)
+		return
+	}
+	var req CoordRequest
+	if err := decode(w, r, &req); err != nil {
+		s.reject(w, RouteCoord, errorResponse(err), start)
+		return
+	}
+	if req.Strategy == "" {
+		req.Strategy = "coord"
+	}
+	key := strings.Join([]string{
+		RouteCoord, req.Platform, req.Workload, req.Strategy, budgetBits(req.Budget),
+	}, "|")
+	s.serve(w, r, RouteCoord, key, s.timeout(req.TimeoutMS), func() (any, error) {
+		return s.computeCoord(req)
+	})
+}
+
+func (s *Service) computeCoord(req CoordRequest) (any, error) {
+	if err := checkBudget(req.Budget); err != nil {
+		return nil, err
+	}
+	p, wl, err := resolvePair(req.Platform, req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	budget := units.Power(req.Budget)
+	resp := CoordResponse{
+		Platform: p.Name, Workload: wl.Name, Kind: p.Kind.String(),
+		Strategy: req.Strategy, Budget: req.Budget,
+	}
+
+	var d coord.Decision
+	var evalReq evalpool.Request
+	switch p.Kind {
+	case hw.KindCPU:
+		prof, err := profile.ProfileCPU(p, wl)
+		if err != nil {
+			return nil, err
+		}
+		st, ok := cpuStrategy(req.Strategy)
+		if !ok {
+			return nil, badRequestf("unknown CPU strategy %q (supported: %s)",
+				req.Strategy, strategyNames(hw.KindCPU))
+		}
+		d = st(prof, budget)
+		evalReq = evalpool.Request{Op: evalpool.OpCPU, Proc: d.Alloc.Proc, Mem: d.Alloc.Mem}
+	case hw.KindGPU:
+		prof, err := profile.ProfileGPU(p, wl)
+		if err != nil {
+			return nil, err
+		}
+		st, ok := gpuStrategy(req.Strategy)
+		if !ok {
+			return nil, badRequestf("unknown GPU strategy %q (supported: %s)",
+				req.Strategy, strategyNames(hw.KindGPU))
+		}
+		d = st(prof, budget)
+		// The card cannot be capped below its floor (same rule the
+		// cluster scheduler applies when it simulates a placement).
+		cap := d.Alloc.Total()
+		if cap < p.GPU.MinCap {
+			cap = p.GPU.MinCap
+		}
+		evalReq = evalpool.Request{Op: evalpool.OpGPUMemPower, Proc: cap, Mem: d.Alloc.Mem}
+	}
+
+	resp.Status = d.Status.String()
+	if d.Status == coord.StatusTooSmall {
+		return resp, nil
+	}
+	resp.Alloc = &AllocJSON{ProcWatts: d.Alloc.Proc.Watts(), MemWatts: d.Alloc.Mem.Watts()}
+	resp.SurplusWatts = d.Surplus.Watts()
+	res, err := evalpool.Default().Evaluate(evalpool.Problem{Platform: p, Workload: wl}, evalReq)
+	if err != nil {
+		return nil, err
+	}
+	resp.ExpectedPerf = res.Perf
+	resp.PerfUnit = wl.PerfUnit
+	resp.ExpectedPower = res.TotalPower.Watts()
+	return resp, nil
+}
+
+func cpuStrategy(name string) (func(profile.CPUProfile, units.Power) coord.Decision, bool) {
+	for _, st := range coord.CPUStrategies() {
+		if st.Name == name {
+			return st.Decide, true
+		}
+	}
+	return nil, false
+}
+
+func gpuStrategy(name string) (func(profile.GPUProfile, units.Power) coord.Decision, bool) {
+	for _, st := range coord.GPUStrategies() {
+		if st.Name == name {
+			return st.Decide, true
+		}
+	}
+	return nil, false
+}
+
+func strategyNames(kind hw.Kind) string {
+	var names []string
+	if kind == hw.KindCPU {
+		for _, st := range coord.CPUStrategies() {
+			names = append(names, st.Name)
+		}
+	} else {
+		for _, st := range coord.GPUStrategies() {
+			names = append(names, st.Name)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// handlePlan serves POST /v1/plan.
+func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		s.reject(w, RoutePlan, methodNotAllowed(r), start)
+		return
+	}
+	var req PlanRequest
+	if err := decode(w, r, &req); err != nil {
+		s.reject(w, RoutePlan, errorResponse(err), start)
+		return
+	}
+	key := strings.Join([]string{
+		RoutePlan, req.Platform, req.Workload, budgetBits(req.Budget),
+	}, "|")
+	s.serve(w, r, RoutePlan, key, s.timeout(req.TimeoutMS), func() (any, error) {
+		return s.computePlan(req)
+	})
+}
+
+func (s *Service) computePlan(req PlanRequest) (any, error) {
+	if err := checkBudget(req.Budget); err != nil {
+		return nil, err
+	}
+	p, wl, err := resolvePair(req.Platform, req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if p.Kind != hw.KindCPU {
+		return nil, badRequestf(
+			"plan supports CPU platforms only; %q is a GPU platform (supported: %s)",
+			p.Name, platformNames(hw.KindCPU, false))
+	}
+	plan, err := dyncoord.PlanCPUOrDegrade(p, wl, units.Power(req.Budget))
+	if err != nil {
+		return nil, err
+	}
+	resp := PlanResponse{
+		Platform: p.Name, Workload: wl.Name, Budget: req.Budget,
+		Rejected: plan.Rejected(),
+	}
+	for _, st := range plan.Steps {
+		resp.Steps = append(resp.Steps, PlanStepJSON{
+			Phase:  st.Phase,
+			Weight: st.Weight,
+			Alloc: AllocJSON{
+				ProcWatts: st.Alloc.Proc.Watts(), MemWatts: st.Alloc.Mem.Watts(),
+			},
+			Status:   st.Status.String(),
+			FellBack: st.FellBack,
+		})
+	}
+	return resp, nil
+}
+
+// handleSchedule serves POST /v1/schedule.
+func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		s.reject(w, RouteSchedule, methodNotAllowed(r), start)
+		return
+	}
+	var req ScheduleRequest
+	if err := decode(w, r, &req); err != nil {
+		s.reject(w, RouteSchedule, errorResponse(err), start)
+		return
+	}
+	key := scheduleKey(&req)
+	s.serve(w, r, RouteSchedule, key, s.timeout(req.TimeoutMS), func() (any, error) {
+		return s.computeSchedule(req)
+	})
+}
+
+// scheduleKey fingerprints the full round content: budget, node list,
+// and job queue (order matters — the scheduler is order-sensitive).
+func scheduleKey(req *ScheduleRequest) string {
+	var b strings.Builder
+	b.WriteString(RouteSchedule)
+	b.WriteByte('|')
+	b.WriteString(budgetBits(req.Budget))
+	for _, n := range req.Nodes {
+		b.WriteString("|n:")
+		b.WriteString(n.ID)
+		b.WriteByte('=')
+		b.WriteString(n.Platform)
+	}
+	for _, j := range req.Jobs {
+		b.WriteString("|j:")
+		b.WriteString(j.ID)
+		b.WriteByte('=')
+		b.WriteString(j.Workload)
+	}
+	return b.String()
+}
+
+// clusterKey is the scheduler-cache key: the cluster alone (budget +
+// nodes), so successive rounds with different job queues share one
+// scheduler and its warm profile caches.
+func clusterKey(req *ScheduleRequest) string {
+	var b strings.Builder
+	b.WriteString(budgetBits(req.Budget))
+	for _, n := range req.Nodes {
+		b.WriteString("|")
+		b.WriteString(n.ID)
+		b.WriteByte('=')
+		b.WriteString(n.Platform)
+	}
+	return b.String()
+}
+
+func (s *Service) computeSchedule(req ScheduleRequest) (any, error) {
+	if err := checkBudget(req.Budget); err != nil {
+		return nil, err
+	}
+	if len(req.Nodes) == 0 {
+		return nil, badRequestf("at least one node is required")
+	}
+	if len(req.Jobs) == 0 {
+		return nil, badRequestf("at least one job is required")
+	}
+	sched, err := s.schedulerFor(clusterKey(&req), func() (*cluster.Scheduler, error) {
+		nodes := make([]cluster.Node, len(req.Nodes))
+		for i, n := range req.Nodes {
+			p, err := hw.PlatformByName(n.Platform)
+			if err != nil {
+				return nil, badRequestf("node %q: unknown platform %q (supported: %s)",
+					n.ID, n.Platform, platformNames(0, true))
+			}
+			nodes[i] = cluster.Node{ID: n.ID, Platform: p}
+		}
+		sched, err := cluster.NewScheduler(units.Power(req.Budget), nodes)
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		return sched, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]cluster.Job, len(req.Jobs))
+	for i, j := range req.Jobs {
+		wl, err := workload.ByName(j.Workload)
+		if err != nil {
+			return nil, badRequestf("job %q: unknown workload %q", j.ID, j.Workload)
+		}
+		jobs[i] = cluster.Job{ID: j.ID, Workload: wl}
+	}
+	out, err := sched.Schedule(jobs)
+	if err != nil {
+		return nil, err
+	}
+	resp := ScheduleResponse{
+		PoolLeft:   out.PoolLeft.Watts(),
+		TotalPower: out.TotalExpectedPower.Watts(),
+		Deferred:   out.Deferred,
+		Placements: []PlacementJSON{},
+	}
+	for _, pl := range out.Placements {
+		resp.Placements = append(resp.Placements, PlacementJSON{
+			Job:    pl.JobID,
+			Node:   pl.NodeID,
+			Budget: pl.Budget.Watts(),
+			Alloc: AllocJSON{
+				ProcWatts: pl.Alloc.Proc.Watts(), MemWatts: pl.Alloc.Mem.Watts(),
+			},
+			ExpectedPerf:  pl.ExpectedPerf,
+			ExpectedPower: pl.ExpectedPower.Watts(),
+		})
+	}
+	return resp, nil
+}

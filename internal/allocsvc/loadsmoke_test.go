@@ -1,0 +1,91 @@
+package allocsvc
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestLoadSmoke is the concurrency smoke the Makefile check gate runs
+// under the race detector: many clients hammering a small worker pool
+// with a mix of identical and distinct requests across all three
+// routes. It asserts the service stays consistent under load — every
+// request gets a well-formed verdict (200 or 429, nothing else),
+// responses for the same request are byte-identical no matter which
+// client got them, and the counters balance.
+func TestLoadSmoke(t *testing.T) {
+	svc := New(Config{Workers: 4, QueueDepth: 256})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	reqs := []struct{ route, body string }{
+		{RouteCoord, `{"platform":"ivybridge","workload":"stream","budget_watts":208}`},
+		{RouteCoord, `{"platform":"ivybridge","workload":"dgemm","budget_watts":170}`},
+		{RouteCoord, `{"platform":"haswell","workload":"stream","budget_watts":190}`},
+		{RouteCoord, `{"platform":"titanxp","workload":"gpustream","budget_watts":180}`},
+		{RoutePlan, `{"platform":"ivybridge","workload":"ft","budget_watts":180}`},
+		{RouteSchedule, `{"budget_watts":500,` +
+			`"nodes":[{"id":"n1","platform":"ivybridge"},{"id":"n2","platform":"ivybridge"}],` +
+			`"jobs":[{"id":"j1","workload":"stream"},{"id":"j2","workload":"dgemm"}]}`},
+	}
+
+	const clients = 8
+	const perClient = 30
+	var mu sync.Mutex
+	seen := map[string][]byte{} // body -> first response bytes
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				r := reqs[(c+i)%len(reqs)]
+				resp, err := http.Post(srv.URL+r.route, "application/json",
+					strings.NewReader(r.body))
+				if err != nil {
+					t.Errorf("POST %s: %v", r.route, err)
+					return
+				}
+				got, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					mu.Lock()
+					if prev, ok := seen[r.body]; ok {
+						if !bytes.Equal(prev, got) {
+							t.Errorf("divergent responses for %s:\n%s\n%s", r.body, prev, got)
+						}
+					} else {
+						seen[r.body] = got
+					}
+					mu.Unlock()
+				case http.StatusTooManyRequests:
+					// Legal under saturation; nothing to check.
+				default:
+					t.Errorf("POST %s: status %d, body %s", r.route, resp.StatusCode, got)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := svc.Stats()
+	if want := uint64(clients * perClient); st.Requests != want {
+		t.Errorf("Requests = %d, want %d", st.Requests, want)
+	}
+	if st.Failures != 0 || st.BadInput != 0 || st.Timeouts != 0 {
+		t.Errorf("unexpected outcomes under load: %+v", st)
+	}
+	if st.OK+st.Rejected != st.Requests {
+		t.Errorf("counters do not balance: %+v", st)
+	}
+	t.Logf("load smoke: %+v (coalesce rate %.1f%%)", st, 100*st.CoalesceRate())
+}

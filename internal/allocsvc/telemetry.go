@@ -1,0 +1,50 @@
+package allocsvc
+
+import (
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// metrics holds the service's registry handles. The registry may be
+// nil (uninstrumented service); every handle getter then returns a
+// nil-safe no-op, per the telemetry package contract.
+//
+// These series are registered directly on the registry, NOT through
+// wire.Instrument: the wire package's deterministic control tier must
+// stay byte-reproducible across runs, while request counts and
+// latencies are inherently load-dependent. Keeping them in separate
+// families preserves the tier split the observability layer
+// established.
+type metrics struct {
+	reg      *telemetry.Registry
+	inflight *telemetry.Gauge
+}
+
+func (m *metrics) init(reg *telemetry.Registry) {
+	m.reg = reg
+	m.inflight = reg.Gauge("allocsvc_inflight",
+		"Requests currently executing in the allocation service worker pool.")
+}
+
+// requests returns the counter for one (route, status) pair. Series
+// are created lazily on first use; the registry deduplicates.
+func (m *metrics) requests(route string, code int) *telemetry.Counter {
+	return m.reg.Counter("allocsvc_requests_total",
+		"Allocation service requests by route and HTTP status.",
+		"route", route, "code", strconv.Itoa(code))
+}
+
+// latency returns the per-route request duration histogram.
+func (m *metrics) latency(route string) *telemetry.Histogram {
+	return m.reg.Histogram("allocsvc_request_seconds",
+		"Allocation service request latency in seconds.",
+		telemetry.DurationBuckets, "route", route)
+}
+
+// coalesceHits returns the per-route coalesced-request counter.
+func (m *metrics) coalesceHits(route string) *telemetry.Counter {
+	return m.reg.Counter("allocsvc_coalesced_total",
+		"Requests served by joining an identical in-flight computation.",
+		"route", route)
+}

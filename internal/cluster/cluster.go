@@ -17,10 +17,12 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/evalpool"
+	"repro/internal/flight"
 	"repro/internal/hw"
 	"repro/internal/profile"
 	"repro/internal/sim"
@@ -72,15 +74,27 @@ type Outcome struct {
 	TotalExpectedPower units.Power
 }
 
-// Scheduler owns a cluster power budget and a set of nodes.
+// Scheduler owns a cluster power budget and a set of nodes. Its
+// scheduling entry points (Schedule, RunQueue, RunQueueOpts,
+// RunQueueFaulty) are safe for concurrent use: the lazily populated
+// profile caches are guarded by a mutex and a singleflight group, so
+// concurrent rounds neither race on the maps nor stampede the profiler
+// for the same (platform, workload) key.
 type Scheduler struct {
 	// Budget is the total cluster power bound.
 	Budget units.Power
 	// Nodes is the machine pool.
 	Nodes []Node
 
+	// profMu guards the two profile maps. Profiling itself runs outside
+	// the lock, deduplicated by the flight groups: the first caller for
+	// a key profiles while every concurrent duplicate waits for its
+	// result instead of re-running the profiler.
+	profMu      sync.Mutex
 	profiles    map[string]profile.CPUProfile
 	gpuProfiles map[string]profile.GPUProfile
+	cpuFlight   flight.Group[string, profile.CPUProfile]
+	gpuFlight   flight.Group[string, profile.GPUProfile]
 }
 
 // NewScheduler returns a scheduler for the given budget and nodes.
@@ -113,31 +127,49 @@ func NewScheduler(budget units.Power, nodes []Node) (*Scheduler, error) {
 }
 
 // profileFor returns (and caches) the job profile on a CPU platform.
+// Concurrent callers for the same key share one profiler run.
 func (s *Scheduler) profileFor(p hw.Platform, w workload.Workload) (profile.CPUProfile, error) {
 	key := p.Name + "/" + w.Name
+	s.profMu.Lock()
 	if prof, ok := s.profiles[key]; ok {
+		s.profMu.Unlock()
 		return prof, nil
 	}
-	prof, err := profile.ProfileCPU(p, w)
-	if err != nil {
-		return profile.CPUProfile{}, err
-	}
-	s.profiles[key] = prof
-	return prof, nil
+	s.profMu.Unlock()
+	prof, err, _ := s.cpuFlight.Do(key, func() (profile.CPUProfile, error) {
+		prof, err := profile.ProfileCPU(p, w)
+		if err != nil {
+			return profile.CPUProfile{}, err
+		}
+		s.profMu.Lock()
+		s.profiles[key] = prof
+		s.profMu.Unlock()
+		return prof, nil
+	})
+	return prof, err
 }
 
 // gpuProfileFor returns (and caches) the job profile on a GPU platform.
+// Concurrent callers for the same key share one profiler run.
 func (s *Scheduler) gpuProfileFor(p hw.Platform, w workload.Workload) (profile.GPUProfile, error) {
 	key := p.Name + "/" + w.Name
+	s.profMu.Lock()
 	if prof, ok := s.gpuProfiles[key]; ok {
+		s.profMu.Unlock()
 		return prof, nil
 	}
-	prof, err := profile.ProfileGPU(p, w)
-	if err != nil {
-		return profile.GPUProfile{}, err
-	}
-	s.gpuProfiles[key] = prof
-	return prof, nil
+	s.profMu.Unlock()
+	prof, err, _ := s.gpuFlight.Do(key, func() (profile.GPUProfile, error) {
+		prof, err := profile.ProfileGPU(p, w)
+		if err != nil {
+			return profile.GPUProfile{}, err
+		}
+		s.profMu.Lock()
+		s.gpuProfiles[key] = prof
+		s.profMu.Unlock()
+		return prof, nil
+	})
+	return prof, err
 }
 
 // envelope returns the job's power envelope on a node: the smallest
@@ -159,6 +191,17 @@ func (s *Scheduler) envelope(node Node, w workload.Workload) (threshold, maxTota
 		maxTotal := prof.TotMax
 		if maxTotal > node.Platform.GPU.MaxCap {
 			maxTotal = node.Platform.GPU.MaxCap
+		}
+		// A job whose maximum board demand sits below the card's lowest
+		// settable cap still needs a grant of at least MinCap — the
+		// card cannot be capped lower. Without this clamp the envelope
+		// inverts (maxTotal < threshold): admission grants maxTotal,
+		// the split pass rejects it as below the cap floor, and the
+		// round fails on a budget the scheduler itself admitted. COORD
+		// returns the unneeded excess as surplus, so the extra watts go
+		// back to the pool rather than being wasted.
+		if maxTotal < node.Platform.GPU.MinCap {
+			maxTotal = node.Platform.GPU.MinCap
 		}
 		return node.Platform.GPU.MinCap, maxTotal, nil
 	default:
@@ -193,6 +236,12 @@ func (s *Scheduler) split(node Node, w workload.Workload, grant units.Power) (al
 			return core.Allocation{}, 0, false, err
 		}
 		d := coord.GPU(prof, grant, coord.DefaultGamma)
+		if d.Status == coord.StatusTooSmall {
+			// Algorithm 2 rejects budgets at or below the memory power
+			// floor; surface that as a non-productive grant instead of
+			// returning a zero allocation as if it were admitted.
+			return core.Allocation{}, 0, false, nil
+		}
 		if d.Status == coord.StatusSurplus {
 			surplus = d.Surplus
 		}
@@ -214,8 +263,15 @@ func (s *Scheduler) simulate(node Node, w *workload.Workload, alloc core.Allocat
 		return evalpool.Default().Evaluate(pr, evalpool.Request{
 			Op: evalpool.OpCPU, Proc: alloc.Proc, Mem: alloc.Mem})
 	case hw.KindGPU:
+		// The card cannot be capped below its floor: a job whose demand
+		// sits under MinCap still runs with the cap register at MinCap
+		// and simply draws less.
+		cap := alloc.Total()
+		if cap < node.Platform.GPU.MinCap {
+			cap = node.Platform.GPU.MinCap
+		}
 		return evalpool.Default().Evaluate(pr, evalpool.Request{
-			Op: evalpool.OpGPUMemPower, Proc: alloc.Total(), Mem: alloc.Mem})
+			Op: evalpool.OpGPUMemPower, Proc: cap, Mem: alloc.Mem})
 	default:
 		return sim.Result{}, fmt.Errorf("cluster: node %q: unknown kind", node.ID)
 	}

@@ -23,6 +23,17 @@ type FaultSummary struct {
 	// BudgetReclaimed is the total power returned to the pool by
 	// failure- and shock-driven evictions.
 	BudgetReclaimed units.Power
+	// PoolLeft is the shock-adjusted uncommitted power at the end of the
+	// run: the free pool plus any power still held back by unexpired
+	// budget shocks. With every job complete it must equal the cluster
+	// budget (up to float accumulation) — the pool-conservation
+	// invariant `pbc verify` asserts.
+	PoolLeft units.Power
+	// MaxConservationError is the largest absolute deviation of
+	// (pool + committed grants + shock-held power) from the cluster
+	// budget observed at any event boundary. A non-trivial value means
+	// re-admission accounting leaked or minted power.
+	MaxConservationError units.Power
 }
 
 // FaultyQueueResult extends QueueResult with fault accounting.
@@ -120,6 +131,26 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 	firstStart := map[string]float64{}
 	now := 0.0
 
+	// shockHeld is the power currently withheld from the pool by active
+	// budget shocks. At every event boundary the engine audits the
+	// conservation identity pool + Σ(committed grants) + shockHeld ==
+	// Budget; eviction/re-admission bugs that leak or mint power show up
+	// as a growing deviation.
+	shockHeld := units.Power(0)
+	conserve := func() {
+		var committed units.Power
+		for _, r := range active {
+			committed += r.budget
+		}
+		dev := pool + committed + shockHeld - s.Budget
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > res.Faults.MaxConservationError {
+			res.Faults.MaxConservationError = dev
+		}
+	}
+
 	admit := func() error {
 		var err error
 		active, waiting, freeNodes, pool, err = s.admitWaiting(
@@ -181,6 +212,7 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 	if err := admit(); err != nil {
 		return res, err
 	}
+	conserve()
 	// At t=0 every node is up and the budget is unshocked, so a queue
 	// that cannot start now can never start: faults only remove capacity.
 	if len(active) == 0 && len(waiting) > 0 {
@@ -190,6 +222,7 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 
 	oi, si := 0, 0 // next outage / shock event indices
 	for steps := 0; len(active) > 0 || len(waiting) > 0; steps++ {
+		conserve()
 		if steps >= maxEngineEvents {
 			return res, fmt.Errorf("cluster: fault engine exceeded %d events (spec too hostile?)", maxEngineEvents)
 		}
@@ -281,6 +314,7 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 			si++
 			advance(nextShock)
 			pool += ev.delta
+			shockHeld -= ev.delta
 			if ev.delta < 0 {
 				res.Faults.Shocks++
 				mShocks.Inc()
@@ -321,6 +355,8 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 			}
 		}
 	}
+	conserve()
+	res.Faults.PoolLeft = pool + shockHeld
 	res.Makespan = now
 	sort.SliceStable(res.Events, func(i, j int) bool { return res.Events[i].Time < res.Events[j].Time })
 	return res, nil

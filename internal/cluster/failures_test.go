@@ -44,8 +44,11 @@ func TestRunQueueFaultyNoFaultsMatchesBaseline(t *testing.T) {
 			t.Fatalf("job %s stats diverge: %+v vs %+v", id, faulty.Stats[id], st)
 		}
 	}
-	if faulty.Faults != (FaultSummary{}) {
-		t.Fatalf("fault-free run reported faults: %+v", faulty.Faults)
+	// Fault event counters must all be zero; the accounting fields the
+	// conservation audit added report a clean drain instead.
+	want := FaultSummary{PoolLeft: s2.Budget}
+	if faulty.Faults != want {
+		t.Fatalf("fault-free run reported faults: %+v, want %+v", faulty.Faults, want)
 	}
 }
 

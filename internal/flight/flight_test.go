@@ -1,0 +1,151 @@
+package flight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDoDeduplicatesConcurrentCalls pins the core guarantee: N
+// concurrent callers for one key execute fn exactly once and all see
+// its result, marked shared.
+func TestDoDeduplicatesConcurrentCalls(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int32
+	release := make(chan struct{})
+
+	const n = 16
+	var wg sync.WaitGroup
+	vals := make([]int, n)
+	shared := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, sh := g.Do("k", func() (int, error) {
+				calls.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			vals[i], shared[i] = v, sh
+		}(i)
+	}
+	// Let every caller reach the group before the call completes.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if vals[i] != 42 {
+			t.Errorf("caller %d got %d, want 42", i, vals[i])
+		}
+		if !shared[i] {
+			t.Errorf("caller %d not marked shared", i)
+		}
+	}
+}
+
+// TestDoDistinctKeysRunIndependently checks different keys never share.
+func TestDoDistinctKeysRunIndependently(t *testing.T) {
+	var g Group[int, int]
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, _ := g.Do(i, func() (int, error) {
+				calls.Add(1)
+				return i * i, nil
+			})
+			if err != nil || v != i*i {
+				t.Errorf("key %d: got (%d, %v)", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 8 {
+		t.Fatalf("fn ran %d times, want 8", got)
+	}
+}
+
+// TestErrorsSharedNotRetained: waiters share the leader's error, and the
+// next call after completion re-executes instead of replaying it.
+func TestErrorsSharedNotRetained(t *testing.T) {
+	var g Group[string, int]
+	boom := errors.New("boom")
+	_, err, _ := g.Do("k", func() (int, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	v, err, _ := g.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry got (%d, %v), want (7, nil)", v, err)
+	}
+}
+
+// TestSingleCallerNotShared: an uncontended call reports Shared=false.
+func TestSingleCallerNotShared(t *testing.T) {
+	var g Group[string, int]
+	_, _, shared := g.Do("solo", func() (int, error) { return 1, nil })
+	if shared {
+		t.Fatal("uncontended call marked shared")
+	}
+}
+
+// TestDoChanLeaderElection: exactly one of N concurrent DoChan callers
+// is the leader.
+func TestDoChanLeaderElection(t *testing.T) {
+	var g Group[string, int]
+	release := make(chan struct{})
+	var leaders atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, leader := g.DoChan("k", func() (int, error) {
+				<-release
+				return 1, nil
+			})
+			if leader {
+				leaders.Add(1)
+			}
+			<-ch
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := leaders.Load(); got != 1 {
+		t.Fatalf("%d leaders, want 1", got)
+	}
+}
+
+// TestForgetStartsFreshCall: after Forget, a new caller re-executes
+// while old waiters still get the original result.
+func TestForgetStartsFreshCall(t *testing.T) {
+	var g Group[string, int]
+	release := make(chan struct{})
+	ch, _ := g.DoChan("k", func() (int, error) {
+		<-release
+		return 1, nil
+	})
+	g.Forget("k")
+	v2, err, _ := g.Do("k", func() (int, error) { return 2, nil })
+	if err != nil || v2 != 2 {
+		t.Fatalf("post-forget call got (%d, %v), want (2, nil)", v2, err)
+	}
+	close(release)
+	if r := <-ch; r.Err != nil || r.Val != 1 {
+		t.Fatalf("original waiter got (%d, %v), want (1, nil)", r.Val, r.Err)
+	}
+}

@@ -46,6 +46,18 @@
 //     are identical to the serial, uncached reference — cold cache and
 //     warm (the acceptance gate PR 2 established for figures, extended
 //     to the coordination paths).
+//   - pool-nonneg: the cluster scheduler never reports a negative
+//     remaining pool, and the fault-injected queue engine hands the
+//     whole budget back once the queue drains.
+//   - pool-conservation: granted budgets plus the remaining pool equal
+//     the cluster budget (surplus reclaim moves power, never creates
+//     it), and the identity pool + committed grants + shock-held power
+//     == budget survives every shock eviction and re-admission of the
+//     fault engine.
+//   - expected-power-sum: Outcome.TotalExpectedPower is exactly the
+//     sum of per-placement expected draws.
+//   - schedule-complete: every job submitted to a scheduling round is
+//     either placed or deferred, never dropped.
 package invariant
 
 import (
@@ -243,6 +255,9 @@ func Run(cfg Config) (*Report, error) {
 			}
 			if err != nil {
 				return rep, fmt.Errorf("invariant: %s/%s: %w", p.Name, w.Name, err)
+			}
+			if err := checkClusterPair(cfg, c, p, w); err != nil {
+				return rep, fmt.Errorf("invariant: %s/%s: cluster check: %w", p.Name, w.Name, err)
 			}
 			if !cfg.SkipEngine {
 				if err := checkEngineIdentical(c, p, w); err != nil {

@@ -28,8 +28,9 @@ func TestInvariantSweepCatalog(t *testing.T) {
 	// Every invariant the package documents must actually have run.
 	for _, want := range []string{
 		"alloc-finite", "budget-bound", "classify-scale", "classify-stable",
-		"coord-gap", "coord-monotone", "engine-identical", "mem-range",
-		"perfmax-monotone", "reject-threshold", "surplus-balance", "surplus-iff",
+		"coord-gap", "coord-monotone", "engine-identical", "expected-power-sum",
+		"mem-range", "perfmax-monotone", "pool-conservation", "pool-nonneg",
+		"reject-threshold", "schedule-complete", "surplus-balance", "surplus-iff",
 	} {
 		tl := rep.PerInvariant[want]
 		if tl == nil || tl.Checks == 0 {
