@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check fuzz bench benchsmoke loadsmoke verify-invariants cover telemetry-alloc
+.PHONY: all build test vet race check fuzz bench benchsmoke loadsmoke chaossmoke verify-invariants cover telemetry-alloc
 
 all: check
 
@@ -32,6 +32,14 @@ benchsmoke:
 loadsmoke:
 	$(GO) test -race -run TestLoadSmoke -count=1 -v ./internal/allocsvc
 
+# Seeded chaos suite for the resilient sharded client under the race
+# detector: kill/restart schedules, 429 storms, dropped connections,
+# and stalls against a 3-shard topology. TestChaosSingleShardDeathZeroLoss
+# enforces the >= 99% availability-during-single-shard-death gate, and
+# TestChaosSeededGoldenTrace pins breaker transitions to a golden trace.
+chaossmoke:
+	$(GO) test -race -run TestChaos -count=1 -v ./internal/allocclient
+
 # Cross-implementation invariant harness: the full catalog sweep under
 # the race detector, then the pbc verify CLI gate.
 verify-invariants:
@@ -45,7 +53,7 @@ telemetry-alloc:
 		awk '/BenchmarkTelemetryDisabled/ { if ($$(NF-1)+0 != 0) { print "FAIL: disabled telemetry allocates:", $$0; exit 1 } found=1 } \
 		END { if (!found) { print "FAIL: BenchmarkTelemetryDisabled did not run"; exit 1 } }'
 
-check: vet build race benchsmoke loadsmoke verify-invariants telemetry-alloc
+check: vet build race benchsmoke loadsmoke chaossmoke verify-invariants telemetry-alloc
 
 # Coverage gate for the observability layer: internal/telemetry must
 # keep at least 70% statement coverage.

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,11 +26,15 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/allocclient"
 	"repro/internal/allocsvc"
+	"repro/internal/faults"
 )
 
 // The latency-phase request mix: a realistic rotation over all three
@@ -77,12 +82,39 @@ type KneePhase struct {
 	RetryAfterSecs int     `json:"retry_after_secs"`
 }
 
+// ShardTopologyStats is one shard's view of the topology phase.
+type ShardTopologyStats struct {
+	Requests        uint64  `json:"requests"`
+	CoalesceHits    uint64  `json:"coalesce_hits"`
+	CoalesceHitRate float64 `json:"coalesce_hit_rate"`
+}
+
+// TopologyPhase is the N-instance resilience measurement: an
+// allocclient ring over several shards, driven concurrently while a
+// seeded kill schedule takes shards down and brings them back.
+type TopologyPhase struct {
+	Shards         int                  `json:"shards"`
+	Drivers        int                  `json:"drivers"`
+	Requests       int                  `json:"requests"`
+	Seed           uint64               `json:"seed"`
+	KillEvents     int                  `json:"kill_events"`
+	ServedFresh    uint64               `json:"served_fresh"`
+	ServedDegraded uint64               `json:"served_degraded"`
+	Errors         uint64               `json:"errors"`
+	Availability   float64              `json:"availability"`
+	AggregateRPS   float64              `json:"aggregate_rps"`
+	Failovers      uint64               `json:"failovers"`
+	Retries        uint64               `json:"retries"`
+	PerShard       []ShardTopologyStats `json:"per_shard"`
+}
+
 // Report is the BENCH_serve.json schema.
 type Report struct {
 	Workers  int           `json:"workers"`
 	Latency  LatencyPhase  `json:"latency"`
 	Coalesce CoalescePhase `json:"coalesce"`
 	Knee     KneePhase     `json:"knee"`
+	Topology TopologyPhase `json:"topology"`
 }
 
 func post(client *http.Client, url, route, body string) (int, string, error) {
@@ -286,12 +318,126 @@ func runKnee() (KneePhase, error) {
 	return phase, fmt.Errorf("knee phase: no 429 up to burst 512 — backpressure is not engaging")
 }
 
+// runTopology stands up an N-shard topology (each shard its own
+// allocsvc behind a kill-switch proxy), derives a seeded kill/restart
+// schedule in request counts, and drives the resilient client from
+// several goroutines. Availability counts fresh and degraded-local
+// answers; only surfaced errors count against it.
+func runTopology(shards, drivers, requests int, seed uint64) (TopologyPhase, error) {
+	svcs := make([]*allocsvc.Service, shards)
+	proxies := make([]*faults.ChaosProxy, shards)
+	urls := make([]string, shards)
+	for i := range svcs {
+		// A small deterministic stall gives overlapping identical
+		// requests a window to coalesce, as in the knee phase.
+		svcs[i] = allocsvc.New(allocsvc.Config{Workers: 2, Stall: time.Millisecond})
+		proxies[i] = faults.NewChaosProxy(svcs[i].Handler(), faults.ProxySpec{}, seed, strconv.Itoa(i))
+		srv := httptest.NewServer(proxies[i])
+		defer srv.Close()
+		urls[i] = srv.URL
+	}
+	// The kill schedule is measured in requests and the run sustains
+	// thousands of requests per second, so the breaker cooldown must be
+	// of the same scale — a wall-clock cooldown much longer than an
+	// outage would leave breakers open (and requests degraded) long
+	// after the shard came back.
+	client, err := allocclient.New(allocclient.Config{
+		Shards:  urls,
+		Breaker: allocclient.BreakerConfig{Threshold: 2, Cooldown: 10 * time.Millisecond},
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		return TopologyPhase{}, err
+	}
+	defer client.Close()
+
+	schedule := faults.ShardKillSchedule(seed, shards, uint64(requests), 120, 40)
+	killAt := make(map[uint64][]int)
+	restartAt := make(map[uint64][]int)
+	for _, o := range schedule {
+		killAt[o.At] = append(killAt[o.At], o.Shard)
+		restartAt[o.At+o.For] = append(restartAt[o.At+o.For], o.Shard)
+	}
+
+	topoMix := []struct{ platform, workload string }{
+		{"ivybridge", "stream"}, {"haswell", "dgemm"},
+		{"ivybridge", "ft"}, {"haswell", "stream"},
+	}
+	var next atomic.Int64
+	var fresh, degraded, errors, failovers, retries atomic.Uint64
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for d := 0; d < drivers; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := uint64(next.Add(1) - 1)
+				if k >= uint64(requests) {
+					return
+				}
+				for _, s := range restartAt[k] {
+					proxies[s].Restart()
+				}
+				for _, s := range killAt[k] {
+					proxies[s].Kill()
+				}
+				// Groups of 8 consecutive requests share one body, so
+				// concurrent drivers produce coalescible duplicates.
+				g := k / 8
+				m := topoMix[g%uint64(len(topoMix))]
+				_, meta, err := client.Coord(ctx, allocsvc.CoordRequest{
+					Platform: m.platform, Workload: m.workload,
+					Budget: 150 + float64(g%100),
+				})
+				failovers.Add(uint64(meta.Failovers))
+				retries.Add(uint64(meta.Retries))
+				switch {
+				case err != nil:
+					errors.Add(1)
+				case meta.Source == allocclient.SourceLocal:
+					degraded.Add(1)
+				default:
+					fresh.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	phase := TopologyPhase{
+		Shards: shards, Drivers: drivers, Requests: requests, Seed: seed,
+		KillEvents:     len(schedule),
+		ServedFresh:    fresh.Load(),
+		ServedDegraded: degraded.Load(),
+		Errors:         errors.Load(),
+		Availability:   float64(fresh.Load()+degraded.Load()) / float64(requests),
+		AggregateRPS:   float64(requests) / elapsed.Seconds(),
+		Failovers:      failovers.Load(),
+		Retries:        retries.Load(),
+	}
+	for _, svc := range svcs {
+		st := svc.Stats()
+		phase.PerShard = append(phase.PerShard, ShardTopologyStats{
+			Requests:        st.Requests,
+			CoalesceHits:    st.Coalesced,
+			CoalesceHitRate: st.CoalesceRate(),
+		})
+	}
+	return phase, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_serve.json", "output path (\"-\" for stdout)")
 	clients := flag.Int("clients", 8, "concurrent clients in the latency phase")
 	requests := flag.Int("requests", 240, "total requests in the latency phase")
 	bursts := flag.Int("bursts", 4, "duplicate bursts in the coalesce phase")
 	burstSize := flag.Int("burst-size", 16, "identical requests per coalesce burst")
+	shards := flag.Int("shards", 3, "allocsvc instances in the topology phase")
+	topoRequests := flag.Int("topo-requests", 400, "total requests in the topology phase")
+	topoSeed := flag.Uint64("topo-seed", 42, "seed for the topology phase's kill/restart schedule")
 	flag.Parse()
 
 	rep := Report{Workers: runtime.GOMAXPROCS(0)}
@@ -323,6 +469,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	rep.Topology, err = runTopology(*shards, 4, *topoRequests, *topoSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+	if rep.Topology.Availability < 0.99 {
+		fmt.Fprintf(os.Stderr, "benchserve: topology availability %.4f under the kill schedule — failover is not engaging\n",
+			rep.Topology.Availability)
+		os.Exit(1)
+	}
+
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchserve:", err)
@@ -337,7 +494,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchserve:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: p50 %.2f ms, p95 %.2f ms, %.0f req/s; coalesce rate %.1f%%; 429 knee at burst %d\n",
+	fmt.Printf("wrote %s: p50 %.2f ms, p95 %.2f ms, %.0f req/s; coalesce rate %.1f%%; 429 knee at burst %d; "+
+		"%d-shard availability %.1f%% at %.0f req/s under %d kill events\n",
 		*out, rep.Latency.P50Ms, rep.Latency.P95Ms, rep.Latency.ThroughputRS,
-		100*rep.Coalesce.CoalesceHitRate, rep.Knee.KneeBurst)
+		100*rep.Coalesce.CoalesceHitRate, rep.Knee.KneeBurst,
+		rep.Topology.Shards, 100*rep.Topology.Availability, rep.Topology.AggregateRPS, rep.Topology.KillEvents)
 }

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/allocclient"
+	"repro/internal/allocsvc"
+)
+
+// cmdCall exercises the resilient allocation client end-to-end against
+// one or more pbc serve instances: consistent-hash shard routing,
+// breaker-guarded failover, and (for coord/plan) degraded-local
+// fallback when every shard is down.
+func cmdCall(args []string) error {
+	fs := flag.NewFlagSet("call", flag.ExitOnError)
+	servers := fs.String("servers", "", "comma-separated shard base URLs (e.g. http://127.0.0.1:9120,http://127.0.0.1:9121)")
+	discover := fs.String("discover", "", "ask one serve instance's /v1/peers for the shard list instead of -servers")
+	route := fs.String("route", "coord", "API to call: coord, plan, or schedule")
+	platform, wl := platformAndWorkload(fs)
+	budget := fs.Float64("budget", 208, "power budget in watts")
+	strategy := fs.String("strategy", "", "coord strategy (empty = server default)")
+	nodes := fs.String("nodes", "", "schedule: comma-separated id=platform node list")
+	jobs := fs.String("jobs", "", "schedule: comma-separated id=workload job queue")
+	timeoutMs := fs.Int("timeout", 5000, "per-attempt timeout in milliseconds")
+	noDegrade := fs.Bool("no-degraded", false, "fail instead of computing answers locally when all shards are down")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	var shards []string
+	switch {
+	case *discover != "":
+		var err error
+		if shards, err = allocclient.Discover(ctx, *discover); err != nil {
+			return err
+		}
+	case *servers != "":
+		for _, s := range strings.Split(*servers, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				shards = append(shards, s)
+			}
+		}
+	default:
+		return fmt.Errorf("call: -servers or -discover is required")
+	}
+
+	client, err := allocclient.New(allocclient.Config{
+		Shards:          shards,
+		Timeout:         time.Duration(*timeoutMs) * time.Millisecond,
+		DisableDegraded: *noDegrade,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	var out any
+	var meta allocclient.Meta
+	switch *route {
+	case "coord":
+		out, meta, err = client.Coord(ctx, allocsvc.CoordRequest{
+			Platform: *platform, Workload: *wl, Budget: *budget, Strategy: *strategy,
+		})
+	case "plan":
+		out, meta, err = client.Plan(ctx, allocsvc.PlanRequest{
+			Platform: *platform, Workload: *wl, Budget: *budget,
+		})
+	case "schedule":
+		var req allocsvc.ScheduleRequest
+		req.Budget = *budget
+		if req.Nodes, err = parseNodes(*nodes); err != nil {
+			return err
+		}
+		if req.Jobs, err = parseJobs(*jobs); err != nil {
+			return err
+		}
+		out, meta, err = client.Schedule(ctx, req)
+	default:
+		return fmt.Errorf("call: unknown route %q (want coord, plan, or schedule)", *route)
+	}
+	if err != nil {
+		return err
+	}
+
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	where := meta.Shard
+	if meta.Source == allocclient.SourceLocal {
+		where = "in-process (all shards unavailable)"
+	}
+	fmt.Fprintf(os.Stderr, "source=%s served-by=%s attempts=%d retries=%d failovers=%d\n",
+		meta.Source, where, meta.Attempts, meta.Retries, meta.Failovers)
+	return nil
+}
+
+// parseNodes parses "n0=haswell,n1=ivybridge" into a node list.
+func parseNodes(s string) ([]allocsvc.NodeJSON, error) {
+	if s == "" {
+		return nil, fmt.Errorf("call: -route schedule needs -nodes id=platform[,...]")
+	}
+	var out []allocsvc.NodeJSON
+	for _, part := range strings.Split(s, ",") {
+		id, platform, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || platform == "" {
+			return nil, fmt.Errorf("call: bad node %q (want id=platform)", part)
+		}
+		out = append(out, allocsvc.NodeJSON{ID: id, Platform: platform})
+	}
+	return out, nil
+}
+
+// parseJobs parses "j0=stream,j1=dgemm" into a job queue.
+func parseJobs(s string) ([]allocsvc.JobJSON, error) {
+	if s == "" {
+		return nil, fmt.Errorf("call: -route schedule needs -jobs id=workload[,...]")
+	}
+	var out []allocsvc.JobJSON
+	for _, part := range strings.Split(s, ",") {
+		id, wl, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || wl == "" {
+			return nil, fmt.Errorf("call: bad job %q (want id=workload)", part)
+		}
+		out = append(out, allocsvc.JobJSON{ID: id, Workload: wl})
+	}
+	return out, nil
+}

@@ -90,6 +90,8 @@ func main() {
 		err = cmdFaults(args)
 	case "serve":
 		err = cmdServe(args)
+	case "call":
+		err = cmdCall(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -125,9 +127,13 @@ commands:
   calibrate fit a model to measurements (-workload name -proc W -mem W [-perf X])
   trace    time-stepped run             (-platform -workload -proc W -mem W -units N [-dt ms])
   faults   fault-injection sweep        (-platform -workload -budget W [-fault-spec s] [-fault-seed n])
-  serve    HTTP endpoint                (-addr host:port [-rounds N] [-api-workers N] [-api-queue N];
-                                         /metrics + /healthz + allocation API: POST /v1/coord,
-                                         /v1/plan, /v1/schedule with coalescing and backpressure)
+  serve    HTTP endpoint                (-addr host:port [-rounds N] [-api-workers N] [-api-queue N]
+                                         [-peers url,url,...]; /metrics + /healthz + /v1/peers +
+                                         allocation API: POST /v1/coord, /v1/plan, /v1/schedule
+                                         with coalescing and backpressure)
+  call     resilient API client          (-servers url,url,... | -discover url; -route coord|plan|schedule;
+                                         consistent-hash sharding, circuit breakers, failover, and
+                                         degraded-local fallback [-no-degraded])
 
 sweep, curve, coord, dyncoord, and faults accept -telemetry to dump a
 metrics snapshot after the run.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -13,6 +14,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/allocclient"
 	"repro/internal/allocsvc"
 	"repro/internal/faults"
 	"repro/internal/hw"
@@ -53,6 +55,7 @@ func cmdServe(args []string) error {
 	apiWorkers := fs.Int("api-workers", 0, "allocation API worker pool size (0 = GOMAXPROCS)")
 	apiQueue := fs.Int("api-queue", 0, "allocation API queue depth before 429 (0 = default, negative disables)")
 	apiTimeoutMs := fs.Int("api-timeout", 5000, "allocation API default per-request deadline in milliseconds")
+	peers := fs.String("peers", "", "comma-separated base URLs of every shard in the topology (including this one); served on /v1/peers for client discovery")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -112,7 +115,25 @@ func cmdServe(args []string) error {
 		stop() // a finite round budget shuts the server down too
 	}()
 
-	err = telemetry.ServeUntil(ctx, ln, newServeMux(reg, &health, svc), time.Duration(*drainMs)*time.Millisecond)
+	topo := allocclient.Peers{Self: "http://" + ln.Addr().String()}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				topo.Peers = append(topo.Peers, strings.TrimRight(p, "/"))
+			}
+		}
+	}
+
+	drain := time.Duration(*drainMs) * time.Millisecond
+	err = telemetry.ServeUntil(ctx, ln, newServeMux(reg, &health, svc, topo), drain)
+	// The HTTP server has stopped accepting; drain the allocation
+	// service too, so coalesced waiters finish instead of being
+	// abandoned mid-computation (chaos restarts depend on this).
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if cerr := svc.Close(dctx); cerr != nil && err == nil {
+		err = fmt.Errorf("draining allocation service: %w", cerr)
+	}
 	if lerr := <-loopDone; lerr != nil && err == nil {
 		err = lerr
 	}
@@ -133,12 +154,17 @@ func cpuPlatformNames() string {
 
 // newServeMux routes the server's endpoints: Prometheus exposition on
 // /metrics (with ?format=json|text variants), the health flag on
-// /healthz, and — when a service is given — the allocation API
-// (/v1/coord, /v1/plan, /v1/schedule).
-func newServeMux(reg *telemetry.Registry, health *telemetry.Health, svc *allocsvc.Service) *http.ServeMux {
+// /healthz, shard topology on /v1/peers, and — when a service is
+// given — the allocation API (/v1/coord, /v1/plan, /v1/schedule).
+func newServeMux(reg *telemetry.Registry, health *telemetry.Health, svc *allocsvc.Service, topo allocclient.Peers) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
 	mux.Handle("/healthz", health.Handler())
+	mux.HandleFunc("/v1/peers", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.Marshal(topo)
+		w.Write(append(b, '\n'))
+	})
 	if svc != nil {
 		svc.Register(mux)
 	}

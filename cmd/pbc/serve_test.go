@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/allocclient"
 	"repro/internal/allocsvc"
 	"repro/internal/faults"
 	"repro/internal/hw"
@@ -54,7 +55,7 @@ func TestServeMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := httptest.NewServer(newServeMux(reg, &health, nil))
+	srv := httptest.NewServer(newServeMux(reg, &health, nil, allocclient.Peers{}))
 	defer srv.Close()
 
 	res, err := http.Get(srv.URL + "/metrics")
@@ -87,7 +88,7 @@ func TestServeMetricsEndpoint(t *testing.T) {
 // flips it back to 200.
 func TestServeHealthFlipsOnWatchdog(t *testing.T) {
 	var health telemetry.Health
-	srv := httptest.NewServer(newServeMux(nil, &health, nil))
+	srv := httptest.NewServer(newServeMux(nil, &health, nil, allocclient.Peers{}))
 	defer srv.Close()
 
 	get := func() (int, string) {
@@ -152,7 +153,7 @@ func TestServeMuxServesAllocationAPI(t *testing.T) {
 	reg := telemetry.New()
 	var health telemetry.Health
 	svc := allocsvc.New(allocsvc.Config{Workers: 2, Registry: reg})
-	srv := httptest.NewServer(newServeMux(reg, &health, svc))
+	srv := httptest.NewServer(newServeMux(reg, &health, svc, allocclient.Peers{}))
 	defer srv.Close()
 
 	res, err := http.Post(srv.URL+"/v1/coord", "application/json",
@@ -179,6 +180,43 @@ func TestServeMuxServesAllocationAPI(t *testing.T) {
 	res.Body.Close()
 	if !strings.Contains(string(metrics), `allocsvc_requests_total{code="200",route="/v1/coord"} 1`) {
 		t.Errorf("/metrics missing the allocation API counter:\n%s", metrics)
+	}
+}
+
+// TestServePeersEndpoint pins the /v1/peers discovery contract: the
+// topology configured with -peers is served verbatim, and
+// allocclient.Discover turns it into a shard list (falling back to the
+// asked URL when no peers are configured).
+func TestServePeersEndpoint(t *testing.T) {
+	var health telemetry.Health
+	topo := allocclient.Peers{
+		Self:  "http://10.0.0.1:9120",
+		Peers: []string{"http://10.0.0.1:9120", "http://10.0.0.2:9120"},
+	}
+	srv := httptest.NewServer(newServeMux(nil, &health, nil, topo))
+	defer srv.Close()
+
+	// The discovered list must include the asked instance itself (via
+	// the address that just worked) and skip its advertised self
+	// address, so a peer list that redundantly names the instance does
+	// not produce a duplicate shard.
+	shards, err := allocclient.Discover(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{srv.URL, "http://10.0.0.2:9120"}
+	if len(shards) != 2 || shards[0] != want[0] || shards[1] != want[1] {
+		t.Fatalf("Discover = %v, want %v", shards, want)
+	}
+
+	lone := httptest.NewServer(newServeMux(nil, &health, nil, allocclient.Peers{Self: "http://x"}))
+	defer lone.Close()
+	shards, err = allocclient.Discover(context.Background(), lone.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 1 || shards[0] != lone.URL {
+		t.Fatalf("peerless Discover = %v, want [%s]", shards, lone.URL)
 	}
 }
 

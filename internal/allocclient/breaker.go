@@ -1,0 +1,153 @@
+package allocclient
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states: Closed passes requests, Open rejects them without
+// trying, HalfOpen admits a single probe to test recovery.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a per-shard circuit breaker. Zero values take
+// the documented defaults.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// open (default 3).
+	Threshold int
+	// Cooldown is how long an open breaker waits before admitting a
+	// half-open probe (default 2s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold < 1 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	return c
+}
+
+// breaker is one shard's circuit breaker: closed → open after
+// Threshold consecutive failures, open → half-open after Cooldown,
+// half-open → closed on a successful probe or back to open on a failed
+// one. Only one probe is admitted per half-open episode; concurrent
+// callers see the shard as unavailable until the probe resolves.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+	// onTransition observes every state change; called with the
+	// breaker's mutex held, so hooks must not call back into it.
+	onTransition func(from, to BreakerState)
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time, onTransition func(from, to BreakerState)) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), now: now, onTransition: onTransition}
+}
+
+func (b *breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// allow reports whether a request may be sent to this shard, moving an
+// open breaker to half-open once its cooldown has elapsed.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.transition(BreakerHalfOpen)
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// success records a request the shard answered sensibly (any HTTP
+// response, including 429 — a shard shedding load is alive).
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.transition(BreakerClosed)
+	}
+}
+
+// failure records a timeout, connect error, or 5xx. A half-open probe
+// failure reopens immediately; closed-state failures trip the breaker
+// at Threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.openedAt = b.now()
+		b.transition(BreakerOpen)
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.fails = 0
+			b.openedAt = b.now()
+			b.transition(BreakerOpen)
+		}
+	case BreakerOpen:
+		// A late failure from a request admitted before the trip;
+		// nothing to update.
+	}
+}
+
+// snapshot returns the current state for gauges and tests.
+func (b *breaker) snapshot() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,286 @@
+package allocclient
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/allocsvc"
+	"repro/internal/faults"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// rewriteTransport maps logical shard hosts to real httptest
+// listeners. The client's ring hashes shard URLs, and httptest ports
+// vary per run — routing on stable logical names ("shard-0") is what
+// makes the chaos traces byte-identical across runs.
+type rewriteTransport struct {
+	hosts map[string]string
+	inner http.RoundTripper
+}
+
+func (t *rewriteTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	r2 := r.Clone(r.Context())
+	if real, ok := t.hosts[r2.URL.Host]; ok {
+		r2.URL.Host = real
+	}
+	return t.inner.RoundTrip(r2)
+}
+
+// chaosHarness is a 3-shard allocsvc topology behind seeded chaos
+// proxies, driven sequentially with a fake clock so every run of a
+// seed reproduces the same fates, breaker transitions, and trace.
+type chaosHarness struct {
+	t        *testing.T
+	proxies  []*faults.ChaosProxy
+	client   *Client
+	clk      *fakeClock
+	trace    []string
+	shardIdx map[string]int // logical URL -> shard index
+}
+
+const chaosShards = 3
+
+func newChaosHarness(t *testing.T, seed uint64, spec faults.ProxySpec) *chaosHarness {
+	t.Helper()
+	h := &chaosHarness{t: t, clk: &fakeClock{}, shardIdx: map[string]int{}}
+	hosts := map[string]string{}
+	urls := make([]string, chaosShards)
+	for i := 0; i < chaosShards; i++ {
+		svc := allocsvc.New(allocsvc.Config{Workers: 2})
+		proxy := faults.NewChaosProxy(svc.Handler(), spec, seed, strconv.Itoa(i))
+		srv := httptest.NewServer(proxy)
+		t.Cleanup(srv.Close)
+		h.proxies = append(h.proxies, proxy)
+		urls[i] = "http://shard-" + strconv.Itoa(i)
+		hosts["shard-"+strconv.Itoa(i)] = strings.TrimPrefix(srv.URL, "http://")
+		h.shardIdx[urls[i]] = i
+	}
+	jitter := faults.NewRNG(seed).Fork("client.jitter")
+	c, err := New(Config{
+		Shards:  urls,
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: 50 * time.Millisecond},
+		Timeout: 2 * time.Second,
+		Now:     h.clk.now,
+		Rand:    jitter.Float64,
+		Sleep:   func(ctx context.Context, d time.Duration) error { return nil },
+		Transport: &rewriteTransport{
+			hosts: hosts,
+			// Keep-alive pools would make "does this request reuse a
+			// connection the last fate severed?" depend on timing; one
+			// connection per request keeps fates independent.
+			inner: &http.Transport{DisableKeepAlives: true},
+		},
+		OnTransition: func(shard string, from, to BreakerState) {
+			h.trace = append(h.trace,
+				fmt.Sprintf("breaker shard=%d %s->%s", h.shardIdx[shard], from, to))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	h.client = c
+	return h
+}
+
+type chaosStats struct {
+	total, fresh, degraded, failed int
+}
+
+func (s chaosStats) availability() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.fresh+s.degraded) / float64(s.total)
+}
+
+// drive issues n sequential coord/plan requests, applying the outage
+// schedule by global request number, advancing the fake clock 10ms per
+// request (breaker cooldown 50ms = 5 requests).
+func (h *chaosHarness) drive(n int, outages []faults.ShardOutage) chaosStats {
+	h.t.Helper()
+	killAt := map[uint64][]int{}
+	restartAt := map[uint64][]int{}
+	for _, o := range outages {
+		killAt[o.At] = append(killAt[o.At], o.Shard)
+		restartAt[o.At+o.For] = append(restartAt[o.At+o.For], o.Shard)
+	}
+	mix := []struct {
+		platform, workload string
+	}{
+		{"haswell", "stream"},
+		{"ivybridge", "dgemm"},
+		{"haswell", "ft"},
+		{"ivybridge", "mg"},
+	}
+	var stats chaosStats
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		// Restarts apply before kills so a kill and a restart landing
+		// on the same request number leave the shard down.
+		for _, s := range restartAt[uint64(i)] {
+			h.proxies[s].Restart()
+			h.trace = append(h.trace, fmt.Sprintf("start shard=%d at=%03d", s, i))
+		}
+		for _, s := range killAt[uint64(i)] {
+			h.proxies[s].Kill()
+			h.trace = append(h.trace, fmt.Sprintf("kill  shard=%d at=%03d", s, i))
+		}
+		h.clk.advance(10 * time.Millisecond)
+
+		m := mix[i%len(mix)]
+		budget := 120 + float64((i*7)%140)
+		var meta Meta
+		var err error
+		route := allocsvc.RouteCoord
+		if i%5 == 4 {
+			route = allocsvc.RoutePlan
+			_, meta, err = h.client.Plan(ctx, allocsvc.PlanRequest{
+				Platform: m.platform, Workload: m.workload, Budget: budget,
+			})
+		} else {
+			_, meta, err = h.client.Coord(ctx, allocsvc.CoordRequest{
+				Platform: m.platform, Workload: m.workload, Budget: budget,
+			})
+		}
+		stats.total++
+		shard := "-"
+		if idx, ok := h.shardIdx[meta.Shard]; ok {
+			shard = strconv.Itoa(idx)
+		}
+		outcome := meta.Source
+		switch {
+		case err != nil:
+			outcome = "error"
+			stats.failed++
+		case meta.Source == SourceLocal:
+			stats.degraded++
+		default:
+			stats.fresh++
+		}
+		h.trace = append(h.trace, fmt.Sprintf(
+			"req %03d route=%s shard=%s source=%s attempts=%d failovers=%d",
+			i, strings.TrimPrefix(route, "/v1/"), shard, outcome, meta.Attempts, meta.Failovers))
+	}
+	return stats
+}
+
+// TestChaosSingleShardDeathZeroLoss is the chaossmoke availability
+// gate: with one of three shards killed mid-run, every request must be
+// served fresh via ring failover — zero degraded, zero errors.
+func TestChaosSingleShardDeathZeroLoss(t *testing.T) {
+	h := newChaosHarness(t, 7, faults.ProxySpec{})
+	stats := h.drive(100, []faults.ShardOutage{{Shard: 0, At: 20, For: 40}})
+
+	if avail := stats.availability(); avail < 0.99 {
+		t.Fatalf("availability %.4f during single-shard death, gate requires >= 0.99", avail)
+	}
+	if stats.failed != 0 || stats.degraded != 0 || stats.fresh != stats.total {
+		t.Fatalf("stats %+v: want every request served fresh (two shards stayed live)", stats)
+	}
+
+	// The dead shard's breaker must have tripped, cycled probes while
+	// down, and closed again after restart; the live shards' breakers
+	// must never have moved.
+	var transitions []string
+	for _, line := range h.trace {
+		if strings.HasPrefix(line, "breaker ") {
+			transitions = append(transitions, line)
+		}
+	}
+	if len(transitions) < 3 {
+		t.Fatalf("breaker transitions %v: want trip, probe cycles, recovery", transitions)
+	}
+	for _, tr := range transitions {
+		if !strings.Contains(tr, "shard=0") {
+			t.Fatalf("live shard breaker moved: %q", tr)
+		}
+	}
+	if want := "breaker shard=0 closed->open"; transitions[0] != want {
+		t.Fatalf("first transition %q, want %q", transitions[0], want)
+	}
+	if want := "breaker shard=0 half-open->closed"; transitions[len(transitions)-1] != want {
+		t.Fatalf("last transition %q, want %q (recovery probe)", transitions[len(transitions)-1], want)
+	}
+	for _, tr := range transitions[1 : len(transitions)-1] {
+		if tr != "breaker shard=0 open->half-open" && tr != "breaker shard=0 half-open->open" {
+			t.Fatalf("mid-outage transition %q, want probe cycling", tr)
+		}
+	}
+}
+
+// TestChaosSeededGoldenTrace runs the full chaos gauntlet — 429
+// storms, dropped connections, stalls, a seeded kill schedule, and a
+// forced all-shard blackout — and pins the complete request/breaker
+// trace against a golden file. Two runs of the same seed must be
+// byte-identical, and availability must be 100%: every request is
+// served fresh or degraded-local, never an error.
+func TestChaosSeededGoldenTrace(t *testing.T) {
+	const (
+		seed = 42
+		n    = 240
+	)
+	spec := faults.ProxySpec{
+		Busy: 0.08, Drop: 0.05, Stall: 0.03,
+		StallFor:       20 * time.Millisecond,
+		RetryAfterSecs: 1,
+	}
+	// The seeded schedule covers the first 140 requests; a forced
+	// all-shard blackout at 150–170 then guarantees the golden trace
+	// covers degraded-local serving, whatever the seed drew.
+	outages := faults.ShardKillSchedule(seed, chaosShards, 140, 70, 18)
+	outages = append(outages,
+		faults.ShardOutage{Shard: 0, At: 150, For: 20},
+		faults.ShardOutage{Shard: 1, At: 150, For: 20},
+		faults.ShardOutage{Shard: 2, At: 150, For: 20})
+
+	run := func() ([]string, chaosStats) {
+		h := newChaosHarness(t, seed, spec)
+		stats := h.drive(n, outages)
+		return h.trace, stats
+	}
+	trace1, stats := run()
+	trace2, _ := run()
+
+	got := strings.Join(trace1, "\n") + "\n"
+	if again := strings.Join(trace2, "\n") + "\n"; again != got {
+		t.Fatalf("same seed produced different traces:\nrun1:\n%s\nrun2:\n%s", got, again)
+	}
+
+	if stats.failed != 0 {
+		t.Fatalf("stats %+v: %d requests surfaced errors; chaos availability must be 100%%", stats, stats.failed)
+	}
+	if stats.degraded == 0 {
+		t.Fatalf("stats %+v: blackout window should have forced degraded-local serving", stats)
+	}
+	if avail := stats.availability(); avail != 1.0 {
+		t.Fatalf("availability %.4f, want 1.0 (fresh or degraded, never an error)", avail)
+	}
+
+	golden := filepath.Join("testdata", "chaos_trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (rerun with -update to regenerate): %v", err)
+	}
+	if string(want) != got {
+		t.Fatalf("trace diverged from golden (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,536 @@
+package allocclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/allocsvc"
+	"repro/internal/telemetry"
+)
+
+// Response sources reported in Meta.Source.
+const (
+	// SourceShard: the answer came fresh from an allocsvc shard.
+	SourceShard = "shard"
+	// SourceLocal: every shard was unavailable and the answer was
+	// computed in-process (degraded mode).
+	SourceLocal = "degraded-local"
+)
+
+// ErrUnavailable reports that no shard could serve the request: every
+// breaker was open, or the retry budget was exhausted without a usable
+// response. Coord and Plan convert it into a degraded-local answer
+// unless Config.DisableDegraded is set.
+var ErrUnavailable = errors.New("allocclient: no shard available")
+
+// StatusError is a terminal HTTP error from a shard: the shard is
+// healthy but rejected this request (4xx other than 429). It is never
+// retried and never triggers degraded mode — a bad request is bad
+// everywhere, including locally.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("allocclient: shard returned %d: %s", e.Code, e.Msg)
+}
+
+// Config configures a Client. Shards is required; every other field
+// has a usable default.
+type Config struct {
+	// Shards is the allocsvc base URLs forming the ring, e.g.
+	// ["http://10.0.0.1:8080", "http://10.0.0.2:8080"]. Order does not
+	// affect placement (the ring hashes names), but every client must
+	// use the same URL strings to route identically.
+	Shards []string
+	// Replicas is the virtual points per shard on the ring (default 64).
+	Replicas int
+	// MaxAttempts bounds total HTTP attempts per request, counting
+	// retries and failovers (default max(4, 2*len(Shards))).
+	MaxAttempts int
+	// Timeout bounds each individual attempt (default 5s). The caller's
+	// context bounds the whole call.
+	Timeout time.Duration
+	// RetryBase / RetryMax shape the capped exponential backoff with
+	// full jitter (defaults 50ms / 2s). The server's Retry-After hint
+	// overrides the computed backoff on 429.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// BudgetQuantum buckets budgets for ring placement (default 1.0
+	// watts): nearby budgets share a shard so its profile and memo
+	// caches stay hot, the same content-fingerprint discipline allocsvc
+	// uses for coalescing. This affects placement only — requests carry
+	// the exact budget.
+	BudgetQuantum float64
+	// Breaker tunes the per-shard circuit breakers.
+	Breaker BreakerConfig
+	// DisableDegraded turns off the in-process fallback; Coord and Plan
+	// then surface ErrUnavailable like Schedule does.
+	DisableDegraded bool
+	// Registry receives client metrics; nil means uninstrumented.
+	Registry *telemetry.Registry
+	// Transport overrides the per-shard pooled transports (tests).
+	Transport http.RoundTripper
+	// Now, Rand, and Sleep are injectable for deterministic tests:
+	// breaker clocks, backoff jitter, and retry waits. Nil means the
+	// real time.Now, a seeded math/rand-free default is NOT provided —
+	// nil Rand uses a fixed 0.5 multiplier, keeping production behavior
+	// dependency-free and tests explicit.
+	Now   func() time.Time
+	Rand  func() float64
+	Sleep func(ctx context.Context, d time.Duration) error
+	// OnTransition observes breaker state changes per shard URL; called
+	// synchronously from the breaker, so keep it fast.
+	OnTransition func(shard string, from, to BreakerState)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas < 1 {
+		c.Replicas = 64
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 2 * len(c.Shards)
+		if c.MaxAttempts < 4 {
+			c.MaxAttempts = 4
+		}
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	if c.BudgetQuantum <= 0 {
+		c.BudgetQuantum = 1.0
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Rand == nil {
+		c.Rand = func() float64 { return 0.5 }
+	}
+	if c.Sleep == nil {
+		c.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	return c
+}
+
+// Meta describes how a response was obtained.
+type Meta struct {
+	// Source is SourceShard or SourceLocal.
+	Source string
+	// Shard is the base URL that served the response (empty for
+	// degraded-local answers).
+	Shard string
+	// Attempts is the number of HTTP attempts issued; Retries is
+	// attempts beyond the first; Failovers counts moves to a different
+	// shard than the previous attempt.
+	Attempts, Retries, Failovers int
+}
+
+// Client is a sharded, breaker-guarded allocsvc client. It is safe for
+// concurrent use.
+type Client struct {
+	cfg      Config
+	ring     *ring
+	breakers []*breaker
+	clients  []*http.Client
+	owned    []*http.Transport
+	met      clientMetrics
+}
+
+// New builds a client over the configured shard set.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("allocclient: at least one shard URL is required")
+	}
+	cfg = cfg.withDefaults()
+	shards := make([]string, len(cfg.Shards))
+	for i, s := range cfg.Shards {
+		s = strings.TrimRight(s, "/")
+		if s == "" {
+			return nil, fmt.Errorf("allocclient: shard %d has an empty URL", i)
+		}
+		shards[i] = s
+	}
+	cfg.Shards = shards
+	c := &Client{
+		cfg:  cfg,
+		ring: newRing(shards, cfg.Replicas),
+	}
+	c.met.init(cfg.Registry)
+	for i, url := range shards {
+		url := url
+		rt := cfg.Transport
+		if rt == nil {
+			t := &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     90 * time.Second,
+			}
+			c.owned = append(c.owned, t)
+			rt = t
+		}
+		c.clients = append(c.clients, &http.Client{Transport: rt})
+		c.breakers = append(c.breakers, newBreaker(cfg.Breaker, cfg.Now, func(from, to BreakerState) {
+			c.met.breakerState(url).Set(float64(breakerGaugeValue(to)))
+			if cfg.OnTransition != nil {
+				cfg.OnTransition(url, from, to)
+			}
+		}))
+		_ = i
+	}
+	return c, nil
+}
+
+// Close releases idle connections on transports the client created.
+func (c *Client) Close() {
+	for _, t := range c.owned {
+		t.CloseIdleConnections()
+	}
+}
+
+// BreakerStates snapshots every shard's breaker, keyed by base URL.
+func (c *Client) BreakerStates() map[string]BreakerState {
+	out := make(map[string]BreakerState, len(c.cfg.Shards))
+	for i, url := range c.cfg.Shards {
+		out[url] = c.breakers[i].snapshot()
+	}
+	return out
+}
+
+// quantizeBudget buckets a budget for ring placement.
+func (c *Client) quantizeBudget(watts float64) string {
+	return strconv.FormatInt(int64(math.Round(watts/c.cfg.BudgetQuantum)), 10)
+}
+
+// coordShardKey is the ring key for coord and plan requests: the
+// content fingerprint allocsvc coalesces on, with the budget quantized
+// so nearby budgets share a shard's warm caches.
+func (c *Client) coordShardKey(platform, wl string, budget float64) string {
+	return strings.Join([]string{platform, wl, c.quantizeBudget(budget)}, "|")
+}
+
+// scheduleShardKey mirrors allocsvc's cluster cache key: budget plus
+// the node list, so rounds against one cluster hit the shard holding
+// that cluster's warm scheduler.
+func (c *Client) scheduleShardKey(req allocsvc.ScheduleRequest) string {
+	var b strings.Builder
+	b.WriteString(c.quantizeBudget(req.Budget))
+	for _, n := range req.Nodes {
+		b.WriteByte('|')
+		b.WriteString(n.ID)
+		b.WriteByte('=')
+		b.WriteString(n.Platform)
+	}
+	return b.String()
+}
+
+// backoff computes the full-jitter wait before retry pass n (0-based):
+// a uniform draw from [0, min(RetryMax, RetryBase·2ⁿ)].
+func (c *Client) backoff(pass int) time.Duration {
+	d := c.cfg.RetryBase << uint(pass)
+	if d <= 0 || d > c.cfg.RetryMax {
+		d = c.cfg.RetryMax
+	}
+	return time.Duration(c.cfg.Rand() * float64(d))
+}
+
+// retryAfter extracts the server's Retry-After hint in seconds, or 0.
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// errorMessage extracts allocsvc's {"error": ...} body, falling back
+// to the raw body.
+func errorMessage(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(body))
+}
+
+// attempt issues one POST to one shard and classifies the outcome.
+func (c *Client) attempt(ctx context.Context, shard int, route string, body []byte) (*http.Response, []byte, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost,
+		c.cfg.Shards[shard]+route, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.clients[shard].Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, b, nil
+}
+
+// do drives one request to completion: walk the key's ring order
+// skipping open breakers, retry transient failures with backoff,
+// honor Retry-After on 429, fail over on transport errors and 5xx,
+// and wrap total exhaustion in ErrUnavailable.
+func (c *Client) do(ctx context.Context, route, key string, body []byte) ([]byte, Meta, error) {
+	meta := Meta{Source: SourceShard}
+	order := c.ring.order(key)
+	var lastErr error
+	cursor := 0      // index into order of the shard to try next
+	prev := -1       // shard index of the previous attempt
+	consecutive := 0 // failures since the last successful shard pick
+	pass := 0        // completed sweeps of the ring, drives backoff growth
+
+	for meta.Attempts < c.cfg.MaxAttempts {
+		if err := ctx.Err(); err != nil {
+			return nil, meta, err
+		}
+		// Pick the next shard on the ring whose breaker admits us.
+		shard := -1
+		for i := 0; i < len(order); i++ {
+			s := order[(cursor+i)%len(order)]
+			if c.breakers[s].allow() {
+				cursor = (cursor + i) % len(order)
+				shard = s
+				break
+			}
+		}
+		if shard == -1 {
+			if lastErr == nil {
+				lastErr = errors.New("every shard breaker is open")
+			}
+			return nil, meta, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+		}
+		meta.Attempts++
+		if meta.Attempts > 1 {
+			meta.Retries++
+			c.met.retries.Inc()
+		}
+		if prev >= 0 && shard != prev {
+			meta.Failovers++
+			c.met.failovers.Inc()
+		}
+		prev = shard
+
+		resp, respBody, err := c.attempt(ctx, shard, route, body)
+		if err != nil {
+			// Transport error, timeout, or severed connection: the
+			// shard is suspect. Trip toward open and move on.
+			c.breakers[shard].failure()
+			lastErr = err
+			cursor = (cursor + 1) % len(order)
+			consecutive++
+			if consecutive >= len(order) {
+				consecutive = 0
+				if serr := c.cfg.Sleep(ctx, c.backoff(pass)); serr != nil {
+					return nil, meta, serr
+				}
+				pass++
+			}
+			continue
+		}
+		switch {
+		case resp.StatusCode < 300:
+			c.breakers[shard].success()
+			meta.Shard = c.cfg.Shards[shard]
+			return respBody, meta, nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			// The shard is alive and shedding load: not a breaker
+			// failure. Honor its hint, then spread to the next shard.
+			c.breakers[shard].success()
+			lastErr = &StatusError{Code: resp.StatusCode, Msg: errorMessage(respBody)}
+			wait := retryAfter(resp)
+			if wait == 0 {
+				wait = c.backoff(pass)
+			}
+			if serr := c.cfg.Sleep(ctx, wait); serr != nil {
+				return nil, meta, serr
+			}
+			cursor = (cursor + 1) % len(order)
+			consecutive = 0
+		case resp.StatusCode >= 500:
+			// 5xx includes allocsvc's 503 drain and 504 deadline
+			// responses: the shard answered, but can't do the work.
+			c.breakers[shard].failure()
+			lastErr = &StatusError{Code: resp.StatusCode, Msg: errorMessage(respBody)}
+			cursor = (cursor + 1) % len(order)
+			consecutive++
+			if consecutive >= len(order) {
+				consecutive = 0
+				if serr := c.cfg.Sleep(ctx, c.backoff(pass)); serr != nil {
+					return nil, meta, serr
+				}
+				pass++
+			}
+		default:
+			// Terminal 4xx: the shard is healthy, the request is not.
+			// Retrying elsewhere cannot help.
+			c.breakers[shard].success()
+			meta.Shard = c.cfg.Shards[shard]
+			return nil, meta, &StatusError{Code: resp.StatusCode, Msg: errorMessage(respBody)}
+		}
+	}
+	return nil, meta, fmt.Errorf("%w: %d attempts exhausted, last error: %v",
+		ErrUnavailable, meta.Attempts, lastErr)
+}
+
+// Coord requests one coordination decision. When every shard is
+// unavailable (and degraded mode is enabled) the answer is computed
+// in-process — content-identical to a served one — and Meta.Source is
+// SourceLocal.
+func (c *Client) Coord(ctx context.Context, req allocsvc.CoordRequest) (allocsvc.CoordResponse, Meta, error) {
+	if req.Strategy == "" {
+		req.Strategy = "coord"
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return allocsvc.CoordResponse{}, Meta{}, err
+	}
+	key := c.coordShardKey(req.Platform, req.Workload, req.Budget)
+	raw, meta, err := c.do(ctx, allocsvc.RouteCoord, key, body)
+	if err != nil {
+		if errors.Is(err, ErrUnavailable) && !c.cfg.DisableDegraded {
+			resp, lerr := allocsvc.ComputeCoord(req)
+			if lerr != nil {
+				return allocsvc.CoordResponse{}, meta, lerr
+			}
+			meta.Source = SourceLocal
+			meta.Shard = ""
+			c.met.degraded.Inc()
+			c.met.requests(allocsvc.RouteCoord, SourceLocal).Inc()
+			return resp, meta, nil
+		}
+		return allocsvc.CoordResponse{}, meta, err
+	}
+	var resp allocsvc.CoordResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return allocsvc.CoordResponse{}, meta, fmt.Errorf("allocclient: decoding coord response: %w", err)
+	}
+	c.met.requests(allocsvc.RouteCoord, SourceShard).Inc()
+	return resp, meta, nil
+}
+
+// Plan requests a phase-aware plan, with the same degraded-local
+// fallback as Coord.
+func (c *Client) Plan(ctx context.Context, req allocsvc.PlanRequest) (allocsvc.PlanResponse, Meta, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return allocsvc.PlanResponse{}, Meta{}, err
+	}
+	key := c.coordShardKey(req.Platform, req.Workload, req.Budget)
+	raw, meta, err := c.do(ctx, allocsvc.RoutePlan, key, body)
+	if err != nil {
+		if errors.Is(err, ErrUnavailable) && !c.cfg.DisableDegraded {
+			resp, lerr := allocsvc.ComputePlan(req)
+			if lerr != nil {
+				return allocsvc.PlanResponse{}, meta, lerr
+			}
+			meta.Source = SourceLocal
+			meta.Shard = ""
+			c.met.degraded.Inc()
+			c.met.requests(allocsvc.RoutePlan, SourceLocal).Inc()
+			return resp, meta, nil
+		}
+		return allocsvc.PlanResponse{}, meta, err
+	}
+	var resp allocsvc.PlanResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return allocsvc.PlanResponse{}, meta, fmt.Errorf("allocclient: decoding plan response: %w", err)
+	}
+	c.met.requests(allocsvc.RoutePlan, SourceShard).Inc()
+	return resp, meta, nil
+}
+
+// Schedule requests one scheduling round. There is no degraded-local
+// fallback: a scheduling round mutates shard-side scheduler state
+// (admitted jobs consume pool budget), so a locally computed round
+// would silently fork that state.
+func (c *Client) Schedule(ctx context.Context, req allocsvc.ScheduleRequest) (allocsvc.ScheduleResponse, Meta, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return allocsvc.ScheduleResponse{}, Meta{}, err
+	}
+	raw, meta, err := c.do(ctx, allocsvc.RouteSchedule, c.scheduleShardKey(req), body)
+	if err != nil {
+		return allocsvc.ScheduleResponse{}, meta, err
+	}
+	var resp allocsvc.ScheduleResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return allocsvc.ScheduleResponse{}, meta, fmt.Errorf("allocclient: decoding schedule response: %w", err)
+	}
+	c.met.requests(allocsvc.RouteSchedule, SourceShard).Inc()
+	return resp, meta, nil
+}
+
+// Peers is the body of GET /v1/peers on a pbc serve instance.
+type Peers struct {
+	Self  string   `json:"self"`
+	Peers []string `json:"peers,omitempty"`
+}
+
+// Discover asks one serve instance for its shard topology and returns
+// the full shard list to hand to New: the asked base URL (the address
+// that demonstrably works from this vantage point) plus every peer the
+// instance advertises, minus the instance's own advertised self address
+// so it is not listed twice. An instance with no configured peers
+// yields just the asked base URL.
+func Discover(ctx context.Context, base string) ([]string, error) {
+	base = strings.TrimRight(base, "/")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/peers", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return nil, fmt.Errorf("allocclient: discover %s: %d: %s", base, resp.StatusCode, errorMessage(body))
+	}
+	var p Peers
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("allocclient: decoding peers from %s: %w", base, err)
+	}
+	shards := []string{base}
+	for _, peer := range p.Peers {
+		if peer = strings.TrimRight(peer, "/"); peer != base && peer != p.Self && peer != "" {
+			shards = append(shards, peer)
+		}
+	}
+	return shards, nil
+}

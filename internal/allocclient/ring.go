@@ -1,0 +1,103 @@
+// Package allocclient is a resilient client for the allocsvc HTTP API.
+//
+// The client spreads requests over N shards with a consistent-hash
+// ring keyed by the same content fingerprint allocsvc uses for request
+// coalescing (platform + workload + quantized budget), so each shard's
+// memo and profile caches stay hot for its slice of the key space. A
+// per-shard circuit breaker trips on consecutive transport errors,
+// timeouts, and 5xx responses; tripped shards are skipped and requests
+// fail over to the next live shard on the ring. Retries use capped
+// exponential backoff with full jitter and honor the server's
+// Retry-After hint on 429. When every shard is unreachable the client
+// degrades to computing coordination answers in-process — a degraded
+// answer is content-identical to a served one, and responses carry a
+// Meta tag so callers can tell served-fresh from served-local.
+package allocclient
+
+import (
+	"sort"
+	"strconv"
+)
+
+// fnv1a is the 64-bit FNV-1a hash, the same cheap non-cryptographic
+// hash the faults package uses for stream forking. The ring only needs
+// a stable, well-spread placement function, not collision resistance.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// ringPoint is one virtual node: a hash position owned by a shard.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// ring is a consistent-hash ring over shard indexes. Each shard owns
+// Replicas virtual points; a key is served by the shard owning the
+// first point clockwise from the key's hash, and fails over by
+// continuing clockwise to the next distinct shard.
+type ring struct {
+	points []ringPoint
+	shards int
+}
+
+// newRing places shards on the ring by name so the mapping is a pure
+// function of the configured shard list — every client instance with
+// the same shard URLs routes identically.
+func newRing(names []string, replicas int) *ring {
+	if replicas < 1 {
+		replicas = 1
+	}
+	r := &ring{shards: len(names)}
+	for i, name := range names {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  fnv1a(name + "#" + strconv.Itoa(v)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// order returns every shard index exactly once, in the failover order
+// for key: the key's home shard first, then each subsequent distinct
+// shard walking clockwise. Walking this list is how the client fails
+// over — the next entry is the next-best cache locality for the key.
+func (r *ring) order(key string) []int {
+	if r.shards == 0 {
+		return nil
+	}
+	h := fnv1a(key)
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= h
+	})
+	out := make([]int, 0, r.shards)
+	seen := make([]bool, r.shards)
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+			if len(out) == r.shards {
+				break
+			}
+		}
+	}
+	return out
+}

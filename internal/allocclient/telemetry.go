@@ -1,0 +1,51 @@
+package allocclient
+
+import "repro/internal/telemetry"
+
+// breakerGaugeValue maps breaker states onto a monotone severity scale
+// for the allocclient_breaker_state gauge: 0 closed, 1 half-open,
+// 2 open.
+func breakerGaugeValue(s BreakerState) int {
+	switch s {
+	case BreakerHalfOpen:
+		return 1
+	case BreakerOpen:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// clientMetrics holds the client's registry handles. A nil registry
+// yields nil-safe no-op handles, per the telemetry package contract.
+type clientMetrics struct {
+	reg       *telemetry.Registry
+	retries   *telemetry.Counter
+	failovers *telemetry.Counter
+	degraded  *telemetry.Counter
+}
+
+func (m *clientMetrics) init(reg *telemetry.Registry) {
+	m.reg = reg
+	m.retries = reg.Counter("allocclient_retries_total",
+		"HTTP attempts beyond the first for a request (retries and failover re-sends).")
+	m.failovers = reg.Counter("allocclient_failovers_total",
+		"Attempts moved to a different shard than the previous attempt.")
+	m.degraded = reg.Counter("allocclient_degraded_total",
+		"Requests answered by the in-process degraded-local fallback.")
+}
+
+// requests returns the counter for one (route, source) pair.
+func (m *clientMetrics) requests(route, source string) *telemetry.Counter {
+	return m.reg.Counter("allocclient_requests_total",
+		"Client requests answered, by route and source (shard or degraded-local).",
+		"route", route, "source", source)
+}
+
+// breakerState returns the per-shard breaker position gauge
+// (0 closed, 1 half-open, 2 open).
+func (m *clientMetrics) breakerState(shard string) *telemetry.Gauge {
+	return m.reg.Gauge("allocclient_breaker_state",
+		"Circuit breaker position per shard: 0 closed, 1 half-open, 2 open.",
+		"shard", shard)
+}

@@ -33,6 +33,7 @@ package allocsvc
 
 import (
 	"context"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
@@ -61,8 +62,10 @@ type Config struct {
 	// MaxTimeout caps per-request deadlines and bounds the shared
 	// computation itself. 0 means DefaultMaxTimeout.
 	MaxTimeout time.Duration
-	// RetryAfter is the Retry-After hint attached to 429 responses.
-	// 0 means DefaultRetryAfter.
+	// RetryAfter scales the Retry-After hint attached to 429 responses:
+	// it is the estimated time for the worker pool to drain one full
+	// round of queued work. The actual hint is adaptive — see
+	// adaptiveRetryAfter. 0 means DefaultRetryAfter.
 	RetryAfter time.Duration
 	// SchedulerCacheSize bounds the cached cluster.Scheduler instances
 	// for /v1/schedule (0 means DefaultSchedulerCacheSize; negative
@@ -99,6 +102,7 @@ type Service struct {
 
 	slots    chan struct{} // worker pool: one token per computing request
 	inflight atomic.Int64  // leaders admitted (queued or computing)
+	closed   atomic.Bool   // set by Close: stop admitting, drain
 
 	flight flight.Group[string, *response]
 
@@ -178,6 +182,9 @@ func (s *Service) Workers() int { return s.cfg.Workers }
 type response struct {
 	code int
 	body []byte
+	// retryAfter, when positive, attaches a Retry-After header of that
+	// many seconds (429 responses carry the adaptive hint).
+	retryAfter int
 }
 
 // do runs one request through coalescing, backpressure, the worker
@@ -209,10 +216,18 @@ func (s *Service) do(ctx context.Context, route, key string, timeout time.Durati
 // It always returns a response: errors are encoded, never escape.
 func (s *Service) run(compute func() (any, error)) *response {
 	// Backpressure: refuse immediately when the service is saturated.
+	// The increment happens before the closed check so Close, once it
+	// observes zero inflight, cannot race with a leader that is about
+	// to start computing.
 	limit := int64(s.cfg.Workers + s.cfg.QueueDepth)
-	if s.inflight.Add(1) > limit {
+	n := s.inflight.Add(1)
+	if s.closed.Load() {
 		s.inflight.Add(-1)
-		return busyResponse()
+		return closingResponse()
+	}
+	if n > limit {
+		s.inflight.Add(-1)
+		return busyResponse(adaptiveRetryAfter(n, s.cfg.Workers, s.cfg.RetryAfter))
 	}
 	defer s.inflight.Add(-1)
 
@@ -239,6 +254,61 @@ func (s *Service) run(compute func() (any, error)) *response {
 		return errorResponse(err)
 	}
 	return okResponse(v)
+}
+
+// maxRetryAfterSecs caps the adaptive Retry-After hint: past this the
+// client should treat the service as down, not merely busy.
+const maxRetryAfterSecs = 30
+
+// adaptiveRetryAfter derives the 429 Retry-After hint from load at
+// rejection time instead of a fixed constant: base is the estimated
+// time for the worker pool to drain one full round of work, and the
+// hint scales with how many such rounds the current queue represents.
+// inflight includes the request being rejected. The hint is clamped to
+// [1, maxRetryAfterSecs] whole seconds (the HTTP header's resolution).
+func adaptiveRetryAfter(inflight int64, workers int, base time.Duration) int {
+	if workers < 1 {
+		workers = 1
+	}
+	queued := inflight - int64(workers)
+	if queued < 0 {
+		queued = 0
+	}
+	rounds := (queued + int64(workers) - 1) / int64(workers)
+	if rounds < 1 {
+		rounds = 1
+	}
+	secs := int(math.Ceil(base.Seconds() * float64(rounds)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxRetryAfterSecs {
+		secs = maxRetryAfterSecs
+	}
+	return secs
+}
+
+// Close drains the service: new requests are refused with 503 while
+// already-admitted leaders (and the coalesced waiters sharing their
+// results) run to completion. It returns nil once the last in-flight
+// leader finishes, or ctx.Err() if the deadline expires with work
+// still running. Close is idempotent and one-way: the service stays
+// closed. Chaos restarts construct a fresh Service rather than
+// reopening a drained one.
+func (s *Service) Close(ctx context.Context) error {
+	s.closed.Store(true)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
 }
 
 // schedulerFor returns (possibly from cache) a scheduler for the given

@@ -2,6 +2,7 @@ package allocsvc
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"net/http"
 	"net/http/httptest"
@@ -340,6 +341,145 @@ func TestSchedulerCacheBounded(t *testing.T) {
 	if len(svc.scheds) != 2 || len(svc.schedOrder) != 2 {
 		t.Errorf("cache size = %d (order %d), want 2", len(svc.scheds), len(svc.schedOrder))
 	}
+}
+
+// TestAdaptiveRetryAfter pins the load → Retry-After mapping: the hint
+// scales with how many worker-pool drains the current queue represents,
+// clamped to [1, 30] whole seconds.
+func TestAdaptiveRetryAfter(t *testing.T) {
+	cases := []struct {
+		name     string
+		inflight int64
+		workers  int
+		base     time.Duration
+		want     int
+	}{
+		{"empty_queue", 1, 4, time.Second, 1},
+		{"first_reject_small_pool", 2, 1, 2 * time.Second, 2},
+		{"one_round_queued", 3, 2, time.Second, 1},
+		{"three_rounds_queued", 7, 2, time.Second, 3},
+		{"subsecond_base_rounds_up", 10, 4, 500 * time.Millisecond, 1},
+		{"subsecond_base_two_rounds", 13, 4, 500 * time.Millisecond, 2},
+		{"deep_queue_clamped", 100, 2, time.Second, 30},
+		{"zero_workers_guarded", 5, 0, time.Second, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := adaptiveRetryAfter(tc.inflight, tc.workers, tc.base); got != tc.want {
+				t.Errorf("adaptiveRetryAfter(%d, %d, %v) = %d, want %d",
+					tc.inflight, tc.workers, tc.base, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRetryAfterScalesWithQueueDepth drives a saturated service twice —
+// shallow and deep queue — and checks the wire header grows with load.
+func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
+	svc, srv := newTestService(t, Config{
+		Workers: 1, QueueDepth: -1, RetryAfter: time.Second,
+	})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	svc.slow = func() { entered <- struct{}{}; <-release }
+	defer close(release)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		post(t, srv, RouteCoord, `{"platform":"ivybridge","workload":"stream","budget_watts":208}`)
+	}()
+	<-entered
+
+	resp, _ := post(t, srv, RouteCoord, `{"platform":"ivybridge","workload":"dgemm","budget_watts":170}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	// Workers=1, one computing, this request makes inflight 2: one
+	// round of drain → the base hint.
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+	wg.Wait()
+}
+
+// TestCloseDrains: Close refuses new work with 503 while the admitted
+// request runs to completion, then returns nil.
+func TestCloseDrains(t *testing.T) {
+	svc, srv := newTestService(t, Config{Workers: 1})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	svc.slow = func() { entered <- struct{}{}; <-release }
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, b := post(t, srv, RouteCoord,
+			`{"platform":"ivybridge","workload":"stream","budget_watts":208}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("draining request: status %d, body %s", resp.StatusCode, b)
+		}
+	}()
+	<-entered // the request is inside the worker
+
+	closed := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		closed <- svc.Close(ctx)
+	}()
+
+	// Wait until Close has flipped the admission gate, then check new
+	// work is refused.
+	for start := time.Now(); !svc.closed.Load(); {
+		if time.Since(start) > time.Second {
+			t.Fatal("Close never set the closed flag")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, body := post(t, srv, RouteCoord,
+		`{"platform":"ivybridge","workload":"dgemm","budget_watts":170}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-Close status = %d, want 503; body %s", resp.StatusCode, body)
+	}
+
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned %v before the in-flight request finished", err)
+	default:
+	}
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close = %v, want nil after drain", err)
+	}
+	wg.Wait()
+}
+
+// TestCloseDeadline: Close gives up with the ctx error when in-flight
+// work outlives the drain budget.
+func TestCloseDeadline(t *testing.T) {
+	svc, srv := newTestService(t, Config{Workers: 1})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	svc.slow = func() { entered <- struct{}{}; <-release }
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		post(t, srv, RouteCoord, `{"platform":"ivybridge","workload":"stream","budget_watts":208}`)
+	}()
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := svc.Close(ctx); err != context.DeadlineExceeded {
+		t.Errorf("Close = %v, want context.DeadlineExceeded", err)
+	}
+	close(release)
+	wg.Wait()
 }
 
 // TestTelemetryRegistered: serving requests populates the service

@@ -189,10 +189,18 @@ func timeoutResponse(err error) *response {
 	}
 }
 
-func busyResponse() *response {
+func busyResponse(retryAfterSecs int) *response {
 	return &response{
-		code: http.StatusTooManyRequests,
-		body: renderJSON(errorJSON{Error: "service saturated; retry later"}),
+		code:       http.StatusTooManyRequests,
+		body:       renderJSON(errorJSON{Error: "service saturated; retry later"}),
+		retryAfter: retryAfterSecs,
+	}
+}
+
+func closingResponse() *response {
+	return &response{
+		code: http.StatusServiceUnavailable,
+		body: renderJSON(errorJSON{Error: "service closing; not admitting new requests"}),
 	}
 }
 
@@ -251,12 +259,8 @@ func (s *Service) reject(w http.ResponseWriter, route string, resp *response, st
 
 func (s *Service) write(w http.ResponseWriter, resp *response) {
 	w.Header().Set("Content-Type", "application/json")
-	if resp.code == http.StatusTooManyRequests {
-		secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	if resp.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(resp.retryAfter))
 	}
 	w.WriteHeader(resp.code)
 	w.Write(resp.body)
@@ -335,17 +339,29 @@ func (s *Service) handleCoord(w http.ResponseWriter, r *http.Request) {
 		RouteCoord, req.Platform, req.Workload, req.Strategy, budgetBits(req.Budget),
 	}, "|")
 	s.serve(w, r, RouteCoord, key, s.timeout(req.TimeoutMS), func() (any, error) {
-		return s.computeCoord(req)
+		resp, err := ComputeCoord(req)
+		if err != nil {
+			return nil, err
+		}
+		return resp, nil
 	})
 }
 
-func (s *Service) computeCoord(req CoordRequest) (any, error) {
+// ComputeCoord computes one /v1/coord decision in-process: it is the
+// exact computation the service runs behind POST /v1/coord, exported
+// so allocclient's degraded mode can serve coordination answers
+// locally when every shard is unreachable — a degraded answer is
+// content-identical to a served one.
+func ComputeCoord(req CoordRequest) (CoordResponse, error) {
+	if req.Strategy == "" {
+		req.Strategy = "coord"
+	}
 	if err := checkBudget(req.Budget); err != nil {
-		return nil, err
+		return CoordResponse{}, err
 	}
 	p, wl, err := resolvePair(req.Platform, req.Workload)
 	if err != nil {
-		return nil, err
+		return CoordResponse{}, err
 	}
 	budget := units.Power(req.Budget)
 	resp := CoordResponse{
@@ -359,11 +375,11 @@ func (s *Service) computeCoord(req CoordRequest) (any, error) {
 	case hw.KindCPU:
 		prof, err := profile.ProfileCPU(p, wl)
 		if err != nil {
-			return nil, err
+			return CoordResponse{}, err
 		}
 		st, ok := cpuStrategy(req.Strategy)
 		if !ok {
-			return nil, badRequestf("unknown CPU strategy %q (supported: %s)",
+			return CoordResponse{}, badRequestf("unknown CPU strategy %q (supported: %s)",
 				req.Strategy, strategyNames(hw.KindCPU))
 		}
 		d = st(prof, budget)
@@ -371,11 +387,11 @@ func (s *Service) computeCoord(req CoordRequest) (any, error) {
 	case hw.KindGPU:
 		prof, err := profile.ProfileGPU(p, wl)
 		if err != nil {
-			return nil, err
+			return CoordResponse{}, err
 		}
 		st, ok := gpuStrategy(req.Strategy)
 		if !ok {
-			return nil, badRequestf("unknown GPU strategy %q (supported: %s)",
+			return CoordResponse{}, badRequestf("unknown GPU strategy %q (supported: %s)",
 				req.Strategy, strategyNames(hw.KindGPU))
 		}
 		d = st(prof, budget)
@@ -396,7 +412,7 @@ func (s *Service) computeCoord(req CoordRequest) (any, error) {
 	resp.SurplusWatts = d.Surplus.Watts()
 	res, err := evalpool.Default().Evaluate(evalpool.Problem{Platform: p, Workload: wl}, evalReq)
 	if err != nil {
-		return nil, err
+		return CoordResponse{}, err
 	}
 	resp.ExpectedPerf = res.Perf
 	resp.PerfUnit = wl.PerfUnit
@@ -453,26 +469,33 @@ func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 		RoutePlan, req.Platform, req.Workload, budgetBits(req.Budget),
 	}, "|")
 	s.serve(w, r, RoutePlan, key, s.timeout(req.TimeoutMS), func() (any, error) {
-		return s.computePlan(req)
+		resp, err := ComputePlan(req)
+		if err != nil {
+			return nil, err
+		}
+		return resp, nil
 	})
 }
 
-func (s *Service) computePlan(req PlanRequest) (any, error) {
+// ComputePlan computes one /v1/plan decision in-process — the exact
+// computation behind POST /v1/plan, exported for allocclient's
+// degraded mode.
+func ComputePlan(req PlanRequest) (PlanResponse, error) {
 	if err := checkBudget(req.Budget); err != nil {
-		return nil, err
+		return PlanResponse{}, err
 	}
 	p, wl, err := resolvePair(req.Platform, req.Workload)
 	if err != nil {
-		return nil, err
+		return PlanResponse{}, err
 	}
 	if p.Kind != hw.KindCPU {
-		return nil, badRequestf(
+		return PlanResponse{}, badRequestf(
 			"plan supports CPU platforms only; %q is a GPU platform (supported: %s)",
 			p.Name, platformNames(hw.KindCPU, false))
 	}
 	plan, err := dyncoord.PlanCPUOrDegrade(p, wl, units.Power(req.Budget))
 	if err != nil {
-		return nil, err
+		return PlanResponse{}, err
 	}
 	resp := PlanResponse{
 		Platform: p.Name, Workload: wl.Name, Budget: req.Budget,

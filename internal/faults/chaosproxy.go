@@ -1,0 +1,214 @@
+package faults
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProxyFate is the chaos proxy's verdict on one request.
+type ProxyFate int
+
+// Per-request fates a chaos proxy can draw.
+const (
+	// ProxyPass: the request reaches the wrapped handler untouched.
+	ProxyPass ProxyFate = iota
+	// ProxyBusy: the request is refused with an injected 429 and a
+	// Retry-After header, as a saturated shard would.
+	ProxyBusy
+	// ProxyDrop: the connection is severed with no HTTP response — the
+	// client sees a transport error, as it would from a crashed shard.
+	ProxyDrop
+	// ProxyStall: the response stalls (past any reasonable client
+	// deadline) and then the connection is severed.
+	ProxyStall
+)
+
+// ProxySpec declares per-request fault rates for a ChaosProxy. The
+// zero value injects nothing. Probabilities must sum to at most 1.
+type ProxySpec struct {
+	// Busy is the probability of an injected 429 (a 429 storm at 1).
+	Busy float64
+	// Drop is the probability the connection is severed mid-request.
+	Drop float64
+	// Stall is the probability the response stalls for StallFor before
+	// the connection dies.
+	Stall float64
+	// StallFor is how long a stalled response hangs. The stall ends
+	// early if the client gives up first (request context cancelled).
+	StallFor time.Duration
+	// RetryAfterSecs is the Retry-After hint attached to injected 429s
+	// (0 means 1 second).
+	RetryAfterSecs int
+}
+
+// ProxyStats counts a proxy's request fates.
+type ProxyStats struct {
+	// Requests counts every request that reached the proxy; Passed,
+	// Busy, Dropped, Stalled, and Killed partition them by fate
+	// (Killed are requests severed because the shard was down).
+	Requests, Passed, Busy, Dropped, Stalled, Killed uint64
+}
+
+// ChaosProxy wraps an http.Handler with seeded, deterministic faults:
+// injected 429 storms, severed connections, response stalls, and a
+// kill switch for whole-shard death. Fates are drawn from a forked RNG
+// stream keyed by the shard name, so two proxies in one topology draw
+// decorrelated faults and replaying a seed reproduces every fate in
+// arrival order. Determinism is per arrival sequence: drive requests
+// sequentially to reproduce a run byte for byte.
+type ChaosProxy struct {
+	inner http.Handler
+	spec  ProxySpec
+
+	mu  sync.Mutex
+	rng *RNG
+
+	down atomic.Bool
+
+	requests, passed, busy, dropped, stalled, killed atomic.Uint64
+}
+
+// NewChaosProxy wraps inner with the spec's faults, drawing from the
+// stream (seed, "proxy/"+shard).
+func NewChaosProxy(inner http.Handler, spec ProxySpec, seed uint64, shard string) *ChaosProxy {
+	return &ChaosProxy{
+		inner: inner,
+		spec:  spec,
+		rng:   NewRNG(seed).Fork("proxy/" + shard),
+	}
+}
+
+// Kill takes the shard down: every request is severed with no response
+// until Restart. Kill does not consume RNG draws, so a kill schedule
+// cannot shift which later requests draw which fates.
+func (p *ChaosProxy) Kill() { p.down.Store(true) }
+
+// Restart returns the shard to service.
+func (p *ChaosProxy) Restart() { p.down.Store(false) }
+
+// Down reports whether the shard is currently killed.
+func (p *ChaosProxy) Down() bool { return p.down.Load() }
+
+// Stats snapshots the proxy's fate counters.
+func (p *ChaosProxy) Stats() ProxyStats {
+	return ProxyStats{
+		Requests: p.requests.Load(),
+		Passed:   p.passed.Load(),
+		Busy:     p.busy.Load(),
+		Dropped:  p.dropped.Load(),
+		Stalled:  p.stalled.Load(),
+		Killed:   p.killed.Load(),
+	}
+}
+
+// draw consumes one uniform variate and maps it to a fate.
+func (p *ChaosProxy) draw() ProxyFate {
+	p.mu.Lock()
+	u := p.rng.Float64()
+	p.mu.Unlock()
+	switch {
+	case u < p.spec.Busy:
+		return ProxyBusy
+	case u < p.spec.Busy+p.spec.Drop:
+		return ProxyDrop
+	case u < p.spec.Busy+p.spec.Drop+p.spec.Stall:
+		return ProxyStall
+	default:
+		return ProxyPass
+	}
+}
+
+// ServeHTTP applies the drawn fate. Severed connections use
+// http.ErrAbortHandler, which the net/http server translates into an
+// aborted response (the client observes EOF / unexpected EOF).
+func (p *ChaosProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.requests.Add(1)
+	if p.down.Load() {
+		p.killed.Add(1)
+		panic(http.ErrAbortHandler)
+	}
+	if p.spec == (ProxySpec{}) {
+		p.passed.Add(1)
+		p.inner.ServeHTTP(w, r)
+		return
+	}
+	switch p.draw() {
+	case ProxyBusy:
+		p.busy.Add(1)
+		secs := p.spec.RetryAfterSecs
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"injected 429 storm"}` + "\n"))
+	case ProxyDrop:
+		p.dropped.Add(1)
+		panic(http.ErrAbortHandler)
+	case ProxyStall:
+		p.stalled.Add(1)
+		select {
+		case <-time.After(p.spec.StallFor):
+		case <-r.Context().Done():
+		}
+		panic(http.ErrAbortHandler)
+	default:
+		p.passed.Add(1)
+		p.inner.ServeHTTP(w, r)
+	}
+}
+
+// ShardOutage is one kill/restart interval of a shard in a topology,
+// measured in the harness's global request sequence numbers: the shard
+// goes down just before request At is issued and returns to service
+// just before request At+For.
+type ShardOutage struct {
+	Shard   int
+	At, For uint64
+}
+
+// ShardKillSchedule derives a deterministic kill/restart schedule for
+// a topology of shards over a horizon of requests. Up intervals are
+// exponential with mean meanUp requests, outages exponential with mean
+// meanDown; each shard draws from its own forked stream, so adding a
+// shard does not perturb the others' schedules. A non-positive
+// meanDown means killed shards never restart. The schedule is sorted
+// by At (ties by shard) for in-order application.
+func ShardKillSchedule(seed uint64, shards int, horizon uint64, meanUp, meanDown float64) []ShardOutage {
+	var out []ShardOutage
+	root := NewRNG(seed)
+	for s := 0; s < shards; s++ {
+		rng := root.Fork("proxy.kill/" + strconv.Itoa(s))
+		t := 0.0
+		for {
+			t += 1 + rng.Exp(meanUp)
+			at := uint64(t)
+			if at >= horizon {
+				break
+			}
+			if meanDown <= 0 {
+				out = append(out, ShardOutage{Shard: s, At: at, For: horizon - at})
+				break
+			}
+			down := 1 + rng.Exp(meanDown)
+			dur := uint64(down)
+			if at+dur > horizon {
+				dur = horizon - at
+			}
+			out = append(out, ShardOutage{Shard: s, At: at, For: dur})
+			t += down
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Shard < out[j].Shard
+	})
+	return out
+}

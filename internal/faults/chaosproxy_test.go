@@ -1,0 +1,154 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func drawFates(t *testing.T, seed uint64, shard string, n int) []ProxyFate {
+	t.Helper()
+	p := NewChaosProxy(http.NotFoundHandler(), ProxySpec{Busy: 0.2, Drop: 0.2, Stall: 0.1, StallFor: time.Millisecond}, seed, shard)
+	fates := make([]ProxyFate, n)
+	for i := range fates {
+		fates[i] = p.draw()
+	}
+	return fates
+}
+
+func TestChaosProxyFatesDeterministic(t *testing.T) {
+	a := drawFates(t, 42, "0", 200)
+	b := drawFates(t, 42, "0", 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fate %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := drawFates(t, 43, "0", 200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical fate sequences")
+	}
+}
+
+func TestChaosProxyShardStreamsDecorrelated(t *testing.T) {
+	a := drawFates(t, 42, "0", 200)
+	b := drawFates(t, 42, "1", 200)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("shards 0 and 1 drew identical fate sequences from one seed")
+	}
+}
+
+func TestChaosProxyKillSeversWithoutConsumingDraws(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	p := NewChaosProxy(inner, ProxySpec{Busy: 1}, 7, "0")
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+
+	p.Kill()
+	if _, err := http.Get(srv.URL); err == nil {
+		t.Fatal("expected transport error from killed shard, got response")
+	}
+	p.Restart()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("after restart: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("Busy=1 spec: got status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	st := p.Stats()
+	if st.Killed != 1 || st.Busy != 1 || st.Requests != 2 {
+		t.Fatalf("stats = %+v, want Killed=1 Busy=1 Requests=2", st)
+	}
+}
+
+func TestChaosProxyZeroSpecPassesThrough(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	srv := httptest.NewServer(NewChaosProxy(inner, ProxySpec{}, 1, "0"))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || string(body) != "ok" {
+		t.Fatalf("got %d %q, want 200 \"ok\"", resp.StatusCode, body)
+	}
+}
+
+func TestShardKillScheduleDeterministicAndSorted(t *testing.T) {
+	a := ShardKillSchedule(42, 3, 1000, 100, 20)
+	b := ShardKillSchedule(42, 3, 1000, 100, 20)
+	if len(a) == 0 {
+		t.Fatal("expected at least one outage over a 1000-request horizon with mean up 100")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outage %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("schedule not sorted at %d: %+v before %+v", i, a[i-1], a[i])
+		}
+	}
+	for _, o := range a {
+		if o.At+o.For > 1000 {
+			t.Fatalf("outage %+v exceeds horizon", o)
+		}
+		if o.For == 0 {
+			t.Fatalf("outage %+v has zero duration", o)
+		}
+	}
+}
+
+func TestShardKillScheduleExtraShardDoesNotPerturb(t *testing.T) {
+	three := ShardKillSchedule(42, 3, 1000, 100, 20)
+	four := ShardKillSchedule(42, 4, 1000, 100, 20)
+	pick := func(sched []ShardOutage, shard int) []ShardOutage {
+		var out []ShardOutage
+		for _, o := range sched {
+			if o.Shard == shard {
+				out = append(out, o)
+			}
+		}
+		return out
+	}
+	for s := 0; s < 3; s++ {
+		a, b := pick(three, s), pick(four, s)
+		if len(a) != len(b) {
+			t.Fatalf("shard %d schedule length changed when adding a shard: %d vs %d", s, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("shard %d outage %d changed when adding a shard: %+v vs %+v", s, i, a[i], b[i])
+			}
+		}
+	}
+}

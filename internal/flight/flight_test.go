@@ -149,3 +149,149 @@ func TestForgetStartsFreshCall(t *testing.T) {
 		t.Fatalf("original waiter got (%d, %v), want (1, nil)", r.Val, r.Err)
 	}
 }
+
+// TestForgetDuringInflightDo pins the Forget race the allocation
+// service's shard restarts depend on: Forget while the leader is still
+// computing detaches the in-flight call, a subsequent Do starts a
+// fresh execution immediately, and the original waiters still receive
+// the old call's result.
+func TestForgetDuringInflightDo(t *testing.T) {
+	var g Group[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	type outcome struct {
+		v      int
+		shared bool
+	}
+	firstDone := make(chan outcome, 1)
+	go func() {
+		v, err, shared := g.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+		if err != nil {
+			t.Errorf("first Do: %v", err)
+		}
+		firstDone <- outcome{v, shared}
+	}()
+	<-started // the leader is inside fn
+
+	g.Forget("k")
+
+	// A post-Forget Do must not join the detached call: its fn runs
+	// fresh and completes even though the old leader is still blocked.
+	v, err, _ := g.Do("k", func() (int, error) { return 2, nil })
+	if err != nil || v != 2 {
+		t.Fatalf("post-Forget Do = (%d, %v), want (2, nil)", v, err)
+	}
+
+	close(release)
+	got := <-firstDone
+	if got.v != 1 {
+		t.Errorf("original waiter got %d, want the detached call's 1", got.v)
+	}
+}
+
+// TestConcurrentForgetHammer interleaves Do and Forget on one key from
+// many goroutines; under -race this pins the map-guard in DoChan's
+// completion path (only the call that is still current is removed).
+func TestConcurrentForgetHammer(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int32
+	const loops = 200
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < loops; i++ {
+				v, err, _ := g.Do("k", func() (int, error) {
+					calls.Add(1)
+					return 7, nil
+				})
+				if err != nil || v != 7 {
+					t.Errorf("Do = (%d, %v), want (7, nil)", v, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < loops; i++ {
+			g.Forget("k")
+		}
+	}()
+	wg.Wait()
+	if n := calls.Load(); n == 0 {
+		t.Error("fn never executed")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.calls) != 0 {
+		t.Errorf("%d calls retained after quiescence, want 0", len(g.calls))
+	}
+}
+
+// TestDoChanReceiverAbandonment pins the contract the allocation
+// service's deadline path relies on: a waiter that never reads its
+// channel must not block the leader's computation or the other
+// waiters, and the group must not retain the completed call.
+func TestDoChanReceiverAbandonment(t *testing.T) {
+	var g Group[string, int]
+	release := make(chan struct{})
+
+	// Leader: abandoned — nobody ever reads ch1.
+	ch1, leader := g.DoChan("k", func() (int, error) {
+		<-release
+		return 42, nil
+	})
+	if !leader {
+		t.Fatal("first DoChan did not lead")
+	}
+	_ = ch1 // deliberately never received from
+
+	// Follower joins the same call and does wait.
+	ch2, leader2 := g.DoChan("k", func() (int, error) {
+		t.Error("follower fn must not run")
+		return 0, nil
+	})
+	if leader2 {
+		t.Fatal("second DoChan led; want join")
+	}
+
+	close(release)
+	select {
+	case r := <-ch2:
+		if r.Err != nil || r.Val != 42 {
+			t.Fatalf("follower got (%d, %v), want (42, nil)", r.Val, r.Err)
+		}
+		if !r.Shared {
+			t.Error("follower result not marked shared")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned leader blocked the follower")
+	}
+
+	// The completed call must not be retained: the next Do re-executes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		n := len(g.calls)
+		g.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d calls retained after completion, want 0", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	v, err, _ := g.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("post-completion Do = (%d, %v), want (7, nil)", v, err)
+	}
+}
