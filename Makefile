@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check fuzz bench benchsmoke loadsmoke chaossmoke verify-invariants cover telemetry-alloc
+.PHONY: all build test vet race check fuzz bench benchsmoke loadsmoke chaossmoke verify-invariants cover telemetry-alloc fastpath-alloc
 
 all: check
 
@@ -53,7 +53,15 @@ telemetry-alloc:
 		awk '/BenchmarkTelemetryDisabled/ { if ($$(NF-1)+0 != 0) { print "FAIL: disabled telemetry allocates:", $$0; exit 1 } found=1 } \
 		END { if (!found) { print "FAIL: BenchmarkTelemetryDisabled did not run"; exit 1 } }'
 
-check: vet build race benchsmoke loadsmoke chaossmoke verify-invariants telemetry-alloc
+# The binary serving hot path (frame decode -> decision-table lookup ->
+# frame encode) must stay allocation-free on table hits: run the
+# benchmark once and fail if it reports any allocs/op.
+fastpath-alloc:
+	$(GO) test -run=^$$ -bench=BenchmarkBinaryFastPath -benchtime=100000x -benchmem ./internal/decisiontable | \
+		awk '/BenchmarkBinaryFastPath/ { if ($$(NF-1)+0 != 0) { print "FAIL: binary fast path allocates:", $$0; exit 1 } found=1 } \
+		END { if (!found) { print "FAIL: BenchmarkBinaryFastPath did not run"; exit 1 } }'
+
+check: vet build race benchsmoke loadsmoke chaossmoke verify-invariants telemetry-alloc fastpath-alloc
 
 # Coverage gate for the observability layer: internal/telemetry must
 # keep at least 70% statement coverage.
@@ -66,12 +74,15 @@ cover:
 		'/^total:/ { sub(/%/, "", $$3); if ($$3+0 < floor) { print "FAIL: coverage", $$3"% below floor", floor"%"; exit 1 } \
 		else { print "coverage OK:", $$3"% >= "floor"%" } }'
 
-# Short fuzz passes over the input parsers (fault specs, power units)
-# and the Prometheus exposition encoder.
+# Short fuzz passes over the input parsers (fault specs, power units),
+# the Prometheus exposition encoder, and the binary wire codec (both a
+# round-trip property fuzzer and a malformed-frame decoder fuzzer).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseSpec -fuzztime=10s ./internal/faults
 	$(GO) test -run=^$$ -fuzz=FuzzParsePower -fuzztime=10s ./internal/units
 	$(GO) test -run=^$$ -fuzz=FuzzPromText -fuzztime=10s ./internal/telemetry
+	$(GO) test -run=^$$ -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzWireMalformed -fuzztime=10s ./internal/wire
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

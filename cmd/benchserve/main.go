@@ -30,11 +30,14 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"testing"
 	"time"
 
 	"repro/internal/allocclient"
 	"repro/internal/allocsvc"
+	"repro/internal/decisiontable"
 	"repro/internal/faults"
+	"repro/internal/wire"
 )
 
 // The latency-phase request mix: a realistic rotation over all three
@@ -54,6 +57,7 @@ var mix = []struct{ route, body string }{
 
 // LatencyPhase is the steady-load measurement.
 type LatencyPhase struct {
+	Workers      int     `json:"workers"`
 	Clients      int     `json:"clients"`
 	Requests     int     `json:"requests"`
 	P50Ms        float64 `json:"latency_p50_ms"`
@@ -63,6 +67,7 @@ type LatencyPhase struct {
 
 // CoalescePhase is the duplicate-burst measurement.
 type CoalescePhase struct {
+	Workers         int     `json:"workers"`
 	Bursts          int     `json:"bursts"`
 	BurstSize       int     `json:"burst_size"`
 	Requests        uint64  `json:"requests"`
@@ -93,28 +98,50 @@ type ShardTopologyStats struct {
 // allocclient ring over several shards, driven concurrently while a
 // seeded kill schedule takes shards down and brings them back.
 type TopologyPhase struct {
-	Shards         int                  `json:"shards"`
-	Drivers        int                  `json:"drivers"`
-	Requests       int                  `json:"requests"`
-	Seed           uint64               `json:"seed"`
-	KillEvents     int                  `json:"kill_events"`
-	ServedFresh    uint64               `json:"served_fresh"`
-	ServedDegraded uint64               `json:"served_degraded"`
-	Errors         uint64               `json:"errors"`
-	Availability   float64              `json:"availability"`
-	AggregateRPS   float64              `json:"aggregate_rps"`
-	Failovers      uint64               `json:"failovers"`
-	Retries        uint64               `json:"retries"`
-	PerShard       []ShardTopologyStats `json:"per_shard"`
+	Shards          int                  `json:"shards"`
+	WorkersPerShard int                  `json:"workers_per_shard"`
+	Drivers         int                  `json:"drivers"`
+	Requests        int                  `json:"requests"`
+	Seed            uint64               `json:"seed"`
+	KillEvents      int                  `json:"kill_events"`
+	ServedFresh     uint64               `json:"served_fresh"`
+	ServedDegraded  uint64               `json:"served_degraded"`
+	Errors          uint64               `json:"errors"`
+	Availability    float64              `json:"availability"`
+	AggregateRPS    float64              `json:"aggregate_rps"`
+	Failovers       uint64               `json:"failovers"`
+	Retries         uint64               `json:"retries"`
+	PerShard        []ShardTopologyStats `json:"per_shard"`
 }
 
-// Report is the BENCH_serve.json schema.
+// FastPathPhase compares the JSON baseline against the precomputed-
+// table + binary-protocol hot path on the coord route: same request
+// stream, one service without tables or binary, one with both.
+type FastPathPhase struct {
+	Workers      int     `json:"workers"`
+	Requests     int     `json:"requests"`
+	WarmMs       float64 `json:"table_warm_ms"`
+	JSONP50Ms    float64 `json:"json_p50_ms"`
+	JSONP95Ms    float64 `json:"json_p95_ms"`
+	JSONRPS      float64 `json:"json_rps"`
+	BinaryP50Ms  float64 `json:"binary_p50_ms"`
+	BinaryP95Ms  float64 `json:"binary_p95_ms"`
+	BinaryRPS    float64 `json:"binary_rps"`
+	SpeedupP50   float64 `json:"p50_speedup"`
+	TableHitRate float64 `json:"table_hit_rate"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_serve.json schema. Worker-pool sizes differ per
+// phase (the knee phase deliberately runs a tiny pool), so each phase
+// records its own.
 type Report struct {
-	Workers  int           `json:"workers"`
-	Latency  LatencyPhase  `json:"latency"`
-	Coalesce CoalescePhase `json:"coalesce"`
-	Knee     KneePhase     `json:"knee"`
-	Topology TopologyPhase `json:"topology"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Latency    LatencyPhase  `json:"latency"`
+	Coalesce   CoalescePhase `json:"coalesce"`
+	Knee       KneePhase     `json:"knee"`
+	Topology   TopologyPhase `json:"topology"`
+	FastPath   FastPathPhase `json:"fastpath"`
 }
 
 func post(client *http.Client, url, route, body string) (int, string, error) {
@@ -146,7 +173,7 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 
 // runLatency drives the mix from several clients and measures
 // per-request latency and aggregate throughput.
-func runLatency(url string, clients, requests int) (LatencyPhase, error) {
+func runLatency(url string, workers, clients, requests int) (LatencyPhase, error) {
 	perClient := requests / clients
 	latCh := make(chan []time.Duration, clients)
 	errCh := make(chan error, clients)
@@ -184,6 +211,7 @@ func runLatency(url string, clients, requests int) (LatencyPhase, error) {
 	elapsed := time.Since(start)
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	return LatencyPhase{
+		Workers:      workers,
 		Clients:      clients,
 		Requests:     len(all),
 		P50Ms:        percentile(all, 0.50).Seconds() * 1e3,
@@ -197,7 +225,8 @@ func runLatency(url string, clients, requests int) (LatencyPhase, error) {
 // uses a fresh budget (a fresh coalescing key and a fresh scheduler),
 // so every burst recomputes rather than hitting a warm response.
 func runCoalesce(bursts, burstSize int) (CoalescePhase, error) {
-	svc := allocsvc.New(allocsvc.Config{Workers: runtime.GOMAXPROCS(0)})
+	workers := runtime.GOMAXPROCS(0)
+	svc := allocsvc.New(allocsvc.Config{Workers: workers})
 	srv := httptest.NewServer(svc.Handler())
 	defer srv.Close()
 	client := &http.Client{}
@@ -233,6 +262,7 @@ func runCoalesce(bursts, burstSize int) (CoalescePhase, error) {
 	}
 	st := svc.Stats()
 	return CoalescePhase{
+		Workers:         workers,
 		Bursts:          bursts,
 		BurstSize:       burstSize,
 		Requests:        st.Requests,
@@ -324,13 +354,14 @@ func runKnee() (KneePhase, error) {
 // several goroutines. Availability counts fresh and degraded-local
 // answers; only surfaced errors count against it.
 func runTopology(shards, drivers, requests int, seed uint64) (TopologyPhase, error) {
+	const shardWorkers = 2
 	svcs := make([]*allocsvc.Service, shards)
 	proxies := make([]*faults.ChaosProxy, shards)
 	urls := make([]string, shards)
 	for i := range svcs {
 		// A small deterministic stall gives overlapping identical
 		// requests a window to coalesce, as in the knee phase.
-		svcs[i] = allocsvc.New(allocsvc.Config{Workers: 2, Stall: time.Millisecond})
+		svcs[i] = allocsvc.New(allocsvc.Config{Workers: shardWorkers, Stall: time.Millisecond})
 		proxies[i] = faults.NewChaosProxy(svcs[i].Handler(), faults.ProxySpec{}, seed, strconv.Itoa(i))
 		srv := httptest.NewServer(proxies[i])
 		defer srv.Close()
@@ -408,7 +439,8 @@ func runTopology(shards, drivers, requests int, seed uint64) (TopologyPhase, err
 	elapsed := time.Since(start)
 
 	phase := TopologyPhase{
-		Shards: shards, Drivers: drivers, Requests: requests, Seed: seed,
+		Shards: shards, WorkersPerShard: shardWorkers,
+		Drivers: drivers, Requests: requests, Seed: seed,
 		KillEvents:     len(schedule),
 		ServedFresh:    fresh.Load(),
 		ServedDegraded: degraded.Load(),
@@ -429,24 +461,176 @@ func runTopology(shards, drivers, requests int, seed uint64) (TopologyPhase, err
 	return phase, nil
 }
 
+// fastMix is the fastpath phase's coord-only request stream: the
+// table-covered pairs of the latency mix. Budgets are perturbed per
+// request so the tables interpolate instead of replaying one row, and
+// the JSON side cannot ride a single warm key.
+var fastMix = []struct {
+	platform, workload string
+	budget             float64
+}{
+	{"ivybridge", "stream", 208},
+	{"ivybridge", "dgemm", 170},
+	{"haswell", "stream", 190},
+	{"titanxp", "gpustream", 180},
+}
+
+// measureHandler drives n requests through a handler in-process (via
+// httptest.NewRecorder, no sockets) and returns sorted latencies plus
+// elapsed wall time. Socket and client overhead is identical for both
+// encodings, so excluding it isolates what the fast path changes:
+// decode, dispatch, decide, encode.
+func measureHandler(h http.Handler, n int, makeReq func(i int) *http.Request) ([]time.Duration, time.Duration, error) {
+	lats := make([]time.Duration, 0, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		req := makeReq(i)
+		rec := httptest.NewRecorder()
+		t0 := time.Now()
+		h.ServeHTTP(rec, req)
+		lats = append(lats, time.Since(t0))
+		if rec.Code != http.StatusOK {
+			return nil, 0, fmt.Errorf("fastpath: request %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats, elapsed, nil
+}
+
+// fastBudget perturbs a pair's base budget so consecutive requests use
+// distinct budgets within the table-covered range.
+func fastBudget(base float64, i int) float64 {
+	return base - 8 + float64(i%64)*0.25
+}
+
+// runFastPath measures the same coord stream twice through the same
+// handler mount: once as JSON against a plain service (the baseline
+// configuration the latency phase measures) and once as binary frames
+// against a tables+binary service. The allocs/op of the table-hit hot
+// path rides along via testing.Benchmark — the same measurement the
+// Makefile's fastpath-alloc gate pins at zero.
+func runFastPath(workers, requests int) (FastPathPhase, error) {
+	phase := FastPathPhase{Workers: workers, Requests: requests}
+
+	bodies := make([]string, requests)
+	for i := range bodies {
+		m := fastMix[i%len(fastMix)]
+		bodies[i] = fmt.Sprintf(`{"platform":%q,"workload":%q,"budget_watts":%g}`,
+			m.platform, m.workload, fastBudget(m.budget, i))
+	}
+
+	// Baseline: JSON route, no tables, no binary.
+	jsvc := allocsvc.New(allocsvc.Config{Workers: workers})
+	jh := jsvc.Handler()
+	jlats, jelapsed, err := measureHandler(jh, requests, func(i int) *http.Request {
+		req := httptest.NewRequest(http.MethodPost, allocsvc.RouteCoord, strings.NewReader(bodies[i]))
+		req.Header.Set("Content-Type", "application/json")
+		return req
+	})
+	if err != nil {
+		return phase, err
+	}
+
+	// Fast path: decision tables warmed for exactly the measured pairs,
+	// binary frames on the wire.
+	set := decisiontable.New(decisiontable.Config{})
+	warmStart := time.Now()
+	for _, m := range fastMix {
+		if coordBuilt, _ := set.Build(m.platform, m.workload); !coordBuilt {
+			return phase, fmt.Errorf("fastpath: no coord table for %s/%s", m.platform, m.workload)
+		}
+	}
+	phase.WarmMs = time.Since(warmStart).Seconds() * 1e3
+	bsvc := allocsvc.New(allocsvc.Config{Workers: workers, Tables: set, Binary: true})
+	bh := bsvc.Handler()
+	frames := make([][]byte, requests)
+	for i := range frames {
+		m := fastMix[i%len(fastMix)]
+		frames[i] = wire.AppendCoordRequest(nil, &wire.CoordRequest{
+			Platform: m.platform, Workload: m.workload,
+			Budget: fastBudget(m.budget, i), Strategy: "coord",
+		})
+	}
+	blats, belapsed, err := measureHandler(bh, requests, func(i int) *http.Request {
+		req := httptest.NewRequest(http.MethodPost, allocsvc.RouteCoord, strings.NewReader(string(frames[i])))
+		req.Header.Set("Content-Type", allocsvc.BinaryContentType)
+		return req
+	})
+	if err != nil {
+		return phase, err
+	}
+	phase.TableHitRate = bsvc.Stats().TableHitRate()
+
+	phase.JSONP50Ms = percentile(jlats, 0.50).Seconds() * 1e3
+	phase.JSONP95Ms = percentile(jlats, 0.95).Seconds() * 1e3
+	phase.JSONRPS = float64(requests) / jelapsed.Seconds()
+	phase.BinaryP50Ms = percentile(blats, 0.50).Seconds() * 1e3
+	phase.BinaryP95Ms = percentile(blats, 0.95).Seconds() * 1e3
+	phase.BinaryRPS = float64(requests) / belapsed.Seconds()
+	if phase.BinaryP50Ms > 0 {
+		phase.SpeedupP50 = phase.JSONP50Ms / phase.BinaryP50Ms
+	}
+
+	// Allocs/op of the hot path (decode → table → encode) over
+	// table-hit frames only: misses fall through to the exact path,
+	// which allocates by design. The gate pins the hit path at zero.
+	var hits [][]byte
+	for i, f := range frames {
+		m := fastMix[i%len(fastMix)]
+		var req = wire.CoordRequest{Platform: m.platform, Workload: m.workload,
+			Budget: fastBudget(m.budget, i), Strategy: "coord"}
+		var out wire.CoordResponse
+		if set.Coord(&req, &out) {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) == 0 {
+		return phase, fmt.Errorf("fastpath: no table-hit frames to benchmark")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		buf := wire.GetBuf()
+		defer wire.PutBuf(buf)
+		for i := 0; i < b.N; i++ {
+			code, _, out := bsvc.ServeBinary(context.Background(), hits[i%len(hits)], (*buf)[:0])
+			if code != http.StatusOK {
+				b.Fatalf("status %d", code)
+			}
+			*buf = out
+		}
+	})
+	phase.AllocsPerOp = res.AllocsPerOp()
+	return phase, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_serve.json", "output path (\"-\" for stdout)")
 	clients := flag.Int("clients", 8, "concurrent clients in the latency phase")
 	requests := flag.Int("requests", 240, "total requests in the latency phase")
+	workers := flag.Int("workers", 0, "allocation service worker pool in the latency and fastpath phases (0 = match -clients)")
+	fastRequests := flag.Int("fast-requests", 2000, "requests per encoding in the fastpath phase")
 	bursts := flag.Int("bursts", 4, "duplicate bursts in the coalesce phase")
 	burstSize := flag.Int("burst-size", 16, "identical requests per coalesce burst")
 	shards := flag.Int("shards", 3, "allocsvc instances in the topology phase")
 	topoRequests := flag.Int("topo-requests", 400, "total requests in the topology phase")
 	topoSeed := flag.Uint64("topo-seed", 42, "seed for the topology phase's kill/restart schedule")
 	flag.Parse()
+	if *workers <= 0 {
+		// The latency phase drives -clients concurrent requests; a pool
+		// sized below that (the old default collapsed to GOMAXPROCS,
+		// i.e. 1 on small hosts) serializes the phase and measures queue
+		// wait, not service latency.
+		*workers = *clients
+	}
 
-	rep := Report{Workers: runtime.GOMAXPROCS(0)}
+	rep := Report{GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
-	// Latency phase runs against its own default-sized service.
-	svc := allocsvc.New(allocsvc.Config{})
+	// Latency phase runs against a pool sized to the offered load.
+	svc := allocsvc.New(allocsvc.Config{Workers: *workers})
 	srv := httptest.NewServer(svc.Handler())
 	var err error
-	rep.Latency, err = runLatency(srv.URL, *clients, *requests)
+	rep.Latency, err = runLatency(srv.URL, *workers, *clients, *requests)
 	srv.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchserve:", err)
@@ -480,6 +664,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	rep.FastPath, err = runFastPath(*workers, *fastRequests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+	// A small fraction of budgets lands in exact-only slivers (segments
+	// the builder could not hold to ε and left to the exact path), so
+	// the gate is coverage, not perfection.
+	if rep.FastPath.TableHitRate < 0.95 {
+		fmt.Fprintf(os.Stderr, "benchserve: fastpath table hit rate %.4f — tables are not covering the mix\n",
+			rep.FastPath.TableHitRate)
+		os.Exit(1)
+	}
+
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchserve:", err)
@@ -495,8 +693,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s: p50 %.2f ms, p95 %.2f ms, %.0f req/s; coalesce rate %.1f%%; 429 knee at burst %d; "+
-		"%d-shard availability %.1f%% at %.0f req/s under %d kill events\n",
+		"%d-shard availability %.1f%% at %.0f req/s under %d kill events; "+
+		"fastpath %.3f ms -> %.3f ms p50 (%.1fx), hit rate %.1f%%, %d allocs/op\n",
 		*out, rep.Latency.P50Ms, rep.Latency.P95Ms, rep.Latency.ThroughputRS,
 		100*rep.Coalesce.CoalesceHitRate, rep.Knee.KneeBurst,
-		rep.Topology.Shards, 100*rep.Topology.Availability, rep.Topology.AggregateRPS, rep.Topology.KillEvents)
+		rep.Topology.Shards, 100*rep.Topology.Availability, rep.Topology.AggregateRPS, rep.Topology.KillEvents,
+		rep.FastPath.JSONP50Ms, rep.FastPath.BinaryP50Ms, rep.FastPath.SpeedupP50,
+		100*rep.FastPath.TableHitRate, rep.FastPath.AllocsPerOp)
 }

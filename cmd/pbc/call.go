@@ -29,6 +29,7 @@ func cmdCall(args []string) error {
 	jobs := fs.String("jobs", "", "schedule: comma-separated id=workload job queue")
 	timeoutMs := fs.Int("timeout", 5000, "per-attempt timeout in milliseconds")
 	noDegrade := fs.Bool("no-degraded", false, "fail instead of computing answers locally when all shards are down")
+	binary := fs.Bool("binary", false, "speak the compact binary protocol to shards that accept it (JSON fallback per shard)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,6 +56,7 @@ func cmdCall(args []string) error {
 		Shards:          shards,
 		Timeout:         time.Duration(*timeoutMs) * time.Millisecond,
 		DisableDegraded: *noDegrade,
+		Binary:          *binary,
 	})
 	if err != nil {
 		return err
@@ -98,8 +100,12 @@ func cmdCall(args []string) error {
 	if meta.Source == allocclient.SourceLocal {
 		where = "in-process (all shards unavailable)"
 	}
-	fmt.Fprintf(os.Stderr, "source=%s served-by=%s attempts=%d retries=%d failovers=%d\n",
-		meta.Source, where, meta.Attempts, meta.Retries, meta.Failovers)
+	encoding := "json"
+	if meta.Binary {
+		encoding = "binary"
+	}
+	fmt.Fprintf(os.Stderr, "source=%s served-by=%s encoding=%s attempts=%d retries=%d failovers=%d\n",
+		meta.Source, where, encoding, meta.Attempts, meta.Retries, meta.Failovers)
 	return nil
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/allocclient"
 	"repro/internal/allocsvc"
+	"repro/internal/decisiontable"
 	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/telemetry"
@@ -56,6 +57,8 @@ func cmdServe(args []string) error {
 	apiQueue := fs.Int("api-queue", 0, "allocation API queue depth before 429 (0 = default, negative disables)")
 	apiTimeoutMs := fs.Int("api-timeout", 5000, "allocation API default per-request deadline in milliseconds")
 	peers := fs.String("peers", "", "comma-separated base URLs of every shard in the topology (including this one); served on /v1/peers for client discovery")
+	tables := fs.Bool("tables", false, "precompute per-(platform, workload) decision tables at startup and serve covered requests from them")
+	binary := fs.Bool("binary", false, "accept the compact binary protocol (Content-Type: "+allocsvc.BinaryContentType+") on the /v1 routes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,12 +95,23 @@ func cmdServe(args []string) error {
 	defer wire.Instrument(nil)
 	wire.InstrumentEngine(reg)
 	var health telemetry.Health
-	svc := allocsvc.New(allocsvc.Config{
+	svcCfg := allocsvc.Config{
 		Workers:        *apiWorkers,
 		QueueDepth:     *apiQueue,
 		DefaultTimeout: time.Duration(*apiTimeoutMs) * time.Millisecond,
 		Registry:       reg,
-	})
+		Binary:         *binary,
+	}
+	if *tables {
+		set := decisiontable.New(decisiontable.Config{})
+		warmStart := time.Now()
+		stats := set.Warm()
+		fmt.Printf("decision tables warm in %s: %d coord + %d plan tables (%d/%d pairs degraded to the exact path)\n",
+			time.Since(warmStart).Round(time.Millisecond),
+			stats.CoordTables, stats.PlanTables, stats.CoordSkipped, stats.PlanSkipped)
+		svcCfg.Tables = set
+	}
+	svc := allocsvc.New(svcCfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 
+	"repro/internal/decisiontable"
 	"repro/internal/hw"
 	"repro/internal/invariant"
 	"repro/internal/report"
@@ -24,6 +25,7 @@ func cmdVerify(args []string) error {
 	budgets := fs.Int("budgets", 0, "budget-grid points per pair (0 = default 16)")
 	eps := fs.Float64("eps", 0, "boundary probe distance in watts (0 = default 1e-9)")
 	skipEngine := fs.Bool("skip-engine", false, "skip the serial-vs-parallel engine identity checks")
+	skipTables := fs.Bool("skip-tables", false, "skip the decision-table fast-path invariants")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -32,6 +34,9 @@ func cmdVerify(args []string) error {
 		BudgetPoints: *budgets,
 		Eps:          units.Power(*eps),
 		SkipEngine:   *skipEngine,
+	}
+	if !*skipTables {
+		cfg.Tables = decisiontable.New(decisiontable.Config{})
 	}
 	if *platform != "" {
 		p, err := hw.PlatformByName(*platform)

@@ -1,0 +1,137 @@
+package allocclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/allocsvc"
+)
+
+// TestBinaryRoundTrip drives a binary-enabled client against a real
+// binary-enabled allocsvc and checks the answers are content-identical
+// to the JSON path across all three routes.
+func TestBinaryRoundTrip(t *testing.T) {
+	svc := allocsvc.New(allocsvc.Config{Workers: 2, Binary: true})
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	bc := newTestClient(t, []string{srv.URL}, nil, func(cfg *Config) { cfg.Binary = true })
+	jc := newTestClient(t, []string{srv.URL}, nil, nil)
+
+	ctx := context.Background()
+	creq := allocsvc.CoordRequest{Platform: "haswell", Workload: "stream", Budget: 180}
+	bresp, bmeta, err := bc.Coord(ctx, creq)
+	if err != nil {
+		t.Fatalf("binary coord: %v", err)
+	}
+	if !bmeta.Binary {
+		t.Fatal("binary client got a JSON coord answer from a binary-enabled shard")
+	}
+	jresp, jmeta, err := jc.Coord(ctx, creq)
+	if err != nil {
+		t.Fatalf("json coord: %v", err)
+	}
+	if jmeta.Binary {
+		t.Fatal("json client reported a binary answer")
+	}
+	if !reflect.DeepEqual(bresp, jresp) {
+		t.Fatalf("binary and JSON coord answers differ:\n  bin:  %+v\n  json: %+v", bresp, jresp)
+	}
+
+	preq := allocsvc.PlanRequest{Platform: "haswell", Workload: "bt", Budget: 160}
+	bplan, bmeta, err := bc.Plan(ctx, preq)
+	if err != nil {
+		t.Fatalf("binary plan: %v", err)
+	}
+	if !bmeta.Binary {
+		t.Fatal("plan did not use the binary protocol")
+	}
+	jplan, _, err := jc.Plan(ctx, preq)
+	if err != nil {
+		t.Fatalf("json plan: %v", err)
+	}
+	if !reflect.DeepEqual(bplan, jplan) {
+		t.Fatalf("binary and JSON plans differ:\n  bin:  %+v\n  json: %+v", bplan, jplan)
+	}
+
+	sreq := allocsvc.ScheduleRequest{
+		Budget: 500,
+		Nodes:  []allocsvc.NodeJSON{{ID: "n0", Platform: "haswell"}},
+		Jobs:   []allocsvc.JobJSON{{ID: "j0", Workload: "stream"}},
+	}
+	bsched, bmeta, err := bc.Schedule(ctx, sreq)
+	if err != nil {
+		t.Fatalf("binary schedule: %v", err)
+	}
+	if !bmeta.Binary {
+		t.Fatal("schedule did not use the binary protocol")
+	}
+	if len(bsched.Placements) == 0 {
+		t.Fatal("binary schedule placed no jobs")
+	}
+}
+
+// TestBinaryErrorDecoded checks that terminal errors arriving as binary
+// frames surface the server's message, not frame bytes.
+func TestBinaryErrorDecoded(t *testing.T) {
+	svc := allocsvc.New(allocsvc.Config{Workers: 2, Binary: true})
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	c := newTestClient(t, []string{srv.URL}, nil, func(cfg *Config) { cfg.Binary = true })
+	_, _, err := c.Coord(context.Background(), allocsvc.CoordRequest{
+		Platform: "haswell", Workload: "no-such-workload", Budget: 100,
+	})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want a 400 StatusError", err)
+	}
+	if !strings.Contains(se.Msg, "no-such-workload") {
+		t.Fatalf("error message lost the server detail: %q", se.Msg)
+	}
+}
+
+// TestBinaryDemotionOn415 checks the mixed-fleet path: a shard without
+// the binary surface answers 415 once, is demoted, and every request —
+// including the demoting one — completes over JSON.
+func TestBinaryDemotionOn415(t *testing.T) {
+	svc := allocsvc.New(allocsvc.Config{Workers: 2}) // Binary NOT enabled
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	c := newTestClient(t, []string{srv.URL}, nil, func(cfg *Config) { cfg.Binary = true })
+	req := allocsvc.CoordRequest{Platform: "haswell", Workload: "stream", Budget: 180}
+	resp, meta, err := c.Coord(context.Background(), req)
+	if err != nil {
+		t.Fatalf("coord against a JSON-only shard: %v", err)
+	}
+	if meta.Binary {
+		t.Fatal("JSON-only shard cannot have answered in binary")
+	}
+	if meta.Source != SourceShard {
+		t.Fatalf("source = %q; the 415 must demote, not degrade to local", meta.Source)
+	}
+	if resp.Status != "ok" {
+		t.Fatalf("status = %q, want ok", resp.Status)
+	}
+	if c.binaryOK[0].Load() {
+		t.Fatal("shard still marked binary-capable after a 415")
+	}
+	// The demotion sticks: the next request goes straight to JSON with
+	// a single attempt.
+	_, meta, err = c.Coord(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Attempts != 1 {
+		t.Fatalf("post-demotion attempts = %d, want 1", meta.Attempts)
+	}
+}

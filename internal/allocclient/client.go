@@ -11,10 +11,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/allocsvc"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Response sources reported in Meta.Source.
@@ -77,6 +79,12 @@ type Config struct {
 	// DisableDegraded turns off the in-process fallback; Coord and Plan
 	// then surface ErrUnavailable like Schedule does.
 	DisableDegraded bool
+	// Binary speaks the compact binary protocol
+	// (application/x-pbc-binary) to shards that accept it. A shard that
+	// answers 415 is demoted to JSON for the client's lifetime — mixed
+	// fleets mid-rollout work without configuration. The two encodings
+	// are content-identical, so demotion never changes an answer.
+	Binary bool
 	// Registry receives client metrics; nil means uninstrumented.
 	Registry *telemetry.Registry
 	// Transport overrides the per-shard pooled transports (tests).
@@ -148,6 +156,9 @@ type Meta struct {
 	// attempts beyond the first; Failovers counts moves to a different
 	// shard than the previous attempt.
 	Attempts, Retries, Failovers int
+	// Binary reports that the serving shard answered over the binary
+	// protocol (always false for degraded-local answers).
+	Binary bool
 }
 
 // Client is a sharded, breaker-guarded allocsvc client. It is safe for
@@ -159,6 +170,9 @@ type Client struct {
 	clients  []*http.Client
 	owned    []*http.Transport
 	met      clientMetrics
+	// binaryOK[i] is whether shard i still accepts the binary protocol;
+	// all-true when Config.Binary, cleared per shard on a 415.
+	binaryOK []atomic.Bool
 }
 
 // New builds a client over the configured shard set.
@@ -177,8 +191,14 @@ func New(cfg Config) (*Client, error) {
 	}
 	cfg.Shards = shards
 	c := &Client{
-		cfg:  cfg,
-		ring: newRing(shards, cfg.Replicas),
+		cfg:      cfg,
+		ring:     newRing(shards, cfg.Replicas),
+		binaryOK: make([]atomic.Bool, len(shards)),
+	}
+	if cfg.Binary {
+		for i := range c.binaryOK {
+			c.binaryOK[i].Store(true)
+		}
 	}
 	c.met.init(cfg.Registry)
 	for i, url := range shards {
@@ -279,8 +299,28 @@ func errorMessage(body []byte) string {
 	return strings.TrimSpace(string(body))
 }
 
+// respIsBinary reports whether a shard answered with a binary frame.
+func respIsBinary(resp *http.Response) bool {
+	ct := resp.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = strings.TrimSpace(ct[:i])
+	}
+	return ct == wire.ContentType
+}
+
+// respMessage extracts the error message from either encoding.
+func respMessage(resp *http.Response, body []byte) string {
+	if respIsBinary(resp) {
+		if e, err := wire.DecodeError(body); err == nil {
+			return e.Message
+		}
+		return fmt.Sprintf("undecodable binary error frame (%d bytes)", len(body))
+	}
+	return errorMessage(body)
+}
+
 // attempt issues one POST to one shard and classifies the outcome.
-func (c *Client) attempt(ctx context.Context, shard int, route string, body []byte) (*http.Response, []byte, error) {
+func (c *Client) attempt(ctx context.Context, shard int, route string, body []byte, binary bool) (*http.Response, []byte, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost,
@@ -288,7 +328,11 @@ func (c *Client) attempt(ctx context.Context, shard int, route string, body []by
 	if err != nil {
 		return nil, nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if binary {
+		req.Header.Set("Content-Type", wire.ContentType)
+	} else {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := c.clients[shard].Do(req)
 	if err != nil {
 		return nil, nil, err
@@ -304,8 +348,11 @@ func (c *Client) attempt(ctx context.Context, shard int, route string, body []by
 // do drives one request to completion: walk the key's ring order
 // skipping open breakers, retry transient failures with backoff,
 // honor Retry-After on 429, fail over on transport errors and 5xx,
-// and wrap total exhaustion in ErrUnavailable.
-func (c *Client) do(ctx context.Context, route, key string, body []byte) ([]byte, Meta, error) {
+// and wrap total exhaustion in ErrUnavailable. When binBody is
+// non-nil it is preferred over the JSON body on shards still marked
+// binary-capable; a 415 demotes the shard and the attempt repeats
+// there in JSON.
+func (c *Client) do(ctx context.Context, route, key string, body, binBody []byte) ([]byte, Meta, error) {
 	meta := Meta{Source: SourceShard}
 	order := c.ring.order(key)
 	var lastErr error
@@ -345,7 +392,12 @@ func (c *Client) do(ctx context.Context, route, key string, body []byte) ([]byte
 		}
 		prev = shard
 
-		resp, respBody, err := c.attempt(ctx, shard, route, body)
+		useBinary := binBody != nil && c.binaryOK[shard].Load()
+		sendBody := body
+		if useBinary {
+			sendBody = binBody
+		}
+		resp, respBody, err := c.attempt(ctx, shard, route, sendBody, useBinary)
 		if err != nil {
 			// Transport error, timeout, or severed connection: the
 			// shard is suspect. Trip toward open and move on.
@@ -366,12 +418,21 @@ func (c *Client) do(ctx context.Context, route, key string, body []byte) ([]byte
 		case resp.StatusCode < 300:
 			c.breakers[shard].success()
 			meta.Shard = c.cfg.Shards[shard]
+			meta.Binary = respIsBinary(resp)
 			return respBody, meta, nil
+		case resp.StatusCode == http.StatusUnsupportedMediaType && useBinary:
+			// The shard does not speak binary: demote it to JSON for
+			// the client's lifetime and retry it immediately. The shard
+			// is healthy — no breaker failure, no cursor advance.
+			c.breakers[shard].success()
+			c.binaryOK[shard].Store(false)
+			c.met.binaryDemotions.Inc()
+			lastErr = &StatusError{Code: resp.StatusCode, Msg: respMessage(resp, respBody)}
 		case resp.StatusCode == http.StatusTooManyRequests:
 			// The shard is alive and shedding load: not a breaker
 			// failure. Honor its hint, then spread to the next shard.
 			c.breakers[shard].success()
-			lastErr = &StatusError{Code: resp.StatusCode, Msg: errorMessage(respBody)}
+			lastErr = &StatusError{Code: resp.StatusCode, Msg: respMessage(resp, respBody)}
 			wait := retryAfter(resp)
 			if wait == 0 {
 				wait = c.backoff(pass)
@@ -385,7 +446,7 @@ func (c *Client) do(ctx context.Context, route, key string, body []byte) ([]byte
 			// 5xx includes allocsvc's 503 drain and 504 deadline
 			// responses: the shard answered, but can't do the work.
 			c.breakers[shard].failure()
-			lastErr = &StatusError{Code: resp.StatusCode, Msg: errorMessage(respBody)}
+			lastErr = &StatusError{Code: resp.StatusCode, Msg: respMessage(resp, respBody)}
 			cursor = (cursor + 1) % len(order)
 			consecutive++
 			if consecutive >= len(order) {
@@ -400,7 +461,7 @@ func (c *Client) do(ctx context.Context, route, key string, body []byte) ([]byte
 			// Retrying elsewhere cannot help.
 			c.breakers[shard].success()
 			meta.Shard = c.cfg.Shards[shard]
-			return nil, meta, &StatusError{Code: resp.StatusCode, Msg: errorMessage(respBody)}
+			return nil, meta, &StatusError{Code: resp.StatusCode, Msg: respMessage(resp, respBody)}
 		}
 	}
 	return nil, meta, fmt.Errorf("%w: %d attempts exhausted, last error: %v",
@@ -419,8 +480,12 @@ func (c *Client) Coord(ctx context.Context, req allocsvc.CoordRequest) (allocsvc
 	if err != nil {
 		return allocsvc.CoordResponse{}, Meta{}, err
 	}
+	var binBody []byte
+	if c.cfg.Binary {
+		binBody = wire.AppendCoordRequest(nil, &req)
+	}
 	key := c.coordShardKey(req.Platform, req.Workload, req.Budget)
-	raw, meta, err := c.do(ctx, allocsvc.RouteCoord, key, body)
+	raw, meta, err := c.do(ctx, allocsvc.RouteCoord, key, body, binBody)
 	if err != nil {
 		if errors.Is(err, ErrUnavailable) && !c.cfg.DisableDegraded {
 			resp, lerr := allocsvc.ComputeCoord(req)
@@ -436,7 +501,12 @@ func (c *Client) Coord(ctx context.Context, req allocsvc.CoordRequest) (allocsvc
 		return allocsvc.CoordResponse{}, meta, err
 	}
 	var resp allocsvc.CoordResponse
-	if err := json.Unmarshal(raw, &resp); err != nil {
+	if meta.Binary {
+		err = wire.DecodeCoordResponse(raw, &resp)
+	} else {
+		err = json.Unmarshal(raw, &resp)
+	}
+	if err != nil {
 		return allocsvc.CoordResponse{}, meta, fmt.Errorf("allocclient: decoding coord response: %w", err)
 	}
 	c.met.requests(allocsvc.RouteCoord, SourceShard).Inc()
@@ -450,8 +520,12 @@ func (c *Client) Plan(ctx context.Context, req allocsvc.PlanRequest) (allocsvc.P
 	if err != nil {
 		return allocsvc.PlanResponse{}, Meta{}, err
 	}
+	var binBody []byte
+	if c.cfg.Binary {
+		binBody = wire.AppendPlanRequest(nil, &req)
+	}
 	key := c.coordShardKey(req.Platform, req.Workload, req.Budget)
-	raw, meta, err := c.do(ctx, allocsvc.RoutePlan, key, body)
+	raw, meta, err := c.do(ctx, allocsvc.RoutePlan, key, body, binBody)
 	if err != nil {
 		if errors.Is(err, ErrUnavailable) && !c.cfg.DisableDegraded {
 			resp, lerr := allocsvc.ComputePlan(req)
@@ -467,7 +541,12 @@ func (c *Client) Plan(ctx context.Context, req allocsvc.PlanRequest) (allocsvc.P
 		return allocsvc.PlanResponse{}, meta, err
 	}
 	var resp allocsvc.PlanResponse
-	if err := json.Unmarshal(raw, &resp); err != nil {
+	if meta.Binary {
+		err = wire.DecodePlanResponse(raw, &resp)
+	} else {
+		err = json.Unmarshal(raw, &resp)
+	}
+	if err != nil {
 		return allocsvc.PlanResponse{}, meta, fmt.Errorf("allocclient: decoding plan response: %w", err)
 	}
 	c.met.requests(allocsvc.RoutePlan, SourceShard).Inc()
@@ -483,12 +562,21 @@ func (c *Client) Schedule(ctx context.Context, req allocsvc.ScheduleRequest) (al
 	if err != nil {
 		return allocsvc.ScheduleResponse{}, Meta{}, err
 	}
-	raw, meta, err := c.do(ctx, allocsvc.RouteSchedule, c.scheduleShardKey(req), body)
+	var binBody []byte
+	if c.cfg.Binary {
+		binBody = wire.AppendScheduleRequest(nil, &req)
+	}
+	raw, meta, err := c.do(ctx, allocsvc.RouteSchedule, c.scheduleShardKey(req), body, binBody)
 	if err != nil {
 		return allocsvc.ScheduleResponse{}, meta, err
 	}
 	var resp allocsvc.ScheduleResponse
-	if err := json.Unmarshal(raw, &resp); err != nil {
+	if meta.Binary {
+		err = wire.DecodeScheduleResponse(raw, &resp)
+	} else {
+		err = json.Unmarshal(raw, &resp)
+	}
+	if err != nil {
 		return allocsvc.ScheduleResponse{}, meta, fmt.Errorf("allocclient: decoding schedule response: %w", err)
 	}
 	c.met.requests(allocsvc.RouteSchedule, SourceShard).Inc()

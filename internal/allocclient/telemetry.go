@@ -19,10 +19,11 @@ func breakerGaugeValue(s BreakerState) int {
 // clientMetrics holds the client's registry handles. A nil registry
 // yields nil-safe no-op handles, per the telemetry package contract.
 type clientMetrics struct {
-	reg       *telemetry.Registry
-	retries   *telemetry.Counter
-	failovers *telemetry.Counter
-	degraded  *telemetry.Counter
+	reg             *telemetry.Registry
+	retries         *telemetry.Counter
+	failovers       *telemetry.Counter
+	degraded        *telemetry.Counter
+	binaryDemotions *telemetry.Counter
 }
 
 func (m *clientMetrics) init(reg *telemetry.Registry) {
@@ -33,6 +34,8 @@ func (m *clientMetrics) init(reg *telemetry.Registry) {
 		"Attempts moved to a different shard than the previous attempt.")
 	m.degraded = reg.Counter("allocclient_degraded_total",
 		"Requests answered by the in-process degraded-local fallback.")
+	m.binaryDemotions = reg.Counter("allocclient_binary_demotions_total",
+		"Shards demoted from the binary protocol to JSON after a 415 response.")
 }
 
 // requests returns the counter for one (route, source) pair.

@@ -76,6 +76,20 @@ type Config struct {
 	// hits). nil leaves the service uninstrumented; the handles are
 	// nil-safe no-ops.
 	Registry *telemetry.Registry
+	// Tables, when non-nil, serves coord and plan requests from
+	// precomputed decision tables: covered requests are answered by an
+	// O(1) interpolating lookup that bypasses the worker pool and the
+	// coalescing layer entirely (the lookup is cheaper than queueing).
+	// Requests the tables do not cover — unknown pairs, non-default
+	// strategies, degraded pairs, budgets outside the tabulated range —
+	// fall through to the exact path unchanged.
+	Tables Tables
+	// Binary enables the content-negotiated binary protocol on the
+	// /v1/* routes: requests with Content-Type application/x-pbc-binary
+	// are decoded as wire frames and answered in kind. When false such
+	// requests are refused with 415 so operators can keep a JSON-only
+	// surface.
+	Binary bool
 	// Stall artificially lengthens every computation by the given
 	// duration while it holds a worker slot. The real decision
 	// functions are analytic and complete in microseconds, so on small
@@ -124,13 +138,15 @@ type Service struct {
 // exist independently of telemetry so harnesses (cmd/benchserve) can
 // read them without a registry.
 type serviceStats struct {
-	requests  atomic.Uint64
-	ok        atomic.Uint64
-	badInput  atomic.Uint64
-	rejected  atomic.Uint64
-	timeouts  atomic.Uint64
-	failures  atomic.Uint64
-	coalesced atomic.Uint64
+	requests    atomic.Uint64
+	ok          atomic.Uint64
+	badInput    atomic.Uint64
+	rejected    atomic.Uint64
+	timeouts    atomic.Uint64
+	failures    atomic.Uint64
+	coalesced   atomic.Uint64
+	tableHits   atomic.Uint64
+	tableMisses atomic.Uint64
 }
 
 // New returns a service with cfg's knobs, defaults applied.
@@ -185,18 +201,21 @@ type response struct {
 	// retryAfter, when positive, attaches a Retry-After header of that
 	// many seconds (429 responses carry the adaptive hint).
 	retryAfter int
+	// binary marks the body as a wire frame (Content-Type
+	// application/x-pbc-binary) instead of JSON.
+	binary bool
 }
 
 // do runs one request through coalescing, backpressure, the worker
 // pool, and the caller's deadline. compute must be a pure function of
 // the key. The returned response is shared across coalesced callers,
 // so callers must not mutate it.
-func (s *Service) do(ctx context.Context, route, key string, timeout time.Duration, compute func() (any, error)) *response {
+func (s *Service) do(ctx context.Context, route, key string, timeout time.Duration, bin bool, compute func() (any, error)) *response {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
 	ch, leader := s.flight.DoChan(key, func() (*response, error) {
-		return s.run(compute), nil
+		return s.run(bin, compute), nil
 	})
 	if !leader {
 		s.stats.coalesced.Add(1)
@@ -208,13 +227,16 @@ func (s *Service) do(ctx context.Context, route, key string, timeout time.Durati
 	case <-ctx.Done():
 		// The shared computation keeps running for any other waiters;
 		// this caller alone gives up.
+		if bin {
+			return timeoutResponseBin(ctx.Err())
+		}
 		return timeoutResponse(ctx.Err())
 	}
 }
 
 // run executes compute inside the admission and worker-pool bounds.
 // It always returns a response: errors are encoded, never escape.
-func (s *Service) run(compute func() (any, error)) *response {
+func (s *Service) run(bin bool, compute func() (any, error)) *response {
 	// Backpressure: refuse immediately when the service is saturated.
 	// The increment happens before the closed check so Close, once it
 	// observes zero inflight, cannot race with a leader that is about
@@ -223,11 +245,18 @@ func (s *Service) run(compute func() (any, error)) *response {
 	n := s.inflight.Add(1)
 	if s.closed.Load() {
 		s.inflight.Add(-1)
+		if bin {
+			return closingResponseBin()
+		}
 		return closingResponse()
 	}
 	if n > limit {
 		s.inflight.Add(-1)
-		return busyResponse(adaptiveRetryAfter(n, s.cfg.Workers, s.cfg.RetryAfter))
+		hint := adaptiveRetryAfter(n, s.cfg.Workers, s.cfg.RetryAfter)
+		if bin {
+			return busyResponseBin(hint)
+		}
+		return busyResponse(hint)
 	}
 	defer s.inflight.Add(-1)
 
@@ -240,6 +269,9 @@ func (s *Service) run(compute func() (any, error)) *response {
 	select {
 	case s.slots <- struct{}{}:
 	case <-ctx.Done():
+		if bin {
+			return timeoutResponseBin(ctx.Err())
+		}
 		return timeoutResponse(ctx.Err())
 	}
 	defer func() { <-s.slots }()
@@ -251,7 +283,13 @@ func (s *Service) run(compute func() (any, error)) *response {
 	}
 	v, err := compute()
 	if err != nil {
+		if bin {
+			return errorResponseBin(err)
+		}
 		return errorResponse(err)
+	}
+	if bin {
+		return okResponseBin(v)
 	}
 	return okResponse(v)
 }
@@ -356,6 +394,10 @@ type Stats struct {
 	// Coalesced counts requests served by joining an identical
 	// in-flight computation instead of running their own.
 	Coalesced uint64
+	// TableHits and TableMisses count decision-table lookups (only
+	// taken when Config.Tables is set): hits were answered without
+	// touching the worker pool, misses fell through to the exact path.
+	TableHits, TableMisses uint64
 }
 
 // CoalesceRate returns coalesced over total requests (0 when idle).
@@ -366,16 +408,28 @@ func (st Stats) CoalesceRate() float64 {
 	return float64(st.Coalesced) / float64(st.Requests)
 }
 
+// TableHitRate returns table hits over total table lookups (0 when no
+// lookup happened).
+func (st Stats) TableHitRate() float64 {
+	total := st.TableHits + st.TableMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.TableHits) / float64(total)
+}
+
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	return Stats{
-		Requests:  s.stats.requests.Load(),
-		OK:        s.stats.ok.Load(),
-		BadInput:  s.stats.badInput.Load(),
-		Rejected:  s.stats.rejected.Load(),
-		Timeouts:  s.stats.timeouts.Load(),
-		Failures:  s.stats.failures.Load(),
-		Coalesced: s.stats.coalesced.Load(),
+		Requests:    s.stats.requests.Load(),
+		OK:          s.stats.ok.Load(),
+		BadInput:    s.stats.badInput.Load(),
+		Rejected:    s.stats.rejected.Load(),
+		Timeouts:    s.stats.timeouts.Load(),
+		Failures:    s.stats.failures.Load(),
+		Coalesced:   s.stats.coalesced.Load(),
+		TableHits:   s.stats.tableHits.Load(),
+		TableMisses: s.stats.tableMisses.Load(),
 	}
 }
 

@@ -1,0 +1,285 @@
+package allocsvc
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// BinaryContentType is the negotiated media type for the binary
+// protocol, re-exported so callers need not import internal/wire
+// (cmd/pbc already imports the telemetry wire package under that
+// name).
+const BinaryContentType = wire.ContentType
+
+// isBinary reports whether the request negotiated the binary protocol.
+func isBinary(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = strings.TrimSpace(ct[:i])
+	}
+	return ct == wire.ContentType
+}
+
+// Scratch pools for the zero-alloc fast path. Request and response
+// structs are pooled together so a table hit allocates nothing once
+// the pool is warm: the decoder interns catalog strings, the table
+// fills the pooled response in place, and the encoder appends into the
+// caller's pooled buffer.
+type coordScratch struct {
+	req   CoordRequest
+	resp  CoordResponse
+	alloc AllocJSON
+}
+
+var coordScratchPool = sync.Pool{New: func() any { return &coordScratch{} }}
+
+func getCoordScratch() *coordScratch {
+	sc := coordScratchPool.Get().(*coordScratch)
+	sc.req = CoordRequest{}
+	sc.alloc = AllocJSON{}
+	sc.resp = CoordResponse{Alloc: &sc.alloc}
+	return sc
+}
+
+type planScratch struct {
+	req  PlanRequest
+	resp PlanResponse
+}
+
+var planScratchPool = sync.Pool{New: func() any { return &planScratch{} }}
+
+func getPlanScratch() *planScratch {
+	sc := planScratchPool.Get().(*planScratch)
+	steps := sc.resp.Steps
+	sc.req = PlanRequest{}
+	sc.resp = PlanResponse{Steps: steps[:0]}
+	return sc
+}
+
+type scheduleScratch struct {
+	req ScheduleRequest
+}
+
+var scheduleScratchPool = sync.Pool{New: func() any { return &scheduleScratch{} }}
+
+func getScheduleScratch() *scheduleScratch {
+	sc := scheduleScratchPool.Get().(*scheduleScratch)
+	nodes, jobs := sc.req.Nodes, sc.req.Jobs
+	sc.req = ScheduleRequest{Nodes: nodes[:0], Jobs: jobs[:0]}
+	return sc
+}
+
+// ServeBinary handles one binary request frame without the HTTP layer:
+// it dispatches on the frame's shape tag, serves the request, and
+// appends the response frame to dst. It returns the HTTP-equivalent
+// status code, the Retry-After hint in seconds (0 when absent), and
+// the extended dst. A table-covered coord or plan request completes
+// with zero heap allocations once the scratch pools are warm — this is
+// the function the allocs/op gate benchmarks.
+func (s *Service) ServeBinary(ctx context.Context, frame, dst []byte) (code, retryAfter int, out []byte) {
+	tag, err := wire.Tag(frame)
+	if err != nil {
+		return http.StatusBadRequest, 0, wire.AppendError(dst, http.StatusBadRequest, err.Error())
+	}
+	switch tag {
+	case wire.TCoordRequest:
+		return s.serveBinaryCoord(ctx, frame, dst)
+	case wire.TPlanRequest:
+		return s.serveBinaryPlan(ctx, frame, dst)
+	case wire.TScheduleRequest:
+		return s.serveBinarySchedule(ctx, frame, dst)
+	default:
+		return http.StatusBadRequest, 0,
+			wire.AppendError(dst, http.StatusBadRequest, "frame is not a request shape")
+	}
+}
+
+func (s *Service) serveBinaryCoord(ctx context.Context, frame, dst []byte) (int, int, []byte) {
+	sc := getCoordScratch()
+	defer coordScratchPool.Put(sc)
+	if err := wire.DecodeCoordRequest(frame, &sc.req); err != nil {
+		return http.StatusBadRequest, 0, wire.AppendError(dst, http.StatusBadRequest, err.Error())
+	}
+	if sc.req.Strategy == "" {
+		sc.req.Strategy = "coord"
+	}
+	if !s.closed.Load() && s.tableCoord(&sc.req, &sc.resp) {
+		return http.StatusOK, 0, wire.AppendCoordResponse(dst, &sc.resp)
+	}
+	req := sc.req // the closure outlives the scratch
+	key := strings.Join([]string{
+		RouteCoord, req.Platform, req.Workload, req.Strategy, budgetBits(req.Budget), "bin",
+	}, "|")
+	resp := s.do(ctx, RouteCoord, key, s.timeout(req.TimeoutMS), true, func() (any, error) {
+		return ComputeCoord(req)
+	})
+	return resp.code, resp.retryAfter, append(dst, resp.body...)
+}
+
+func (s *Service) serveBinaryPlan(ctx context.Context, frame, dst []byte) (int, int, []byte) {
+	sc := getPlanScratch()
+	defer planScratchPool.Put(sc)
+	if err := wire.DecodePlanRequest(frame, &sc.req); err != nil {
+		return http.StatusBadRequest, 0, wire.AppendError(dst, http.StatusBadRequest, err.Error())
+	}
+	if !s.closed.Load() && s.tablePlan(&sc.req, &sc.resp) {
+		return http.StatusOK, 0, wire.AppendPlanResponse(dst, &sc.resp)
+	}
+	req := sc.req
+	key := strings.Join([]string{
+		RoutePlan, req.Platform, req.Workload, budgetBits(req.Budget), "bin",
+	}, "|")
+	resp := s.do(ctx, RoutePlan, key, s.timeout(req.TimeoutMS), true, func() (any, error) {
+		return ComputePlan(req)
+	})
+	return resp.code, resp.retryAfter, append(dst, resp.body...)
+}
+
+func (s *Service) serveBinarySchedule(ctx context.Context, frame, dst []byte) (int, int, []byte) {
+	sc := getScheduleScratch()
+	defer scheduleScratchPool.Put(sc)
+	if err := wire.DecodeScheduleRequest(frame, &sc.req); err != nil {
+		return http.StatusBadRequest, 0, wire.AppendError(dst, http.StatusBadRequest, err.Error())
+	}
+	// Deep-copy: the compute closure may outlive the pooled scratch.
+	req := sc.req
+	req.Nodes = append([]NodeJSON(nil), sc.req.Nodes...)
+	req.Jobs = append([]JobJSON(nil), sc.req.Jobs...)
+	key := scheduleKey(&req) + "|bin"
+	resp := s.do(ctx, RouteSchedule, key, s.timeout(req.TimeoutMS), true, func() (any, error) {
+		return s.computeSchedule(req)
+	})
+	return resp.code, resp.retryAfter, append(dst, resp.body...)
+}
+
+// serveBinaryHTTP is the HTTP shim over ServeBinary-style handlers:
+// it enforces negotiation rules, reads the body through pooled
+// buffers, and writes the response frame with the binary content type.
+func (s *Service) serveBinaryHTTP(w http.ResponseWriter, r *http.Request, route string, start time.Time,
+	fn func(ctx context.Context, frame, dst []byte) (int, int, []byte)) {
+	if !s.cfg.Binary {
+		s.reject(w, route, &response{
+			code:   http.StatusUnsupportedMediaType,
+			body:   renderJSON(errorJSON{Error: "binary protocol not enabled on this server"}),
+			binary: false,
+		}, start)
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.reject(w, route, &response{
+			code:   http.StatusMethodNotAllowed,
+			body:   wire.AppendError(nil, http.StatusMethodNotAllowed, "method "+r.Method+" not allowed; use POST"),
+			binary: true,
+		}, start)
+		return
+	}
+	buf := wire.GetBuf()
+	body, err := readBinaryBody(r.Body, (*buf)[:0])
+	*buf = body
+	if err != nil {
+		wire.PutBuf(buf)
+		s.reject(w, route, &response{
+			code:   http.StatusBadRequest,
+			body:   wire.AppendError(nil, http.StatusBadRequest, err.Error()),
+			binary: true,
+		}, start)
+		return
+	}
+	out := wire.GetBuf()
+	code, retryAfter, rendered := fn(r.Context(), body, (*out)[:0])
+	*out = rendered
+
+	w.Header().Set("Content-Type", wire.ContentType)
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	w.WriteHeader(code)
+	w.Write(rendered)
+	wire.PutBuf(buf)
+	wire.PutBuf(out)
+	s.count(route, code, time.Since(start))
+}
+
+// readBinaryBody reads the whole body into buf (growing it as needed)
+// with the same size cap as the JSON surface.
+func readBinaryBody(body io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if len(buf) > maxBody {
+			return buf, fmt.Errorf("request body exceeds %d bytes", maxBody)
+		}
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, fmt.Errorf("reading request body: %v", err)
+		}
+	}
+}
+
+// --- binary renderers (the wire counterparts of http.go's JSON ones) ---
+
+func okResponseBin(v any) *response {
+	var body []byte
+	switch m := v.(type) {
+	case CoordResponse:
+		body = wire.AppendCoordResponse(nil, &m)
+	case PlanResponse:
+		body = wire.AppendPlanResponse(nil, &m)
+	case ScheduleResponse:
+		body = wire.AppendScheduleResponse(nil, &m)
+	default:
+		return errorResponseBin(fmt.Errorf("internal: unrenderable response type %T", v))
+	}
+	return &response{code: http.StatusOK, body: body, binary: true}
+}
+
+func errorResponseBin(err error) *response {
+	code := http.StatusInternalServerError
+	var be *badRequestError
+	if asBadRequest(err, &be) {
+		code = http.StatusBadRequest
+	}
+	return &response{code: code, body: wire.AppendError(nil, code, err.Error()), binary: true}
+}
+
+func timeoutResponseBin(err error) *response {
+	msg := "deadline exceeded"
+	if err != nil {
+		msg = "deadline exceeded: " + err.Error()
+	}
+	return &response{
+		code:   http.StatusGatewayTimeout,
+		body:   wire.AppendError(nil, http.StatusGatewayTimeout, msg),
+		binary: true,
+	}
+}
+
+func busyResponseBin(retryAfterSecs int) *response {
+	return &response{
+		code:       http.StatusTooManyRequests,
+		body:       wire.AppendError(nil, http.StatusTooManyRequests, "service saturated; retry later"),
+		retryAfter: retryAfterSecs,
+		binary:     true,
+	}
+}
+
+func closingResponseBin() *response {
+	return &response{
+		code:   http.StatusServiceUnavailable,
+		body:   wire.AppendError(nil, http.StatusServiceUnavailable, "service closing; not admitting new requests"),
+		binary: true,
+	}
+}

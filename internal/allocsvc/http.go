@@ -17,6 +17,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/profile"
 	"repro/internal/units"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -46,108 +47,33 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-// AllocJSON is an allocation split on the wire.
-type AllocJSON struct {
-	ProcWatts float64 `json:"proc_watts"`
-	MemWatts  float64 `json:"mem_watts"`
-}
-
-// CoordRequest is the body of POST /v1/coord: one single-node
-// coordination decision.
-type CoordRequest struct {
-	Platform string  `json:"platform"`
-	Workload string  `json:"workload"`
-	Budget   float64 `json:"budget_watts"`
-	// Strategy selects the allocation policy; empty means "coord".
-	Strategy string `json:"strategy,omitempty"`
-	// TimeoutMS bounds this request; 0 means the service default.
-	TimeoutMS int `json:"timeout_ms,omitempty"`
-}
-
-// CoordResponse is the decision for one (platform, workload, budget).
-type CoordResponse struct {
-	Platform string  `json:"platform"`
-	Workload string  `json:"workload"`
-	Kind     string  `json:"kind"`
-	Strategy string  `json:"strategy"`
-	Budget   float64 `json:"budget_watts"`
-	// Status is the COORD verdict: "ok", "surplus", or "too-small".
-	Status       string     `json:"status"`
-	Alloc        *AllocJSON `json:"alloc,omitempty"`
-	SurplusWatts float64    `json:"surplus_watts,omitempty"`
-	// ExpectedPerf/ExpectedPower are the simulated outcome under the
-	// allocation; absent when the budget was rejected.
-	ExpectedPerf  float64 `json:"expected_perf,omitempty"`
-	PerfUnit      string  `json:"perf_unit,omitempty"`
-	ExpectedPower float64 `json:"expected_power_watts,omitempty"`
-}
-
-// PlanRequest is the body of POST /v1/plan: a phase-aware dyncoord
-// plan for a CPU workload.
-type PlanRequest struct {
-	Platform  string  `json:"platform"`
-	Workload  string  `json:"workload"`
-	Budget    float64 `json:"budget_watts"`
-	TimeoutMS int     `json:"timeout_ms,omitempty"`
-}
-
-// PlanStepJSON is one phase of a plan.
-type PlanStepJSON struct {
-	Phase    string    `json:"phase"`
-	Weight   float64   `json:"weight"`
-	Alloc    AllocJSON `json:"alloc"`
-	Status   string    `json:"status"`
-	FellBack bool      `json:"fell_back,omitempty"`
-}
-
-// PlanResponse is a dyncoord plan on the wire.
-type PlanResponse struct {
-	Platform string         `json:"platform"`
-	Workload string         `json:"workload"`
-	Budget   float64        `json:"budget_watts"`
-	Steps    []PlanStepJSON `json:"steps"`
-	// Rejected reports that at least one step has no usable allocation.
-	Rejected bool `json:"rejected,omitempty"`
-}
-
-// NodeJSON names one cluster node for /v1/schedule.
-type NodeJSON struct {
-	ID       string `json:"id"`
-	Platform string `json:"platform"`
-}
-
-// JobJSON names one queued job for /v1/schedule.
-type JobJSON struct {
-	ID       string `json:"id"`
-	Workload string `json:"workload"`
-}
-
-// ScheduleRequest is the body of POST /v1/schedule: one scheduling
-// round over a cluster and a job queue.
-type ScheduleRequest struct {
-	Budget    float64    `json:"budget_watts"`
-	Nodes     []NodeJSON `json:"nodes"`
-	Jobs      []JobJSON  `json:"jobs"`
-	TimeoutMS int        `json:"timeout_ms,omitempty"`
-}
-
-// PlacementJSON is one admitted job of a round.
-type PlacementJSON struct {
-	Job           string    `json:"job"`
-	Node          string    `json:"node"`
-	Budget        float64   `json:"budget_watts"`
-	Alloc         AllocJSON `json:"alloc"`
-	ExpectedPerf  float64   `json:"expected_perf"`
-	ExpectedPower float64   `json:"expected_power_watts"`
-}
-
-// ScheduleResponse is a scheduling round's outcome on the wire.
-type ScheduleResponse struct {
-	Placements []PlacementJSON `json:"placements"`
-	Deferred   []string        `json:"deferred,omitempty"`
-	PoolLeft   float64         `json:"pool_left_watts"`
-	TotalPower float64         `json:"total_expected_power_watts"`
-}
+// The request/response shapes live in internal/wire, shared between
+// this package's JSON surface and the binary codec; the aliases keep
+// allocsvc's exported API unchanged.
+type (
+	// AllocJSON is an allocation split on the wire.
+	AllocJSON = wire.AllocJSON
+	// CoordRequest is the body of POST /v1/coord.
+	CoordRequest = wire.CoordRequest
+	// CoordResponse is the decision for one (platform, workload, budget).
+	CoordResponse = wire.CoordResponse
+	// PlanRequest is the body of POST /v1/plan.
+	PlanRequest = wire.PlanRequest
+	// PlanStepJSON is one phase of a plan.
+	PlanStepJSON = wire.PlanStepJSON
+	// PlanResponse is a dyncoord plan on the wire.
+	PlanResponse = wire.PlanResponse
+	// NodeJSON names one cluster node for /v1/schedule.
+	NodeJSON = wire.NodeJSON
+	// JobJSON names one queued job for /v1/schedule.
+	JobJSON = wire.JobJSON
+	// ScheduleRequest is the body of POST /v1/schedule.
+	ScheduleRequest = wire.ScheduleRequest
+	// PlacementJSON is one admitted job of a round.
+	PlacementJSON = wire.PlacementJSON
+	// ScheduleResponse is a scheduling round's outcome on the wire.
+	ScheduleResponse = wire.ScheduleResponse
+)
 
 // errorJSON is the uniform error body.
 type errorJSON struct {
@@ -245,7 +171,7 @@ func decode(w http.ResponseWriter, r *http.Request, into any) error {
 // response write, accounting.
 func (s *Service) serve(w http.ResponseWriter, r *http.Request, route, key string, timeout time.Duration, compute func() (any, error)) {
 	start := time.Now()
-	resp := s.do(r.Context(), route, key, timeout, compute)
+	resp := s.do(r.Context(), route, key, timeout, false, compute)
 	s.write(w, resp)
 	s.count(route, resp.code, time.Since(start))
 }
@@ -258,7 +184,11 @@ func (s *Service) reject(w http.ResponseWriter, route string, resp *response, st
 }
 
 func (s *Service) write(w http.ResponseWriter, resp *response) {
-	w.Header().Set("Content-Type", "application/json")
+	ct := "application/json"
+	if resp.binary {
+		ct = wire.ContentType
+	}
+	w.Header().Set("Content-Type", ct)
 	if resp.retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(resp.retryAfter))
 	}
@@ -323,6 +253,10 @@ func checkBudget(v float64) error {
 // handleCoord serves POST /v1/coord.
 func (s *Service) handleCoord(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	if isBinary(r) {
+		s.serveBinaryHTTP(w, r, RouteCoord, start, s.serveBinaryCoord)
+		return
+	}
 	if r.Method != http.MethodPost {
 		s.reject(w, RouteCoord, methodNotAllowed(r), start)
 		return
@@ -334,6 +268,13 @@ func (s *Service) handleCoord(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Strategy == "" {
 		req.Strategy = "coord"
+	}
+	if !s.closed.Load() {
+		var out CoordResponse
+		if s.tableCoord(&req, &out) {
+			s.reject(w, RouteCoord, okResponse(out), start)
+			return
+		}
 	}
 	key := strings.Join([]string{
 		RouteCoord, req.Platform, req.Workload, req.Strategy, budgetBits(req.Budget),
@@ -456,6 +397,10 @@ func strategyNames(kind hw.Kind) string {
 // handlePlan serves POST /v1/plan.
 func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	if isBinary(r) {
+		s.serveBinaryHTTP(w, r, RoutePlan, start, s.serveBinaryPlan)
+		return
+	}
 	if r.Method != http.MethodPost {
 		s.reject(w, RoutePlan, methodNotAllowed(r), start)
 		return
@@ -464,6 +409,13 @@ func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if err := decode(w, r, &req); err != nil {
 		s.reject(w, RoutePlan, errorResponse(err), start)
 		return
+	}
+	if !s.closed.Load() {
+		var out PlanResponse
+		if s.tablePlan(&req, &out) {
+			s.reject(w, RoutePlan, okResponse(out), start)
+			return
+		}
 	}
 	key := strings.Join([]string{
 		RoutePlan, req.Platform, req.Workload, budgetBits(req.Budget),
@@ -518,6 +470,10 @@ func ComputePlan(req PlanRequest) (PlanResponse, error) {
 // handleSchedule serves POST /v1/schedule.
 func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	if isBinary(r) {
+		s.serveBinaryHTTP(w, r, RouteSchedule, start, s.serveBinarySchedule)
+		return
+	}
 	if r.Method != http.MethodPost {
 		s.reject(w, RouteSchedule, methodNotAllowed(r), start)
 		return
@@ -593,6 +549,13 @@ func (s *Service) computeSchedule(req ScheduleRequest) (any, error) {
 		sched, err := cluster.NewScheduler(units.Power(req.Budget), nodes)
 		if err != nil {
 			return nil, badRequestf("%v", err)
+		}
+		if s.cfg.Tables != nil {
+			// The operator opted into precompute-at-startup semantics;
+			// extend it to the cluster side so a fresh scheduler never
+			// profiles on the request path. A failed pair degrades to
+			// lazy profiling, exactly as without prewarming.
+			_ = sched.Prewarm(workload.Catalog())
 		}
 		return sched, nil
 	})

@@ -19,12 +19,21 @@ import (
 type metrics struct {
 	reg      *telemetry.Registry
 	inflight *telemetry.Gauge
+	// tableHit/tableMiss are cached handles: decision-table lookups run
+	// on the zero-alloc fast path, so they must not pay the labelled
+	// lookup cost per request.
+	tableHit  *telemetry.Counter
+	tableMiss *telemetry.Counter
 }
 
 func (m *metrics) init(reg *telemetry.Registry) {
 	m.reg = reg
 	m.inflight = reg.Gauge("allocsvc_inflight",
 		"Requests currently executing in the allocation service worker pool.")
+	m.tableHit = reg.Counter("allocsvc_table_lookups_total",
+		"Decision-table lookups by result.", "result", "hit")
+	m.tableMiss = reg.Counter("allocsvc_table_lookups_total",
+		"Decision-table lookups by result.", "result", "miss")
 }
 
 // requests returns the counter for one (route, status) pair. Series

@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// Prewarm fills the scheduler's profile caches for every (node
+// platform, workload) pair ahead of the first round, so scheduling
+// never profiles on the request path. It is the cluster-side table
+// builder: the envelope and split passes consume exactly these
+// profiles, and with them precomputed a round reduces to arithmetic
+// over cached state plus memoized simulation.
+//
+// Workloads whose kind matches no node are skipped; the first
+// profiling error is returned after attempting every pair, so one
+// damaged profile does not block warming the rest (the scheduler
+// degrades to lazy profiling for that pair, surfacing the error on
+// first use as before).
+func (s *Scheduler) Prewarm(workloads []workload.Workload) error {
+	var firstErr error
+	seen := map[string]bool{}
+	for _, n := range s.Nodes {
+		for _, w := range workloads {
+			if w.Kind != n.Platform.Kind || seen[n.Platform.Name+"/"+w.Name] {
+				continue
+			}
+			seen[n.Platform.Name+"/"+w.Name] = true
+			var err error
+			if n.Platform.Kind == hw.KindCPU {
+				_, err = s.profileFor(n.Platform, w)
+			} else {
+				_, err = s.gpuProfileFor(n.Platform, w)
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,58 @@
+package coord
+
+import (
+	"repro/internal/profile"
+	"repro/internal/units"
+)
+
+// The breakpoint helpers below expose the budget values where each
+// policy's allocation changes regime or slope. Between two adjacent
+// breakpoints every policy in this package is linear in the budget, so
+// a decision table whose grid contains the breakpoints can reconstruct
+// the allocation exactly by linear interpolation — the foundation of
+// internal/decisiontable's exactness contract.
+
+// CPUBreakpoints returns Algorithm 1's regime boundaries for a profile,
+// in ascending order: the productive threshold (reject → proportional),
+// the memory-adequate boundary (proportional → memory-first remainder),
+// and the surplus boundary (allocation pins at maximum demand).
+func CPUBreakpoints(prof profile.CPUProfile) []units.Power {
+	cp := prof.Critical
+	return []units.Power{
+		cp.ProductiveThreshold(),
+		cp.CPULowPState + cp.MemMax,
+		cp.CPUMax + cp.MemMax,
+	}
+}
+
+// MemoryFirstBreakpoints returns the memory-first baseline's kinks: the
+// reject bound (below the component floors) and the budget where the
+// memory grant stops being clamped by the CPU floor.
+func MemoryFirstBreakpoints(prof profile.CPUProfile) []units.Power {
+	cp := prof.Critical
+	return []units.Power{
+		cp.CPUFloor + cp.MemFloor,
+		cp.CPUFloor + cp.MemMax,
+	}
+}
+
+// GPUBreakpoints returns Algorithm 2's regime boundaries for a profile
+// under the given gamma (non-positive or >1 falls back to DefaultGamma,
+// mirroring GPU): the reject bound at the memory floor, the budget
+// where the balanced split's low clamp releases, where its high clamp
+// engages, the reference total (balanced → memory-adequate), and the
+// surplus boundary. Values may repeat or sit outside the productive
+// range; table builders sort, deduplicate, and clip them.
+func GPUBreakpoints(prof profile.GPUProfile, gamma float64) []units.Power {
+	if !(gamma > 0 && gamma <= 1) {
+		gamma = DefaultGamma
+	}
+	totMin := prof.TotRef - (prof.MemNom - prof.MemMin)
+	return []units.Power{
+		prof.MemMin,
+		totMin,
+		totMin + units.Power((prof.MemMax-prof.MemMin).Watts()/gamma),
+		prof.TotRef,
+		prof.TotMax,
+	}
+}

@@ -1,0 +1,384 @@
+package decisiontable
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/allocsvc"
+	"repro/internal/wire"
+)
+
+// sweepBudgets returns a budget sweep that deliberately lands below
+// the range, on segment boundaries, between grid points, and above
+// saturation.
+func sweepBudgets(lo, hi float64) []float64 {
+	var bs []float64
+	bs = append(bs, lo/3, lo/2, lo*0.999, lo, lo+1e-9)
+	n := 97 // coprime with the grid so probes fall between grid points
+	for i := 1; i < n; i++ {
+		bs = append(bs, lo+(hi-lo)*float64(i)/float64(n))
+	}
+	bs = append(bs, hi-1e-9, hi, hi+1e-9, hi*1.25, hi*10)
+	return bs
+}
+
+// checkCoordAgainstExact serves b from the set and, on a hit, compares
+// against the exact path. Returns whether it hit.
+func checkCoordAgainstExact(t *testing.T, s *Set, platform, wl string, b float64) bool {
+	t.Helper()
+	req := wire.CoordRequest{Platform: platform, Workload: wl, Budget: b, Strategy: "coord"}
+	var got wire.CoordResponse
+	if !s.Coord(&req, &got) {
+		return false
+	}
+	exact, err := allocsvc.ComputeCoord(req)
+	if err != nil {
+		t.Fatalf("%s/%s b=%v: exact path errored (%v) but table served", platform, wl, b, err)
+	}
+	if got.Status != exact.Status {
+		t.Fatalf("%s/%s b=%v: table status %q, exact %q", platform, wl, b, got.Status, exact.Status)
+	}
+	if got.Platform != exact.Platform || got.Workload != exact.Workload ||
+		got.Kind != exact.Kind || got.Strategy != exact.Strategy || got.Budget != exact.Budget {
+		t.Fatalf("%s/%s b=%v: header mismatch: table %+v exact %+v", platform, wl, b, got, exact)
+	}
+	if (got.Alloc == nil) != (exact.Alloc == nil) {
+		t.Fatalf("%s/%s b=%v: alloc presence mismatch: table %+v exact %+v", platform, wl, b, got, exact)
+	}
+	if exact.Alloc == nil {
+		return true
+	}
+	if !within(got.Alloc.ProcWatts, exact.Alloc.ProcWatts, AllocEps) ||
+		!within(got.Alloc.MemWatts, exact.Alloc.MemWatts, AllocEps) {
+		t.Fatalf("%s/%s b=%v: alloc gap: table (%v, %v) exact (%v, %v)", platform, wl, b,
+			got.Alloc.ProcWatts, got.Alloc.MemWatts, exact.Alloc.ProcWatts, exact.Alloc.MemWatts)
+	}
+	if got.SurplusWatts != exact.SurplusWatts {
+		t.Fatalf("%s/%s b=%v: surplus gap: table %v exact %v", platform, wl, b,
+			got.SurplusWatts, exact.SurplusWatts)
+	}
+	if !within(got.ExpectedPerf, exact.ExpectedPerf, DefaultEps) ||
+		!within(got.ExpectedPower, exact.ExpectedPower, DefaultEps) {
+		t.Fatalf("%s/%s b=%v: perf/power out of eps: table (%v, %v) exact (%v, %v)",
+			platform, wl, b, got.ExpectedPerf, got.ExpectedPower,
+			exact.ExpectedPerf, exact.ExpectedPower)
+	}
+	if got.PerfUnit != exact.PerfUnit {
+		t.Fatalf("%s/%s b=%v: perf unit %q vs %q", platform, wl, b, got.PerfUnit, exact.PerfUnit)
+	}
+	// The table path must keep the allocation summing to the budget in
+	// the ok regime, same as the analytic algorithms.
+	if got.Status == "ok" {
+		if sum := got.Alloc.ProcWatts + got.Alloc.MemWatts; math.Abs(sum-b) > 1e-9*math.Max(1, b) {
+			t.Fatalf("%s/%s b=%v: table alloc sums to %v, not the budget", platform, wl, b, sum)
+		}
+	}
+	return true
+}
+
+func TestCoordTableMatchesExact(t *testing.T) {
+	pairs := []struct{ platform, wl string }{
+		{"ivybridge", "stream"},
+		{"ivybridge", "dgemm"},
+		{"haswell", "bt"},
+		{"titanv", "gpustream"},
+		{"titanxp", "sgemm"},
+	}
+	s := New(Config{})
+	for _, pair := range pairs {
+		sl := s.coord[pair.platform][pair.wl]
+		if sl == nil {
+			t.Fatalf("no slot for %s/%s", pair.platform, pair.wl)
+		}
+		tab := s.ensureCoord(sl)
+		if tab == nil {
+			t.Fatalf("coord table for %s/%s did not build", pair.platform, pair.wl)
+		}
+		hits, total := 0, 0
+		for _, b := range sweepBudgets(tab.lo, tab.hi) {
+			total++
+			if checkCoordAgainstExact(t, s, pair.platform, pair.wl, b) {
+				hits++
+			}
+		}
+		if frac := float64(hits) / float64(total); frac < 0.9 {
+			t.Errorf("%s/%s: table hit rate %.2f below 0.9 (%d/%d)",
+				pair.platform, pair.wl, frac, hits, total)
+		}
+	}
+}
+
+// TestCoordGridBoundaries serves budgets exactly on every segment
+// boundary, where off-by-one segment selection would bite.
+func TestCoordGridBoundaries(t *testing.T) {
+	s := New(Config{})
+	sl := s.coord["ivybridge"]["stream"]
+	tab := s.ensureCoord(sl)
+	if tab == nil {
+		t.Fatal("table did not build")
+	}
+	for _, seg := range tab.segs {
+		checkCoordAgainstExact(t, s, "ivybridge", "stream", seg.start)
+	}
+	checkCoordAgainstExact(t, s, "ivybridge", "stream", tab.hi)
+}
+
+// TestGPUBelowMemMin: budgets at and below the card's memory floor
+// must serve the rejection row, matching the exact path bit for bit.
+func TestGPUBelowMemMin(t *testing.T) {
+	s := New(Config{})
+	sl := s.coord["titanv"]["gpustream"]
+	tab := s.ensureCoord(sl)
+	if tab == nil {
+		t.Fatal("table did not build")
+	}
+	for _, b := range []float64{tab.lo / 2, tab.lo * 0.999, tab.lo} {
+		req := wire.CoordRequest{Platform: "titanv", Workload: "gpustream", Budget: b, Strategy: "coord"}
+		var got wire.CoordResponse
+		if !s.Coord(&req, &got) {
+			t.Fatalf("b=%v: expected table hit", b)
+		}
+		if got.Status != "too-small" || got.Alloc != nil {
+			t.Fatalf("b=%v: want too-small/no alloc, got %+v", b, got)
+		}
+	}
+	// Just above the floor the algorithm accepts (proc gets the sliver).
+	req := wire.CoordRequest{Platform: "titanv", Workload: "gpustream",
+		Budget: tab.lo + (tab.hi-tab.lo)/1000, Strategy: "coord"}
+	var got wire.CoordResponse
+	if s.Coord(&req, &got) && got.Status == "too-small" {
+		t.Fatalf("b just above MemMin rejected by table: %+v", got)
+	}
+}
+
+// TestCoordStaleAllocReuse: a pooled response with a stale Alloc must
+// be overwritten, and one with a nil Alloc populated.
+func TestCoordStaleAllocReuse(t *testing.T) {
+	s := New(Config{})
+	sl := s.coord["ivybridge"]["stream"]
+	tab := s.ensureCoord(sl)
+	if tab == nil {
+		t.Fatal("table did not build")
+	}
+	mid := (tab.lo + tab.hi) / 2
+	req := wire.CoordRequest{Platform: "ivybridge", Workload: "stream", Budget: mid, Strategy: "coord"}
+	stale := wire.AllocJSON{ProcWatts: -1, MemWatts: -1}
+	out := wire.CoordResponse{Alloc: &stale}
+	if !s.Coord(&req, &out) {
+		t.Fatal("expected hit")
+	}
+	if out.Alloc != &stale {
+		t.Fatal("hit replaced the caller's Alloc instead of reusing it")
+	}
+	if stale.ProcWatts == -1 {
+		t.Fatal("stale alloc not overwritten")
+	}
+	// Rejection must clear the alloc.
+	req.Budget = tab.lo / 2
+	if !s.Coord(&req, &out) {
+		t.Fatal("expected rejection hit")
+	}
+	if out.Alloc != nil {
+		t.Fatalf("rejection kept an alloc: %+v", out.Alloc)
+	}
+}
+
+func TestPlanTableMatchesExact(t *testing.T) {
+	pairs := []struct{ platform, wl string }{
+		{"ivybridge", "bt"},
+		{"haswell", "stream"},
+	}
+	s := New(Config{})
+	for _, pair := range pairs {
+		sl := s.plan[pair.platform][pair.wl]
+		if sl == nil {
+			t.Fatalf("no plan slot for %s/%s", pair.platform, pair.wl)
+		}
+		tab := s.ensurePlan(sl)
+		if tab == nil {
+			t.Fatalf("plan table for %s/%s did not build", pair.platform, pair.wl)
+		}
+		hits, total := 0, 0
+		for _, b := range sweepBudgets(tab.lo, tab.hi) {
+			total++
+			req := wire.PlanRequest{Platform: pair.platform, Workload: pair.wl, Budget: b}
+			var got wire.PlanResponse
+			if !s.Plan(&req, &got) {
+				continue
+			}
+			hits++
+			exact, err := allocsvc.ComputePlan(req)
+			if err != nil {
+				t.Fatalf("%s/%s b=%v: exact plan errored: %v", pair.platform, pair.wl, b, err)
+			}
+			if got.Rejected != exact.Rejected || len(got.Steps) != len(exact.Steps) ||
+				got.Platform != exact.Platform || got.Workload != exact.Workload ||
+				got.Budget != exact.Budget {
+				t.Fatalf("%s/%s b=%v: plan header mismatch:\n table %+v\n exact %+v",
+					pair.platform, pair.wl, b, got, exact)
+			}
+			for i := range exact.Steps {
+				e, g := &exact.Steps[i], &got.Steps[i]
+				if g.Phase != e.Phase || g.Weight != e.Weight ||
+					g.Status != e.Status || g.FellBack != e.FellBack {
+					t.Fatalf("%s/%s b=%v step %d: mismatch table %+v exact %+v",
+						pair.platform, pair.wl, b, i, g, e)
+				}
+				if !within(g.Alloc.ProcWatts, e.Alloc.ProcWatts, AllocEps) ||
+					!within(g.Alloc.MemWatts, e.Alloc.MemWatts, AllocEps) {
+					t.Fatalf("%s/%s b=%v step %d: alloc gap table %+v exact %+v",
+						pair.platform, pair.wl, b, i, g.Alloc, e.Alloc)
+				}
+			}
+		}
+		if frac := float64(hits) / float64(total); frac < 0.9 {
+			t.Errorf("%s/%s: plan hit rate %.2f below 0.9 (%d/%d)",
+				pair.platform, pair.wl, frac, hits, total)
+		}
+	}
+}
+
+// TestPlanStepsReuse: the lookup must reuse the caller's Steps backing
+// array (the binary fast path pools the response).
+func TestPlanStepsReuse(t *testing.T) {
+	s := New(Config{})
+	tab := s.ensurePlan(s.plan["ivybridge"]["bt"])
+	if tab == nil {
+		t.Fatal("plan table did not build")
+	}
+	req := wire.PlanRequest{Platform: "ivybridge", Workload: "bt", Budget: (tab.lo + tab.hi) / 2}
+	var out wire.PlanResponse
+	if !s.Plan(&req, &out) {
+		t.Fatal("expected hit")
+	}
+	first := &out.Steps[0]
+	if !s.Plan(&req, &out) {
+		t.Fatal("expected second hit")
+	}
+	if &out.Steps[0] != first {
+		t.Fatal("second lookup reallocated Steps")
+	}
+}
+
+// TestUncoveredRequestsMiss: strategies, budgets, and names the tables
+// must not answer.
+func TestUncoveredRequestsMiss(t *testing.T) {
+	s := New(Config{})
+	tab := s.ensureCoord(s.coord["ivybridge"]["stream"])
+	if tab == nil {
+		t.Fatal("table did not build")
+	}
+	mid := (tab.lo + tab.hi) / 2
+	var out wire.CoordResponse
+	cases := []wire.CoordRequest{
+		{Platform: "ivybridge", Workload: "stream", Budget: mid, Strategy: "memory-first"},
+		{Platform: "ivybridge", Workload: "stream", Budget: 0, Strategy: "coord"},
+		{Platform: "ivybridge", Workload: "stream", Budget: -5, Strategy: "coord"},
+		{Platform: "ivybridge", Workload: "stream", Budget: math.NaN(), Strategy: "coord"},
+		{Platform: "ivybridge", Workload: "stream", Budget: math.Inf(1), Strategy: "coord"},
+		{Platform: "nosuch", Workload: "stream", Budget: mid, Strategy: "coord"},
+		{Platform: "ivybridge", Workload: "nosuch", Budget: mid, Strategy: "coord"},
+		{Platform: "titanv", Workload: "stream", Budget: mid, Strategy: "coord"}, // kind mismatch
+	}
+	for _, req := range cases {
+		if s.Coord(&req, &out) {
+			t.Errorf("request %+v should miss", req)
+		}
+	}
+	var pout wire.PlanResponse
+	planCases := []wire.PlanRequest{
+		{Platform: "titanv", Workload: "gpustream", Budget: mid}, // plan is CPU-only
+		{Platform: "ivybridge", Workload: "bt", Budget: math.NaN()},
+	}
+	for _, req := range planCases {
+		if s.Plan(&req, &pout) {
+			t.Errorf("plan request %+v should miss", req)
+		}
+	}
+}
+
+// TestDegradedPairBypassesTables: when the exact path fails (degraded
+// profiles, faulted sensors), the build must cache a negative result
+// and every lookup must keep taking the exact path.
+func TestDegradedPairBypassesTables(t *testing.T) {
+	s := New(Config{})
+	fault := errors.New("sensor fault")
+	s.computeCoord = func(req wire.CoordRequest) (wire.CoordResponse, error) {
+		return wire.CoordResponse{}, fault
+	}
+	s.computePlan = func(req wire.PlanRequest) (wire.PlanResponse, error) {
+		return wire.PlanResponse{}, fault
+	}
+	if tab := s.ensureCoord(s.coord["ivybridge"]["stream"]); tab != nil {
+		t.Fatal("coord table built from a faulting exact path")
+	}
+	if tab := s.ensurePlan(s.plan["ivybridge"]["bt"]); tab != nil {
+		t.Fatal("plan table built from a faulting exact path")
+	}
+	var out wire.CoordResponse
+	req := wire.CoordRequest{Platform: "ivybridge", Workload: "stream", Budget: 100, Strategy: "coord"}
+	if s.Coord(&req, &out) {
+		t.Fatal("degraded pair served from table")
+	}
+	// The negative result is cached: the slot is built, no rebuild.
+	if !s.coord["ivybridge"]["stream"].built.Load() {
+		t.Fatal("negative result not cached")
+	}
+}
+
+// prune shrinks the set's seeded catalog to the named pairs so tests
+// can warm a sub-catalog in bounded time (the full catalog warms in
+// tens of seconds — a startup cost for pbc serve -tables, not for unit
+// tests).
+func prune(s *Set, keep map[string][]string) {
+	for platform, cm := range s.coord {
+		kept, ok := keep[platform]
+		if !ok {
+			delete(s.coord, platform)
+			delete(s.plan, platform)
+			continue
+		}
+		for wl := range cm {
+			found := false
+			for _, k := range kept {
+				found = found || k == wl
+			}
+			if !found {
+				delete(cm, wl)
+				if pm := s.plan[platform]; pm != nil {
+					delete(pm, wl)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmSubCatalog builds a pruned catalog eagerly and checks the
+// warm stats and that warmed pairs serve through the allocsvc.Tables
+// interface the service consumes.
+func TestWarmSubCatalog(t *testing.T) {
+	s := New(Config{})
+	prune(s, map[string][]string{
+		"ivybridge": {"stream", "ep"},
+		"titanv":    {"hpcg"},
+	})
+	st := s.Warm()
+	if st.CoordTables+st.CoordSkipped != 3 {
+		t.Errorf("warm visited %d coord pairs, pruned catalog has 3", st.CoordTables+st.CoordSkipped)
+	}
+	if st.PlanTables+st.PlanSkipped != 2 {
+		t.Errorf("warm visited %d plan pairs, pruned catalog has 2", st.PlanTables+st.PlanSkipped)
+	}
+	if st.CoordTables == 0 {
+		t.Fatalf("warm built no coord tables: %+v", st)
+	}
+	var tables allocsvc.Tables = s
+	req := wire.CoordRequest{Platform: "ivybridge", Workload: "stream", Budget: 200, Strategy: "coord"}
+	var out wire.CoordResponse
+	tables.Coord(&req, &out) // hit or miss, must not panic on warm tables
+	// A warmed slot must never kick a rebuild.
+	if !s.coord["ivybridge"]["stream"].built.Load() {
+		t.Fatal("warmed slot not marked built")
+	}
+}

@@ -191,13 +191,13 @@ func checkClassifierScale(c *collector, cp category.CriticalPowers) {
 	// Sample points covering every scenario region, expressed relative
 	// to the profile so they land in the same region at any scale.
 	points := []core.Allocation{
-		{Proc: cp.CPUMax + 5, Mem: cp.MemMax + 5},                      // I
-		{Proc: (cp.CPULowPState + cp.CPUMax) / 2, Mem: cp.MemMax + 5},  // II
-		{Proc: cp.CPUMax + 5, Mem: (cp.MemFloor + cp.MemMax) / 2},      // III
-		{Proc: (cp.CPUFloor + cp.CPULowPState) / 2, Mem: cp.MemMax},    // IV
-		{Proc: cp.CPUMax, Mem: cp.MemFloor / 2},                        // V
-		{Proc: cp.CPUFloor / 2, Mem: cp.MemMax},                        // VI
-		{Proc: (cp.CPULowPState + cp.CPUMax) / 2, Mem: cp.MemMax - 1},  // interior tie-break
+		{Proc: cp.CPUMax + 5, Mem: cp.MemMax + 5},                     // I
+		{Proc: (cp.CPULowPState + cp.CPUMax) / 2, Mem: cp.MemMax + 5}, // II
+		{Proc: cp.CPUMax + 5, Mem: (cp.MemFloor + cp.MemMax) / 2},     // III
+		{Proc: (cp.CPUFloor + cp.CPULowPState) / 2, Mem: cp.MemMax},   // IV
+		{Proc: cp.CPUMax, Mem: cp.MemFloor / 2},                       // V
+		{Proc: cp.CPUFloor / 2, Mem: cp.MemMax},                       // VI
+		{Proc: (cp.CPULowPState + cp.CPUMax) / 2, Mem: cp.MemMax - 1}, // interior tie-break
 		{Proc: cp.CPULowPState + 1, Mem: (cp.MemFloor + cp.MemMax) / 2},
 	}
 	for _, s := range []float64{0.5, 3} {

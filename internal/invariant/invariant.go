@@ -58,6 +58,11 @@
 //     sum of per-placement expected draws.
 //   - schedule-complete: every job submitted to a scheduling round is
 //     either placed or deferred, never dropped.
+//
+// When Config.Tables supplies a decision-table set, four further
+// invariants hold the precomputed fast path to the exact one:
+// table-built, table-exact-gap, table-plan-gap, and table-monotone
+// (documented in table.go).
 package invariant
 
 import (
@@ -65,6 +70,7 @@ import (
 	"sort"
 
 	"repro/internal/category"
+	"repro/internal/decisiontable"
 	"repro/internal/hw"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -140,6 +146,12 @@ type Config struct {
 	// temporarily reconfigure the process-wide shared engine and are
 	// therefore not safe under concurrent engine use.
 	SkipEngine bool
+	// Tables, when set, enables the decision-table invariants
+	// (table-built, table-exact-gap, table-plan-gap, table-monotone)
+	// against that set: each pair's tables are built synchronously and
+	// swept on and off the grid against the exact compute path. nil
+	// skips the table checks.
+	Tables *decisiontable.Set
 }
 
 func (cfg *Config) normalize() {
@@ -263,6 +275,9 @@ func Run(cfg Config) (*Report, error) {
 				if err := checkEngineIdentical(c, p, w); err != nil {
 					return rep, fmt.Errorf("invariant: %s/%s: engine check: %w", p.Name, w.Name, err)
 				}
+			}
+			if cfg.Tables != nil {
+				checkTablePair(cfg, c, cfg.Tables, p, w)
 			}
 		}
 	}

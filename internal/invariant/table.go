@@ -1,0 +1,199 @@
+package invariant
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/allocsvc"
+	"repro/internal/decisiontable"
+	"repro/internal/dyncoord"
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/units"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// Decision-table invariants (run when Config.Tables is set):
+//
+//   - table-built: every pair whose profile is healthy gets a coord
+//     table (and CPU pairs a plan table) — a build regression must not
+//     silently demote the whole catalog to the exact path.
+//   - table-exact-gap: on a probe sweep that lands below the range, on
+//     every segment boundary, between grid points, at saturation, and
+//     beyond it, a table-served coord answer matches the exact path:
+//     status, surplus, and headers exactly; allocation within
+//     decisiontable.AllocEps; perf and power within the set's Eps.
+//   - table-plan-gap: the same contract for table-served plans (step
+//     statuses, fallback flags, weights exactly; allocations within
+//     AllocEps).
+//   - table-monotone: interpolation preserves COORD's monotonicity —
+//     table-served performance never dips below its running maximum by
+//     more than the exact path itself dips at the same budget (regime
+//     transitions re-base the split, so the exact path legitimately
+//     dips at boundaries), floored at the regime-transition tolerance
+//     the exact path is held to, plus twice the interpolation
+//     tolerance. A table whose interpolation *introduces* a dip the
+//     exact path does not have trips the check.
+
+// tableBoundaryCap bounds how many segment boundaries the sweep visits
+// per pair; large tables (hundreds of subdivided segments) are sampled
+// evenly instead of exhaustively.
+const tableBoundaryCap = 64
+
+// tableSweep builds the probe budgets for a table spanning [lo, hi]:
+// below-range, every (sampled) boundary, off-grid interior points, and
+// beyond saturation.
+func tableSweep(bounds []float64, points int) []float64 {
+	lo, hi := bounds[0], bounds[len(bounds)-1]
+	var bs []float64
+	bs = append(bs, lo/2, lo*0.999, lo, hi, hi+(hi-lo)/2, hi*2)
+	stride := 1
+	if len(bounds) > tableBoundaryCap {
+		stride = len(bounds) / tableBoundaryCap
+	}
+	for i := 0; i < len(bounds); i += stride {
+		bs = append(bs, bounds[i])
+	}
+	// Interior points offset by an irrational-ish fraction so they fall
+	// between grid points, never on them.
+	n := 4 * points
+	for i := 0; i < n; i++ {
+		bs = append(bs, lo+(hi-lo)*(float64(i)+0.382)/float64(n))
+	}
+	sort.Float64s(bs)
+	return bs
+}
+
+// checkTablePair runs the table invariants for one catalog pair.
+func checkTablePair(cfg Config, c *collector, s *decisiontable.Set, p hw.Platform, w workload.Workload) {
+	healthy := false
+	switch p.Kind {
+	case hw.KindCPU:
+		_, err := profile.ProfileCPU(p, w)
+		healthy = err == nil
+	case hw.KindGPU:
+		_, err := profile.ProfileGPU(p, w)
+		healthy = err == nil
+	}
+	coordBuilt, planBuilt := s.Build(p.Name, w.Name)
+	c.check("table-built", 0, coordBuilt || !healthy,
+		"pair profiles cleanly but its coord table failed to build")
+	if p.Kind == hw.KindCPU {
+		// Plan tables additionally require healthy per-phase profiles;
+		// a pair degraded at phase granularity legitimately has none.
+		_, phasesHealthy, _ := dyncoord.PlanTableInputs(p, w)
+		c.check("table-built", 0, planBuilt || !phasesHealthy,
+			"pair plans cleanly but its plan table failed to build")
+	}
+
+	if coordBuilt {
+		checkCoordTable(cfg, c, s, p, w)
+	}
+	if planBuilt {
+		checkPlanTable(cfg, c, s, p, w)
+	}
+}
+
+func checkCoordTable(cfg Config, c *collector, s *decisiontable.Set, p hw.Platform, w workload.Workload) {
+	bounds := s.CoordBoundaries(p.Name, w.Name)
+	if len(bounds) < 2 {
+		c.check("table-built", 0, false, "built coord table reports no boundaries")
+		return
+	}
+	eps := s.Eps()
+	var maxPerf, maxExact, maxBudget float64
+	for _, b := range tableSweep(bounds, cfg.BudgetPoints) {
+		req := wire.CoordRequest{Platform: p.Name, Workload: w.Name, Budget: b, Strategy: "coord"}
+		var got wire.CoordResponse
+		if !s.Coord(&req, &got) {
+			continue // exact-only sliver or unbuildable point: the service falls back
+		}
+		exact, err := allocsvc.ComputeCoord(req)
+		if err != nil {
+			c.check("table-exact-gap", units.Power(b), false,
+				"table served a budget the exact path rejects: %v", err)
+			continue
+		}
+		okShape := got.Status == exact.Status &&
+			got.Platform == exact.Platform && got.Workload == exact.Workload &&
+			got.Kind == exact.Kind && got.Strategy == exact.Strategy &&
+			got.Budget == exact.Budget && got.PerfUnit == exact.PerfUnit &&
+			got.SurplusWatts == exact.SurplusWatts &&
+			(got.Alloc == nil) == (exact.Alloc == nil)
+		if okShape && exact.Alloc != nil {
+			okShape = relWithin(got.Alloc.ProcWatts, exact.Alloc.ProcWatts, decisiontable.AllocEps) &&
+				relWithin(got.Alloc.MemWatts, exact.Alloc.MemWatts, decisiontable.AllocEps) &&
+				relWithin(got.ExpectedPerf, exact.ExpectedPerf, eps) &&
+				relWithin(got.ExpectedPower, exact.ExpectedPower, eps)
+		}
+		c.check("table-exact-gap", units.Power(b), okShape,
+			"table %+v diverges from exact %+v", got, exact)
+
+		if exact.Alloc != nil {
+			// Allow the dip the exact path shows at this budget relative
+			// to its own running maximum (regime re-bases), floored at
+			// the usual transition tolerance, plus interpolation slack.
+			exactDip := 0.0
+			if maxExact > 0 {
+				exactDip = 1 - exact.ExpectedPerf/maxExact
+			}
+			tol := math.Max(coordMonotoneTol, exactDip) + 2*eps
+			c.check("table-monotone", units.Power(b),
+				got.ExpectedPerf >= maxPerf*(1-tol),
+				"interpolated perf %.4f at %.2f W dips more than %.1f%% below %.4f at %.2f W",
+				got.ExpectedPerf, b, tol*100, maxPerf, maxBudget)
+			if got.ExpectedPerf > maxPerf {
+				maxPerf, maxBudget = got.ExpectedPerf, b
+			}
+			if exact.ExpectedPerf > maxExact {
+				maxExact = exact.ExpectedPerf
+			}
+		}
+	}
+}
+
+func checkPlanTable(cfg Config, c *collector, s *decisiontable.Set, p hw.Platform, w workload.Workload) {
+	bounds := s.PlanBoundaries(p.Name, w.Name)
+	if len(bounds) < 2 {
+		c.check("table-built", 0, false, "built plan table reports no boundaries")
+		return
+	}
+	for _, b := range tableSweep(bounds, cfg.BudgetPoints) {
+		req := wire.PlanRequest{Platform: p.Name, Workload: w.Name, Budget: b}
+		var got wire.PlanResponse
+		if !s.Plan(&req, &got) {
+			continue
+		}
+		exact, err := allocsvc.ComputePlan(req)
+		if err != nil {
+			c.check("table-plan-gap", units.Power(b), false,
+				"table served a budget the exact path rejects: %v", err)
+			continue
+		}
+		ok := got.Rejected == exact.Rejected && len(got.Steps) == len(exact.Steps) &&
+			got.Platform == exact.Platform && got.Workload == exact.Workload &&
+			got.Budget == exact.Budget
+		if ok {
+			for i := range exact.Steps {
+				e, g := &exact.Steps[i], &got.Steps[i]
+				ok = ok && g.Phase == e.Phase && g.Weight == e.Weight &&
+					g.Status == e.Status && g.FellBack == e.FellBack &&
+					relWithin(g.Alloc.ProcWatts, e.Alloc.ProcWatts, decisiontable.AllocEps) &&
+					relWithin(g.Alloc.MemWatts, e.Alloc.MemWatts, decisiontable.AllocEps)
+			}
+		}
+		c.check("table-plan-gap", units.Power(b), ok,
+			"table plan %+v diverges from exact %+v", got, exact)
+	}
+}
+
+// relWithin is the table contract's comparison: relative to the larger
+// magnitude with a 1-unit floor.
+func relWithin(a, b, eps float64) bool {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1 {
+		m = 1
+	}
+	return math.Abs(a-b) <= eps*m
+}

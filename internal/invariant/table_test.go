@@ -1,0 +1,59 @@
+package invariant
+
+import (
+	"testing"
+
+	"repro/internal/decisiontable"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// TestTableInvariants exercises the decision-table checks on a bounded
+// slice of the catalog — one CPU pair (coord + plan tables) and one GPU
+// pair (coord only, strict lower bound) — so tier-1 stays fast while
+// both table kinds cross every regime: below-range, boundaries,
+// off-grid interior points, saturation, and beyond.
+func TestTableInvariants(t *testing.T) {
+	cpu, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := hw.PlatformByName("titanv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := workload.ByName("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpcg, err := workload.ByName("hpcg")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Run(Config{
+		Platforms:    []hw.Platform{cpu, gpu},
+		Workloads:    []workload.Workload{stream, hpcg},
+		BudgetPoints: 4,
+		SkipEngine:   true,
+		Tables:       decisiontable.New(decisiontable.Config{}),
+	})
+	if err != nil {
+		t.Fatalf("harness error: %v", err)
+	}
+	if rep.Pairs != 2 {
+		t.Fatalf("pairs = %d, want 2", rep.Pairs)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	for _, want := range []string{
+		"table-built", "table-exact-gap", "table-plan-gap", "table-monotone",
+	} {
+		tl := rep.PerInvariant[want]
+		if tl == nil || tl.Checks == 0 {
+			t.Errorf("invariant %q never checked", want)
+		}
+	}
+	t.Logf("table checks: %d assertions", rep.Checks)
+}

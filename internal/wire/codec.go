@@ -1,0 +1,283 @@
+package wire
+
+// Per-shape encoders (append style) and decoders. Encoders append one
+// complete frame to dst and return the extended slice; they allocate
+// only if dst runs out of capacity, so a pooled buffer makes encoding
+// allocation-free in steady state. Decoders fill a caller-supplied
+// struct, reusing slice capacity, so a pooled response struct makes
+// decoding allocation-free too (for catalog vocabulary; see intern.go).
+
+// minimum encoded sizes for repeated elements, used to validate counts
+// against the bytes actually present.
+const (
+	minStep      = 2 + 8 + 8 + 8 + 2 + 1 // phase, weight, alloc, status, fellback
+	minNode      = 2 + 2                 // id, platform
+	minJob       = 2 + 2                 // id, workload
+	minPlacement = 2 + 2 + 8 + 8 + 8 + 8 + 8
+	minString    = 2
+)
+
+// AppendCoordRequest appends a TCoordRequest frame.
+func AppendCoordRequest(dst []byte, m *CoordRequest) []byte {
+	dst, p := beginFrame(dst, TCoordRequest)
+	dst = appendStr(dst, m.Platform)
+	dst = appendStr(dst, m.Workload)
+	dst = appendF64(dst, m.Budget)
+	dst = appendStr(dst, m.Strategy)
+	dst = appendU32(dst, clampU32(m.TimeoutMS))
+	return endFrame(dst, p)
+}
+
+// DecodeCoordRequest decodes a TCoordRequest frame into out.
+func DecodeCoordRequest(data []byte, out *CoordRequest) error {
+	r, err := openFrame(data, TCoordRequest)
+	if err != nil {
+		return err
+	}
+	out.Platform = r.str()
+	out.Workload = r.str()
+	out.Budget = r.f64()
+	out.Strategy = r.str()
+	out.TimeoutMS = int(r.u32())
+	return r.closeFrame()
+}
+
+// AppendCoordResponse appends a TCoordResponse frame.
+func AppendCoordResponse(dst []byte, m *CoordResponse) []byte {
+	dst, p := beginFrame(dst, TCoordResponse)
+	dst = appendStr(dst, m.Platform)
+	dst = appendStr(dst, m.Workload)
+	dst = appendStr(dst, m.Kind)
+	dst = appendStr(dst, m.Strategy)
+	dst = appendF64(dst, m.Budget)
+	dst = appendStr(dst, m.Status)
+	dst = appendBool(dst, m.Alloc != nil)
+	if m.Alloc != nil {
+		dst = appendF64(dst, m.Alloc.ProcWatts)
+		dst = appendF64(dst, m.Alloc.MemWatts)
+	}
+	dst = appendF64(dst, m.SurplusWatts)
+	dst = appendF64(dst, m.ExpectedPerf)
+	dst = appendStr(dst, m.PerfUnit)
+	dst = appendF64(dst, m.ExpectedPower)
+	return endFrame(dst, p)
+}
+
+// DecodeCoordResponse decodes a TCoordResponse frame into out. When
+// the frame carries an allocation, out.Alloc is reused if non-nil.
+func DecodeCoordResponse(data []byte, out *CoordResponse) error {
+	r, err := openFrame(data, TCoordResponse)
+	if err != nil {
+		return err
+	}
+	out.Platform = r.str()
+	out.Workload = r.str()
+	out.Kind = r.str()
+	out.Strategy = r.str()
+	out.Budget = r.f64()
+	out.Status = r.str()
+	if r.bool() {
+		if out.Alloc == nil {
+			out.Alloc = &AllocJSON{}
+		}
+		out.Alloc.ProcWatts = r.f64()
+		out.Alloc.MemWatts = r.f64()
+	} else {
+		out.Alloc = nil
+	}
+	out.SurplusWatts = r.f64()
+	out.ExpectedPerf = r.f64()
+	out.PerfUnit = r.str()
+	out.ExpectedPower = r.f64()
+	return r.closeFrame()
+}
+
+// AppendPlanRequest appends a TPlanRequest frame.
+func AppendPlanRequest(dst []byte, m *PlanRequest) []byte {
+	dst, p := beginFrame(dst, TPlanRequest)
+	dst = appendStr(dst, m.Platform)
+	dst = appendStr(dst, m.Workload)
+	dst = appendF64(dst, m.Budget)
+	dst = appendU32(dst, clampU32(m.TimeoutMS))
+	return endFrame(dst, p)
+}
+
+// DecodePlanRequest decodes a TPlanRequest frame into out.
+func DecodePlanRequest(data []byte, out *PlanRequest) error {
+	r, err := openFrame(data, TPlanRequest)
+	if err != nil {
+		return err
+	}
+	out.Platform = r.str()
+	out.Workload = r.str()
+	out.Budget = r.f64()
+	out.TimeoutMS = int(r.u32())
+	return r.closeFrame()
+}
+
+// AppendPlanResponse appends a TPlanResponse frame.
+func AppendPlanResponse(dst []byte, m *PlanResponse) []byte {
+	dst, p := beginFrame(dst, TPlanResponse)
+	dst = appendStr(dst, m.Platform)
+	dst = appendStr(dst, m.Workload)
+	dst = appendF64(dst, m.Budget)
+	dst = appendU32(dst, uint32(len(m.Steps)))
+	for i := range m.Steps {
+		st := &m.Steps[i]
+		dst = appendStr(dst, st.Phase)
+		dst = appendF64(dst, st.Weight)
+		dst = appendF64(dst, st.Alloc.ProcWatts)
+		dst = appendF64(dst, st.Alloc.MemWatts)
+		dst = appendStr(dst, st.Status)
+		dst = appendBool(dst, st.FellBack)
+	}
+	dst = appendBool(dst, m.Rejected)
+	return endFrame(dst, p)
+}
+
+// DecodePlanResponse decodes a TPlanResponse frame into out, reusing
+// out.Steps' capacity.
+func DecodePlanResponse(data []byte, out *PlanResponse) error {
+	r, err := openFrame(data, TPlanResponse)
+	if err != nil {
+		return err
+	}
+	out.Platform = r.str()
+	out.Workload = r.str()
+	out.Budget = r.f64()
+	n := r.count(minStep)
+	out.Steps = out.Steps[:0]
+	for i := 0; i < n && r.err == nil; i++ {
+		var st PlanStepJSON
+		st.Phase = r.str()
+		st.Weight = r.f64()
+		st.Alloc.ProcWatts = r.f64()
+		st.Alloc.MemWatts = r.f64()
+		st.Status = r.str()
+		st.FellBack = r.bool()
+		out.Steps = append(out.Steps, st)
+	}
+	out.Rejected = r.bool()
+	return r.closeFrame()
+}
+
+// AppendScheduleRequest appends a TScheduleRequest frame.
+func AppendScheduleRequest(dst []byte, m *ScheduleRequest) []byte {
+	dst, p := beginFrame(dst, TScheduleRequest)
+	dst = appendF64(dst, m.Budget)
+	dst = appendU32(dst, uint32(len(m.Nodes)))
+	for i := range m.Nodes {
+		dst = appendStr(dst, m.Nodes[i].ID)
+		dst = appendStr(dst, m.Nodes[i].Platform)
+	}
+	dst = appendU32(dst, uint32(len(m.Jobs)))
+	for i := range m.Jobs {
+		dst = appendStr(dst, m.Jobs[i].ID)
+		dst = appendStr(dst, m.Jobs[i].Workload)
+	}
+	dst = appendU32(dst, clampU32(m.TimeoutMS))
+	return endFrame(dst, p)
+}
+
+// DecodeScheduleRequest decodes a TScheduleRequest frame into out,
+// reusing the Nodes and Jobs capacity.
+func DecodeScheduleRequest(data []byte, out *ScheduleRequest) error {
+	r, err := openFrame(data, TScheduleRequest)
+	if err != nil {
+		return err
+	}
+	out.Budget = r.f64()
+	nn := r.count(minNode)
+	out.Nodes = out.Nodes[:0]
+	for i := 0; i < nn && r.err == nil; i++ {
+		out.Nodes = append(out.Nodes, NodeJSON{ID: r.str(), Platform: r.str()})
+	}
+	nj := r.count(minJob)
+	out.Jobs = out.Jobs[:0]
+	for i := 0; i < nj && r.err == nil; i++ {
+		out.Jobs = append(out.Jobs, JobJSON{ID: r.str(), Workload: r.str()})
+	}
+	out.TimeoutMS = int(r.u32())
+	return r.closeFrame()
+}
+
+// AppendScheduleResponse appends a TScheduleResponse frame.
+func AppendScheduleResponse(dst []byte, m *ScheduleResponse) []byte {
+	dst, p := beginFrame(dst, TScheduleResponse)
+	dst = appendU32(dst, uint32(len(m.Placements)))
+	for i := range m.Placements {
+		pl := &m.Placements[i]
+		dst = appendStr(dst, pl.Job)
+		dst = appendStr(dst, pl.Node)
+		dst = appendF64(dst, pl.Budget)
+		dst = appendF64(dst, pl.Alloc.ProcWatts)
+		dst = appendF64(dst, pl.Alloc.MemWatts)
+		dst = appendF64(dst, pl.ExpectedPerf)
+		dst = appendF64(dst, pl.ExpectedPower)
+	}
+	dst = appendU32(dst, uint32(len(m.Deferred)))
+	for _, d := range m.Deferred {
+		dst = appendStr(dst, d)
+	}
+	dst = appendF64(dst, m.PoolLeft)
+	dst = appendF64(dst, m.TotalPower)
+	return endFrame(dst, p)
+}
+
+// DecodeScheduleResponse decodes a TScheduleResponse frame into out,
+// reusing the Placements and Deferred capacity.
+func DecodeScheduleResponse(data []byte, out *ScheduleResponse) error {
+	r, err := openFrame(data, TScheduleResponse)
+	if err != nil {
+		return err
+	}
+	np := r.count(minPlacement)
+	out.Placements = out.Placements[:0]
+	for i := 0; i < np && r.err == nil; i++ {
+		var pl PlacementJSON
+		pl.Job = r.str()
+		pl.Node = r.str()
+		pl.Budget = r.f64()
+		pl.Alloc.ProcWatts = r.f64()
+		pl.Alloc.MemWatts = r.f64()
+		pl.ExpectedPerf = r.f64()
+		pl.ExpectedPower = r.f64()
+		out.Placements = append(out.Placements, pl)
+	}
+	nd := r.count(minString)
+	out.Deferred = out.Deferred[:0]
+	for i := 0; i < nd && r.err == nil; i++ {
+		out.Deferred = append(out.Deferred, r.str())
+	}
+	out.PoolLeft = r.f64()
+	out.TotalPower = r.f64()
+	return r.closeFrame()
+}
+
+// AppendError appends a TError frame.
+func AppendError(dst []byte, code int, msg string) []byte {
+	dst, p := beginFrame(dst, TError)
+	dst = appendU16(dst, uint16(code))
+	dst = appendStr(dst, msg)
+	return endFrame(dst, p)
+}
+
+// DecodeError decodes a TError frame.
+func DecodeError(data []byte) (Error, error) {
+	r, err := openFrame(data, TError)
+	if err != nil {
+		return Error{}, err
+	}
+	e := Error{Code: int(r.u16()), Message: r.str()}
+	return e, r.closeFrame()
+}
+
+func clampU32(v int) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1<<31 {
+		return 1 << 31
+	}
+	return uint32(v)
+}

@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzWireRoundTrip checks decode(encode(x)) == x for all three
+// request/response pairs, with the fuzzer driving the field values.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add("ivybridge", "stream", 227.5, "coord", uint16(250), "ok", true, uint8(2))
+	f.Add("", "", 0.0, "", uint16(0), "", false, uint8(0))
+	f.Add("titanv", "sgemm", math.Inf(1), "nvidia-default", uint16(65535), "too-small", false, uint8(5))
+	f.Fuzz(func(t *testing.T, platform, workload string, budget float64, strategy string, timeout uint16, status string, hasAlloc bool, n uint8) {
+		// NaN round-trips bit-exactly but breaks == comparison; skip it
+		// here (TestSpecialFloats covers it).
+		if math.IsNaN(budget) {
+			return
+		}
+
+		creq := CoordRequest{Platform: platform, Workload: workload, Budget: budget, Strategy: strategy, TimeoutMS: int(timeout)}
+		var creqOut CoordRequest
+		if err := DecodeCoordRequest(AppendCoordRequest(nil, &creq), &creqOut); err != nil {
+			t.Fatalf("coord request: %v", err)
+		}
+		if creqOut != creq {
+			t.Fatalf("coord request: got %+v want %+v", creqOut, creq)
+		}
+
+		cresp := CoordResponse{Platform: platform, Workload: workload, Kind: "cpu", Strategy: strategy, Budget: budget, Status: status, ExpectedPerf: budget / 2, PerfUnit: status, ExpectedPower: budget}
+		if hasAlloc {
+			cresp.Alloc = &AllocJSON{ProcWatts: budget, MemWatts: -budget}
+		}
+		var crespOut CoordResponse
+		if err := DecodeCoordResponse(AppendCoordResponse(nil, &cresp), &crespOut); err != nil {
+			t.Fatalf("coord response: %v", err)
+		}
+		if !reflect.DeepEqual(crespOut, cresp) {
+			t.Fatalf("coord response: got %+v want %+v", crespOut, cresp)
+		}
+
+		presp := PlanResponse{Platform: platform, Workload: workload, Budget: budget, Rejected: hasAlloc}
+		for i := 0; i < int(n%8); i++ {
+			presp.Steps = append(presp.Steps, PlanStepJSON{
+				Phase:  status,
+				Weight: float64(i) / 8,
+				Alloc:  AllocJSON{ProcWatts: budget, MemWatts: float64(i)},
+				Status: strategy, FellBack: i%2 == 0,
+			})
+		}
+		var prespOut PlanResponse
+		if err := DecodePlanResponse(AppendPlanResponse(nil, &presp), &prespOut); err != nil {
+			t.Fatalf("plan response: %v", err)
+		}
+		if len(presp.Steps) == 0 {
+			presp.Steps = prespOut.Steps // both empty; nil vs [] is not a wire distinction
+		}
+		if !reflect.DeepEqual(prespOut, presp) {
+			t.Fatalf("plan response: got %+v want %+v", prespOut, presp)
+		}
+
+		sreq := ScheduleRequest{Budget: budget, TimeoutMS: int(timeout)}
+		for i := 0; i < int(n%5); i++ {
+			sreq.Nodes = append(sreq.Nodes, NodeJSON{ID: platform, Platform: workload})
+			sreq.Jobs = append(sreq.Jobs, JobJSON{ID: workload, Workload: strategy})
+		}
+		var sreqOut ScheduleRequest
+		if err := DecodeScheduleRequest(AppendScheduleRequest(nil, &sreq), &sreqOut); err != nil {
+			t.Fatalf("schedule request: %v", err)
+		}
+		if len(sreq.Nodes) == 0 {
+			sreq.Nodes, sreq.Jobs = sreqOut.Nodes, sreqOut.Jobs
+		}
+		if !reflect.DeepEqual(sreqOut, sreq) {
+			t.Fatalf("schedule request: got %+v want %+v", sreqOut, sreq)
+		}
+
+		sresp := ScheduleResponse{PoolLeft: budget, TotalPower: -budget}
+		for i := 0; i < int(n%5); i++ {
+			sresp.Placements = append(sresp.Placements, PlacementJSON{
+				Job: platform, Node: workload, Budget: budget,
+				Alloc:        AllocJSON{ProcWatts: budget, MemWatts: budget / 4},
+				ExpectedPerf: budget, ExpectedPower: budget,
+			})
+			sresp.Deferred = append(sresp.Deferred, status)
+		}
+		var srespOut ScheduleResponse
+		if err := DecodeScheduleResponse(AppendScheduleResponse(nil, &sresp), &srespOut); err != nil {
+			t.Fatalf("schedule response: %v", err)
+		}
+		if len(sresp.Placements) == 0 {
+			sresp.Placements, sresp.Deferred = srespOut.Placements, srespOut.Deferred
+		}
+		if !reflect.DeepEqual(srespOut, sresp) {
+			t.Fatalf("schedule response: got %+v want %+v", srespOut, sresp)
+		}
+	})
+}
+
+// FuzzWireMalformed throws arbitrary bytes at every decoder. The
+// decoders must never panic and never over-read; any outcome other
+// than a clean error or a successful decode is a bug. Successful
+// decodes must re-encode to a frame that decodes equal (canonical
+// form round-trip).
+func FuzzWireMalformed(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("pB"))
+	f.Add(AppendCoordRequest(nil, &CoordRequest{Platform: "ivybridge", Workload: "stream", Budget: 100}))
+	f.Add(AppendCoordResponse(nil, &CoordResponse{Alloc: &AllocJSON{}}))
+	f.Add(AppendPlanResponse(nil, &PlanResponse{Steps: []PlanStepJSON{{Phase: "a"}}}))
+	f.Add(AppendScheduleRequest(nil, &ScheduleRequest{Nodes: []NodeJSON{{ID: "n"}}, Jobs: []JobJSON{{ID: "j"}}}))
+	f.Add(AppendScheduleResponse(nil, &ScheduleResponse{Placements: []PlacementJSON{{Job: "j"}}, Deferred: []string{"d"}}))
+	f.Add(AppendError(nil, 500, "boom"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		Tag(data)
+
+		var creq CoordRequest
+		if DecodeCoordRequest(data, &creq) == nil {
+			reencode(t, data, AppendCoordRequest(nil, &creq))
+		}
+		var cresp CoordResponse
+		DecodeCoordResponse(data, &cresp)
+		var preq PlanRequest
+		DecodePlanRequest(data, &preq)
+		var presp PlanResponse
+		DecodePlanResponse(data, &presp)
+		var sreq ScheduleRequest
+		DecodeScheduleRequest(data, &sreq)
+		var sresp ScheduleResponse
+		DecodeScheduleResponse(data, &sresp)
+		DecodeError(data)
+	})
+}
+
+func reencode(t *testing.T, original, again []byte) {
+	t.Helper()
+	if len(again) != len(original) {
+		t.Fatalf("re-encode changed length: %d -> %d", len(original), len(again))
+	}
+}

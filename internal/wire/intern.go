@@ -1,0 +1,48 @@
+package wire
+
+import (
+	"repro/internal/coord"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// interned maps catalog vocabulary to canonical string instances. A
+// map lookup keyed on string(b) does not allocate (the compiler elides
+// the conversion), so decoding a known platform, workload, phase,
+// status, strategy, kind, or perf-unit name costs zero heap
+// allocations; only strings outside the catalog (arbitrary node/job
+// IDs, error text) pay for their bytes.
+var interned = buildIntern()
+
+func buildIntern() map[string]string {
+	m := map[string]string{"": ""}
+	add := func(s string) { m[s] = s }
+	for _, p := range hw.Platforms() {
+		add(p.Name)
+		add(p.Kind.String())
+	}
+	for _, w := range workload.Catalog() {
+		add(w.Name)
+		add(w.PerfUnit)
+		for _, ph := range w.Phases {
+			add(ph.Name)
+		}
+	}
+	for _, st := range []coord.Status{coord.StatusOK, coord.StatusSurplus, coord.StatusTooSmall} {
+		add(st.String())
+	}
+	for _, s := range coord.CPUStrategies() {
+		add(s.Name)
+	}
+	for _, s := range coord.GPUStrategies() {
+		add(s.Name)
+	}
+	return m
+}
+
+func internBytes(b []byte) string {
+	if s, ok := interned[string(b)]; ok {
+		return s
+	}
+	return string(b)
+}

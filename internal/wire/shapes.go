@@ -1,0 +1,138 @@
+// Package wire owns the allocation service's wire surface: the three
+// request/response shapes (shared by the JSON and binary codecs) and a
+// compact length-prefixed binary protocol for them.
+//
+// The JSON encoding is the compatibility surface — encoding/json over
+// the structs below, exactly as allocsvc has always served. The binary
+// encoding exists for the hot path: a fixed header, little-endian
+// fixed-width numbers, and length-prefixed strings, designed so that
+// encoding appends into a caller-supplied (poolable) buffer and
+// decoding performs zero heap allocations for catalog vocabulary
+// (platform, workload, phase, status, and strategy names are interned
+// against the seeded catalog; only unknown strings allocate).
+//
+// Frame layout (all integers little-endian):
+//
+//	offset 0: magic "pB" (2 bytes)
+//	offset 2: version (1 byte, currently 1)
+//	offset 3: shape tag (1 byte, TCoordRequest..TError)
+//	offset 4: payload length (uint32)
+//	offset 8: payload
+//
+// Within a payload: bool is 1 byte (0/1), numbers are fixed-width
+// little-endian (float64 as IEEE 754 bits), strings are uint16 length +
+// bytes, and repeated sections are a uint32 count followed by that many
+// elements. A decoder must consume the payload exactly — trailing bytes
+// are an error, and every read is bounds-checked so malformed input can
+// neither panic nor over-read.
+package wire
+
+// AllocJSON is an allocation split on the wire.
+type AllocJSON struct {
+	ProcWatts float64 `json:"proc_watts"`
+	MemWatts  float64 `json:"mem_watts"`
+}
+
+// CoordRequest is the body of POST /v1/coord: one single-node
+// coordination decision.
+type CoordRequest struct {
+	Platform string  `json:"platform"`
+	Workload string  `json:"workload"`
+	Budget   float64 `json:"budget_watts"`
+	// Strategy selects the allocation policy; empty means "coord".
+	Strategy string `json:"strategy,omitempty"`
+	// TimeoutMS bounds this request; 0 means the service default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// CoordResponse is the decision for one (platform, workload, budget).
+type CoordResponse struct {
+	Platform string  `json:"platform"`
+	Workload string  `json:"workload"`
+	Kind     string  `json:"kind"`
+	Strategy string  `json:"strategy"`
+	Budget   float64 `json:"budget_watts"`
+	// Status is the COORD verdict: "ok", "surplus", or "too-small".
+	Status       string     `json:"status"`
+	Alloc        *AllocJSON `json:"alloc,omitempty"`
+	SurplusWatts float64    `json:"surplus_watts,omitempty"`
+	// ExpectedPerf/ExpectedPower are the simulated outcome under the
+	// allocation; absent when the budget was rejected.
+	ExpectedPerf  float64 `json:"expected_perf,omitempty"`
+	PerfUnit      string  `json:"perf_unit,omitempty"`
+	ExpectedPower float64 `json:"expected_power_watts,omitempty"`
+}
+
+// PlanRequest is the body of POST /v1/plan: a phase-aware dyncoord
+// plan for a CPU workload.
+type PlanRequest struct {
+	Platform  string  `json:"platform"`
+	Workload  string  `json:"workload"`
+	Budget    float64 `json:"budget_watts"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+}
+
+// PlanStepJSON is one phase of a plan.
+type PlanStepJSON struct {
+	Phase    string    `json:"phase"`
+	Weight   float64   `json:"weight"`
+	Alloc    AllocJSON `json:"alloc"`
+	Status   string    `json:"status"`
+	FellBack bool      `json:"fell_back,omitempty"`
+}
+
+// PlanResponse is a dyncoord plan on the wire.
+type PlanResponse struct {
+	Platform string         `json:"platform"`
+	Workload string         `json:"workload"`
+	Budget   float64        `json:"budget_watts"`
+	Steps    []PlanStepJSON `json:"steps"`
+	// Rejected reports that at least one step has no usable allocation.
+	Rejected bool `json:"rejected,omitempty"`
+}
+
+// NodeJSON names one cluster node for /v1/schedule.
+type NodeJSON struct {
+	ID       string `json:"id"`
+	Platform string `json:"platform"`
+}
+
+// JobJSON names one queued job for /v1/schedule.
+type JobJSON struct {
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+}
+
+// ScheduleRequest is the body of POST /v1/schedule: one scheduling
+// round over a cluster and a job queue.
+type ScheduleRequest struct {
+	Budget    float64    `json:"budget_watts"`
+	Nodes     []NodeJSON `json:"nodes"`
+	Jobs      []JobJSON  `json:"jobs"`
+	TimeoutMS int        `json:"timeout_ms,omitempty"`
+}
+
+// PlacementJSON is one admitted job of a round.
+type PlacementJSON struct {
+	Job           string    `json:"job"`
+	Node          string    `json:"node"`
+	Budget        float64   `json:"budget_watts"`
+	Alloc         AllocJSON `json:"alloc"`
+	ExpectedPerf  float64   `json:"expected_perf"`
+	ExpectedPower float64   `json:"expected_power_watts"`
+}
+
+// ScheduleResponse is a scheduling round's outcome on the wire.
+type ScheduleResponse struct {
+	Placements []PlacementJSON `json:"placements"`
+	Deferred   []string        `json:"deferred,omitempty"`
+	PoolLeft   float64         `json:"pool_left_watts"`
+	TotalPower float64         `json:"total_expected_power_watts"`
+}
+
+// Error is the binary counterpart of allocsvc's {"error": ...} JSON
+// body: the HTTP status code and the message, framed as TError.
+type Error struct {
+	Code    int
+	Message string
+}

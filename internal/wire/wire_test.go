@@ -1,0 +1,265 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func coordReqFixture() CoordRequest {
+	return CoordRequest{Platform: "ivybridge", Workload: "stream", Budget: 227.5, Strategy: "coord", TimeoutMS: 250}
+}
+
+func coordRespFixture() CoordResponse {
+	return CoordResponse{
+		Platform: "ivybridge", Workload: "stream", Kind: "cpu", Strategy: "coord",
+		Budget: 227.5, Status: "ok",
+		Alloc:        &AllocJSON{ProcWatts: 150.25, MemWatts: 77.25},
+		SurplusWatts: 0, ExpectedPerf: 12.5, PerfUnit: "GB/s", ExpectedPower: 225.1,
+	}
+}
+
+func planRespFixture() PlanResponse {
+	return PlanResponse{
+		Platform: "ivybridge", Workload: "bt", Budget: 200,
+		Steps: []PlanStepJSON{
+			{Phase: "compute", Weight: 0.5, Alloc: AllocJSON{ProcWatts: 160, MemWatts: 40}, Status: "ok"},
+			{Phase: "memory", Weight: 0.5, Alloc: AllocJSON{ProcWatts: 120, MemWatts: 80}, Status: "ok", FellBack: true},
+		},
+	}
+}
+
+func schedReqFixture() ScheduleRequest {
+	return ScheduleRequest{
+		Budget:    900,
+		Nodes:     []NodeJSON{{ID: "n0", Platform: "ivybridge"}, {ID: "n1", Platform: "titanv"}},
+		Jobs:      []JobJSON{{ID: "j0", Workload: "stream"}, {ID: "j1", Workload: "sgemm"}},
+		TimeoutMS: 1000,
+	}
+}
+
+func schedRespFixture() ScheduleResponse {
+	return ScheduleResponse{
+		Placements: []PlacementJSON{
+			{Job: "j0", Node: "n0", Budget: 250, Alloc: AllocJSON{ProcWatts: 180, MemWatts: 70}, ExpectedPerf: 11, ExpectedPower: 248},
+		},
+		Deferred:   []string{"j1"},
+		PoolLeft:   650,
+		TotalPower: 248,
+	}
+}
+
+func TestCoordRequestRoundTrip(t *testing.T) {
+	in := coordReqFixture()
+	var out CoordRequest
+	if err := DecodeCoordRequest(AppendCoordRequest(nil, &in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestCoordResponseRoundTrip(t *testing.T) {
+	in := coordRespFixture()
+	var out CoordResponse
+	if err := DecodeCoordResponse(AppendCoordResponse(nil, &in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestCoordResponseNilAlloc(t *testing.T) {
+	in := coordRespFixture()
+	in.Alloc = nil
+	in.Status = "too-small"
+	out := CoordResponse{Alloc: &AllocJSON{ProcWatts: 1}} // stale reuse must be cleared
+	if err := DecodeCoordResponse(AppendCoordResponse(nil, &in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Alloc != nil {
+		t.Fatalf("expected nil alloc, got %+v", out.Alloc)
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	req := PlanRequest{Platform: "ivybridge", Workload: "bt", Budget: 200, TimeoutMS: 50}
+	var gotReq PlanRequest
+	if err := DecodePlanRequest(AppendPlanRequest(nil, &req), &gotReq); err != nil {
+		t.Fatal(err)
+	}
+	if gotReq != req {
+		t.Fatalf("request round trip: got %+v want %+v", gotReq, req)
+	}
+
+	resp := planRespFixture()
+	var gotResp PlanResponse
+	// seed with stale steps to prove capacity reuse resets the slice
+	gotResp.Steps = make([]PlanStepJSON, 5)
+	if err := DecodePlanResponse(AppendPlanResponse(nil, &resp), &gotResp); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotResp, resp) {
+		t.Fatalf("response round trip: got %+v want %+v", gotResp, resp)
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	req := schedReqFixture()
+	var gotReq ScheduleRequest
+	if err := DecodeScheduleRequest(AppendScheduleRequest(nil, &req), &gotReq); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotReq, req) {
+		t.Fatalf("request round trip: got %+v want %+v", gotReq, req)
+	}
+
+	resp := schedRespFixture()
+	var gotResp ScheduleResponse
+	if err := DecodeScheduleResponse(AppendScheduleResponse(nil, &resp), &gotResp); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotResp, resp) {
+		t.Fatalf("response round trip: got %+v want %+v", gotResp, resp)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	frame := AppendError(nil, 429, "busy: queue full")
+	e, err := DecodeError(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != 429 || e.Message != "busy: queue full" {
+		t.Fatalf("got %+v", e)
+	}
+}
+
+func TestSpecialFloats(t *testing.T) {
+	in := coordReqFixture()
+	in.Budget = math.Inf(1)
+	var out CoordRequest
+	if err := DecodeCoordRequest(AppendCoordRequest(nil, &in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(out.Budget, 1) {
+		t.Fatalf("got %v", out.Budget)
+	}
+	in.Budget = math.NaN()
+	if err := DecodeCoordRequest(AppendCoordRequest(nil, &in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(out.Budget) {
+		t.Fatalf("got %v", out.Budget)
+	}
+}
+
+func TestTag(t *testing.T) {
+	frame := AppendCoordRequest(nil, &CoordRequest{})
+	tag, err := Tag(frame)
+	if err != nil || tag != TCoordRequest {
+		t.Fatalf("tag %d err %v", tag, err)
+	}
+	if _, err := Tag([]byte("pB")); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	frame[3] = 0
+	if _, err := Tag(frame); err == nil {
+		t.Fatal("zero tag accepted")
+	}
+}
+
+func TestMalformedRejected(t *testing.T) {
+	good := AppendCoordRequest(nil, &coordReqFixtureVar)
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": good[:4],
+		"bad magic":    append([]byte("XX"), good[2:]...),
+		"bad version":  mutate(good, 2, 9),
+		"wrong tag":    mutate(good, 3, TPlanRequest),
+		"truncated":    good[:len(good)-3],
+		"trailing":     append(append([]byte(nil), good...), 0xFF),
+		"length lies":  mutate(good, 4, byte(len(good))), // payload length mismatch
+	}
+	for name, frame := range cases {
+		var out CoordRequest
+		if err := DecodeCoordRequest(frame, &out); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+var coordReqFixtureVar = coordReqFixture()
+
+func TestCountGuard(t *testing.T) {
+	// A plan response claiming 2^31 steps with a tiny payload must be
+	// rejected by the count guard, not attempted.
+	resp := planRespFixture()
+	frame := AppendPlanResponse(nil, &resp)
+	// steps count lives right after platform, workload, budget
+	off := headerLen + 2 + len(resp.Platform) + 2 + len(resp.Workload) + 8
+	frame[off] = 0xFF
+	frame[off+1] = 0xFF
+	frame[off+2] = 0xFF
+	frame[off+3] = 0x7F
+	var out PlanResponse
+	if err := DecodePlanResponse(frame, &out); err == nil {
+		t.Fatal("oversized count accepted")
+	} else if !strings.Contains(err.Error(), "count") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestBoolStrictness(t *testing.T) {
+	resp := planRespFixture()
+	frame := AppendPlanResponse(nil, &resp)
+	frame[len(frame)-1] = 2 // Rejected byte
+	var out PlanResponse
+	if err := DecodePlanResponse(frame, &out); err == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+}
+
+func TestInterning(t *testing.T) {
+	in := coordRespFixture()
+	frame := AppendCoordResponse(nil, &in)
+	var out CoordResponse
+	if err := DecodeCoordResponse(frame, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Catalog names must come back as the interned instances, i.e. the
+	// decode must not have built fresh strings for them.
+	if got, ok := interned[out.Platform]; !ok || got != out.Platform {
+		t.Fatalf("platform %q not interned", out.Platform)
+	}
+	if got, ok := interned[out.Status]; !ok || got != out.Status {
+		t.Fatalf("status %q not interned", out.Status)
+	}
+}
+
+func TestBufPool(t *testing.T) {
+	b := GetBuf()
+	*b = AppendCoordRequest(*b, &coordReqFixtureVar)
+	if len(*b) == 0 {
+		t.Fatal("empty encode")
+	}
+	PutBuf(b)
+	b2 := GetBuf()
+	if len(*b2) != 0 {
+		t.Fatal("pooled buffer not reset")
+	}
+	PutBuf(b2)
+	// Oversized buffers are dropped, not pooled.
+	big := make([]byte, 0, MaxFrame+1)
+	PutBuf(&big)
+	PutBuf(nil)
+}
+
+func mutate(b []byte, i int, v byte) []byte {
+	c := append([]byte(nil), b...)
+	c[i] = v
+	return c
+}
