@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check fuzz bench benchsmoke loadsmoke chaossmoke verify-invariants cover telemetry-alloc fastpath-alloc
+.PHONY: all build test vet race check fuzz bench benchsmoke loadsmoke chaossmoke dessmoke verify-invariants cover telemetry-alloc fastpath-alloc
 
 all: check
 
@@ -40,6 +40,16 @@ loadsmoke:
 chaossmoke:
 	$(GO) test -race -run TestChaos -count=1 -v ./internal/allocclient
 
+# Discrete-event simulator gate under the race detector: the golden
+# round-loop equivalence (exact engine == RunQueue/RunQueueFaulty, byte
+# for byte) and replay determinism (same seed, same trace hash), then a
+# seeded DES run through the pbc CLI with a replay check.
+dessmoke:
+	$(GO) test -race -run 'TestGoldenEquivalence|TestReplayDeterminism' -count=1 ./internal/des
+	$(GO) run -race ./cmd/pbc des -nodes 64 -horizon 600 -seed 7 \
+		-arrival-spec "rate=0.2,burst=2,units=2e12" \
+		-fault-spec "shock.mtbs=120,shock.frac=0.25,shock.len=20" -replay-check
+
 # Cross-implementation invariant harness: the full catalog sweep under
 # the race detector, then the pbc verify CLI gate.
 verify-invariants:
@@ -61,7 +71,7 @@ fastpath-alloc:
 		awk '/BenchmarkBinaryFastPath/ { if ($$(NF-1)+0 != 0) { print "FAIL: binary fast path allocates:", $$0; exit 1 } found=1 } \
 		END { if (!found) { print "FAIL: BenchmarkBinaryFastPath did not run"; exit 1 } }'
 
-check: vet build race benchsmoke loadsmoke chaossmoke verify-invariants telemetry-alloc fastpath-alloc
+check: vet build race benchsmoke loadsmoke chaossmoke dessmoke verify-invariants telemetry-alloc fastpath-alloc
 
 # Coverage gate for the observability layer: internal/telemetry must
 # keep at least 70% statement coverage.
@@ -74,11 +84,13 @@ cover:
 		'/^total:/ { sub(/%/, "", $$3); if ($$3+0 < floor) { print "FAIL: coverage", $$3"% below floor", floor"%"; exit 1 } \
 		else { print "coverage OK:", $$3"% >= "floor"%" } }'
 
-# Short fuzz passes over the input parsers (fault specs, power units),
-# the Prometheus exposition encoder, and the binary wire codec (both a
-# round-trip property fuzzer and a malformed-frame decoder fuzzer).
+# Short fuzz passes over the input parsers (fault specs, arrival specs,
+# power units), the Prometheus exposition encoder, and the binary wire
+# codec (both a round-trip property fuzzer and a malformed-frame decoder
+# fuzzer).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseSpec -fuzztime=10s ./internal/faults
+	$(GO) test -run=^$$ -fuzz=FuzzParseArrivalSpec -fuzztime=10s ./internal/des
 	$(GO) test -run=^$$ -fuzz=FuzzParsePower -fuzztime=10s ./internal/units
 	$(GO) test -run=^$$ -fuzz=FuzzPromText -fuzztime=10s ./internal/telemetry
 	$(GO) test -run=^$$ -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/wire
@@ -88,3 +100,4 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/benchsweep
 	$(GO) run ./cmd/benchserve
+	$(GO) run ./cmd/benchdes

@@ -1,0 +1,181 @@
+// Command benchdes benchmarks the discrete-event traffic simulator and
+// writes BENCH_des.json: a seeded 10k-node, million-job run through the
+// fast engine, with event/job throughput, the trace hash, and a replay
+// check (the run executes twice and must reproduce the hash bit for
+// bit).
+//
+// Usage:
+//
+//	benchdes                    # write BENCH_des.json in the cwd
+//	benchdes -o -               # print the report to stdout
+//	benchdes -nodes 1000 -rate 4 -horizon 3600   # smaller sweep
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/faults"
+	"repro/internal/hw"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Report is the BENCH_des.json schema.
+type Report struct {
+	Schema string `json:"schema"`
+
+	Platform    string  `json:"platform"`
+	Workload    string  `json:"workload"`
+	Nodes       int     `json:"nodes"`
+	BudgetWatts float64 `json:"budget_watts"`
+	ArrivalSpec string  `json:"arrival_spec"`
+	FaultSpec   string  `json:"fault_spec,omitempty"`
+	Seed        uint64  `json:"seed"`
+	HorizonSec  float64 `json:"horizon_sec"`
+	Mode        string  `json:"mode"`
+
+	JobsArrived   int     `json:"jobs_arrived"`
+	JobsCompleted int     `json:"jobs_completed"`
+	EngineEvents  int     `json:"engine_events"`
+	MakespanSec   float64 `json:"makespan_sec"`
+	EnergyJoules  float64 `json:"energy_joules"`
+	AvgWaitSec    float64 `json:"avg_wait_sec"`
+	AvgTurnSec    float64 `json:"avg_turnaround_sec"`
+	Shocks        int     `json:"shocks"`
+	Readmissions  int     `json:"readmissions"`
+
+	WallMS       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	TraceHash    string  `json:"trace_hash"`
+	ReplayOK     bool    `json:"replay_ok"`
+	ReplayWallMS float64 `json:"replay_wall_ms"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_des.json", "output path (\"-\" for stdout)")
+	nNodes := flag.Int("nodes", 10000, "cluster node count")
+	budget := flag.Float64("budget", 208, "per-node power bound in watts")
+	platName := flag.String("platform", "ivybridge", "platform name")
+	wlName := flag.String("workload", "stream", "workload name")
+	arrival := flag.String("arrival-spec", "rate=35,burst=2,diurnal=0.3,period=3600,units=2e12,spread=0.5",
+		"arrival spec (tuned to generate >1M jobs over the default horizon)")
+	faultSpec := flag.String("fault-spec", "shock.mtbs=3600,shock.frac=0.15,shock.len=120",
+		"fault spec for budget shocks during the run (empty = fault-free)")
+	seed := flag.Uint64("seed", 1, "arrival and fault seed")
+	horizon := flag.Float64("horizon", 15000, "arrival window in simulated seconds")
+	flag.Parse()
+
+	if err := run(*out, *nNodes, *budget, *platName, *wlName, *arrival, *faultSpec, *seed, *horizon); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdes:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, nNodes int, budget float64, platName, wlName, arrival, faultSpec string, seed uint64, horizon float64) error {
+	p, err := hw.PlatformByName(platName)
+	if err != nil {
+		return err
+	}
+	w, err := workload.ByName(wlName)
+	if err != nil {
+		return err
+	}
+	arr, err := des.ParseArrivalSpec(arrival)
+	if err != nil {
+		return err
+	}
+	nodes := make([]cluster.Node, nNodes)
+	for i := range nodes {
+		nodes[i] = cluster.Node{ID: fmt.Sprintf("node%05d", i), Platform: p}
+	}
+	sched, err := cluster.NewScheduler(units.Power(budget*float64(nNodes)), nodes)
+	if err != nil {
+		return err
+	}
+	cfg := des.Config{
+		Sched: sched, Workload: w,
+		Policy: cluster.PolicyCoord, Discipline: cluster.DisciplineBackfill,
+		Arrivals: arr, Seed: seed, Horizon: horizon,
+		Mode: des.ModeFast,
+	}
+	if faultSpec != "" {
+		sp, err := faults.ParseSpec(faultSpec)
+		if err != nil {
+			return err
+		}
+		if !sp.Zero() {
+			cfg.Injector = faults.NewInjector(sp, seed)
+		}
+	}
+
+	start := time.Now()
+	res, err := des.Run(cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	start = time.Now()
+	again, err := des.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	replayWall := time.Since(start)
+
+	rep := Report{
+		Schema:      "pbc-des-bench/1",
+		Platform:    p.Name,
+		Workload:    w.Name,
+		Nodes:       nNodes,
+		BudgetWatts: budget,
+		ArrivalSpec: arr.String(),
+		FaultSpec:   faultSpec,
+		Seed:        seed,
+		HorizonSec:  horizon,
+		Mode:        res.Mode.String(),
+
+		JobsArrived:   res.Arrived,
+		JobsCompleted: res.Completed,
+		EngineEvents:  res.EngineEvents,
+		MakespanSec:   res.Makespan,
+		EnergyJoules:  res.Energy.Joules(),
+		AvgWaitSec:    res.AvgWait,
+		AvgTurnSec:    res.AvgTurnaround,
+		Shocks:        res.Faults.Shocks,
+		Readmissions:  res.Faults.Readmissions,
+
+		WallMS:       float64(wall.Microseconds()) / 1e3,
+		EventsPerSec: float64(res.EngineEvents) / wall.Seconds(),
+		JobsPerSec:   float64(res.Completed) / wall.Seconds(),
+		TraceHash:    fmt.Sprintf("%016x", res.TraceHash),
+		ReplayOK:     again.TraceHash == res.TraceHash && again.Makespan == res.Makespan,
+		ReplayWallMS: float64(replayWall.Microseconds()) / 1e3,
+	}
+	if !rep.ReplayOK {
+		return fmt.Errorf("replay diverged: trace %016x vs %016x", res.TraceHash, again.TraceHash)
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchdes: %d jobs, %d events in %v (%.3gM events/s, %.3gk jobs/s), replay OK -> %s\n",
+		rep.JobsCompleted, rep.EngineEvents, wall.Round(time.Millisecond),
+		rep.EventsPerSec/1e6, rep.JobsPerSec/1e3, out)
+	return nil
+}

@@ -547,10 +547,14 @@ func runFastPath(workers, requests int) (FastPathPhase, error) {
 	frames := make([][]byte, requests)
 	for i := range frames {
 		m := fastMix[i%len(fastMix)]
-		frames[i] = wire.AppendCoordRequest(nil, &wire.CoordRequest{
+		f, err := wire.AppendCoordRequest(nil, &wire.CoordRequest{
 			Platform: m.platform, Workload: m.workload,
 			Budget: fastBudget(m.budget, i), Strategy: "coord",
 		})
+		if err != nil {
+			return phase, fmt.Errorf("fastpath: encoding request frame: %w", err)
+		}
+		frames[i] = f
 	}
 	blats, belapsed, err := measureHandler(bh, requests, func(i int) *http.Request {
 		req := httptest.NewRequest(http.MethodPost, allocsvc.RouteCoord, strings.NewReader(string(frames[i])))

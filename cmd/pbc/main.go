@@ -13,6 +13,7 @@
 //	pbc coord -platform ivybridge -workload sra -budget 208 [-strategy coord]
 //	pbc trace -platform ivybridge -workload bt -proc 140 -mem 110 -units 5e11
 //	pbc faults -platform ivybridge -workload stream -budget 208 -fault-seed 7
+//	pbc des -nodes 100 -arrival-spec "rate=0.2,burst=2" -seed 7 -horizon 3600
 package main
 
 import (
@@ -88,6 +89,8 @@ func main() {
 		err = cmdTrace(args)
 	case "faults":
 		err = cmdFaults(args)
+	case "des":
+		err = cmdDes(args)
 	case "serve":
 		err = cmdServe(args)
 	case "call":
@@ -127,6 +130,9 @@ commands:
   calibrate fit a model to measurements (-workload name -proc W -mem W [-perf X])
   trace    time-stepped run             (-platform -workload -proc W -mem W -units N [-dt ms])
   faults   fault-injection sweep        (-platform -workload -budget W [-fault-spec s] [-fault-seed n])
+  des      discrete-event simulator     (-nodes N -arrival-spec s -seed n -horizon s [-mode fast|exact]
+                                         [-fault-spec s] [-jobs0 N] [-replay-check]; seeded open arrivals,
+                                         byte-reproducible traces)
   serve    HTTP endpoint                (-addr host:port [-rounds N] [-api-workers N] [-api-queue N]
                                          [-peers url,url,...]; /metrics + /healthz + /v1/peers +
                                          allocation API: POST /v1/coord, /v1/plan, /v1/schedule

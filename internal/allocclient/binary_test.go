@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/allocsvc"
+	"repro/internal/wire"
 )
 
 // TestBinaryRoundTrip drives a binary-enabled client against a real
@@ -133,5 +134,91 @@ func TestBinaryDemotionOn415(t *testing.T) {
 	}
 	if meta.Attempts != 1 {
 		t.Fatalf("post-demotion attempts = %d, want 1", meta.Attempts)
+	}
+}
+
+// TestBinaryPerRequestDemotionOn413 checks the frame-cap path: a shard
+// that answers 413 to a binary request (the response outgrew the frame
+// format) gets the same request again in JSON immediately — but unlike
+// 415, the shard keeps its binary capability for future requests.
+func TestBinaryPerRequestDemotionOn413(t *testing.T) {
+	svc := allocsvc.New(allocsvc.Config{Workers: 2, Binary: true})
+	defer svc.Close(context.Background())
+	inner := svc.Handler()
+	var binaryHits int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.Header.Get("Content-Type"), allocsvc.BinaryContentType) {
+			binaryHits++
+			w.Header().Set("Content-Type", allocsvc.BinaryContentType)
+			w.WriteHeader(http.StatusRequestEntityTooLarge)
+			w.Write(wire.AppendError(nil, http.StatusRequestEntityTooLarge,
+				"binary response exceeds frame cap; retry as JSON"))
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, []string{srv.URL}, nil, func(cfg *Config) { cfg.Binary = true })
+	req := allocsvc.CoordRequest{Platform: "haswell", Workload: "stream", Budget: 180}
+	resp, meta, err := c.Coord(context.Background(), req)
+	if err != nil {
+		t.Fatalf("coord through a 413ing shard: %v", err)
+	}
+	if meta.Binary {
+		t.Fatal("the 413 answer cannot have been accepted as binary")
+	}
+	if meta.Source != SourceShard || resp.Status != "ok" {
+		t.Fatalf("want a fresh shard answer, got source=%q status=%q", meta.Source, resp.Status)
+	}
+	if meta.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (binary 413, then JSON)", meta.Attempts)
+	}
+	if !c.binaryOK[0].Load() {
+		t.Fatal("413 must not demote the shard for the client's lifetime")
+	}
+	// The next request tries binary again: 413 demotion is per-request.
+	before := binaryHits
+	if _, _, err := c.Coord(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if binaryHits != before+1 {
+		t.Fatalf("second request made %d binary attempts, want 1", binaryHits-before)
+	}
+}
+
+// TestPreflightDemotionOnOversizeRequest: a request too large for the
+// binary frame format never leaves the client as binary — the encoder's
+// ErrFrameTooLarge preflight sends it as JSON on the first attempt.
+func TestPreflightDemotionOnOversizeRequest(t *testing.T) {
+	svc := allocsvc.New(allocsvc.Config{Workers: 2, Binary: true})
+	defer svc.Close(context.Background())
+	var binaryAttempts int
+	inner := svc.Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.Header.Get("Content-Type"), allocsvc.BinaryContentType) {
+			binaryAttempts++
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, []string{srv.URL}, nil, func(cfg *Config) { cfg.Binary = true })
+	// A workload name past the 64 KiB string-field cap cannot encode;
+	// the server rejects it on its merits (unknown workload) over JSON,
+	// proving the request traveled and failed validation, not encoding.
+	req := allocsvc.CoordRequest{
+		Platform: "haswell", Workload: strings.Repeat("w", 1<<16+1), Budget: 180,
+	}
+	_, _, err := c.Coord(context.Background(), req)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want the server's 400 StatusError", err)
+	}
+	if binaryAttempts != 0 {
+		t.Fatalf("oversized request attempted binary %d times, want 0", binaryAttempts)
+	}
+	if !c.binaryOK[0].Load() {
+		t.Fatal("preflight fallback must not demote the shard")
 	}
 }

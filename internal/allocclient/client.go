@@ -338,7 +338,10 @@ func (c *Client) attempt(ctx context.Context, shard int, route string, body []by
 		return nil, nil, err
 	}
 	defer resp.Body.Close()
-	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	// The read cap must exceed the JSON body a huge schedule round can
+	// legitimately produce — JSON is the designated fallback when a
+	// round outgrows the binary frame cap, so it cannot share that cap.
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -428,6 +431,17 @@ func (c *Client) do(ctx context.Context, route, key string, body, binBody []byte
 			c.binaryOK[shard].Store(false)
 			c.met.binaryDemotions.Inc()
 			lastErr = &StatusError{Code: resp.StatusCode, Msg: respMessage(resp, respBody)}
+		case resp.StatusCode == http.StatusRequestEntityTooLarge && useBinary:
+			// This request outgrew the binary frame format — the request
+			// frame, or the response the shard tried to encode. The shard
+			// still speaks binary (no lifetime demotion); only this
+			// request falls back to JSON, retrying the same shard
+			// immediately. The shard is healthy: no breaker failure, no
+			// cursor advance.
+			c.breakers[shard].success()
+			binBody = nil
+			c.met.binaryDemotions.Inc()
+			lastErr = &StatusError{Code: resp.StatusCode, Msg: respMessage(resp, respBody)}
 		case resp.StatusCode == http.StatusTooManyRequests:
 			// The shard is alive and shedding load: not a breaker
 			// failure. Honor its hint, then spread to the next shard.
@@ -482,7 +496,12 @@ func (c *Client) Coord(ctx context.Context, req allocsvc.CoordRequest) (allocsvc
 	}
 	var binBody []byte
 	if c.cfg.Binary {
-		binBody = wire.AppendCoordRequest(nil, &req)
+		binBody, err = wire.AppendCoordRequest(nil, &req)
+		if err != nil {
+			// The request does not fit a binary frame; send JSON instead.
+			binBody = nil
+			c.met.binaryDemotions.Inc()
+		}
 	}
 	key := c.coordShardKey(req.Platform, req.Workload, req.Budget)
 	raw, meta, err := c.do(ctx, allocsvc.RouteCoord, key, body, binBody)
@@ -522,7 +541,11 @@ func (c *Client) Plan(ctx context.Context, req allocsvc.PlanRequest) (allocsvc.P
 	}
 	var binBody []byte
 	if c.cfg.Binary {
-		binBody = wire.AppendPlanRequest(nil, &req)
+		binBody, err = wire.AppendPlanRequest(nil, &req)
+		if err != nil {
+			binBody = nil
+			c.met.binaryDemotions.Inc()
+		}
 	}
 	key := c.coordShardKey(req.Platform, req.Workload, req.Budget)
 	raw, meta, err := c.do(ctx, allocsvc.RoutePlan, key, body, binBody)
@@ -564,7 +587,13 @@ func (c *Client) Schedule(ctx context.Context, req allocsvc.ScheduleRequest) (al
 	}
 	var binBody []byte
 	if c.cfg.Binary {
-		binBody = wire.AppendScheduleRequest(nil, &req)
+		// A round too large for the frame format is not an error: it is
+		// exactly what the JSON fallback is for.
+		binBody, err = wire.AppendScheduleRequest(nil, &req)
+		if err != nil {
+			binBody = nil
+			c.met.binaryDemotions.Inc()
+		}
 	}
 	raw, meta, err := c.do(ctx, allocsvc.RouteSchedule, c.scheduleShardKey(req), body, binBody)
 	if err != nil {

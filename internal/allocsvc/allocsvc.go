@@ -90,6 +90,12 @@ type Config struct {
 	// requests are refused with 415 so operators can keep a JSON-only
 	// surface.
 	Binary bool
+	// Now is the clock the service reads request start/finish times
+	// from (latency histograms, Retry-After accounting). nil means
+	// time.Now; tests inject a fake clock so the latency histogram is a
+	// deterministic function of the scripted clock, the same discipline
+	// the chaos suite uses for breaker clocks.
+	Now func() time.Time
 	// Stall artificially lengthens every computation by the given
 	// duration while it holds a worker slot. The real decision
 	// functions are analytic and complete in microseconds, so on small
@@ -171,6 +177,9 @@ func New(cfg Config) *Service {
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
 	}
 	switch {
 	case cfg.SchedulerCacheSize == 0:

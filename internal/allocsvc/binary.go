@@ -112,7 +112,11 @@ func (s *Service) serveBinaryCoord(ctx context.Context, frame, dst []byte) (int,
 		sc.req.Strategy = "coord"
 	}
 	if !s.closed.Load() && s.tableCoord(&sc.req, &sc.resp) {
-		return http.StatusOK, 0, wire.AppendCoordResponse(dst, &sc.resp)
+		out, err := wire.AppendCoordResponse(dst, &sc.resp)
+		if err != nil {
+			return tooLargeFrameResponse(out)
+		}
+		return http.StatusOK, 0, out
 	}
 	req := sc.req // the closure outlives the scratch
 	key := strings.Join([]string{
@@ -131,7 +135,11 @@ func (s *Service) serveBinaryPlan(ctx context.Context, frame, dst []byte) (int, 
 		return http.StatusBadRequest, 0, wire.AppendError(dst, http.StatusBadRequest, err.Error())
 	}
 	if !s.closed.Load() && s.tablePlan(&sc.req, &sc.resp) {
-		return http.StatusOK, 0, wire.AppendPlanResponse(dst, &sc.resp)
+		out, err := wire.AppendPlanResponse(dst, &sc.resp)
+		if err != nil {
+			return tooLargeFrameResponse(out)
+		}
+		return http.StatusOK, 0, out
 	}
 	req := sc.req
 	key := strings.Join([]string{
@@ -186,9 +194,13 @@ func (s *Service) serveBinaryHTTP(w http.ResponseWriter, r *http.Request, route 
 	*buf = body
 	if err != nil {
 		wire.PutBuf(buf)
+		code := errorCode(err)
+		if code == http.StatusInternalServerError {
+			code = http.StatusBadRequest // unreadable body is the client's fault
+		}
 		s.reject(w, route, &response{
-			code:   http.StatusBadRequest,
-			body:   wire.AppendError(nil, http.StatusBadRequest, err.Error()),
+			code:   code,
+			body:   wire.AppendError(nil, code, err.Error()),
 			binary: true,
 		}, start)
 		return
@@ -205,7 +217,7 @@ func (s *Service) serveBinaryHTTP(w http.ResponseWriter, r *http.Request, route 
 	w.Write(rendered)
 	wire.PutBuf(buf)
 	wire.PutBuf(out)
-	s.count(route, code, time.Since(start))
+	s.count(route, code, s.since(start))
 }
 
 // readBinaryBody reads the whole body into buf (growing it as needed)
@@ -218,7 +230,7 @@ func readBinaryBody(body io.Reader, buf []byte) ([]byte, error) {
 		n, err := body.Read(buf[len(buf):cap(buf)])
 		buf = buf[:len(buf)+n]
 		if len(buf) > maxBody {
-			return buf, fmt.Errorf("request body exceeds %d bytes", maxBody)
+			return buf, tooLargef("binary request body exceeds %d bytes; retry as JSON", maxBody)
 		}
 		if err == io.EOF {
 			return buf, nil
@@ -233,26 +245,37 @@ func readBinaryBody(body io.Reader, buf []byte) ([]byte, error) {
 
 func okResponseBin(v any) *response {
 	var body []byte
+	var err error
 	switch m := v.(type) {
 	case CoordResponse:
-		body = wire.AppendCoordResponse(nil, &m)
+		body, err = wire.AppendCoordResponse(nil, &m)
 	case PlanResponse:
-		body = wire.AppendPlanResponse(nil, &m)
+		body, err = wire.AppendPlanResponse(nil, &m)
 	case ScheduleResponse:
-		body = wire.AppendScheduleResponse(nil, &m)
+		body, err = wire.AppendScheduleResponse(nil, &m)
 	default:
 		return errorResponseBin(fmt.Errorf("internal: unrenderable response type %T", v))
+	}
+	if err != nil {
+		// The computation succeeded but the result does not fit a binary
+		// frame (a huge schedule round). 413 tells the client to retry
+		// the same request in JSON, which has no frame cap.
+		return errorResponseBin(err)
 	}
 	return &response{code: http.StatusOK, body: body, binary: true}
 }
 
 func errorResponseBin(err error) *response {
-	code := http.StatusInternalServerError
-	var be *badRequestError
-	if asBadRequest(err, &be) {
-		code = http.StatusBadRequest
-	}
+	code := errorCode(err)
 	return &response{code: code, body: wire.AppendError(nil, code, err.Error()), binary: true}
+}
+
+// tooLargeFrameResponse is the fast-path analogue of okResponseBin's
+// oversize branch: the table hit encoded past MaxFrame, so rewind to
+// the (already-rewound) dst and answer 413 as an error frame.
+func tooLargeFrameResponse(dst []byte) (int, int, []byte) {
+	code := http.StatusRequestEntityTooLarge
+	return code, 0, wire.AppendError(dst, code, "binary response exceeds frame cap; retry as JSON")
 }
 
 func timeoutResponseBin(err error) *response {

@@ -2,6 +2,7 @@ package allocsvc
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -28,9 +29,22 @@ const (
 	RouteSchedule = "/v1/schedule"
 )
 
-// maxBody bounds request bodies; allocation requests are tiny, so
-// anything approaching this is abuse, not a big cluster.
-const maxBody = 1 << 20
+// maxBody bounds binary request bodies; it matches wire.MaxFrame so a
+// body the reader admits is also a frame the decoder accepts. Larger
+// binary requests are refused with 413 and must travel as JSON.
+const maxBody = wire.MaxFrame
+
+// maxJSONBody bounds JSON request bodies. Unlike the binary frame cap
+// this is generous: a /v1/schedule round naming tens of thousands of
+// nodes and jobs is a legitimate request, and JSON is the designated
+// fallback encoding when a round outgrows the binary frame format.
+const maxJSONBody = 8 << 20
+
+// now reads the service clock (Config.Now, default time.Now).
+func (s *Service) now() time.Time { return s.cfg.Now() }
+
+// since is time.Since against the service clock.
+func (s *Service) since(start time.Time) time.Duration { return s.cfg.Now().Sub(start) }
 
 // Register mounts the service's routes on mux.
 func (s *Service) Register(mux *http.ServeMux) {
@@ -96,12 +110,20 @@ func okResponse(v any) *response {
 }
 
 func errorResponse(err error) *response {
-	code := http.StatusInternalServerError
+	return &response{code: errorCode(err), body: renderJSON(errorJSON{Error: err.Error()})}
+}
+
+// errorCode maps a computation error to its HTTP status: 400 for
+// validation failures, 413 for oversized payloads, 500 otherwise.
+func errorCode(err error) int {
 	var be *badRequestError
 	if asBadRequest(err, &be) {
-		code = http.StatusBadRequest
+		return http.StatusBadRequest
 	}
-	return &response{code: code, body: renderJSON(errorJSON{Error: err.Error()})}
+	if isTooLarge(err) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusInternalServerError
 }
 
 func timeoutResponse(err error) *response {
@@ -155,13 +177,46 @@ func asBadRequest(err error, target **badRequestError) bool {
 	return false
 }
 
+// tooLargeError marks oversized request or response payloads so the
+// handlers answer 413 (and the binary client knows to retry in JSON)
+// instead of a generic 400/500.
+type tooLargeError struct{ msg string }
+
+func (e *tooLargeError) Error() string { return e.msg }
+
+func tooLargef(format string, args ...any) error {
+	return &tooLargeError{msg: fmt.Sprintf(format, args...)}
+}
+
+func isTooLarge(err error) bool {
+	for err != nil {
+		if _, ok := err.(*tooLargeError); ok {
+			return true
+		}
+		if errors.Is(err, wire.ErrFrameTooLarge) {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
 // decode reads and unmarshals a request body, strictly: unknown fields
 // are rejected so typos ("budget" for "budget_watts") fail loudly
-// instead of silently meaning zero watts.
+// instead of silently meaning zero watts. Oversized bodies surface as
+// 413, not 400 — the request may be well-formed, just too big.
 func decode(w http.ResponseWriter, r *http.Request, into any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return tooLargef("request body exceeds %d bytes", mbe.Limit)
+		}
 		return badRequestf("bad request body: %v", err)
 	}
 	return nil
@@ -170,17 +225,17 @@ func decode(w http.ResponseWriter, r *http.Request, into any) error {
 // serve is the shared handler tail: method check, coalesced execution,
 // response write, accounting.
 func (s *Service) serve(w http.ResponseWriter, r *http.Request, route, key string, timeout time.Duration, compute func() (any, error)) {
-	start := time.Now()
+	start := s.now()
 	resp := s.do(r.Context(), route, key, timeout, false, compute)
 	s.write(w, resp)
-	s.count(route, resp.code, time.Since(start))
+	s.count(route, resp.code, s.since(start))
 }
 
 // reject short-circuits a request that never reaches the worker pool
 // (bad method, bad body), with the same accounting as served requests.
 func (s *Service) reject(w http.ResponseWriter, route string, resp *response, start time.Time) {
 	s.write(w, resp)
-	s.count(route, resp.code, time.Since(start))
+	s.count(route, resp.code, s.since(start))
 }
 
 func (s *Service) write(w http.ResponseWriter, resp *response) {
@@ -252,7 +307,7 @@ func checkBudget(v float64) error {
 
 // handleCoord serves POST /v1/coord.
 func (s *Service) handleCoord(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	start := s.now()
 	if isBinary(r) {
 		s.serveBinaryHTTP(w, r, RouteCoord, start, s.serveBinaryCoord)
 		return
@@ -396,7 +451,7 @@ func strategyNames(kind hw.Kind) string {
 
 // handlePlan serves POST /v1/plan.
 func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	start := s.now()
 	if isBinary(r) {
 		s.serveBinaryHTTP(w, r, RoutePlan, start, s.serveBinaryPlan)
 		return
@@ -469,7 +524,7 @@ func ComputePlan(req PlanRequest) (PlanResponse, error) {
 
 // handleSchedule serves POST /v1/schedule.
 func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	start := s.now()
 	if isBinary(r) {
 		s.serveBinaryHTTP(w, r, RouteSchedule, start, s.serveBinarySchedule)
 		return

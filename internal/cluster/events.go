@@ -183,14 +183,14 @@ func (s *Scheduler) RunQueueOpts(jobs []TimedJob, policy SplitPolicy, disc Disci
 	pool := s.Budget
 	freeNodes := append([]Node(nil), s.Nodes...)
 	waiting := append([]TimedJob(nil), jobs...)
-	var active []*running
+	var active []*RunningJob
 	now := 0.0
 
 	// admit starts every waiting job that can receive a productive grant
 	// on a free node, in queue order.
 	admit := func() error {
 		var err error
-		active, waiting, freeNodes, pool, err = s.admitWaiting(
+		active, waiting, freeNodes, pool, err = s.AdmitWaiting(
 			&res, active, waiting, freeNodes, pool, now, policy, disc)
 		return err
 	}
@@ -207,26 +207,26 @@ func (s *Scheduler) RunQueueOpts(jobs []TimedJob, policy SplitPolicy, disc Disci
 		// Next completion.
 		next, idx := math.Inf(1), -1
 		for i, r := range active {
-			t := r.remaining / r.rate
+			t := r.Remaining / r.Rate
 			if t < next {
 				next, idx = t, i
 			}
 		}
 		now += next
 		for _, r := range active {
-			r.remaining -= next * r.rate
+			r.Remaining -= next * r.Rate
 		}
 		done := active[idx]
 		active = append(active[:idx], active[idx+1:]...)
-		runtime := now - done.started
-		res.Energy += units.Energy(done.power.Watts() * runtime)
-		res.Stats[done.job.ID] = JobStat{
-			Start: done.firstStart, End: now,
-			Budget: done.budget, Power: done.power, Rate: done.rate,
+		runtime := now - done.Started
+		res.Energy += units.Energy(done.Power.Watts() * runtime)
+		res.Stats[done.Job.ID] = JobStat{
+			Start: done.FirstStart, End: now,
+			Budget: done.Budget, Power: done.Power, Rate: done.Rate,
 		}
-		res.Events = append(res.Events, Event{Time: now, Kind: "finish", JobID: done.job.ID, NodeID: done.node.ID})
-		pool += done.budget
-		freeNodes = append(freeNodes, done.node)
+		res.Events = append(res.Events, Event{Time: now, Kind: "finish", JobID: done.Job.ID, NodeID: done.Node.ID})
+		pool += done.Budget
+		freeNodes = append(freeNodes, done.Node)
 
 		if err := admit(); err != nil {
 			return res, err
@@ -241,27 +241,32 @@ func (s *Scheduler) RunQueueOpts(jobs []TimedJob, policy SplitPolicy, disc Disci
 	return res, nil
 }
 
-// running is one in-flight job of an event-driven queue run.
-type running struct {
-	job       TimedJob
-	node      Node
-	remaining float64
-	rate      float64
-	power     units.Power
-	budget    units.Power
-	started   float64
-	// firstStart is the job's first admission time, preserved across
+// RunningJob is one in-flight job of an event-driven queue run. It is
+// exported so the discrete-event simulator (internal/des) can drive
+// the same admission and progress state the round loop uses — the two
+// engines share this struct and AdmitWaiting, which is what makes
+// their outputs byte-identical on the same inputs.
+type RunningJob struct {
+	Job       TimedJob
+	Node      Node
+	Remaining float64
+	Rate      float64
+	Power     units.Power
+	Budget    units.Power
+	Started   float64
+	// FirstStart is the job's first admission time, preserved across
 	// fault-driven re-admissions so wait-time stats stay meaningful.
-	firstStart float64
+	FirstStart float64
 }
 
-// admitWaiting starts every waiting job that can receive a productive
+// AdmitWaiting starts every waiting job that can receive a productive
 // grant on a free node, in queue order, and returns the updated
 // scheduler state. It is shared by the fault-free and fault-injected
-// queue engines so the two cannot drift apart.
-func (s *Scheduler) admitWaiting(res *QueueResult, active []*running, waiting []TimedJob,
+// queue engines — and, exported, by the discrete-event simulator — so
+// the engines cannot drift apart.
+func (s *Scheduler) AdmitWaiting(res *QueueResult, active []*RunningJob, waiting []TimedJob,
 	freeNodes []Node, pool units.Power, now float64,
-	policy SplitPolicy, disc Discipline) ([]*running, []TimedJob, []Node, units.Power, error) {
+	policy SplitPolicy, disc Discipline) ([]*RunningJob, []TimedJob, []Node, units.Power, error) {
 
 	var still []TimedJob
 	blocked := false
@@ -338,10 +343,10 @@ func (s *Scheduler) admitWaiting(res *QueueResult, active []*running, waiting []
 		}
 		pool -= grant
 		freeNodes = rest
-		active = append(active, &running{
-			job: j, node: node, remaining: j.Units,
-			rate: rate, power: simRes.TotalPower, budget: grant,
-			started: now, firstStart: now,
+		active = append(active, &RunningJob{
+			Job: j, Node: node, Remaining: j.Units,
+			Rate: rate, Power: simRes.TotalPower, Budget: grant,
+			Started: now, FirstStart: now,
 		})
 		res.Events = append(res.Events, Event{Time: now, Kind: "start", JobID: j.ID, NodeID: node.ID})
 		mAdmissions.Inc()

@@ -126,7 +126,7 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 	pool := s.Budget
 	freeNodes := append([]Node(nil), s.Nodes...)
 	waiting := append([]TimedJob(nil), jobs...)
-	var active []*running
+	var active []*RunningJob
 	down := map[string]bool{}
 	firstStart := map[string]float64{}
 	now := 0.0
@@ -140,7 +140,7 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 	conserve := func() {
 		var committed units.Power
 		for _, r := range active {
-			committed += r.budget
+			committed += r.Budget
 		}
 		dev := pool + committed + shockHeld - s.Budget
 		if dev < 0 {
@@ -153,22 +153,22 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 
 	admit := func() error {
 		var err error
-		active, waiting, freeNodes, pool, err = s.admitWaiting(
+		active, waiting, freeNodes, pool, err = s.AdmitWaiting(
 			&res.QueueResult, active, waiting, freeNodes, pool, now, policy, disc)
 		if err != nil {
 			return err
 		}
 		for _, r := range active {
-			if first, ok := firstStart[r.job.ID]; ok {
-				r.firstStart = first
+			if first, ok := firstStart[r.Job.ID]; ok {
+				r.FirstStart = first
 			} else {
-				firstStart[r.job.ID] = r.firstStart
+				firstStart[r.Job.ID] = r.FirstStart
 			}
 		}
 		return nil
 	}
 
-	// evict kills a running job, reclaims its grant, and re-queues it at
+	// evict kills a RunningJob job, reclaims its grant, and re-queues it at
 	// the head with its remaining work. keepNode returns the node to the
 	// free pool (budget-shock evictions: the node is healthy, only the
 	// power is gone); node-failure evictions lose the node until its
@@ -176,13 +176,13 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 	evict := func(idx int, kind string, keepNode bool) {
 		r := active[idx]
 		active = append(active[:idx], active[idx+1:]...)
-		runtime := now - r.started
-		res.Energy += units.Energy(r.power.Watts() * runtime)
-		pool += r.budget
+		runtime := now - r.Started
+		res.Energy += units.Energy(r.Power.Watts() * runtime)
+		pool += r.Budget
 		if keepNode {
-			freeNodes = append(freeNodes, r.node)
+			freeNodes = append(freeNodes, r.Node)
 		}
-		res.Faults.BudgetReclaimed += r.budget
+		res.Faults.BudgetReclaimed += r.Budget
 		res.Faults.Readmissions++
 		if keepNode {
 			mEvictShock.Inc()
@@ -190,21 +190,21 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 			mEvictNodeFail.Inc()
 		}
 		mReadmissions.Inc()
-		mReclaimedWatts.Add(r.budget.Watts())
-		j := r.job
-		j.Units = r.remaining
+		mReclaimedWatts.Add(r.Budget.Watts())
+		j := r.Job
+		j.Units = r.Remaining
 		waiting = append([]TimedJob{j}, waiting...)
-		res.Events = append(res.Events, Event{Time: now, Kind: "suspend", JobID: j.ID, NodeID: r.node.ID})
-		log.Recordf(now, "budget-reclaim", j.ID, "%s returned to pool (%s)", r.budget, kind)
+		res.Events = append(res.Events, Event{Time: now, Kind: "suspend", JobID: j.ID, NodeID: r.Node.ID})
+		log.Recordf(now, "budget-reclaim", j.ID, "%s returned to pool (%s)", r.Budget, kind)
 		log.Recordf(now, "job-readmit", j.ID, "re-queued with %.3g work units left", j.Units)
 	}
 
 	advance := func(dt float64) {
 		now += dt
 		for _, r := range active {
-			r.remaining -= dt * r.rate
-			if r.remaining < 0 {
-				r.remaining = 0
+			r.Remaining -= dt * r.Rate
+			if r.Remaining < 0 {
+				r.Remaining = 0
 			}
 		}
 	}
@@ -229,7 +229,7 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 		// Next event: completion, outage transition, or shock edge.
 		nextDone, di := math.Inf(1), -1
 		for i, r := range active {
-			t := r.remaining / r.rate
+			t := r.Remaining / r.Rate
 			if t < nextDone {
 				nextDone, di = t, i
 			}
@@ -247,7 +247,7 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 			return res, fmt.Errorf("cluster: %d job(s) can never start (%d node(s) down, pool %v): %w",
 				len(waiting), len(down), pool, ErrStarved)
 		}
-		// Nothing running and no recovery/shock edge can change that:
+		// Nothing RunningJob and no recovery/shock edge can change that:
 		// starved even though events remain.
 		if di == -1 && len(waiting) > 0 && math.IsInf(nextOutage, 1) && math.IsInf(nextShock, 1) {
 			return res, fmt.Errorf("cluster: %d job(s) can never start under budget %v: %w",
@@ -297,7 +297,7 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 			}
 			if !removed {
 				for i, r := range active {
-					if r.node.ID == ev.nodeID {
+					if r.Node.ID == ev.nodeID {
 						evict(i, "node failure", false)
 						break
 					}
@@ -324,7 +324,7 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 				for pool < 0 && len(active) > 0 {
 					latest := 0
 					for i, r := range active {
-						if r.started > active[latest].started {
+						if r.Started > active[latest].Started {
 							latest = i
 						}
 					}
@@ -341,15 +341,15 @@ func (s *Scheduler) RunQueueFaulty(jobs []TimedJob, policy SplitPolicy, disc Dis
 			advance(nextDone)
 			done := active[di]
 			active = append(active[:di], active[di+1:]...)
-			runtime := now - done.started
-			res.Energy += units.Energy(done.power.Watts() * runtime)
-			res.Stats[done.job.ID] = JobStat{
-				Start: done.firstStart, End: now,
-				Budget: done.budget, Power: done.power, Rate: done.rate,
+			runtime := now - done.Started
+			res.Energy += units.Energy(done.Power.Watts() * runtime)
+			res.Stats[done.Job.ID] = JobStat{
+				Start: done.FirstStart, End: now,
+				Budget: done.Budget, Power: done.Power, Rate: done.Rate,
 			}
-			res.Events = append(res.Events, Event{Time: now, Kind: "finish", JobID: done.job.ID, NodeID: done.node.ID})
-			pool += done.budget
-			freeNodes = append(freeNodes, done.node)
+			res.Events = append(res.Events, Event{Time: now, Kind: "finish", JobID: done.Job.ID, NodeID: done.Node.ID})
+			pool += done.Budget
+			freeNodes = append(freeNodes, done.Node)
 			if err := admit(); err != nil {
 				return res, err
 			}

@@ -48,7 +48,11 @@ func BenchmarkBinaryFastPath(b *testing.B) {
 			if !s.Coord(&req, &out) {
 				continue
 			}
-			frames = append(frames, wire.AppendCoordRequest(nil, &req))
+			frame, err := wire.AppendCoordRequest(nil, &req)
+			if err != nil {
+				b.Fatalf("encoding request frame: %v", err)
+			}
+			frames = append(frames, frame)
 		}
 	}
 	if len(frames) < len(mix) {

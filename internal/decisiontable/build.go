@@ -203,7 +203,26 @@ func (s *Set) buildCoordSegs(t *coordTable, start, end float64, depth int) []coo
 			return split()
 		}
 	}
+	for _, pb := range edgeProbes(start, end) {
+		if !s.checkCoordProbe(t, &seg, pb) {
+			return split()
+		}
+	}
 	return []coordSeg{seg}
+}
+
+// edgeProbes returns the last representable budgets inside [start, end)
+// at each rim. Segment boundaries sit on analytic regime breakpoints,
+// but the exact path's own regime comparison can flip one ulp before
+// the analytic value — a jump the fractional probes (coarsest rim
+// probe: 1/1024 of the width) cannot see. Probing the exact rim forces
+// such a segment to subdivide down to an exact-only sliver instead of
+// interpolating across the regime change.
+func edgeProbes(start, end float64) [2]float64 {
+	return [2]float64{
+		math.Nextafter(start, math.Inf(1)),
+		math.Nextafter(end, math.Inf(-1)),
+	}
 }
 
 // checkCoordProbe verifies the segment's interpolated answer at budget
@@ -413,6 +432,11 @@ func (s *Set) buildPlanSegs(t *planTable, start, end float64, depth int) []planS
 	}
 	for _, f := range probeFracs {
 		if !s.checkPlanProbe(t, &seg, start+f*w) {
+			return split()
+		}
+	}
+	for _, pb := range edgeProbes(start, end) {
+		if !s.checkPlanProbe(t, &seg, pb) {
 			return split()
 		}
 	}

@@ -258,6 +258,13 @@ func (t *coordTable) find(b float64) *coordSeg {
 	for j < len(t.segs)-1 && b >= t.segs[j].end {
 		j++
 	}
+	// The cell index rounds up when (b−lo)·invCellW lands a hair above
+	// an integer boundary, so cells[i] can name a segment starting just
+	// past b — one ulp below a regime breakpoint would then interpolate
+	// on the wrong regime's line. Walk back to the owning segment.
+	for j > 0 && b < t.segs[j].start {
+		j--
+	}
 	return &t.segs[j]
 }
 
@@ -360,6 +367,11 @@ func (t *planTable) find(b float64) *planSeg {
 	j := int(t.cells[i])
 	for j < len(t.segs)-1 && b >= t.segs[j].end {
 		j++
+	}
+	// Same rounding guard as coordTable.find: never serve b from a
+	// segment that starts past it.
+	for j > 0 && b < t.segs[j].start {
+		j--
 	}
 	return &t.segs[j]
 }

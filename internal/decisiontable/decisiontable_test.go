@@ -6,7 +6,11 @@ import (
 	"testing"
 
 	"repro/internal/allocsvc"
+	"repro/internal/coord"
+	"repro/internal/hw"
+	"repro/internal/profile"
 	"repro/internal/wire"
+	"repro/internal/workload"
 )
 
 // sweepBudgets returns a budget sweep that deliberately lands below
@@ -149,6 +153,142 @@ func TestGPUBelowMemMin(t *testing.T) {
 	var got wire.CoordResponse
 	if s.Coord(&req, &got) && got.Status == "too-small" {
 		t.Fatalf("b just above MemMin rejected by table: %+v", got)
+	}
+}
+
+// breakpointPairs is the platform × workload matrix the breakpoint
+// edge tests probe: every platform kind, memory-bound and compute-bound
+// workloads on each.
+var breakpointPairs = []struct{ platform, wl string }{
+	{"ivybridge", "stream"},
+	{"ivybridge", "dgemm"},
+	{"ivybridge", "ep"},
+	{"haswell", "stream"},
+	{"haswell", "bt"},
+	{"titanv", "gpustream"},
+	{"titanv", "hpcg"},
+	{"titanxp", "sgemm"},
+}
+
+// regimeBreakpoints returns the analytic regime boundaries for one
+// pair, in watts — the budgets where the coordination algorithm changes
+// formula and a mis-selected table segment would interpolate on the
+// wrong regime's line.
+func regimeBreakpoints(t *testing.T, platform, wl string) []float64 {
+	t.Helper()
+	p, err := hw.PlatformByName(platform)
+	if err != nil {
+		t.Fatalf("platform %s: %v", platform, err)
+	}
+	w, err := workload.ByName(wl)
+	if err != nil {
+		t.Fatalf("workload %s: %v", wl, err)
+	}
+	var breaks []float64
+	switch p.Kind {
+	case hw.KindCPU:
+		prof, err := profile.ProfileCPU(p, w)
+		if err != nil {
+			t.Fatalf("%s/%s: profile: %v", platform, wl, err)
+		}
+		for _, b := range coord.CPUBreakpoints(prof) {
+			breaks = append(breaks, b.Watts())
+		}
+	case hw.KindGPU:
+		prof, err := profile.ProfileGPU(p, w)
+		if err != nil {
+			t.Fatalf("%s/%s: profile: %v", platform, wl, err)
+		}
+		for _, b := range coord.GPUBreakpoints(prof, coord.DefaultGamma) {
+			breaks = append(breaks, b.Watts())
+		}
+	default:
+		t.Fatalf("platform %s: unknown kind %v", platform, p.Kind)
+	}
+	return breaks
+}
+
+// TestBreakpointEdgesMatchExact probes every regime breakpoint, per
+// platform × workload, at the breakpoint itself and one ulp to either
+// side. A query one ulp below a breakpoint belongs to the regime on
+// the left; serving it from the right regime's segment (the
+// edge-straddling lookup bug) interpolates across the regime change
+// and diverges from the exact path.
+func TestBreakpointEdgesMatchExact(t *testing.T) {
+	s := New(Config{})
+	for _, pair := range breakpointPairs {
+		sl := s.coord[pair.platform][pair.wl]
+		if sl == nil {
+			t.Fatalf("no slot for %s/%s", pair.platform, pair.wl)
+		}
+		if s.ensureCoord(sl) == nil {
+			t.Fatalf("coord table for %s/%s did not build", pair.platform, pair.wl)
+		}
+		for _, bp := range regimeBreakpoints(t, pair.platform, pair.wl) {
+			for _, b := range []float64{
+				math.Nextafter(bp, math.Inf(-1)),
+				bp,
+				math.Nextafter(bp, math.Inf(1)),
+			} {
+				checkCoordAgainstExact(t, s, pair.platform, pair.wl, b)
+			}
+		}
+	}
+}
+
+// TestFindNeverStraddlesEdge is the white-box half of the breakpoint
+// audit: the cell index int((b−lo)·invCellW) can round one cell high
+// when b sits one ulp below a cell boundary, and the forward-only scan
+// could then return a segment starting past b. find must always return
+// the segment that contains b.
+func TestFindNeverStraddlesEdge(t *testing.T) {
+	s := New(Config{})
+	for _, pair := range breakpointPairs {
+		tab := s.ensureCoord(s.coord[pair.platform][pair.wl])
+		if tab == nil {
+			t.Fatalf("coord table for %s/%s did not build", pair.platform, pair.wl)
+		}
+		probe := func(b float64) {
+			if b < tab.lo || b >= tab.hi {
+				return // serve() answers these before find runs
+			}
+			seg := tab.find(b)
+			if b < seg.start || b >= seg.end {
+				t.Errorf("%s/%s: find(%v) returned segment [%v, %v)",
+					pair.platform, pair.wl, b, seg.start, seg.end)
+			}
+		}
+		for _, seg := range tab.segs {
+			probe(math.Nextafter(seg.start, math.Inf(-1)))
+			probe(seg.start)
+			probe(math.Nextafter(seg.start, math.Inf(1)))
+			probe(math.Nextafter(seg.end, math.Inf(-1)))
+		}
+	}
+	// Same audit for the plan tables' find.
+	for _, pair := range []struct{ platform, wl string }{
+		{"ivybridge", "bt"}, {"haswell", "stream"},
+	} {
+		tab := s.ensurePlan(s.plan[pair.platform][pair.wl])
+		if tab == nil {
+			t.Fatalf("plan table for %s/%s did not build", pair.platform, pair.wl)
+		}
+		probe := func(b float64) {
+			if b < tab.lo || b >= tab.hi {
+				return
+			}
+			seg := tab.find(b)
+			if b < seg.start || b >= seg.end {
+				t.Errorf("%s/%s: plan find(%v) returned segment [%v, %v)",
+					pair.platform, pair.wl, b, seg.start, seg.end)
+			}
+		}
+		for _, seg := range tab.segs {
+			probe(math.Nextafter(seg.start, math.Inf(-1)))
+			probe(seg.start)
+			probe(math.Nextafter(seg.start, math.Inf(1)))
+			probe(math.Nextafter(seg.end, math.Inf(-1)))
+		}
 	}
 }
 

@@ -1,0 +1,243 @@
+package des
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Mode selects the simulation engine.
+type Mode int
+
+// Engines.
+const (
+	// ModeExact mirrors the cluster round loop operation for operation.
+	// A run whose jobs all arrive at t=0 is byte-identical to
+	// Scheduler.RunQueueOpts / RunQueueFaulty. O(active) per event.
+	ModeExact Mode = iota
+	// ModeFast indexes completions in a min-heap keyed by absolute
+	// virtual time and caches admission decisions; built for 10k-node,
+	// million-job traces with streaming stats. Deterministic, but not
+	// byte-identical to the round loop.
+	ModeFast
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeExact:
+		return "exact"
+	case ModeFast:
+		return "fast"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses "exact" or "fast".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "exact":
+		return ModeExact, nil
+	case "fast":
+		return ModeFast, nil
+	default:
+		return 0, fmt.Errorf("des: unknown mode %q (valid: exact fast)", s)
+	}
+}
+
+// Default engine bounds. Exact mode mirrors the round loop's event cap;
+// fast mode gets headroom for million-job traces.
+const (
+	defaultMaxEventsExact = 1_000_000
+	defaultMaxEventsFast  = 1 << 25
+	defaultMaxJobs        = 1 << 22
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Sched is the cluster under simulation (budget + nodes).
+	Sched *cluster.Scheduler
+	// Workload is the job workload; every generated job runs it.
+	Workload workload.Workload
+	// Policy and Discipline select the admission semantics, exactly as
+	// in the round-loop engines.
+	Policy     cluster.SplitPolicy
+	Discipline cluster.Discipline
+
+	// Jobs arrive round-synchronously at t=0 ahead of any generated
+	// traffic — the round-loop compatibility input.
+	Jobs []cluster.TimedJob
+	// Arrivals seeds the open-arrival process over [0, Horizon).
+	Arrivals ArrivalSpec
+	// Seed drives the arrival process. Same seed, same traffic.
+	Seed uint64
+	// Horizon closes the arrival window, in simulated seconds. The run
+	// itself continues until every admitted job completes.
+	Horizon float64
+
+	// Injector, when non-nil, disturbs the run with node outages and
+	// budget shocks on its deterministic schedule (see internal/faults).
+	Injector *faults.Injector
+
+	// Mode selects the engine; the zero value is ModeExact.
+	Mode Mode
+	// MaxEvents bounds the event loop (0 = per-mode default). Exceeding
+	// it is an error, converting hostile configs into diagnostics
+	// instead of unbounded spins.
+	MaxEvents int
+	// MaxJobs bounds the generated arrival trace (0 = default 4Mi).
+	MaxJobs int
+}
+
+// Result summarizes one run with streaming aggregates.
+type Result struct {
+	Mode Mode
+	// Arrived counts jobs entering the system (t=0 jobs + generated).
+	Arrived int
+	// Completed counts jobs that ran to completion.
+	Completed int
+	// EngineEvents counts discrete events processed (arrivals,
+	// completions, outage transitions, shock edges).
+	EngineEvents int
+	// Makespan is the completion time of the last job, in simulated
+	// seconds.
+	Makespan float64
+	// Energy is the total cluster energy over the run.
+	Energy units.Energy
+	// AvgWait and AvgTurnaround are per-completed-job means measured
+	// from each job's arrival time. MaxSlowdown is the worst ratio of
+	// turnaround to time-in-service.
+	AvgWait, AvgTurnaround, MaxSlowdown float64
+	// Faults carries the fault accounting (zero without an injector).
+	Faults cluster.FaultSummary
+	// TraceHash fingerprints the full event trace (FNV-1a over every
+	// event's time bits, kind, job and node). Two runs of the same
+	// config are byte-reproducible iff their hashes match.
+	TraceHash uint64
+	// Queue is the full round-loop-compatible per-job result. Exact
+	// mode only; nil in fast mode (per-job maps don't scale).
+	Queue *cluster.FaultyQueueResult
+}
+
+// Run executes the configured simulation.
+func Run(cfg Config) (Result, error) {
+	if cfg.Sched == nil {
+		return Result{}, fmt.Errorf("des: nil scheduler")
+	}
+	if len(cfg.Sched.Nodes) == 0 {
+		return Result{}, fmt.Errorf("des: scheduler has no nodes")
+	}
+	if err := cfg.Arrivals.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !cfg.Arrivals.Zero() && cfg.Horizon <= 0 {
+		return Result{}, fmt.Errorf("des: arrival spec %q needs a positive horizon", cfg.Arrivals)
+	}
+	if cfg.MaxJobs == 0 {
+		cfg.MaxJobs = defaultMaxJobs
+	}
+	if cfg.MaxEvents == 0 {
+		if cfg.Mode == ModeFast {
+			cfg.MaxEvents = defaultMaxEventsFast
+		} else {
+			cfg.MaxEvents = defaultMaxEventsExact
+		}
+	}
+	arrivals := generateArrivals(cfg.Arrivals, cfg.Seed, cfg.Horizon, cfg.MaxJobs)
+	switch cfg.Mode {
+	case ModeExact:
+		return runExact(cfg, arrivals)
+	case ModeFast:
+		return runFast(cfg, arrivals)
+	default:
+		return Result{}, fmt.Errorf("des: unknown mode %v", cfg.Mode)
+	}
+}
+
+// Trace-event kinds, one byte each, folded into the trace hash.
+const (
+	evArrive   = 'a'
+	evStart    = 's'
+	evFinish   = 'f'
+	evSuspend  = 'v'
+	evNodeFail = 'F'
+	evNodeUp   = 'R'
+	evShock    = 'S'
+	evRestore  = 'r'
+)
+
+// traceHash accumulates an FNV-1a fingerprint of the event stream. Jobs
+// and nodes are identified by dense indices so both engines hash without
+// allocating; -1 marks "no job"/"no node".
+type traceHash struct {
+	h uint64
+}
+
+func newTraceHash() traceHash {
+	return traceHash{h: 0xCBF29CE484222325}
+}
+
+func (t *traceHash) word(v uint64) {
+	for i := 0; i < 8; i++ {
+		t.h ^= v & 0xFF
+		t.h *= 0x100000001B3
+		v >>= 8
+	}
+}
+
+func (t *traceHash) event(at float64, kind byte, job, node int32) {
+	t.word(math.Float64bits(at))
+	t.h ^= uint64(kind)
+	t.h *= 0x100000001B3
+	t.word(uint64(uint32(job)))
+	t.word(uint64(uint32(node)))
+}
+
+// agg holds the streaming per-completion statistics both engines share.
+type agg struct {
+	completed          int
+	waitSum, turnSum   float64
+	maxSlowdown        float64
+}
+
+// finish folds one job completion into the aggregates.
+func (a *agg) finish(arrival, firstStart, end float64) {
+	a.completed++
+	a.waitSum += firstStart - arrival
+	a.turnSum += end - arrival
+	if run := end - firstStart; run > 0 {
+		if s := (end - arrival) / run; s > a.maxSlowdown {
+			a.maxSlowdown = s
+		}
+	}
+}
+
+// fill writes the aggregates into a Result.
+func (a *agg) fill(res *Result) {
+	res.Completed = a.completed
+	if a.completed > 0 {
+		res.AvgWait = a.waitSum / float64(a.completed)
+		res.AvgTurnaround = a.turnSum / float64(a.completed)
+	}
+	res.MaxSlowdown = a.maxSlowdown
+	if res.MaxSlowdown < 1 && a.completed > 0 {
+		res.MaxSlowdown = 1
+	}
+}
+
+// faultHorizon mirrors Scheduler.faultHorizon: total work at a
+// conservative 1e9 units/s, padded 4x, floored at one hour. The exact
+// engine must reproduce the round loop's fault schedules, so the
+// formula — including the accumulation order — matches failures.go.
+func faultHorizon(totalUnits float64) float64 {
+	h := 4 * totalUnits / 1e9
+	if h < 3600 {
+		h = 3600
+	}
+	return h
+}

@@ -1,0 +1,547 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/units"
+)
+
+// Job states in the fast engine.
+const (
+	stateWaiting = iota
+	stateActive
+	stateDone
+)
+
+// fastJob is one job's compact record: no strings, no per-job maps, so
+// million-job traces stay cache- and memory-friendly.
+type fastJob struct {
+	units      float64 // remaining work as of the last (re)admission
+	arrival    float64
+	firstStart float64 // -1 until first admission
+	started    float64
+	doneT      float64 // absolute completion time while active
+	budget     units.Power
+	power      units.Power
+	rate       float64
+	node       int32
+	gen        uint32 // bumped on eviction; stale heap/order entries miss
+	state      uint8
+}
+
+// heapItem is one pending completion, keyed by absolute virtual time
+// with an insertion sequence as the deterministic tiebreak.
+type heapItem struct {
+	t   float64
+	seq uint64
+	job int32
+	gen uint32
+}
+
+type doneHeap []heapItem
+
+func (h doneHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *doneHeap) push(it heapItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *doneHeap) pop() heapItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h).less(l, small) {
+			small = l
+		}
+		if r < n && (*h).less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// probeVal is one cached admission decision: what a single job of the
+// run's workload receives on a node of a given platform at a given pool.
+type probeVal struct {
+	ok     bool
+	budget units.Power
+	power  units.Power
+	rate   float64
+}
+
+type probeKey struct {
+	plat int
+	pool uint64 // float64 bits of the pool at probe time
+}
+
+// maxProbeCache bounds the admission cache; past it the cache resets
+// (pathological pool-value churn) rather than growing without bound.
+const maxProbeCache = 1 << 16
+
+// admEntry is one admission, in order, for most-recently-started
+// eviction scans. Entries whose job was since completed or evicted are
+// skipped lazily via the state/gen check.
+type admEntry struct {
+	job int32
+	gen uint32
+}
+
+// runFast executes the simulation with a completion heap and admission
+// caching. It keeps the round loop's semantics — admission through the
+// shared Scheduler.AdmitWaiting, grant-for-lifetime, evict-latest under
+// shocks, re-queue at the head — but indexes state for scale instead of
+// rescanning it, so its float operation order (and therefore its exact
+// event times) can differ from the exact engine in the last ulps.
+// Deterministic: one seed, one trace hash.
+func runFast(cfg Config, arrs []jobArrival) (Result, error) {
+	out := Result{Mode: ModeFast}
+	s := cfg.Sched
+
+	// Platform classes: nodes grouped by platform name, in first-seen
+	// order. Admission probes once per (class, pool) and reuses the
+	// decision for every node of the class.
+	classOf := make([]int, len(s.Nodes))
+	classIdx := map[string]int{}
+	var protoNodes []cluster.Node
+	for i, n := range s.Nodes {
+		ci, ok := classIdx[n.Platform.Name]
+		if !ok {
+			ci = len(protoNodes)
+			classIdx[n.Platform.Name] = ci
+			protoNodes = append(protoNodes, n)
+		}
+		classOf[i] = ci
+	}
+	free := make([][]int32, len(protoNodes))
+	for i := len(s.Nodes) - 1; i >= 0; i-- {
+		// Reverse push so class stacks pop nodes in scheduler order.
+		free[classOf[i]] = append(free[classOf[i]], int32(i))
+	}
+	down := make([]bool, len(s.Nodes))
+	nodeJob := make([]int32, len(s.Nodes))
+	for i := range nodeJob {
+		nodeJob[i] = -1
+	}
+
+	// Jobs: cfg.Jobs arrive at t=0 ahead of the generated trace, so job
+	// index order IS arrival order and the FIFO queue can be an index
+	// cursor instead of a deque.
+	jobs := make([]fastJob, 0, len(cfg.Jobs)+len(arrs))
+	for _, j := range cfg.Jobs {
+		if j.Units <= 0 {
+			return out, fmt.Errorf("cluster: job %q has non-positive work", j.ID)
+		}
+		jobs = append(jobs, fastJob{units: j.Units, firstStart: -1, node: -1})
+	}
+	for _, a := range arrs {
+		jobs = append(jobs, fastJob{units: a.units, arrival: a.at, firstStart: -1, node: -1})
+	}
+	out.Arrived = len(jobs)
+	qHead, qArrived := 0, len(cfg.Jobs) // FIFO window [qHead, qArrived)
+	var readmit []int32                 // evictions re-enter here, LIFO like the round loop's head prepend
+
+	// Fault schedules over the same horizon formula as the round loop,
+	// pre-resolved to node indices.
+	var totalUnits float64
+	for i := range jobs {
+		totalUnits += jobs[i].units
+	}
+	horizon := faultHorizon(totalUnits)
+	type outageEvent struct {
+		at   float64
+		node int32
+		up   bool
+	}
+	var outages []outageEvent
+	type shockEvent struct {
+		at    float64
+		delta units.Power
+	}
+	var shocks []shockEvent
+	if cfg.Injector != nil {
+		ids := make([]string, 0, len(s.Nodes))
+		byID := make(map[string]int32, len(s.Nodes))
+		for i, n := range s.Nodes {
+			ids = append(ids, n.ID)
+			byID[n.ID] = int32(i)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			for _, o := range cfg.Injector.NodeOutages(id, horizon) {
+				outages = append(outages, outageEvent{at: o.At, node: byID[id], up: false})
+				if !math.IsInf(o.Duration, 1) {
+					outages = append(outages, outageEvent{at: o.At + o.Duration, node: byID[id], up: true})
+				}
+			}
+		}
+		sort.SliceStable(outages, func(i, j int) bool {
+			if outages[i].at != outages[j].at {
+				return outages[i].at < outages[j].at
+			}
+			if outages[i].up != outages[j].up {
+				return outages[i].up
+			}
+			return outages[i].node < outages[j].node
+		})
+		for _, sh := range cfg.Injector.BudgetShocks(horizon) {
+			delta := units.Power(s.Budget.Watts() * sh.Frac)
+			shocks = append(shocks, shockEvent{at: sh.At, delta: -delta})
+			shocks = append(shocks, shockEvent{at: sh.At + sh.Duration, delta: delta})
+		}
+	}
+
+	pool := s.Budget
+	committed := units.Power(0)
+	shockHeld := units.Power(0)
+	var faultSum cluster.FaultSummary
+	conserve := func() {
+		dev := pool + committed + shockHeld - s.Budget
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > faultSum.MaxConservationError {
+			faultSum.MaxConservationError = dev
+		}
+	}
+
+	probeCache := map[probeKey]probeVal{}
+	probeJob := []cluster.TimedJob{{Job: cluster.Job{ID: "probe", Workload: cfg.Workload}, Units: 1}}
+	probe := func(class int, pool units.Power) (probeVal, error) {
+		key := probeKey{plat: class, pool: math.Float64bits(pool.Watts())}
+		if v, ok := probeCache[key]; ok {
+			return v, nil
+		}
+		var scratch cluster.QueueResult
+		active, _, _, _, err := s.AdmitWaiting(&scratch, nil, probeJob,
+			[]cluster.Node{protoNodes[class]}, pool, 0, cfg.Policy, cfg.Discipline)
+		if err != nil {
+			return probeVal{}, err
+		}
+		var v probeVal
+		if len(active) == 1 {
+			r := active[0]
+			v = probeVal{ok: true, budget: r.Budget, power: r.Power, rate: r.Rate}
+		}
+		if len(probeCache) >= maxProbeCache {
+			probeCache = map[probeKey]probeVal{}
+		}
+		probeCache[key] = v
+		return v, nil
+	}
+
+	var heap doneHeap
+	var seq uint64
+	var admOrder []admEntry
+	activeCount := 0
+	hash := newTraceHash()
+	var stats agg
+	var energy units.Energy
+	now := 0.0
+
+	// peekDone drops stale heap entries and returns the next real
+	// completion time (Inf when none).
+	peekDone := func() float64 {
+		for len(heap) > 0 {
+			top := heap[0]
+			jb := &jobs[top.job]
+			if jb.state == stateActive && jb.gen == top.gen {
+				return top.t
+			}
+			heap.pop()
+		}
+		return math.Inf(1)
+	}
+
+	queued := func() int { return len(readmit) + (qArrived - qHead) }
+
+	removeFree := func(node int32) {
+		st := free[classOf[node]]
+		for i, n := range st {
+			if n == node {
+				free[classOf[node]] = append(st[:i], st[i+1:]...)
+				return
+			}
+		}
+	}
+
+	// admitOne seats the next queued job on some free node, probing each
+	// platform class in order. Every queued job runs the same workload,
+	// so if the head job cannot start now, none behind it can either —
+	// the admission pass is O(classes), not O(queue).
+	admitOne := func() (bool, error) {
+		var j int32
+		fromReadmit := false
+		if n := len(readmit); n > 0 {
+			j = readmit[n-1]
+			fromReadmit = true
+		} else if qHead < qArrived {
+			j = int32(qHead)
+		} else {
+			return false, nil
+		}
+		for class := range free {
+			st := free[class]
+			// Drop downed nodes that failure handling missed.
+			for len(st) > 0 && down[st[len(st)-1]] {
+				st = st[:len(st)-1]
+			}
+			free[class] = st
+			if len(st) == 0 {
+				continue
+			}
+			v, err := probe(class, pool)
+			if err != nil {
+				return false, err
+			}
+			if !v.ok {
+				continue
+			}
+			node := st[len(st)-1]
+			free[class] = st[:len(st)-1]
+			if fromReadmit {
+				readmit = readmit[:len(readmit)-1]
+			} else {
+				qHead++
+			}
+			jb := &jobs[j]
+			jb.state = stateActive
+			jb.node = node
+			jb.started = now
+			if jb.firstStart < 0 {
+				jb.firstStart = now
+			}
+			jb.budget, jb.power, jb.rate = v.budget, v.power, v.rate
+			jb.doneT = now + jb.units/v.rate
+			pool -= v.budget
+			committed += v.budget
+			nodeJob[node] = j
+			seq++
+			heap.push(heapItem{t: jb.doneT, seq: seq, job: j, gen: jb.gen})
+			admOrder = append(admOrder, admEntry{job: j, gen: jb.gen})
+			activeCount++
+			hash.event(now, evStart, j, node)
+			return true, nil
+		}
+		return false, nil
+	}
+	admit := func() error {
+		for {
+			ok, err := admitOne()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+	}
+
+	evictJob := func(j int32, keepNode bool) {
+		jb := &jobs[j]
+		rem := (jb.doneT - now) * jb.rate
+		if rem < 0 {
+			rem = 0
+		}
+		jb.units = rem
+		energy += units.Energy(jb.power.Watts() * (now - jb.started))
+		pool += jb.budget
+		committed -= jb.budget
+		faultSum.BudgetReclaimed += jb.budget
+		faultSum.Readmissions++
+		node := jb.node
+		nodeJob[node] = -1
+		if keepNode {
+			free[classOf[node]] = append(free[classOf[node]], node)
+		}
+		jb.state = stateWaiting
+		jb.gen++
+		jb.node = -1
+		activeCount--
+		readmit = append(readmit, j)
+		hash.event(now, evSuspend, j, node)
+	}
+
+	// t=0 admission, mirroring the round loop's pre-loop pass: a queue
+	// that cannot start on a full budget and healthy nodes never will.
+	if err := admit(); err != nil {
+		return out, err
+	}
+	conserve()
+	if activeCount == 0 && queued() > 0 {
+		return out, fmt.Errorf("cluster: no job can start (budget %v too small for every job): %w",
+			s.Budget, cluster.ErrStarved)
+	}
+
+	oi, si, ai := 0, 0, 0
+	steps := 0
+	for ; activeCount > 0 || queued() > 0 || ai < len(arrs); steps++ {
+		conserve()
+		if steps >= cfg.MaxEvents {
+			return out, fmt.Errorf("des: fast engine exceeded %d events (spec too hostile?)", cfg.MaxEvents)
+		}
+		nextDone := peekDone()
+		nextOutage := math.Inf(1)
+		if oi < len(outages) {
+			nextOutage = outages[oi].at
+		}
+		nextShock := math.Inf(1)
+		if si < len(shocks) {
+			nextShock = shocks[si].at
+		}
+		nextArr := math.Inf(1)
+		if ai < len(arrs) {
+			nextArr = arrs[ai].at
+		}
+
+		if math.IsInf(nextDone, 1) && math.IsInf(nextOutage, 1) && math.IsInf(nextShock, 1) && math.IsInf(nextArr, 1) {
+			return out, fmt.Errorf("cluster: %d job(s) can never start (pool %v): %w",
+				queued(), pool, cluster.ErrStarved)
+		}
+
+		switch {
+		case nextOutage <= nextDone && nextOutage <= nextShock && nextOutage <= nextArr:
+			ev := outages[oi]
+			oi++
+			if ev.at > now {
+				now = ev.at
+			}
+			if ev.up {
+				if !down[ev.node] {
+					continue
+				}
+				down[ev.node] = false
+				free[classOf[ev.node]] = append(free[classOf[ev.node]], ev.node)
+				faultSum.NodeRecoveries++
+				hash.event(now, evNodeUp, -1, ev.node)
+				if err := admit(); err != nil {
+					return out, err
+				}
+				continue
+			}
+			if down[ev.node] {
+				continue
+			}
+			down[ev.node] = true
+			faultSum.NodeFailures++
+			hash.event(now, evNodeFail, -1, ev.node)
+			if j := nodeJob[ev.node]; j >= 0 {
+				evictJob(j, false)
+			} else {
+				removeFree(ev.node)
+			}
+			if err := admit(); err != nil {
+				return out, err
+			}
+
+		case nextShock <= nextDone && nextShock <= nextArr:
+			ev := shocks[si]
+			si++
+			if ev.at > now {
+				now = ev.at
+			}
+			pool += ev.delta
+			shockHeld -= ev.delta
+			if ev.delta < 0 {
+				faultSum.Shocks++
+				hash.event(now, evShock, -1, -1)
+				// Evict most recently started jobs until committed grants
+				// fit again. Admission order is started order, so scan the
+				// order log from the tail, skipping stale entries.
+				for pool < 0 && activeCount > 0 {
+					for len(admOrder) > 0 {
+						e := admOrder[len(admOrder)-1]
+						jb := &jobs[e.job]
+						if jb.state == stateActive && jb.gen == e.gen {
+							break
+						}
+						admOrder = admOrder[:len(admOrder)-1]
+					}
+					if len(admOrder) == 0 {
+						break
+					}
+					e := admOrder[len(admOrder)-1]
+					admOrder = admOrder[:len(admOrder)-1]
+					evictJob(e.job, true)
+				}
+			} else {
+				hash.event(now, evRestore, -1, -1)
+			}
+			if err := admit(); err != nil {
+				return out, err
+			}
+
+		case nextArr <= nextDone:
+			if nextArr > now {
+				now = nextArr
+			}
+			at := arrs[ai].at
+			for ai < len(arrs) && arrs[ai].at == at {
+				hash.event(now, evArrive, int32(qArrived), -1)
+				qArrived++
+				ai++
+			}
+			if err := admit(); err != nil {
+				return out, err
+			}
+
+		default:
+			it := heap.pop()
+			jb := &jobs[it.job]
+			if it.t > now {
+				now = it.t
+			}
+			jb.state = stateDone
+			energy += units.Energy(jb.power.Watts() * (now - jb.started))
+			stats.finish(jb.arrival, jb.firstStart, now)
+			pool += jb.budget
+			committed -= jb.budget
+			node := jb.node
+			nodeJob[node] = -1
+			jb.node = -1
+			free[classOf[node]] = append(free[classOf[node]], node)
+			activeCount--
+			hash.event(now, evFinish, it.job, node)
+			if err := admit(); err != nil {
+				return out, err
+			}
+		}
+	}
+	conserve()
+	faultSum.PoolLeft = pool + shockHeld
+
+	out.EngineEvents = steps
+	out.Makespan = now
+	out.Energy = energy
+	out.Faults = faultSum
+	out.TraceHash = hash.h
+	stats.fill(&out)
+	return out, nil
+}

@@ -43,6 +43,25 @@ func (r *RNG) Exp(mean float64) float64 {
 	return -mean * math.Log(1-u)
 }
 
+// Geometric returns a geometric variate with the given mean, as a
+// count ≥ 1 (number of trials to the first success). A mean at or
+// below 1 always returns 1 — the degenerate "no burst" case. The draw
+// consumes exactly one uniform, keeping forked streams' draw counts
+// predictable for replay.
+func (r *RNG) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	// Success probability p = 1/mean; invert the geometric CDF.
+	p := 1 / mean
+	u := r.Float64()
+	n := 1 + int(math.Floor(math.Log(1-u)/math.Log(1-p)))
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
 // Norm returns a standard normal variate (Box-Muller, one half used, the
 // other discarded to keep the draw count predictable).
 func (r *RNG) Norm() float64 {

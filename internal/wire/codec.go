@@ -1,11 +1,17 @@
 package wire
 
+import "math"
+
 // Per-shape encoders (append style) and decoders. Encoders append one
 // complete frame to dst and return the extended slice; they allocate
 // only if dst runs out of capacity, so a pooled buffer makes encoding
-// allocation-free in steady state. Decoders fill a caller-supplied
-// struct, reusing slice capacity, so a pooled response struct makes
-// decoding allocation-free too (for catalog vocabulary; see intern.go).
+// allocation-free in steady state. A value that cannot be represented
+// within the frame limits — a string field past 64 KiB, or a frame past
+// MaxFrame (a very large schedule round) — fails with ErrFrameTooLarge
+// and dst is returned unchanged; encoders never truncate silently.
+// Decoders fill a caller-supplied struct, reusing slice capacity, so a
+// pooled response struct makes decoding allocation-free too (for
+// catalog vocabulary; see intern.go).
 
 // minimum encoded sizes for repeated elements, used to validate counts
 // against the bytes actually present.
@@ -18,14 +24,14 @@ const (
 )
 
 // AppendCoordRequest appends a TCoordRequest frame.
-func AppendCoordRequest(dst []byte, m *CoordRequest) []byte {
-	dst, p := beginFrame(dst, TCoordRequest)
-	dst = appendStr(dst, m.Platform)
-	dst = appendStr(dst, m.Workload)
-	dst = appendF64(dst, m.Budget)
-	dst = appendStr(dst, m.Strategy)
-	dst = appendU32(dst, clampU32(m.TimeoutMS))
-	return endFrame(dst, p)
+func AppendCoordRequest(dst []byte, m *CoordRequest) ([]byte, error) {
+	e, p := beginEnc(dst, TCoordRequest)
+	e.str(m.Platform)
+	e.str(m.Workload)
+	e.f64(m.Budget)
+	e.str(m.Strategy)
+	e.u32(clampU32(m.TimeoutMS))
+	return e.finish(p)
 }
 
 // DecodeCoordRequest decodes a TCoordRequest frame into out.
@@ -43,24 +49,24 @@ func DecodeCoordRequest(data []byte, out *CoordRequest) error {
 }
 
 // AppendCoordResponse appends a TCoordResponse frame.
-func AppendCoordResponse(dst []byte, m *CoordResponse) []byte {
-	dst, p := beginFrame(dst, TCoordResponse)
-	dst = appendStr(dst, m.Platform)
-	dst = appendStr(dst, m.Workload)
-	dst = appendStr(dst, m.Kind)
-	dst = appendStr(dst, m.Strategy)
-	dst = appendF64(dst, m.Budget)
-	dst = appendStr(dst, m.Status)
-	dst = appendBool(dst, m.Alloc != nil)
+func AppendCoordResponse(dst []byte, m *CoordResponse) ([]byte, error) {
+	e, p := beginEnc(dst, TCoordResponse)
+	e.str(m.Platform)
+	e.str(m.Workload)
+	e.str(m.Kind)
+	e.str(m.Strategy)
+	e.f64(m.Budget)
+	e.str(m.Status)
+	e.bool(m.Alloc != nil)
 	if m.Alloc != nil {
-		dst = appendF64(dst, m.Alloc.ProcWatts)
-		dst = appendF64(dst, m.Alloc.MemWatts)
+		e.f64(m.Alloc.ProcWatts)
+		e.f64(m.Alloc.MemWatts)
 	}
-	dst = appendF64(dst, m.SurplusWatts)
-	dst = appendF64(dst, m.ExpectedPerf)
-	dst = appendStr(dst, m.PerfUnit)
-	dst = appendF64(dst, m.ExpectedPower)
-	return endFrame(dst, p)
+	e.f64(m.SurplusWatts)
+	e.f64(m.ExpectedPerf)
+	e.str(m.PerfUnit)
+	e.f64(m.ExpectedPower)
+	return e.finish(p)
 }
 
 // DecodeCoordResponse decodes a TCoordResponse frame into out. When
@@ -93,13 +99,13 @@ func DecodeCoordResponse(data []byte, out *CoordResponse) error {
 }
 
 // AppendPlanRequest appends a TPlanRequest frame.
-func AppendPlanRequest(dst []byte, m *PlanRequest) []byte {
-	dst, p := beginFrame(dst, TPlanRequest)
-	dst = appendStr(dst, m.Platform)
-	dst = appendStr(dst, m.Workload)
-	dst = appendF64(dst, m.Budget)
-	dst = appendU32(dst, clampU32(m.TimeoutMS))
-	return endFrame(dst, p)
+func AppendPlanRequest(dst []byte, m *PlanRequest) ([]byte, error) {
+	e, p := beginEnc(dst, TPlanRequest)
+	e.str(m.Platform)
+	e.str(m.Workload)
+	e.f64(m.Budget)
+	e.u32(clampU32(m.TimeoutMS))
+	return e.finish(p)
 }
 
 // DecodePlanRequest decodes a TPlanRequest frame into out.
@@ -116,23 +122,23 @@ func DecodePlanRequest(data []byte, out *PlanRequest) error {
 }
 
 // AppendPlanResponse appends a TPlanResponse frame.
-func AppendPlanResponse(dst []byte, m *PlanResponse) []byte {
-	dst, p := beginFrame(dst, TPlanResponse)
-	dst = appendStr(dst, m.Platform)
-	dst = appendStr(dst, m.Workload)
-	dst = appendF64(dst, m.Budget)
-	dst = appendU32(dst, uint32(len(m.Steps)))
+func AppendPlanResponse(dst []byte, m *PlanResponse) ([]byte, error) {
+	e, p := beginEnc(dst, TPlanResponse)
+	e.str(m.Platform)
+	e.str(m.Workload)
+	e.f64(m.Budget)
+	e.u32(uint32(len(m.Steps)))
 	for i := range m.Steps {
 		st := &m.Steps[i]
-		dst = appendStr(dst, st.Phase)
-		dst = appendF64(dst, st.Weight)
-		dst = appendF64(dst, st.Alloc.ProcWatts)
-		dst = appendF64(dst, st.Alloc.MemWatts)
-		dst = appendStr(dst, st.Status)
-		dst = appendBool(dst, st.FellBack)
+		e.str(st.Phase)
+		e.f64(st.Weight)
+		e.f64(st.Alloc.ProcWatts)
+		e.f64(st.Alloc.MemWatts)
+		e.str(st.Status)
+		e.bool(st.FellBack)
 	}
-	dst = appendBool(dst, m.Rejected)
-	return endFrame(dst, p)
+	e.bool(m.Rejected)
+	return e.finish(p)
 }
 
 // DecodePlanResponse decodes a TPlanResponse frame into out, reusing
@@ -161,22 +167,24 @@ func DecodePlanResponse(data []byte, out *PlanResponse) error {
 	return r.closeFrame()
 }
 
-// AppendScheduleRequest appends a TScheduleRequest frame.
-func AppendScheduleRequest(dst []byte, m *ScheduleRequest) []byte {
-	dst, p := beginFrame(dst, TScheduleRequest)
-	dst = appendF64(dst, m.Budget)
-	dst = appendU32(dst, uint32(len(m.Nodes)))
+// AppendScheduleRequest appends a TScheduleRequest frame. A request
+// over MaxFrame (a cluster round naming tens of thousands of nodes and
+// jobs) fails with ErrFrameTooLarge; such rounds must travel as JSON.
+func AppendScheduleRequest(dst []byte, m *ScheduleRequest) ([]byte, error) {
+	e, p := beginEnc(dst, TScheduleRequest)
+	e.f64(m.Budget)
+	e.u32(uint32(len(m.Nodes)))
 	for i := range m.Nodes {
-		dst = appendStr(dst, m.Nodes[i].ID)
-		dst = appendStr(dst, m.Nodes[i].Platform)
+		e.str(m.Nodes[i].ID)
+		e.str(m.Nodes[i].Platform)
 	}
-	dst = appendU32(dst, uint32(len(m.Jobs)))
+	e.u32(uint32(len(m.Jobs)))
 	for i := range m.Jobs {
-		dst = appendStr(dst, m.Jobs[i].ID)
-		dst = appendStr(dst, m.Jobs[i].Workload)
+		e.str(m.Jobs[i].ID)
+		e.str(m.Jobs[i].Workload)
 	}
-	dst = appendU32(dst, clampU32(m.TimeoutMS))
-	return endFrame(dst, p)
+	e.u32(clampU32(m.TimeoutMS))
+	return e.finish(p)
 }
 
 // DecodeScheduleRequest decodes a TScheduleRequest frame into out,
@@ -201,27 +209,29 @@ func DecodeScheduleRequest(data []byte, out *ScheduleRequest) error {
 	return r.closeFrame()
 }
 
-// AppendScheduleResponse appends a TScheduleResponse frame.
-func AppendScheduleResponse(dst []byte, m *ScheduleResponse) []byte {
-	dst, p := beginFrame(dst, TScheduleResponse)
-	dst = appendU32(dst, uint32(len(m.Placements)))
+// AppendScheduleResponse appends a TScheduleResponse frame. Like the
+// request shape it can legitimately exceed MaxFrame for huge rounds, in
+// which case ErrFrameTooLarge tells the server to answer in JSON.
+func AppendScheduleResponse(dst []byte, m *ScheduleResponse) ([]byte, error) {
+	e, p := beginEnc(dst, TScheduleResponse)
+	e.u32(uint32(len(m.Placements)))
 	for i := range m.Placements {
 		pl := &m.Placements[i]
-		dst = appendStr(dst, pl.Job)
-		dst = appendStr(dst, pl.Node)
-		dst = appendF64(dst, pl.Budget)
-		dst = appendF64(dst, pl.Alloc.ProcWatts)
-		dst = appendF64(dst, pl.Alloc.MemWatts)
-		dst = appendF64(dst, pl.ExpectedPerf)
-		dst = appendF64(dst, pl.ExpectedPower)
+		e.str(pl.Job)
+		e.str(pl.Node)
+		e.f64(pl.Budget)
+		e.f64(pl.Alloc.ProcWatts)
+		e.f64(pl.Alloc.MemWatts)
+		e.f64(pl.ExpectedPerf)
+		e.f64(pl.ExpectedPower)
 	}
-	dst = appendU32(dst, uint32(len(m.Deferred)))
+	e.u32(uint32(len(m.Deferred)))
 	for _, d := range m.Deferred {
-		dst = appendStr(dst, d)
+		e.str(d)
 	}
-	dst = appendF64(dst, m.PoolLeft)
-	dst = appendF64(dst, m.TotalPower)
-	return endFrame(dst, p)
+	e.f64(m.PoolLeft)
+	e.f64(m.TotalPower)
+	return e.finish(p)
 }
 
 // DecodeScheduleResponse decodes a TScheduleResponse frame into out,
@@ -254,11 +264,18 @@ func DecodeScheduleResponse(data []byte, out *ScheduleResponse) error {
 	return r.closeFrame()
 }
 
-// AppendError appends a TError frame.
+// AppendError appends a TError frame. Error frames must always be
+// encodable — they are what the server sends when encoding anything
+// else failed — so an over-long message is clamped to the string-field
+// cap here, explicitly, rather than ever failing.
 func AppendError(dst []byte, code int, msg string) []byte {
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
 	dst, p := beginFrame(dst, TError)
 	dst = appendU16(dst, uint16(code))
-	dst = appendStr(dst, msg)
+	dst = appendU16(dst, uint16(len(msg)))
+	dst = append(dst, msg...)
 	return endFrame(dst, p)
 }
 

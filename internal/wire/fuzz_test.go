@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"math"
 	"reflect"
 	"testing"
@@ -18,10 +19,21 @@ func FuzzWireRoundTrip(f *testing.F) {
 		if math.IsNaN(budget) {
 			return
 		}
+		// Strings past the 64 KiB field cap must fail loudly with the
+		// typed sentinel, never truncate.
+		for _, s := range []string{platform, workload, strategy, status} {
+			if len(s) > math.MaxUint16 {
+				_, err := AppendCoordRequest(nil, &CoordRequest{Platform: platform, Workload: workload, Strategy: strategy})
+				if !errors.Is(err, ErrFrameTooLarge) {
+					t.Fatalf("oversized string field: err=%v, want ErrFrameTooLarge", err)
+				}
+				return
+			}
+		}
 
 		creq := CoordRequest{Platform: platform, Workload: workload, Budget: budget, Strategy: strategy, TimeoutMS: int(timeout)}
 		var creqOut CoordRequest
-		if err := DecodeCoordRequest(AppendCoordRequest(nil, &creq), &creqOut); err != nil {
+		if err := DecodeCoordRequest(mustAppendCoordRequest(nil, &creq), &creqOut); err != nil {
 			t.Fatalf("coord request: %v", err)
 		}
 		if creqOut != creq {
@@ -33,7 +45,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 			cresp.Alloc = &AllocJSON{ProcWatts: budget, MemWatts: -budget}
 		}
 		var crespOut CoordResponse
-		if err := DecodeCoordResponse(AppendCoordResponse(nil, &cresp), &crespOut); err != nil {
+		if err := DecodeCoordResponse(mustAppendCoordResponse(nil, &cresp), &crespOut); err != nil {
 			t.Fatalf("coord response: %v", err)
 		}
 		if !reflect.DeepEqual(crespOut, cresp) {
@@ -50,7 +62,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 			})
 		}
 		var prespOut PlanResponse
-		if err := DecodePlanResponse(AppendPlanResponse(nil, &presp), &prespOut); err != nil {
+		if err := DecodePlanResponse(mustAppendPlanResponse(nil, &presp), &prespOut); err != nil {
 			t.Fatalf("plan response: %v", err)
 		}
 		if len(presp.Steps) == 0 {
@@ -66,7 +78,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 			sreq.Jobs = append(sreq.Jobs, JobJSON{ID: workload, Workload: strategy})
 		}
 		var sreqOut ScheduleRequest
-		if err := DecodeScheduleRequest(AppendScheduleRequest(nil, &sreq), &sreqOut); err != nil {
+		if err := DecodeScheduleRequest(mustAppendScheduleRequest(nil, &sreq), &sreqOut); err != nil {
 			t.Fatalf("schedule request: %v", err)
 		}
 		if len(sreq.Nodes) == 0 {
@@ -86,7 +98,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 			sresp.Deferred = append(sresp.Deferred, status)
 		}
 		var srespOut ScheduleResponse
-		if err := DecodeScheduleResponse(AppendScheduleResponse(nil, &sresp), &srespOut); err != nil {
+		if err := DecodeScheduleResponse(mustAppendScheduleResponse(nil, &sresp), &srespOut); err != nil {
 			t.Fatalf("schedule response: %v", err)
 		}
 		if len(sresp.Placements) == 0 {
@@ -106,18 +118,18 @@ func FuzzWireRoundTrip(f *testing.F) {
 func FuzzWireMalformed(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("pB"))
-	f.Add(AppendCoordRequest(nil, &CoordRequest{Platform: "ivybridge", Workload: "stream", Budget: 100}))
-	f.Add(AppendCoordResponse(nil, &CoordResponse{Alloc: &AllocJSON{}}))
-	f.Add(AppendPlanResponse(nil, &PlanResponse{Steps: []PlanStepJSON{{Phase: "a"}}}))
-	f.Add(AppendScheduleRequest(nil, &ScheduleRequest{Nodes: []NodeJSON{{ID: "n"}}, Jobs: []JobJSON{{ID: "j"}}}))
-	f.Add(AppendScheduleResponse(nil, &ScheduleResponse{Placements: []PlacementJSON{{Job: "j"}}, Deferred: []string{"d"}}))
+	f.Add(mustAppendCoordRequest(nil, &CoordRequest{Platform: "ivybridge", Workload: "stream", Budget: 100}))
+	f.Add(mustAppendCoordResponse(nil, &CoordResponse{Alloc: &AllocJSON{}}))
+	f.Add(mustAppendPlanResponse(nil, &PlanResponse{Steps: []PlanStepJSON{{Phase: "a"}}}))
+	f.Add(mustAppendScheduleRequest(nil, &ScheduleRequest{Nodes: []NodeJSON{{ID: "n"}}, Jobs: []JobJSON{{ID: "j"}}}))
+	f.Add(mustAppendScheduleResponse(nil, &ScheduleResponse{Placements: []PlacementJSON{{Job: "j"}}, Deferred: []string{"d"}}))
 	f.Add(AppendError(nil, 500, "boom"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		Tag(data)
 
 		var creq CoordRequest
 		if DecodeCoordRequest(data, &creq) == nil {
-			reencode(t, data, AppendCoordRequest(nil, &creq))
+			reencode(t, data, mustAppendCoordRequest(nil, &creq))
 		}
 		var cresp CoordResponse
 		DecodeCoordResponse(data, &cresp)

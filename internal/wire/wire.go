@@ -42,6 +42,14 @@ var (
 	errTooShort  = fmt.Errorf("%w: truncated", ErrMalformed)
 )
 
+// ErrFrameTooLarge reports that a value cannot be encoded within the
+// frame format's limits: the whole frame would exceed MaxFrame, or a
+// string field would exceed the 64 KiB length prefix. Encoders return
+// it (match with errors.Is) instead of ever truncating silently; the
+// caller decides whether to fail the request or fall back to a
+// different encoding (allocclient demotes the request to JSON).
+var ErrFrameTooLarge = errors.New("wire: frame exceeds encoding limits")
+
 func malformed(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
 }
@@ -110,12 +118,70 @@ func appendF64(dst []byte, v float64) []byte {
 		byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
 }
 
-func appendStr(dst []byte, s string) []byte {
-	if len(s) > math.MaxUint16 {
-		s = s[:math.MaxUint16]
+// enc accumulates one frame with sticky error semantics: the first
+// limit violation (oversized string field, frame past MaxFrame) records
+// ErrFrameTooLarge and finish rewinds the partial frame, so a failed
+// encode never leaves truncated bytes behind. The struct never escapes
+// its Append* caller, keeping the hot path allocation-free.
+type enc struct {
+	b     []byte
+	start int // frame header offset, for rewinding on error
+	err   error
+}
+
+func beginEnc(dst []byte, tag byte) (enc, int) {
+	start := len(dst)
+	dst, p := beginFrame(dst, tag)
+	return enc{b: dst, start: start}, p
+}
+
+func (e *enc) bool(v bool) {
+	if e.err == nil {
+		e.b = appendBool(e.b, v)
 	}
-	dst = appendU16(dst, uint16(len(s)))
-	return append(dst, s...)
+}
+
+func (e *enc) u16(v uint16) {
+	if e.err == nil {
+		e.b = appendU16(e.b, v)
+	}
+}
+
+func (e *enc) u32(v uint32) {
+	if e.err == nil {
+		e.b = appendU32(e.b, v)
+	}
+}
+
+func (e *enc) f64(v float64) {
+	if e.err == nil {
+		e.b = appendF64(e.b, v)
+	}
+}
+
+func (e *enc) str(s string) {
+	if e.err != nil {
+		return
+	}
+	if len(s) > math.MaxUint16 {
+		e.err = fmt.Errorf("%w: string field is %d bytes, cap %d", ErrFrameTooLarge, len(s), math.MaxUint16)
+		return
+	}
+	e.b = appendU16(e.b, uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// finish validates the frame against MaxFrame, patches the length, and
+// returns the extended buffer. On any error the buffer is rewound to
+// its pre-frame length: callers get back exactly what they passed in.
+func (e *enc) finish(payloadStart int) ([]byte, error) {
+	if e.err == nil && len(e.b)-e.start > MaxFrame {
+		e.err = fmt.Errorf("%w: encoded frame is %d bytes, cap %d", ErrFrameTooLarge, len(e.b)-e.start, MaxFrame)
+	}
+	if e.err != nil {
+		return e.b[:e.start], e.err
+	}
+	return endFrame(e.b, payloadStart), nil
 }
 
 // --- decoding primitives ---

@@ -1,11 +1,62 @@
 package wire
 
 import (
+	"errors"
 	"math"
 	"reflect"
 	"strings"
 	"testing"
 )
+
+// mustAppend* wrap the fallible encoders for fixtures that are known to
+// fit the frame limits.
+func mustAppendCoordRequest(dst []byte, m *CoordRequest) []byte {
+	out, err := AppendCoordRequest(dst, m)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func mustAppendCoordResponse(dst []byte, m *CoordResponse) []byte {
+	out, err := AppendCoordResponse(dst, m)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func mustAppendPlanRequest(dst []byte, m *PlanRequest) []byte {
+	out, err := AppendPlanRequest(dst, m)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func mustAppendPlanResponse(dst []byte, m *PlanResponse) []byte {
+	out, err := AppendPlanResponse(dst, m)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func mustAppendScheduleRequest(dst []byte, m *ScheduleRequest) []byte {
+	out, err := AppendScheduleRequest(dst, m)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func mustAppendScheduleResponse(dst []byte, m *ScheduleResponse) []byte {
+	out, err := AppendScheduleResponse(dst, m)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
 
 func coordReqFixture() CoordRequest {
 	return CoordRequest{Platform: "ivybridge", Workload: "stream", Budget: 227.5, Strategy: "coord", TimeoutMS: 250}
@@ -53,7 +104,7 @@ func schedRespFixture() ScheduleResponse {
 func TestCoordRequestRoundTrip(t *testing.T) {
 	in := coordReqFixture()
 	var out CoordRequest
-	if err := DecodeCoordRequest(AppendCoordRequest(nil, &in), &out); err != nil {
+	if err := DecodeCoordRequest(mustAppendCoordRequest(nil, &in), &out); err != nil {
 		t.Fatal(err)
 	}
 	if out != in {
@@ -64,7 +115,7 @@ func TestCoordRequestRoundTrip(t *testing.T) {
 func TestCoordResponseRoundTrip(t *testing.T) {
 	in := coordRespFixture()
 	var out CoordResponse
-	if err := DecodeCoordResponse(AppendCoordResponse(nil, &in), &out); err != nil {
+	if err := DecodeCoordResponse(mustAppendCoordResponse(nil, &in), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(out, in) {
@@ -77,7 +128,7 @@ func TestCoordResponseNilAlloc(t *testing.T) {
 	in.Alloc = nil
 	in.Status = "too-small"
 	out := CoordResponse{Alloc: &AllocJSON{ProcWatts: 1}} // stale reuse must be cleared
-	if err := DecodeCoordResponse(AppendCoordResponse(nil, &in), &out); err != nil {
+	if err := DecodeCoordResponse(mustAppendCoordResponse(nil, &in), &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.Alloc != nil {
@@ -88,7 +139,7 @@ func TestCoordResponseNilAlloc(t *testing.T) {
 func TestPlanRoundTrip(t *testing.T) {
 	req := PlanRequest{Platform: "ivybridge", Workload: "bt", Budget: 200, TimeoutMS: 50}
 	var gotReq PlanRequest
-	if err := DecodePlanRequest(AppendPlanRequest(nil, &req), &gotReq); err != nil {
+	if err := DecodePlanRequest(mustAppendPlanRequest(nil, &req), &gotReq); err != nil {
 		t.Fatal(err)
 	}
 	if gotReq != req {
@@ -99,7 +150,7 @@ func TestPlanRoundTrip(t *testing.T) {
 	var gotResp PlanResponse
 	// seed with stale steps to prove capacity reuse resets the slice
 	gotResp.Steps = make([]PlanStepJSON, 5)
-	if err := DecodePlanResponse(AppendPlanResponse(nil, &resp), &gotResp); err != nil {
+	if err := DecodePlanResponse(mustAppendPlanResponse(nil, &resp), &gotResp); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(gotResp, resp) {
@@ -110,7 +161,7 @@ func TestPlanRoundTrip(t *testing.T) {
 func TestScheduleRoundTrip(t *testing.T) {
 	req := schedReqFixture()
 	var gotReq ScheduleRequest
-	if err := DecodeScheduleRequest(AppendScheduleRequest(nil, &req), &gotReq); err != nil {
+	if err := DecodeScheduleRequest(mustAppendScheduleRequest(nil, &req), &gotReq); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(gotReq, req) {
@@ -119,7 +170,7 @@ func TestScheduleRoundTrip(t *testing.T) {
 
 	resp := schedRespFixture()
 	var gotResp ScheduleResponse
-	if err := DecodeScheduleResponse(AppendScheduleResponse(nil, &resp), &gotResp); err != nil {
+	if err := DecodeScheduleResponse(mustAppendScheduleResponse(nil, &resp), &gotResp); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(gotResp, resp) {
@@ -142,14 +193,14 @@ func TestSpecialFloats(t *testing.T) {
 	in := coordReqFixture()
 	in.Budget = math.Inf(1)
 	var out CoordRequest
-	if err := DecodeCoordRequest(AppendCoordRequest(nil, &in), &out); err != nil {
+	if err := DecodeCoordRequest(mustAppendCoordRequest(nil, &in), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !math.IsInf(out.Budget, 1) {
 		t.Fatalf("got %v", out.Budget)
 	}
 	in.Budget = math.NaN()
-	if err := DecodeCoordRequest(AppendCoordRequest(nil, &in), &out); err != nil {
+	if err := DecodeCoordRequest(mustAppendCoordRequest(nil, &in), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !math.IsNaN(out.Budget) {
@@ -158,7 +209,7 @@ func TestSpecialFloats(t *testing.T) {
 }
 
 func TestTag(t *testing.T) {
-	frame := AppendCoordRequest(nil, &CoordRequest{})
+	frame := mustAppendCoordRequest(nil, &CoordRequest{})
 	tag, err := Tag(frame)
 	if err != nil || tag != TCoordRequest {
 		t.Fatalf("tag %d err %v", tag, err)
@@ -173,7 +224,7 @@ func TestTag(t *testing.T) {
 }
 
 func TestMalformedRejected(t *testing.T) {
-	good := AppendCoordRequest(nil, &coordReqFixtureVar)
+	good := mustAppendCoordRequest(nil, &coordReqFixtureVar)
 	cases := map[string][]byte{
 		"empty":        {},
 		"short header": good[:4],
@@ -198,7 +249,7 @@ func TestCountGuard(t *testing.T) {
 	// A plan response claiming 2^31 steps with a tiny payload must be
 	// rejected by the count guard, not attempted.
 	resp := planRespFixture()
-	frame := AppendPlanResponse(nil, &resp)
+	frame := mustAppendPlanResponse(nil, &resp)
 	// steps count lives right after platform, workload, budget
 	off := headerLen + 2 + len(resp.Platform) + 2 + len(resp.Workload) + 8
 	frame[off] = 0xFF
@@ -215,7 +266,7 @@ func TestCountGuard(t *testing.T) {
 
 func TestBoolStrictness(t *testing.T) {
 	resp := planRespFixture()
-	frame := AppendPlanResponse(nil, &resp)
+	frame := mustAppendPlanResponse(nil, &resp)
 	frame[len(frame)-1] = 2 // Rejected byte
 	var out PlanResponse
 	if err := DecodePlanResponse(frame, &out); err == nil {
@@ -225,7 +276,7 @@ func TestBoolStrictness(t *testing.T) {
 
 func TestInterning(t *testing.T) {
 	in := coordRespFixture()
-	frame := AppendCoordResponse(nil, &in)
+	frame := mustAppendCoordResponse(nil, &in)
 	var out CoordResponse
 	if err := DecodeCoordResponse(frame, &out); err != nil {
 		t.Fatal(err)
@@ -242,7 +293,7 @@ func TestInterning(t *testing.T) {
 
 func TestBufPool(t *testing.T) {
 	b := GetBuf()
-	*b = AppendCoordRequest(*b, &coordReqFixtureVar)
+	*b = mustAppendCoordRequest(*b, &coordReqFixtureVar)
 	if len(*b) == 0 {
 		t.Fatal("empty encode")
 	}
@@ -262,4 +313,100 @@ func mutate(b []byte, i int, v byte) []byte {
 	c := append([]byte(nil), b...)
 	c[i] = v
 	return c
+}
+
+// scheduleRequestOfSize builds a schedule request whose encoded frame is
+// exactly n bytes (header + payload), by padding the last job's ID.
+func scheduleRequestOfSize(t *testing.T, n int) *ScheduleRequest {
+	t.Helper()
+	req := &ScheduleRequest{Budget: 900, TimeoutMS: 100}
+	req.Nodes = append(req.Nodes, NodeJSON{ID: "n0", Platform: "ivybridge"})
+	// Everything but the job list: header(8) + budget(8) + node count(4)
+	// + node(2+2+2+9) + job count(4) + timeout(4).
+	const fixed = 8 + 8 + 4 + (2 + 2 + 2 + 9) + 4 + 4
+	const jobOverhead = 2 + 2 + 6 // ID prefix, workload prefix, "stream"
+	rem := n - fixed
+	for rem > 0 {
+		id := rem - jobOverhead
+		if id > math.MaxUint16 {
+			id = math.MaxUint16
+		}
+		if id < 0 || rem-(jobOverhead+id) < 0 {
+			t.Fatalf("cannot pad schedule request to %d bytes (rem %d)", n, rem)
+		}
+		req.Jobs = append(req.Jobs, JobJSON{ID: strings.Repeat("j", id), Workload: "stream"})
+		rem -= jobOverhead + id
+	}
+	frame, err := AppendScheduleRequest(nil, req)
+	if err != nil {
+		t.Fatalf("building %d-byte request: %v", n, err)
+	}
+	if len(frame) != n {
+		t.Fatalf("built %d-byte frame, want %d", len(frame), n)
+	}
+	return req
+}
+
+func TestFrameTooLargeBoundary(t *testing.T) {
+	// Exactly MaxFrame encodes; one byte over fails with the typed
+	// sentinel and leaves dst untouched.
+	atCap := scheduleRequestOfSize(t, MaxFrame)
+	frame, err := AppendScheduleRequest(nil, atCap)
+	if err != nil {
+		t.Fatalf("frame at cap rejected: %v", err)
+	}
+	var out ScheduleRequest
+	if err := DecodeScheduleRequest(frame, &out); err != nil {
+		t.Fatalf("frame at cap does not decode: %v", err)
+	}
+
+	over := &ScheduleRequest{Budget: 900}
+	for i := 0; i < MaxFrame/(4+len("ivybridge")+4); i++ {
+		over.Nodes = append(over.Nodes, NodeJSON{ID: "n123", Platform: "ivybridge"})
+	}
+	dst := []byte("prefix")
+	got, err := AppendScheduleRequest(dst, over)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: err=%v, want ErrFrameTooLarge", err)
+	}
+	if string(got) != "prefix" {
+		t.Fatalf("failed encode did not rewind dst: %d bytes left", len(got))
+	}
+}
+
+func TestOversizedStringFieldRejected(t *testing.T) {
+	long := strings.Repeat("x", math.MaxUint16+1)
+	cases := map[string]func() ([]byte, error){
+		"coord request":  func() ([]byte, error) { return AppendCoordRequest(nil, &CoordRequest{Platform: long}) },
+		"coord response": func() ([]byte, error) { return AppendCoordResponse(nil, &CoordResponse{Status: long}) },
+		"plan request":   func() ([]byte, error) { return AppendPlanRequest(nil, &PlanRequest{Workload: long}) },
+		"plan response": func() ([]byte, error) {
+			return AppendPlanResponse(nil, &PlanResponse{Steps: []PlanStepJSON{{Phase: long}}})
+		},
+		"schedule request": func() ([]byte, error) {
+			return AppendScheduleRequest(nil, &ScheduleRequest{Jobs: []JobJSON{{ID: long}}})
+		},
+		"schedule response": func() ([]byte, error) {
+			return AppendScheduleResponse(nil, &ScheduleResponse{Deferred: []string{long}})
+		},
+	}
+	for name, encode := range cases {
+		got, err := encode()
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Errorf("%s: err=%v, want ErrFrameTooLarge", name, err)
+		}
+		if len(got) != 0 {
+			t.Errorf("%s: failed encode left %d bytes", name, len(got))
+		}
+	}
+	// The error shape, by contrast, must clamp rather than fail: it is
+	// the fallback when nothing else can be encoded.
+	frame := AppendError(nil, 500, long)
+	e, err := DecodeError(frame)
+	if err != nil {
+		t.Fatalf("clamped error frame does not decode: %v", err)
+	}
+	if len(e.Message) != math.MaxUint16 {
+		t.Fatalf("error message clamped to %d bytes, want %d", len(e.Message), math.MaxUint16)
+	}
 }
