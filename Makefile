@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check fuzz bench benchsmoke loadsmoke chaossmoke dessmoke verify-invariants cover telemetry-alloc fastpath-alloc
+.PHONY: all build test vet race check fuzz bench benchsmoke loadsmoke chaossmoke dessmoke treesmoke verify-invariants cover telemetry-alloc fastpath-alloc
 
 all: check
 
@@ -50,6 +50,13 @@ dessmoke:
 		-arrival-spec "rate=0.2,burst=2,units=2e12" \
 		-fault-spec "shock.mtbs=120,shock.frac=0.25,shock.len=20" -replay-check
 
+# Hierarchical budget-tree gate under the race detector: conservation,
+# monotonicity, shed minimality, the metamorphic suite (sibling
+# permutation, rack splitting, demand scaling), and the serial-vs-
+# parallel golden byte identity of tree solves.
+treesmoke:
+	$(GO) test -race -run 'TestSolve|TestMetamorphic|TestGolden|TestWaterFilling|TestRackCap|TestGreedy|TestResultString' -count=1 ./internal/powertree
+
 # Cross-implementation invariant harness: the full catalog sweep under
 # the race detector, then the pbc verify CLI gate.
 verify-invariants:
@@ -71,11 +78,13 @@ fastpath-alloc:
 		awk '/BenchmarkBinaryFastPath/ { if ($$(NF-1)+0 != 0) { print "FAIL: binary fast path allocates:", $$0; exit 1 } found=1 } \
 		END { if (!found) { print "FAIL: BenchmarkBinaryFastPath did not run"; exit 1 } }'
 
-check: vet build race benchsmoke loadsmoke chaossmoke dessmoke verify-invariants telemetry-alloc fastpath-alloc
+check: vet build race benchsmoke loadsmoke chaossmoke dessmoke treesmoke verify-invariants telemetry-alloc fastpath-alloc
 
-# Coverage gate for the observability layer: internal/telemetry must
-# keep at least 70% statement coverage.
+# Coverage gates: internal/telemetry must keep at least 70% statement
+# coverage, and internal/powertree (the budget-tree solver) at least
+# 80%.
 COVER_FLOOR ?= 70.0
+TREE_COVER_FLOOR ?= 80.0
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/telemetry/...
@@ -83,14 +92,20 @@ cover:
 	@$(GO) tool cover -func=cover.out | awk -v floor=$(COVER_FLOOR) \
 		'/^total:/ { sub(/%/, "", $$3); if ($$3+0 < floor) { print "FAIL: coverage", $$3"% below floor", floor"%"; exit 1 } \
 		else { print "coverage OK:", $$3"% >= "floor"%" } }'
+	$(GO) test -coverprofile=cover_tree.out ./internal/powertree/...
+	$(GO) tool cover -func=cover_tree.out | tail -1
+	@$(GO) tool cover -func=cover_tree.out | awk -v floor=$(TREE_COVER_FLOOR) \
+		'/^total:/ { sub(/%/, "", $$3); if ($$3+0 < floor) { print "FAIL: powertree coverage", $$3"% below floor", floor"%"; exit 1 } \
+		else { print "powertree coverage OK:", $$3"% >= "floor"%" } }'
 
 # Short fuzz passes over the input parsers (fault specs, arrival specs,
-# power units), the Prometheus exposition encoder, and the binary wire
-# codec (both a round-trip property fuzzer and a malformed-frame decoder
-# fuzzer).
+# tree specs, power units), the Prometheus exposition encoder, and the
+# binary wire codec (both a round-trip property fuzzer and a
+# malformed-frame decoder fuzzer).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseSpec -fuzztime=10s ./internal/faults
 	$(GO) test -run=^$$ -fuzz=FuzzParseArrivalSpec -fuzztime=10s ./internal/des
+	$(GO) test -run=^$$ -fuzz=FuzzTreeSpec -fuzztime=10s ./internal/powertree
 	$(GO) test -run=^$$ -fuzz=FuzzParsePower -fuzztime=10s ./internal/units
 	$(GO) test -run=^$$ -fuzz=FuzzPromText -fuzztime=10s ./internal/telemetry
 	$(GO) test -run=^$$ -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/wire

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/allocclient"
 	"repro/internal/allocsvc"
+	"repro/internal/powertree"
 )
 
 // cmdCall exercises the resilient allocation client end-to-end against
@@ -21,12 +22,13 @@ func cmdCall(args []string) error {
 	fs := flag.NewFlagSet("call", flag.ExitOnError)
 	servers := fs.String("servers", "", "comma-separated shard base URLs (e.g. http://127.0.0.1:9120,http://127.0.0.1:9121)")
 	discover := fs.String("discover", "", "ask one serve instance's /v1/peers for the shard list instead of -servers")
-	route := fs.String("route", "coord", "API to call: coord, plan, or schedule")
+	route := fs.String("route", "coord", "API to call: coord, plan, schedule, or tree")
 	platform, wl := platformAndWorkload(fs)
 	budget := fs.Float64("budget", 208, "power budget in watts")
 	strategy := fs.String("strategy", "", "coord strategy (empty = server default)")
 	nodes := fs.String("nodes", "", "schedule: comma-separated id=platform node list")
 	jobs := fs.String("jobs", "", "schedule: comma-separated id=workload job queue")
+	treeArg := fs.String("tree-spec", defaultTreeSpec, "tree: rack spec (grammar as in pbc tree -spec)")
 	timeoutMs := fs.Int("timeout", 5000, "per-attempt timeout in milliseconds")
 	noDegrade := fs.Bool("no-degraded", false, "fail instead of computing answers locally when all shards are down")
 	binary := fs.Bool("binary", false, "speak the compact binary protocol to shards that accept it (JSON fallback per shard)")
@@ -84,8 +86,24 @@ func cmdCall(args []string) error {
 			return err
 		}
 		out, meta, err = client.Schedule(ctx, req)
+	case "tree":
+		tree, perr := powertree.ParseTreeSpec(*treeArg)
+		if perr != nil {
+			return perr
+		}
+		req := allocsvc.TreeRequest{Budget: *budget}
+		for _, r := range tree.Racks {
+			rj := allocsvc.TreeRackJSON{ID: r.ID, CapWatts: r.Cap.Watts()}
+			for _, n := range r.Nodes {
+				rj.Nodes = append(rj.Nodes, allocsvc.TreeNodeJSON{
+					ID: n.ID, Platform: n.Platform.Name, Workload: n.Workload.Name, Priority: n.Priority,
+				})
+			}
+			req.Racks = append(req.Racks, rj)
+		}
+		out, meta, err = client.Tree(ctx, req)
 	default:
-		return fmt.Errorf("call: unknown route %q (want coord, plan, or schedule)", *route)
+		return fmt.Errorf("call: unknown route %q (want coord, plan, schedule, or tree)", *route)
 	}
 	if err != nil {
 		return err

@@ -8,6 +8,8 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/faults"
+	"repro/internal/hw"
+	"repro/internal/powertree"
 	"repro/internal/report"
 	"repro/internal/units"
 )
@@ -22,7 +24,10 @@ func cmdDes(args []string) error {
 	fs := flag.NewFlagSet("des", flag.ExitOnError)
 	platform, wl := platformAndWorkload(fs)
 	budget := fs.Float64("budget", 208, "per-node power bound in watts")
-	nNodes := fs.Int("nodes", 16, "cluster node count")
+	nNodes := fs.Int("nodes", 16, "cluster node count (ignored with -tree-spec)")
+	treeSpec := fs.String("tree-spec", "",
+		"derive the cluster from a budget-tree solve: -budget becomes the datacenter total, "+
+			"nodes are the kept CPU leaves, and the pool is their tree grant")
 	arrival := fs.String("arrival-spec", defaultArrivalSpec, "arrival spec (key=value,...; see internal/des)")
 	seed := fs.Uint64("seed", 1, "arrival-process seed; same seed = identical trace")
 	horizonS := fs.Float64("horizon", 3600, "arrival window in simulated seconds")
@@ -62,11 +67,45 @@ func cmdDes(args []string) error {
 		disc = cluster.DisciplineFIFO
 	}
 
-	nodes := make([]cluster.Node, *nNodes)
-	for i := range nodes {
-		nodes[i] = cluster.Node{ID: fmt.Sprintf("node%05d", i), Platform: p}
+	var nodes []cluster.Node
+	pool := units.Power(*budget * float64(*nNodes))
+	if *treeSpec != "" {
+		// The tree solve divides the datacenter budget; the DES cluster is
+		// its kept CPU leaves, powered by exactly their tree grants. The
+		// solve is deterministic, so -replay-check determinism carries
+		// through unchanged.
+		tree, err := powertree.ParseTreeSpec(*treeSpec)
+		if err != nil {
+			return err
+		}
+		tres, err := powertree.Solve(tree, units.Power(*budget))
+		if err != nil {
+			return err
+		}
+		pool = 0
+		for _, g := range tres.Grants {
+			tp, err := hw.PlatformByName(g.Platform)
+			if err != nil {
+				return err
+			}
+			if tp.Kind != hw.KindCPU {
+				continue
+			}
+			nodes = append(nodes, cluster.Node{ID: g.Node, Platform: tp})
+			pool += g.Budget
+		}
+		if len(nodes) == 0 {
+			return fmt.Errorf("tree-spec: no CPU leaves kept at %s (floor demand exceeds the budget?)", units.Power(*budget))
+		}
+		fmt.Printf("tree: %s granted of %s requested; cluster = %d kept CPU leaves, pool %s (%d leaves shed)\n",
+			tres.Granted, tres.Budget, len(nodes), pool, len(tres.Shed))
+	} else {
+		nodes = make([]cluster.Node, *nNodes)
+		for i := range nodes {
+			nodes[i] = cluster.Node{ID: fmt.Sprintf("node%05d", i), Platform: p}
+		}
 	}
-	sched, err := cluster.NewScheduler(units.Power(*budget*float64(*nNodes)), nodes)
+	sched, err := cluster.NewScheduler(pool, nodes)
 	if err != nil {
 		return err
 	}
@@ -106,7 +145,7 @@ func cmdDes(args []string) error {
 
 	tb := report.NewTable(
 		fmt.Sprintf("discrete-event simulation: %d x %s running %s (%s engine, seed %d)",
-			*nNodes, p.Name, w.Name, res.Mode, *seed),
+			len(nodes), p.Name, w.Name, res.Mode, *seed),
 		"metric", "value")
 	tb.AddRow("arrival spec", arr.String())
 	tb.AddRow("horizon", fmtSeconds(*horizonS))

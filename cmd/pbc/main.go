@@ -91,6 +91,8 @@ func main() {
 		err = cmdFaults(args)
 	case "des":
 		err = cmdDes(args)
+	case "tree":
+		err = cmdTree(args)
 	case "serve":
 		err = cmdServe(args)
 	case "call":
@@ -133,6 +135,9 @@ commands:
   des      discrete-event simulator     (-nodes N -arrival-spec s -seed n -horizon s [-mode fast|exact]
                                          [-fault-spec s] [-jobs0 N] [-replay-check]; seeded open arrivals,
                                          byte-reproducible traces)
+  tree     hierarchical budget tree      (-spec s -budget W [-shock rack=frac]
+                                         [-fault-spec s -fault-seed n -horizon s]; datacenter ->
+                                         rack -> node water-filling with SLA-aware shedding)
   serve    HTTP endpoint                (-addr host:port [-rounds N] [-api-workers N] [-api-queue N]
                                          [-peers url,url,...]; /metrics + /healthz + /v1/peers +
                                          allocation API: POST /v1/coord, /v1/plan, /v1/schedule

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/powertree"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// defaultTreeSpec is the two-rack heterogeneous example from the docs:
+// a CPU rack mixing Ivy Bridge and Haswell nodes and a capped GPU rack.
+const defaultTreeSpec = "cpu=ivybridge/stream*2^2,haswell/dgemm^1;" +
+	"gpu@450=titanxp/sgemm^1,titanv/gpustream"
+
+// cmdTree solves one hierarchical budget division: a datacenter budget
+// water-filled across racks and nodes with SLA-aware shedding. With
+// -shock it additionally re-solves after a fractional rack-cap cut;
+// with -fault-spec it replays a seeded timeline of datacenter budget
+// shocks down the tree.
+func cmdTree(args []string) error {
+	fs := flag.NewFlagSet("tree", flag.ExitOnError)
+	spec := fs.String("spec", defaultTreeSpec,
+		"tree spec: rack[@capW]=platform/workload[*count][^priority],... ; rack=...")
+	budget := fs.Float64("budget", 900, "datacenter power budget in watts")
+	shock := fs.String("shock", "", "re-solve after a rack-cap shock, as rack=frac (e.g. gpu=0.3)")
+	faultSpec := fs.String("fault-spec", "", "fault spec driving a shock timeline (shock.* keys; see internal/faults)")
+	seed := fs.Uint64("fault-seed", 1, "shock-timeline seed; same seed = identical timeline")
+	horizon := fs.Float64("horizon", 120, "shock-timeline horizon in seconds")
+	telem := telemetryFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if dump := telem(); dump != nil {
+		defer dump()
+	}
+
+	tree, err := powertree.ParseTreeSpec(*spec)
+	if err != nil {
+		return err
+	}
+	if *budget < 0 {
+		return fmt.Errorf("budget must be non-negative, got %g W", *budget)
+	}
+	cs, err := powertree.BuildCurves(tree)
+	if err != nil {
+		return err
+	}
+	floor, max, err := cs.Demand(tree)
+	if err != nil {
+		return err
+	}
+	res, err := powertree.SolveCurves(cs, tree, units.Power(*budget))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("tree: %s\n", tree.String())
+	fmt.Printf("demand: floor %s, max %s; budget %s (oversubscription %.2fx)\n\n",
+		floor, max, res.Budget, res.Oversubscription)
+	printTreeResult(res)
+
+	if *shock != "" {
+		rack, frac, err := parseShockArg(*shock)
+		if err != nil {
+			return err
+		}
+		shocked, err := powertree.ApplyShock(cs, tree, rack, frac)
+		if err != nil {
+			return err
+		}
+		sres, err := powertree.SolveCurves(cs, shocked, units.Power(*budget))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nafter shock (%s cap cut %.0f%%):\n\n", rack, frac*100)
+		printTreeResult(sres)
+	}
+
+	if *faultSpec != "" {
+		sp, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			return err
+		}
+		inj := faults.NewInjector(sp, *seed)
+		steps, err := powertree.ShockPlan(cs, tree, units.Power(*budget), inj, *horizon)
+		if err != nil {
+			return err
+		}
+		tb := report.NewTable(
+			fmt.Sprintf("shock timeline: seed %d, horizon %gs", *seed, *horizon),
+			"t", "for", "dc budget", "granted", "surplus", "shed", "perf")
+		for _, st := range steps {
+			mark := ""
+			if st.Shocked {
+				mark = " *"
+			}
+			tb.AddRow(
+				fmt.Sprintf("%.1fs%s", st.At, mark),
+				fmt.Sprintf("%.1fs", st.Duration),
+				st.Budget.String(),
+				st.Granted.String(),
+				st.Surplus.String(),
+				fmt.Sprintf("%d", st.Shed),
+				fmt.Sprintf("%.1f", st.TotalPerf),
+			)
+		}
+		fmt.Println()
+		fmt.Print(tb.String())
+		fmt.Println("\n* = under a budget shock")
+	}
+	return nil
+}
+
+func printTreeResult(res *powertree.Result) {
+	rt := report.NewTable(
+		fmt.Sprintf("racks: granted %s of %s, surplus %s, total perf %.1f",
+			res.Granted, res.Budget, res.Surplus, res.TotalPerf),
+		"rack", "cap", "grant", "kept", "shed")
+	for _, rr := range res.Racks {
+		cap := "-"
+		if rr.Cap > 0 {
+			cap = rr.Cap.String()
+		}
+		rt.AddRow(rr.Rack, cap, rr.Budget.String(),
+			fmt.Sprintf("%d", rr.Kept), fmt.Sprintf("%d", rr.Shed))
+	}
+	fmt.Print(rt.String())
+
+	gt := report.NewTable("leaf grants",
+		"node", "rack", "prio", "grant", "proc", "mem", "status", "perf")
+	for _, g := range res.Grants {
+		gt.AddRow(g.Node, g.Rack, fmt.Sprintf("%d", g.Priority),
+			g.Budget.String(), g.Alloc.Proc.String(), g.Alloc.Mem.String(),
+			g.Status.String(), fmt.Sprintf("%.1f", g.Perf))
+	}
+	fmt.Println()
+	fmt.Print(gt.String())
+
+	if len(res.Shed) > 0 {
+		st := report.NewTable("shed leaves (admission control)",
+			"node", "rack", "prio", "floor", "reason")
+		for _, sh := range res.Shed {
+			st.AddRow(sh.Node, sh.Rack, fmt.Sprintf("%d", sh.Priority),
+				sh.Floor.String(), sh.Reason)
+		}
+		fmt.Println()
+		fmt.Print(st.String())
+	}
+}
+
+// parseShockArg parses "rack=frac" with frac in [0,1).
+func parseShockArg(s string) (string, float64, error) {
+	i := strings.IndexByte(s, '=')
+	if i <= 0 {
+		return "", 0, fmt.Errorf("shock must be rack=frac, got %q", s)
+	}
+	frac, err := strconv.ParseFloat(s[i+1:], 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("shock fraction %q: %v", s[i+1:], err)
+	}
+	return s[:i], frac, nil
+}

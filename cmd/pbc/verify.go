@@ -26,6 +26,7 @@ func cmdVerify(args []string) error {
 	eps := fs.Float64("eps", 0, "boundary probe distance in watts (0 = default 1e-9)")
 	skipEngine := fs.Bool("skip-engine", false, "skip the serial-vs-parallel engine identity checks")
 	skipTables := fs.Bool("skip-tables", false, "skip the decision-table fast-path invariants")
+	skipTree := fs.Bool("skip-tree", false, "skip the hierarchical budget-tree invariants")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -34,6 +35,7 @@ func cmdVerify(args []string) error {
 		BudgetPoints: *budgets,
 		Eps:          units.Power(*eps),
 		SkipEngine:   *skipEngine,
+		SkipTree:     *skipTree,
 	}
 	if !*skipTables {
 		cfg.Tables = decisiontable.New(decisiontable.Config{})

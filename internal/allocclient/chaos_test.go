@@ -2,6 +2,7 @@ package allocclient
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -216,6 +217,90 @@ func TestChaosSingleShardDeathZeroLoss(t *testing.T) {
 		if tr != "breaker shard=0 open->half-open" && tr != "breaker shard=0 half-open->open" {
 			t.Fatalf("mid-outage transition %q, want probe cycling", tr)
 		}
+	}
+}
+
+// TestChaosTreeBlackoutTypedRefusal pins /v1/tree's degraded-mode
+// contract: with every shard down, Coord degrades to a local answer
+// but Tree must refuse with the typed ErrNoLocalFallback (wrapping
+// ErrUnavailable) — never a silent local solve, never an untyped
+// error. After the fleet restarts, the same tree request is served
+// fresh again.
+func TestChaosTreeBlackoutTypedRefusal(t *testing.T) {
+	h := newChaosHarness(t, 11, faults.ProxySpec{})
+	ctx := context.Background()
+	treq := allocsvc.TreeRequest{
+		Budget: 700,
+		Racks: []allocsvc.TreeRackJSON{
+			{ID: "cpu", Nodes: []allocsvc.TreeNodeJSON{
+				{ID: "cpu/0", Platform: "ivybridge", Workload: "stream", Priority: 1},
+				{ID: "cpu/1", Platform: "haswell", Workload: "dgemm"},
+			}},
+			{ID: "gpu", CapWatts: 300, Nodes: []allocsvc.TreeNodeJSON{
+				{ID: "gpu/0", Platform: "titanv", Workload: "gpustream"},
+			}},
+		},
+	}
+
+	// Fleet up: the tree solves fresh from a shard.
+	h.clk.advance(10 * time.Millisecond)
+	resp, meta, err := h.client.Tree(ctx, treq)
+	if err != nil {
+		t.Fatalf("tree with live fleet: %v", err)
+	}
+	if meta.Source != SourceShard || len(resp.Grants)+len(resp.Shed) != 3 {
+		t.Fatalf("meta %+v, grants %d shed %d: want a fresh 3-leaf answer",
+			meta, len(resp.Grants), len(resp.Shed))
+	}
+
+	// Blackout: every shard dies.
+	for _, p := range h.proxies {
+		p.Kill()
+	}
+	h.clk.advance(10 * time.Millisecond)
+
+	// Coord still answers, degraded-local.
+	if _, m, err := h.client.Coord(ctx, allocsvc.CoordRequest{
+		Platform: "haswell", Workload: "stream", Budget: 150,
+	}); err != nil || m.Source != SourceLocal {
+		t.Fatalf("coord during blackout: err=%v source=%q, want degraded-local", err, m.Source)
+	}
+
+	// Tree must refuse with the typed sentinel, matchable both ways.
+	_, _, err = h.client.Tree(ctx, treq)
+	if err == nil {
+		t.Fatal("tree during blackout: got an answer, want a typed refusal")
+	}
+	if !errors.Is(err, ErrNoLocalFallback) {
+		t.Fatalf("tree during blackout: %v, want errors.Is ErrNoLocalFallback", err)
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("tree during blackout: %v, want errors.Is ErrUnavailable too", err)
+	}
+
+	// Schedule's refusal stays untyped — ErrNoLocalFallback is Tree's.
+	if _, _, err := h.client.Schedule(ctx, allocsvc.ScheduleRequest{
+		Budget: 300,
+		Nodes:  []allocsvc.NodeJSON{{ID: "n1", Platform: "haswell"}},
+		Jobs:   []allocsvc.JobJSON{{ID: "j1", Workload: "stream"}},
+	}); !errors.Is(err, ErrUnavailable) || errors.Is(err, ErrNoLocalFallback) {
+		t.Fatalf("schedule during blackout: %v, want plain ErrUnavailable", err)
+	}
+
+	// Fleet restarts; wait out the breaker cooldown and solve again.
+	for _, p := range h.proxies {
+		p.Restart()
+	}
+	h.clk.advance(100 * time.Millisecond)
+	resp2, meta2, err := h.client.Tree(ctx, treq)
+	if err != nil {
+		t.Fatalf("tree after restart: %v", err)
+	}
+	if meta2.Source != SourceShard {
+		t.Fatalf("meta after restart %+v, want a fresh shard answer", meta2)
+	}
+	if resp2.Granted != resp.Granted || resp2.TotalPerf != resp.TotalPerf {
+		t.Fatalf("tree answer drifted across the blackout: %+v vs %+v", resp2, resp)
 	}
 }
 

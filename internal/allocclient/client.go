@@ -34,6 +34,13 @@ const (
 // unless Config.DisableDegraded is set.
 var ErrUnavailable = errors.New("allocclient: no shard available")
 
+// ErrNoLocalFallback marks routes that cannot be served degraded-local
+// even when degraded mode is on: Tree wraps ErrUnavailable in it (match
+// either with errors.Is). A tree solve depends on server-side curve
+// profiles and admission state, so a local answer would silently
+// diverge from the fleet's.
+var ErrNoLocalFallback = errors.New("allocclient: route has no degraded-local fallback")
+
 // StatusError is a terminal HTTP error from a shard: the shard is
 // healthy but rejected this request (4xx other than 429). It is never
 // retried and never triggers degraded mode — a bad request is bad
@@ -610,6 +617,67 @@ func (c *Client) Schedule(ctx context.Context, req allocsvc.ScheduleRequest) (al
 	}
 	c.met.requests(allocsvc.RouteSchedule, SourceShard).Inc()
 	return resp, meta, nil
+}
+
+// Tree requests one hierarchical budget division. Like Schedule there
+// is no degraded-local fallback — the tree solve needs the shard's
+// curve profiles — but unlike Schedule the refusal is typed: total
+// shard loss surfaces as ErrNoLocalFallback wrapping ErrUnavailable,
+// so callers can distinguish "the fleet is down and this route cannot
+// degrade" from an ordinary outage.
+func (c *Client) Tree(ctx context.Context, req allocsvc.TreeRequest) (allocsvc.TreeResponse, Meta, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return allocsvc.TreeResponse{}, Meta{}, err
+	}
+	var binBody []byte
+	if c.cfg.Binary {
+		binBody, err = wire.AppendTreeRequest(nil, &req)
+		if err != nil {
+			binBody = nil
+			c.met.binaryDemotions.Inc()
+		}
+	}
+	raw, meta, err := c.do(ctx, allocsvc.RouteTree, c.treeShardKey(req), body, binBody)
+	if err != nil {
+		if errors.Is(err, ErrUnavailable) {
+			return allocsvc.TreeResponse{}, meta, fmt.Errorf("%w: %w", ErrNoLocalFallback, err)
+		}
+		return allocsvc.TreeResponse{}, meta, err
+	}
+	var resp allocsvc.TreeResponse
+	if meta.Binary {
+		err = wire.DecodeTreeResponse(raw, &resp)
+	} else {
+		err = json.Unmarshal(raw, &resp)
+	}
+	if err != nil {
+		return allocsvc.TreeResponse{}, meta, fmt.Errorf("allocclient: decoding tree response: %w", err)
+	}
+	c.met.requests(allocsvc.RouteTree, SourceShard).Inc()
+	return resp, meta, nil
+}
+
+// treeShardKey pins one tree topology to one shard: the rack and leaf
+// structure with the root budget quantized, so repeated solves of a
+// datacenter under a moving budget hit the shard holding that tree's
+// warm curve profiles.
+func (c *Client) treeShardKey(req allocsvc.TreeRequest) string {
+	var b strings.Builder
+	b.WriteString(c.quantizeBudget(req.Budget))
+	for _, rack := range req.Racks {
+		b.WriteString("|r:")
+		b.WriteString(rack.ID)
+		for _, n := range rack.Nodes {
+			b.WriteByte('|')
+			b.WriteString(n.ID)
+			b.WriteByte('=')
+			b.WriteString(n.Platform)
+			b.WriteByte('/')
+			b.WriteString(n.Workload)
+		}
+	}
+	return b.String()
 }
 
 // Peers is the body of GET /v1/peers on a pbc serve instance.

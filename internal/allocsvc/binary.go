@@ -96,6 +96,8 @@ func (s *Service) ServeBinary(ctx context.Context, frame, dst []byte) (code, ret
 		return s.serveBinaryPlan(ctx, frame, dst)
 	case wire.TScheduleRequest:
 		return s.serveBinarySchedule(ctx, frame, dst)
+	case wire.TTreeRequest:
+		return s.serveBinaryTree(ctx, frame, dst)
 	default:
 		return http.StatusBadRequest, 0,
 			wire.AppendError(dst, http.StatusBadRequest, "frame is not a request shape")
@@ -253,6 +255,8 @@ func okResponseBin(v any) *response {
 		body, err = wire.AppendPlanResponse(nil, &m)
 	case ScheduleResponse:
 		body, err = wire.AppendScheduleResponse(nil, &m)
+	case TreeResponse:
+		body, err = wire.AppendTreeResponse(nil, &m)
 	default:
 		return errorResponseBin(fmt.Errorf("internal: unrenderable response type %T", v))
 	}

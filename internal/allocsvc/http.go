@@ -27,6 +27,7 @@ const (
 	RouteCoord    = "/v1/coord"
 	RoutePlan     = "/v1/plan"
 	RouteSchedule = "/v1/schedule"
+	RouteTree     = "/v1/tree"
 )
 
 // maxBody bounds binary request bodies; it matches wire.MaxFrame so a
@@ -51,6 +52,7 @@ func (s *Service) Register(mux *http.ServeMux) {
 	mux.HandleFunc(RouteCoord, s.handleCoord)
 	mux.HandleFunc(RoutePlan, s.handlePlan)
 	mux.HandleFunc(RouteSchedule, s.handleSchedule)
+	mux.HandleFunc(RouteTree, s.handleTree)
 }
 
 // Handler returns a mux with only the service routes, for tests and
@@ -87,6 +89,20 @@ type (
 	PlacementJSON = wire.PlacementJSON
 	// ScheduleResponse is a scheduling round's outcome on the wire.
 	ScheduleResponse = wire.ScheduleResponse
+	// TreeNodeJSON names one leaf of a budget tree for /v1/tree.
+	TreeNodeJSON = wire.TreeNodeJSON
+	// TreeRackJSON is one rack of a budget tree.
+	TreeRackJSON = wire.TreeRackJSON
+	// TreeRequest is the body of POST /v1/tree.
+	TreeRequest = wire.TreeRequest
+	// TreeGrantJSON is one kept leaf's share of a solved tree.
+	TreeGrantJSON = wire.TreeGrantJSON
+	// TreeRackGrantJSON aggregates one rack's share.
+	TreeRackGrantJSON = wire.TreeRackGrantJSON
+	// TreeShedJSON is one leaf dropped by admission control.
+	TreeShedJSON = wire.TreeShedJSON
+	// TreeResponse is a solved budget tree on the wire.
+	TreeResponse = wire.TreeResponse
 )
 
 // errorJSON is the uniform error body.

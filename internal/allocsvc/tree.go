@@ -1,0 +1,186 @@
+package allocsvc
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/powertree"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// handleTree serves POST /v1/tree: one hierarchical division of a
+// datacenter budget over racks of nodes. Unlike coord/plan the route is
+// deliberately table-unaware — a tree solve is a cross-node water-fill,
+// not a per-pair lookup — and its compute stays unexported so the
+// degraded-local client cannot impersonate it (the curve profiles live
+// server-side, like the cluster scheduler's caches).
+func (s *Service) handleTree(w http.ResponseWriter, r *http.Request) {
+	start := s.now()
+	if isBinary(r) {
+		s.serveBinaryHTTP(w, r, RouteTree, start, s.serveBinaryTree)
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.reject(w, RouteTree, methodNotAllowed(r), start)
+		return
+	}
+	var req TreeRequest
+	if err := decode(w, r, &req); err != nil {
+		s.reject(w, RouteTree, errorResponse(err), start)
+		return
+	}
+	key := treeKey(&req)
+	s.serve(w, r, RouteTree, key, s.timeout(req.TimeoutMS), func() (any, error) {
+		return computeTree(req)
+	})
+}
+
+// treeKey fingerprints the full tree content: budget, racks (with
+// caps), and every leaf's pair and priority, in request order.
+func treeKey(req *TreeRequest) string {
+	var b strings.Builder
+	b.WriteString(RouteTree)
+	b.WriteByte('|')
+	b.WriteString(budgetBits(req.Budget))
+	for _, rack := range req.Racks {
+		b.WriteString("|r:")
+		b.WriteString(rack.ID)
+		b.WriteByte('@')
+		b.WriteString(budgetBits(rack.CapWatts))
+		for _, n := range rack.Nodes {
+			b.WriteString("|n:")
+			b.WriteString(n.ID)
+			b.WriteByte('=')
+			b.WriteString(n.Platform)
+			b.WriteByte('/')
+			b.WriteString(n.Workload)
+			b.WriteByte('^')
+			b.WriteString(strconv.Itoa(n.Priority))
+		}
+	}
+	return b.String()
+}
+
+// treeSpec converts the wire request into a powertree spec, resolving
+// catalog names with the same diagnostics as the other routes.
+func treeSpec(req *TreeRequest) (powertree.Spec, error) {
+	if len(req.Racks) == 0 {
+		return powertree.Spec{}, badRequestf("at least one rack is required")
+	}
+	spec := powertree.Spec{Racks: make([]powertree.Rack, 0, len(req.Racks))}
+	for _, rj := range req.Racks {
+		rack := powertree.Rack{
+			ID:    rj.ID,
+			Cap:   units.Power(rj.CapWatts),
+			Nodes: make([]powertree.Node, 0, len(rj.Nodes)),
+		}
+		for _, nj := range rj.Nodes {
+			p, wl, err := resolvePair(nj.Platform, nj.Workload)
+			if err != nil {
+				return powertree.Spec{}, err
+			}
+			rack.Nodes = append(rack.Nodes, powertree.Node{
+				ID: nj.ID, Platform: p, Workload: wl, Priority: nj.Priority,
+			})
+		}
+		spec.Racks = append(spec.Racks, rack)
+	}
+	if err := spec.Validate(); err != nil {
+		return powertree.Spec{}, badRequestf("invalid tree: %v", err)
+	}
+	return spec, nil
+}
+
+// computeTree solves one tree request. It is intentionally not
+// exported: /v1/tree has no degraded-local fallback in allocclient.
+func computeTree(req TreeRequest) (any, error) {
+	if err := checkBudget(req.Budget); err != nil {
+		return nil, err
+	}
+	spec, err := treeSpec(&req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := powertree.Solve(spec, units.Power(req.Budget))
+	if err != nil {
+		return nil, err
+	}
+	resp := TreeResponse{
+		Budget:           res.Budget.Watts(),
+		Granted:          res.Granted.Watts(),
+		Surplus:          res.Surplus.Watts(),
+		TotalPerf:        res.TotalPerf,
+		Oversubscription: res.Oversubscription,
+		Grants:           []TreeGrantJSON{},
+		Racks:            []TreeRackGrantJSON{},
+	}
+	for _, g := range res.Grants {
+		resp.Grants = append(resp.Grants, TreeGrantJSON{
+			Node:     g.Node,
+			Rack:     g.Rack,
+			Priority: g.Priority,
+			Budget:   g.Budget.Watts(),
+			Alloc: AllocJSON{
+				ProcWatts: g.Alloc.Proc.Watts(), MemWatts: g.Alloc.Mem.Watts(),
+			},
+			Status:       g.Status.String(),
+			SurplusWatts: g.Surplus.Watts(),
+			ExpectedPerf: g.Perf,
+		})
+	}
+	for _, rr := range res.Racks {
+		resp.Racks = append(resp.Racks, TreeRackGrantJSON{
+			Rack:     rr.Rack,
+			CapWatts: rr.Cap.Watts(),
+			Budget:   rr.Budget.Watts(),
+			Kept:     rr.Kept,
+			Shed:     rr.Shed,
+		})
+	}
+	for _, sh := range res.Shed {
+		resp.Shed = append(resp.Shed, TreeShedJSON{
+			Node:       sh.Node,
+			Rack:       sh.Rack,
+			Priority:   sh.Priority,
+			FloorWatts: sh.Floor.Watts(),
+			Reason:     sh.Reason,
+		})
+	}
+	return resp, nil
+}
+
+type treeScratch struct {
+	req TreeRequest
+}
+
+var treeScratchPool = sync.Pool{New: func() any { return &treeScratch{} }}
+
+func getTreeScratch() *treeScratch {
+	sc := treeScratchPool.Get().(*treeScratch)
+	racks := sc.req.Racks
+	sc.req = TreeRequest{Racks: racks[:0]}
+	return sc
+}
+
+func (s *Service) serveBinaryTree(ctx context.Context, frame, dst []byte) (int, int, []byte) {
+	sc := getTreeScratch()
+	defer treeScratchPool.Put(sc)
+	if err := wire.DecodeTreeRequest(frame, &sc.req); err != nil {
+		return http.StatusBadRequest, 0, wire.AppendError(dst, http.StatusBadRequest, err.Error())
+	}
+	// Deep-copy: the compute closure may outlive the pooled scratch.
+	req := sc.req
+	req.Racks = append([]TreeRackJSON(nil), sc.req.Racks...)
+	for i := range req.Racks {
+		req.Racks[i].Nodes = append([]TreeNodeJSON(nil), req.Racks[i].Nodes...)
+	}
+	key := treeKey(&req) + "|bin"
+	resp := s.do(ctx, RouteTree, key, s.timeout(req.TimeoutMS), true, func() (any, error) {
+		return computeTree(req)
+	})
+	return resp.code, resp.retryAfter, append(dst, resp.body...)
+}

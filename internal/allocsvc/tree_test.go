@@ -1,0 +1,200 @@
+package allocsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+const treeBody = `{"budget_watts":900,"racks":[` +
+	`{"id":"cpu","nodes":[` +
+	`{"id":"cpu/0","platform":"ivybridge","workload":"stream","priority":2},` +
+	`{"id":"cpu/1","platform":"haswell","workload":"dgemm","priority":1}]},` +
+	`{"id":"gpu","cap_watts":450,"nodes":[` +
+	`{"id":"gpu/0","platform":"titanxp","workload":"sgemm","priority":1},` +
+	`{"id":"gpu/1","platform":"titanv","workload":"gpustream"}]}]}`
+
+// TestTreeRoute exercises the JSON surface end to end: a heterogeneous
+// two-rack tree must come back conserved (granted + surplus == budget),
+// with every leaf accounted for as a grant or a shed entry.
+func TestTreeRoute(t *testing.T) {
+	_, srv := newTestService(t, Config{Workers: 2})
+	resp, body := post(t, srv, RouteTree, treeBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body %s", resp.StatusCode, body)
+	}
+	var out TreeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Budget != 900 {
+		t.Errorf("budget = %v, want 900", out.Budget)
+	}
+	if got := out.Granted + out.Surplus; math.Abs(got-out.Budget) > 0.25 {
+		t.Errorf("granted %v + surplus %v = %v, want ~%v", out.Granted, out.Surplus, got, out.Budget)
+	}
+	if len(out.Grants)+len(out.Shed) != 4 {
+		t.Errorf("grants %d + shed %d, want 4 leaves", len(out.Grants), len(out.Shed))
+	}
+	if len(out.Racks) != 2 {
+		t.Errorf("racks = %d, want 2", len(out.Racks))
+	}
+	var rackSum float64
+	for _, rr := range out.Racks {
+		rackSum += rr.Budget
+	}
+	if math.Abs(rackSum-out.Granted) > 1e-9 {
+		t.Errorf("rack budgets sum to %v, granted %v", rackSum, out.Granted)
+	}
+	for _, g := range out.Grants {
+		if g.Budget <= 0 {
+			t.Errorf("grant %s: non-positive budget %v", g.Node, g.Budget)
+		}
+		if g.Status == "" {
+			t.Errorf("grant %s: empty status", g.Node)
+		}
+	}
+
+	// Byte-identical on repeat: the solve is deterministic and the
+	// response render is canonical.
+	_, again := post(t, srv, RouteTree, treeBody)
+	if !bytes.Equal(body, again) {
+		t.Errorf("repeated tree request bodies differ:\n%s\n%s", body, again)
+	}
+}
+
+// TestTreeRouteErrors pins the validation surface: every malformed
+// request is a 400 with a JSON error body, and non-POST methods 405.
+func TestTreeRouteErrors(t *testing.T) {
+	_, srv := newTestService(t, Config{Workers: 1})
+	cases := []struct {
+		name, body, frag string
+	}{
+		{"no_racks", `{"budget_watts":100,"racks":[]}`, "at least one rack"},
+		{"bad_budget", `{"budget_watts":-5,"racks":[{"id":"r","nodes":[{"id":"r/0","platform":"ivybridge","workload":"stream"}]}]}`, "budget_watts"},
+		{"unknown_platform", `{"budget_watts":100,"racks":[{"id":"r","nodes":[{"id":"r/0","platform":"epyc","workload":"stream"}]}]}`, "unknown platform"},
+		{"kind_mismatch", `{"budget_watts":100,"racks":[{"id":"r","nodes":[{"id":"r/0","platform":"titanv","workload":"stream"}]}]}`, "workload"},
+		{"dup_node", `{"budget_watts":100,"racks":[{"id":"r","nodes":[` +
+			`{"id":"r/0","platform":"ivybridge","workload":"stream"},` +
+			`{"id":"r/0","platform":"ivybridge","workload":"dgemm"}]}]}`, "invalid tree"},
+		{"unknown_field", `{"budget_watts":100,"rax":[]}`, "unknown field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, srv, RouteTree, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, body)
+			}
+			if !strings.Contains(strings.ToLower(string(body)), strings.ToLower(tc.frag)) {
+				t.Errorf("error body %q does not mention %q", body, tc.frag)
+			}
+		})
+	}
+
+	resp, err := http.Get(srv.URL + RouteTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestTreeBinaryAgreesWithJSON serves the same tree over both surfaces
+// and checks the decoded binary response matches the JSON one field
+// for field.
+func TestTreeBinaryAgreesWithJSON(t *testing.T) {
+	svc, srv := newTestService(t, Config{Workers: 2, Binary: true})
+	_, jsonBody := post(t, srv, RouteTree, treeBody)
+	var want TreeResponse
+	if err := json.Unmarshal(jsonBody, &want); err != nil {
+		t.Fatalf("decode JSON: %v", err)
+	}
+
+	var req TreeRequest
+	if err := json.Unmarshal([]byte(treeBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := wire.AppendTreeRequest(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Through the HTTP layer.
+	resp, err := http.Post(srv.URL+RouteTree, BinaryContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary status = %d; body %q", resp.StatusCode, buf.Bytes())
+	}
+	var got TreeResponse
+	if err := wire.DecodeTreeResponse(buf.Bytes(), &got); err != nil {
+		t.Fatalf("decode binary: %v", err)
+	}
+	checkTreeEqual(t, got, want)
+
+	// Straight through ServeBinary (the transport-free entry point).
+	code, _, out := svc.ServeBinary(context.Background(), frame, nil)
+	if code != http.StatusOK {
+		t.Fatalf("ServeBinary code = %d", code)
+	}
+	var got2 TreeResponse
+	if err := wire.DecodeTreeResponse(out, &got2); err != nil {
+		t.Fatalf("decode ServeBinary frame: %v", err)
+	}
+	checkTreeEqual(t, got2, want)
+}
+
+func checkTreeEqual(t *testing.T, got, want TreeResponse) {
+	t.Helper()
+	if got.Budget != want.Budget || got.Granted != want.Granted ||
+		got.Surplus != want.Surplus || got.TotalPerf != want.TotalPerf ||
+		got.Oversubscription != want.Oversubscription {
+		t.Errorf("header mismatch: got %+v want %+v", got, want)
+	}
+	if len(got.Grants) != len(want.Grants) || len(got.Racks) != len(want.Racks) || len(got.Shed) != len(want.Shed) {
+		t.Fatalf("section lengths differ: got %d/%d/%d want %d/%d/%d",
+			len(got.Grants), len(got.Racks), len(got.Shed),
+			len(want.Grants), len(want.Racks), len(want.Shed))
+	}
+	for i := range got.Grants {
+		if got.Grants[i] != want.Grants[i] {
+			t.Errorf("grant %d: got %+v want %+v", i, got.Grants[i], want.Grants[i])
+		}
+	}
+	for i := range got.Racks {
+		if got.Racks[i] != want.Racks[i] {
+			t.Errorf("rack %d: got %+v want %+v", i, got.Racks[i], want.Racks[i])
+		}
+	}
+	for i := range got.Shed {
+		if got.Shed[i] != want.Shed[i] {
+			t.Errorf("shed %d: got %+v want %+v", i, got.Shed[i], want.Shed[i])
+		}
+	}
+}
+
+// TestTreeBinaryMalformed: a garbage frame on the tree route must be a
+// clean 400 error frame, never a panic.
+func TestTreeBinaryMalformed(t *testing.T) {
+	svc, _ := newTestService(t, Config{Workers: 1, Binary: true})
+	frame := []byte{'p', 'B', wire.Version, wire.TTreeRequest, 0xff, 0xff, 0xff, 0xff}
+	code, _, out := svc.ServeBinary(context.Background(), frame, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("code = %d, want 400", code)
+	}
+	if e, err := wire.DecodeError(out); err != nil || e.Code != http.StatusBadRequest {
+		t.Fatalf("error frame: %+v, %v", e, err)
+	}
+}

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGeometricDistribution is a property test over the geometric
+// sampler: every draw is >= 1, the sample mean converges to the
+// requested mean, and the tail mass P(X > mean) matches the closed
+// form (1-1/mean)^mean. Tolerances are set at ~5 standard errors so
+// the test is deterministic in practice for the pinned seeds.
+func TestGeometricDistribution(t *testing.T) {
+	const n = 100_000
+	for _, mean := range []float64{1.5, 2, 5, 20} {
+		for _, seed := range []uint64{1, 7, 42} {
+			r := NewRNG(seed)
+			var sum float64
+			tail := 0
+			k := int(mean)
+			for i := 0; i < n; i++ {
+				v := r.Geometric(mean)
+				if v < 1 {
+					t.Fatalf("mean %g seed %d: Geometric = %d, want >= 1", mean, seed, v)
+				}
+				sum += float64(v)
+				if v > k {
+					tail++
+				}
+			}
+			got := sum / n
+			// Geometric sd is sqrt(1-p)/p < mean, so 5 standard errors of
+			// the sample mean is under 5*mean/sqrt(n).
+			if tol := 5 * mean / math.Sqrt(n); math.Abs(got-mean) > tol {
+				t.Errorf("mean %g seed %d: sample mean %.4f, want within %.4f", mean, seed, got, tol)
+			}
+			p := 1 / mean
+			wantTail := math.Pow(1-p, float64(k))
+			gotTail := float64(tail) / n
+			if tol := 5 * math.Sqrt(wantTail*(1-wantTail)/n); math.Abs(gotTail-wantTail) > tol {
+				t.Errorf("mean %g seed %d: P(X>%d) = %.4f, want %.4f +/- %.4f",
+					mean, seed, k, gotTail, wantTail, tol)
+			}
+		}
+	}
+}
+
+// TestGeometricDegenerate pins the mean <= 1 contract: always exactly
+// 1, with zero uniforms consumed, so replays that toggle burst sizes
+// across the threshold do not shift later draws.
+func TestGeometricDegenerate(t *testing.T) {
+	for _, mean := range []float64{-3, 0, 0.5, 1} {
+		r := NewRNG(11)
+		if v := r.Geometric(mean); v != 1 {
+			t.Fatalf("Geometric(%g) = %d, want 1", mean, v)
+		}
+		if got, want := r.Uint64(), NewRNG(11).Uint64(); got != want {
+			t.Fatalf("Geometric(%g) consumed a uniform: next draw %x, want %x", mean, got, want)
+		}
+	}
+}
+
+// TestGeometricDrawCount: a non-degenerate draw consumes exactly one
+// uniform, the documented invariant that keeps forked streams' draw
+// counts predictable for replay.
+func TestGeometricDrawCount(t *testing.T) {
+	for _, mean := range []float64{1.0001, 2, 100} {
+		ref, gen := NewRNG(23), NewRNG(23)
+		ref.Float64() // exactly one uniform
+		gen.Geometric(mean)
+		for i := 0; i < 10; i++ {
+			if ref.Uint64() != gen.Uint64() {
+				t.Fatalf("Geometric(%g) did not consume exactly one uniform", mean)
+			}
+		}
+	}
+}
+
+// TestForkStreamIndependence is the cross-stream isolation property:
+// forking and draining a child never advances the parent, sibling
+// streams are decorrelated, and a label's stream is a pure function of
+// (construction seed, label) — immune to any interleaving of draws on
+// the parent or on sibling forks.
+func TestForkStreamIndependence(t *testing.T) {
+	// Child draws do not advance the parent.
+	plain, forked := NewRNG(5), NewRNG(5)
+	child := forked.Fork("burst")
+	for i := 0; i < 100; i++ {
+		child.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if plain.Uint64() != forked.Uint64() {
+			t.Fatal("draining a fork advanced the parent stream")
+		}
+	}
+
+	// A label's stream is identical however the parent and siblings are
+	// used in between.
+	quiet := NewRNG(5).Fork("shock")
+	busyParent := NewRNG(5)
+	busyParent.Norm()
+	sibling := busyParent.Fork("node.0")
+	sibling.Geometric(4)
+	busyParent.Exp(10)
+	noisy := busyParent.Fork("shock")
+	for i := 0; i < 100; i++ {
+		if quiet.Uint64() != noisy.Uint64() {
+			t.Fatal("fork stream depends on parent/sibling draw interleaving")
+		}
+	}
+
+	// Sibling labels are decorrelated: over 64-bit draws any collision
+	// is overwhelming evidence of correlation.
+	a, b := NewRNG(5).Fork("node.0"), NewRNG(5).Fork("node.1")
+	bits := 0
+	for i := 0; i < 1000; i++ {
+		av, bv := a.Uint64(), b.Uint64()
+		if av == bv {
+			t.Fatal("sibling streams collided")
+		}
+		bits += popcount64(av ^ bv)
+	}
+	// Independent streams differ in ~32 of 64 bits per draw; 1000 draws
+	// concentrate the average tightly around 32.
+	if avg := float64(bits) / 1000; avg < 30 || avg > 34 {
+		t.Errorf("average Hamming distance %.2f bits, want ~32 (decorrelated)", avg)
+	}
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

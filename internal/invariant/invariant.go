@@ -63,6 +63,16 @@
 // invariants hold the precomputed fast path to the exact one:
 // table-built, table-exact-gap, table-plan-gap, and table-monotone
 // (documented in table.go).
+//
+// Unless Config.SkipTree is set, the harness also sweeps the
+// hierarchical budget-tree invariants over a heterogeneous 2-rack
+// fixture (tree.go): tree-conservation (children sum to the parent's
+// share exactly, in integer quanta, at every interior node),
+// tree-monotone (granted power non-decreasing everywhere, total
+// performance non-decreasing across the shed-free regime),
+// tree-shed-minimal (no shed leaf is re-admissible and SLA priority
+// order is respected), and tree-metamorphic (sibling permutation and
+// uncapped-rack splitting change nothing).
 package invariant
 
 import (
@@ -152,6 +162,10 @@ type Config struct {
 	// swept on and off the grid against the exact compute path. nil
 	// skips the table checks.
 	Tables *decisiontable.Set
+	// SkipTree disables the hierarchical budget-tree sweep (tree.go),
+	// which profiles the heterogeneous fixture's four pairs through the
+	// shared default engine.
+	SkipTree bool
 }
 
 func (cfg *Config) normalize() {
@@ -279,6 +293,11 @@ func Run(cfg Config) (*Report, error) {
 			if cfg.Tables != nil {
 				checkTablePair(cfg, c, cfg.Tables, p, w)
 			}
+		}
+	}
+	if !cfg.SkipTree {
+		if err := checkTree(cfg, rep); err != nil {
+			return rep, fmt.Errorf("invariant: tree sweep: %w", err)
 		}
 	}
 	return rep, nil

@@ -1,0 +1,220 @@
+package invariant
+
+import (
+	"fmt"
+
+	"repro/internal/powertree"
+	"repro/internal/units"
+)
+
+// treeSpecString is the heterogeneous 2-rack fixture the tree
+// invariants sweep: an uncapped CPU rack mixing IvyBridge and Haswell
+// at two SLA priorities beside a 450 W-capped GPU rack mixing two card
+// generations. The capped rack exercises rack-level shedding; the
+// mixed priorities exercise SLA ordering.
+const treeSpecString = "cpu=ivybridge/stream*2^2,haswell/dgemm^1;gpu@450=titanxp/sgemm^1,titanv/gpustream"
+
+// checkTree sweeps the hierarchical budget-tree invariants over the
+// full budget grid of the heterogeneous fixture:
+//
+//   - tree-conservation: at every interior node the children's grants
+//     sum exactly to the node's share — leaves to their rack, racks
+//     plus the root surplus to the datacenter budget — in integer
+//     quanta, and no rack exceeds its cap.
+//   - tree-monotone: total granted power is non-decreasing in the root
+//     budget everywhere, and total modeled performance is
+//     non-decreasing across the shed-free regime (across a shedding
+//     transition the kept set changes discontinuously, so only power,
+//     not performance, is globally monotone).
+//   - tree-shed-minimal: no shed leaf could be re-admitted — its
+//     productive floor exceeds the remaining datacenter headroom over
+//     the kept floors or its rack's remaining cap headroom — and no
+//     leaf shed for budget outranks a kept leaf.
+//   - tree-metamorphic: permuting sibling order and splitting the
+//     uncapped rack in two change no leaf's grant and no total
+//     (ε = 0: tie-breaking is by node ID, never by spec position).
+func checkTree(cfg Config, rep *Report) error {
+	c := &collector{rep: rep, platform: "tree", workload: "hetero-2rack"}
+	spec, err := powertree.ParseTreeSpec(treeSpecString)
+	if err != nil {
+		return fmt.Errorf("tree fixture: %w", err)
+	}
+	cs, err := powertree.BuildCurves(spec)
+	if err != nil {
+		return fmt.Errorf("tree curves: %w", err)
+	}
+	_, demand, err := cs.Demand(spec)
+	if err != nil {
+		return err
+	}
+
+	perm := permuteSpec(spec)
+	split := splitSpec(spec)
+
+	points := cfg.BudgetPoints * 2
+	top := demand.Watts() * 1.2
+	prevGranted := units.Power(-1)
+	prevPerf := -1.0
+	prevShedFree := false
+	for i := 0; i < points; i++ {
+		budget := units.Power(top * float64(i) / float64(points-1))
+		res, err := powertree.SolveCurves(cs, spec, budget)
+		if err != nil {
+			return fmt.Errorf("tree solve at %v: %w", budget, err)
+		}
+		checkTreeConservation(c, spec, res)
+		checkTreeShedMinimal(c, res)
+
+		// tree-monotone: granted power everywhere; perf across the
+		// shed-free regime.
+		c.check("tree-monotone", budget, res.Granted >= prevGranted,
+			"granted %v after %v at a larger budget", res.Granted, prevGranted)
+		prevGranted = res.Granted
+		shedFree := len(res.Shed) == 0
+		if shedFree && prevShedFree {
+			c.check("tree-monotone", budget, res.TotalPerf >= prevPerf,
+				"shed-free perf %g after %g at a larger budget", res.TotalPerf, prevPerf)
+		}
+		if shedFree {
+			prevPerf = res.TotalPerf
+		}
+		prevShedFree = shedFree
+
+		// tree-metamorphic: sibling permutation and rack splitting.
+		permRes, err := powertree.SolveCurves(cs, perm, budget)
+		if err != nil {
+			return fmt.Errorf("tree permuted solve at %v: %w", budget, err)
+		}
+		checkSameTree(c, "sibling permutation", budget, res, permRes)
+		splitRes, err := powertree.SolveCurves(cs, split, budget)
+		if err != nil {
+			return fmt.Errorf("tree split solve at %v: %w", budget, err)
+		}
+		checkSameTree(c, "rack split", budget, res, splitRes)
+	}
+	return nil
+}
+
+// checkTreeConservation asserts the integer conservation identities.
+func checkTreeConservation(c *collector, spec powertree.Spec, res *powertree.Result) {
+	b := res.Budget
+	c.check("tree-conservation", b, res.GrantedQuanta+res.SurplusQuanta == res.Quanta,
+		"granted %d + surplus %d != root %d quanta", res.GrantedQuanta, res.SurplusQuanta, res.Quanta)
+	c.check("tree-conservation", b, res.SurplusQuanta >= 0,
+		"negative root surplus %d quanta", res.SurplusQuanta)
+	perRack := map[string]int64{}
+	for _, g := range res.Grants {
+		perRack[g.Rack] += g.Quanta
+	}
+	rackSum := int64(0)
+	for _, rr := range res.Racks {
+		c.check("tree-conservation", b, perRack[rr.Rack] == rr.Quanta,
+			"rack %s: leaf sum %d != rack share %d quanta", rr.Rack, perRack[rr.Rack], rr.Quanta)
+		c.check("tree-conservation", b, rr.CapQuanta == 0 || rr.Quanta <= rr.CapQuanta,
+			"rack %s: share %d quanta over cap %d", rr.Rack, rr.Quanta, rr.CapQuanta)
+		rackSum += rr.Quanta
+	}
+	c.check("tree-conservation", b, rackSum == res.GrantedQuanta,
+		"rack sum %d != granted %d quanta", rackSum, res.GrantedQuanta)
+	c.check("tree-conservation", b, len(res.Grants)+len(res.Shed) == spec.Leaves(),
+		"%d grants + %d shed != %d leaves", len(res.Grants), len(res.Shed), spec.Leaves())
+}
+
+// checkTreeShedMinimal asserts no shed leaf is re-admissible and SLA
+// order was respected for budget sheds.
+func checkTreeShedMinimal(c *collector, res *powertree.Result) {
+	b := res.Budget
+	keptFloorQ := int64(0)
+	rackFloorQ := map[string]int64{}
+	capQ := map[string]int64{}
+	for _, rr := range res.Racks {
+		keptFloorQ += rr.FloorQuanta
+		rackFloorQ[rr.Rack] = rr.FloorQuanta
+		if rr.Cap > 0 {
+			capQ[rr.Rack] = rr.CapQuanta
+		} else {
+			capQ[rr.Rack] = -1
+		}
+	}
+	for _, s := range res.Shed {
+		overBudget := keptFloorQ+s.FloorQuanta > res.Quanta
+		overRack := capQ[s.Rack] >= 0 && rackFloorQ[s.Rack]+s.FloorQuanta > capQ[s.Rack]
+		c.check("tree-shed-minimal", b, overBudget || overRack,
+			"shed leaf %s (floor %d quanta) is re-admissible: kept floors %d of %d, rack %s floors %d cap %d",
+			s.Node, s.FloorQuanta, keptFloorQ, res.Quanta, s.Rack, rackFloorQ[s.Rack], capQ[s.Rack])
+		if s.Reason == "budget" {
+			// SLA blocking: the kept floors of leaves that outrank s in
+			// admission order (priority desc, node ID asc) already
+			// crowd out s's floor — s was not skipped for a junior.
+			blockQ := int64(0)
+			for _, g := range res.Grants {
+				if g.Priority > s.Priority || (g.Priority == s.Priority && g.Node < s.Node) {
+					blockQ += g.FloorQuanta
+				}
+			}
+			c.check("tree-shed-minimal", b, blockQ+s.FloorQuanta > res.Quanta,
+				"budget-shed leaf %s (prio %d, floor %d quanta) fits after its seniors' floors (%d of %d quanta)",
+				s.Node, s.Priority, s.FloorQuanta, blockQ, res.Quanta)
+		}
+	}
+}
+
+// checkSameTree asserts two solves agree leaf by leaf, exactly.
+func checkSameTree(c *collector, label string, b units.Power, x, y *powertree.Result) {
+	gx := map[string]int64{}
+	for _, g := range x.Grants {
+		gx[g.Node] = g.Quanta
+	}
+	gy := map[string]int64{}
+	for _, g := range y.Grants {
+		gy[g.Node] = g.Quanta
+	}
+	same := len(gx) == len(gy) && len(x.Shed) == len(y.Shed)
+	if same {
+		for id, q := range gx {
+			if gy[id] != q {
+				same = false
+				break
+			}
+		}
+	}
+	c.check("tree-metamorphic", b, same,
+		"%s changed leaf grants: %v vs %v", label, gx, gy)
+	c.check("tree-metamorphic", b, x.TotalPerf == y.TotalPerf,
+		"%s changed total performance: %g vs %g", label, x.TotalPerf, y.TotalPerf)
+	c.check("tree-metamorphic", b, x.GrantedQuanta == y.GrantedQuanta,
+		"%s changed granted quanta: %d vs %d", label, x.GrantedQuanta, y.GrantedQuanta)
+}
+
+// permuteSpec reverses rack and sibling order, keeping IDs.
+func permuteSpec(spec powertree.Spec) powertree.Spec {
+	out := powertree.Spec{Racks: make([]powertree.Rack, len(spec.Racks))}
+	for i := range spec.Racks {
+		r := spec.Racks[len(spec.Racks)-1-i]
+		nodes := make([]powertree.Node, len(r.Nodes))
+		for j := range r.Nodes {
+			nodes[j] = r.Nodes[len(r.Nodes)-1-j]
+		}
+		out.Racks[i] = powertree.Rack{ID: r.ID, Cap: r.Cap, Nodes: nodes}
+	}
+	return out
+}
+
+// splitSpec halves the first uncapped multi-node rack into two racks
+// with the same leaves (uncapped rack boundaries are administrative).
+func splitSpec(spec powertree.Spec) powertree.Spec {
+	var out powertree.Spec
+	done := false
+	for _, r := range spec.Racks {
+		if !done && r.Cap == 0 && len(r.Nodes) >= 2 {
+			mid := len(r.Nodes) / 2
+			out.Racks = append(out.Racks,
+				powertree.Rack{ID: r.ID + "-a", Nodes: append([]powertree.Node(nil), r.Nodes[:mid]...)},
+				powertree.Rack{ID: r.ID + "-b", Nodes: append([]powertree.Node(nil), r.Nodes[mid:]...)})
+			done = true
+			continue
+		}
+		out.Racks = append(out.Racks, r)
+	}
+	return out
+}

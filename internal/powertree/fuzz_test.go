@@ -1,0 +1,65 @@
+package powertree
+
+import (
+	"testing"
+)
+
+// FuzzTreeSpec fuzzes the tree-topology parser with the same
+// round-trip discipline as faults.FuzzParseSpec and
+// des.FuzzParseArrivalSpec: anything that parses must validate, render
+// canonically, and reparse to an identical spec.
+func FuzzTreeSpec(f *testing.F) {
+	seeds := []string{
+		"rackA=ivybridge/stream*2,haswell/dgemm^1;rackB@450=titanxp/sgemm^1,titanv/gpustream",
+		"r0=ivybridge/stream",
+		"r0@120.5=haswell/lu*3^2",
+		"a=ivybridge/ep;b=haswell/cg^5",
+		"",
+		"r=",
+		"r=nosuch/stream",
+		"r=ivybridge/sgemm",
+		"r@-1=ivybridge/stream",
+		"r=ivybridge/stream*0",
+		"r=ivybridge/stream^-3",
+		"r;r",
+		"@=;@=",
+		"r=ivybridge/stream*99999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		sp, err := ParseTreeSpec(in)
+		if err != nil {
+			return
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("parsed spec fails Validate: %v (input %q)", err, in)
+		}
+		canon := sp.String()
+		back, err := ParseTreeSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v (input %q)", canon, err, in)
+		}
+		if back.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q (input %q)", canon, back.String(), in)
+		}
+		if back.Leaves() != sp.Leaves() {
+			t.Fatalf("leaf count changed on round-trip: %d -> %d (input %q)",
+				sp.Leaves(), back.Leaves(), in)
+		}
+		for ri := range sp.Racks {
+			a, b := sp.Racks[ri], back.Racks[ri]
+			if a.ID != b.ID || a.Cap != b.Cap || len(a.Nodes) != len(b.Nodes) {
+				t.Fatalf("rack %d changed on round-trip (input %q)", ri, in)
+			}
+			for ni := range a.Nodes {
+				an, bn := a.Nodes[ni], b.Nodes[ni]
+				if an.ID != bn.ID || an.Platform.Name != bn.Platform.Name ||
+					an.Workload.Name != bn.Workload.Name || an.Priority != bn.Priority {
+					t.Fatalf("node %d/%d changed on round-trip (input %q)", ri, ni, in)
+				}
+			}
+		}
+	})
+}

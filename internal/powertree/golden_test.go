@@ -1,0 +1,75 @@
+package powertree
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/evalpool"
+)
+
+// TestGoldenSerialParallel pins byte-identity of full tree solves
+// across engine configurations: curves built and solved through a
+// parallel, memoized engine (cold and warm) must render exactly the
+// bytes of the serial, uncached reference. This is the same
+// engine-identical discipline the invariant harness enforces for the
+// single-node artifacts, extended to the tree.
+func TestGoldenSerialParallel(t *testing.T) {
+	spec, err := ParseTreeSpec(heteroSpecString)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(e *evalpool.Engine) string {
+		prev := evalpool.SetDefault(e)
+		defer evalpool.SetDefault(prev)
+		cs, err := BuildCurves(spec)
+		if err != nil {
+			t.Fatalf("BuildCurves: %v", err)
+		}
+		var b strings.Builder
+		_, maxQ := specFloors(t, spec, cs)
+		for _, budget := range budgetGrid(maxQ, 9) {
+			res, err := SolveCurves(cs, spec, budget)
+			if err != nil {
+				t.Fatalf("SolveCurves(%v): %v", budget, err)
+			}
+			b.WriteString(res.String())
+		}
+		return b.String()
+	}
+
+	serial := render(evalpool.Serial())
+	par := evalpool.New(evalpool.Options{})
+	cold := render(par)
+	warm := render(par)
+	if cold != serial {
+		t.Errorf("cold parallel solve diverges from serial reference:\nserial:\n%s\nparallel:\n%s",
+			serial, cold)
+	}
+	if warm != serial {
+		t.Errorf("warm (memoized) parallel solve diverges from serial reference")
+	}
+	if serial == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// TestResultStringDeterministic pins that two identical solves render
+// identical bytes (map iteration must never leak into the output).
+func TestResultStringDeterministic(t *testing.T) {
+	spec, cs := hetero(t)
+	_, maxQ := specFloors(t, spec, cs)
+	for _, b := range budgetGrid(maxQ, 5) {
+		r1, err := SolveCurves(cs, spec, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := SolveCurves(cs, spec, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.String() != r2.String() {
+			t.Errorf("budget %v: repeated solve rendered different bytes", b)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package powertree
+
+import (
+	"testing"
+)
+
+// grantsByNode flattens a result to node → quanta.
+func grantsByNode(res *Result) map[string]int64 {
+	m := make(map[string]int64, len(res.Grants))
+	for _, g := range res.Grants {
+		m[g.Node] = g.Quanta
+	}
+	return m
+}
+
+func shedByNode(res *Result) map[string]bool {
+	m := make(map[string]bool, len(res.Shed))
+	for _, s := range res.Shed {
+		m[s.Node] = true
+	}
+	return m
+}
+
+// sameAllocation asserts two results agree leaf by leaf, exactly
+// (ε = 0 in quanta: tie-breaking is by node ID, never spec position).
+func sameAllocation(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	ga, gb := grantsByNode(a), grantsByNode(b)
+	if len(ga) != len(gb) {
+		t.Errorf("%s: kept %d vs %d leaves at budget %v", label, len(ga), len(gb), a.Budget)
+	}
+	for id, q := range ga {
+		if gb[id] != q {
+			t.Errorf("%s: leaf %s granted %d vs %d at budget %v", label, id, q, gb[id], a.Budget)
+		}
+	}
+	sa, sb := shedByNode(a), shedByNode(b)
+	if len(sa) != len(sb) {
+		t.Errorf("%s: shed %d vs %d leaves at budget %v", label, len(sa), len(sb), a.Budget)
+	}
+	for id := range sa {
+		if !sb[id] {
+			t.Errorf("%s: leaf %s shed in one solve only at budget %v", label, id, a.Budget)
+		}
+	}
+	if a.TotalPerf != b.TotalPerf {
+		t.Errorf("%s: perf %g vs %g at budget %v", label, a.TotalPerf, b.TotalPerf, a.Budget)
+	}
+}
+
+// TestMetamorphicPermute: reversing rack order and each rack's node
+// order must not change any leaf's grant.
+func TestMetamorphicPermute(t *testing.T) {
+	spec, cs := hetero(t)
+	perm := Spec{Racks: make([]Rack, len(spec.Racks))}
+	for i := range spec.Racks {
+		r := spec.Racks[len(spec.Racks)-1-i]
+		nodes := make([]Node, len(r.Nodes))
+		for j := range r.Nodes {
+			nodes[j] = r.Nodes[len(r.Nodes)-1-j]
+		}
+		perm.Racks[i] = Rack{ID: r.ID, Cap: r.Cap, Nodes: nodes}
+	}
+	_, maxQ := specFloors(t, spec, cs)
+	for _, b := range budgetGrid(maxQ, 17) {
+		orig, err := SolveCurves(cs, spec, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		swapped, err := SolveCurves(cs, perm, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAllocation(t, "permute", orig, swapped)
+	}
+}
+
+// TestMetamorphicSplitRack: splitting an uncapped rack in two (same
+// leaves, same IDs) must not change any leaf's grant — uncapped rack
+// boundaries are administrative, not physical.
+func TestMetamorphicSplitRack(t *testing.T) {
+	spec, cs := hetero(t)
+	// Split the uncapped CPU rack; keep the capped GPU rack intact.
+	var split Spec
+	for _, r := range spec.Racks {
+		if r.Cap == 0 && len(r.Nodes) >= 2 {
+			mid := len(r.Nodes) / 2
+			split.Racks = append(split.Racks,
+				Rack{ID: r.ID + "-a", Nodes: append([]Node(nil), r.Nodes[:mid]...)},
+				Rack{ID: r.ID + "-b", Nodes: append([]Node(nil), r.Nodes[mid:]...)})
+		} else {
+			split.Racks = append(split.Racks, r)
+		}
+	}
+	if len(split.Racks) == len(spec.Racks) {
+		t.Fatal("fixture has no uncapped rack to split")
+	}
+	_, maxQ := specFloors(t, spec, cs)
+	for _, b := range budgetGrid(maxQ, 17) {
+		orig, err := SolveCurves(cs, spec, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		halved, err := SolveCurves(cs, split, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAllocation(t, "split-rack", orig, halved)
+	}
+}
+
+// TestMetamorphicScale: scaling every leaf's curve by k (floors and
+// widths ×k, slopes ÷k — same total performance surface, stretched
+// k-fold in power) and the budget by k must scale every grant exactly
+// ×k.
+func TestMetamorphicScale(t *testing.T) {
+	const k = 3
+	build := func(scale int64) (*CurveSet, Spec) {
+		b := newSynth(t)
+		mk := func(id string, prio int, floorQ int64, segs []segment) Node {
+			sc := make([]segment, len(segs))
+			for i, s := range segs {
+				sc[i] = segment{width: s.width * scale, slope: s.slope / float64(scale)}
+			}
+			return b.leaf(id, prio, curve{floorQ: floorQ * scale, segs: sc})
+		}
+		nodes1 := []Node{
+			mk("a", 2, 10, []segment{{width: 8, slope: 4}, {width: 8, slope: 2}}),
+			mk("b", 0, 6, []segment{{width: 12, slope: 3}}),
+		}
+		nodes2 := []Node{
+			mk("c", 1, 8, []segment{{width: 10, slope: 3.5}, {width: 4, slope: 1}}),
+		}
+		spec := Spec{Racks: []Rack{
+			{ID: "r1", Nodes: nodes1},
+			{ID: "r2", Cap: watts(20 * scale), Nodes: nodes2},
+		}}
+		return b.cs, spec
+	}
+	cs1, spec1 := build(1)
+	csk, speck := build(k)
+	for rootQ := int64(0); rootQ <= 60; rootQ += 2 {
+		r1, err := SolveCurves(cs1, spec1, watts(rootQ))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rk, err := SolveCurves(csk, speck, watts(rootQ*k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1, gk := grantsByNode(r1), grantsByNode(rk)
+		if len(g1) != len(gk) {
+			t.Fatalf("rootQ %d: kept %d vs %d leaves under ×%d scaling", rootQ, len(g1), len(gk), k)
+		}
+		for id, q := range g1 {
+			if gk[id] != q*k {
+				t.Errorf("rootQ %d: leaf %s granted %d, scaled solve granted %d (want %d)",
+					rootQ, id, q, gk[id], q*k)
+			}
+		}
+		if r1.GrantedQuanta*k != rk.GrantedQuanta {
+			t.Errorf("rootQ %d: granted %d vs scaled %d", rootQ, r1.GrantedQuanta, rk.GrantedQuanta)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package powertree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/units"
+)
+
+// ApplyShock returns a copy of the spec with rackID's effective cap
+// reduced by frac (0 ≤ frac < 1). An uncapped rack's base is its
+// aggregate leaf demand (the cap that would not bind), so a shock
+// always produces a binding constraint proportional to the rack's
+// size. The curves are needed to price an uncapped rack's demand.
+func ApplyShock(cs *CurveSet, spec Spec, rackID string, frac float64) (Spec, error) {
+	if math.IsNaN(frac) || frac < 0 || frac >= 1 {
+		return Spec{}, fmt.Errorf("powertree: shock fraction %g outside [0, 1)", frac)
+	}
+	out := Spec{Racks: make([]Rack, len(spec.Racks))}
+	found := false
+	for ri := range spec.Racks {
+		r := spec.Racks[ri]
+		r.Nodes = append([]Node(nil), r.Nodes...)
+		if r.ID == rackID {
+			found = true
+			base := r.Cap
+			if base <= 0 {
+				demandQ := int64(0)
+				for ni := range r.Nodes {
+					c, err := cs.curveFor(&r.Nodes[ni])
+					if err != nil {
+						return Spec{}, err
+					}
+					demandQ += c.maxQ
+				}
+				base = watts(demandQ)
+			}
+			r.Cap = units.Power(base.Watts() * (1 - frac))
+		}
+		out.Racks[ri] = r
+	}
+	if !found {
+		return Spec{}, fmt.Errorf("powertree: shock target rack %q not in spec", rackID)
+	}
+	return out, nil
+}
+
+// ShockStep is one edge of a shocked-budget timeline: the tree
+// re-solved at time At under Budget.
+type ShockStep struct {
+	// At is the edge time; Duration is how long this budget holds
+	// (until the next edge, or the horizon for the last one).
+	At       float64
+	Duration float64
+	// Budget is the effective datacenter budget over the step;
+	// Shocked marks the depressed steps.
+	Budget  units.Power
+	Shocked bool
+	// Granted/Surplus/Shed/TotalPerf summarize the re-solve.
+	Granted   units.Power
+	Surplus   units.Power
+	Shed      int
+	TotalPerf float64
+}
+
+// ShockPlan drives a faults budget-shock schedule down the tree: each
+// shock edge depresses the datacenter budget to budget×(1−frac) and
+// the tree is re-solved; at the shock's end the full budget is
+// restored and re-solved again. The schedule is the injector's
+// deterministic seeded one, so the same seed always yields the same
+// plan. A nil injector (or a spec without shocks) yields the single
+// unshocked step.
+func ShockPlan(cs *CurveSet, spec Spec, budget units.Power, inj *faults.Injector, horizon float64) ([]ShockStep, error) {
+	type edge struct {
+		at      float64
+		budget  units.Power
+		shocked bool
+	}
+	edges := []edge{{at: 0, budget: budget}}
+	if inj != nil {
+		for _, sh := range inj.BudgetShocks(horizon) {
+			depressed := units.Power(budget.Watts() * (1 - sh.Frac))
+			if depressed < 0 {
+				depressed = 0
+			}
+			edges = append(edges, edge{at: sh.At, budget: depressed, shocked: true})
+			if end := sh.At + sh.Duration; end < horizon {
+				edges = append(edges, edge{at: end, budget: budget})
+			}
+		}
+	}
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
+	steps := make([]ShockStep, 0, len(edges))
+	for i, e := range edges {
+		res, err := SolveCurves(cs, spec, e.budget)
+		if err != nil {
+			return nil, err
+		}
+		dur := horizon - e.at
+		if i+1 < len(edges) {
+			dur = edges[i+1].at - e.at
+		}
+		steps = append(steps, ShockStep{
+			At:        e.at,
+			Duration:  dur,
+			Budget:    e.budget,
+			Shocked:   e.shocked,
+			Granted:   res.Granted,
+			Surplus:   res.Surplus,
+			Shed:      len(res.Shed),
+			TotalPerf: res.TotalPerf,
+		})
+	}
+	return steps, nil
+}

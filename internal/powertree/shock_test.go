@@ -1,0 +1,208 @@
+package powertree
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/units"
+)
+
+// TestApplyShockCappedRack: shocking a capped rack scales its cap by
+// (1-frac) and leaves every other rack untouched; the original spec is
+// not mutated.
+func TestApplyShockCappedRack(t *testing.T) {
+	spec, cs := hetero(t)
+	shocked, err := ApplyShock(cs, spec, "gpu", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig, cut units.Power
+	for _, r := range spec.Racks {
+		if r.ID == "gpu" {
+			orig = r.Cap
+		}
+	}
+	for _, r := range shocked.Racks {
+		switch r.ID {
+		case "gpu":
+			cut = r.Cap
+		default:
+			for _, or := range spec.Racks {
+				if or.ID == r.ID && or.Cap != r.Cap {
+					t.Errorf("rack %s cap changed by a shock aimed at gpu: %v -> %v", r.ID, or.Cap, r.Cap)
+				}
+			}
+		}
+	}
+	if want := units.Power(orig.Watts() * 0.6); math.Abs(cut.Watts()-want.Watts()) > 1e-9 {
+		t.Errorf("shocked cap %v, want %v", cut, want)
+	}
+	// The shocked solve must shed or shrink, never grow.
+	full, err := SolveCurves(cs, spec, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := SolveCurves(cs, shocked, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.GrantedQuanta > full.GrantedQuanta {
+		t.Errorf("shock increased granted power: %d -> %d quanta", full.GrantedQuanta, after.GrantedQuanta)
+	}
+}
+
+// TestApplyShockUncappedRack: an uncapped rack's shock base is its
+// aggregate leaf demand, so the new cap binds proportionally.
+func TestApplyShockUncappedRack(t *testing.T) {
+	spec, cs := hetero(t)
+	shocked, err := ApplyShock(cs, spec, "cpu", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cap units.Power
+	for _, r := range shocked.Racks {
+		if r.ID == "cpu" {
+			cap = r.Cap
+		}
+	}
+	if cap <= 0 {
+		t.Fatalf("uncapped rack shock produced no binding cap: %v", cap)
+	}
+	var demandQ int64
+	for _, r := range spec.Racks {
+		if r.ID != "cpu" {
+			continue
+		}
+		for i := range r.Nodes {
+			c, err := cs.curveFor(&r.Nodes[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			demandQ += c.maxQ
+		}
+	}
+	if want := units.Power(watts(demandQ).Watts() * 0.5); math.Abs(cap.Watts()-want.Watts()) > 1e-9 {
+		t.Errorf("shocked cap %v, want half the leaf demand %v", cap, want)
+	}
+}
+
+// TestApplyShockErrors pins the argument validation.
+func TestApplyShockErrors(t *testing.T) {
+	spec, cs := hetero(t)
+	for _, frac := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := ApplyShock(cs, spec, "gpu", frac); err == nil {
+			t.Errorf("frac %v: want error", frac)
+		}
+	}
+	if _, err := ApplyShock(cs, spec, "nope", 0.3); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown rack: err %v, want it named", err)
+	}
+}
+
+// TestShockPlanDeterministicTimeline: the seeded plan alternates full
+// and depressed budgets, covers the horizon exactly, conserves power
+// at every step, and replays identically from the same seed.
+func TestShockPlanDeterministicTimeline(t *testing.T) {
+	spec, cs := hetero(t)
+	mk := func() []ShockStep {
+		sp, err := faults.ParseSpec("shock.mtbs=30,shock.frac=0.35,shock.len=10")
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps, err := ShockPlan(cs, spec, 1000, faults.NewInjector(sp, 9), 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return steps
+	}
+	steps := mk()
+	if len(steps) < 2 {
+		t.Fatalf("seed 9 horizon 120: %d steps, want a shocked timeline", len(steps))
+	}
+	shocked := 0
+	var covered float64
+	for i, st := range steps {
+		if st.Shocked {
+			shocked++
+			if st.Budget >= 1000 {
+				t.Errorf("step %d marked shocked at full budget %v", i, st.Budget)
+			}
+		}
+		if st.Duration < 0 {
+			t.Errorf("step %d: negative duration %g", i, st.Duration)
+		}
+		covered += st.Duration
+		if i > 0 && st.At < steps[i-1].At {
+			t.Errorf("steps out of order: %g after %g", st.At, steps[i-1].At)
+		}
+		if total := st.Granted + st.Surplus; toQuanta(total) != toQuanta(st.Budget) {
+			t.Errorf("step %d: granted %v + surplus %v != budget %v", i, st.Granted, st.Surplus, st.Budget)
+		}
+	}
+	if shocked == 0 {
+		t.Fatal("no shocked steps; spec should fire within the horizon")
+	}
+	if math.Abs(covered-120) > 1e-9 {
+		t.Errorf("durations cover %g s, want the 120 s horizon", covered)
+	}
+	again := mk()
+	if len(again) != len(steps) {
+		t.Fatalf("replay produced %d steps, want %d", len(again), len(steps))
+	}
+	for i := range steps {
+		if steps[i] != again[i] {
+			t.Errorf("step %d replayed differently: %+v vs %+v", i, steps[i], again[i])
+		}
+	}
+
+	// A nil injector yields the single unshocked step.
+	single, err := ShockPlan(cs, spec, 1000, nil, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single) != 1 || single[0].Shocked || single[0].Duration != 120 {
+		t.Fatalf("nil injector: %+v, want one unshocked 120 s step", single)
+	}
+}
+
+// TestDemandAndPairs covers the CurveSet introspection helpers used by
+// the CLI and the invariant harness.
+func TestDemandAndPairs(t *testing.T) {
+	spec, cs := hetero(t)
+	floor, max, err := cs.Demand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor <= 0 || max < floor {
+		t.Fatalf("demand floor %v max %v, want 0 < floor <= max", floor, max)
+	}
+	wantFloor, wantMax := specFloors(t, spec, cs)
+	if toQuanta(floor) != wantFloor || toQuanta(max) != wantMax {
+		t.Errorf("demand (%v, %v), want quanta (%d, %d)", floor, max, wantFloor, wantMax)
+	}
+	pairs := cs.Pairs()
+	if len(pairs) != 4 {
+		t.Fatalf("pairs %v, want the 4 distinct hetero pairs", pairs)
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i-1] >= pairs[i] {
+			t.Fatalf("pairs not sorted: %v", pairs)
+		}
+	}
+
+	// Solve is the BuildCurves+SolveCurves convenience; it must agree
+	// with the split calls exactly.
+	direct, err := Solve(spec, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := SolveCurves(cs, spec, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.String() != split.String() {
+		t.Errorf("Solve and SolveCurves disagree:\n%s\nvs\n%s", direct.String(), split.String())
+	}
+}

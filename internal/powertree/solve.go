@@ -1,0 +1,388 @@
+package powertree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Grant is one leaf's share of the solved tree: the power grant in
+// quanta and watts, the component split COORD makes at that grant, and
+// the modeled performance.
+type Grant struct {
+	Node     string
+	Rack     string
+	Platform string
+	Workload string
+	Priority int
+	// Quanta is the grant in integer quanta; Budget is the same grant
+	// in watts (exact: the quantum is dyadic). FloorQuanta is the
+	// leaf's productive floor, always ≤ Quanta.
+	Quanta      int64
+	FloorQuanta int64
+	Budget      units.Power
+	// Alloc/Status/Surplus are COORD's component-level split of the
+	// grant (zero for synthetic test curves).
+	Alloc   core.Allocation
+	Status  coord.Status
+	Surplus units.Power
+	// Perf is the concave-model performance at the grant.
+	Perf float64
+}
+
+// ShedLeaf records one leaf dropped by admission control and why.
+type ShedLeaf struct {
+	Node     string
+	Rack     string
+	Priority int
+	// FloorQuanta/Floor is the productive floor the budget could not
+	// cover.
+	FloorQuanta int64
+	Floor       units.Power
+	// Reason is "budget" (datacenter budget exhausted) or "rack-cap"
+	// (the leaf's rack cap exhausted).
+	Reason string
+}
+
+// RackResult aggregates one rack's share.
+type RackResult struct {
+	Rack string
+	// Cap is the rack's local bound (0 = uncapped); CapQuanta is its
+	// quantum count (0 when uncapped).
+	Cap       units.Power
+	CapQuanta int64
+	// FloorQuanta is the sum of kept leaves' floors; Quanta/Budget the
+	// rack's total grant.
+	FloorQuanta int64
+	Quanta      int64
+	Budget      units.Power
+	Kept        int
+	Shed        int
+}
+
+// Result is a solved tree. Conservation holds exactly in quanta:
+// GrantedQuanta + SurplusQuanta == Quanta, each rack's Quanta is the
+// sum of its leaves' grants, and GrantedQuanta is the sum over racks.
+type Result struct {
+	// Budget is the datacenter budget; Quanta its quantum count.
+	Budget units.Power
+	Quanta int64
+	// GrantedQuanta/Granted is the power handed down to leaves;
+	// SurplusQuanta/Surplus is the root-level remainder.
+	GrantedQuanta int64
+	Granted       units.Power
+	SurplusQuanta int64
+	Surplus       units.Power
+	// TotalPerf is the summed modeled performance of kept leaves.
+	TotalPerf float64
+	// Oversubscription is aggregate leaf demand over the budget
+	// (0 when the budget is zero): > 1 means the fleet is provisioned
+	// above the bound and relies on reclaim/shedding.
+	Oversubscription float64
+	// Grants lists kept leaves in spec order; Racks the per-rack
+	// aggregates in spec order; Shed the dropped leaves in shed order
+	// (lowest priority first).
+	Grants []Grant
+	Racks  []RackResult
+	Shed   []ShedLeaf
+}
+
+// leafState is the solver's working record for one leaf.
+type leafState struct {
+	node   *Node
+	rack   int
+	curve  *curve
+	kept   bool
+	reason string
+	takeQ  int64 // quanta granted beyond the floor
+}
+
+// fillItem is one curve segment in a fill queue. Ordering is (slope
+// desc, leaf ID asc, segment index asc): ties never depend on spec
+// position, so sibling permutation and rack splitting cannot change
+// the fill.
+type fillItem struct {
+	leaf  int
+	seg   int
+	width int64
+	slope float64
+	id    string
+}
+
+func sortFill(items []fillItem) {
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i], items[j]
+		if a.slope != b.slope {
+			return a.slope > b.slope
+		}
+		if a.id != b.id {
+			return a.id < b.id
+		}
+		return a.seg < b.seg
+	})
+}
+
+// Solve builds the spec's curves and divides the datacenter budget down
+// the tree. Use BuildCurves + SolveCurves to amortize curve
+// construction across many budgets.
+func Solve(spec Spec, budget units.Power) (*Result, error) {
+	cs, err := BuildCurves(spec)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCurves(cs, spec, budget)
+}
+
+// SolveCurves divides budget down the tree using prebuilt curves. The
+// algorithm is water-filling per FastCap, run as one global greedy fill
+// over slope-sorted marginal segments:
+//
+//  1. Shedding (admission control): walk leaves in (priority desc,
+//     node ID asc) order and keep each whose productive floor still
+//     fits under both the remaining datacenter budget and its rack's
+//     remaining cap. The shed set is minimal — no shed leaf's floor
+//     fits in what is left.
+//  2. Rack truncation: each rack contributes its kept leaves' marginal
+//     segments, slope-sorted and truncated at cap − rackFloor, so a
+//     rack-capped watt is never granted.
+//  3. Global fill: merge all racks' segments by the same order and
+//     spend the budget beyond the kept floors greedily. For concave
+//     curves the greedy fill is exactly optimal, and because the merge
+//     preserves each leaf's own segment order, every leaf's taken set
+//     is a prefix of its curve.
+//
+// All arithmetic is in integer quanta; the returned Result conserves
+// the budget exactly at every interior node.
+func SolveCurves(cs *CurveSet, spec Spec, budget units.Power) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	w := budget.Watts()
+	if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+		return nil, fmt.Errorf("powertree: budget %v is not a non-negative finite power", budget)
+	}
+	rootQ := toQuanta(budget)
+
+	// Collect leaves and per-rack caps.
+	var leaves []leafState
+	capQ := make([]int64, len(spec.Racks))
+	for ri := range spec.Racks {
+		r := &spec.Racks[ri]
+		if r.Cap > 0 {
+			capQ[ri] = toQuanta(r.Cap)
+		} else {
+			capQ[ri] = -1 // uncapped
+		}
+		for ni := range r.Nodes {
+			c, err := cs.curveFor(&r.Nodes[ni])
+			if err != nil {
+				return nil, err
+			}
+			leaves = append(leaves, leafState{node: &r.Nodes[ni], rack: ri, curve: c})
+		}
+	}
+
+	// Pass 1 — shedding. Priority desc, node ID asc; a leaf is kept iff
+	// its floor fits in both remaining pools at its turn.
+	order := make([]int, len(leaves))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := &leaves[order[i]], &leaves[order[j]]
+		if a.node.Priority != b.node.Priority {
+			return a.node.Priority > b.node.Priority
+		}
+		return a.node.ID < b.node.ID
+	})
+	keptGlobalQ := int64(0)
+	keptRackQ := make([]int64, len(spec.Racks))
+	var shedOrder []int
+	for _, li := range order {
+		l := &leaves[li]
+		fq := l.curve.floorQ
+		switch {
+		case keptGlobalQ+fq > rootQ:
+			l.reason = "budget"
+		case capQ[l.rack] >= 0 && keptRackQ[l.rack]+fq > capQ[l.rack]:
+			l.reason = "rack-cap"
+		default:
+			l.kept = true
+			keptGlobalQ += fq
+			keptRackQ[l.rack] += fq
+		}
+		if !l.kept {
+			shedOrder = append(shedOrder, li)
+		}
+	}
+
+	// Pass 2 — per-rack segment queues, truncated at the rack cap.
+	var global []fillItem
+	for ri := range spec.Racks {
+		var items []fillItem
+		for li := range leaves {
+			l := &leaves[li]
+			if l.rack != ri || !l.kept {
+				continue
+			}
+			for si, s := range l.curve.segs {
+				items = append(items, fillItem{leaf: li, seg: si, width: s.width, slope: s.slope, id: l.node.ID})
+			}
+		}
+		sortFill(items)
+		if capQ[ri] >= 0 {
+			room := capQ[ri] - keptRackQ[ri]
+			kept := items[:0]
+			for _, it := range items {
+				if room <= 0 {
+					break
+				}
+				if it.width > room {
+					it.width = room
+				}
+				room -= it.width
+				kept = append(kept, it)
+			}
+			items = kept
+		}
+		global = append(global, items...)
+	}
+
+	// Pass 3 — global greedy fill of the budget beyond the floors.
+	sortFill(global)
+	spend := rootQ - keptGlobalQ
+	for _, it := range global {
+		if spend <= 0 {
+			break
+		}
+		take := it.width
+		if take > spend {
+			take = spend
+		}
+		leaves[it.leaf].takeQ += take
+		spend -= take
+	}
+
+	// Assemble the result in spec order.
+	res := &Result{Budget: budget, Quanta: rootQ}
+	res.Racks = make([]RackResult, len(spec.Racks))
+	demandQ := int64(0)
+	for ri := range spec.Racks {
+		rr := &res.Racks[ri]
+		rr.Rack = spec.Racks[ri].ID
+		rr.Cap = spec.Racks[ri].Cap
+		if capQ[ri] >= 0 {
+			rr.CapQuanta = capQ[ri]
+		}
+	}
+	for li := range leaves {
+		l := &leaves[li]
+		demandQ += l.curve.maxQ
+		if !l.kept {
+			continue
+		}
+		grantQ := l.curve.floorQ + l.takeQ
+		g := Grant{
+			Node:        l.node.ID,
+			Rack:        spec.Racks[l.rack].ID,
+			Platform:    l.node.Platform.Name,
+			Workload:    l.node.Workload.Name,
+			Priority:    l.node.Priority,
+			Quanta:      grantQ,
+			FloorQuanta: l.curve.floorQ,
+			Budget:      watts(grantQ),
+			Perf:        l.curve.perfAt(grantQ),
+		}
+		switch {
+		case l.curve.cpuProf != nil:
+			d := coord.CPU(*l.curve.cpuProf, g.Budget)
+			g.Alloc, g.Status, g.Surplus = d.Alloc, d.Status, d.Surplus
+		case l.curve.gpuProf != nil:
+			d := coord.GPU(*l.curve.gpuProf, g.Budget, coord.DefaultGamma)
+			g.Alloc, g.Status, g.Surplus = d.Alloc, d.Status, d.Surplus
+		}
+		res.Grants = append(res.Grants, g)
+		rr := &res.Racks[l.rack]
+		rr.FloorQuanta += l.curve.floorQ
+		rr.Quanta += grantQ
+		rr.Kept++
+		res.GrantedQuanta += grantQ
+	}
+	// Sum performance in node-ID order so the float total is identical
+	// under sibling permutation (addition order independence).
+	perfOrder := make([]int, len(res.Grants))
+	for i := range perfOrder {
+		perfOrder[i] = i
+	}
+	sort.Slice(perfOrder, func(i, j int) bool {
+		return res.Grants[perfOrder[i]].Node < res.Grants[perfOrder[j]].Node
+	})
+	for _, gi := range perfOrder {
+		res.TotalPerf += res.Grants[gi].Perf
+	}
+	for ri := range res.Racks {
+		res.Racks[ri].Budget = watts(res.Racks[ri].Quanta)
+	}
+	for _, li := range shedOrder {
+		l := &leaves[li]
+		res.Shed = append(res.Shed, ShedLeaf{
+			Node:        l.node.ID,
+			Rack:        spec.Racks[l.rack].ID,
+			Priority:    l.node.Priority,
+			FloorQuanta: l.curve.floorQ,
+			Floor:       watts(l.curve.floorQ),
+			Reason:      l.reason,
+		})
+		res.Racks[l.rack].Shed++
+	}
+	res.Granted = watts(res.GrantedQuanta)
+	res.SurplusQuanta = rootQ - res.GrantedQuanta
+	res.Surplus = watts(res.SurplusQuanta)
+	if rootQ > 0 {
+		res.Oversubscription = float64(demandQ) / float64(rootQ)
+	}
+	return res, nil
+}
+
+// g formats a float canonically for golden comparisons.
+func gfmt(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// String renders the result canonically and deterministically — the
+// same solve always produces the same bytes, which the golden
+// serial-vs-parallel identity tests compare directly.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tree budget=%sW quanta=%d granted=%d surplus=%d perf=%s oversub=%s\n",
+		gfmt(r.Budget.Watts()), r.Quanta, r.GrantedQuanta, r.SurplusQuanta,
+		gfmt(r.TotalPerf), gfmt(r.Oversubscription))
+	for i := range r.Racks {
+		rr := &r.Racks[i]
+		cap := "none"
+		if rr.Cap > 0 {
+			cap = gfmt(rr.Cap.Watts()) + "W"
+		}
+		fmt.Fprintf(&b, "rack %s cap=%s floorq=%d quanta=%d kept=%d shed=%d\n",
+			rr.Rack, cap, rr.FloorQuanta, rr.Quanta, rr.Kept, rr.Shed)
+	}
+	for i := range r.Grants {
+		g := &r.Grants[i]
+		fmt.Fprintf(&b, "grant %s rack=%s prio=%d q=%d budget=%sW proc=%sW mem=%sW status=%s surplus=%sW perf=%s\n",
+			g.Node, g.Rack, g.Priority, g.Quanta, gfmt(g.Budget.Watts()),
+			gfmt(g.Alloc.Proc.Watts()), gfmt(g.Alloc.Mem.Watts()),
+			g.Status, gfmt(g.Surplus.Watts()), gfmt(g.Perf))
+	}
+	for i := range r.Shed {
+		s := &r.Shed[i]
+		fmt.Fprintf(&b, "shed %s rack=%s prio=%d floorq=%d reason=%s\n",
+			s.Node, s.Rack, s.Priority, s.FloorQuanta, s.Reason)
+	}
+	return b.String()
+}

@@ -1,0 +1,418 @@
+package powertree
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// heteroSpecString is the canonical 2-rack heterogeneous topology the
+// issue's acceptance criteria name: IvyBridge + Haswell CPUs beside a
+// capped GPU rack mixing two card generations.
+const heteroSpecString = "cpu=ivybridge/stream*2^2,haswell/dgemm^1;gpu@450=titanxp/sgemm^1,titanv/gpustream"
+
+var heteroOnce struct {
+	sync.Once
+	spec Spec
+	cs   *CurveSet
+	err  error
+}
+
+// hetero builds (once) the shared heterogeneous spec and its curves.
+func hetero(t *testing.T) (Spec, *CurveSet) {
+	t.Helper()
+	heteroOnce.Do(func() {
+		heteroOnce.spec, heteroOnce.err = ParseTreeSpec(heteroSpecString)
+		if heteroOnce.err != nil {
+			return
+		}
+		heteroOnce.cs, heteroOnce.err = BuildCurves(heteroOnce.spec)
+	})
+	if heteroOnce.err != nil {
+		t.Fatalf("hetero fixture: %v", heteroOnce.err)
+	}
+	return heteroOnce.spec, heteroOnce.cs
+}
+
+// specFloors sums floor and max quanta over all leaves.
+func specFloors(t *testing.T, spec Spec, cs *CurveSet) (floorQ, maxQ int64) {
+	t.Helper()
+	for ri := range spec.Racks {
+		for ni := range spec.Racks[ri].Nodes {
+			c, err := cs.curveFor(&spec.Racks[ri].Nodes[ni])
+			if err != nil {
+				t.Fatal(err)
+			}
+			floorQ += c.floorQ
+			maxQ += c.maxQ
+		}
+	}
+	return floorQ, maxQ
+}
+
+// budgetGrid spans 0 → beyond aggregate demand in n steps.
+func budgetGrid(maxQ int64, n int) []units.Power {
+	grid := make([]units.Power, 0, n)
+	top := maxQ + maxQ/5 + 8
+	for i := 0; i < n; i++ {
+		grid = append(grid, watts(top*int64(i)/int64(n-1)))
+	}
+	return grid
+}
+
+// checkConservation asserts the integer conservation identities of one
+// solved tree; shared with the invariant harness's logic.
+func checkConservation(t *testing.T, spec Spec, cs *CurveSet, res *Result) {
+	t.Helper()
+	if res.GrantedQuanta+res.SurplusQuanta != res.Quanta {
+		t.Errorf("budget %v: granted %d + surplus %d != root %d",
+			res.Budget, res.GrantedQuanta, res.SurplusQuanta, res.Quanta)
+	}
+	if res.SurplusQuanta < 0 {
+		t.Errorf("budget %v: negative surplus %d", res.Budget, res.SurplusQuanta)
+	}
+	rackSum := int64(0)
+	perRack := map[string]int64{}
+	for _, g := range res.Grants {
+		perRack[g.Rack] += g.Quanta
+	}
+	for _, rr := range res.Racks {
+		if perRack[rr.Rack] != rr.Quanta {
+			t.Errorf("budget %v: rack %s quanta %d != leaf sum %d",
+				res.Budget, rr.Rack, rr.Quanta, perRack[rr.Rack])
+		}
+		if rr.CapQuanta > 0 && rr.Quanta > rr.CapQuanta {
+			t.Errorf("budget %v: rack %s granted %d over cap %d",
+				res.Budget, rr.Rack, rr.Quanta, rr.CapQuanta)
+		}
+		rackSum += rr.Quanta
+	}
+	if rackSum != res.GrantedQuanta {
+		t.Errorf("budget %v: rack sum %d != granted %d", res.Budget, rackSum, res.GrantedQuanta)
+	}
+	// Per-leaf bounds: every grant within [floor, max] of its curve.
+	byID := map[string]*Node{}
+	for ri := range spec.Racks {
+		for ni := range spec.Racks[ri].Nodes {
+			byID[spec.Racks[ri].Nodes[ni].ID] = &spec.Racks[ri].Nodes[ni]
+		}
+	}
+	if len(res.Grants)+len(res.Shed) != len(byID) {
+		t.Errorf("budget %v: %d grants + %d shed != %d leaves",
+			res.Budget, len(res.Grants), len(res.Shed), len(byID))
+	}
+	for _, g := range res.Grants {
+		c, err := cs.curveFor(byID[g.Node])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Quanta < c.floorQ || g.Quanta > c.maxQ {
+			t.Errorf("budget %v: grant %s q=%d outside [%d, %d]",
+				res.Budget, g.Node, g.Quanta, c.floorQ, c.maxQ)
+		}
+	}
+}
+
+// checkShedMinimal asserts no shed leaf could be re-admitted: its floor
+// exceeds the remaining global headroom over kept floors, or its rack's
+// remaining cap headroom.
+func checkShedMinimal(t *testing.T, spec Spec, cs *CurveSet, res *Result) {
+	t.Helper()
+	keptFloorQ := int64(0)
+	rackFloorQ := map[string]int64{}
+	for _, rr := range res.Racks {
+		keptFloorQ += rr.FloorQuanta
+		rackFloorQ[rr.Rack] = rr.FloorQuanta
+	}
+	capQ := map[string]int64{}
+	for _, rr := range res.Racks {
+		if rr.Cap > 0 {
+			capQ[rr.Rack] = rr.CapQuanta
+		} else {
+			capQ[rr.Rack] = -1
+		}
+	}
+	for _, s := range res.Shed {
+		overBudget := keptFloorQ+s.FloorQuanta > res.Quanta
+		overRack := capQ[s.Rack] >= 0 && rackFloorQ[s.Rack]+s.FloorQuanta > capQ[s.Rack]
+		if !overBudget && !overRack {
+			t.Errorf("budget %v: shed leaf %s (floor %d) is re-admissible: kept floors %d, root %d, rack floors %d, cap %d",
+				res.Budget, s.Node, s.FloorQuanta, keptFloorQ, res.Quanta, rackFloorQ[s.Rack], capQ[s.Rack])
+		}
+	}
+}
+
+func TestSolveConservationHetero(t *testing.T) {
+	spec, cs := hetero(t)
+	_, maxQ := specFloors(t, spec, cs)
+	for _, b := range budgetGrid(maxQ, 33) {
+		res, err := SolveCurves(cs, spec, b)
+		if err != nil {
+			t.Fatalf("SolveCurves(%v): %v", b, err)
+		}
+		checkConservation(t, spec, cs, res)
+		checkShedMinimal(t, spec, cs, res)
+	}
+}
+
+func TestSolveMonotoneHetero(t *testing.T) {
+	spec, cs := hetero(t)
+	floorQ, maxQ := specFloors(t, spec, cs)
+	prevGranted := int64(-1)
+	prevPerf := -1.0
+	for _, b := range budgetGrid(maxQ, 65) {
+		res, err := SolveCurves(cs, spec, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.GrantedQuanta < prevGranted {
+			t.Errorf("granted power not monotone: %d quanta after %d at budget %v",
+				res.GrantedQuanta, prevGranted, b)
+		}
+		prevGranted = res.GrantedQuanta
+		if res.Quanta >= floorQ {
+			// Shed-free regime: total performance must be monotone.
+			if len(res.Shed) != 0 {
+				t.Errorf("budget %v covers all floors (%d >= %d) but shed %d leaves",
+					b, res.Quanta, floorQ, len(res.Shed))
+			}
+			if res.TotalPerf < prevPerf {
+				t.Errorf("perf not monotone in shed-free regime: %g after %g at budget %v",
+					res.TotalPerf, prevPerf, b)
+			}
+			prevPerf = res.TotalPerf
+		}
+	}
+}
+
+func TestSolveShedPriorities(t *testing.T) {
+	spec, cs := hetero(t)
+	floorQ, _ := specFloors(t, spec, cs)
+	// Just below the aggregate floor: someone must be shed, and every
+	// budget-shed leaf must be blocked by its seniors' floors (greedy
+	// admission order: priority desc, node ID asc) — never skipped in
+	// favor of a junior.
+	res, err := SolveCurves(cs, spec, watts(floorQ-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shed) == 0 {
+		t.Fatal("budget below aggregate floor shed nothing")
+	}
+	for _, s := range res.Shed {
+		if s.Reason != "budget" {
+			continue
+		}
+		blockQ := int64(0)
+		for _, g := range res.Grants {
+			if g.Priority > s.Priority || (g.Priority == s.Priority && g.Node < s.Node) {
+				blockQ += g.FloorQuanta
+			}
+		}
+		if blockQ+s.FloorQuanta <= res.Quanta {
+			t.Errorf("budget-shed leaf %s (prio %d, floor %d) fits after its seniors' floors (%d of %d quanta)",
+				s.Node, s.Priority, s.FloorQuanta, blockQ, res.Quanta)
+		}
+	}
+}
+
+func TestSolveZeroBudget(t *testing.T) {
+	spec, cs := hetero(t)
+	res, err := SolveCurves(cs, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grants) != 0 || res.GrantedQuanta != 0 {
+		t.Fatalf("zero budget granted %d quanta to %d leaves", res.GrantedQuanta, len(res.Grants))
+	}
+	if len(res.Shed) != spec.Leaves() {
+		t.Fatalf("zero budget shed %d of %d leaves", len(res.Shed), spec.Leaves())
+	}
+	for _, s := range res.Shed {
+		if s.Reason != "budget" {
+			t.Errorf("zero-budget shed reason %q, want budget", s.Reason)
+		}
+	}
+	if res.Oversubscription != 0 {
+		t.Errorf("zero budget oversubscription = %g, want 0", res.Oversubscription)
+	}
+}
+
+func TestSolveSurplus(t *testing.T) {
+	spec, cs := hetero(t)
+	_, maxQ := specFloors(t, spec, cs)
+	// Note the GPU rack cap binds before leaf demand: compute the
+	// capped capacity instead of raw demand.
+	res, err := SolveCurves(cs, spec, watts(maxQ+400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shed) != 0 {
+		t.Fatalf("abundant budget shed %d leaves", len(res.Shed))
+	}
+	if res.SurplusQuanta < 400 {
+		t.Errorf("surplus %d quanta, want >= 400 (budget exceeds demand by 100W)", res.SurplusQuanta)
+	}
+	if res.Oversubscription >= 1 {
+		t.Errorf("oversubscription %g at abundant budget, want < 1", res.Oversubscription)
+	}
+	// The capped rack must respect its cap even under abundance.
+	for _, rr := range res.Racks {
+		if rr.CapQuanta > 0 && rr.Quanta > rr.CapQuanta {
+			t.Errorf("rack %s granted %d over cap %d", rr.Rack, rr.Quanta, rr.CapQuanta)
+		}
+	}
+}
+
+// synthBuilder hands out distinct (platform, workload) pairs so tests
+// can attach a private hand-made curve to each leaf.
+type synthBuilder struct {
+	t    *testing.T
+	cs   *CurveSet
+	next int
+}
+
+var synthPairs = []string{"stream", "dgemm", "bt", "sp", "lu", "ep", "is", "cg", "ft", "mg", "sra"}
+
+func newSynth(t *testing.T) *synthBuilder {
+	return &synthBuilder{t: t, cs: &CurveSet{curves: map[string]*curve{}}}
+}
+
+func (b *synthBuilder) leaf(id string, prio int, c curve) Node {
+	b.t.Helper()
+	if b.next >= len(synthPairs) {
+		b.t.Fatal("synthBuilder out of distinct workloads")
+	}
+	p, err := hw.PlatformByName("ivybridge")
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	w, err := workload.ByName(synthPairs[b.next])
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	b.next++
+	c.kind = hw.KindCPU
+	c.maxQ = c.floorQ
+	for _, s := range c.segs {
+		c.maxQ += s.width
+	}
+	b.cs.curves[pairKey(p, w)] = &c
+	return Node{ID: id, Platform: p, Workload: w, Priority: prio}
+}
+
+func TestWaterFillingKnownAnswer(t *testing.T) {
+	b := newSynth(t)
+	// A: floor 10, 20 quanta at slope 2. B: floor 5, 20 quanta at
+	// slope 1. Budget 40 → floors 15, spend 25 → A fills fully (20),
+	// B gets the remaining 5.
+	a := b.leaf("a", 0, curve{floorQ: 10, base: 1, segs: []segment{{width: 20, slope: 2}}})
+	bb := b.leaf("b", 0, curve{floorQ: 5, base: 1, segs: []segment{{width: 20, slope: 1}}})
+	spec := Spec{Racks: []Rack{{ID: "r", Nodes: []Node{a, bb}}}}
+	res, err := SolveCurves(b.cs, spec, watts(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, g := range res.Grants {
+		got[g.Node] = g.Quanta
+	}
+	if got["a"] != 30 || got["b"] != 10 {
+		t.Fatalf("grants = %v, want a=30 b=10", got)
+	}
+	if res.SurplusQuanta != 0 {
+		t.Errorf("surplus = %d, want 0", res.SurplusQuanta)
+	}
+	wantPerf := 1.0 + 20*2 + 1.0 + 5*1
+	if res.TotalPerf != wantPerf {
+		t.Errorf("perf = %g, want %g", res.TotalPerf, wantPerf)
+	}
+}
+
+func TestRackCapTruncation(t *testing.T) {
+	b := newSynth(t)
+	// Rack capped at 18 quanta (4.5 W): floors 10+5, leaving 3 quanta
+	// of headroom even though the budget could fill 40.
+	a := b.leaf("a", 0, curve{floorQ: 10, segs: []segment{{width: 20, slope: 2}}})
+	bb := b.leaf("b", 0, curve{floorQ: 5, segs: []segment{{width: 20, slope: 1}}})
+	spec := Spec{Racks: []Rack{{ID: "r", Cap: watts(18), Nodes: []Node{a, bb}}}}
+	res, err := SolveCurves(b.cs, spec, watts(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, g := range res.Grants {
+		got[g.Node] = g.Quanta
+	}
+	// All 3 headroom quanta go to the steeper curve a.
+	if got["a"] != 13 || got["b"] != 5 {
+		t.Fatalf("grants = %v, want a=13 b=5", got)
+	}
+	if res.GrantedQuanta != 18 || res.SurplusQuanta != 22 {
+		t.Errorf("granted/surplus = %d/%d, want 18/22", res.GrantedQuanta, res.SurplusQuanta)
+	}
+}
+
+func TestGreedyMatchesBruteForce(t *testing.T) {
+	b := newSynth(t)
+	// Three small concave curves; exhaustive search over the quanta
+	// grid must not beat the water-filling fill at any budget.
+	nodes := []Node{
+		b.leaf("a", 0, curve{floorQ: 3, base: 5, segs: []segment{{width: 4, slope: 3}, {width: 5, slope: 1}}}),
+		b.leaf("b", 0, curve{floorQ: 2, base: 2, segs: []segment{{width: 6, slope: 2.5}, {width: 2, slope: 0.5}}}),
+		b.leaf("c", 0, curve{floorQ: 4, base: 7, segs: []segment{{width: 3, slope: 2}}}),
+	}
+	spec := Spec{Racks: []Rack{{ID: "r", Nodes: nodes}}}
+	curves := make([]*curve, len(nodes))
+	for i := range nodes {
+		c, err := b.cs.curveFor(&nodes[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		curves[i] = c
+	}
+	for rootQ := int64(9); rootQ <= 30; rootQ++ {
+		res, err := SolveCurves(b.cs, spec, watts(rootQ))
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0.0
+		for qa := curves[0].floorQ; qa <= curves[0].maxQ; qa++ {
+			for qb := curves[1].floorQ; qb <= curves[1].maxQ; qb++ {
+				for qc := curves[2].floorQ; qc <= curves[2].maxQ; qc++ {
+					if qa+qb+qc > rootQ {
+						continue
+					}
+					perf := curves[0].perfAt(qa) + curves[1].perfAt(qb) + curves[2].perfAt(qc)
+					if perf > best {
+						best = perf
+					}
+				}
+			}
+		}
+		if len(res.Shed) > 0 {
+			continue // brute force above assumes all kept
+		}
+		if res.TotalPerf < best-1e-9 {
+			t.Errorf("rootQ %d: greedy perf %g below brute-force optimum %g", rootQ, res.TotalPerf, best)
+		}
+	}
+}
+
+func TestSolveRejectsBadBudget(t *testing.T) {
+	spec, cs := hetero(t)
+	for _, b := range []units.Power{units.Power(-1), units.Power(nan()), units.Power(inf())} {
+		if _, err := SolveCurves(cs, spec, b); err == nil {
+			t.Errorf("SolveCurves(%v): want error", b)
+		}
+	}
+}
+
+func nan() float64 { return f64div(0, 0) }
+func inf() float64 { return f64div(1, 0) }
+
+// f64div defeats constant folding errors for 0/0 and 1/0.
+func f64div(a, b float64) float64 { return a / b }

@@ -1,0 +1,175 @@
+package powertree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// maxNodeCount bounds one node group's '*count' multiplier.
+const maxNodeCount = 1024
+
+// ParseTreeSpec parses a compact tree-topology string:
+//
+//	spec := rack (';' rack)*
+//	rack := id ['@' capWatts] '=' group (',' group)*
+//	group := platform '/' workload ['*' count] ['^' priority]
+//
+// For example, a 2-rack heterogeneous datacenter:
+//
+//	"rackA=ivybridge/stream*2,haswell/dgemm^1;rackB@450=titanxp/sgemm^1,titanv/gpustream"
+//
+// Each group expands to count nodes (default 1) at the given SLA
+// priority (default 0, the best-effort class); node IDs are generated
+// positionally as "<rack>/<index>". Unknown platforms or workloads,
+// kind mismatches, duplicate rack IDs, and malformed numbers are
+// errors. ParseTreeSpec(s.String()) reproduces s exactly for any spec
+// this parser produced.
+func ParseTreeSpec(s string) (Spec, error) {
+	var sp Spec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Spec{}, fmt.Errorf("powertree: empty tree spec")
+	}
+	for _, rackPart := range strings.Split(s, ";") {
+		rackPart = strings.TrimSpace(rackPart)
+		if rackPart == "" {
+			return Spec{}, fmt.Errorf("powertree: empty rack entry in spec %q", s)
+		}
+		head, nodesPart, ok := strings.Cut(rackPart, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("powertree: rack entry %q is not id[@cap]=nodes", rackPart)
+		}
+		head = strings.TrimSpace(head)
+		rack := Rack{}
+		if id, capStr, hasCap := strings.Cut(head, "@"); hasCap {
+			rack.ID = strings.TrimSpace(id)
+			capW, err := strconv.ParseFloat(strings.TrimSpace(capStr), 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("powertree: rack %q: bad cap %q: %v", rack.ID, capStr, err)
+			}
+			if capW <= 0 {
+				return Spec{}, fmt.Errorf("powertree: rack %q: cap must be positive, got %g", rack.ID, capW)
+			}
+			rack.Cap = units.Power(capW)
+		} else {
+			rack.ID = head
+		}
+		for _, groupPart := range strings.Split(nodesPart, ",") {
+			groupPart = strings.TrimSpace(groupPart)
+			if groupPart == "" {
+				return Spec{}, fmt.Errorf("powertree: rack %q: empty node entry", rack.ID)
+			}
+			nodes, err := parseGroup(rack.ID, len(rack.Nodes), groupPart)
+			if err != nil {
+				return Spec{}, err
+			}
+			rack.Nodes = append(rack.Nodes, nodes...)
+		}
+		sp.Racks = append(sp.Racks, rack)
+	}
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+// parseGroup expands one "platform/workload[*count][^priority]" entry
+// into nodes with positional IDs starting at index base.
+func parseGroup(rackID string, base int, s string) ([]Node, error) {
+	prio := 0
+	if body, prioStr, ok := strings.Cut(s, "^"); ok {
+		v, err := strconv.Atoi(strings.TrimSpace(prioStr))
+		if err != nil {
+			return nil, fmt.Errorf("powertree: rack %q: bad priority %q: %v", rackID, prioStr, err)
+		}
+		prio = v
+		s = body
+	}
+	count := 1
+	if body, countStr, ok := strings.Cut(s, "*"); ok {
+		v, err := strconv.Atoi(strings.TrimSpace(countStr))
+		if err != nil {
+			return nil, fmt.Errorf("powertree: rack %q: bad count %q: %v", rackID, countStr, err)
+		}
+		if v < 1 || v > maxNodeCount {
+			return nil, fmt.Errorf("powertree: rack %q: count %d outside [1, %d]", rackID, v, maxNodeCount)
+		}
+		count = v
+		s = body
+	}
+	platName, wlName, ok := strings.Cut(s, "/")
+	if !ok {
+		return nil, fmt.Errorf("powertree: rack %q: node entry %q is not platform/workload", rackID, s)
+	}
+	p, err := hw.PlatformByName(strings.TrimSpace(platName))
+	if err != nil {
+		return nil, fmt.Errorf("powertree: rack %q: %w", rackID, err)
+	}
+	w, err := workload.ByName(strings.TrimSpace(wlName))
+	if err != nil {
+		return nil, fmt.Errorf("powertree: rack %q: %w", rackID, err)
+	}
+	out := make([]Node, count)
+	for i := range out {
+		out[i] = Node{
+			ID:       fmt.Sprintf("%s/%d", rackID, base+i),
+			Platform: p,
+			Workload: w,
+			Priority: prio,
+		}
+	}
+	return out, nil
+}
+
+// String renders the spec canonically: racks in order, consecutive
+// nodes with identical (platform, workload, priority) compressed into
+// one '*count' group. ParseTreeSpec(s.String()) reproduces s exactly
+// when s came from ParseTreeSpec (node IDs are positional).
+func (s Spec) String() string {
+	var b strings.Builder
+	for ri, r := range s.Racks {
+		if ri > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(r.ID)
+		if r.Cap > 0 {
+			b.WriteByte('@')
+			b.WriteString(strconv.FormatFloat(r.Cap.Watts(), 'g', -1, 64))
+		}
+		b.WriteByte('=')
+		for ni := 0; ni < len(r.Nodes); {
+			n := r.Nodes[ni]
+			run := 1
+			for ni+run < len(r.Nodes) && sameGroup(r.Nodes[ni+run], n) {
+				run++
+			}
+			if ni > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(n.Platform.Name)
+			b.WriteByte('/')
+			b.WriteString(n.Workload.Name)
+			if run > 1 {
+				b.WriteByte('*')
+				b.WriteString(strconv.Itoa(run))
+			}
+			if n.Priority != 0 {
+				b.WriteByte('^')
+				b.WriteString(strconv.Itoa(n.Priority))
+			}
+			ni += run
+		}
+	}
+	return b.String()
+}
+
+func sameGroup(a, b Node) bool {
+	return a.Platform.Name == b.Platform.Name &&
+		a.Workload.Name == b.Workload.Name &&
+		a.Priority == b.Priority
+}

@@ -21,6 +21,11 @@ const (
 	minJob       = 2 + 2                 // id, workload
 	minPlacement = 2 + 2 + 8 + 8 + 8 + 8 + 8
 	minString    = 2
+	minTreeNode  = 2 + 2 + 2 + 4         // id, platform, workload, priority
+	minTreeRack  = 2 + 8 + 4             // id, cap, node count
+	minTreeGrant = 2 + 2 + 4 + 8 + 8 + 8 + 2 + 8 + 8
+	minRackGrant = 2 + 8 + 8 + 4 + 4
+	minTreeShed  = 2 + 2 + 4 + 8 + 2
 )
 
 // AppendCoordRequest appends a TCoordRequest frame.
@@ -261,6 +266,153 @@ func DecodeScheduleResponse(data []byte, out *ScheduleResponse) error {
 	}
 	out.PoolLeft = r.f64()
 	out.TotalPower = r.f64()
+	return r.closeFrame()
+}
+
+// AppendTreeRequest appends a TTreeRequest frame. Like the schedule
+// shapes, a request over MaxFrame (thousands of racks) fails with
+// ErrFrameTooLarge and must travel as JSON.
+func AppendTreeRequest(dst []byte, m *TreeRequest) ([]byte, error) {
+	e, p := beginEnc(dst, TTreeRequest)
+	e.f64(m.Budget)
+	e.u32(uint32(len(m.Racks)))
+	for i := range m.Racks {
+		r := &m.Racks[i]
+		e.str(r.ID)
+		e.f64(r.CapWatts)
+		e.u32(uint32(len(r.Nodes)))
+		for j := range r.Nodes {
+			n := &r.Nodes[j]
+			e.str(n.ID)
+			e.str(n.Platform)
+			e.str(n.Workload)
+			e.u32(clampU32(n.Priority))
+		}
+	}
+	e.u32(clampU32(m.TimeoutMS))
+	return e.finish(p)
+}
+
+// DecodeTreeRequest decodes a TTreeRequest frame into out, reusing the
+// Racks capacity (per-rack node slices are reallocated).
+func DecodeTreeRequest(data []byte, out *TreeRequest) error {
+	r, err := openFrame(data, TTreeRequest)
+	if err != nil {
+		return err
+	}
+	out.Budget = r.f64()
+	nr := r.count(minTreeRack)
+	out.Racks = out.Racks[:0]
+	for i := 0; i < nr && r.err == nil; i++ {
+		var rk TreeRackJSON
+		rk.ID = r.str()
+		rk.CapWatts = r.f64()
+		nn := r.count(minTreeNode)
+		for j := 0; j < nn && r.err == nil; j++ {
+			rk.Nodes = append(rk.Nodes, TreeNodeJSON{
+				ID:       r.str(),
+				Platform: r.str(),
+				Workload: r.str(),
+				Priority: int(r.u32()),
+			})
+		}
+		out.Racks = append(out.Racks, rk)
+	}
+	out.TimeoutMS = int(r.u32())
+	return r.closeFrame()
+}
+
+// AppendTreeResponse appends a TTreeResponse frame.
+func AppendTreeResponse(dst []byte, m *TreeResponse) ([]byte, error) {
+	e, p := beginEnc(dst, TTreeResponse)
+	e.f64(m.Budget)
+	e.f64(m.Granted)
+	e.f64(m.Surplus)
+	e.f64(m.TotalPerf)
+	e.f64(m.Oversubscription)
+	e.u32(uint32(len(m.Grants)))
+	for i := range m.Grants {
+		g := &m.Grants[i]
+		e.str(g.Node)
+		e.str(g.Rack)
+		e.u32(clampU32(g.Priority))
+		e.f64(g.Budget)
+		e.f64(g.Alloc.ProcWatts)
+		e.f64(g.Alloc.MemWatts)
+		e.str(g.Status)
+		e.f64(g.SurplusWatts)
+		e.f64(g.ExpectedPerf)
+	}
+	e.u32(uint32(len(m.Racks)))
+	for i := range m.Racks {
+		rr := &m.Racks[i]
+		e.str(rr.Rack)
+		e.f64(rr.CapWatts)
+		e.f64(rr.Budget)
+		e.u32(clampU32(rr.Kept))
+		e.u32(clampU32(rr.Shed))
+	}
+	e.u32(uint32(len(m.Shed)))
+	for i := range m.Shed {
+		s := &m.Shed[i]
+		e.str(s.Node)
+		e.str(s.Rack)
+		e.u32(clampU32(s.Priority))
+		e.f64(s.FloorWatts)
+		e.str(s.Reason)
+	}
+	return e.finish(p)
+}
+
+// DecodeTreeResponse decodes a TTreeResponse frame into out, reusing
+// the Grants, Racks, and Shed capacity.
+func DecodeTreeResponse(data []byte, out *TreeResponse) error {
+	r, err := openFrame(data, TTreeResponse)
+	if err != nil {
+		return err
+	}
+	out.Budget = r.f64()
+	out.Granted = r.f64()
+	out.Surplus = r.f64()
+	out.TotalPerf = r.f64()
+	out.Oversubscription = r.f64()
+	ng := r.count(minTreeGrant)
+	out.Grants = out.Grants[:0]
+	for i := 0; i < ng && r.err == nil; i++ {
+		var g TreeGrantJSON
+		g.Node = r.str()
+		g.Rack = r.str()
+		g.Priority = int(r.u32())
+		g.Budget = r.f64()
+		g.Alloc.ProcWatts = r.f64()
+		g.Alloc.MemWatts = r.f64()
+		g.Status = r.str()
+		g.SurplusWatts = r.f64()
+		g.ExpectedPerf = r.f64()
+		out.Grants = append(out.Grants, g)
+	}
+	nr := r.count(minRackGrant)
+	out.Racks = out.Racks[:0]
+	for i := 0; i < nr && r.err == nil; i++ {
+		var rr TreeRackGrantJSON
+		rr.Rack = r.str()
+		rr.CapWatts = r.f64()
+		rr.Budget = r.f64()
+		rr.Kept = int(r.u32())
+		rr.Shed = int(r.u32())
+		out.Racks = append(out.Racks, rr)
+	}
+	ns := r.count(minTreeShed)
+	out.Shed = out.Shed[:0]
+	for i := 0; i < ns && r.err == nil; i++ {
+		var s TreeShedJSON
+		s.Node = r.str()
+		s.Rack = r.str()
+		s.Priority = int(r.u32())
+		s.FloorWatts = r.f64()
+		s.Reason = r.str()
+		out.Shed = append(out.Shed, s)
+	}
 	return r.closeFrame()
 }
 

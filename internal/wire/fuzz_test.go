@@ -107,6 +107,48 @@ func FuzzWireRoundTrip(f *testing.F) {
 		if !reflect.DeepEqual(srespOut, sresp) {
 			t.Fatalf("schedule response: got %+v want %+v", srespOut, sresp)
 		}
+
+		treq := TreeRequest{Budget: budget, TimeoutMS: int(timeout)}
+		for i := 0; i < int(n%4); i++ {
+			rack := TreeRackJSON{ID: platform, CapWatts: budget / 2}
+			for j := 0; j < int(n%3); j++ {
+				rack.Nodes = append(rack.Nodes, TreeNodeJSON{
+					ID: workload, Platform: platform, Workload: workload, Priority: int(timeout) % 7,
+				})
+			}
+			treq.Racks = append(treq.Racks, rack)
+		}
+		var treqOut TreeRequest
+		if err := DecodeTreeRequest(mustAppendTreeRequest(nil, &treq), &treqOut); err != nil {
+			t.Fatalf("tree request: %v", err)
+		}
+		if len(treq.Racks) == 0 {
+			treq.Racks = treqOut.Racks
+		}
+		if !reflect.DeepEqual(treqOut, treq) {
+			t.Fatalf("tree request: got %+v want %+v", treqOut, treq)
+		}
+
+		tresp := TreeResponse{Budget: budget, Granted: budget / 2, Surplus: budget / 4, TotalPerf: -budget, Oversubscription: 1.5}
+		for i := 0; i < int(n%4); i++ {
+			tresp.Grants = append(tresp.Grants, TreeGrantJSON{
+				Node: platform, Rack: workload, Priority: i, Budget: budget,
+				Alloc: AllocJSON{ProcWatts: budget, MemWatts: -budget}, Status: status,
+				SurplusWatts: float64(i), ExpectedPerf: budget / 3,
+			})
+			tresp.Racks = append(tresp.Racks, TreeRackGrantJSON{Rack: workload, CapWatts: budget, Budget: budget, Kept: i, Shed: 1})
+			tresp.Shed = append(tresp.Shed, TreeShedJSON{Node: strategy, Rack: workload, Priority: i, FloorWatts: budget, Reason: status})
+		}
+		var trespOut TreeResponse
+		if err := DecodeTreeResponse(mustAppendTreeResponse(nil, &tresp), &trespOut); err != nil {
+			t.Fatalf("tree response: %v", err)
+		}
+		if len(tresp.Grants) == 0 {
+			tresp.Grants, tresp.Racks, tresp.Shed = trespOut.Grants, trespOut.Racks, trespOut.Shed
+		}
+		if !reflect.DeepEqual(trespOut, tresp) {
+			t.Fatalf("tree response: got %+v want %+v", trespOut, tresp)
+		}
 	})
 }
 
@@ -123,6 +165,8 @@ func FuzzWireMalformed(f *testing.F) {
 	f.Add(mustAppendPlanResponse(nil, &PlanResponse{Steps: []PlanStepJSON{{Phase: "a"}}}))
 	f.Add(mustAppendScheduleRequest(nil, &ScheduleRequest{Nodes: []NodeJSON{{ID: "n"}}, Jobs: []JobJSON{{ID: "j"}}}))
 	f.Add(mustAppendScheduleResponse(nil, &ScheduleResponse{Placements: []PlacementJSON{{Job: "j"}}, Deferred: []string{"d"}}))
+	f.Add(mustAppendTreeRequest(nil, &TreeRequest{Racks: []TreeRackJSON{{ID: "r", Nodes: []TreeNodeJSON{{ID: "r/0"}}}}}))
+	f.Add(mustAppendTreeResponse(nil, &TreeResponse{Grants: []TreeGrantJSON{{Node: "r/0"}}, Shed: []TreeShedJSON{{Node: "r/1"}}}))
 	f.Add(AppendError(nil, 500, "boom"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		Tag(data)
@@ -141,6 +185,12 @@ func FuzzWireMalformed(f *testing.F) {
 		DecodeScheduleRequest(data, &sreq)
 		var sresp ScheduleResponse
 		DecodeScheduleResponse(data, &sresp)
+		var treq TreeRequest
+		if DecodeTreeRequest(data, &treq) == nil {
+			reencode(t, data, mustAppendTreeRequest(nil, &treq))
+		}
+		var tresp TreeResponse
+		DecodeTreeResponse(data, &tresp)
 		DecodeError(data)
 	})
 }

@@ -1,6 +1,7 @@
-// Package wire owns the allocation service's wire surface: the three
-// request/response shapes (shared by the JSON and binary codecs) and a
-// compact length-prefixed binary protocol for them.
+// Package wire owns the allocation service's wire surface: the
+// request/response shapes of its four routes (shared by the JSON and
+// binary codecs) and a compact length-prefixed binary protocol for
+// them.
 //
 // The JSON encoding is the compatibility surface — encoding/json over
 // the structs below, exactly as allocsvc has always served. The binary
@@ -15,7 +16,7 @@
 //
 //	offset 0: magic "pB" (2 bytes)
 //	offset 2: version (1 byte, currently 1)
-//	offset 3: shape tag (1 byte, TCoordRequest..TError)
+//	offset 3: shape tag (1 byte, TCoordRequest..TTreeResponse)
 //	offset 4: payload length (uint32)
 //	offset 8: payload
 //
@@ -128,6 +129,77 @@ type ScheduleResponse struct {
 	Deferred   []string        `json:"deferred,omitempty"`
 	PoolLeft   float64         `json:"pool_left_watts"`
 	TotalPower float64         `json:"total_expected_power_watts"`
+}
+
+// TreeNodeJSON names one leaf of a budget tree for /v1/tree.
+type TreeNodeJSON struct {
+	ID       string `json:"id"`
+	Platform string `json:"platform"`
+	Workload string `json:"workload"`
+	// Priority is the SLA priority (higher is shed later); 0 is the
+	// best-effort class.
+	Priority int `json:"priority,omitempty"`
+}
+
+// TreeRackJSON is one rack of a budget tree: nodes behind an optional
+// local cap (0 = uncapped).
+type TreeRackJSON struct {
+	ID       string         `json:"id"`
+	CapWatts float64        `json:"cap_watts,omitempty"`
+	Nodes    []TreeNodeJSON `json:"nodes"`
+}
+
+// TreeRequest is the body of POST /v1/tree: one hierarchical division
+// of a datacenter budget over racks of nodes.
+type TreeRequest struct {
+	Budget    float64        `json:"budget_watts"`
+	Racks     []TreeRackJSON `json:"racks"`
+	TimeoutMS int            `json:"timeout_ms,omitempty"`
+}
+
+// TreeGrantJSON is one kept leaf's share of a solved tree.
+type TreeGrantJSON struct {
+	Node     string `json:"node"`
+	Rack     string `json:"rack"`
+	Priority int    `json:"priority,omitempty"`
+	// Budget is the leaf's power grant; Alloc its COORD component
+	// split and Status/SurplusWatts the COORD verdict at that grant.
+	Budget       float64   `json:"budget_watts"`
+	Alloc        AllocJSON `json:"alloc"`
+	Status       string    `json:"status"`
+	SurplusWatts float64   `json:"surplus_watts,omitempty"`
+	ExpectedPerf float64   `json:"expected_perf"`
+}
+
+// TreeRackGrantJSON aggregates one rack's share.
+type TreeRackGrantJSON struct {
+	Rack     string  `json:"rack"`
+	CapWatts float64 `json:"cap_watts,omitempty"`
+	Budget   float64 `json:"budget_watts"`
+	Kept     int     `json:"kept"`
+	Shed     int     `json:"shed"`
+}
+
+// TreeShedJSON is one leaf dropped by admission control.
+type TreeShedJSON struct {
+	Node       string  `json:"node"`
+	Rack       string  `json:"rack"`
+	Priority   int     `json:"priority,omitempty"`
+	FloorWatts float64 `json:"floor_watts"`
+	// Reason is "budget" or "rack-cap".
+	Reason string `json:"reason"`
+}
+
+// TreeResponse is a solved budget tree on the wire.
+type TreeResponse struct {
+	Budget           float64             `json:"budget_watts"`
+	Granted          float64             `json:"granted_watts"`
+	Surplus          float64             `json:"surplus_watts"`
+	TotalPerf        float64             `json:"total_perf"`
+	Oversubscription float64             `json:"oversubscription,omitempty"`
+	Grants           []TreeGrantJSON     `json:"grants"`
+	Racks            []TreeRackGrantJSON `json:"racks"`
+	Shed             []TreeShedJSON      `json:"shed,omitempty"`
 }
 
 // Error is the binary counterpart of allocsvc's {"error": ...} JSON

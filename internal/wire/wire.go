@@ -23,6 +23,10 @@ const (
 	TScheduleRequest
 	TScheduleResponse
 	TError
+	// Tree shapes were added after TError; appending keeps every
+	// pre-existing tag value stable on the wire.
+	TTreeRequest
+	TTreeResponse
 )
 
 // Version is the frame format version (frame byte 2).
@@ -321,7 +325,7 @@ func Tag(data []byte) (byte, error) {
 	if data[0] != 'p' || data[1] != 'B' {
 		return 0, malformed("bad magic %q", data[:2])
 	}
-	if t := data[3]; t >= TCoordRequest && t <= TError {
+	if t := data[3]; t >= TCoordRequest && t <= TTreeResponse {
 		return t, nil
 	}
 	return 0, malformed("unknown shape tag %d", data[3])

@@ -58,6 +58,22 @@ func mustAppendScheduleResponse(dst []byte, m *ScheduleResponse) []byte {
 	return out
 }
 
+func mustAppendTreeRequest(dst []byte, m *TreeRequest) []byte {
+	out, err := AppendTreeRequest(dst, m)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func mustAppendTreeResponse(dst []byte, m *TreeResponse) []byte {
+	out, err := AppendTreeResponse(dst, m)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
 func coordReqFixture() CoordRequest {
 	return CoordRequest{Platform: "ivybridge", Workload: "stream", Budget: 227.5, Strategy: "coord", TimeoutMS: 250}
 }
@@ -175,6 +191,78 @@ func TestScheduleRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(gotResp, resp) {
 		t.Fatalf("response round trip: got %+v want %+v", gotResp, resp)
+	}
+}
+
+func treeReqFixture() TreeRequest {
+	return TreeRequest{
+		Budget: 1200,
+		Racks: []TreeRackJSON{
+			{ID: "cpu", Nodes: []TreeNodeJSON{
+				{ID: "cpu/0", Platform: "ivybridge", Workload: "stream", Priority: 2},
+				{ID: "cpu/1", Platform: "haswell", Workload: "dgemm", Priority: 1},
+			}},
+			{ID: "gpu", CapWatts: 450, Nodes: []TreeNodeJSON{
+				{ID: "gpu/0", Platform: "titanxp", Workload: "sgemm", Priority: 1},
+			}},
+		},
+		TimeoutMS: 750,
+	}
+}
+
+func treeRespFixture() TreeResponse {
+	return TreeResponse{
+		Budget: 1200, Granted: 1100, Surplus: 100, TotalPerf: 42.5, Oversubscription: 1.25,
+		Grants: []TreeGrantJSON{
+			{Node: "cpu/0", Rack: "cpu", Priority: 2, Budget: 300,
+				Alloc: AllocJSON{ProcWatts: 220, MemWatts: 80}, Status: "ok", ExpectedPerf: 20},
+			{Node: "gpu/0", Rack: "gpu", Priority: 1, Budget: 250,
+				Alloc: AllocJSON{ProcWatts: 200, MemWatts: 50}, Status: "surplus", SurplusWatts: 5, ExpectedPerf: 22.5},
+		},
+		Racks: []TreeRackGrantJSON{
+			{Rack: "cpu", Budget: 850, Kept: 2},
+			{Rack: "gpu", CapWatts: 450, Budget: 250, Kept: 1, Shed: 1},
+		},
+		Shed: []TreeShedJSON{
+			{Node: "gpu/1", Rack: "gpu", FloorWatts: 100, Reason: "rack-cap"},
+		},
+	}
+}
+
+func TestTreeRoundTrip(t *testing.T) {
+	req := treeReqFixture()
+	var gotReq TreeRequest
+	if err := DecodeTreeRequest(mustAppendTreeRequest(nil, &req), &gotReq); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotReq, req) {
+		t.Fatalf("request round trip: got %+v want %+v", gotReq, req)
+	}
+
+	resp := treeRespFixture()
+	var gotResp TreeResponse
+	// Seed with stale slices to prove capacity reuse resets them.
+	gotResp.Grants = make([]TreeGrantJSON, 7)
+	gotResp.Racks = make([]TreeRackGrantJSON, 7)
+	gotResp.Shed = make([]TreeShedJSON, 7)
+	if err := DecodeTreeResponse(mustAppendTreeResponse(nil, &resp), &gotResp); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotResp, resp) {
+		t.Fatalf("response round trip: got %+v want %+v", gotResp, resp)
+	}
+}
+
+func TestTreeTag(t *testing.T) {
+	if tag, err := Tag(mustAppendTreeRequest(nil, &TreeRequest{})); err != nil || tag != TTreeRequest {
+		t.Fatalf("tree request tag %d err %v", tag, err)
+	}
+	if tag, err := Tag(mustAppendTreeResponse(nil, &TreeResponse{})); err != nil || tag != TTreeResponse {
+		t.Fatalf("tree response tag %d err %v", tag, err)
+	}
+	// The appended tags must not have renumbered the frozen ones.
+	if TError != 7 || TTreeRequest != 8 || TTreeResponse != 9 {
+		t.Fatalf("tag values moved: TError=%d TTreeRequest=%d TTreeResponse=%d", TError, TTreeRequest, TTreeResponse)
 	}
 }
 
