@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check fuzz bench benchsmoke loadsmoke chaossmoke dessmoke treesmoke verify-invariants cover telemetry-alloc fastpath-alloc
+.PHONY: all build test vet race check fuzz bench benchsmoke loadsmoke chaossmoke dessmoke treesmoke recoordsmoke verify-invariants cover telemetry-alloc fastpath-alloc
 
 all: check
 
@@ -57,6 +57,15 @@ dessmoke:
 treesmoke:
 	$(GO) test -race -run 'TestSolve|TestMetamorphic|TestGolden|TestWaterFilling|TestRackCap|TestGreedy|TestResultString' -count=1 ./internal/powertree
 
+# Online re-coordination gate under the race detector: the controller's
+# never-worse-than-static guarantee across phased ML workloads on the
+# H100-class platforms, byte-identical determinism, the typed sub-floor
+# rejection, and the recoord shard-death chaos case; then one CLI run.
+recoordsmoke:
+	$(GO) test -race -run 'TestOnlineNeverWorseThanStatic|TestDeterministicRepeat|TestBudgetBelowCapFloorTypedRejection' -count=1 ./internal/recoord
+	$(GO) test -race -run TestChaosRecoordShardDeathFailover -count=1 ./internal/allocclient
+	$(GO) run ./cmd/pbc recoord -platform h100 -workload llmbatch -budget 300 >/dev/null
+
 # Cross-implementation invariant harness: the full catalog sweep under
 # the race detector, then the pbc verify CLI gate.
 verify-invariants:
@@ -78,13 +87,14 @@ fastpath-alloc:
 		awk '/BenchmarkBinaryFastPath/ { if ($$(NF-1)+0 != 0) { print "FAIL: binary fast path allocates:", $$0; exit 1 } found=1 } \
 		END { if (!found) { print "FAIL: BenchmarkBinaryFastPath did not run"; exit 1 } }'
 
-check: vet build race benchsmoke loadsmoke chaossmoke dessmoke treesmoke verify-invariants telemetry-alloc fastpath-alloc
+check: vet build race benchsmoke loadsmoke chaossmoke dessmoke treesmoke recoordsmoke verify-invariants telemetry-alloc fastpath-alloc
 
 # Coverage gates: internal/telemetry must keep at least 70% statement
-# coverage, and internal/powertree (the budget-tree solver) at least
-# 80%.
+# coverage, and internal/powertree (the budget-tree solver) and
+# internal/recoord (the online controller) at least 80% each.
 COVER_FLOOR ?= 70.0
 TREE_COVER_FLOOR ?= 80.0
+RECOORD_COVER_FLOOR ?= 80.0
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/telemetry/...
@@ -97,13 +107,19 @@ cover:
 	@$(GO) tool cover -func=cover_tree.out | awk -v floor=$(TREE_COVER_FLOOR) \
 		'/^total:/ { sub(/%/, "", $$3); if ($$3+0 < floor) { print "FAIL: powertree coverage", $$3"% below floor", floor"%"; exit 1 } \
 		else { print "powertree coverage OK:", $$3"% >= "floor"%" } }'
+	$(GO) test -coverprofile=cover_recoord.out ./internal/recoord/...
+	$(GO) tool cover -func=cover_recoord.out | tail -1
+	@$(GO) tool cover -func=cover_recoord.out | awk -v floor=$(RECOORD_COVER_FLOOR) \
+		'/^total:/ { sub(/%/, "", $$3); if ($$3+0 < floor) { print "FAIL: recoord coverage", $$3"% below floor", floor"%"; exit 1 } \
+		else { print "recoord coverage OK:", $$3"% >= "floor"%" } }'
 
 # Short fuzz passes over the input parsers (fault specs, arrival specs,
-# tree specs, power units), the Prometheus exposition encoder, and the
-# binary wire codec (both a round-trip property fuzzer and a
-# malformed-frame decoder fuzzer).
+# tree specs, phase specs, power units), the Prometheus exposition
+# encoder, and the binary wire codec (both a round-trip property fuzzer
+# and a malformed-frame decoder fuzzer).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseSpec -fuzztime=10s ./internal/faults
+	$(GO) test -run=^$$ -fuzz=FuzzParsePhaseSpec -fuzztime=10s ./internal/workload
 	$(GO) test -run=^$$ -fuzz=FuzzParseArrivalSpec -fuzztime=10s ./internal/des
 	$(GO) test -run=^$$ -fuzz=FuzzTreeSpec -fuzztime=10s ./internal/powertree
 	$(GO) test -run=^$$ -fuzz=FuzzParsePower -fuzztime=10s ./internal/units

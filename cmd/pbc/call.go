@@ -22,13 +22,14 @@ func cmdCall(args []string) error {
 	fs := flag.NewFlagSet("call", flag.ExitOnError)
 	servers := fs.String("servers", "", "comma-separated shard base URLs (e.g. http://127.0.0.1:9120,http://127.0.0.1:9121)")
 	discover := fs.String("discover", "", "ask one serve instance's /v1/peers for the shard list instead of -servers")
-	route := fs.String("route", "coord", "API to call: coord, plan, schedule, or tree")
+	route := fs.String("route", "coord", "API to call: coord, plan, schedule, tree, or recoord")
 	platform, wl := platformAndWorkload(fs)
 	budget := fs.Float64("budget", 208, "power budget in watts")
 	strategy := fs.String("strategy", "", "coord strategy (empty = server default)")
 	nodes := fs.String("nodes", "", "schedule: comma-separated id=platform node list")
 	jobs := fs.String("jobs", "", "schedule: comma-separated id=workload job queue")
 	treeArg := fs.String("tree-spec", defaultTreeSpec, "tree: rack spec (grammar as in pbc tree -spec)")
+	phases := fs.String("phases", "", `recoord: phase spec instead of -workload (e.g. "seq=1024,out=512")`)
 	timeoutMs := fs.Int("timeout", 5000, "per-attempt timeout in milliseconds")
 	noDegrade := fs.Bool("no-degraded", false, "fail instead of computing answers locally when all shards are down")
 	binary := fs.Bool("binary", false, "speak the compact binary protocol to shards that accept it (JSON fallback per shard)")
@@ -102,8 +103,16 @@ func cmdCall(args []string) error {
 			req.Racks = append(req.Racks, rj)
 		}
 		out, meta, err = client.Tree(ctx, req)
+	case "recoord":
+		req := allocsvc.RecoordRequest{Platform: *platform, Budget: *budget}
+		if *phases != "" {
+			req.PhaseSpec = *phases
+		} else {
+			req.Workload = *wl
+		}
+		out, meta, err = client.Recoord(ctx, req)
 	default:
-		return fmt.Errorf("call: unknown route %q (want coord, plan, schedule, or tree)", *route)
+		return fmt.Errorf("call: unknown route %q (want coord, plan, schedule, tree, or recoord)", *route)
 	}
 	if err != nil {
 		return err

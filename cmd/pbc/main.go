@@ -67,6 +67,8 @@ func main() {
 		err = cmdCoord(args)
 	case "dyncoord":
 		err = cmdDynCoord(args)
+	case "recoord":
+		err = cmdRecoord(args)
 	case "hetero":
 		err = cmdHetero(args)
 	case "corun":
@@ -121,6 +123,9 @@ commands:
   profile  extract critical powers      (-platform -workload)
   coord    run a coordination strategy  (-platform -workload -budget W [-strategy name])
   dyncoord per-phase dynamic COORD      (-platform -workload -budget W)
+  recoord  online GPU re-coordination   (-platform h100 -workload llmserve -budget W
+                                         [-phases "seq=1024,out=512"] [-rounds N]; telemetry-driven
+                                         phase-shift detection vs static COORD and the governor)
   hetero   big.LITTLE coordination      (-workload -budget W)
   corun    co-run two tenants           (-a dgemm -b stream -proc W -mem W)
   gpustat  nvidia-smi-style device query (-platform titanxp -workload sgemm [-cap W])
@@ -142,7 +147,8 @@ commands:
                                          [-peers url,url,...]; /metrics + /healthz + /v1/peers +
                                          allocation API: POST /v1/coord, /v1/plan, /v1/schedule
                                          with coalescing and backpressure)
-  call     resilient API client          (-servers url,url,... | -discover url; -route coord|plan|schedule;
+  call     resilient API client          (-servers url,url,... | -discover url;
+                                         -route coord|plan|schedule|tree|recoord;
                                          consistent-hash sharding, circuit breakers, failover, and
                                          degraded-local fallback [-no-degraded])
 
@@ -228,7 +234,7 @@ func cmdList(args []string) error {
 	switch what {
 	case "platforms":
 		tb := report.NewTable("Platforms (Table 2)", "name", "paper", "kind", "processor", "memory")
-		for _, p := range hw.Platforms() {
+		for _, p := range hw.AllPlatforms() {
 			switch p.Kind {
 			case hw.KindCPU:
 				tb.AddRow(p.Name, p.Paper, "cpu", p.CPU.Name, p.DRAM.Name)
@@ -239,7 +245,7 @@ func cmdList(args []string) error {
 		fmt.Print(tb.String())
 	case "workloads":
 		tb := report.NewTable("Benchmarks (Table 3)", "name", "suite", "kind", "perf unit", "ops/byte", "description")
-		for _, w := range workload.Catalog() {
+		for _, w := range workload.AllWorkloads() {
 			tb.AddRow(w.Name, w.Suite, w.Kind.String(), w.PerfUnit,
 				report.FormatFloat(w.ComputeIntensity()), w.Desc)
 		}

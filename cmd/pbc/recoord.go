@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/recoord"
+	"repro/internal/report"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// cmdRecoord runs the online re-coordination controller on a phased GPU
+// workload and compares it against static COORD and the default
+// governor over the same virtual-time trace.
+func cmdRecoord(args []string) error {
+	fs := flag.NewFlagSet("recoord", flag.ExitOnError)
+	platform := fs.String("platform", "h100", "GPU platform name (pbc list platforms)")
+	wl := fs.String("workload", "llmserve", "phased GPU workload name (pbc list workloads)")
+	phases := fs.String("phases", "", `custom phase spec instead of -workload, e.g. "seq=1024,out=512" or "prefill=2,decode=1"`)
+	budget := fs.Float64("budget", 350, "board power budget in watts")
+	rounds := fs.Int("rounds", recoord.DefaultRounds, "phase cycles to run")
+	engine := engineFlags(fs)
+	telem := telemetryFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stats := engine()
+	if dump := telem(); dump != nil {
+		defer dump()
+	}
+	p, err := hw.PlatformByName(*platform)
+	if err != nil {
+		return err
+	}
+	var w workload.Workload
+	if *phases != "" {
+		if w, err = workload.ParsePhaseSpec(*phases); err != nil {
+			return err
+		}
+	} else if w, err = workload.ByName(*wl); err != nil {
+		return err
+	}
+
+	res, err := recoord.Run(recoord.Config{
+		Platform: p,
+		Workload: w,
+		Budget:   units.Power(*budget),
+		Rounds:   *rounds,
+	})
+	if err != nil {
+		return err
+	}
+
+	tb := report.NewTable(
+		fmt.Sprintf("online re-coordination: %s on %s at %s", res.Workload, res.Platform, res.Budget),
+		"phase", "ticks", "lag", "recoord", "P_cap (W)", "P_mem (W)",
+		fmt.Sprintf("online (%s)", res.PerfUnit), "static", "governor")
+	for _, v := range res.Visits {
+		re := ""
+		if v.Recoordinated {
+			re = "yes"
+		}
+		tb.AddRow(v.Phase, fmt.Sprint(v.Ticks), fmt.Sprint(v.LagTicks), re,
+			report.FormatFloat(v.Setting.Proc.Watts()),
+			report.FormatFloat(v.Setting.Mem.Watts()),
+			report.FormatFloat(v.OnlinePerf),
+			report.FormatFloat(v.StaticPerf),
+			report.FormatFloat(v.GovernorPerf))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\nstatic COORD opens at cap %s, mem %s; %d re-coordinations, %d switches\n",
+		res.StaticSetting.Proc, res.StaticSetting.Mem, res.Recoordinations, res.Switches)
+	fmt.Printf("online %s %s vs static %s (gain %+.1f%%) vs governor %s\n",
+		report.FormatFloat(res.OnlinePerf), res.PerfUnit,
+		report.FormatFloat(res.StaticPerf), 100*res.Gain(),
+		report.FormatFloat(res.GovernorPerf))
+	if stats {
+		printEngineStats()
+	}
+	return nil
+}

@@ -157,7 +157,7 @@ func cmdServe(args []string) error {
 // cpuPlatformNames lists the catalog's CPU platforms for error messages.
 func cpuPlatformNames() string {
 	var names []string
-	for _, p := range hw.Platforms() {
+	for _, p := range hw.AllPlatforms() {
 		if p.Kind == hw.KindCPU {
 			names = append(names, p.Name)
 		}

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -367,5 +368,104 @@ func TestChaosSeededGoldenTrace(t *testing.T) {
 	}
 	if string(want) != got {
 		t.Fatalf("trace diverged from golden (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestChaosRecoordShardDeathFailover pins /v1/recoord's availability
+// contract on phased ML workloads: the route fails over between shards
+// exactly like coord, and under total shard loss it is allowed to
+// degrade to a content-identical local answer (the controller is a
+// pure function of the request). The storm kills precisely the shard
+// the ring pinned the phased requests to, mid-run.
+func TestChaosRecoordShardDeathFailover(t *testing.T) {
+	h := newChaosHarness(t, 13, faults.ProxySpec{})
+	ctx := context.Background()
+	reqs := []allocsvc.RecoordRequest{
+		{Platform: "h100", Workload: "llmserve", Budget: 350, Rounds: 1},
+		{Platform: "h200", Workload: "llmbatch", Budget: 300, Rounds: 1},
+		{Platform: "h100", PhaseSpec: "seq=1024,out=512", Budget: 400, Rounds: 1},
+	}
+
+	// Fleet up: every phased request answers fresh; remember which
+	// shard the ring pinned each to, and the answers themselves.
+	h.clk.advance(10 * time.Millisecond)
+	baseline := make([]allocsvc.RecoordResponse, len(reqs))
+	pinned := make([]int, len(reqs))
+	for i, req := range reqs {
+		resp, meta, err := h.client.Recoord(ctx, req)
+		if err != nil {
+			t.Fatalf("recoord %d with live fleet: %v", i, err)
+		}
+		if meta.Source != SourceShard {
+			t.Fatalf("recoord %d source %q, want fresh shard answer", i, meta.Source)
+		}
+		if resp.OnlinePerf < resp.StaticPerf*(1-1e-9) {
+			t.Fatalf("recoord %d: online %.6g worse than static %.6g",
+				i, resp.OnlinePerf, resp.StaticPerf)
+		}
+		baseline[i] = resp
+		pinned[i] = h.shardIdx[meta.Shard]
+	}
+
+	// Kill the shard serving the first phased request, mid-storm. The
+	// ring must fail the route over to a live shard with no error and
+	// no degradation — two shards are still up.
+	h.proxies[pinned[0]].Kill()
+	h.trace = append(h.trace, fmt.Sprintf("kill  shard=%d", pinned[0]))
+	h.clk.advance(10 * time.Millisecond)
+	for i, req := range reqs {
+		resp, meta, err := h.client.Recoord(ctx, req)
+		if err != nil {
+			t.Fatalf("recoord %d after shard death: %v", i, err)
+		}
+		if meta.Source != SourceShard {
+			t.Fatalf("recoord %d after shard death: source %q, want failover to a live shard", i, meta.Source)
+		}
+		if got := h.shardIdx[meta.Shard]; got == pinned[0] {
+			t.Fatalf("recoord %d served by the dead shard %d", i, got)
+		}
+		if pinned[i] == pinned[0] && meta.Failovers == 0 && meta.Attempts < 2 {
+			t.Fatalf("recoord %d was pinned to the dead shard but reported no failover: %+v", i, meta)
+		}
+		if !reflect.DeepEqual(resp, baseline[i]) {
+			t.Fatalf("recoord %d answer drifted across failover:\n%+v\nvs\n%+v", i, resp, baseline[i])
+		}
+	}
+
+	// Blackout: the remaining shards die too. Unlike tree, recoord is
+	// allowed to degrade — the local answer must be content-identical
+	// to the served one.
+	for _, p := range h.proxies {
+		p.Kill()
+	}
+	h.clk.advance(10 * time.Millisecond)
+	for i, req := range reqs {
+		resp, meta, err := h.client.Recoord(ctx, req)
+		if err != nil {
+			t.Fatalf("recoord %d during blackout: %v", i, err)
+		}
+		if meta.Source != SourceLocal {
+			t.Fatalf("recoord %d during blackout: source %q, want degraded-local", i, meta.Source)
+		}
+		if !reflect.DeepEqual(resp, baseline[i]) {
+			t.Fatalf("recoord %d degraded answer differs from served:\n%+v\nvs\n%+v", i, resp, baseline[i])
+		}
+	}
+
+	// Fleet restarts; after the breaker cooldown the route serves
+	// fresh again, still byte-stable.
+	for _, p := range h.proxies {
+		p.Restart()
+	}
+	h.clk.advance(100 * time.Millisecond)
+	resp, meta, err := h.client.Recoord(ctx, reqs[0])
+	if err != nil {
+		t.Fatalf("recoord after restart: %v", err)
+	}
+	if meta.Source != SourceShard {
+		t.Fatalf("recoord after restart: source %q, want fresh", meta.Source)
+	}
+	if !reflect.DeepEqual(resp, baseline[0]) {
+		t.Fatalf("recoord answer drifted across the blackout:\n%+v\nvs\n%+v", resp, baseline[0])
 	}
 }

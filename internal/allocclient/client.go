@@ -583,6 +583,42 @@ func (c *Client) Plan(ctx context.Context, req allocsvc.PlanRequest) (allocsvc.P
 	return resp, meta, nil
 }
 
+// Recoord requests one online re-coordination run on a phased GPU
+// workload, with the same shard failover and degraded-local fallback
+// as Coord: the controller is a pure function of the request, so a
+// locally computed run is content-identical to a served one. The
+// route is JSON-only — no binary body is attempted.
+func (c *Client) Recoord(ctx context.Context, req allocsvc.RecoordRequest) (allocsvc.RecoordResponse, Meta, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return allocsvc.RecoordResponse{}, Meta{}, err
+	}
+	// Phase-spec requests carry the workload in the spec; fold both
+	// into the ring key so a custom mix pins to one shard too.
+	key := c.coordShardKey(req.Platform, req.Workload+"#"+req.PhaseSpec, req.Budget)
+	raw, meta, err := c.do(ctx, allocsvc.RouteRecoord, key, body, nil)
+	if err != nil {
+		if errors.Is(err, ErrUnavailable) && !c.cfg.DisableDegraded {
+			resp, lerr := allocsvc.ComputeRecoord(req)
+			if lerr != nil {
+				return allocsvc.RecoordResponse{}, meta, lerr
+			}
+			meta.Source = SourceLocal
+			meta.Shard = ""
+			c.met.degraded.Inc()
+			c.met.requests(allocsvc.RouteRecoord, SourceLocal).Inc()
+			return resp, meta, nil
+		}
+		return allocsvc.RecoordResponse{}, meta, err
+	}
+	var resp allocsvc.RecoordResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return allocsvc.RecoordResponse{}, meta, fmt.Errorf("allocclient: decoding recoord response: %w", err)
+	}
+	c.met.requests(allocsvc.RouteRecoord, SourceShard).Inc()
+	return resp, meta, nil
+}
+
 // Schedule requests one scheduling round. There is no degraded-local
 // fallback: a scheduling round mutates shard-side scheduler state
 // (admitted jobs consume pool budget), so a locally computed round

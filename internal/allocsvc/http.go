@@ -16,6 +16,7 @@ import (
 	"repro/internal/dyncoord"
 	"repro/internal/evalpool"
 	"repro/internal/hw"
+	"repro/internal/nvgov"
 	"repro/internal/profile"
 	"repro/internal/units"
 	"repro/internal/wire"
@@ -28,6 +29,7 @@ const (
 	RoutePlan     = "/v1/plan"
 	RouteSchedule = "/v1/schedule"
 	RouteTree     = "/v1/tree"
+	RouteRecoord  = "/v1/recoord"
 )
 
 // maxBody bounds binary request bodies; it matches wire.MaxFrame so a
@@ -53,6 +55,7 @@ func (s *Service) Register(mux *http.ServeMux) {
 	mux.HandleFunc(RoutePlan, s.handlePlan)
 	mux.HandleFunc(RouteSchedule, s.handleSchedule)
 	mux.HandleFunc(RouteTree, s.handleTree)
+	mux.HandleFunc(RouteRecoord, s.handleRecoord)
 }
 
 // Handler returns a mux with only the service routes, for tests and
@@ -103,6 +106,12 @@ type (
 	TreeShedJSON = wire.TreeShedJSON
 	// TreeResponse is a solved budget tree on the wire.
 	TreeResponse = wire.TreeResponse
+	// RecoordRequest is the body of POST /v1/recoord.
+	RecoordRequest = wire.RecoordRequest
+	// RecoordVisitJSON is one phase interval of a recoord timeline.
+	RecoordVisitJSON = wire.RecoordVisitJSON
+	// RecoordResponse is one online re-coordination run on the wire.
+	RecoordResponse = wire.RecoordResponse
 )
 
 // errorJSON is the uniform error body.
@@ -169,10 +178,16 @@ func closingResponse() *response {
 }
 
 // badRequestError marks validation failures so errorResponse maps them
-// to 400 instead of 500.
-type badRequestError struct{ msg string }
+// to 400 instead of 500. cause, when set, keeps the originating typed
+// error reachable through errors.Is/As (e.g. nvgov.ErrCapOutOfRange).
+type badRequestError struct {
+	msg   string
+	cause error
+}
 
 func (e *badRequestError) Error() string { return e.msg }
+
+func (e *badRequestError) Unwrap() error { return e.cause }
 
 func badRequestf(format string, args ...any) error {
 	return &badRequestError{msg: fmt.Sprintf(format, args...)}
@@ -278,7 +293,7 @@ func methodNotAllowed(r *http.Request) *response {
 // filtered by kind, for actionable error messages.
 func platformNames(kind hw.Kind, any bool) string {
 	var names []string
-	for _, p := range hw.Platforms() {
+	for _, p := range hw.AllPlatforms() {
 		if any || p.Kind == kind {
 			names = append(names, p.Name)
 		}
@@ -376,6 +391,18 @@ func ComputeCoord(req CoordRequest) (CoordResponse, error) {
 		return CoordResponse{}, err
 	}
 	budget := units.Power(req.Budget)
+	if p.Kind == hw.KindGPU && budget < p.GPU.MinCap {
+		// No settable power cap fits under this budget: the board floor
+		// exceeds it. Surface the card's typed rejection instead of
+		// silently evaluating at a clamped cap the budget cannot fund
+		// (reachable on H100-class cards, whose floor is 200 W).
+		capErr := nvgov.CheckCap(p.GPU, budget)
+		return CoordResponse{}, &badRequestError{
+			msg: fmt.Sprintf("budget %v is below the card's settable cap floor: %v",
+				budget, capErr),
+			cause: capErr,
+		}
+	}
 	resp := CoordResponse{
 		Platform: p.Name, Workload: wl.Name, Kind: p.Kind.String(),
 		Strategy: req.Strategy, Budget: req.Budget,
@@ -626,7 +653,7 @@ func (s *Service) computeSchedule(req ScheduleRequest) (any, error) {
 			// extend it to the cluster side so a fresh scheduler never
 			// profiles on the request path. A failed pair degrades to
 			// lazy profiling, exactly as without prewarming.
-			_ = sched.Prewarm(workload.Catalog())
+			_ = sched.Prewarm(workload.AllWorkloads())
 		}
 		return sched, nil
 	})

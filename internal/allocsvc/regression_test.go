@@ -2,13 +2,18 @@ package allocsvc
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"net/http"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/hw"
+	"repro/internal/nvgov"
 	"repro/internal/telemetry"
+	"repro/internal/units"
 	"repro/internal/wire"
 )
 
@@ -129,6 +134,69 @@ func TestJSONRequestBodyTooLarge413(t *testing.T) {
 	resp, _ = post(t, srv, RouteCoord, okBody)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("in-cap bad platform: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRegressCoordBudgetBelowCapFloorRejected is the satellite
+// regression for the silent-clamp bug: a GPU coordination budget below
+// the card's settable cap floor used to be evaluated at a clamped cap
+// the budget could not fund, returning a plausible 200 whose allocation
+// exceeded the budget. The service must instead answer 400 carrying
+// the card's typed rejection, and the floor itself must still be
+// accepted.
+func TestRegressCoordBudgetBelowCapFloorRejected(t *testing.T) {
+	_, srv := newTestService(t, Config{Workers: 2})
+	cases := []struct {
+		platform, wl string
+		budget       float64
+	}{
+		{"h100", "llmserve", 150},   // H100 floor is 200 W
+		{"h200", "llmchat", 199.99}, // just under the floor
+		{"titanxp", "gpustream", 90},
+		{"titanv", "gpustream", 90}, // degenerate pair: TotMax < floor
+	}
+	for _, tc := range cases {
+		// The exported exact path carries the typed cause.
+		req := wire.CoordRequest{Platform: tc.platform, Workload: tc.wl,
+			Budget: tc.budget, Strategy: "coord"}
+		_, err := ComputeCoord(req)
+		if !errors.Is(err, nvgov.ErrCapOutOfRange) {
+			t.Fatalf("%s/%s b=%v: ComputeCoord error = %v, want nvgov.ErrCapOutOfRange",
+				tc.platform, tc.wl, tc.budget, err)
+		}
+		var cre *nvgov.CapRangeError
+		if !errors.As(err, &cre) {
+			t.Fatalf("%s/%s: error %v does not carry *nvgov.CapRangeError", tc.platform, tc.wl, err)
+		}
+		p, perr := hw.PlatformByName(tc.platform)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		if cre.Cap != units.Power(tc.budget) || cre.Min != p.GPU.MinCap || cre.Max != p.GPU.MaxCap {
+			t.Fatalf("%s/%s: CapRangeError = %+v, want cap %v in [%v, %v]",
+				tc.platform, tc.wl, cre, tc.budget, p.GPU.MinCap, p.GPU.MaxCap)
+		}
+
+		// And the HTTP surface maps it to an actionable 400.
+		body := fmt.Sprintf(`{"platform":%q,"workload":%q,"budget_watts":%v}`,
+			tc.platform, tc.wl, tc.budget)
+		resp, got := post(t, srv, RouteCoord, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s/%s b=%v: status = %d (%s), want 400 (the old clamp answered 200)",
+				tc.platform, tc.wl, tc.budget, resp.StatusCode, got)
+		}
+		for _, want := range []string{"settable", "floor"} {
+			if !strings.Contains(string(got), want) {
+				t.Fatalf("%s/%s: 400 body %s does not mention %q", tc.platform, tc.wl, got, want)
+			}
+		}
+	}
+
+	// The floor itself is enforceable: h100 at exactly 200 W coordinates.
+	resp, got := post(t, srv, RouteCoord,
+		`{"platform":"h100","workload":"llmserve","budget_watts":200}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("budget at the floor: status = %d (%s), want 200", resp.StatusCode, got)
 	}
 }
 

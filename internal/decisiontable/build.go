@@ -117,6 +117,15 @@ func (s *Set) buildCoordTable(pname, wname string) *coordTable {
 		t.hi = prof.TotMax.Watts()
 		t.strictLo = true
 		t.memPrimary = true
+		if floor := p.GPU.MinCap.Watts(); floor > t.lo {
+			// The exact path rejects budgets below the settable cap
+			// floor with a typed error (nvgov.ErrCapOutOfRange), so the
+			// tabulated range starts at the floor — which itself is a
+			// valid budget — and everything below it must miss.
+			t.lo = floor
+			t.strictLo = false
+			t.errBelow = true
+		}
 		for _, b := range coord.GPUBreakpoints(prof, coord.DefaultGamma) {
 			breaks = append(breaks, b.Watts())
 		}
@@ -127,24 +136,59 @@ func (s *Set) buildCoordTable(pname, wname string) *coordTable {
 	default:
 		return nil
 	}
-	if !(t.hi > t.lo) || !(t.lo > 0) {
+	if !(t.lo > 0) {
+		return nil
+	}
+	if !(t.hi > t.lo) && !t.errBelow {
 		return nil
 	}
 
-	// The rejection row: any budget below lo must reject.
-	below, err := s.exactCoord(pname, wname, t.lo/2)
-	if err != nil || below.Status != t.tooSmallStatus || below.Alloc != nil {
-		return nil
+	// The rejection row: any budget below lo must reject — with a
+	// too-small row the table reproduces, or (errBelow) with an error
+	// the table must fall through to. Probe well below and one ulp
+	// below the range edge.
+	if t.errBelow {
+		for _, b := range []float64{t.lo / 2, math.Nextafter(t.lo, math.Inf(-1))} {
+			if _, err := s.exactCoord(pname, wname, b); err == nil {
+				return nil
+			}
+		}
+	} else {
+		below, err := s.exactCoord(pname, wname, t.lo/2)
+		if err != nil || below.Status != t.tooSmallStatus || below.Alloc != nil {
+			return nil
+		}
 	}
-	// The saturation row: at hi the allocation pins and surplus is 0.
-	sat, err := s.exactCoord(pname, wname, t.hi)
-	if err != nil || sat.Status != t.surplusStatus || sat.Alloc == nil || sat.SurplusWatts != 0 {
+	// The saturation row: where the allocation pins and only the
+	// surplus grows. On a degenerate pair the saturation point sits at
+	// or below the cap floor (hi <= lo) and every enforceable budget is
+	// saturated, so the row is sampled at the floor instead.
+	satB := t.hi
+	if satB < t.lo {
+		satB = t.lo
+	}
+	sat, err := s.exactCoord(pname, wname, satB)
+	if err != nil || sat.Status != t.surplusStatus || sat.Alloc == nil || sat.SurplusWatts != satB-t.hi {
 		return nil
 	}
 	t.surplusProc = sat.Alloc.ProcWatts
 	t.surplusMem = sat.Alloc.MemWatts
 	t.surplusPerf = sat.ExpectedPerf
 	t.surplusPower = sat.ExpectedPower
+
+	if !(t.hi > t.lo) {
+		// Degenerate range: no segments, no index; serve answers every
+		// enforceable budget from the saturation row and misses below
+		// the floor. Confirm the row is budget-independent at a second
+		// point before trusting it everywhere.
+		again, err := s.exactCoord(pname, wname, t.lo*1.5)
+		if err != nil || again.Status != t.surplusStatus || again.Alloc == nil ||
+			*again.Alloc != *sat.Alloc || again.SurplusWatts != t.lo*1.5-t.hi ||
+			again.ExpectedPerf != sat.ExpectedPerf || again.ExpectedPower != sat.ExpectedPower {
+			return nil
+		}
+		return t
+	}
 
 	bounds := gridBounds(t.lo, t.hi, breaks, s.cfg.GridPoints)
 	for i := 0; i+1 < len(bounds); i++ {

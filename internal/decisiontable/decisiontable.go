@@ -138,13 +138,17 @@ func New(cfg Config) *Set {
 		coord:        map[string]map[string]*slot[coordTable]{},
 		plan:         map[string]map[string]*slot[planTable]{},
 	}
-	for _, p := range hw.Platforms() {
+	for _, p := range hw.AllPlatforms() {
 		cm := map[string]*slot[coordTable]{}
 		var pm map[string]*slot[planTable]
+		// Plan slots exist only for CPU platforms: the plan path itself
+		// is CPU-only, and a GPU pair must take the exact path so it gets
+		// the same actionable rejection — never a built-but-empty table
+		// reported as a hit.
 		if p.Kind == hw.KindCPU {
 			pm = map[string]*slot[planTable]{}
 		}
-		for _, w := range workload.Catalog() {
+		for _, w := range workload.AllWorkloads() {
 			if w.Kind != p.Kind {
 				continue
 			}
@@ -198,6 +202,12 @@ type coordTable struct {
 	// budget ≤ MemMin leaves nothing for the SMs). CPU accepts lo
 	// itself (budget ≥ productive threshold).
 	strictLo bool
+	// errBelow: budgets below lo are rejected by the exact path with a
+	// typed error (GPU cap floor above the memory floor, e.g. H100's
+	// 200 W settable minimum), not with a too-small row. The table must
+	// miss there so the service falls through and serves the same
+	// actionable rejection.
+	errBelow bool
 	// memPrimary: segment lines model mem (GPU) instead of proc (CPU).
 	memPrimary bool
 
@@ -269,8 +279,16 @@ func (t *coordTable) find(b float64) *coordSeg {
 }
 
 // serve answers one coord request from the table. It reports false for
-// budgets inside an exact-only segment.
+// budgets inside an exact-only segment, and for budgets below an
+// errBelow table's range, where the exact path rejects with a typed
+// error the table cannot reproduce.
 func (t *coordTable) serve(strategy string, b float64, out *wire.CoordResponse) bool {
+	if t.errBelow && b < t.lo {
+		// Checked before the saturation branch: on a degenerate pair
+		// (saturation at or below the cap floor, hi <= lo) a budget can
+		// satisfy b >= hi and still be unenforceable.
+		return false
+	}
 	switch {
 	case b >= t.hi:
 		// Saturated: the exact path pins the allocation at the maximum

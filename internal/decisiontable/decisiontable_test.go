@@ -2,12 +2,17 @@ package decisiontable
 
 import (
 	"errors"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/allocsvc"
 	"repro/internal/coord"
 	"repro/internal/hw"
+	"repro/internal/nvgov"
 	"repro/internal/profile"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -86,8 +91,9 @@ func TestCoordTableMatchesExact(t *testing.T) {
 		{"ivybridge", "stream"},
 		{"ivybridge", "dgemm"},
 		{"haswell", "bt"},
-		{"titanv", "gpustream"},
+		{"titanv", "sgemm"},
 		{"titanxp", "sgemm"},
+		{"h100", "llmserve"},
 	}
 	s := New(Config{})
 	for _, pair := range pairs {
@@ -128,31 +134,114 @@ func TestCoordGridBoundaries(t *testing.T) {
 	checkCoordAgainstExact(t, s, "ivybridge", "stream", tab.hi)
 }
 
-// TestGPUBelowMemMin: budgets at and below the card's memory floor
-// must serve the rejection row, matching the exact path bit for bit.
-func TestGPUBelowMemMin(t *testing.T) {
+// TestRegressGPUCapFloorBudgetsMissTables is the satellite regression
+// for the silent-clamp bug at the table layer: every GPU pair's cap
+// floor (MinCap) sits above its memory floor, so budgets below the
+// floor are rejected by the exact path with a typed error
+// (nvgov.ErrCapOutOfRange). The table must MISS there — never serve a
+// too-small row or, on a degenerate pair, a surplus row — so the
+// service falls through and the client gets the same actionable
+// rejection.
+func TestRegressGPUCapFloorBudgetsMissTables(t *testing.T) {
 	s := New(Config{})
-	sl := s.coord["titanv"]["gpustream"]
+	sl := s.coord["h100"]["llmserve"]
 	tab := s.ensureCoord(sl)
 	if tab == nil {
-		t.Fatal("table did not build")
+		t.Fatal("h100/llmserve coord table did not build")
 	}
-	for _, b := range []float64{tab.lo / 2, tab.lo * 0.999, tab.lo} {
-		req := wire.CoordRequest{Platform: "titanv", Workload: "gpustream", Budget: b, Strategy: "coord"}
+	if !tab.errBelow {
+		t.Fatal("h100/llmserve table is not marked errBelow (MinCap 200 W > MemMin 60 W)")
+	}
+	floor, err := hw.PlatformByName("h100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.lo != floor.GPU.MinCap.Watts() {
+		t.Fatalf("table lo = %v, want the cap floor %v", tab.lo, floor.GPU.MinCap.Watts())
+	}
+	for _, b := range []float64{tab.lo / 2, tab.lo * 0.999, math.Nextafter(tab.lo, math.Inf(-1))} {
+		req := wire.CoordRequest{Platform: "h100", Workload: "llmserve", Budget: b, Strategy: "coord"}
 		var got wire.CoordResponse
-		if !s.Coord(&req, &got) {
+		if s.Coord(&req, &got) {
+			t.Fatalf("b=%v below the cap floor: table served %+v, must miss", b, got)
+		}
+		if _, err := allocsvc.ComputeCoord(req); !errors.Is(err, nvgov.ErrCapOutOfRange) {
+			t.Fatalf("b=%v: exact path error = %v, want nvgov.ErrCapOutOfRange", b, err)
+		}
+	}
+	// The floor itself is enforceable: the table serves it and matches
+	// the exact path.
+	if !checkCoordAgainstExact(t, s, "h100", "llmserve", tab.lo) {
+		t.Fatalf("b=%v (the cap floor): expected table hit", tab.lo)
+	}
+}
+
+// TestDegenerateGPUPairAllSurplus: on titanv/gpustream the saturation
+// point (TotMax 82.4 W) sits below the cap floor (100 W), so every
+// enforceable budget is saturated. The table must still build (the
+// pair profiles cleanly), serve every budget at or above the floor
+// from the saturation row, and miss below it.
+func TestDegenerateGPUPairAllSurplus(t *testing.T) {
+	s := New(Config{})
+	tab := s.ensureCoord(s.coord["titanv"]["gpustream"])
+	if tab == nil {
+		t.Fatal("titanv/gpustream coord table did not build")
+	}
+	if !(tab.hi < tab.lo) || !tab.errBelow || len(tab.segs) != 0 {
+		t.Fatalf("expected degenerate errBelow table (hi < lo, no segments); lo=%v hi=%v segs=%d",
+			tab.lo, tab.hi, len(tab.segs))
+	}
+	for _, b := range []float64{tab.lo, tab.lo + 1e-9, tab.lo * 1.25, tab.lo * 10} {
+		if !checkCoordAgainstExact(t, s, "titanv", "gpustream", b) {
 			t.Fatalf("b=%v: expected table hit", b)
 		}
-		if got.Status != "too-small" || got.Alloc != nil {
-			t.Fatalf("b=%v: want too-small/no alloc, got %+v", b, got)
+		req := wire.CoordRequest{Platform: "titanv", Workload: "gpustream", Budget: b, Strategy: "coord"}
+		var got wire.CoordResponse
+		s.Coord(&req, &got)
+		if got.Status != "surplus" {
+			t.Fatalf("b=%v: want surplus, got %+v", b, got)
 		}
 	}
-	// Just above the floor the algorithm accepts (proc gets the sliver).
-	req := wire.CoordRequest{Platform: "titanv", Workload: "gpustream",
-		Budget: tab.lo + (tab.hi-tab.lo)/1000, Strategy: "coord"}
-	var got wire.CoordResponse
-	if s.Coord(&req, &got) && got.Status == "too-small" {
-		t.Fatalf("b just above MemMin rejected by table: %+v", got)
+	// Below the floor: miss, even though b >= hi (the saturation branch
+	// must not fire for unenforceable budgets).
+	for _, b := range []float64{tab.hi, (tab.hi + tab.lo) / 2, math.Nextafter(tab.lo, math.Inf(-1))} {
+		req := wire.CoordRequest{Platform: "titanv", Workload: "gpustream", Budget: b, Strategy: "coord"}
+		var got wire.CoordResponse
+		if s.Coord(&req, &got) {
+			t.Fatalf("b=%v below the cap floor: table served %+v, must miss", b, got)
+		}
+		if _, err := allocsvc.ComputeCoord(req); !errors.Is(err, nvgov.ErrCapOutOfRange) {
+			t.Fatalf("b=%v: exact path error = %v, want nvgov.ErrCapOutOfRange", b, err)
+		}
+	}
+	bounds := s.CoordBoundaries("titanv", "gpustream")
+	if len(bounds) != 2 || bounds[0] != tab.lo || bounds[1] != tab.hi {
+		t.Fatalf("degenerate CoordBoundaries = %v, want [%v %v]", bounds, tab.lo, tab.hi)
+	}
+}
+
+// TestRegressGPUPlanRequestsNeverHitTables is the satellite regression
+// for the built-but-empty plan table: the plan path is CPU-only, so a
+// GPU pair must have no plan slot at all — requests miss and the exact
+// path returns its actionable rejection, identical with or without
+// tables in front.
+func TestRegressGPUPlanRequestsNeverHitTables(t *testing.T) {
+	s := New(Config{})
+	for _, platform := range []string{"titanv", "titanxp", "h100", "h200"} {
+		if s.plan[platform] != nil {
+			t.Fatalf("GPU platform %s has plan slots: %v", platform, s.plan[platform])
+		}
+		if _, planBuilt := s.Build(platform, "gpustream"); planBuilt {
+			t.Fatalf("GPU pair %s/gpustream reports a built plan table", platform)
+		}
+		req := wire.PlanRequest{Platform: platform, Workload: "gpustream", Budget: 150}
+		var out wire.PlanResponse
+		if s.Plan(&req, &out) {
+			t.Fatalf("GPU plan request on %s hit a table: %+v", platform, out)
+		}
+		if _, err := allocsvc.ComputePlan(req); err == nil {
+			t.Fatalf("exact plan path accepted GPU platform %s", platform)
+		}
 	}
 }
 
@@ -168,6 +257,8 @@ var breakpointPairs = []struct{ platform, wl string }{
 	{"titanv", "gpustream"},
 	{"titanv", "hpcg"},
 	{"titanxp", "sgemm"},
+	{"h100", "llmserve"},
+	{"h100", "gpustream"},
 }
 
 // regimeBreakpoints returns the analytic regime boundaries for one
@@ -464,6 +555,55 @@ func TestDegradedPairBypassesTables(t *testing.T) {
 	// The negative result is cached: the slot is built, no rebuild.
 	if !s.coord["ivybridge"]["stream"].built.Load() {
 		t.Fatal("negative result not cached")
+	}
+}
+
+// TestRegressHTTPRejectionsIdenticalWithTables: the service's
+// actionable rejections — a GPU coord budget below the cap floor, a
+// plan request for a GPU platform — must be byte-identical whether or
+// not warmed tables sit in front of the exact path. A table that
+// intercepted these (serving a clamped answer, or an empty plan from a
+// built-but-vacuous table) changed the wire contract under a flag.
+func TestRegressHTTPRejectionsIdenticalWithTables(t *testing.T) {
+	s := New(Config{})
+	prune(s, map[string][]string{
+		"h100":   {"llmserve"},
+		"titanv": {"gpustream"},
+	})
+	s.Warm()
+	bare := httptest.NewServer(allocsvc.New(allocsvc.Config{Workers: 2}).Handler())
+	defer bare.Close()
+	tabled := httptest.NewServer(allocsvc.New(allocsvc.Config{Workers: 2, Tables: s}).Handler())
+	defer tabled.Close()
+
+	cases := []struct{ route, body string }{
+		{allocsvc.RouteCoord, `{"platform":"h100","workload":"llmserve","budget_watts":150}`},
+		{allocsvc.RouteCoord, `{"platform":"titanv","workload":"gpustream","budget_watts":90}`},
+		{allocsvc.RoutePlan, `{"platform":"h100","workload":"llmserve","budget_watts":300}`},
+		{allocsvc.RoutePlan, `{"platform":"titanv","workload":"gpustream","budget_watts":150}`},
+	}
+	for _, tc := range cases {
+		post := func(srv *httptest.Server) (int, string) {
+			resp, err := http.Post(srv.URL+tc.route, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatalf("POST %s: %v", tc.route, err)
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp.StatusCode, string(b)
+		}
+		bcode, bbody := post(bare)
+		tcode, tbody := post(tabled)
+		if bcode != http.StatusBadRequest {
+			t.Fatalf("%s %s: bare service answered %d (%s), want 400", tc.route, tc.body, bcode, bbody)
+		}
+		if tcode != bcode || tbody != bbody {
+			t.Fatalf("%s %s: tables changed the rejection:\nbare   %d %s\ntabled %d %s",
+				tc.route, tc.body, bcode, bbody, tcode, tbody)
+		}
 	}
 }
 

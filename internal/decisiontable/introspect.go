@@ -33,6 +33,12 @@ func (s *Set) CoordBoundaries(platform, wl string) []float64 {
 	if t == nil {
 		return nil
 	}
+	if len(t.segs) == 0 {
+		// Degenerate table (saturation at or below the cap floor): the
+		// served range is [lo, +inf) with every answer from the
+		// saturation row. Report the floor and the saturation point.
+		return []float64{t.lo, t.hi}
+	}
 	out := make([]float64, 0, len(t.segs)+1)
 	for i := range t.segs {
 		out = append(out, t.segs[i].start)

@@ -380,3 +380,63 @@ func TestGenerateArrivals(t *testing.T) {
 		t.Errorf("maxJobs cap generated %d jobs", len(got))
 	}
 }
+
+// TestPhasedGPUJobs runs phased ML-inference jobs on an H100-class
+// cluster through both engines: exact mode must reproduce the round
+// loop byte for byte — phased workloads and GPU platforms included —
+// and each engine's trace hash must be stable across repeat runs.
+func TestPhasedGPUJobs(t *testing.T) {
+	p, err := hw.PlatformByName("h100")
+	if err != nil {
+		t.Fatalf("platform: %v", err)
+	}
+	w, err := workload.ByName("llmserve")
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	nodes := make([]cluster.Node, 3)
+	for i := range nodes {
+		nodes[i] = cluster.Node{ID: fmt.Sprintf("gpu%02d", i), Platform: p}
+	}
+	sched, err := cluster.NewScheduler(units.Power(400*len(nodes)), nodes)
+	if err != nil {
+		t.Fatalf("scheduler: %v", err)
+	}
+	jobs := testJobs(w, 7, 2e12)
+
+	want, err := sched.RunQueueOpts(jobs, cluster.PolicyCoord, cluster.DisciplineBackfill)
+	if err != nil {
+		t.Fatalf("RunQueueOpts: %v", err)
+	}
+	run := func(mode Mode) Result {
+		got, err := Run(Config{
+			Sched: sched, Workload: w,
+			Policy: cluster.PolicyCoord, Discipline: cluster.DisciplineBackfill,
+			Jobs: jobs, Mode: mode,
+		})
+		if err != nil {
+			t.Fatalf("des.Run mode %v: %v", mode, err)
+		}
+		return got
+	}
+
+	exact := run(ModeExact)
+	if exact.Queue == nil || !reflect.DeepEqual(exact.Queue.QueueResult, want) {
+		t.Errorf("phased DES run diverges from round loop:\n des: %+v\nloop: %+v",
+			exact.Queue, want)
+	}
+	if exact.Completed != len(jobs) {
+		t.Errorf("completed %d of %d phased jobs", exact.Completed, len(jobs))
+	}
+	if exact.TraceHash != run(ModeExact).TraceHash {
+		t.Error("exact-mode trace hash unstable across repeat runs")
+	}
+
+	fast := run(ModeFast)
+	if fast.Completed != len(jobs) || !(fast.Makespan > 0) {
+		t.Errorf("fast mode: completed %d, makespan %v", fast.Completed, fast.Makespan)
+	}
+	if fast.TraceHash != run(ModeFast).TraceHash {
+		t.Error("fast-mode trace hash unstable across repeat runs")
+	}
+}

@@ -111,6 +111,7 @@ func All() []Runner {
 		{ID: "fig7", Title: "GPU performance trends vs memory power allocation under various caps", Run: Fig7},
 		{ID: "fig8", Title: "Performance profiles of all benchmarks on the experimental platforms", Run: Fig8},
 		{ID: "fig9", Title: "COORD vs best vs baselines (CPU and GPU)", Run: Fig9},
+		{ID: "recoord", Title: "Online re-coordination vs static COORD vs default governor (phased ML on H100-class)", Run: Recoord},
 		{ID: "insights", Title: "The four research questions of Section 2.1, answered per benchmark", Run: Insights},
 	}
 }

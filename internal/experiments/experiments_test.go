@@ -7,11 +7,11 @@ import (
 
 func TestAllRunnersRegistered(t *testing.T) {
 	runners := All()
-	if len(runners) != 13 {
-		t.Fatalf("runner count = %d, want 13 (9 figures + 3 tables + insights)", len(runners))
+	if len(runners) != 14 {
+		t.Fatalf("runner count = %d, want 14 (9 figures + 3 tables + recoord + insights)", len(runners))
 	}
 	wantOrder := []string{"fig1", "fig2", "fig3", "fig4", "fig5",
-		"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "insights"}
+		"table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "recoord", "insights"}
 	for i, r := range runners {
 		if r.ID != wantOrder[i] {
 			t.Errorf("runner %d = %s, want %s", i, r.ID, wantOrder[i])

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/hw"
+	"repro/internal/recoord"
+	"repro/internal/report"
+	"repro/internal/svgplot"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// recoordBudgets samples the settable cap range of a card the way the
+// paper's figure-9 sweeps do: four budgets spanning floor to near-TDP.
+func recoordBudgets(gpu *hw.GPUSpec) []units.Power {
+	var out []units.Power
+	for _, frac := range []float64{0.1, 0.35, 0.6, 0.85} {
+		out = append(out, gpu.MinCap+units.Power(frac*float64(gpu.MaxCap-gpu.MinCap)))
+	}
+	return out
+}
+
+// Recoord evaluates the online re-coordination controller in a
+// figure-9-style comparison: phased ML-inference serving mixes on the
+// H100-class platforms across the settable budget range, online
+// controller vs static COORD vs the default governor on the identical
+// virtual-time trace. The static aggregate profile misreads phased
+// workloads (prefill dominates the token count, decode the wall time),
+// so this is where static coordination leaves the most performance on
+// the table — the gap the controller exists to close.
+func Recoord() (Output, error) {
+	out := Output{ID: "recoord", Title: "Online re-coordination vs static COORD vs default governor"}
+
+	tb := report.NewTable(
+		"Online re-coordination on phased ML inference (perf in ktok/s)",
+		"platform", "workload", "budget (W)", "online", "static", "governor",
+		"gain vs static", "switches")
+
+	type series struct{ x, gain []float64 }
+	curves := map[string]*series{}
+	var order []string
+
+	points, notWorse, strictlyBetter := 0, 0, 0
+	maxGain, maxGainLabel := 0.0, ""
+	for _, pn := range []string{"h100", "h200"} {
+		p, err := hw.PlatformByName(pn)
+		if err != nil {
+			return out, err
+		}
+		for _, w := range workload.PhasedWorkloads() {
+			key := pn + "/" + w.Name
+			curves[key] = &series{}
+			order = append(order, key)
+			for _, budget := range recoordBudgets(p.GPU) {
+				res, err := recoord.Run(recoord.Config{Platform: p, Workload: w, Budget: budget})
+				if err != nil {
+					return out, err
+				}
+				points++
+				if res.OnlinePerf >= res.StaticPerf*(1-1e-9) {
+					notWorse++
+				}
+				if res.OnlinePerf > res.StaticPerf*(1+1e-6) {
+					strictlyBetter++
+				}
+				gain := res.Gain()
+				if gain > maxGain {
+					maxGain, maxGainLabel = gain, fmt.Sprintf("%s at %s", key, budget)
+				}
+				curves[key].x = append(curves[key].x, budget.Watts())
+				curves[key].gain = append(curves[key].gain, gain*100)
+				tb.AddRow(pn, w.Name, report.FormatFloat(budget.Watts()),
+					report.FormatFloat(res.OnlinePerf),
+					report.FormatFloat(res.StaticPerf),
+					report.FormatFloat(res.GovernorPerf),
+					fmt.Sprintf("%+.1f%%", gain*100),
+					fmt.Sprint(res.Switches))
+			}
+		}
+	}
+	out.Tables = append(out.Tables, tb)
+
+	fig := svgplot.Chart{
+		Title:  "Online re-coordination gain over static COORD",
+		XLabel: "board power budget (W)", YLabel: "throughput gain (%)", Markers: true,
+	}
+	for _, key := range order {
+		if err := fig.Add(key, curves[key].x, curves[key].gain); err != nil {
+			return out, err
+		}
+	}
+	out.Figures = append(out.Figures, fig)
+
+	out.Findings = append(out.Findings, Finding{
+		Claim:    "Online re-coordination never loses to static COORD (static stays in the candidate slate)",
+		Measured: fmt.Sprintf("online >= static on %d of %d platform x workload x budget points", notWorse, points),
+		Pass:     notWorse == points,
+	})
+	out.Findings = append(out.Findings, Finding{
+		Claim:    "Phase-shift detection finds strict improvements static coordination cannot express",
+		Measured: fmt.Sprintf("strictly better on %d of %d points; max gain %+.1f%% (%s)", strictlyBetter, points, maxGain*100, maxGainLabel),
+		Pass:     strictlyBetter >= 1 && maxGain >= 0.10,
+	})
+
+	// Determinism: the whole comparison must be a pure function of the
+	// configuration — repeat one full run and demand identical output.
+	p, err := hw.PlatformByName("h100")
+	if err != nil {
+		return out, err
+	}
+	w, err := workload.ByName("llmbatch")
+	if err != nil {
+		return out, err
+	}
+	cfg := recoord.Config{Platform: p, Workload: w, Budget: recoordBudgets(p.GPU)[0]}
+	a, err := recoord.Run(cfg)
+	if err != nil {
+		return out, err
+	}
+	b, err := recoord.Run(cfg)
+	if err != nil {
+		return out, err
+	}
+	identical := reflect.DeepEqual(a, b) && fmt.Sprintf("%+v", a) == fmt.Sprintf("%+v", b)
+	out.Findings = append(out.Findings, Finding{
+		Claim:    "Controller runs are seed-free deterministic (byte-identical on repeat)",
+		Measured: fmt.Sprintf("repeat run identical: %v", identical),
+		Pass:     identical,
+	})
+	return out, nil
+}

@@ -233,22 +233,123 @@ func TitanV() Platform {
 	}
 }
 
+// H100 returns a modern datacenter GPU platform: an Nvidia H100
+// SXM-class card (Hopper, 132 SMs, HBM3). Unlike the Titan-era boards
+// of Table 2, the settable cap range has a high floor — nvidia-smi
+// rejects caps below 200 W — so coordination budgets can fall below the
+// smallest enforceable cap, a regime the paper-era platforms never hit.
+// HBM3's wide bus gives a large memory power range, so memory-clock
+// coordination has real leverage again (unlike Titan V's narrow HBM2
+// band).
+func H100() Platform {
+	return Platform{
+		Name:  "h100",
+		Paper: "Modern GPU Platform I (post-paper)",
+		Kind:  KindGPU,
+		GPU: &GPUSpec{
+			Name:               "Nvidia H100 SXM",
+			SMs:                132,
+			LanesPerSM:         128,
+			OpsPerCyclePerLane: 2, // FMA
+			SMClockMin:         345 * units.Megahertz,
+			SMClockNom:         1980 * units.Megahertz,
+			SMClockStep:        15 * units.Megahertz,
+			VMin:               0.62,
+			VNom:               1.05,
+			IdleBoard:          30,
+			SMIdlePower:        40,
+			SMMaxDynPower:      500,
+			Mem: GPUMemSpec{
+				Name: "80 GB HBM3",
+				// HBM3 exposes a narrow clock range: unlike GDDR boards
+				// the stacks never halve their clock, so even the 60 W
+				// floor sustains ~70% of peak bandwidth. A lower floor
+				// would starve compute-bound kernels whenever Algorithm 2
+				// pins memory at P_mem_min.
+				ClockMin:      1200 * units.Megahertz,
+				ClockNom:      1600 * units.Megahertz,
+				ClockMax:      1700 * units.Megahertz,
+				ClockStep:     25 * units.Megahertz,
+				BytesPerClock: 1280, // 5120-bit bus
+				PowerMin:      60,
+				PowerMax:      120,
+			},
+			TDP:    700,
+			MinCap: 200,
+			MaxCap: 700,
+		},
+	}
+}
+
+// H200 returns the H100's HBM3e refresh: the same GH100 compute die
+// behind a wider, faster memory system (141 GB HBM3e). The cap range is
+// unchanged, so the 200 W floor applies here too.
+func H200() Platform {
+	return Platform{
+		Name:  "h200",
+		Paper: "Modern GPU Platform II (post-paper)",
+		Kind:  KindGPU,
+		GPU: &GPUSpec{
+			Name:               "Nvidia H200 SXM",
+			SMs:                132,
+			LanesPerSM:         128,
+			OpsPerCyclePerLane: 2,
+			SMClockMin:         345 * units.Megahertz,
+			SMClockNom:         1980 * units.Megahertz,
+			SMClockStep:        15 * units.Megahertz,
+			VMin:               0.62,
+			VNom:               1.05,
+			IdleBoard:          30,
+			SMIdlePower:        40,
+			SMMaxDynPower:      500,
+			Mem: GPUMemSpec{
+				Name: "141 GB HBM3e",
+				// Same narrow HBM clock range as the H100's stacks.
+				ClockMin:      1250 * units.Megahertz,
+				ClockNom:      1650 * units.Megahertz,
+				ClockMax:      1750 * units.Megahertz,
+				ClockStep:     25 * units.Megahertz,
+				BytesPerClock: 1536, // 6144-bit bus
+				PowerMin:      70,
+				PowerMax:      145,
+			},
+			TDP:    700,
+			MinCap: 200,
+			MaxCap: 700,
+		},
+	}
+}
+
 // Platforms returns all four experimental platforms of Table 2 in paper
 // order.
 func Platforms() []Platform {
 	return []Platform{IvyBridge(), Haswell(), TitanXP(), TitanV()}
 }
 
+// Modern returns the post-paper platforms: H100-class cards whose cap
+// floors and memory systems differ qualitatively from Table 2 hardware.
+func Modern() []Platform {
+	return []Platform{H100(), H200()}
+}
+
+// AllPlatforms returns every modeled platform: the four Table 2
+// platforms followed by the modern additions. Lookup paths (CLI, wire,
+// decision tables) use this superset; figure reproductions stay on
+// Platforms() so the paper artifacts keep their exact platform set.
+func AllPlatforms() []Platform {
+	return append(Platforms(), Modern()...)
+}
+
 // PlatformByName looks up a platform by its short name. The error lists
 // the valid names.
 func PlatformByName(name string) (Platform, error) {
-	for _, p := range Platforms() {
+	for _, p := range AllPlatforms() {
 		if p.Name == name {
 			return p, nil
 		}
 	}
 	var names []string
-	for _, p := range Platforms() {
+	for _, p := range AllPlatforms() {
 		names = append(names, p.Name)
 	}
 	sort.Strings(names)

@@ -87,11 +87,15 @@ func checkGPUPair(cfg Config, c *collector, p hw.Platform, w workload.Workload) 
 		if err != nil {
 			return err
 		}
+		gapTol := gpuGapTol
+		if len(w.Phases) > 1 {
+			gapTol = gpuPhasedGapTol
+		}
 		c.check("coord-gap", budget,
-			achieved.Result.Perf >= best.Result.Perf*(1-gpuGapTol),
+			achieved.Result.Perf >= best.Result.Perf*(1-gapTol),
 			"coord %.4g vs best %.4g (gap %.1f%%, tolerance %.0f%%)",
 			achieved.Result.Perf, best.Result.Perf,
-			100*(1-achieved.Result.Perf/best.Result.Perf), 100*gpuGapTol)
+			100*(1-achieved.Result.Perf/best.Result.Perf), 100*gapTol)
 		curve = append(curve, perfPoint{budget, best.Result.Perf})
 	}
 

@@ -142,7 +142,8 @@ func (r *Report) Ok() bool { return len(r.Violations) == 0 }
 // seeded catalog with defaults.
 type Config struct {
 	// Platforms and Workloads restrict the sweep; empty means the full
-	// hw.Platforms() / workload.Catalog() sets.
+	// hw.AllPlatforms() / workload.AllWorkloads() sets, modern
+	// platforms and phased ML-inference workloads included.
 	Platforms []hw.Platform
 	Workloads []workload.Workload
 	// BudgetPoints is the number of budget-grid points per pair
@@ -170,10 +171,10 @@ type Config struct {
 
 func (cfg *Config) normalize() {
 	if len(cfg.Platforms) == 0 {
-		cfg.Platforms = hw.Platforms()
+		cfg.Platforms = hw.AllPlatforms()
 	}
 	if len(cfg.Workloads) == 0 {
-		cfg.Workloads = workload.Catalog()
+		cfg.Workloads = workload.AllWorkloads()
 	}
 	if cfg.BudgetPoints <= 0 {
 		cfg.BudgetPoints = 16
@@ -251,8 +252,26 @@ func gapTol(loc category.OptimalLocation) float64 {
 // enumerates discrete memory clocks while Algorithm 2 splits power
 // continuously, so the gap concentrates at small board caps where one
 // clock step is a large budget fraction (measured worst case 14.6%,
-// titanv/sgemm at the 100 W cap floor).
+// titanv/sgemm at the 100 W cap floor). The H100-class platforms fit
+// under the same tolerance only because their HBM clock floor keeps
+// bandwidth adequate when Algorithm 2 pins memory at P_mem_min — see
+// the GPUMemSpec.ClockMin comments in internal/hw.
 const gpuGapTol = 0.16
+
+// gpuPhasedGapTol relaxes coord-gap for multi-phase GPU workloads.
+// Algorithm 2 picks one static split from the aggregate profile, while
+// the grid optimum can favor whichever single setting suits the phase
+// mix at that budget; a compute-bound prefill blended with a
+// bandwidth-bound decode legitimately leaves a much larger static gap:
+// the token-weighted aggregate reads compute-bound (llmbatch: 63 ops/B)
+// so Algorithm 2 pins memory at its floor, while the decode phase —
+// 3% of tokens but most of the wall time at 1.4 GB per token —
+// wants the opposite split (measured worst case 51.9%, h200/llmbatch
+// at 233.3 W). This is the static-coordination deficiency
+// internal/recoord's online re-coordination exists to close; the
+// invariant only guards against total collapse, it does not bless
+// static COORD as near-optimal on phased mixes.
+const gpuPhasedGapTol = 0.55
 
 // coordMonotoneTol is the relative dip COORD's achieved performance may
 // show when a growing budget crosses a regime boundary: entering the

@@ -13,11 +13,48 @@
 package nvgov
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/hw"
 	"repro/internal/units"
 )
+
+// ErrCapOutOfRange is the sentinel for power caps outside the card's
+// settable range. Match with errors.Is; the concrete error is a
+// *CapRangeError carrying the offending cap and the valid range.
+var ErrCapOutOfRange = errors.New("power cap outside settable range")
+
+// CapRangeError reports a requested board power cap that the card
+// cannot enforce. On Titan-era hardware the floor sits well below any
+// budget coordination produces, but H100-class cards refuse caps below
+// 200 W, so small coordination budgets must surface this rejection
+// instead of being silently clamped to a cap the budget cannot fund.
+type CapRangeError struct {
+	// Cap is the rejected power limit.
+	Cap units.Power
+	// Min and Max bound the card's settable range.
+	Min, Max units.Power
+}
+
+// Error formats the rejection like the nvidia-smi diagnostic.
+func (e *CapRangeError) Error() string {
+	return fmt.Sprintf("nvgov: power cap %v outside settable range [%v, %v]",
+		e.Cap, e.Min, e.Max)
+}
+
+// Unwrap makes errors.Is(err, ErrCapOutOfRange) work.
+func (e *CapRangeError) Unwrap() error { return ErrCapOutOfRange }
+
+// CheckCap reports whether the card can enforce cap, returning a
+// *CapRangeError (wrapping ErrCapOutOfRange) if not. Callers that plan
+// caps without instantiating a governor use this for early rejection.
+func CheckCap(gpu *hw.GPUSpec, cap units.Power) error {
+	if cap < gpu.MinCap || cap > gpu.MaxCap {
+		return &CapRangeError{Cap: cap, Min: gpu.MinCap, Max: gpu.MaxCap}
+	}
+	return nil
+}
 
 // Settings mirrors the user-visible controls: the nvidia-smi power cap
 // and the nvidia-settings clock offsets.
@@ -63,11 +100,13 @@ func (g *Governor) GPU() *hw.GPUSpec { return g.gpu }
 func (g *Governor) Settings() Settings { return g.settings }
 
 // SetPowerCap programs the board power limit. Like nvidia-smi, values
-// outside the card's settable range are rejected.
+// outside the card's settable range are rejected — with a typed
+// *CapRangeError (errors.Is-matchable against ErrCapOutOfRange) so
+// coordination layers can distinguish an unenforceable cap from other
+// actuation failures rather than silently clamping.
 func (g *Governor) SetPowerCap(cap units.Power) error {
-	if cap < g.gpu.MinCap || cap > g.gpu.MaxCap {
-		return fmt.Errorf("nvgov: power cap %v outside settable range [%v, %v]",
-			cap, g.gpu.MinCap, g.gpu.MaxCap)
+	if err := CheckCap(g.gpu, cap); err != nil {
+		return err
 	}
 	g.settings.PowerCap = cap
 	return nil

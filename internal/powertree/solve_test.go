@@ -416,3 +416,65 @@ func inf() float64 { return f64div(1, 0) }
 
 // f64div defeats constant folding errors for 0/0 and 1/0.
 func f64div(a, b float64) float64 { return a / b }
+
+// TestPhasedMLCurveSampling threads the H100-class platforms and the
+// phased ML-inference workloads through curve sampling and the
+// water-fill: an H100/H200 serving rack must build concave curves with
+// the settable cap floor as its quantum floor, conserve quanta across
+// the budget grid, and grant monotonically increasing performance.
+func TestPhasedMLCurveSampling(t *testing.T) {
+	spec, err := ParseTreeSpec("serve=h100/llmserve*2^2,h100/llmbatch^1;chat@900=h200/llmchat*2")
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	cs, err := BuildCurves(spec)
+	if err != nil {
+		t.Fatalf("BuildCurves: %v", err)
+	}
+
+	// Each leaf curve must floor at the card's settable cap, not the
+	// memory floor: an H100 cannot be capped below 200 W.
+	for ri := range spec.Racks {
+		for ni := range spec.Racks[ri].Nodes {
+			n := &spec.Racks[ri].Nodes[ni]
+			c, err := cs.curveFor(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := c.floorQ, ceilQuanta(n.Platform.GPU.MinCap); got != want {
+				t.Errorf("%s/%s floor %d quanta, want the cap floor %d",
+					n.Platform.Name, n.Workload.Name, got, want)
+			}
+			if c.maxQ <= c.floorQ {
+				t.Errorf("%s/%s has a degenerate curve (max %d <= floor %d)",
+					n.Platform.Name, n.Workload.Name, c.maxQ, c.floorQ)
+			}
+			if !(c.perfAt(c.maxQ) > c.perfAt(c.floorQ)) {
+				t.Errorf("%s/%s curve is flat: perf %g at floor, %g at max",
+					n.Platform.Name, n.Workload.Name, c.perfAt(c.floorQ), c.perfAt(c.maxQ))
+			}
+		}
+	}
+
+	floorQ, maxQ := specFloors(t, spec, cs)
+	prevPerf := -1.0
+	for _, b := range budgetGrid(maxQ, 33) {
+		res, err := SolveCurves(cs, spec, b)
+		if err != nil {
+			t.Fatalf("SolveCurves(%v): %v", b, err)
+		}
+		checkConservation(t, spec, cs, res)
+		if res.Quanta >= floorQ {
+			if len(res.Shed) != 0 {
+				t.Errorf("budget %v covers all floors but shed %d leaves", b, len(res.Shed))
+			}
+			if res.TotalPerf < prevPerf {
+				t.Errorf("perf not monotone: %g after %g at budget %v", res.TotalPerf, prevPerf, b)
+			}
+			prevPerf = res.TotalPerf
+		}
+	}
+	if !(prevPerf > 0) {
+		t.Fatalf("phased ML tree never produced positive performance (last %g)", prevPerf)
+	}
+}

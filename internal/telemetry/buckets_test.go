@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegressDurationBucketsResolveSubMicrosecond is the satellite-4
+// regression: the binary serving fast path completes table hits in well
+// under 2 µs, and with a 1 µs bottom bucket every hit collapsed into it
+// — the histogram carried no information below the median. The layout
+// now extends to 100 ns: observations at ~150 ns, ~300 ns, and ~800 ns
+// must land in three distinct non-cumulative buckets.
+func TestRegressDurationBucketsResolveSubMicrosecond(t *testing.T) {
+	if DurationBuckets[0] != 1e-7 || DurationBuckets[1] != 5e-7 {
+		t.Fatalf("DurationBuckets must start 1e-7, 5e-7; got %v", DurationBuckets[:2])
+	}
+	for i := 1; i < len(DurationBuckets); i++ {
+		if !(DurationBuckets[i] > DurationBuckets[i-1]) {
+			t.Fatalf("DurationBuckets not strictly ascending at %d: %v", i, DurationBuckets)
+		}
+	}
+
+	r := New()
+	h := r.Histogram("fastpath_seconds", "Fast-path latency.", DurationBuckets)
+	h.Observe(1.5e-7) // typical decode+lookup+encode hit
+	h.Observe(3e-7)
+	h.Observe(8e-7)
+
+	var pt *Point
+	snap := r.Snapshot()
+	for i := range snap.Points {
+		if snap.Points[i].Name == "fastpath_seconds" {
+			pt = &snap.Points[i]
+		}
+	}
+	if pt == nil {
+		t.Fatalf("histogram missing from snapshot")
+	}
+	// Buckets are cumulative; difference out the per-bucket counts for
+	// the first three bins (<=1e-7, <=5e-7, <=1e-6).
+	if len(pt.Buckets) < 3 {
+		t.Fatalf("only %d buckets", len(pt.Buckets))
+	}
+	got := []uint64{
+		pt.Buckets[0].Count,
+		pt.Buckets[1].Count - pt.Buckets[0].Count,
+		pt.Buckets[2].Count - pt.Buckets[1].Count,
+	}
+	want := []uint64{0, 2, 1} // 150 ns and 300 ns in (1e-7,5e-7], 800 ns in (5e-7,1e-6]
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("per-bucket counts = %v, want %v (sub-2µs hits collapsed)", got, want)
+		}
+	}
+
+	// The exposition stays valid with the new layout.
+	text := snap.Prometheus()
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("exposition rejected: %v\n%s", err, text)
+	}
+	for _, wantLine := range []string{`le="1e-07"`, `le="5e-07"`} {
+		if !strings.Contains(text, wantLine) {
+			t.Fatalf("missing %s in exposition:\n%s", wantLine, text)
+		}
+	}
+}

@@ -153,8 +153,11 @@ func (h *Histogram) snapshot() (buckets []Bucket, count uint64, sum float64) {
 // keeps snapshots comparable across packages and runs.
 var (
 	// DurationBuckets covers control-loop and backoff durations in
-	// seconds, from a microsecond to ten seconds.
-	DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+	// seconds, from 100 ns to ten seconds. The sub-microsecond buckets
+	// exist for the binary serving fast path, whose table hits complete
+	// in well under 2 µs: with a 1 µs bottom bucket every hit collapsed
+	// into it and the p50 was unreadable in BENCH_serve runs.
+	DurationBuckets = []float64{1e-7, 5e-7, 1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
 
 	// RatioBuckets covers achieved-over-best performance ratios; the
 	// dense region near 1.0 is where COORD's envelope lives.

@@ -198,8 +198,8 @@ func gpuBattery(p hw.Platform, w workload.Workload) []Issue {
 // as an example of a full campaign.
 func Catalog() []Issue {
 	var issues []Issue
-	for _, p := range hw.Platforms() {
-		for _, w := range workload.Catalog() {
+	for _, p := range hw.AllPlatforms() {
+		for _, w := range workload.AllWorkloads() {
 			if w.Kind != p.Kind {
 				continue
 			}

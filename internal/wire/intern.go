@@ -17,11 +17,11 @@ var interned = buildIntern()
 func buildIntern() map[string]string {
 	m := map[string]string{"": ""}
 	add := func(s string) { m[s] = s }
-	for _, p := range hw.Platforms() {
+	for _, p := range hw.AllPlatforms() {
 		add(p.Name)
 		add(p.Kind.String())
 	}
-	for _, w := range workload.Catalog() {
+	for _, w := range workload.AllWorkloads() {
 		add(w.Name)
 		add(w.PerfUnit)
 		for _, ph := range w.Phases {

@@ -92,6 +92,63 @@ type PlanResponse struct {
 	Rejected bool `json:"rejected,omitempty"`
 }
 
+// RecoordRequest is the body of POST /v1/recoord: one online
+// re-coordination run on a phased GPU workload. Exactly one of
+// Workload (a catalog name) or PhaseSpec (a custom mix, see
+// workload.ParsePhaseSpec) selects the workload. The route is
+// JSON-only — a recoord response carries a variable-length phase
+// timeline and is not on the binary protocol's hot path.
+type RecoordRequest struct {
+	Platform string `json:"platform"`
+	Workload string `json:"workload,omitempty"`
+	// PhaseSpec describes a custom phased ML workload, e.g.
+	// "seq=1024,out=512" or "prefill=2,decode=1".
+	PhaseSpec string  `json:"phase_spec,omitempty"`
+	Budget    float64 `json:"budget_watts"`
+	// Rounds is the number of phase cycles to run; 0 means the
+	// controller default.
+	Rounds    int `json:"rounds,omitempty"`
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// RecoordVisitJSON is one contiguous phase interval of a controller
+// run's timeline.
+type RecoordVisitJSON struct {
+	Phase string `json:"phase"`
+	Ticks int    `json:"ticks"`
+	// LagTicks counts samples run on the stale setting before the
+	// detector fired; Recoordinated whether this visit triggered a
+	// re-coordination.
+	LagTicks      int       `json:"lag_ticks,omitempty"`
+	Recoordinated bool      `json:"recoordinated,omitempty"`
+	Alloc         AllocJSON `json:"alloc"`
+	OnlinePerf    float64   `json:"online_perf"`
+	StaticPerf    float64   `json:"static_perf"`
+	GovernorPerf  float64   `json:"governor_perf"`
+}
+
+// RecoordResponse is one controller run compared against the static
+// COORD split and the default governor on the identical trace.
+type RecoordResponse struct {
+	Platform string  `json:"platform"`
+	Workload string  `json:"workload"`
+	Budget   float64 `json:"budget_watts"`
+	PerfUnit string  `json:"perf_unit"`
+
+	OnlinePerf   float64 `json:"online_perf"`
+	StaticPerf   float64 `json:"static_perf"`
+	GovernorPerf float64 `json:"governor_perf"`
+	// Gain is the online-over-static improvement as a fraction.
+	Gain float64 `json:"gain"`
+
+	Recoordinations int `json:"recoordinations"`
+	Switches        int `json:"switches"`
+
+	// StaticAlloc is COORD's opening operating point (cap + mem power).
+	StaticAlloc AllocJSON          `json:"static_alloc"`
+	Visits      []RecoordVisitJSON `json:"visits"`
+}
+
 // NodeJSON names one cluster node for /v1/schedule.
 type NodeJSON struct {
 	ID       string `json:"id"`

@@ -169,16 +169,75 @@ func (w *Workload) MeanActivity() float64 {
 	return a
 }
 
-// ByName returns the catalog workload with the given name. The error
-// lists valid names for the requested kind.
+// NormalizeWeights rescales the phases' weights in place so they sum to
+// exactly 1.0 (bit-exact, not merely within tolerance). Weights built
+// from float arithmetic — 1.0/3 per phase, sequence-length ratios —
+// drift by an ulp or two; that drift either trips Validate's sum check
+// or, worse, passes it and then mis-splits time in dyncoord plan tables
+// whose slices are Weight/rate. After rescaling, the largest weight
+// absorbs the residual so the in-order sum is exact; the exactness is
+// checked, not assumed.
+func NormalizeWeights(phases []Phase) error {
+	if len(phases) == 0 {
+		return fmt.Errorf("normalize: no phases")
+	}
+	sum := 0.0
+	for i := range phases {
+		if w := phases[i].Weight; w <= 0 || !(w < 1e18) {
+			return fmt.Errorf("normalize: phase %q: weight %v not a positive finite number",
+				phases[i].Name, w)
+		}
+		sum += phases[i].Weight
+	}
+	largest := 0
+	for i := range phases {
+		phases[i].Weight /= sum
+		if phases[i].Weight > phases[largest].Weight {
+			largest = i
+		}
+	}
+	// Float addition is not associative, so force the residual into the
+	// largest weight until the in-order sum (the one Validate and the
+	// plan tables compute) is exactly 1. This converges in one or two
+	// rounds; the bound guards pathological inputs.
+	for round := 0; round < 4; round++ {
+		total := 0.0
+		for i := range phases {
+			total += phases[i].Weight
+		}
+		if total == 1 {
+			return nil
+		}
+		phases[largest].Weight += 1 - total
+		if phases[largest].Weight <= 0 {
+			return fmt.Errorf("normalize: residual %v exceeds largest weight", total-1)
+		}
+	}
+	return fmt.Errorf("normalize: weights did not converge to an exact sum of 1")
+}
+
+// Normalized returns a copy of the workload with phase weights
+// normalized to an exact sum of 1 via NormalizeWeights.
+func (w Workload) Normalized() (Workload, error) {
+	out := w
+	out.Phases = append([]Phase(nil), w.Phases...)
+	if err := NormalizeWeights(out.Phases); err != nil {
+		return Workload{}, fmt.Errorf("workload %q: %w", w.Name, err)
+	}
+	return out, nil
+}
+
+// ByName returns the workload with the given name from the full model
+// set (the Table 3 catalog plus the ML inference additions). The error
+// lists valid names.
 func ByName(name string) (Workload, error) {
-	for _, w := range Catalog() {
+	for _, w := range AllWorkloads() {
 		if w.Name == name {
 			return w, nil
 		}
 	}
 	var names []string
-	for _, w := range Catalog() {
+	for _, w := range AllWorkloads() {
 		names = append(names, w.Name)
 	}
 	sort.Strings(names)
